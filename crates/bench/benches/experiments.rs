@@ -1,0 +1,161 @@
+//! One Criterion bench per paper artefact: measures the cost of
+//! regenerating each table/figure (with reduced replication counts, so
+//! `cargo bench` stays minutes, not hours). The full regeneration binaries
+//! live in `src/bin/`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use churnbal_bench::presets::{self, FIG3_WORKLOAD};
+use churnbal_cluster::testbed::{sample_batch_delays, sample_processing_times};
+use churnbal_cluster::{run_replications, simulate, SimOptions};
+use churnbal_core::{model_params, Lbp1, Lbp2};
+use churnbal_model::mean::Lbp1Evaluator;
+use churnbal_model::optimize::optimize_lbp1;
+use churnbal_model::{lbp1_cdf, WorkState};
+use churnbal_stochastic::{fit, Xoshiro256pp};
+
+fn fig1_calibration(c: &mut Criterion) {
+    c.bench_function("fig1_service_pdf_estimation", |b| {
+        let mut rng = Xoshiro256pp::seed_from_u64(1);
+        b.iter(|| {
+            let xs = sample_processing_times(1.86, 5000, &mut rng);
+            black_box(fit::exp_rate_mle(&xs))
+        });
+    });
+}
+
+fn fig2_calibration(c: &mut Criterion) {
+    c.bench_function("fig2_delay_sweep", |b| {
+        let mut rng = Xoshiro256pp::seed_from_u64(2);
+        b.iter(|| {
+            let mut acc = 0.0;
+            for l in (10..=100).step_by(10) {
+                acc += sample_batch_delays(l, 30, &mut rng).iter().sum::<f64>();
+            }
+            black_box(acc)
+        });
+    });
+}
+
+fn fig3_gain_sweep(c: &mut Criterion) {
+    let params = model_params(&presets::mc_config(FIG3_WORKLOAD));
+    let mut g = c.benchmark_group("fig3");
+    g.sample_size(10);
+    g.bench_function("theory_21_gains", |b| {
+        b.iter(|| {
+            let ev = Lbp1Evaluator::new(&params, FIG3_WORKLOAD);
+            let mut acc = 0.0;
+            for i in 0..=20 {
+                acc += ev.mean_for_gain(0, f64::from(i) * 0.05, WorkState::BOTH_UP);
+            }
+            black_box(acc)
+        });
+    });
+    let cfg = presets::mc_config(FIG3_WORKLOAD);
+    g.bench_function("mc_one_gain_50_reps", |b| {
+        b.iter(|| {
+            run_replications(
+                &cfg,
+                &|_| Lbp1::with_gain(0, 1, 100, 0.35),
+                50,
+                9,
+                0,
+                SimOptions::default(),
+            )
+            .mean()
+        });
+    });
+    g.finish();
+}
+
+fn fig4_traced_realisation(c: &mut Criterion) {
+    let cfg = presets::mc_config(FIG3_WORKLOAD);
+    c.bench_function("fig4_traced_run", |b| {
+        let mut seed = 0;
+        b.iter(|| {
+            seed += 1;
+            simulate(
+                &cfg,
+                &mut Lbp2::new(1.0),
+                seed,
+                SimOptions { record_trace: true, deadline: None },
+            )
+            .completion_time
+        });
+    });
+}
+
+fn fig5_cdf(c: &mut Criterion) {
+    let params = model_params(&presets::mc_config([50, 0]));
+    let times: Vec<f64> = (0..=125).map(|i| f64::from(i) * 2.0).collect();
+    let mut g = c.benchmark_group("fig5");
+    g.sample_size(10);
+    g.bench_function("cdf_50_0", |b| {
+        let opt = optimize_lbp1(&params, [50, 0], WorkState::BOTH_UP);
+        b.iter(|| {
+            lbp1_cdf(
+                black_box(&params),
+                [50, 0],
+                opt.sender,
+                opt.tasks,
+                WorkState::BOTH_UP,
+                &times,
+            )
+        });
+    });
+    g.finish();
+}
+
+fn table1_row(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table1");
+    g.sample_size(10);
+    g.bench_function("optimize_200_100", |b| {
+        let params = model_params(&presets::mc_config([200, 100]));
+        b.iter(|| optimize_lbp1(black_box(&params), [200, 100], WorkState::BOTH_UP));
+    });
+    g.finish();
+}
+
+fn table2_row(c: &mut Criterion) {
+    let cfg = presets::mc_config([200, 100]);
+    let mut g = c.benchmark_group("table2");
+    g.sample_size(10);
+    g.bench_function("lbp2_50_reps_200_100", |b| {
+        let k = Lbp2::optimal_initial_gain(&cfg);
+        b.iter(|| {
+            run_replications(&cfg, &|_| Lbp2::new(k), 50, 3, 0, SimOptions::default()).mean()
+        });
+    });
+    g.finish();
+}
+
+fn table3_point(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table3");
+    g.sample_size(10);
+    g.bench_function("delay_2s_both_policies", |b| {
+        let cfg = presets::mc_config_with_delay(FIG3_WORKLOAD, 2.0);
+        let params = model_params(&cfg);
+        b.iter(|| {
+            let lbp1 = optimize_lbp1(&params, FIG3_WORKLOAD, WorkState::BOTH_UP).mean;
+            let lbp2 =
+                run_replications(&cfg, &|_| Lbp2::new(1.0), 50, 4, 0, SimOptions::default())
+                    .mean();
+            black_box((lbp1, lbp2))
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    fig1_calibration,
+    fig2_calibration,
+    fig3_gain_sweep,
+    fig4_traced_realisation,
+    fig5_cdf,
+    table1_row,
+    table2_row,
+    table3_point
+);
+criterion_main!(benches);

@@ -1,0 +1,89 @@
+//! Criterion benches for the analytical kernels: the Eq. (4) lattice
+//! solvers, the Eq. (5) CDF integration, the CTMC machinery, and the full
+//! gain optimisation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use churnbal_model::mean::{HatTable, Lbp1Evaluator, TransitTable};
+use churnbal_model::optimize::optimize_lbp1;
+use churnbal_model::{lbp1_cdf, TwoNodeParams, WorkState};
+
+fn bench_hat_table(c: &mut Criterion) {
+    let params = TwoNodeParams::paper();
+    let mut g = c.benchmark_group("eq4_hat_lattice");
+    for size in [50u32, 100, 200] {
+        g.bench_with_input(BenchmarkId::from_parameter(size), &size, |b, &s| {
+            b.iter(|| HatTable::build(black_box(&params), [s, s]));
+        });
+    }
+    g.finish();
+}
+
+fn bench_transit_table(c: &mut Criterion) {
+    let params = TwoNodeParams::paper();
+    let hat = HatTable::build(&params, [160, 160]);
+    c.bench_function("eq4_transit_lattice_100x60_L35", |b| {
+        b.iter(|| TransitTable::build(black_box(&hat), [65, 60], 1, 35));
+    });
+}
+
+fn bench_gain_evaluation(c: &mut Criterion) {
+    let params = TwoNodeParams::paper();
+    let ev = Lbp1Evaluator::new(&params, [100, 60]);
+    c.bench_function("eq4_single_gain_eval_100_60", |b| {
+        b.iter(|| ev.mean(black_box(0), black_box(35), WorkState::BOTH_UP));
+    });
+}
+
+fn bench_full_optimization(c: &mut Criterion) {
+    let params = TwoNodeParams::paper();
+    c.bench_function("lbp1_full_optimization_100_60", |b| {
+        b.iter(|| optimize_lbp1(black_box(&params), [100, 60], WorkState::BOTH_UP));
+    });
+}
+
+fn bench_cdf_solver(c: &mut Criterion) {
+    let params = TwoNodeParams::paper();
+    let times: Vec<f64> = (0..=60).map(|i| f64::from(i) * 2.0).collect();
+    c.bench_function("eq5_cdf_25_15_L8", |b| {
+        b.iter(|| lbp1_cdf(black_box(&params), [25, 15], 0, 8, WorkState::BOTH_UP, &times));
+    });
+}
+
+fn bench_ctmc(c: &mut Criterion) {
+    let params = TwoNodeParams::paper();
+    c.bench_function("ctmc_absorption_mean_25_15_L8", |b| {
+        b.iter(|| {
+            churnbal_model::bridge::lbp1_mean_exact(
+                black_box(&params),
+                [25, 15],
+                0,
+                8,
+                WorkState::BOTH_UP,
+            )
+        });
+    });
+    let explored = churnbal_model::bridge::lbp1_chain(&params, [20, 12], Some((1, 5)), 1_000_000);
+    let start = churnbal_model::bridge::TwoNodeSysState {
+        m: [20, 12],
+        up: WorkState::BOTH_UP,
+        transit: Some((1, 5)),
+    };
+    let idx = explored.index(&start).expect("state");
+    let times: Vec<f64> = (0..=40).map(|i| f64::from(i) * 2.0).collect();
+    c.bench_function("ctmc_uniformization_cdf_20_12", |b| {
+        b.iter(|| churnbal_ctmc::absorption_cdf(black_box(&explored.chain), idx, &times, 1e-10));
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_hat_table,
+    bench_transit_table,
+    bench_gain_evaluation,
+    bench_full_optimization,
+    bench_cdf_solver,
+    bench_ctmc
+);
+criterion_main!(benches);

@@ -1,0 +1,88 @@
+//! Criterion benches for the simulation substrate: RNG throughput, event
+//! queue operations, single runs of both policies, and the parallel
+//! replication runner.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+use churnbal_cluster::{run_replications, simulate, SimOptions, SystemConfig};
+use churnbal_core::{Lbp1, Lbp2};
+use churnbal_desim::EventQueue;
+use churnbal_stochastic::Xoshiro256pp;
+
+fn bench_rng(c: &mut Criterion) {
+    let mut g = c.benchmark_group("rng");
+    g.throughput(Throughput::Elements(1));
+    g.bench_function("xoshiro_next_u64", |b| {
+        let mut r = Xoshiro256pp::seed_from_u64(1);
+        b.iter(|| black_box(r.next_u64()));
+    });
+    g.bench_function("exp_sample", |b| {
+        let mut r = Xoshiro256pp::seed_from_u64(2);
+        b.iter(|| black_box(r.exp(1.86)));
+    });
+    g.finish();
+}
+
+fn bench_event_queue(c: &mut Criterion) {
+    c.bench_function("desim_schedule_pop_1k", |b| {
+        let mut r = Xoshiro256pp::seed_from_u64(3);
+        b.iter(|| {
+            let mut q = EventQueue::new();
+            for i in 0..1000u32 {
+                q.schedule_in(r.next_f64() * 100.0, i);
+            }
+            let mut acc = 0u64;
+            while let Some(e) = q.pop() {
+                acc += u64::from(e.payload);
+            }
+            black_box(acc)
+        });
+    });
+}
+
+fn bench_single_runs(c: &mut Criterion) {
+    let cfg = SystemConfig::paper([100, 60]);
+    let mut g = c.benchmark_group("single_run_100_60");
+    g.bench_function("lbp1", |b| {
+        let mut seed = 0;
+        b.iter(|| {
+            seed += 1;
+            simulate(&cfg, &mut Lbp1::with_gain(0, 1, 100, 0.35), seed, SimOptions::default())
+                .completion_time
+        });
+    });
+    g.bench_function("lbp2", |b| {
+        let mut seed = 0;
+        b.iter(|| {
+            seed += 1;
+            simulate(&cfg, &mut Lbp2::new(1.0), seed, SimOptions::default()).completion_time
+        });
+    });
+    g.finish();
+}
+
+fn bench_replication_runner(c: &mut Criterion) {
+    let cfg = SystemConfig::paper([100, 60]);
+    let mut g = c.benchmark_group("replications_100x");
+    g.sample_size(10);
+    for threads in [1usize, 0] {
+        let label = if threads == 1 { "serial" } else { "parallel" };
+        g.bench_with_input(BenchmarkId::from_parameter(label), &threads, |b, &t| {
+            b.iter(|| {
+                run_replications(&cfg, &|_| Lbp2::new(1.0), 100, 5, t, SimOptions::default())
+                    .mean()
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_rng,
+    bench_event_queue,
+    bench_single_runs,
+    bench_replication_runner
+);
+criterion_main!(benches);

@@ -1,0 +1,111 @@
+//! Minimal command-line handling shared by the experiment binaries.
+
+/// Options common to every experiment binary.
+#[derive(Clone, Copy, Debug)]
+pub struct Args {
+    /// Monte-Carlo replications (binaries scale their defaults from this).
+    pub reps: u64,
+    /// Master seed.
+    pub seed: u64,
+    /// Cheap settings for smoke runs.
+    pub quick: bool,
+    /// Worker threads (0 = auto).
+    pub threads: usize,
+}
+
+impl Default for Args {
+    fn default() -> Self {
+        Self { reps: 0, seed: 20060425, quick: false, threads: 0 }
+    }
+}
+
+impl Args {
+    /// Parses `--reps N`, `--seed S`, `--threads T` and `--quick` from the
+    /// process arguments. Unknown flags abort with a usage message.
+    #[must_use]
+    pub fn parse() -> Self {
+        Self::from_iter(std::env::args().skip(1))
+    }
+
+    /// Parses from an explicit iterator (testable).
+    ///
+    /// # Panics
+    /// Panics on malformed flags.
+    #[must_use]
+    pub fn from_iter<I: IntoIterator<Item = String>>(iter: I) -> Self {
+        let mut args = Self::default();
+        let mut it = iter.into_iter();
+        while let Some(flag) = it.next() {
+            match flag.as_str() {
+                "--reps" => {
+                    let v = it.next().expect("--reps needs a value");
+                    args.reps = v.parse().expect("--reps must be an integer");
+                }
+                "--seed" => {
+                    let v = it.next().expect("--seed needs a value");
+                    args.seed = v.parse().expect("--seed must be an integer");
+                }
+                "--threads" => {
+                    let v = it.next().expect("--threads needs a value");
+                    args.threads = v.parse().expect("--threads must be an integer");
+                }
+                "--quick" => args.quick = true,
+                other => panic!(
+                    "unknown flag {other}; supported: --reps N --seed S --threads T --quick"
+                ),
+            }
+        }
+        args
+    }
+
+    /// Replication count to use given a binary-specific default.
+    #[must_use]
+    pub fn reps_or(&self, default: u64) -> u64 {
+        if self.reps > 0 {
+            self.reps
+        } else if self.quick {
+            (default / 10).max(10)
+        } else {
+            default
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(s: &[&str]) -> Args {
+        Args::from_iter(s.iter().map(|x| (*x).to_string()))
+    }
+
+    #[test]
+    fn defaults() {
+        let a = parse(&[]);
+        assert_eq!(a.reps, 0);
+        assert!(!a.quick);
+        assert_eq!(a.reps_or(500), 500);
+    }
+
+    #[test]
+    fn explicit_values() {
+        let a = parse(&["--reps", "42", "--seed", "7", "--threads", "3"]);
+        assert_eq!(a.reps, 42);
+        assert_eq!(a.seed, 7);
+        assert_eq!(a.threads, 3);
+        assert_eq!(a.reps_or(500), 42);
+    }
+
+    #[test]
+    fn quick_scales_defaults_down() {
+        let a = parse(&["--quick"]);
+        assert_eq!(a.reps_or(500), 50);
+        assert_eq!(a.reps_or(50), 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown flag")]
+    fn unknown_flag_panics() {
+        let _ = parse(&["--nope"]);
+    }
+}

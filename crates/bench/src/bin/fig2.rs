@@ -1,0 +1,71 @@
+//! Figure 2: (top) empirical pdf of the per-task transfer delay with its
+//! (shifted-)exponential fit; (bottom) mean batch-transfer delay as a
+//! function of the number of tasks, with the linear fit.
+//!
+//! The paper estimates these from 30 realisations per point over the WLAN;
+//! we print the 30-realisation estimate (like-for-like) next to a
+//! high-sample fit.
+
+use churnbal_bench::table::{f2, TextTable};
+use churnbal_bench::Args;
+use churnbal_cluster::testbed::{sample_batch_delays, sample_per_task_delays, TESTBED_DELAY_SHIFT};
+use churnbal_stochastic::{fit, regression, Histogram, OnlineStats, Xoshiro256pp};
+
+fn main() {
+    let args = Args::parse();
+    let mut rng = Xoshiro256pp::seed_from_u64(args.seed);
+
+    // --- Top panel: per-task delay pdf ---
+    let n_fit = args.reps_or(20_000) as usize;
+    let xs = sample_per_task_delays(n_fit, &mut rng);
+    let sf = fit::shifted_exp_fit(&xs);
+    let plain_rate = fit::exp_rate_mle(&xs);
+    println!("Figure 2 (top) — per-task transfer delay pdf ({n_fit} samples)");
+    println!(
+        "shifted-exponential fit: shift = {:.4} s (configured {TESTBED_DELAY_SHIFT}), tail mean = {:.4} s",
+        sf.shift,
+        1.0 / sf.rate
+    );
+    println!(
+        "plain exponential fit (the paper's approximation): mean = {:.4} s (paper: 0.02 s)\n",
+        1.0 / plain_rate
+    );
+    let mut h = Histogram::new(0.0, 0.1, 25);
+    h.add_all(&xs);
+    let mut t = TextTable::new(["z (s)", "empirical pdf", "shifted-exp fit"]);
+    for (x, d) in h.density_series() {
+        let fitted = if x < sf.shift { 0.0 } else { sf.rate * (-(sf.rate) * (x - sf.shift)).exp() };
+        t.row([format!("{x:.4}"), f2(d), f2(fitted)]);
+    }
+    t.print();
+
+    // --- Bottom panel: mean delay vs batch size ---
+    let reps = if args.quick { 30 } else { 30 }; // the paper used 30 realisations
+    println!("\nFigure 2 (bottom) — mean transfer delay vs number of tasks ({reps} realisations/point)");
+    let ls: Vec<u32> = (1..=10).map(|i| i * 10).collect();
+    let mut means = Vec::new();
+    let mut t = TextTable::new(["# tasks L", "mean delay (s)", "ci95", "model mean"]);
+    for &l in &ls {
+        let mut s = OnlineStats::new();
+        for d in sample_batch_delays(l, reps, &mut rng) {
+            s.push(d);
+        }
+        means.push(s.mean());
+        t.row([
+            l.to_string(),
+            f2(s.mean()),
+            f2(s.ci95_half_width()),
+            f2(TESTBED_DELAY_SHIFT + 0.02 * f64::from(l)),
+        ]);
+    }
+    t.print();
+    let xsf: Vec<f64> = ls.iter().map(|&l| f64::from(l)).collect();
+    let line = regression::fit_line(&xsf, &means);
+    println!(
+        "\nlinear fit: mean ≈ {:.4} + {:.4}·L  (paper: slope ≈ 0.02 s/task), R² = {:.4}",
+        line.intercept, line.slope, line.r_squared
+    );
+    assert!((line.slope - 0.02).abs() < 0.004, "slope strays from 0.02 s/task");
+    assert!(line.r_squared > 0.98, "mean delay must be linear in L");
+    println!("shape check OK: delay mean grows linearly at ~0.02 s/task");
+}

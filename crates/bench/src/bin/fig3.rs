@@ -1,0 +1,92 @@
+//! Figure 3: mean overall completion time vs. LBP-1 gain `K`.
+//!
+//! Workload (100, 60), node 1 sending, paper §4 parameters. Four series,
+//! exactly as in the figure:
+//!
+//! * theory with node failure (regenerative model, Eq. 4),
+//! * theory without failure,
+//! * Monte-Carlo simulation (model-faithful engine),
+//! * "experiment" — the test-bed stand-in simulator.
+//!
+//! Paper result: minimum at `K = 0.35` (≈ 117 s); no-failure minimum at
+//! `K = 0.45`. The optimum under churn sits left of the no-failure one.
+
+use churnbal_bench::presets::{experiment_config, mc_config, FIG3_PAPER, FIG3_WORKLOAD};
+use churnbal_bench::table::{f2, pm, TextTable};
+use churnbal_bench::Args;
+use churnbal_cluster::{run_replications, SimOptions};
+use churnbal_core::{model_params, Lbp1};
+use churnbal_model::mean::Lbp1Evaluator;
+use churnbal_model::WorkState;
+
+fn main() {
+    let args = Args::parse();
+    let m0 = FIG3_WORKLOAD;
+    let mc_reps = args.reps_or(500); // paper: 500 MC realisations
+    let exp_reps = args.reps_or(100);
+
+    let cfg_mc = mc_config(m0);
+    let cfg_exp = experiment_config(m0);
+    let params = model_params(&cfg_mc);
+    let ev_fail = Lbp1Evaluator::new(&params, m0);
+    let ev_nofail = Lbp1Evaluator::new(&params.without_failures(), m0);
+
+    let gains: Vec<f64> = (0..=20).map(|i| f64::from(i) * 0.05).collect();
+    let mut t = TextTable::new([
+        "K",
+        "theory (failure)",
+        "theory (no failure)",
+        "MC simulation",
+        "experiment",
+    ]);
+    let mut best = (0.0f64, f64::INFINITY);
+    let mut best_nf = (0.0f64, f64::INFINITY);
+    for &k in &gains {
+        let theory = ev_fail.mean_for_gain(0, k, WorkState::BOTH_UP);
+        let theory_nf = ev_nofail.mean_for_gain(0, k, WorkState::BOTH_UP);
+        if theory < best.1 {
+            best = (k, theory);
+        }
+        if theory_nf < best_nf.1 {
+            best_nf = (k, theory_nf);
+        }
+        let mc = run_replications(
+            &cfg_mc,
+            &|_| Lbp1::with_gain(0, 1, m0[0], k),
+            mc_reps,
+            args.seed,
+            args.threads,
+            SimOptions::default(),
+        );
+        let exp = run_replications(
+            &cfg_exp,
+            &|_| Lbp1::with_gain(0, 1, m0[0], k),
+            exp_reps,
+            args.seed ^ 0xE0,
+            args.threads,
+            SimOptions::default(),
+        );
+        t.row([
+            f2(k),
+            f2(theory),
+            f2(theory_nf),
+            pm(mc.mean(), mc.ci95()),
+            pm(exp.mean(), exp.ci95()),
+        ]);
+    }
+
+    println!("Figure 3 — LBP-1 mean overall completion time vs gain K");
+    println!("workload (m1,m2) = ({}, {}); MC reps = {mc_reps}, experiment reps = {exp_reps}\n", m0[0], m0[1]);
+    t.print();
+    println!();
+    println!(
+        "model optimum:            K* = {:.2}, mean = {:.2} s   (paper: K* = {:.2}, ≈ {:.0} s)",
+        best.0, best.1, FIG3_PAPER.0, FIG3_PAPER.1
+    );
+    println!(
+        "model optimum, no churn:  K* = {:.2}, mean = {:.2} s   (paper: K* = {:.2})",
+        best_nf.0, best_nf.1, FIG3_PAPER.2
+    );
+    assert!(best.0 < best_nf.0, "shape check failed: churn should lower K*");
+    println!("\nshape check OK: churn optimum sits left of the no-failure optimum");
+}

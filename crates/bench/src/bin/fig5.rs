@@ -1,0 +1,75 @@
+//! Figure 5: cumulative distribution function of the overall completion
+//! time under LBP-1, with and without node failure, for initial workloads
+//! (50, 0) and (25, 50).
+//!
+//! The CDFs come from the Eq. (5) ODE system (`churnbal_model::cdf`),
+//! using the gain that minimises the mean for each case; a Monte-Carlo
+//! ECDF is printed alongside as validation (Kolmogorov–Smirnov distance
+//! reported).
+
+use churnbal_bench::presets::{mc_config, FIG5_WORKLOADS};
+use churnbal_bench::table::{f2, TextTable};
+use churnbal_bench::Args;
+use churnbal_cluster::{run_replications, SimOptions};
+use churnbal_core::{model_params, Lbp1};
+use churnbal_model::optimize::optimize_lbp1;
+use churnbal_model::{lbp1_cdf, WorkState};
+
+fn main() {
+    let args = Args::parse();
+    let reps = args.reps_or(500);
+    let times: Vec<f64> = (0..=125).map(|i| f64::from(i) * 2.0).collect();
+
+    println!("Figure 5 — CDF of the overall completion time under LBP-1\n");
+    for m0 in FIG5_WORKLOADS {
+        let cfg = mc_config(m0);
+        let params = model_params(&cfg);
+        let nofail = params.without_failures();
+
+        let opt_f = optimize_lbp1(&params, m0, WorkState::BOTH_UP);
+        let opt_n = optimize_lbp1(&nofail, m0, WorkState::BOTH_UP);
+
+        let cdf_f = lbp1_cdf(&params, m0, opt_f.sender, opt_f.tasks, WorkState::BOTH_UP, &times);
+        let cdf_n = lbp1_cdf(&nofail, m0, opt_n.sender, opt_n.tasks, WorkState::BOTH_UP, &times);
+
+        // Monte-Carlo validation of the failure-case CDF.
+        let mc = run_replications(
+            &cfg,
+            &|_| Lbp1::new(opt_f.sender, opt_f.receiver, opt_f.tasks),
+            reps,
+            args.seed,
+            args.threads,
+            SimOptions::default(),
+        );
+        let ecdf = churnbal_stochastic::Ecdf::new(mc.completion_times.clone());
+        let ks = ecdf.ks_distance(|t| cdf_f.eval(t));
+        let crit = churnbal_stochastic::ecdf::ks_critical_value(reps as usize, 0.01);
+
+        println!(
+            "workload ({}, {}): K* = {:.2} (failure, sender node {}), K* = {:.2} (no failure)",
+            m0[0], m0[1], opt_f.gain, opt_f.sender + 1, opt_n.gain
+        );
+        let mut t = TextTable::new(["t (s)", "P(T<=t) failure", "P(T<=t) no failure", "MC ECDF (failure)"]);
+        for (i, &time) in times.iter().enumerate().step_by(5) {
+            t.row([
+                f2(time),
+                f2(cdf_f.values[i]),
+                f2(cdf_n.values[i]),
+                f2(ecdf.eval(time)),
+            ]);
+        }
+        t.print();
+        println!(
+            "KS distance model-vs-MC: {ks:.4} (1% critical value at n={reps}: {crit:.4}) {}",
+            if ks < crit { "OK" } else { "** exceeds **" }
+        );
+        // Shape check: failure curve lies below the no-failure curve.
+        for i in 0..times.len() {
+            assert!(
+                cdf_f.values[i] <= cdf_n.values[i] + 1e-9,
+                "failure CDF must lie below the no-failure CDF"
+            );
+        }
+        println!("shape check OK: failure CDF is stochastically later\n");
+    }
+}

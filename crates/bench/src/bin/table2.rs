@@ -1,0 +1,64 @@
+//! Table 2: LBP-2 with the no-failure-optimal initial gain, for the five
+//! initial workloads.
+//!
+//! Columns, as in the paper: the initial gain `K` (computed from the
+//! authors' earlier no-failure delay model), the Monte-Carlo estimate
+//! (500 realisations, model-faithful engine), and the "experiment"
+//! (test-bed stand-in, 60 realisations).
+
+use churnbal_bench::presets::{experiment_config, mc_config, TABLE2_PAPER};
+use churnbal_bench::table::{f2, pm, TextTable};
+use churnbal_bench::Args;
+use churnbal_cluster::{run_replications, SimOptions};
+use churnbal_core::Lbp2;
+
+fn main() {
+    let args = Args::parse();
+    let mc_reps = args.reps_or(500); // paper: 500 MC realisations
+    let exp_reps = args.reps_or(60); // paper: 60 experiment realisations
+
+    println!("Table 2 — LBP-2 ({mc_reps} MC reps, {exp_reps} experiment reps)\n");
+    let mut t = TextTable::new([
+        "workload",
+        "K (model)",
+        "K (paper)",
+        "MC simulation",
+        "paper MC",
+        "experiment",
+        "paper exp.",
+    ]);
+    for (m0, k_paper, mc_paper, exp_paper) in TABLE2_PAPER {
+        let cfg_mc = mc_config(m0);
+        let cfg_exp = experiment_config(m0);
+        let k = Lbp2::optimal_initial_gain(&cfg_mc);
+        let mc = run_replications(
+            &cfg_mc,
+            &|_| Lbp2::new(k),
+            mc_reps,
+            args.seed,
+            args.threads,
+            SimOptions::default(),
+        );
+        let exp = run_replications(
+            &cfg_exp,
+            &|_| Lbp2::new(k),
+            exp_reps,
+            args.seed ^ 0xE0,
+            args.threads,
+            SimOptions::default(),
+        );
+        t.row([
+            format!("({}, {})", m0[0], m0[1]),
+            f2(k),
+            f2(k_paper),
+            pm(mc.mean(), mc.ci95()),
+            f2(mc_paper),
+            pm(exp.mean(), exp.ci95()),
+            f2(exp_paper),
+        ]);
+        let rel = (mc.mean() - mc_paper).abs() / mc_paper;
+        assert!(rel < 0.2, "MC strays {rel:.3} from the paper for {m0:?}");
+    }
+    t.print();
+    println!("\nshape check OK: MC means within 20% of the paper's Table 2");
+}

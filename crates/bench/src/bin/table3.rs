@@ -1,0 +1,68 @@
+//! Table 3: LBP-1 vs LBP-2 as the mean per-task transfer delay sweeps
+//! {0.01, 0.5, 1, 2, 3} seconds — the policy-crossover experiment.
+//!
+//! Paper finding: LBP-2 wins at small delays; once the per-task delay
+//! exceeds ≈ 1 s, the time wasted shipping compensation loads at every
+//! failure makes LBP-1 the better policy.
+//!
+//! LBP-1 values are the model's (with `K*` re-optimised per delay, as the
+//! paper does); LBP-2 values are Monte-Carlo (the paper has no analytic
+//! model for LBP-2 — nor do we, beyond the exact CTMC used in tests).
+
+use churnbal_bench::presets::{mc_config_with_delay, FIG3_WORKLOAD, TABLE3_PAPER};
+use churnbal_bench::table::{f2, pm, TextTable};
+use churnbal_bench::Args;
+use churnbal_cluster::{run_replications, SimOptions};
+use churnbal_core::{model_params, Lbp2};
+use churnbal_model::optimize::optimize_lbp1;
+use churnbal_model::WorkState;
+
+fn main() {
+    let args = Args::parse();
+    let reps = args.reps_or(500);
+    let m0 = FIG3_WORKLOAD;
+
+    println!("Table 3 — LBP-1 vs LBP-2 under different network delays ({reps} MC reps)\n");
+    let mut t = TextTable::new([
+        "delay/task (s)",
+        "LBP-1 (model)",
+        "paper LBP-1",
+        "LBP-2 (MC)",
+        "paper LBP-2",
+        "winner",
+    ]);
+    let mut crossover_seen = false;
+    let mut previous_winner: Option<&str> = None;
+    for (delay, lbp1_paper, lbp2_paper) in TABLE3_PAPER {
+        let cfg = mc_config_with_delay(m0, delay);
+        let params = model_params(&cfg);
+        let opt1 = optimize_lbp1(&params, m0, WorkState::BOTH_UP);
+        let k2 = Lbp2::optimal_initial_gain(&cfg);
+        let mc2 = run_replications(
+            &cfg,
+            &|_| Lbp2::new(k2),
+            reps,
+            args.seed,
+            args.threads,
+            SimOptions::default(),
+        );
+        let winner = if opt1.mean < mc2.mean() { "LBP-1" } else { "LBP-2" };
+        if let Some(prev) = previous_winner {
+            if prev != winner {
+                crossover_seen = true;
+            }
+        }
+        previous_winner = Some(winner);
+        t.row([
+            f2(delay),
+            f2(opt1.mean),
+            f2(lbp1_paper),
+            pm(mc2.mean(), mc2.ci95()),
+            f2(lbp2_paper),
+            winner.to_string(),
+        ]);
+    }
+    t.print();
+    assert!(crossover_seen, "expected a policy crossover somewhere in the sweep");
+    println!("\nshape check OK: LBP-2 wins at small delay, LBP-1 at large delay (crossover present)");
+}

@@ -1,0 +1,113 @@
+//! Canonical §4 experiment presets and the paper's reported values.
+
+use churnbal_cluster::SystemConfig;
+
+/// The five initial workloads of Tables 1–2.
+pub const TABLE_WORKLOADS: [[u32; 2]; 5] =
+    [[200, 200], [200, 100], [100, 200], [200, 50], [50, 200]];
+
+/// Paper Table 1 reference rows:
+/// `(workload, K_opt, theory_with_failure, experiment, theory_no_failure)`.
+pub const TABLE1_PAPER: [([u32; 2], f64, f64, f64, f64); 5] = [
+    ([200, 200], 0.15, 274.95, 264.72, 141.94),
+    ([200, 100], 0.35, 210.13, 207.32, 106.93),
+    ([100, 200], 0.15, 210.13, 229.19, 106.93),
+    ([200, 50], 0.5, 177.09, 172.56, 89.32),
+    ([50, 200], 0.25, 177.09, 215.66, 89.32),
+];
+
+/// Paper Table 2 reference rows:
+/// `(workload, initial_gain, mc_simulation, experiment)`.
+pub const TABLE2_PAPER: [([u32; 2], f64, f64, f64); 5] = [
+    ([200, 200], 1.00, 277.9, 263.4),
+    ([200, 100], 1.00, 202.4, 188.8),
+    ([100, 200], 0.80, 203.07, 212.9),
+    ([200, 50], 1.00, 170.81, 171.42),
+    ([50, 200], 0.95, 189.72, 177.6),
+];
+
+/// Paper Table 3 reference rows:
+/// `(mean delay per task, LBP-1 mean, LBP-2 mean)` for workload (100, 60).
+pub const TABLE3_PAPER: [(f64, f64, f64); 5] = [
+    (0.01, 116.82, 112.43),
+    (0.5, 117.76, 115.94),
+    (1.0, 120.99, 122.25),
+    (2.0, 127.62, 133.02),
+    (3.0, 131.64, 142.86),
+];
+
+/// Fig. 3 headline numbers: optimum at `K = 0.35` (≈ 117 s) with failure,
+/// `K = 0.45` without.
+pub const FIG3_PAPER: (f64, f64, f64) = (0.35, 117.0, 0.45);
+
+/// The Fig. 3 / Fig. 4 / Table 3 workload.
+pub const FIG3_WORKLOAD: [u32; 2] = [100, 60];
+
+/// Fig. 5 workloads.
+pub const FIG5_WORKLOADS: [[u32; 2]; 2] = [[50, 0], [25, 50]];
+
+/// Model-faithful system (exponential batch delay) for a workload — the
+/// "MC simulation" column of the paper.
+#[must_use]
+pub fn mc_config(m0: [u32; 2]) -> SystemConfig {
+    SystemConfig::paper(m0)
+}
+
+/// Test-bed stand-in (Erlang per-task delay with fixed shift) — the
+/// "experiment" column of the paper (see DESIGN.md, Substitutions).
+#[must_use]
+pub fn experiment_config(m0: [u32; 2]) -> SystemConfig {
+    churnbal_cluster::testbed::testbed_config(m0)
+}
+
+/// Model-faithful system with a different mean per-task delay (Table 3).
+#[must_use]
+pub fn mc_config_with_delay(m0: [u32; 2], per_task: f64) -> SystemConfig {
+    let mut c = SystemConfig::paper(m0);
+    c.network = churnbal_cluster::NetworkConfig::exponential(per_task);
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workload_lists_are_consistent() {
+        for (i, row) in TABLE1_PAPER.iter().enumerate() {
+            assert_eq!(row.0, TABLE_WORKLOADS[i]);
+        }
+        for (i, row) in TABLE2_PAPER.iter().enumerate() {
+            assert_eq!(row.0, TABLE_WORKLOADS[i]);
+        }
+    }
+
+    #[test]
+    fn configs_have_the_requested_workload() {
+        let c = mc_config([100, 60]);
+        assert_eq!(c.nodes[0].initial_tasks, 100);
+        assert_eq!(c.nodes[1].initial_tasks, 60);
+        let e = experiment_config([100, 60]);
+        assert_eq!(e.nodes[1].initial_tasks, 60);
+    }
+
+    #[test]
+    fn delay_override_applies() {
+        let c = mc_config_with_delay([10, 10], 2.0);
+        assert!((c.network.mean_delay(1) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn table3_crossover_is_between_half_and_one_second() {
+        // The reference data itself encodes the paper's claim: LBP-2 wins
+        // below the crossover, LBP-1 above.
+        for (d, lbp1, lbp2) in TABLE3_PAPER {
+            if d <= 0.5 {
+                assert!(lbp2 < lbp1);
+            }
+            if d >= 1.0 {
+                assert!(lbp1 < lbp2);
+            }
+        }
+    }
+}

@@ -1,0 +1,296 @@
+//! System configuration: nodes, network, external workload.
+
+/// Static description of one computational element.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct NodeConfig {
+    /// Service rate `λ_d` — tasks per second (1.08 / 1.86 in the paper).
+    pub service_rate: f64,
+    /// Failure rate `λ_f` (1/s); 0 disables churn for this node.
+    pub failure_rate: f64,
+    /// Recovery rate `λ_r` (1/s); must be positive when `failure_rate` is.
+    pub recovery_rate: f64,
+    /// Tasks queued at `t = 0`.
+    pub initial_tasks: u32,
+}
+
+impl NodeConfig {
+    /// Validates and constructs a node description.
+    ///
+    /// # Panics
+    /// Panics on non-positive service rate, negative churn rates, or a
+    /// node that fails but never recovers.
+    #[must_use]
+    pub fn new(service_rate: f64, failure_rate: f64, recovery_rate: f64, initial_tasks: u32) -> Self {
+        assert!(service_rate > 0.0 && service_rate.is_finite(), "service rate must be positive");
+        assert!(failure_rate >= 0.0 && failure_rate.is_finite(), "failure rate must be >= 0");
+        assert!(recovery_rate >= 0.0 && recovery_rate.is_finite(), "recovery rate must be >= 0");
+        assert!(
+            failure_rate == 0.0 || recovery_rate > 0.0,
+            "a node that fails but never recovers has unbounded completion time"
+        );
+        Self { service_rate, failure_rate, recovery_rate, initial_tasks }
+    }
+
+    /// Node that never fails.
+    #[must_use]
+    pub fn reliable(service_rate: f64, initial_tasks: u32) -> Self {
+        Self::new(service_rate, 0.0, 0.0, initial_tasks)
+    }
+
+    /// Long-run availability `λ_r / (λ_f + λ_r)` (1 for reliable nodes).
+    #[must_use]
+    pub fn availability(&self) -> f64 {
+        if self.failure_rate == 0.0 {
+            1.0
+        } else {
+            self.recovery_rate / (self.failure_rate + self.recovery_rate)
+        }
+    }
+}
+
+/// How the batch-transfer delay is drawn, given its mean
+/// `fixed + per_task · L`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DelayLaw {
+    /// One exponential for the whole batch — the paper's *modelling*
+    /// assumption (§2), used by the model-faithful Monte-Carlo engine.
+    ExponentialBatch,
+    /// Fixed part plus an Erlang-`L` of per-task exponentials — what a
+    /// TCP-like stream of `L` randomly sized tasks actually looks like;
+    /// used by the test-bed simulator (same mean, smaller variance, with
+    /// the "slight shift" of Fig. 2).
+    ErlangPerTask,
+    /// Deterministic delay at the mean — the assumption of the prior work
+    /// the paper argues against; kept for ablations.
+    DeterministicBatch,
+}
+
+/// Network parameters.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct NetworkConfig {
+    /// Load-independent mean-delay component (seconds).
+    pub fixed: f64,
+    /// Mean seconds per transferred task (0.02 in the paper's §4).
+    pub per_task: f64,
+    /// Distributional shape of the delay.
+    pub law: DelayLaw,
+}
+
+impl NetworkConfig {
+    /// Validates and constructs network parameters.
+    ///
+    /// # Panics
+    /// Panics on negative components or an identically zero mean.
+    #[must_use]
+    pub fn new(fixed: f64, per_task: f64, law: DelayLaw) -> Self {
+        assert!(fixed >= 0.0 && fixed.is_finite(), "fixed delay must be >= 0");
+        assert!(per_task >= 0.0 && per_task.is_finite(), "per-task delay must be >= 0");
+        assert!(fixed + per_task > 0.0, "delay cannot be identically zero");
+        Self { fixed, per_task, law }
+    }
+
+    /// The paper's analytical delay model: `Exp(mean = per_task · L)`.
+    #[must_use]
+    pub fn exponential(per_task: f64) -> Self {
+        Self::new(0.0, per_task, DelayLaw::ExponentialBatch)
+    }
+
+    /// Mean delay for a batch of `l` tasks.
+    #[must_use]
+    pub fn mean_delay(&self, l: u32) -> f64 {
+        self.fixed + self.per_task * f64::from(l)
+    }
+}
+
+/// A batch of tasks arriving from outside the system at a given time —
+/// the dynamic-workload extension sketched in the paper's conclusion.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ExternalArrival {
+    /// Arrival time (seconds).
+    pub time: f64,
+    /// Node that receives the batch.
+    pub node: usize,
+    /// Number of tasks.
+    pub tasks: u32,
+}
+
+/// Complete system description.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SystemConfig {
+    /// The computational elements.
+    pub nodes: Vec<NodeConfig>,
+    /// The network between them.
+    pub network: NetworkConfig,
+    /// Externally arriving workload (empty for the paper's experiments).
+    pub external_arrivals: Vec<ExternalArrival>,
+    /// Optional per-link delay multipliers (row-major `n × n`): the mean
+    /// delay of a transfer `i → j` is scaled by `link_scales[i][j]`.
+    /// `None` = homogeneous network (scale 1 everywhere). Models the
+    /// paper's §1 remark that inter-node delay statistics are
+    /// *inhomogeneous* (e.g. one node parked behind a weak WLAN link).
+    link_scales: Option<Vec<Vec<f64>>>,
+}
+
+impl SystemConfig {
+    /// Validates and constructs a system of at least two nodes.
+    ///
+    /// # Panics
+    /// Panics with fewer than two nodes or an out-of-range external
+    /// arrival target.
+    #[must_use]
+    pub fn new(nodes: Vec<NodeConfig>, network: NetworkConfig) -> Self {
+        assert!(nodes.len() >= 2, "a distributed system needs at least two nodes");
+        Self { nodes, network, external_arrivals: Vec::new(), link_scales: None }
+    }
+
+    /// Installs per-link delay multipliers (`scales[i][j]` applies to
+    /// transfers from `i` to `j`; diagonal entries are ignored).
+    ///
+    /// # Panics
+    /// Panics if the matrix is not `n × n` or any off-diagonal entry is
+    /// not strictly positive and finite.
+    #[must_use]
+    pub fn with_link_delay_scales(mut self, scales: Vec<Vec<f64>>) -> Self {
+        let n = self.nodes.len();
+        assert_eq!(scales.len(), n, "link scale matrix must be n x n");
+        for (i, row) in scales.iter().enumerate() {
+            assert_eq!(row.len(), n, "link scale row {i} must have n entries");
+            for (j, &s) in row.iter().enumerate() {
+                if i != j {
+                    assert!(
+                        s > 0.0 && s.is_finite(),
+                        "link scale {i}->{j} must be positive, got {s}"
+                    );
+                }
+            }
+        }
+        self.link_scales = Some(scales);
+        self
+    }
+
+    /// Delay multiplier of the link `from → to` (1 when homogeneous).
+    #[must_use]
+    pub fn link_scale(&self, from: usize, to: usize) -> f64 {
+        self.link_scales.as_ref().map_or(1.0, |m| m[from][to])
+    }
+
+    /// Adds external arrivals (sorted by time internally).
+    #[must_use]
+    pub fn with_external_arrivals(mut self, mut arrivals: Vec<ExternalArrival>) -> Self {
+        for a in &arrivals {
+            assert!(a.node < self.nodes.len(), "external arrival to unknown node {}", a.node);
+            assert!(a.time >= 0.0 && a.time.is_finite(), "arrival time must be finite and >= 0");
+        }
+        arrivals.sort_by(|a, b| a.time.partial_cmp(&b.time).expect("finite times"));
+        self.external_arrivals = arrivals;
+        self
+    }
+
+    /// The two-node system of the paper's §4 with the given initial
+    /// workload: `λ_d = (1.08, 1.86)`, mean failure time 20 s, mean
+    /// recovery (10 s, 20 s), exponential batch delay 0.02 s/task.
+    #[must_use]
+    pub fn paper(m0: [u32; 2]) -> Self {
+        Self::new(
+            vec![
+                NodeConfig::new(1.08, 1.0 / 20.0, 1.0 / 10.0, m0[0]),
+                NodeConfig::new(1.86, 1.0 / 20.0, 1.0 / 20.0, m0[1]),
+            ],
+            NetworkConfig::exponential(0.02),
+        )
+    }
+
+    /// The paper system with churn disabled (the "no failure" reference).
+    #[must_use]
+    pub fn paper_no_failure(m0: [u32; 2]) -> Self {
+        let mut c = Self::paper(m0);
+        for n in &mut c.nodes {
+            n.failure_rate = 0.0;
+            n.recovery_rate = 0.0;
+        }
+        c
+    }
+
+    /// Total tasks present at `t = 0` (excluding external arrivals).
+    #[must_use]
+    pub fn initial_total_tasks(&self) -> u64 {
+        self.nodes.iter().map(|n| u64::from(n.initial_tasks)).sum()
+    }
+
+    /// Total tasks the run will ever see (initial + external).
+    #[must_use]
+    pub fn total_tasks(&self) -> u64 {
+        self.initial_total_tasks()
+            + self.external_arrivals.iter().map(|a| u64::from(a.tasks)).sum::<u64>()
+    }
+
+    /// Number of nodes.
+    #[must_use]
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_config_matches_section4() {
+        let c = SystemConfig::paper([100, 60]);
+        assert_eq!(c.num_nodes(), 2);
+        assert_eq!(c.nodes[0].service_rate, 1.08);
+        assert_eq!(c.nodes[1].service_rate, 1.86);
+        assert!((c.nodes[0].availability() - 2.0 / 3.0).abs() < 1e-12);
+        assert!((c.nodes[1].availability() - 0.5).abs() < 1e-12);
+        assert_eq!(c.initial_total_tasks(), 160);
+        assert!((c.network.mean_delay(100) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn no_failure_config_disables_churn() {
+        let c = SystemConfig::paper_no_failure([10, 10]);
+        assert!(c.nodes.iter().all(|n| n.failure_rate == 0.0));
+        assert!(c.nodes.iter().all(|n| (n.availability() - 1.0).abs() < 1e-12));
+    }
+
+    #[test]
+    fn external_arrivals_are_sorted_and_counted() {
+        let c = SystemConfig::paper([5, 5]).with_external_arrivals(vec![
+            ExternalArrival { time: 10.0, node: 1, tasks: 3 },
+            ExternalArrival { time: 2.0, node: 0, tasks: 4 },
+        ]);
+        assert_eq!(c.external_arrivals[0].time, 2.0);
+        assert_eq!(c.total_tasks(), 17);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown node")]
+    fn arrival_to_unknown_node_rejected() {
+        let _ = SystemConfig::paper([5, 5]).with_external_arrivals(vec![ExternalArrival {
+            time: 1.0,
+            node: 9,
+            tasks: 1,
+        }]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two nodes")]
+    fn single_node_rejected() {
+        let _ = SystemConfig::new(
+            vec![NodeConfig::reliable(1.0, 5)],
+            NetworkConfig::exponential(0.02),
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "never recovers")]
+    fn failing_node_without_recovery_rejected() {
+        let _ = NodeConfig::new(1.0, 0.1, 0.0, 5);
+    }
+
+    #[test]
+    fn availability_of_reliable_node_is_one() {
+        assert_eq!(NodeConfig::reliable(2.0, 0).availability(), 1.0);
+    }
+}

@@ -1,0 +1,186 @@
+//! Parallel Monte-Carlo replication runner.
+//!
+//! The paper estimates LBP-2 performance from 60 experimental and 500
+//! Monte-Carlo realisations; this module runs such replication studies in
+//! parallel with results that are **bit-identical for any thread count**:
+//! replication `r` always uses the random streams derived from
+//! `(master_seed, r)`, worker threads write into disjoint slots of a
+//! pre-allocated result vector, and the final reduction is sequential.
+
+use churnbal_stochastic::{OnlineStats, StreamFactory};
+
+use crate::config::SystemConfig;
+use crate::engine::{SimOptions, Simulator};
+use crate::policy::Policy;
+
+/// Aggregated replication results.
+#[derive(Clone, Debug)]
+pub struct McEstimate {
+    /// Completion-time statistics across replications.
+    pub completion: OnlineStats,
+    /// Raw completion times, indexed by replication (for ECDFs etc.).
+    pub completion_times: Vec<f64>,
+    /// Mean number of failures per replication.
+    pub mean_failures: f64,
+    /// Mean tasks shipped per replication.
+    pub mean_tasks_shipped: f64,
+    /// Replications that hit the deadline without completing.
+    pub incomplete: u64,
+}
+
+impl McEstimate {
+    /// Sample mean of the completion time.
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        self.completion.mean()
+    }
+
+    /// 95% confidence half-width of the mean.
+    #[must_use]
+    pub fn ci95(&self) -> f64 {
+        self.completion.ci95_half_width()
+    }
+}
+
+/// Runs `reps` independent replications of `config` under the policy built
+/// by `make_policy(replication_index)` and aggregates completion times.
+///
+/// `threads = 0` picks the available parallelism. Results are independent
+/// of the thread count.
+///
+/// # Panics
+/// Panics if `reps == 0`.
+#[must_use]
+pub fn run_replications<P, F>(
+    config: &SystemConfig,
+    make_policy: &F,
+    reps: u64,
+    master_seed: u64,
+    threads: usize,
+    options: SimOptions,
+) -> McEstimate
+where
+    P: Policy,
+    F: Fn(u64) -> P + Sync,
+{
+    assert!(reps > 0, "need at least one replication");
+    let threads = if threads == 0 {
+        std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+    } else {
+        threads
+    };
+    let threads = threads.min(reps as usize).max(1);
+    let factory = StreamFactory::new(master_seed);
+
+    // Each worker owns the strided slice of replication indices
+    // `t, t+threads, t+2·threads, …` and returns its results; the scatter
+    // into the index-ordered vectors below makes the output a pure function
+    // of (config, policy, master_seed, reps) regardless of scheduling.
+    let per_thread: Vec<Vec<(u64, f64, u64, u64, bool)>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads as u64)
+            .map(|t| {
+                let factory = &factory;
+                scope.spawn(move || {
+                    let mut local = Vec::new();
+                    let mut r = t;
+                    while r < reps {
+                        let mut policy = make_policy(r);
+                        let sub = factory.subfactory(r);
+                        let out = Simulator::new(config, &sub, options).run(&mut policy);
+                        local.push((
+                            r,
+                            out.completion_time,
+                            out.metrics.failures,
+                            out.metrics.tasks_shipped,
+                            out.completed,
+                        ));
+                        r += threads as u64;
+                    }
+                    local
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
+    });
+
+    let mut times = vec![0.0f64; reps as usize];
+    let mut failures = vec![0u64; reps as usize];
+    let mut shipped = vec![0u64; reps as usize];
+    let mut complete = vec![false; reps as usize];
+    for chunk in per_thread {
+        for (r, t, f, s, c) in chunk {
+            times[r as usize] = t;
+            failures[r as usize] = f;
+            shipped[r as usize] = s;
+            complete[r as usize] = c;
+        }
+    }
+
+    let mut completion = OnlineStats::new();
+    for &t in &times {
+        completion.push(t);
+    }
+    let incomplete = complete.iter().filter(|&&c| !c).count() as u64;
+    McEstimate {
+        completion,
+        mean_failures: failures.iter().sum::<u64>() as f64 / reps as f64,
+        mean_tasks_shipped: shipped.iter().sum::<u64>() as f64 / reps as f64,
+        completion_times: times,
+        incomplete,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SystemConfig;
+    use crate::policy::NoBalancing;
+
+    #[test]
+    fn thread_count_does_not_change_results() {
+        let cfg = SystemConfig::paper([20, 12]);
+        let opts = SimOptions::default();
+        let a = run_replications(&cfg, &|_| NoBalancing, 64, 42, 1, opts);
+        let b = run_replications(&cfg, &|_| NoBalancing, 64, 42, 4, opts);
+        let c = run_replications(&cfg, &|_| NoBalancing, 64, 42, 7, opts);
+        assert_eq!(a.completion_times, b.completion_times);
+        assert_eq!(a.completion_times, c.completion_times);
+        assert_eq!(a.mean(), b.mean());
+    }
+
+    #[test]
+    fn seeds_change_results() {
+        let cfg = SystemConfig::paper([20, 12]);
+        let opts = SimOptions::default();
+        let a = run_replications(&cfg, &|_| NoBalancing, 16, 1, 2, opts);
+        let b = run_replications(&cfg, &|_| NoBalancing, 16, 2, 2, opts);
+        assert_ne!(a.completion_times, b.completion_times);
+    }
+
+    #[test]
+    fn replications_are_mutually_independent_slots() {
+        // Running 8 reps and 16 reps: the first 8 completion times agree.
+        let cfg = SystemConfig::paper([10, 5]);
+        let opts = SimOptions::default();
+        let small = run_replications(&cfg, &|_| NoBalancing, 8, 9, 3, opts);
+        let large = run_replications(&cfg, &|_| NoBalancing, 16, 9, 3, opts);
+        assert_eq!(small.completion_times[..], large.completion_times[..8]);
+    }
+
+    #[test]
+    fn ci_shrinks_with_replications() {
+        let cfg = SystemConfig::paper([15, 10]);
+        let opts = SimOptions::default();
+        let a = run_replications(&cfg, &|_| NoBalancing, 32, 5, 0, opts);
+        let b = run_replications(&cfg, &|_| NoBalancing, 512, 5, 0, opts);
+        assert!(b.ci95() < a.ci95());
+    }
+
+    #[test]
+    fn incomplete_runs_are_counted() {
+        let cfg = SystemConfig::paper([5000, 5000]);
+        let opts = SimOptions { record_trace: false, deadline: Some(0.5) };
+        let e = run_replications(&cfg, &|_| NoBalancing, 8, 5, 2, opts);
+        assert_eq!(e.incomplete, 8);
+    }
+}

@@ -1,0 +1,187 @@
+//! The policy hook interface.
+//!
+//! A load-balancing policy reacts to the events the paper's §3
+//! load-balancing/failure layer reacts to: the synchronized start of the
+//! computation, node failures (via the backup thread), recoveries, and
+//! load arrivals. Each hook may order transfers; the engine executes them,
+//! clamping to what the source queue actually holds (the backup system can
+//! only ship tasks that exist).
+//!
+//! The concrete policies of the paper (LBP-1, LBP-2) and the baselines are
+//! implemented in `churnbal-core`; this crate only fixes the interface so
+//! the substrate stays policy-agnostic.
+
+/// Read-only snapshot of one node, as exchanged in the paper's state
+/// packets (queue size, computational power, churn statistics).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct NodeView {
+    /// Node index.
+    pub id: usize,
+    /// Tasks currently queued.
+    pub queue_len: u32,
+    /// Whether the node is up.
+    pub up: bool,
+    /// Service rate `λ_d`.
+    pub service_rate: f64,
+    /// Failure rate `λ_f`.
+    pub failure_rate: f64,
+    /// Recovery rate `λ_r`.
+    pub recovery_rate: f64,
+}
+
+impl NodeView {
+    /// Long-run availability `λ_r/(λ_f+λ_r)`; 1 for reliable nodes.
+    #[must_use]
+    pub fn availability(&self) -> f64 {
+        if self.failure_rate == 0.0 {
+            1.0
+        } else {
+            self.recovery_rate / (self.failure_rate + self.recovery_rate)
+        }
+    }
+}
+
+/// Read-only system snapshot handed to policy hooks.
+#[derive(Clone, Debug)]
+pub struct SystemView {
+    /// Simulation time of the triggering event (seconds).
+    pub time: f64,
+    /// Per-node snapshots.
+    pub nodes: Vec<NodeView>,
+    /// Mean network delay per task (the policies of the paper know the
+    /// channel estimate from probing, §4).
+    pub delay_per_task: f64,
+    /// Tasks currently in transit between nodes.
+    pub in_transit: u32,
+}
+
+impl SystemView {
+    /// Sum of all queued tasks.
+    #[must_use]
+    pub fn total_queued(&self) -> u32 {
+        self.nodes.iter().map(|n| n.queue_len).sum()
+    }
+
+    /// Sum of service rates, `Σ λ_d` (the denominator of Eqs. 6–8).
+    #[must_use]
+    pub fn total_service_rate(&self) -> f64 {
+        self.nodes.iter().map(|n| n.service_rate).sum()
+    }
+}
+
+/// A policy-ordered load transfer.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TransferOrder {
+    /// Source node (must differ from `to`).
+    pub from: usize,
+    /// Destination node.
+    pub to: usize,
+    /// Requested number of tasks (the engine clamps to the source queue).
+    pub tasks: u32,
+}
+
+/// A load-balancing policy: stateful, invoked at the §3 hook points.
+///
+/// Hooks return the transfers to initiate *now*; returning an empty vector
+/// means no action. Default implementations do nothing, so a policy only
+/// overrides the hooks it uses (LBP-1 only `on_start`, LBP-2 both
+/// `on_start` and `on_failure`).
+pub trait Policy {
+    /// Human-readable policy name (used in harness output).
+    fn name(&self) -> &str;
+
+    /// Called once at `t = 0` when all nodes are up and hold their initial
+    /// workloads.
+    fn on_start(&mut self, view: &SystemView) -> Vec<TransferOrder> {
+        let _ = view;
+        Vec::new()
+    }
+
+    /// Called at every failure instant of `node` (the node is already
+    /// marked down; its backup system can still send).
+    fn on_failure(&mut self, node: usize, view: &SystemView) -> Vec<TransferOrder> {
+        let _ = (node, view);
+        Vec::new()
+    }
+
+    /// Called at every recovery instant of `node`.
+    fn on_recovery(&mut self, node: usize, view: &SystemView) -> Vec<TransferOrder> {
+        let _ = (node, view);
+        Vec::new()
+    }
+
+    /// Called when a transferred batch of `tasks` arrives at `node`.
+    fn on_transfer_arrival(&mut self, node: usize, tasks: u32, view: &SystemView) -> Vec<TransferOrder> {
+        let _ = (node, tasks, view);
+        Vec::new()
+    }
+
+    /// Called when an external batch of `tasks` arrives at `node`
+    /// (dynamic-workload extension; the paper's conclusion suggests
+    /// re-running a balancing episode here).
+    fn on_external_arrival(&mut self, node: usize, tasks: u32, view: &SystemView) -> Vec<TransferOrder> {
+        let _ = (node, tasks, view);
+        Vec::new()
+    }
+}
+
+/// The do-nothing baseline: every node keeps its initial workload.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NoBalancing;
+
+impl Policy for NoBalancing {
+    fn name(&self) -> &str {
+        "no-balancing"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn view() -> SystemView {
+        SystemView {
+            time: 0.0,
+            nodes: vec![
+                NodeView {
+                    id: 0,
+                    queue_len: 100,
+                    up: true,
+                    service_rate: 1.08,
+                    failure_rate: 0.05,
+                    recovery_rate: 0.1,
+                },
+                NodeView {
+                    id: 1,
+                    queue_len: 60,
+                    up: true,
+                    service_rate: 1.86,
+                    failure_rate: 0.05,
+                    recovery_rate: 0.05,
+                },
+            ],
+            delay_per_task: 0.02,
+            in_transit: 0,
+        }
+    }
+
+    #[test]
+    fn view_aggregates() {
+        let v = view();
+        assert_eq!(v.total_queued(), 160);
+        assert!((v.total_service_rate() - 2.94).abs() < 1e-12);
+        assert!((v.nodes[0].availability() - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn no_balancing_never_acts() {
+        let mut p = NoBalancing;
+        let v = view();
+        assert!(p.on_start(&v).is_empty());
+        assert!(p.on_failure(0, &v).is_empty());
+        assert!(p.on_recovery(1, &v).is_empty());
+        assert!(p.on_transfer_arrival(0, 5, &v).is_empty());
+        assert!(p.on_external_arrival(1, 5, &v).is_empty());
+        assert_eq!(p.name(), "no-balancing");
+    }
+}

@@ -1,0 +1,129 @@
+//! Queue and work-state traces — the raw material of the paper's Fig. 4.
+
+/// Step-function traces of every node's queue length and up/down state.
+///
+/// Queue series record `(time, queue_len_after_change)`; each node's series
+/// starts with its `t = 0` value. Work-state series record
+/// `(time, is_up_after_change)` transitions only.
+#[derive(Clone, Debug, Default)]
+pub struct QueueTrace {
+    queue: Vec<Vec<(f64, u32)>>,
+    state: Vec<Vec<(f64, bool)>>,
+}
+
+impl QueueTrace {
+    /// Creates a trace for `n` nodes with the given initial queue lengths.
+    #[must_use]
+    pub fn new(initial: &[u32]) -> Self {
+        Self {
+            queue: initial.iter().map(|&q| vec![(0.0, q)]).collect(),
+            state: initial.iter().map(|_| vec![(0.0, true)]).collect(),
+        }
+    }
+
+    /// Records a queue change.
+    pub fn record_queue(&mut self, time: f64, node: usize, queue: u32) {
+        let series = &mut self.queue[node];
+        if let Some(&(_, last)) = series.last() {
+            if last == queue {
+                return;
+            }
+        }
+        series.push((time, queue));
+    }
+
+    /// Records an up/down change.
+    pub fn record_state(&mut self, time: f64, node: usize, up: bool) {
+        self.state[node].push((time, up));
+    }
+
+    /// Number of traced nodes.
+    #[must_use]
+    pub fn num_nodes(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// The queue step function of `node` as `(time, value)` breakpoints.
+    #[must_use]
+    pub fn queue_series(&self, node: usize) -> &[(f64, u32)] {
+        &self.queue[node]
+    }
+
+    /// The up/down transitions of `node`.
+    #[must_use]
+    pub fn state_series(&self, node: usize) -> &[(f64, bool)] {
+        &self.state[node]
+    }
+
+    /// Queue length of `node` at time `t` (step interpolation).
+    #[must_use]
+    pub fn queue_at(&self, node: usize, t: f64) -> u32 {
+        let series = &self.queue[node];
+        let idx = series.partition_point(|&(time, _)| time <= t);
+        if idx == 0 {
+            series[0].1
+        } else {
+            series[idx - 1].1
+        }
+    }
+
+    /// Samples the queue of `node` on a uniform grid — convenient for
+    /// plotting Fig.-4-style curves.
+    #[must_use]
+    pub fn sample_queue(&self, node: usize, t_max: f64, points: usize) -> Vec<(f64, u32)> {
+        assert!(points >= 2, "need at least two sample points");
+        (0..points)
+            .map(|i| {
+                let t = t_max * i as f64 / (points - 1) as f64;
+                (t, self.queue_at(node, t))
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_and_queries_steps() {
+        let mut tr = QueueTrace::new(&[10, 5]);
+        tr.record_queue(1.0, 0, 9);
+        tr.record_queue(2.5, 0, 8);
+        assert_eq!(tr.queue_at(0, 0.0), 10);
+        assert_eq!(tr.queue_at(0, 1.0), 9);
+        assert_eq!(tr.queue_at(0, 2.0), 9);
+        assert_eq!(tr.queue_at(0, 3.0), 8);
+        assert_eq!(tr.queue_at(1, 100.0), 5);
+    }
+
+    #[test]
+    fn deduplicates_unchanged_values() {
+        let mut tr = QueueTrace::new(&[3]);
+        // The constructor expects >= 1 node; single-node traces are fine
+        // even though the simulator requires two.
+        tr.record_queue(1.0, 0, 3);
+        assert_eq!(tr.queue_series(0).len(), 1);
+        tr.record_queue(2.0, 0, 2);
+        assert_eq!(tr.queue_series(0).len(), 2);
+    }
+
+    #[test]
+    fn state_series_records_transitions() {
+        let mut tr = QueueTrace::new(&[1, 1]);
+        tr.record_state(4.0, 1, false);
+        tr.record_state(9.0, 1, true);
+        assert_eq!(tr.state_series(1), &[(0.0, true), (4.0, false), (9.0, true)]);
+    }
+
+    #[test]
+    fn sampling_grid_covers_range() {
+        let mut tr = QueueTrace::new(&[4, 0]);
+        tr.record_queue(5.0, 0, 2);
+        let s = tr.sample_queue(0, 10.0, 11);
+        assert_eq!(s.len(), 11);
+        assert_eq!(s[0], (0.0, 4));
+        assert_eq!(s[10], (10.0, 2));
+        assert_eq!(s[5], (5.0, 2));
+    }
+}

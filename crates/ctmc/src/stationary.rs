@@ -1,0 +1,114 @@
+//! Stationary distributions of irreducible (non-absorbing) chains.
+//!
+//! Used to validate the availability constants the policies rely on: the
+//! steady-state probability `λ_r/(λ_f+λ_r)` of Eq. 8 is the stationary
+//! mass of the "up" state of the per-node churn chain — here computed
+//! numerically from the generator instead of assumed.
+
+use crate::chain::{Chain, ABSORBING};
+
+/// Computes the stationary distribution `π` (with `π Q = 0`, `Σπ = 1`) of
+/// an irreducible chain by power iteration on the uniformized DTMC
+/// `P = I + Q/Λ`.
+///
+/// # Panics
+/// Panics if the chain has transitions to the absorbing state (no
+/// stationary distribution exists), or if the iteration fails to converge
+/// within `max_iters` (reducible or periodic-degenerate input).
+#[must_use]
+pub fn stationary_distribution(chain: &Chain, tolerance: f64, max_iters: usize) -> Vec<f64> {
+    let n = chain.num_states();
+    assert!(n > 0, "empty chain");
+    for i in 0..n {
+        for (t, _) in chain.transitions(i) {
+            assert!(
+                t != ABSORBING,
+                "chain with absorption has no stationary distribution"
+            );
+        }
+    }
+    // Λ strictly above the max exit rate keeps P aperiodic.
+    let lambda = chain.max_exit_rate() * 1.05 + 1e-9;
+    let mut pi = vec![1.0 / n as f64; n];
+    let mut next = vec![0.0f64; n];
+    for _ in 0..max_iters {
+        next.fill(0.0);
+        for i in 0..n {
+            let stay = 1.0 - chain.exit_rate(i) / lambda;
+            next[i] += pi[i] * stay;
+            for (t, r) in chain.transitions(i) {
+                next[t] += pi[i] * r / lambda;
+            }
+        }
+        let delta: f64 =
+            pi.iter().zip(&next).map(|(a, b)| (a - b).abs()).fold(0.0, f64::max);
+        std::mem::swap(&mut pi, &mut next);
+        if delta < tolerance {
+            // Normalise against accumulated rounding.
+            let sum: f64 = pi.iter().sum();
+            for p in &mut pi {
+                *p /= sum;
+            }
+            return pi;
+        }
+    }
+    panic!("stationary distribution did not converge in {max_iters} iterations");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chain::Chain;
+
+    #[test]
+    fn two_state_up_down_availability() {
+        // up --f--> down, down --r--> up: π_up = r/(f+r), the Eq. 8 factor.
+        let (f, r) = (0.05, 0.1);
+        let c = Chain::from_rows(vec![vec![(1, f)], vec![(0, r)]]);
+        let pi = stationary_distribution(&c, 1e-12, 1_000_000);
+        assert!((pi[0] - r / (f + r)).abs() < 1e-9, "π_up = {}", pi[0]);
+        assert!((pi.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn paper_availabilities_from_the_generator() {
+        // Node 1: 1/20 fail, 1/10 recover -> 2/3. Node 2: 1/20, 1/20 -> 1/2.
+        for (f, r, expect) in [(0.05, 0.1, 2.0 / 3.0), (0.05, 0.05, 0.5)] {
+            let c = Chain::from_rows(vec![vec![(1, f)], vec![(0, r)]]);
+            let pi = stationary_distribution(&c, 1e-12, 1_000_000);
+            assert!((pi[0] - expect).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn three_state_cycle_is_uniform_when_rates_match() {
+        let c = Chain::from_rows(vec![vec![(1, 1.0)], vec![(2, 1.0)], vec![(0, 1.0)]]);
+        let pi = stationary_distribution(&c, 1e-12, 1_000_000);
+        for &p in &pi {
+            assert!((p - 1.0 / 3.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn birth_death_detailed_balance() {
+        // 0 <-> 1 <-> 2 with birth 2.0, death 1.0: π_k ∝ 2^k.
+        let c = Chain::from_rows(vec![
+            vec![(1, 2.0)],
+            vec![(0, 1.0), (2, 2.0)],
+            vec![(1, 1.0)],
+        ]);
+        let pi = stationary_distribution(&c, 1e-12, 1_000_000);
+        let z = 1.0 + 2.0 + 4.0;
+        for (k, &p) in pi.iter().enumerate() {
+            let expect = 2.0f64.powi(k as i32) / z;
+            assert!((p - expect).abs() < 1e-9, "state {k}: {p} vs {expect}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "no stationary distribution")]
+    fn absorbing_chain_rejected() {
+        let c = Chain::from_rows(vec![vec![(ABSORBING, 1.0)]]);
+        let _ = stationary_distribution(&c, 1e-9, 1000);
+    }
+}

@@ -1,0 +1,262 @@
+//! Transient analysis by uniformization (Jensen's method).
+//!
+//! Uniformization converts the CTMC with generator `Q` into a DTMC
+//! `P = I + Q/Λ` (with `Λ ≥ max exit rate`) subordinated to a Poisson
+//! process of rate `Λ`:
+//!
+//! ```text
+//! π(t) = Σ_{k≥0} e^{-Λt} (Λt)^k / k! · π(0) P^k
+//! ```
+//!
+//! The series is truncated once the cumulative Poisson weight exceeds
+//! `1 − ε`; stepping from grid point to grid point keeps `ΛΔ` small so the
+//! leading weight `e^{-ΛΔ}` never underflows. The absorbing state is carried
+//! as one extra probability entry, so `P(T_absorb ≤ t)` falls out directly —
+//! this is the independent check on the paper's Eq. (5).
+
+use crate::chain::{Chain, ABSORBING};
+
+/// Maximum `ΛΔ` per internal uniformization step; larger intervals are
+/// sub-divided. Keeps Poisson weights well inside the representable range
+/// and the truncation length short.
+const MAX_LAMBDA_DT: f64 = 32.0;
+
+/// Distribution over `num_states + 1` entries: transient states followed by
+/// the absorbing state (last entry).
+#[derive(Clone, Debug)]
+pub struct TransientDistribution {
+    /// `probs[i]` for transient state `i`; `probs[n]` is the absorbed mass.
+    pub probs: Vec<f64>,
+}
+
+impl TransientDistribution {
+    /// Probability mass already absorbed.
+    #[must_use]
+    pub fn absorbed(&self) -> f64 {
+        *self.probs.last().expect("non-empty distribution")
+    }
+}
+
+/// One DTMC step of the uniformized chain: `out = in · P` where
+/// `P = I + Q/Λ` (row-stochastic including the absorbing column).
+fn dtmc_step(chain: &Chain, lambda: f64, input: &[f64], out: &mut [f64]) {
+    let n = chain.num_states();
+    out.fill(0.0);
+    // Absorbed mass stays absorbed.
+    out[n] = input[n];
+    for i in 0..n {
+        let pi = input[i];
+        if pi == 0.0 {
+            continue;
+        }
+        let self_loop = 1.0 - chain.exit_rate(i) / lambda;
+        out[i] += pi * self_loop;
+        for (t, r) in chain.transitions(i) {
+            let p = r / lambda;
+            if t == ABSORBING {
+                out[n] += pi * p;
+            } else {
+                out[t] += pi * p;
+            }
+        }
+    }
+}
+
+/// Advances `dist` by `dt` seconds of CTMC evolution.
+fn advance(chain: &Chain, dist: &mut Vec<f64>, dt: f64, epsilon: f64) {
+    if dt == 0.0 {
+        return;
+    }
+    let lambda = chain.max_exit_rate().max(1e-12);
+    let steps = (lambda * dt / MAX_LAMBDA_DT).ceil().max(1.0) as usize;
+    let h = dt / steps as f64;
+    let n = chain.num_states();
+    let mut term = vec![0.0f64; n + 1];
+    let mut next = vec![0.0f64; n + 1];
+    let mut acc = vec![0.0f64; n + 1];
+    for _ in 0..steps {
+        let lh = lambda * h;
+        // Poisson(lh) weights accumulated until mass 1-ε is covered.
+        let mut weight = (-lh).exp();
+        let mut cumulative = weight;
+        term.copy_from_slice(dist);
+        for (a, t) in acc.iter_mut().zip(term.iter()) {
+            *a = weight * t;
+        }
+        let mut k = 1usize;
+        while cumulative < 1.0 - epsilon {
+            dtmc_step(chain, lambda, &term, &mut next);
+            std::mem::swap(&mut term, &mut next);
+            weight *= lh / k as f64;
+            cumulative += weight;
+            for (a, t) in acc.iter_mut().zip(term.iter()) {
+                *a += weight * t;
+            }
+            k += 1;
+            assert!(k < 1_000_000, "uniformization truncation runaway");
+        }
+        // Renormalise the truncated series (mass 1-ε → 1) to keep long
+        // multi-step evolutions from drifting low.
+        let mass: f64 = acc.iter().sum();
+        for (d, a) in dist.iter_mut().zip(acc.iter()) {
+            *d = a / mass;
+        }
+    }
+}
+
+/// Evolves a point-mass initial distribution at `initial` for `t` seconds
+/// and returns the full distribution.
+///
+/// # Panics
+/// Panics if `initial` is out of bounds or `t` is negative.
+#[must_use]
+pub fn transient_distribution(chain: &Chain, initial: usize, t: f64, epsilon: f64) -> TransientDistribution {
+    assert!(initial < chain.num_states(), "initial state out of bounds");
+    assert!(t >= 0.0 && t.is_finite(), "time must be finite and >= 0");
+    let n = chain.num_states();
+    let mut dist = vec![0.0f64; n + 1];
+    dist[initial] = 1.0;
+    advance(chain, &mut dist, t, epsilon);
+    TransientDistribution { probs: dist }
+}
+
+/// Computes `P(T_absorb ≤ t)` for every `t` in the (ascending) grid,
+/// starting from the point mass at `initial`.
+///
+/// # Panics
+/// Panics if the grid is not ascending, times are negative, or `initial`
+/// is out of bounds.
+#[must_use]
+pub fn absorption_cdf(chain: &Chain, initial: usize, times: &[f64], epsilon: f64) -> Vec<f64> {
+    assert!(initial < chain.num_states(), "initial state out of bounds");
+    let n = chain.num_states();
+    let mut dist = vec![0.0f64; n + 1];
+    dist[initial] = 1.0;
+    let mut out = Vec::with_capacity(times.len());
+    let mut prev = 0.0f64;
+    for &t in times {
+        assert!(t >= prev && t.is_finite(), "time grid must be ascending and finite");
+        advance(chain, &mut dist, t - prev, epsilon);
+        out.push(dist[n]);
+        prev = t;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chain::Chain;
+    use crate::explore::explore;
+
+    #[test]
+    fn single_stage_cdf_is_exponential() {
+        let rate = 2.0;
+        let c = Chain::from_rows(vec![vec![(ABSORBING, rate)]]);
+        let times = [0.0, 0.1, 0.5, 1.0, 2.0];
+        let cdf = absorption_cdf(&c, 0, &times, 1e-12);
+        for (&t, &p) in times.iter().zip(&cdf) {
+            let expected = 1.0 - (-rate * t).exp();
+            assert!((p - expected).abs() < 1e-9, "t={t}: {p} vs {expected}");
+        }
+    }
+
+    #[test]
+    fn erlang_cdf_matches_closed_form() {
+        let k = 5u32;
+        let lambda = 1.5;
+        let e = explore(
+            &[k],
+            |&s| {
+                if s == 1 {
+                    vec![(lambda, None)]
+                } else {
+                    vec![(lambda, Some(s - 1))]
+                }
+            },
+            100,
+        );
+        let start = e.index(&k).expect("start state");
+        let times = [0.5, 1.0, 2.0, 4.0, 8.0];
+        let cdf = absorption_cdf(&e.chain, start, &times, 1e-12);
+        for (&t, &p) in times.iter().zip(&cdf) {
+            // Erlang-k CDF: 1 - e^{-λt} Σ_{i<k} (λt)^i / i!
+            let lt = lambda * t;
+            let mut tail = 0.0;
+            let mut term = 1.0;
+            for i in 0..k {
+                if i > 0 {
+                    term *= lt / f64::from(i);
+                }
+                tail += term;
+            }
+            let expected = 1.0 - (-lt).exp() * tail;
+            assert!((p - expected).abs() < 1e-8, "t={t}: {p} vs {expected}");
+        }
+    }
+
+    #[test]
+    fn cdf_is_monotone_and_bounded() {
+        let c = Chain::from_rows(vec![
+            vec![(1, 1.0), (ABSORBING, 0.3)],
+            vec![(0, 0.7), (ABSORBING, 0.9)],
+        ]);
+        let times: Vec<f64> = (0..50).map(|i| f64::from(i) * 0.2).collect();
+        let cdf = absorption_cdf(&c, 0, &times, 1e-10);
+        for w in cdf.windows(2) {
+            assert!(w[1] >= w[0] - 1e-12, "CDF must be monotone");
+        }
+        for &p in &cdf {
+            assert!((0.0..=1.0 + 1e-12).contains(&p));
+        }
+        assert!(cdf[cdf.len() - 1] > 0.99, "should be nearly absorbed by t=10");
+    }
+
+    #[test]
+    fn long_horizon_does_not_underflow() {
+        // Λt = 500 — naive e^{-Λt} would underflow without sub-stepping.
+        let c = Chain::from_rows(vec![vec![(ABSORBING, 0.01), (0, 4.99)]]);
+        let cdf = absorption_cdf(&c, 0, &[100.0], 1e-10);
+        let expected = 1.0 - (-0.01f64 * 100.0).exp();
+        assert!((cdf[0] - expected).abs() < 1e-6, "{} vs {expected}", cdf[0]);
+    }
+
+    #[test]
+    fn transient_distribution_conserves_mass() {
+        let c = Chain::from_rows(vec![
+            vec![(1, 2.0)],
+            vec![(0, 1.0), (ABSORBING, 1.0)],
+        ]);
+        let d = transient_distribution(&c, 0, 3.0, 1e-12);
+        let total: f64 = d.probs.iter().sum();
+        assert!((total - 1.0).abs() < 1e-9, "mass {total}");
+        assert!(d.absorbed() > 0.5);
+    }
+
+    #[test]
+    fn mean_from_cdf_matches_absorption_solver() {
+        // E[T] = ∫ (1 - F(t)) dt; trapezoid over a fine grid.
+        use crate::absorb::expected_absorption_times;
+        let c = Chain::from_rows(vec![
+            vec![(1, 1.0), (ABSORBING, 0.5)],
+            vec![(ABSORBING, 2.0)],
+        ]);
+        let t_exact = expected_absorption_times(&c)[0];
+        let times: Vec<f64> = (0..4000).map(|i| f64::from(i) * 0.01).collect();
+        let cdf = absorption_cdf(&c, 0, &times, 1e-12);
+        let mut mean = 0.0;
+        for i in 1..times.len() {
+            let s0 = 1.0 - cdf[i - 1];
+            let s1 = 1.0 - cdf[i];
+            mean += 0.5 * (s0 + s1) * (times[i] - times[i - 1]);
+        }
+        assert!((mean - t_exact).abs() < 1e-3, "{mean} vs {t_exact}");
+    }
+
+    #[test]
+    #[should_panic(expected = "ascending")]
+    fn rejects_descending_grid() {
+        let c = Chain::from_rows(vec![vec![(ABSORBING, 1.0)]]);
+        let _ = absorption_cdf(&c, 0, &[1.0, 0.5], 1e-10);
+    }
+}

@@ -1,0 +1,28 @@
+//! # churnbal-desim
+//!
+//! A small, deterministic discrete-event simulation kernel.
+//!
+//! The cluster substrate (`churnbal-cluster`) drives every experiment of
+//! the paper through this kernel: node failures, recoveries, task
+//! completions and load-transfer arrivals are future events in a priority
+//! queue; the engine pops them in time order and hands them back to the
+//! caller.
+//!
+//! Design points:
+//!
+//! * **Determinism.** Ties in event time are broken by insertion sequence
+//!   number (FIFO), so a simulation is a pure function of its inputs — a
+//!   property the replication-level regression tests rely on.
+//! * **Cancellation.** A scheduled event can be cancelled in O(1) via its
+//!   [`EventId`] (tombstoning); a node failure cancels the node's pending
+//!   task-completion event, for example.
+//! * **Monotone clock.** [`SimTime`] is a validated, totally ordered wrapper
+//!   over `f64`; the engine panics loudly if asked to schedule in the past.
+//!
+//! The kernel is payload-generic: it knows nothing about nodes or tasks.
+
+mod engine;
+mod time;
+
+pub use engine::{EventId, EventQueue, ScheduledEvent};
+pub use time::SimTime;

@@ -1,0 +1,121 @@
+//! Simulation time.
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// A point in simulated time, in seconds.
+///
+/// Invariants (checked at construction): finite and non-negative. Because
+/// NaN is excluded, `SimTime` is totally ordered and can key a priority
+/// queue.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SimTime(f64);
+
+impl SimTime {
+    /// Time zero — the start of every experiment in the paper.
+    pub const ZERO: SimTime = SimTime(0.0);
+
+    /// Creates a `SimTime` from seconds.
+    ///
+    /// # Panics
+    /// Panics if `seconds` is negative, NaN or infinite.
+    #[must_use]
+    pub fn new(seconds: f64) -> Self {
+        assert!(
+            seconds.is_finite() && seconds >= 0.0,
+            "SimTime must be finite and non-negative, got {seconds}"
+        );
+        SimTime(seconds)
+    }
+
+    /// The raw number of seconds.
+    #[must_use]
+    pub fn seconds(self) -> f64 {
+        self.0
+    }
+}
+
+impl Eq for SimTime {}
+
+impl PartialOrd for SimTime {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for SimTime {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Safe: construction guarantees no NaN.
+        self.0.partial_cmp(&other.0).expect("SimTime is NaN-free")
+    }
+}
+
+impl Add<f64> for SimTime {
+    type Output = SimTime;
+
+    fn add(self, dt: f64) -> SimTime {
+        SimTime::new(self.0 + dt)
+    }
+}
+
+impl AddAssign<f64> for SimTime {
+    fn add_assign(&mut self, dt: f64) {
+        *self = *self + dt;
+    }
+}
+
+impl Sub<SimTime> for SimTime {
+    type Output = f64;
+
+    fn sub(self, other: SimTime) -> f64 {
+        self.0 - other.0
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.6}s", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordering_is_total() {
+        let a = SimTime::new(1.0);
+        let b = SimTime::new(2.0);
+        assert!(a < b);
+        assert_eq!(a.cmp(&a), Ordering::Equal);
+        assert_eq!(a.max(b), b);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let t = SimTime::new(1.5) + 2.5;
+        assert_eq!(t.seconds(), 4.0);
+        assert_eq!(t - SimTime::new(1.0), 3.0);
+        let mut u = SimTime::ZERO;
+        u += 0.25;
+        assert_eq!(u.seconds(), 0.25);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn rejects_negative() {
+        let _ = SimTime::new(-0.1);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn rejects_nan() {
+        let _ = SimTime::new(f64::NAN);
+    }
+
+    #[test]
+    fn display_formats_seconds() {
+        assert_eq!(SimTime::new(1.5).to_string(), "1.500000s");
+    }
+}

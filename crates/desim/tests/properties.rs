@@ -1,0 +1,107 @@
+//! Property-based tests of the event kernel: arbitrary interleavings of
+//! scheduling and cancellation must preserve ordering and bookkeeping.
+
+use churnbal_desim::{EventQueue, SimTime};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Schedule(f64),
+    CancelNth(usize),
+    Pop,
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0.0f64..100.0).prop_map(Op::Schedule),
+        (0usize..64).prop_map(Op::CancelNth),
+        Just(Op::Pop),
+    ]
+}
+
+proptest! {
+    /// Pops are globally ordered by time regardless of the op sequence.
+    #[test]
+    fn pops_are_time_ordered(ops in prop::collection::vec(op_strategy(), 1..200)) {
+        let mut q = EventQueue::new();
+        let mut ids = Vec::new();
+        let mut last = SimTime::ZERO;
+        for op in ops {
+            match op {
+                Op::Schedule(dt) => ids.push(q.schedule_in(dt, ())),
+                Op::CancelNth(i) => {
+                    if !ids.is_empty() {
+                        let id = ids[i % ids.len()];
+                        q.cancel(id);
+                    }
+                }
+                Op::Pop => {
+                    if let Some(ev) = q.pop() {
+                        prop_assert!(ev.time >= last);
+                        last = ev.time;
+                    }
+                }
+            }
+        }
+        while let Some(ev) = q.pop() {
+            prop_assert!(ev.time >= last);
+            last = ev.time;
+        }
+        prop_assert!(q.is_empty());
+        prop_assert_eq!(q.len(), 0);
+    }
+
+    /// The number of events popped equals schedules minus successful
+    /// cancellations.
+    #[test]
+    fn conservation_of_events(
+        delays in prop::collection::vec(0.0f64..50.0, 1..100),
+        cancels in prop::collection::vec(0usize..100, 0..50),
+    ) {
+        let mut q = EventQueue::new();
+        let ids: Vec<_> = delays.iter().map(|&d| q.schedule_in(d, ())).collect();
+        let mut cancelled = 0;
+        for c in cancels {
+            if q.cancel(ids[c % ids.len()]) {
+                cancelled += 1;
+            }
+        }
+        prop_assert_eq!(q.len(), delays.len() - cancelled);
+        let mut popped = 0;
+        while q.pop().is_some() {
+            popped += 1;
+        }
+        prop_assert_eq!(popped, delays.len() - cancelled);
+    }
+
+    /// FIFO among equal timestamps, for any mix of distinct/equal times.
+    #[test]
+    fn fifo_among_ties(times in prop::collection::vec(0u8..4, 1..100)) {
+        let mut q = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.schedule_at(SimTime::new(f64::from(t)), i);
+        }
+        let mut last_per_time = [None::<usize>; 4];
+        while let Some(ev) = q.pop() {
+            let bucket = ev.time.seconds() as usize;
+            if let Some(prev) = last_per_time[bucket] {
+                prop_assert!(ev.payload > prev, "FIFO violated within a timestamp");
+            }
+            last_per_time[bucket] = Some(ev.payload);
+        }
+    }
+
+    /// peek_time always reports the time of the next successful pop.
+    #[test]
+    fn peek_matches_pop(delays in prop::collection::vec(0.0f64..50.0, 1..50)) {
+        let mut q = EventQueue::new();
+        for &d in &delays {
+            q.schedule_in(d, ());
+        }
+        while let Some(t) = q.peek_time() {
+            let ev = q.pop().expect("peek promised an event");
+            prop_assert_eq!(ev.time, t);
+        }
+        prop_assert!(q.pop().is_none());
+    }
+}

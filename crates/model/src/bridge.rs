@@ -1,0 +1,341 @@
+//! Exact CTMC formulations of the same dynamics the recursions solve.
+//!
+//! The regenerative-process equations of §2.1 are first-step equations of
+//! an absorbing continuous-time Markov chain over states
+//! `(queue sizes, work state, in-transit load)`. This module builds that
+//! chain explicitly with [`churnbal_ctmc`], giving:
+//!
+//! * an independent numerical answer for every quantity Eqs. (4)–(5)
+//!   produce (used heavily in tests);
+//! * an *exact* model of LBP-2's failure-triggered transfers, which the
+//!   paper itself only evaluates by Monte-Carlo and experiment;
+//! * an exact small-`n` multi-node model validating the simulator beyond
+//!   two nodes.
+
+use churnbal_ctmc::{explore, Explored};
+
+use crate::rates::TwoNodeParams;
+use crate::state::WorkState;
+
+/// Full system state of the two-node LBP-1 dynamics.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct TwoNodeSysState {
+    /// Tasks queued at each node.
+    pub m: [u32; 2],
+    /// Work state (who is up).
+    pub up: WorkState,
+    /// In-flight load: `(receiver, size)`; LBP-1 has at most one transfer.
+    pub transit: Option<(u8, u32)>,
+}
+
+/// Builds the absorbing CTMC of the two-node system after LBP-1's initial
+/// action: queues `m` (post-transfer), optional load in transit.
+///
+/// Exploration starts from every reachable work state so any initial
+/// condition can be queried on the same chain.
+///
+/// # Panics
+/// Panics if the state space exceeds `max_states`.
+#[must_use]
+pub fn lbp1_chain(
+    params: &TwoNodeParams,
+    m: [u32; 2],
+    transit: Option<(usize, u32)>,
+    max_states: usize,
+) -> Explored<TwoNodeSysState> {
+    let p = *params;
+    let transit = transit.map(|(r, l)| {
+        assert!(r < 2, "receiver must be 0 or 1");
+        assert!(l > 0, "empty transfer should be None");
+        (r as u8, l)
+    });
+    let space = crate::state::StateSpace::new(&p);
+    let initial: Vec<TwoNodeSysState> = space
+        .states()
+        .iter()
+        .map(|&up| TwoNodeSysState { m, up, transit })
+        .collect();
+    explore(
+        &initial,
+        move |s| {
+            let mut out: Vec<(f64, Option<TwoNodeSysState>)> = Vec::with_capacity(6);
+            let tasks_left =
+                s.m[0] + s.m[1] + s.transit.map_or(0, |(_, l)| l);
+            for i in 0..2 {
+                if s.up.is_up(i) {
+                    if s.m[i] > 0 {
+                        let mut next = *s;
+                        next.m[i] -= 1;
+                        let done = tasks_left == 1;
+                        out.push((p.service[i], if done { None } else { Some(next) }));
+                    }
+                    if p.churns(i) {
+                        let mut next = *s;
+                        next.up = s.up.with_down(i);
+                        out.push((p.failure[i], Some(next)));
+                    }
+                } else {
+                    let mut next = *s;
+                    next.up = s.up.with_up(i);
+                    out.push((p.recovery[i], Some(next)));
+                }
+            }
+            if let Some((recv, l)) = s.transit {
+                let mut next = *s;
+                next.m[recv as usize] += l;
+                next.transit = None;
+                out.push((p.delay.rate(l), Some(next)));
+            }
+            out
+        },
+        max_states,
+    )
+}
+
+/// Exact mean completion time of the LBP-1 dynamics via absorption
+/// analysis — the independent check on [`crate::mean`].
+///
+/// `sender` ships `l` tasks out of the initial workload `m0`; the system
+/// starts in `initial`.
+#[must_use]
+pub fn lbp1_mean_exact(
+    params: &TwoNodeParams,
+    m0: [u32; 2],
+    sender: usize,
+    l: u32,
+    initial: WorkState,
+) -> f64 {
+    assert!(sender < 2 && l <= m0[sender], "invalid transfer spec");
+    let mut m = m0;
+    m[sender] -= l;
+    let transit = if l > 0 { Some((1 - sender, l)) } else { None };
+    let explored = lbp1_chain(params, m, transit, 4_000_000);
+    let start = TwoNodeSysState { m, up: initial, transit: transit.map(|(r, l)| (r as u8, l)) };
+    let idx = explored.index(&start).expect("initial state is in the chain");
+    churnbal_ctmc::expected_absorption_times(&explored.chain)[idx]
+}
+
+/// Full system state of the two-node LBP-2 dynamics: multiple transfers can
+/// be in flight (one per recent failure), so the flight set is part of the
+/// state. Kept sorted for canonical hashing.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct Lbp2State {
+    /// Tasks queued at each node.
+    pub m: [u32; 2],
+    /// Work state.
+    pub up: WorkState,
+    /// In-flight loads `(receiver, size)`, sorted.
+    pub flights: Vec<(u8, u32)>,
+}
+
+impl Lbp2State {
+    fn tasks_left(&self) -> u32 {
+        self.m[0] + self.m[1] + self.flights.iter().map(|&(_, l)| l).sum::<u32>()
+    }
+
+    fn with_flight(mut self, recv: u8, size: u32) -> Self {
+        self.flights.push((recv, size));
+        self.flights.sort_unstable();
+        self
+    }
+}
+
+/// Builds the absorbing CTMC of the two-node LBP-2 dynamics.
+///
+/// `lf_on_failure[j]` is the (fixed, Eq. 8) number of tasks node `j` ships
+/// to the other node at each of its failure instants — clamped to its
+/// current queue, as the implementation layer must do. `initial_flights`
+/// lets the caller model the `t = 0` balancing transfer.
+///
+/// # Panics
+/// Panics if the state space exceeds `max_states` (LBP-2's flight set is
+/// unbounded in principle; in practice arrival rates keep it tiny).
+#[must_use]
+pub fn lbp2_chain(
+    params: &TwoNodeParams,
+    m0: [u32; 2],
+    lf_on_failure: [u32; 2],
+    initial_flights: &[(usize, u32)],
+    max_states: usize,
+) -> Explored<Lbp2State> {
+    let p = *params;
+    let mut flights: Vec<(u8, u32)> = initial_flights
+        .iter()
+        .map(|&(r, l)| {
+            assert!(r < 2 && l > 0, "invalid initial flight");
+            (r as u8, l)
+        })
+        .collect();
+    flights.sort_unstable();
+    let space = crate::state::StateSpace::new(&p);
+    let initial: Vec<Lbp2State> = space
+        .states()
+        .iter()
+        .map(|&up| Lbp2State { m: m0, up, flights: flights.clone() })
+        .collect();
+    explore(
+        &initial,
+        move |s| {
+            let mut out: Vec<(f64, Option<Lbp2State>)> = Vec::with_capacity(8);
+            let tasks_left = s.tasks_left();
+            for i in 0..2 {
+                if s.up.is_up(i) {
+                    if s.m[i] > 0 {
+                        let mut next = s.clone();
+                        next.m[i] -= 1;
+                        let done = tasks_left == 1;
+                        out.push((p.service[i], if done { None } else { Some(next) }));
+                    }
+                    if p.churns(i) {
+                        // Failure: the backup of node i ships lf tasks to
+                        // the other node (clamped to what it holds).
+                        let mut next = s.clone();
+                        next.up = s.up.with_down(i);
+                        let lf = lf_on_failure[i].min(next.m[i]);
+                        if lf > 0 {
+                            next.m[i] -= lf;
+                            next = next.with_flight(1 - i as u8, lf);
+                        }
+                        out.push((p.failure[i], Some(next)));
+                    }
+                } else {
+                    let mut next = s.clone();
+                    next.up = s.up.with_up(i);
+                    out.push((p.recovery[i], Some(next)));
+                }
+            }
+            for (fi, &(recv, size)) in s.flights.iter().enumerate() {
+                let mut next = s.clone();
+                next.flights.remove(fi);
+                next.m[recv as usize] += size;
+                out.push((p.delay.rate(size), Some(next)));
+            }
+            out
+        },
+        max_states,
+    )
+}
+
+/// Exact mean completion time of the two-node LBP-2 dynamics via
+/// absorption analysis (the paper only has MC/experiment for this —
+/// the exact value is an *extension*).
+#[must_use]
+pub fn lbp2_mean_exact(
+    params: &TwoNodeParams,
+    m0: [u32; 2],
+    lf_on_failure: [u32; 2],
+    initial_transfer: Option<(usize, u32)>,
+    initial: WorkState,
+    max_states: usize,
+) -> f64 {
+    let mut m = m0;
+    let mut flights = Vec::new();
+    if let Some((sender, l)) = initial_transfer {
+        assert!(sender < 2 && l <= m0[sender] && l > 0, "invalid initial transfer");
+        m[sender] -= l;
+        flights.push((1 - sender, l));
+    }
+    let explored = lbp2_chain(params, m, lf_on_failure, &flights, max_states);
+    let start = Lbp2State {
+        m,
+        up: initial,
+        flights: flights.iter().map(|&(r, l)| (r as u8, l)).collect(),
+    };
+    let idx = explored.index(&start).expect("initial state is in the chain");
+    churnbal_ctmc::expected_absorption_times(&explored.chain)[idx]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mean::{lbp1_mean, Lbp1Evaluator};
+    use crate::rates::{DelayModel, TwoNodeParams};
+
+    fn small_params() -> TwoNodeParams {
+        TwoNodeParams::new(
+            [1.08, 1.86],
+            [0.05, 0.05],
+            [0.1, 0.05],
+            DelayModel::per_task(0.1),
+        )
+    }
+
+    #[test]
+    fn recursion_and_ctmc_agree_without_transfer() {
+        let p = small_params();
+        for m0 in [[3u32, 2], [5, 0], [0, 4]] {
+            let rec = lbp1_mean(&p, m0, 0, 0, WorkState::BOTH_UP);
+            let exact = lbp1_mean_exact(&p, m0, 0, 0, WorkState::BOTH_UP);
+            assert!(
+                (rec - exact).abs() < 1e-8,
+                "m0={m0:?}: recursion {rec} vs ctmc {exact}"
+            );
+        }
+    }
+
+    #[test]
+    fn recursion_and_ctmc_agree_with_transfer() {
+        let p = small_params();
+        let m0 = [6u32, 3];
+        for l in [1u32, 3, 6] {
+            let rec = lbp1_mean(&p, m0, 0, l, WorkState::BOTH_UP);
+            let exact = lbp1_mean_exact(&p, m0, 0, l, WorkState::BOTH_UP);
+            assert!((rec - exact).abs() < 1e-8, "l={l}: recursion {rec} vs ctmc {exact}");
+        }
+    }
+
+    #[test]
+    fn recursion_and_ctmc_agree_from_down_states() {
+        let p = small_params();
+        let ev = Lbp1Evaluator::new(&p, [4, 4]);
+        for state in [
+            WorkState::new(false, true),
+            WorkState::new(true, false),
+            WorkState::new(false, false),
+        ] {
+            let rec = ev.mean(0, 2, state);
+            let exact = lbp1_mean_exact(&p, [4, 4], 0, 2, state);
+            assert!((rec - exact).abs() < 1e-8, "{state:?}: {rec} vs {exact}");
+        }
+    }
+
+    #[test]
+    fn reverse_direction_agrees_too() {
+        let p = small_params();
+        let rec = lbp1_mean(&p, [2, 7], 1, 4, WorkState::BOTH_UP);
+        let exact = lbp1_mean_exact(&p, [2, 7], 1, 4, WorkState::BOTH_UP);
+        assert!((rec - exact).abs() < 1e-8, "{rec} vs {exact}");
+    }
+
+    #[test]
+    fn lbp2_chain_reduces_to_lbp1_when_lf_is_zero() {
+        let p = small_params();
+        let a = lbp2_mean_exact(&p, [4, 3], [0, 0], Some((0, 2)), WorkState::BOTH_UP, 100_000);
+        let b = lbp1_mean_exact(&p, [4, 3], 0, 2, WorkState::BOTH_UP);
+        assert!((a - b).abs() < 1e-8, "{a} vs {b}");
+    }
+
+    #[test]
+    fn lbp2_failure_transfers_change_the_answer() {
+        let p = small_params();
+        let without = lbp2_mean_exact(&p, [6, 2], [0, 0], None, WorkState::BOTH_UP, 200_000);
+        let with = lbp2_mean_exact(&p, [6, 2], [2, 2], None, WorkState::BOTH_UP, 200_000);
+        assert!((without - with).abs() > 1e-6, "LF transfers must matter");
+    }
+
+    #[test]
+    fn lbp2_flight_clamping_bounds_state_space() {
+        // Even with absurd LF the queue clamp keeps things finite.
+        let p = small_params();
+        let v = lbp2_mean_exact(&p, [3, 3], [100, 100], None, WorkState::BOTH_UP, 500_000);
+        assert!(v.is_finite() && v > 0.0);
+    }
+
+    #[test]
+    fn chain_size_is_as_expected_for_no_churn() {
+        let p = TwoNodeParams::paper_no_failure();
+        let e = lbp1_chain(&p, [3, 2], None, 10_000);
+        // (3+1)*(2+1) cells minus the absorbing (0,0) cell, one work state.
+        assert_eq!(e.chain.num_states(), 11);
+    }
+}

@@ -1,0 +1,428 @@
+//! The *literal* per-cell form of Eq. (5).
+//!
+//! [`crate::cdf`] integrates the full sparse backward-Kolmogorov system in
+//! one go — numerically equivalent to the paper but structured
+//! differently. This module follows the paper's §2.1.2 recipe to the
+//! letter:
+//!
+//! 1. iterate the **hat** lattice (`λ21 = 0`) cell by cell from the
+//!    boundary `p̂^{k1,k2}_{0,0}(t) ≡ 1`, each cell solving the
+//!    4-dimensional linear ODE `ṗ = A₁p + B₁u` whose forcing `u(t)`
+//!    gathers the already-computed lower-neighbour series;
+//! 2. iterate the **transit** lattice the same way, with the extra forcing
+//!    term `λ21·p̂^s_{M+L·e_recv}(t)`.
+//!
+//! Each cell is integrated with classical RK4 on a shared uniform grid;
+//! half-step forcing values are linearly interpolated (the stored grid is
+//! well inside the forcing's curvature scale, so the interpolation error
+//! is dominated by the O(h⁴) step error).
+//!
+//! Because every cell's full time series must be kept while its upper
+//! neighbours integrate, memory scales as `cells × states × steps`; the
+//! constructor enforces a budget. This module exists to validate the
+//! production solver against the paper's own algorithm — the tests pin
+//! both to each other — and to serve as executable documentation of
+//! §2.1.2. Use [`crate::cdf::lbp1_cdf`] for real workloads.
+
+use crate::cdf::CompletionCdf;
+use crate::rates::TwoNodeParams;
+use crate::state::{StateSpace, WorkState};
+
+/// Hard cap on `cells × states × (steps + 1)` f64 values (≈ 256 MiB).
+const MEMORY_BUDGET_VALUES: usize = 1 << 25;
+
+/// Per-cell time series: `series[step * ns + slot]`.
+struct CellSeries {
+    data: Vec<f64>,
+    ns: usize,
+}
+
+impl CellSeries {
+    fn constant_one(steps: usize, ns: usize) -> Self {
+        Self { data: vec![1.0; (steps + 1) * ns], ns }
+    }
+
+    fn zeroed(steps: usize, ns: usize) -> Self {
+        Self { data: vec![0.0; (steps + 1) * ns], ns }
+    }
+
+    #[inline]
+    fn at(&self, step: usize, slot: usize) -> f64 {
+        self.data[step * self.ns + slot]
+    }
+
+    #[inline]
+    fn set(&mut self, step: usize, slot: usize, v: f64) {
+        self.data[step * self.ns + slot] = v;
+    }
+
+    /// Value at `step + 1/2`, linearly interpolated.
+    #[inline]
+    fn at_half(&self, step: usize, slot: usize) -> f64 {
+        0.5 * (self.at(step, slot) + self.at(step + 1, slot))
+    }
+}
+
+/// One lattice (hat or transit) being filled cell by cell.
+struct Lattice {
+    params: TwoNodeParams,
+    space: StateSpace,
+    max_m: [u32; 2],
+    steps: usize,
+    h: f64,
+    /// `cells[m1 * (max2+1) + m2]`.
+    cells: Vec<CellSeries>,
+    /// `Some((receiver, l, λ21))` for the transit lattice.
+    transit: Option<(usize, u32, f64)>,
+}
+
+impl Lattice {
+    fn cell_index(&self, m: [u32; 2]) -> usize {
+        m[0] as usize * (self.max_m[1] as usize + 1) + m[1] as usize
+    }
+
+    /// Forcing `u(t)` for state `slot` of cell `m` at grid position
+    /// `step` (`half` selects the midpoint): service terms from lower
+    /// neighbours plus the transit arrival term from `hat`.
+    fn forcing(
+        &self,
+        hat: Option<&Lattice>,
+        m: [u32; 2],
+        st: WorkState,
+        step: usize,
+        half: bool,
+    ) -> f64 {
+        let slot = self.space.slot(st);
+        let mut u = 0.0;
+        for i in 0..2 {
+            if st.is_up(i) && m[i] > 0 {
+                let mut lower = m;
+                lower[i] -= 1;
+                let series = &self.cells[self.cell_index(lower)];
+                u += self.params.service[i]
+                    * if half { series.at_half(step, slot) } else { series.at(step, slot) };
+            }
+        }
+        if let Some((receiver, l, lambda21)) = self.transit {
+            let hat = hat.expect("transit lattice needs the hat lattice");
+            let mut arrived = m;
+            arrived[receiver] += l;
+            let series = &hat.cells[hat.cell_index(arrived)];
+            u += lambda21
+                * if half { series.at_half(step, slot) } else { series.at(step, slot) };
+        }
+        u
+    }
+
+    /// Integrates one cell over the whole grid (all work states jointly).
+    fn integrate_cell(&mut self, hat: Option<&Lattice>, m: [u32; 2]) {
+        let ns = self.space.len();
+        // Per-state total rate Λ and the same-cell churn couplings.
+        let mut lambda = vec![0.0f64; ns];
+        let mut couple: Vec<Vec<(usize, f64)>> = vec![Vec::new(); ns];
+        for (slot, &st) in self.space.states().iter().enumerate() {
+            for i in 0..2 {
+                if st.is_up(i) {
+                    if m[i] > 0 {
+                        lambda[slot] += self.params.service[i];
+                    }
+                    if self.space.churns(i) {
+                        lambda[slot] += self.params.failure[i];
+                        couple[slot]
+                            .push((self.space.slot(st.with_down(i)), self.params.failure[i]));
+                    }
+                } else {
+                    lambda[slot] += self.params.recovery[i];
+                    couple[slot].push((self.space.slot(st.with_up(i)), self.params.recovery[i]));
+                }
+            }
+            if let Some((_, _, lambda21)) = self.transit {
+                lambda[slot] += lambda21;
+            }
+        }
+        let states: Vec<WorkState> = self.space.states().to_vec();
+        // dy/dt for the cell's ns-vector given forcing samples.
+        let deriv = |y: &[f64], u: &[f64], out: &mut [f64]| {
+            for slot in 0..ns {
+                let mut acc = u[slot] - lambda[slot] * y[slot];
+                for &(other, rate) in &couple[slot] {
+                    acc += rate * y[other];
+                }
+                out[slot] = acc;
+            }
+        };
+
+        let mut y = vec![0.0f64; ns]; // p(0) = 0: tasks remain at t = 0
+        let mut u0 = vec![0.0f64; ns];
+        let mut uh = vec![0.0f64; ns];
+        let mut u1 = vec![0.0f64; ns];
+        let (mut k1, mut k2, mut k3, mut k4) = (
+            vec![0.0; ns],
+            vec![0.0; ns],
+            vec![0.0; ns],
+            vec![0.0; ns],
+        );
+        let mut tmp = vec![0.0f64; ns];
+        let idx = self.cell_index(m);
+        for slot in 0..ns {
+            let v = y[slot];
+            self.cells[idx].set(0, slot, v);
+        }
+        for step in 0..self.steps {
+            for (slot, &st) in states.iter().enumerate() {
+                u0[slot] = self.forcing(hat, m, st, step, false);
+                uh[slot] = self.forcing(hat, m, st, step, true);
+                u1[slot] = self.forcing(hat, m, st, step + 1, false);
+            }
+            let h = self.h;
+            deriv(&y, &u0, &mut k1);
+            for s in 0..ns {
+                tmp[s] = y[s] + 0.5 * h * k1[s];
+            }
+            deriv(&tmp, &uh, &mut k2);
+            for s in 0..ns {
+                tmp[s] = y[s] + 0.5 * h * k2[s];
+            }
+            deriv(&tmp, &uh, &mut k3);
+            for s in 0..ns {
+                tmp[s] = y[s] + h * k3[s];
+            }
+            deriv(&tmp, &u1, &mut k4);
+            for s in 0..ns {
+                y[s] = (y[s] + h / 6.0 * (k1[s] + 2.0 * k2[s] + 2.0 * k3[s] + k4[s]))
+                    .clamp(0.0, 1.0);
+                self.cells[idx].set(step + 1, s, y[s]);
+            }
+        }
+    }
+
+    /// Fills every cell in lexicographic order.
+    fn fill(&mut self, hat: Option<&Lattice>, skip_origin: bool) {
+        for m1 in 0..=self.max_m[0] {
+            for m2 in 0..=self.max_m[1] {
+                if skip_origin && m1 == 0 && m2 == 0 {
+                    continue; // boundary p̂_{0,0} ≡ 1, pre-filled
+                }
+                self.integrate_cell(hat, [m1, m2]);
+            }
+        }
+    }
+}
+
+fn build_lattice(
+    params: &TwoNodeParams,
+    max_m: [u32; 2],
+    steps: usize,
+    h: f64,
+    transit: Option<(usize, u32, f64)>,
+) -> Lattice {
+    let space = StateSpace::new(params);
+    let ns = space.len();
+    let n_cells = (max_m[0] as usize + 1) * (max_m[1] as usize + 1);
+    assert!(
+        n_cells * ns * (steps + 1) <= MEMORY_BUDGET_VALUES,
+        "lattice CDF memory budget exceeded ({n_cells} cells x {ns} states x {} steps); \
+         this solver is for validation-sized problems — use cdf::lbp1_cdf instead",
+        steps + 1
+    );
+    let mut cells = Vec::with_capacity(n_cells);
+    for m1 in 0..=max_m[0] {
+        for m2 in 0..=max_m[1] {
+            // Hat-lattice origin is the paper's boundary condition
+            // p̂_{0,0}(t) = 1; every other cell starts as zeros and is
+            // overwritten by integration.
+            if transit.is_none() && m1 == 0 && m2 == 0 {
+                cells.push(CellSeries::constant_one(steps, ns));
+            } else {
+                cells.push(CellSeries::zeroed(steps, ns));
+            }
+        }
+    }
+    Lattice { params: *params, space, max_m, steps, h, cells, transit }
+}
+
+/// Completion-time CDF of LBP-1 via the paper's per-cell iteration.
+///
+/// Semantics identical to [`crate::cdf::lbp1_cdf`]; see the module docs
+/// for when to prefer which. `steps_per_unit_rate` controls the shared
+/// grid resolution (8 is the default of the production solver).
+///
+/// # Panics
+/// Panics on invalid transfer specs, an unsorted/empty time grid, or when
+/// the lattice would exceed the memory budget.
+#[must_use]
+pub fn lbp1_cdf_lattice(
+    params: &TwoNodeParams,
+    m0: [u32; 2],
+    sender: usize,
+    l: u32,
+    initial: WorkState,
+    times: &[f64],
+    steps_per_unit_rate: f64,
+) -> CompletionCdf {
+    assert!(sender < 2 && l <= m0[sender], "invalid transfer spec");
+    assert!(!times.is_empty(), "empty time grid");
+    assert!(
+        times.windows(2).all(|w| w[0] <= w[1]) && times[0] >= 0.0,
+        "time grid must be ascending and non-negative"
+    );
+    let receiver = 1 - sender;
+    let mut m_after = m0;
+    m_after[sender] -= l;
+    let horizon = *times.last().expect("non-empty");
+
+    // Shared grid resolution from the fastest total rate in either lattice.
+    let mut lambda_max: f64 = params.service.iter().sum::<f64>()
+        + params.failure.iter().sum::<f64>()
+        + params.recovery.iter().sum::<f64>();
+    let transit = if l > 0 {
+        let rate = params.delay.rate(l);
+        lambda_max += rate;
+        Some((receiver, l, rate))
+    } else {
+        None
+    };
+    let steps = (horizon * steps_per_unit_rate * lambda_max).ceil().max(1.0) as usize;
+    let h = horizon / steps as f64;
+
+    // 1. Hat lattice up to the post-arrival queue sizes.
+    let mut hat_max = m_after;
+    hat_max[receiver] += l;
+    let mut hat = build_lattice(params, hat_max, steps, h, None);
+    hat.fill(None, true);
+
+    // 2. Transit lattice (or direct hat query when L = 0).
+    let (lattice, query_m) = if transit.is_some() {
+        let mut t = build_lattice(params, m_after, steps, h, transit);
+        t.fill(Some(&hat), false);
+        (t, m_after)
+    } else {
+        (hat, m0)
+    };
+
+    let idx = lattice.cell_index(query_m);
+    let slot = lattice.space.slot(initial);
+    let series = &lattice.cells[idx];
+    let values = times
+        .iter()
+        .map(|&t| {
+            // Sample the stored grid with linear interpolation.
+            let x = (t / h).min(steps as f64);
+            let lo = x.floor() as usize;
+            if lo >= steps {
+                series.at(steps, slot)
+            } else {
+                let w = x - lo as f64;
+                (1.0 - w) * series.at(lo, slot) + w * series.at(lo + 1, slot)
+            }
+        })
+        .collect();
+    CompletionCdf { times: times.to_vec(), values }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cdf::lbp1_cdf;
+    use crate::rates::{DelayModel, TwoNodeParams};
+
+    fn grid(to: f64, n: usize) -> Vec<f64> {
+        (0..=n).map(|i| to * i as f64 / n as f64).collect()
+    }
+
+    fn params() -> TwoNodeParams {
+        TwoNodeParams::new(
+            [1.08, 1.86],
+            [0.05, 0.05],
+            [0.1, 0.05],
+            DelayModel::per_task(0.1),
+        )
+    }
+
+    #[test]
+    fn lattice_matches_joint_solver_no_transfer() {
+        let p = params();
+        let times = grid(60.0, 60);
+        let a = lbp1_cdf_lattice(&p, [5, 3], 0, 0, WorkState::BOTH_UP, &times, 8.0);
+        let b = lbp1_cdf(&p, [5, 3], 0, 0, WorkState::BOTH_UP, &times);
+        for (i, &t) in times.iter().enumerate() {
+            assert!(
+                (a.values[i] - b.values[i]).abs() < 5e-4,
+                "t={t}: lattice {} vs joint {}",
+                a.values[i],
+                b.values[i]
+            );
+        }
+    }
+
+    #[test]
+    fn lattice_matches_joint_solver_with_transfer() {
+        let p = params();
+        let times = grid(60.0, 60);
+        let a = lbp1_cdf_lattice(&p, [6, 2], 0, 3, WorkState::BOTH_UP, &times, 8.0);
+        let b = lbp1_cdf(&p, [6, 2], 0, 3, WorkState::BOTH_UP, &times);
+        for (i, &t) in times.iter().enumerate() {
+            assert!(
+                (a.values[i] - b.values[i]).abs() < 5e-4,
+                "t={t}: lattice {} vs joint {}",
+                a.values[i],
+                b.values[i]
+            );
+        }
+    }
+
+    #[test]
+    fn lattice_matches_from_down_states() {
+        let p = params();
+        let times = grid(80.0, 40);
+        for st in [WorkState::new(false, true), WorkState::new(false, false)] {
+            let a = lbp1_cdf_lattice(&p, [4, 2], 0, 2, st, &times, 8.0);
+            let b = lbp1_cdf(&p, [4, 2], 0, 2, st, &times);
+            for i in 0..times.len() {
+                assert!((a.values[i] - b.values[i]).abs() < 5e-4, "{st:?} index {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn no_churn_single_node_is_erlang() {
+        let p = TwoNodeParams::new(
+            [2.0, 1.0],
+            [0.0, 0.0],
+            [0.0, 0.0],
+            DelayModel::per_task(0.02),
+        );
+        // High resolution: the half-step forcing interpolation caps the
+        // order at ~h², so accuracy is bought with grid density.
+        let times = grid(8.0, 40);
+        let cdf = lbp1_cdf_lattice(&p, [3, 0], 0, 0, WorkState::BOTH_UP, &times, 32.0);
+        for (i, &t) in times.iter().enumerate() {
+            let lt = 2.0 * t;
+            let expected = 1.0 - (-lt).exp() * (1.0 + lt + lt * lt / 2.0);
+            assert!(
+                (cdf.values[i] - expected).abs() < 1e-4,
+                "t={t}: {} vs {expected}",
+                cdf.values[i]
+            );
+        }
+    }
+
+    #[test]
+    fn boundary_cell_is_constant_one() {
+        // With zero tasks and no transfer the workload is already complete.
+        let p = params();
+        let times = grid(10.0, 10);
+        let cdf = lbp1_cdf_lattice(&p, [0, 0], 0, 0, WorkState::BOTH_UP, &times, 4.0);
+        for &v in &cdf.values {
+            assert_eq!(v, 1.0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "memory budget")]
+    fn oversized_lattice_is_rejected() {
+        let p = params();
+        let times = grid(500.0, 10);
+        let _ = lbp1_cdf_lattice(&p, [200, 200], 0, 50, WorkState::BOTH_UP, &times, 8.0);
+    }
+}

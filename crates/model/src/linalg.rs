@@ -1,0 +1,127 @@
+//! Dense Gaussian elimination for the small per-cell systems of Eq. (4).
+//!
+//! Every lattice cell couples at most `2^c` work-state unknowns (`c` =
+//! number of churning nodes, so ≤ 4 unknowns for the two-node model). A
+//! hand-rolled partial-pivoting solve keeps the hot loop allocation-free.
+
+/// Solves `A x = b` in place: `a` is row-major `n × n` and is destroyed,
+/// `b` is overwritten with the solution.
+///
+/// # Panics
+/// Panics on dimension mismatch or a (numerically) singular matrix — the
+/// per-cell matrices of Eq. (4) are strictly diagonally dominant, so
+/// singularity indicates a bug in assembly, not in data.
+pub fn solve_in_place(n: usize, a: &mut [f64], b: &mut [f64]) {
+    assert_eq!(a.len(), n * n, "matrix must be n*n");
+    assert_eq!(b.len(), n, "rhs must be length n");
+    for col in 0..n {
+        // Partial pivoting.
+        let mut pivot_row = col;
+        let mut pivot_mag = a[col * n + col].abs();
+        for row in (col + 1)..n {
+            let mag = a[row * n + col].abs();
+            if mag > pivot_mag {
+                pivot_mag = mag;
+                pivot_row = row;
+            }
+        }
+        assert!(pivot_mag > 1e-300, "singular system at column {col}");
+        if pivot_row != col {
+            for k in col..n {
+                a.swap(pivot_row * n + k, col * n + k);
+            }
+            b.swap(pivot_row, col);
+        }
+        let pivot = a[col * n + col];
+        for row in (col + 1)..n {
+            let factor = a[row * n + col] / pivot;
+            if factor == 0.0 {
+                continue;
+            }
+            for k in col..n {
+                a[row * n + k] -= factor * a[col * n + k];
+            }
+            b[row] -= factor * b[col];
+        }
+    }
+    for row in (0..n).rev() {
+        let mut acc = b[row];
+        for k in (row + 1)..n {
+            acc -= a[row * n + k] * b[k];
+        }
+        b[row] = acc / a[row * n + row];
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity() {
+        let mut a = vec![1.0, 0.0, 0.0, 1.0];
+        let mut b = vec![3.0, 4.0];
+        solve_in_place(2, &mut a, &mut b);
+        assert_eq!(b, vec![3.0, 4.0]);
+    }
+
+    #[test]
+    fn known_2x2() {
+        // [2 1; 1 3] x = [3; 5] -> x = [4/5, 7/5]
+        let mut a = vec![2.0, 1.0, 1.0, 3.0];
+        let mut b = vec![3.0, 5.0];
+        solve_in_place(2, &mut a, &mut b);
+        assert!((b[0] - 0.8).abs() < 1e-12);
+        assert!((b[1] - 1.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn requires_pivoting() {
+        // a11 = 0 forces a row swap.
+        let mut a = vec![0.0, 1.0, 1.0, 0.0];
+        let mut b = vec![2.0, 3.0];
+        solve_in_place(2, &mut a, &mut b);
+        assert!((b[0] - 3.0).abs() < 1e-12);
+        assert!((b[1] - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn four_by_four_random_roundtrip() {
+        // Build Ax for a known x, solve, compare.
+        let a_orig = [
+            4.0, -1.0, 0.5, 0.0, //
+            -1.0, 5.0, -0.25, 0.75, //
+            0.0, -2.0, 6.0, -1.0, //
+            0.5, 0.0, -1.5, 4.5,
+        ];
+        let x_true = [1.0, -2.0, 3.0, 0.5];
+        let mut b = [0.0f64; 4];
+        for i in 0..4 {
+            for j in 0..4 {
+                b[i] += a_orig[i * 4 + j] * x_true[j];
+            }
+        }
+        let mut a = a_orig.to_vec();
+        let mut bv = b.to_vec();
+        solve_in_place(4, &mut a, &mut bv);
+        for (got, want) in bv.iter().zip(&x_true) {
+            assert!((got - want).abs() < 1e-10, "{got} vs {want}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "singular")]
+    fn singular_is_rejected() {
+        let mut a = vec![1.0, 2.0, 2.0, 4.0];
+        let mut b = vec![1.0, 2.0];
+        solve_in_place(2, &mut a, &mut b);
+    }
+
+    #[test]
+    #[should_panic(expected = "n*n")]
+    fn dimension_mismatch_is_rejected() {
+        let mut a = vec![1.0; 3];
+        let mut b = vec![1.0; 2];
+        solve_in_place(2, &mut a, &mut b);
+    }
+}

@@ -1,0 +1,514 @@
+//! Mean overall completion time — the difference equations of §2.1.1.
+//!
+//! For a lattice cell `(M1, M2)` (tasks left at each node) the work-state
+//! unknowns couple through failure/recovery transitions, giving the linear
+//! system `µ = A⁻¹ b` of Eq. (4):
+//!
+//! ```text
+//! Λ(s) µ^s_{M1,M2} = 1 + Σ_i λ_{d_i}·µ^s_{..,M_i−1}        (service, if node i up & M_i > 0)
+//!                      + Σ_i λ_{f_i}·µ^{s∖i}_{M1,M2}        (failure,  if node i up)
+//!                      + Σ_i λ_{r_i}·µ^{s∪i}_{M1,M2}        (recovery, if node i down)
+//!                      + λ_{21}   ·µ̂^s_{M+L·e_recv}         (transfer arrival, transit table only)
+//! ```
+//!
+//! with `Λ(s)` the sum of the active rates. Cells are swept in
+//! lexicographic order (service only decreases queue sizes), and the
+//! same-cell couplings are solved exactly by Gaussian elimination. The
+//! "hat" table (`µ̂`, no tasks in transit — the paper's `λ21 = 0` variant)
+//! is computed first; the transit table then references it.
+//!
+//! Boundary conditions follow §2.1.1: `µ̂^{k1,k2}_{0,0} = 0`, and a node
+//! without tasks simply has no service event (`W_i = ∞`).
+
+use crate::linalg::solve_in_place;
+use crate::rates::TwoNodeParams;
+use crate::state::{StateSpace, WorkState};
+
+/// Dense lattice of mean completion times with **no load in transit** — the
+/// paper's `µ̂` table. Reusable across transfer sizes `L` (it does not
+/// depend on `λ21`), which is what makes gain sweeps cheap.
+#[derive(Clone, Debug)]
+pub struct HatTable {
+    params: TwoNodeParams,
+    space: StateSpace,
+    max_m: [u32; 2],
+    /// `mu[cell * nstates + slot]`, cell = `m1 * (max_m[1]+1) + m2`.
+    mu: Vec<f64>,
+}
+
+impl HatTable {
+    /// Builds the `µ̂` lattice for all `m1 ≤ max_m[0]`, `m2 ≤ max_m[1]`.
+    #[must_use]
+    pub fn build(params: &TwoNodeParams, max_m: [u32; 2]) -> Self {
+        let space = StateSpace::new(params);
+        let ns = space.len();
+        let cells = (max_m[0] as usize + 1) * (max_m[1] as usize + 1);
+        let mut table = Self {
+            params: *params,
+            space,
+            max_m,
+            mu: vec![0.0; cells * ns],
+        };
+        let mut a = vec![0.0f64; ns * ns];
+        let mut b = vec![0.0f64; ns];
+        for m1 in 0..=max_m[0] {
+            for m2 in 0..=max_m[1] {
+                if m1 == 0 && m2 == 0 {
+                    continue; // µ̂ = 0: the workload is already complete
+                }
+                table.assemble_cell([m1, m2], None, &mut a, &mut b);
+                solve_in_place(ns, &mut a, &mut b);
+                let base = table.cell_index([m1, m2]) * ns;
+                table.mu[base..base + ns].copy_from_slice(&b);
+            }
+        }
+        table
+    }
+
+    /// The parameters the table was built for.
+    #[must_use]
+    pub fn params(&self) -> &TwoNodeParams {
+        &self.params
+    }
+
+    /// The lattice bounds.
+    #[must_use]
+    pub fn max_m(&self) -> [u32; 2] {
+        self.max_m
+    }
+
+    /// The reachable work-state space.
+    #[must_use]
+    pub fn space(&self) -> &StateSpace {
+        &self.space
+    }
+
+    /// `µ̂^{state}_{m1,m2}` — mean completion time with no transit load.
+    ///
+    /// # Panics
+    /// Panics if `m` exceeds the lattice bounds or `state` is unreachable.
+    #[must_use]
+    pub fn get(&self, state: WorkState, m: [u32; 2]) -> f64 {
+        assert!(
+            m[0] <= self.max_m[0] && m[1] <= self.max_m[1],
+            "queue sizes {m:?} outside lattice bounds {:?}",
+            self.max_m
+        );
+        let slot = self.space.slot(state);
+        self.mu[self.cell_index(m) * self.space.len() + slot]
+    }
+
+    fn cell_index(&self, m: [u32; 2]) -> usize {
+        m[0] as usize * (self.max_m[1] as usize + 1) + m[1] as usize
+    }
+
+    /// Assembles `A` and `b` of the per-cell system. `transit` carries
+    /// `(receiver, L, λ21, transit_mu_lookup_base)` when building a transit
+    /// table; the arrival term then references `self` (the hat table) at
+    /// `m + L·e_recv`.
+    fn assemble_cell(
+        &self,
+        m: [u32; 2],
+        transit: Option<(&HatTable, usize, u32, f64)>,
+        a: &mut [f64],
+        b: &mut [f64],
+    ) {
+        let ns = self.space.len();
+        a.fill(0.0);
+        for (slot, &st) in self.space.states().iter().enumerate() {
+            let mut lambda_total = 0.0;
+            let mut rhs = 1.0;
+            for i in 0..2 {
+                if st.is_up(i) {
+                    // Service, only when node i holds tasks (otherwise the
+                    // paper sets W_i = ∞, i.e. the event does not exist).
+                    if m[i] > 0 {
+                        let rate = self.params.service[i];
+                        lambda_total += rate;
+                        let mut lower = m;
+                        lower[i] -= 1;
+                        rhs += rate * self.lookup_same_table(st, lower, transit);
+                    }
+                    // Failure.
+                    if self.space.churns(i) {
+                        let rate = self.params.failure[i];
+                        lambda_total += rate;
+                        let target = self.space.slot(st.with_down(i));
+                        a[slot * ns + target] -= rate;
+                    }
+                } else {
+                    // Recovery.
+                    let rate = self.params.recovery[i];
+                    lambda_total += rate;
+                    let target = self.space.slot(st.with_up(i));
+                    a[slot * ns + target] -= rate;
+                }
+            }
+            if let Some((hat, receiver, l, lambda21)) = transit {
+                lambda_total += lambda21;
+                let mut arrived = m;
+                arrived[receiver] += l;
+                rhs += lambda21 * hat.get(st, arrived);
+            }
+            debug_assert!(lambda_total > 0.0, "cell {m:?} state {st:?} has no events");
+            a[slot * ns + slot] += lambda_total;
+            b[slot] = rhs;
+        }
+    }
+
+    /// During a table build, service transitions reference *this* table's
+    /// already-computed lower cells. For transit-table builds the borrow is
+    /// routed through `TransitTable`; the `transit.is_some()` flag is not
+    /// needed here because both tables share the cell layout code.
+    fn lookup_same_table(
+        &self,
+        st: WorkState,
+        m: [u32; 2],
+        _transit: Option<(&HatTable, usize, u32, f64)>,
+    ) -> f64 {
+        self.mu[self.cell_index(m) * self.space.len() + self.space.slot(st)]
+    }
+}
+
+/// Lattice of mean completion times with `L` tasks in transit toward
+/// `receiver` — the paper's `µ` table (Eq. 4 with the `λ21 µ̂` coupling).
+#[derive(Clone, Debug)]
+pub struct TransitTable {
+    inner: HatTable,
+    receiver: usize,
+    l: u32,
+}
+
+impl TransitTable {
+    /// Builds the transit lattice over `m1 ≤ max_m[0]`, `m2 ≤ max_m[1]`
+    /// (post-transfer queue sizes), with `l ≥ 1` tasks flying toward
+    /// `receiver`.
+    ///
+    /// # Panics
+    /// Panics if `hat` does not cover `max_m + l·e_receiver`, if the
+    /// parameter sets differ, or if `l = 0` (use the hat table directly).
+    #[must_use]
+    pub fn build(hat: &HatTable, max_m: [u32; 2], receiver: usize, l: u32) -> Self {
+        assert!(receiver < 2, "receiver must be 0 or 1");
+        assert!(l > 0, "a zero-task transfer has no transit phase");
+        let mut needed = max_m;
+        needed[receiver] += l;
+        assert!(
+            needed[0] <= hat.max_m()[0] && needed[1] <= hat.max_m()[1],
+            "hat table bounds {:?} too small: transit needs {needed:?}",
+            hat.max_m()
+        );
+        let params = *hat.params();
+        let lambda21 = params.delay.rate(l);
+        let space = StateSpace::new(&params);
+        let ns = space.len();
+        let cells = (max_m[0] as usize + 1) * (max_m[1] as usize + 1);
+        let mut inner = HatTable {
+            params,
+            space,
+            max_m,
+            mu: vec![0.0; cells * ns],
+        };
+        let mut a = vec![0.0f64; ns * ns];
+        let mut b = vec![0.0f64; ns];
+        for m1 in 0..=max_m[0] {
+            for m2 in 0..=max_m[1] {
+                // NOTE: (0,0) is *not* a base case here — the in-transit
+                // load still has to arrive and be processed.
+                inner.assemble_cell([m1, m2], Some((hat, receiver, l, lambda21)), &mut a, &mut b);
+                solve_in_place(ns, &mut a, &mut b);
+                let base = inner.cell_index([m1, m2]) * ns;
+                inner.mu[base..base + ns].copy_from_slice(&b);
+            }
+        }
+        Self { inner, receiver, l }
+    }
+
+    /// `µ^{state}_{m1,m2}` with the table's load in transit.
+    #[must_use]
+    pub fn get(&self, state: WorkState, m: [u32; 2]) -> f64 {
+        self.inner.get(state, m)
+    }
+
+    /// The receiving node of the in-transit load.
+    #[must_use]
+    pub fn receiver(&self) -> usize {
+        self.receiver
+    }
+
+    /// Number of tasks in transit.
+    #[must_use]
+    pub fn l(&self) -> u32 {
+        self.l
+    }
+}
+
+/// Evaluates LBP-1 mean completion times for one initial workload,
+/// caching the `µ̂` lattice across gain values.
+///
+/// The hat lattice is sized to the total workload so that *either* node may
+/// be the sender with any `L ≤ m_sender`.
+#[derive(Clone, Debug)]
+pub struct Lbp1Evaluator {
+    m0: [u32; 2],
+    hat: HatTable,
+}
+
+impl Lbp1Evaluator {
+    /// Prepares the evaluator for initial workload `m0`.
+    #[must_use]
+    pub fn new(params: &TwoNodeParams, m0: [u32; 2]) -> Self {
+        let total = m0[0] + m0[1];
+        let hat = HatTable::build(params, [total, total]);
+        Self { m0, hat }
+    }
+
+    /// The initial workload.
+    #[must_use]
+    pub fn workload(&self) -> [u32; 2] {
+        self.m0
+    }
+
+    /// Shared `µ̂` lattice.
+    #[must_use]
+    pub fn hat(&self) -> &HatTable {
+        &self.hat
+    }
+
+    /// Mean overall completion time when `sender` ships `l` tasks at
+    /// `t = 0` and the system starts in `initial` (the paper always uses
+    /// `(1,1)`).
+    ///
+    /// # Panics
+    /// Panics if `l > m0[sender]`.
+    #[must_use]
+    pub fn mean(&self, sender: usize, l: u32, initial: WorkState) -> f64 {
+        assert!(sender < 2, "sender must be 0 or 1");
+        assert!(
+            l <= self.m0[sender],
+            "cannot send {l} tasks from a queue of {}",
+            self.m0[sender]
+        );
+        if l == 0 {
+            return self.hat.get(initial, self.m0);
+        }
+        let receiver = 1 - sender;
+        let mut m_after = self.m0;
+        m_after[sender] -= l;
+        let transit = TransitTable::build(&self.hat, m_after, receiver, l);
+        transit.get(initial, m_after)
+    }
+
+    /// Mean completion for the gain parameterisation of Eq. (1):
+    /// `L = round(K · m_sender)`.
+    ///
+    /// # Panics
+    /// Panics unless `K ∈ [0, 1]`.
+    #[must_use]
+    pub fn mean_for_gain(&self, sender: usize, gain: f64, initial: WorkState) -> f64 {
+        assert!((0.0..=1.0).contains(&gain), "gain K must be in [0,1], got {gain}");
+        let l = (gain * f64::from(self.m0[sender])).round() as u32;
+        self.mean(sender, l, initial)
+    }
+}
+
+/// One-shot helper: mean completion under LBP-1 for a single `(sender, l)`.
+///
+/// Builds the minimal lattices for this query; prefer [`Lbp1Evaluator`]
+/// when sweeping `l`.
+#[must_use]
+pub fn lbp1_mean(
+    params: &TwoNodeParams,
+    m0: [u32; 2],
+    sender: usize,
+    l: u32,
+    initial: WorkState,
+) -> f64 {
+    assert!(sender < 2 && l <= m0[sender], "invalid transfer spec");
+    let receiver = 1 - sender;
+    let mut m_after = m0;
+    m_after[sender] -= l;
+    let mut hat_max = m_after;
+    hat_max[receiver] += l;
+    let hat = HatTable::build(params, hat_max);
+    if l == 0 {
+        return hat.get(initial, m0);
+    }
+    let transit = TransitTable::build(&hat, m_after, receiver, l);
+    transit.get(initial, m_after)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rates::{DelayModel, TwoNodeParams};
+
+    fn no_churn(service: [f64; 2]) -> TwoNodeParams {
+        TwoNodeParams::new(service, [0.0, 0.0], [0.0, 0.0], DelayModel::per_task(0.02))
+    }
+
+    #[test]
+    fn single_queue_no_churn_is_erlang_mean() {
+        // Only node 1 has tasks and nothing else happens: E[T] = n/λd1.
+        let p = no_churn([1.08, 1.86]);
+        let hat = HatTable::build(&p, [50, 0]);
+        for n in [1u32, 10, 50] {
+            let mu = hat.get(WorkState::BOTH_UP, [n, 0]);
+            let expected = f64::from(n) / 1.08;
+            assert!((mu - expected).abs() < 1e-9, "n={n}: {mu} vs {expected}");
+        }
+    }
+
+    #[test]
+    fn two_queues_no_churn_is_expected_makespan() {
+        // With both nodes busy and independent, T = max(Erlang_1, Erlang_2).
+        // For m = (1, 1): E[max] = 1/λ1 + 1/λ2 − 1/(λ1+λ2).
+        let p = no_churn([1.0, 2.0]);
+        let hat = HatTable::build(&p, [1, 1]);
+        let mu = hat.get(WorkState::BOTH_UP, [1, 1]);
+        let expected = 1.0 + 0.5 - 1.0 / 3.0;
+        assert!((mu - expected).abs() < 1e-9, "{mu} vs {expected}");
+    }
+
+    #[test]
+    fn churn_slows_completion() {
+        let fail = TwoNodeParams::paper();
+        let nofail = TwoNodeParams::paper_no_failure();
+        let h_fail = HatTable::build(&fail, [20, 20]);
+        let h_nofail = HatTable::build(&nofail, [20, 20]);
+        let mu_fail = h_fail.get(WorkState::BOTH_UP, [20, 20]);
+        let mu_nofail = h_nofail.get(WorkState::BOTH_UP, [20, 20]);
+        assert!(
+            mu_fail > mu_nofail,
+            "churn must increase mean completion: {mu_fail} vs {mu_nofail}"
+        );
+    }
+
+    #[test]
+    fn single_task_single_unreliable_node_closed_form() {
+        // One task at node 1, node 1 churns, node 2 idle & reliable.
+        // E[T | up] = (1 + λf/λr) / λd (standard M/M/1-with-breakdowns
+        // first passage; derived in crates/ctmc tests as well).
+        let p = TwoNodeParams::new(
+            [1.08, 1.86],
+            [0.05, 0.0],
+            [0.1, 0.0],
+            DelayModel::per_task(0.02),
+        );
+        let hat = HatTable::build(&p, [1, 0]);
+        let mu = hat.get(WorkState::BOTH_UP, [1, 0]);
+        let expected = (1.0 + 0.05 / 0.1) / 1.08;
+        assert!((mu - expected).abs() < 1e-9, "{mu} vs {expected}");
+    }
+
+    #[test]
+    fn mean_is_monotone_in_workload() {
+        let p = TwoNodeParams::paper();
+        let hat = HatTable::build(&p, [30, 30]);
+        let mut prev = 0.0;
+        for n in 1..=30 {
+            let mu = hat.get(WorkState::BOTH_UP, [n, n]);
+            assert!(mu > prev, "µ must increase with workload");
+            prev = mu;
+        }
+    }
+
+    #[test]
+    fn starting_from_a_down_state_is_slower() {
+        let p = TwoNodeParams::paper();
+        let hat = HatTable::build(&p, [10, 10]);
+        let up = hat.get(WorkState::BOTH_UP, [10, 10]);
+        let down1 = hat.get(WorkState::new(false, true), [10, 10]);
+        let down_both = hat.get(WorkState::new(false, false), [10, 10]);
+        assert!(down1 > up);
+        assert!(down_both > down1);
+    }
+
+    #[test]
+    fn zero_transfer_equals_hat() {
+        let p = TwoNodeParams::paper();
+        let ev = Lbp1Evaluator::new(&p, [10, 6]);
+        let a = ev.mean(0, 0, WorkState::BOTH_UP);
+        let b = ev.hat().get(WorkState::BOTH_UP, [10, 6]);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn evaluator_matches_one_shot_helper() {
+        let p = TwoNodeParams::paper();
+        let ev = Lbp1Evaluator::new(&p, [12, 5]);
+        for l in [1u32, 4, 12] {
+            let a = ev.mean(0, l, WorkState::BOTH_UP);
+            let b = lbp1_mean(&p, [12, 5], 0, l, WorkState::BOTH_UP);
+            assert!((a - b).abs() < 1e-9, "l={l}: {a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn transit_limit_small_delay_approaches_instant_transfer() {
+        // As the per-task delay → 0, sending L tasks should approach the
+        // hat value at the post-arrival queues.
+        let fast = TwoNodeParams::new(
+            [1.08, 1.86],
+            [0.05, 0.05],
+            [0.1, 0.05],
+            DelayModel::per_task(1e-7),
+        );
+        let ev = Lbp1Evaluator::new(&fast, [10, 6]);
+        let sent = ev.mean(0, 4, WorkState::BOTH_UP);
+        let instant = ev.hat().get(WorkState::BOTH_UP, [6, 10]);
+        assert!((sent - instant).abs() < 1e-3, "{sent} vs {instant}");
+    }
+
+    #[test]
+    fn transit_limit_huge_delay_worse_than_keeping_load() {
+        // With an enormous delay, shipping tasks effectively removes the
+        // receiver's share for a long time — keeping everything must win.
+        let slow = TwoNodeParams::paper().with_per_task_delay(100.0);
+        let ev = Lbp1Evaluator::new(&slow, [10, 6]);
+        let keep = ev.mean(0, 0, WorkState::BOTH_UP);
+        let send = ev.mean(0, 5, WorkState::BOTH_UP);
+        assert!(send > keep, "{send} should exceed {keep}");
+    }
+
+    #[test]
+    fn gain_parameterisation_rounds_to_tasks() {
+        let p = TwoNodeParams::paper();
+        let ev = Lbp1Evaluator::new(&p, [100, 60]);
+        let by_gain = ev.mean_for_gain(0, 0.35, WorkState::BOTH_UP);
+        let by_l = ev.mean(0, 35, WorkState::BOTH_UP);
+        assert_eq!(by_gain, by_l);
+    }
+
+    #[test]
+    fn transfers_in_both_directions_are_supported() {
+        let p = TwoNodeParams::paper();
+        let ev = Lbp1Evaluator::new(&p, [10, 60]);
+        let from_2 = ev.mean(1, 9, WorkState::BOTH_UP);
+        assert!(from_2.is_finite() && from_2 > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot send")]
+    fn oversized_transfer_panics() {
+        let p = TwoNodeParams::paper();
+        let ev = Lbp1Evaluator::new(&p, [5, 5]);
+        let _ = ev.mean(0, 6, WorkState::BOTH_UP);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside lattice bounds")]
+    fn out_of_bounds_query_panics() {
+        let p = TwoNodeParams::paper();
+        let hat = HatTable::build(&p, [5, 5]);
+        let _ = hat.get(WorkState::BOTH_UP, [6, 0]);
+    }
+
+    #[test]
+    fn no_failure_lattice_uses_singleton_space() {
+        let p = TwoNodeParams::paper_no_failure();
+        let hat = HatTable::build(&p, [100, 100]);
+        assert_eq!(hat.space().len(), 1);
+        assert!(hat.get(WorkState::BOTH_UP, [100, 100]) > 0.0);
+    }
+}

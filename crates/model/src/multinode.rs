@@ -1,0 +1,291 @@
+//! Exact multi-node model — the paper's §1 claim that the theory "can be
+//! extended to a multi-node system in a straightforward way", made
+//! concrete.
+//!
+//! The state is `(queue vector, up-mask, multiset of in-flight transfers)`
+//! and the dynamics are the n-node generalisation of §2: exponential
+//! service per up node, exponential churn per node, an arbitrary initial
+//! transfer set, and a per-node failure response (the n-node Eq. 8). The
+//! chain is built by exploration and solved exactly; state-space growth
+//! limits this to small workloads, which is exactly what is needed to
+//! validate the n-node simulator and policies (the large-workload numbers
+//! then come from Monte-Carlo).
+
+use churnbal_ctmc::{expected_absorption_times, explore, Explored};
+
+use crate::rates::DelayModel;
+
+/// Parameters of an n-node system.
+#[derive(Clone, Debug, PartialEq)]
+pub struct MultiNodeParams {
+    /// Service rates `λ_d` per node.
+    pub service: Vec<f64>,
+    /// Failure rates `λ_f` per node (0 = reliable).
+    pub failure: Vec<f64>,
+    /// Recovery rates `λ_r` per node.
+    pub recovery: Vec<f64>,
+    /// Transfer-delay model (shared network).
+    pub delay: DelayModel,
+}
+
+impl MultiNodeParams {
+    /// Validates an n-node parameter set (n ≥ 2, positive service rates,
+    /// recoverable failures).
+    ///
+    /// # Panics
+    /// Panics on inconsistent lengths or invalid rates.
+    #[must_use]
+    pub fn new(service: Vec<f64>, failure: Vec<f64>, recovery: Vec<f64>, delay: DelayModel) -> Self {
+        let n = service.len();
+        assert!(n >= 2, "need at least two nodes");
+        assert_eq!(failure.len(), n, "failure rate length mismatch");
+        assert_eq!(recovery.len(), n, "recovery rate length mismatch");
+        for i in 0..n {
+            assert!(service[i] > 0.0, "service rate of node {i} must be positive");
+            assert!(failure[i] >= 0.0 && recovery[i] >= 0.0, "negative churn rate at node {i}");
+            assert!(failure[i] == 0.0 || recovery[i] > 0.0, "node {i} fails but never recovers");
+        }
+        assert!(n <= 16, "up-mask is 16 bits; the exact model is for small n anyway");
+        Self { service, failure, recovery, delay }
+    }
+
+    /// Number of nodes.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.service.len()
+    }
+
+    /// Never empty (construction requires n ≥ 2).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+}
+
+/// Full n-node system state.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct MultiState {
+    /// Queue length per node.
+    pub m: Vec<u32>,
+    /// Up-mask: bit `i` set ⇔ node `i` is up.
+    pub up: u16,
+    /// In-flight transfers `(receiver, size)`, kept sorted.
+    pub flights: Vec<(u8, u32)>,
+}
+
+impl MultiState {
+    fn tasks_left(&self) -> u32 {
+        self.m.iter().sum::<u32>() + self.flights.iter().map(|&(_, l)| l).sum::<u32>()
+    }
+}
+
+/// Builds the exact n-node chain.
+///
+/// * `m0` — queue vector *after* the initial transfers have left their
+///   sources;
+/// * `initial_flights` — the `t = 0` transfers still in the air;
+/// * `on_failure(j)` — the policy's failure response: `(receiver, amount)`
+///   pairs shipped by node `j`'s backup at each of its failures (amounts
+///   are clamped to the queue, in the returned order).
+///
+/// # Panics
+/// Panics if exploration exceeds `max_states`.
+#[must_use]
+pub fn multi_chain<F>(
+    params: &MultiNodeParams,
+    m0: &[u32],
+    initial_flights: &[(usize, u32)],
+    on_failure: F,
+    max_states: usize,
+) -> Explored<MultiState>
+where
+    F: Fn(usize) -> Vec<(usize, u32)>,
+{
+    let n = params.len();
+    assert_eq!(m0.len(), n, "workload length mismatch");
+    let p = params.clone();
+    let mut flights: Vec<(u8, u32)> = initial_flights
+        .iter()
+        .map(|&(r, l)| {
+            assert!(r < n && l > 0, "invalid initial flight");
+            (r as u8, l)
+        })
+        .collect();
+    flights.sort_unstable();
+    let all_up = ((1u32 << n) - 1) as u16;
+    let initial = MultiState { m: m0.to_vec(), up: all_up, flights };
+    explore(
+        &[initial],
+        move |s| {
+            let mut out: Vec<(f64, Option<MultiState>)> = Vec::new();
+            let tasks_left = s.tasks_left();
+            for i in 0..n {
+                let up = s.up & (1 << i) != 0;
+                if up {
+                    if s.m[i] > 0 {
+                        let mut next = s.clone();
+                        next.m[i] -= 1;
+                        out.push((p.service[i], if tasks_left == 1 { None } else { Some(next) }));
+                    }
+                    if p.failure[i] > 0.0 {
+                        let mut next = s.clone();
+                        next.up &= !(1 << i);
+                        for (recv, want) in on_failure(i) {
+                            assert!(recv < n && recv != i, "bad failure response target");
+                            let granted = want.min(next.m[i]);
+                            if granted > 0 {
+                                next.m[i] -= granted;
+                                next.flights.push((recv as u8, granted));
+                            }
+                        }
+                        next.flights.sort_unstable();
+                        out.push((p.failure[i], Some(next)));
+                    }
+                } else {
+                    let mut next = s.clone();
+                    next.up |= 1 << i;
+                    out.push((p.recovery[i], Some(next)));
+                }
+            }
+            for (fi, &(recv, size)) in s.flights.iter().enumerate() {
+                let mut next = s.clone();
+                next.flights.remove(fi);
+                next.m[recv as usize] += size;
+                out.push((p.delay.rate(size), Some(next)));
+            }
+            out
+        },
+        max_states,
+    )
+}
+
+/// Exact mean completion time of the n-node dynamics from the all-up
+/// initial state.
+///
+/// # Panics
+/// See [`multi_chain`].
+#[must_use]
+pub fn multinode_mean_exact<F>(
+    params: &MultiNodeParams,
+    m0: &[u32],
+    initial_flights: &[(usize, u32)],
+    on_failure: F,
+    max_states: usize,
+) -> f64
+where
+    F: Fn(usize) -> Vec<(usize, u32)>,
+{
+    let explored = multi_chain(params, m0, initial_flights, on_failure, max_states);
+    let all_up = ((1u32 << params.len()) - 1) as u16;
+    let mut flights: Vec<(u8, u32)> =
+        initial_flights.iter().map(|&(r, l)| (r as u8, l)).collect();
+    flights.sort_unstable();
+    let start = MultiState { m: m0.to_vec(), up: all_up, flights };
+    let idx = explored.index(&start).expect("initial state present");
+    expected_absorption_times(&explored.chain)[idx]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bridge;
+    use crate::rates::TwoNodeParams;
+    use crate::state::WorkState;
+
+    fn two_node() -> (MultiNodeParams, TwoNodeParams) {
+        let delay = DelayModel::per_task(0.1);
+        let multi = MultiNodeParams::new(
+            vec![1.08, 1.86],
+            vec![0.05, 0.05],
+            vec![0.1, 0.05],
+            delay,
+        );
+        let two = TwoNodeParams::new([1.08, 1.86], [0.05, 0.05], [0.1, 0.05], delay);
+        (multi, two)
+    }
+
+    #[test]
+    fn reduces_to_two_node_bridge_without_policy() {
+        let (multi, two) = two_node();
+        let a = multinode_mean_exact(&multi, &[5, 3], &[], |_| vec![], 500_000);
+        let b = bridge::lbp1_mean_exact(&two, [5, 3], 0, 0, WorkState::BOTH_UP);
+        assert!((a - b).abs() < 1e-8, "{a} vs {b}");
+    }
+
+    #[test]
+    fn reduces_to_two_node_bridge_with_initial_flight() {
+        let (multi, two) = two_node();
+        let a = multinode_mean_exact(&multi, &[3, 3], &[(1, 2)], |_| vec![], 500_000);
+        let b = bridge::lbp1_mean_exact(&two, [5, 3], 0, 2, WorkState::BOTH_UP);
+        assert!((a - b).abs() < 1e-8, "{a} vs {b}");
+    }
+
+    #[test]
+    fn reduces_to_two_node_lbp2_chain() {
+        let (multi, two) = two_node();
+        let a = multinode_mean_exact(
+            &multi,
+            &[6, 2],
+            &[],
+            |j| vec![(1 - j, [2u32, 2][j])],
+            2_000_000,
+        );
+        let b = bridge::lbp2_mean_exact(&two, [6, 2], [2, 2], None, WorkState::BOTH_UP, 2_000_000);
+        assert!((a - b).abs() < 1e-8, "{a} vs {b}");
+    }
+
+    #[test]
+    fn third_node_helps() {
+        let delay = DelayModel::per_task(0.05);
+        let two = MultiNodeParams::new(
+            vec![1.0, 1.0],
+            vec![0.05, 0.05],
+            vec![0.1, 0.1],
+            delay,
+        );
+        let three = MultiNodeParams::new(
+            vec![1.0, 1.0, 1.0],
+            vec![0.05, 0.05, 0.05],
+            vec![0.1, 0.1, 0.1],
+            delay,
+        );
+        // Same 12-task total: two nodes split 6/6 (3 in flight), three
+        // nodes split 4/5/3 (2 and 3 in flight).
+        let t2 = multinode_mean_exact(&two, &[6, 3], &[(1, 3)], |_| vec![], 500_000);
+        let t3 =
+            multinode_mean_exact(&three, &[4, 3, 0], &[(1, 2), (2, 3)], |_| vec![], 500_000);
+        assert!(t3 < t2, "a third worker should help: {t3} vs {t2}");
+    }
+
+    #[test]
+    fn failure_response_changes_the_mean() {
+        let (multi, _) = two_node();
+        let passive = multinode_mean_exact(&multi, &[6, 2], &[], |_| vec![], 2_000_000);
+        let active = multinode_mean_exact(
+            &multi,
+            &[6, 2],
+            &[],
+            |j| vec![(1 - j, 3u32)],
+            2_000_000,
+        );
+        assert!((passive - active).abs() > 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn wrong_workload_length_rejected() {
+        let (multi, _) = two_node();
+        let _ = multinode_mean_exact(&multi, &[1, 2, 3], &[], |_| vec![], 1000);
+    }
+
+    #[test]
+    #[should_panic(expected = "never recovers")]
+    fn invalid_params_rejected() {
+        let _ = MultiNodeParams::new(
+            vec![1.0, 1.0],
+            vec![0.1, 0.0],
+            vec![0.0, 0.0],
+            DelayModel::per_task(0.1),
+        );
+    }
+}

@@ -1,0 +1,187 @@
+//! Work states and the reduced state space.
+//!
+//! The paper's work state `(k1, k2) ∈ {0,1}²` says which nodes are up. When
+//! a node has `λ_f = 0` (the no-failure reference case) its "down" states
+//! are unreachable, so the per-cell linear systems of Eq. (4) shrink — the
+//! no-failure model of refs [10, 11] is recovered as the 1-state special
+//! case of the same code path.
+
+use crate::rates::TwoNodeParams;
+
+/// Work state of the two-node system, following the paper's `(k1, k2)`
+/// notation: bit `i` set ⇔ node `i` is working.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct WorkState(u8);
+
+impl WorkState {
+    /// Both nodes working — `(1, 1)`, the initial state of every experiment
+    /// in the paper.
+    pub const BOTH_UP: WorkState = WorkState(0b11);
+
+    /// Builds a state from per-node up flags `(k1, k2)`.
+    #[must_use]
+    pub fn new(node1_up: bool, node2_up: bool) -> Self {
+        WorkState(u8::from(node1_up) | (u8::from(node2_up) << 1))
+    }
+
+    /// Is node `i` (0 or 1) up?
+    ///
+    /// # Panics
+    /// Panics for `i > 1`.
+    #[must_use]
+    pub fn is_up(self, i: usize) -> bool {
+        assert!(i < 2, "two-node state");
+        self.0 & (1 << i) != 0
+    }
+
+    /// State with node `i` failed.
+    #[must_use]
+    pub fn with_down(self, i: usize) -> Self {
+        assert!(i < 2, "two-node state");
+        WorkState(self.0 & !(1 << i))
+    }
+
+    /// State with node `i` recovered.
+    #[must_use]
+    pub fn with_up(self, i: usize) -> Self {
+        assert!(i < 2, "two-node state");
+        WorkState(self.0 | (1 << i))
+    }
+
+    /// Raw bitmask (bit `i` = node `i` up).
+    #[must_use]
+    pub fn mask(self) -> u8 {
+        self.0
+    }
+
+    /// The paper's `(k1, k2)` tuple.
+    #[must_use]
+    pub fn as_tuple(self) -> (u8, u8) {
+        (self.0 & 1, (self.0 >> 1) & 1)
+    }
+}
+
+/// The set of reachable work states under a parameter set, with a dense
+/// slot numbering used by the lattice tables.
+///
+/// Non-churning nodes (`λ_f = 0`) are pinned up; churning nodes contribute
+/// a factor of 2, so the space has 1, 2 or 4 states.
+#[derive(Clone, Debug)]
+pub struct StateSpace {
+    states: Vec<WorkState>,
+    /// `slot_of[mask]` = dense index, or `usize::MAX` when unreachable.
+    slot_of: [usize; 4],
+    churns: [bool; 2],
+}
+
+impl StateSpace {
+    /// Enumerates the reachable work states for `params`.
+    #[must_use]
+    pub fn new(params: &TwoNodeParams) -> Self {
+        let churns = [params.churns(0), params.churns(1)];
+        let mut states = Vec::new();
+        let mut slot_of = [usize::MAX; 4];
+        for mask in 0..4u8 {
+            let s = WorkState(mask);
+            let reachable = (0..2).all(|i| s.is_up(i) || churns[i]);
+            if reachable {
+                slot_of[mask as usize] = states.len();
+                states.push(s);
+            }
+        }
+        Self { states, slot_of, churns }
+    }
+
+    /// Number of reachable states (1, 2 or 4).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.states.len()
+    }
+
+    /// Never empty: `(1,1)` is always reachable.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// The states in slot order.
+    #[must_use]
+    pub fn states(&self) -> &[WorkState] {
+        &self.states
+    }
+
+    /// Dense slot of a state.
+    ///
+    /// # Panics
+    /// Panics if the state is unreachable under the parameters (e.g. node 1
+    /// down when node 1 never fails).
+    #[must_use]
+    pub fn slot(&self, s: WorkState) -> usize {
+        let slot = self.slot_of[s.mask() as usize];
+        assert!(slot != usize::MAX, "work state {s:?} unreachable under these parameters");
+        slot
+    }
+
+    /// Whether node `i` participates in churn.
+    #[must_use]
+    pub fn churns(&self, i: usize) -> bool {
+        self.churns[i]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rates::{DelayModel, TwoNodeParams};
+
+    #[test]
+    fn work_state_bits() {
+        let s = WorkState::new(true, false);
+        assert!(s.is_up(0));
+        assert!(!s.is_up(1));
+        assert_eq!(s.as_tuple(), (1, 0));
+        assert_eq!(s.with_down(0).as_tuple(), (0, 0));
+        assert_eq!(s.with_up(1), WorkState::BOTH_UP);
+    }
+
+    #[test]
+    fn full_space_has_four_states() {
+        let p = TwoNodeParams::paper();
+        let space = StateSpace::new(&p);
+        assert_eq!(space.len(), 4);
+        assert!(space.churns(0) && space.churns(1));
+        // slots are distinct and consistent
+        for (i, s) in space.states().iter().enumerate() {
+            assert_eq!(space.slot(*s), i);
+        }
+    }
+
+    #[test]
+    fn no_failure_space_is_singleton() {
+        let p = TwoNodeParams::paper_no_failure();
+        let space = StateSpace::new(&p);
+        assert_eq!(space.len(), 1);
+        assert_eq!(space.states()[0], WorkState::BOTH_UP);
+    }
+
+    #[test]
+    fn one_sided_churn_has_two_states() {
+        let p = TwoNodeParams::new(
+            [1.0, 2.0],
+            [0.05, 0.0],
+            [0.1, 0.0],
+            DelayModel::per_task(0.02),
+        );
+        let space = StateSpace::new(&p);
+        assert_eq!(space.len(), 2);
+        assert!(space.states().iter().all(|s| s.is_up(1)));
+    }
+
+    #[test]
+    #[should_panic(expected = "unreachable")]
+    fn unreachable_state_slot_panics() {
+        let p = TwoNodeParams::paper_no_failure();
+        let space = StateSpace::new(&p);
+        let _ = space.slot(WorkState::new(false, true));
+    }
+}

@@ -1,0 +1,155 @@
+//! Variance of the overall completion time — an extension beyond the
+//! paper, which reports only means and (in Fig. 5) CDFs.
+//!
+//! The same regeneration argument that yields Eq. (4) yields every moment
+//! (see `churnbal_ctmc::moments`); here we expose the first two moments of
+//! both policies' completion times, so a planner can trade expected speed
+//! against predictability: under churn, shipping more load to a less
+//! available node raises not only the mean but — much faster — the
+//! variance.
+
+use churnbal_ctmc::moments::absorption_moments;
+
+use crate::bridge::{lbp1_chain, lbp2_chain, Lbp2State, TwoNodeSysState};
+use crate::rates::TwoNodeParams;
+use crate::state::WorkState;
+
+/// First two moments of a completion time.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct CompletionMoments {
+    /// Mean completion time (seconds).
+    pub mean: f64,
+    /// Standard deviation (seconds).
+    pub std_dev: f64,
+    /// Squared coefficient of variation (`variance / mean²`).
+    pub cv2: f64,
+}
+
+/// Moments of the LBP-1 completion time (exact, via the CTMC).
+///
+/// # Panics
+/// Panics on invalid transfer specs or a state space above 4M states.
+#[must_use]
+pub fn lbp1_moments(
+    params: &TwoNodeParams,
+    m0: [u32; 2],
+    sender: usize,
+    l: u32,
+    initial: WorkState,
+) -> CompletionMoments {
+    assert!(sender < 2 && l <= m0[sender], "invalid transfer spec");
+    let mut m = m0;
+    m[sender] -= l;
+    let transit = if l > 0 { Some((1 - sender, l)) } else { None };
+    let explored = lbp1_chain(params, m, transit, 4_000_000);
+    let start = TwoNodeSysState { m, up: initial, transit: transit.map(|(r, s)| (r as u8, s)) };
+    let idx = explored.index(&start).expect("initial state present");
+    let mm = absorption_moments(&explored.chain);
+    CompletionMoments { mean: mm.mean[idx], std_dev: mm.std_dev(idx), cv2: mm.cv2(idx) }
+}
+
+/// Moments of the LBP-2 completion time (exact, via the CTMC; the paper
+/// has no analytic handle on LBP-2 at all).
+///
+/// `lf_on_failure[j]` is the Eq. 8 amount node `j` ships at each failure.
+///
+/// # Panics
+/// Panics on invalid specs or when the state space exceeds `max_states`.
+#[must_use]
+pub fn lbp2_moments(
+    params: &TwoNodeParams,
+    m0: [u32; 2],
+    lf_on_failure: [u32; 2],
+    initial_transfer: Option<(usize, u32)>,
+    initial: WorkState,
+    max_states: usize,
+) -> CompletionMoments {
+    let mut m = m0;
+    let mut flights = Vec::new();
+    if let Some((sender, l)) = initial_transfer {
+        assert!(sender < 2 && l <= m0[sender] && l > 0, "invalid initial transfer");
+        m[sender] -= l;
+        flights.push((1 - sender, l));
+    }
+    let explored = lbp2_chain(params, m, lf_on_failure, &flights, max_states);
+    let start = Lbp2State {
+        m,
+        up: initial,
+        flights: flights.iter().map(|&(r, l)| (r as u8, l)).collect(),
+    };
+    let idx = explored.index(&start).expect("initial state present");
+    let mm = absorption_moments(&explored.chain);
+    CompletionMoments { mean: mm.mean[idx], std_dev: mm.std_dev(idx), cv2: mm.cv2(idx) }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cdf::{lbp1_cdf, CompletionCdf};
+    use crate::mean::lbp1_mean;
+    use crate::rates::{DelayModel, TwoNodeParams};
+
+    fn params() -> TwoNodeParams {
+        TwoNodeParams::new(
+            [1.08, 1.86],
+            [0.05, 0.05],
+            [0.1, 0.05],
+            DelayModel::per_task(0.05),
+        )
+    }
+
+    #[test]
+    fn mean_component_matches_eq4() {
+        let p = params();
+        let m = lbp1_moments(&p, [6, 4], 0, 2, WorkState::BOTH_UP);
+        let eq4 = lbp1_mean(&p, [6, 4], 0, 2, WorkState::BOTH_UP);
+        assert!((m.mean - eq4).abs() < 1e-7, "{} vs {eq4}", m.mean);
+        assert!(m.std_dev > 0.0);
+    }
+
+    #[test]
+    fn variance_matches_cdf_integration() {
+        // E[T²] = ∫ 2t(1-F(t)) dt — check against the Eq. 5 CDF.
+        let p = params();
+        let times: Vec<f64> = (0..=4000).map(|i| f64::from(i) * 0.1).collect();
+        let cdf: CompletionCdf = lbp1_cdf(&p, [5, 3], 0, 2, WorkState::BOTH_UP, &times);
+        let mut second = 0.0;
+        for i in 1..times.len() {
+            let f0 = 2.0 * times[i - 1] * (1.0 - cdf.values[i - 1]);
+            let f1 = 2.0 * times[i] * (1.0 - cdf.values[i]);
+            second += 0.5 * (f0 + f1) * (times[i] - times[i - 1]);
+        }
+        let m = lbp1_moments(&p, [5, 3], 0, 2, WorkState::BOTH_UP);
+        let var_cdf = second - m.mean * m.mean;
+        let var = m.std_dev * m.std_dev;
+        assert!(
+            (var - var_cdf).abs() < 0.02 * var.max(1.0),
+            "moments {var} vs cdf {var_cdf}"
+        );
+    }
+
+    #[test]
+    fn churn_inflates_variance_more_than_mean() {
+        let with = params();
+        let without = with.without_failures();
+        let a = lbp1_moments(&with, [10, 6], 0, 3, WorkState::BOTH_UP);
+        let b = lbp1_moments(&without, [10, 6], 0, 3, WorkState::BOTH_UP);
+        assert!(a.mean > b.mean);
+        assert!(a.std_dev > b.std_dev);
+        assert!(
+            a.cv2 > b.cv2,
+            "churn should make completion relatively less predictable ({} vs {})",
+            a.cv2,
+            b.cv2
+        );
+    }
+
+    #[test]
+    fn lbp2_moments_reduce_to_lbp1_when_inactive() {
+        let p = params();
+        let a = lbp2_moments(&p, [5, 4], [0, 0], Some((0, 2)), WorkState::BOTH_UP, 200_000);
+        let b = lbp1_moments(&p, [5, 4], 0, 2, WorkState::BOTH_UP);
+        assert!((a.mean - b.mean).abs() < 1e-7);
+        assert!((a.std_dev - b.std_dev).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,86 @@
+//! Coarse regression tests pinning the model to the paper's §4 numbers.
+//!
+//! These bands are deliberately wide: we reproduce the authors' *model*,
+//! whose published curves were themselves compared against a noisy physical
+//! test-bed. What must hold is the shape — where the optimum sits and how
+//! large the minimum is.
+
+use churnbal_model::{optimize_lbp1, Lbp1Evaluator, TwoNodeParams, WorkState};
+
+/// Fig. 3: workload (100, 60), node 1 sends. The paper reports the
+/// theoretical optimum at K = 0.35 with mean ≈ 117 s, and K = 0.45 for the
+/// no-failure case.
+#[test]
+fn fig3_optimal_gain_bands() {
+    let p = TwoNodeParams::paper();
+    let opt = optimize_lbp1(&p, [100, 60], WorkState::BOTH_UP);
+    assert_eq!(opt.sender, 0, "node 1 holds more load and must send");
+    assert!(
+        (0.20..=0.50).contains(&opt.gain),
+        "failure-case optimal gain {} outside the paper band around 0.35",
+        opt.gain
+    );
+    assert!(
+        (100.0..=135.0).contains(&opt.mean),
+        "failure-case minimum mean {} outside the paper band around 117 s",
+        opt.mean
+    );
+
+    let nf = optimize_lbp1(&p.without_failures(), [100, 60], WorkState::BOTH_UP);
+    assert!(
+        (0.30..=0.60).contains(&nf.gain),
+        "no-failure optimal gain {} outside the paper band around 0.45",
+        nf.gain
+    );
+    assert!(
+        nf.gain > opt.gain,
+        "churn must lower the optimal gain ({} vs {})",
+        opt.gain,
+        nf.gain
+    );
+    assert!(nf.mean < opt.mean, "no-failure mean must be smaller");
+}
+
+/// Table 1 theory column: mean completion under the optimal gain.
+#[test]
+fn table1_theory_bands() {
+    let p = TwoNodeParams::paper();
+    // (workload, paper theory w/ failure, paper theory w/o failure)
+    let rows: [([u32; 2], f64, f64); 3] = [
+        ([200, 100], 210.13, 106.93),
+        ([200, 50], 177.09, 89.32),
+        ([100, 200], 210.13, 106.93),
+    ];
+    for (m0, fail_ref, nofail_ref) in rows {
+        let opt = optimize_lbp1(&p, m0, WorkState::BOTH_UP);
+        let rel = (opt.mean - fail_ref).abs() / fail_ref;
+        assert!(
+            rel < 0.15,
+            "workload {m0:?}: model mean {} vs paper {fail_ref} (rel err {rel:.3})",
+            opt.mean
+        );
+        let nf = optimize_lbp1(&p.without_failures(), m0, WorkState::BOTH_UP);
+        let rel_nf = (nf.mean - nofail_ref).abs() / nofail_ref;
+        assert!(
+            rel_nf < 0.15,
+            "workload {m0:?}: no-failure mean {} vs paper {nofail_ref} (rel err {rel_nf:.3})",
+            nf.mean
+        );
+    }
+}
+
+/// The sweep of Fig. 3 printed for eyeballing with `--nocapture`.
+#[test]
+fn fig3_sweep_prints() {
+    let p = TwoNodeParams::paper();
+    let ev_f = Lbp1Evaluator::new(&p, [100, 60]);
+    let ev_n = Lbp1Evaluator::new(&p.without_failures(), [100, 60]);
+    println!("K      theory(fail)  theory(no-fail)");
+    for i in 0..=20 {
+        let k = f64::from(i) * 0.05;
+        let f = ev_f.mean_for_gain(0, k, WorkState::BOTH_UP);
+        let n = ev_n.mean_for_gain(0, k, WorkState::BOTH_UP);
+        println!("{k:<6.2} {f:<13.2} {n:<15.2}");
+        assert!(f > n, "churn curve must lie above the no-failure curve");
+    }
+}

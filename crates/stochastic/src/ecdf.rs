@@ -1,0 +1,170 @@
+//! Empirical cumulative distribution functions and the Kolmogorov–Smirnov
+//! distance.
+//!
+//! Used to (a) regenerate Fig. 5-style CDF plots from Monte-Carlo output and
+//! (b) *test* that simulated completion-time laws agree with the analytical
+//! CDF of Eq. (5).
+
+/// Empirical CDF of a sample, queryable at arbitrary points.
+#[derive(Clone, Debug)]
+pub struct Ecdf {
+    sorted: Vec<f64>,
+}
+
+impl Ecdf {
+    /// Builds the ECDF of `samples`.
+    ///
+    /// # Panics
+    /// Panics if `samples` is empty or contains NaN.
+    #[must_use]
+    pub fn new(mut samples: Vec<f64>) -> Self {
+        assert!(!samples.is_empty(), "ECDF needs at least one sample");
+        assert!(samples.iter().all(|x| !x.is_nan()), "NaN in ECDF input");
+        samples.sort_by(|a, b| a.partial_cmp(b).expect("checked for NaN"));
+        Self { sorted: samples }
+    }
+
+    /// Number of samples.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// Always false (construction rejects empty data).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.sorted.is_empty()
+    }
+
+    /// Evaluates `F̂(x) = #{samples ≤ x} / n`.
+    #[must_use]
+    pub fn eval(&self, x: f64) -> f64 {
+        let count = self.sorted.partition_point(|&s| s <= x);
+        count as f64 / self.sorted.len() as f64
+    }
+
+    /// The sorted underlying samples.
+    #[must_use]
+    pub fn samples(&self) -> &[f64] {
+        &self.sorted
+    }
+
+    /// One-sample Kolmogorov–Smirnov statistic against a reference CDF `f`:
+    /// `sup_x |F̂(x) − F(x)|`, evaluated at the sample points (where the
+    /// supremum of a step-vs-continuous comparison is attained).
+    pub fn ks_distance<F: Fn(f64) -> f64>(&self, f: F) -> f64 {
+        let n = self.sorted.len() as f64;
+        let mut d: f64 = 0.0;
+        for (i, &x) in self.sorted.iter().enumerate() {
+            let fx = f(x);
+            let hi = (i as f64 + 1.0) / n - fx; // F̂ just after x
+            let lo = fx - i as f64 / n; // F̂ just before x
+            d = d.max(hi.abs()).max(lo.abs());
+        }
+        d
+    }
+
+    /// Two-sample Kolmogorov–Smirnov statistic `sup_x |F̂₁(x) − F̂₂(x)|`.
+    #[must_use]
+    pub fn ks_two_sample(&self, other: &Ecdf) -> f64 {
+        let mut d: f64 = 0.0;
+        for &x in self.sorted.iter().chain(other.sorted.iter()) {
+            d = d.max((self.eval(x) - other.eval(x)).abs());
+        }
+        d
+    }
+}
+
+/// Critical value of the one-sample KS test at significance `alpha`
+/// (asymptotic formula `c(α)·√(1/n)`); the Monte-Carlo-vs-model tests accept
+/// when the statistic is below this.
+///
+/// Supported `alpha`: 0.10, 0.05, 0.01, 0.001.
+///
+/// # Panics
+/// Panics for unsupported significance levels.
+#[must_use]
+pub fn ks_critical_value(n: usize, alpha: f64) -> f64 {
+    let c = if (alpha - 0.10).abs() < 1e-12 {
+        1.224
+    } else if (alpha - 0.05).abs() < 1e-12 {
+        1.358
+    } else if (alpha - 0.01).abs() < 1e-12 {
+        1.628
+    } else if (alpha - 0.001).abs() < 1e-12 {
+        1.949
+    } else {
+        panic!("unsupported alpha {alpha}")
+    };
+    c / (n as f64).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eval_steps() {
+        let e = Ecdf::new(vec![1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(e.eval(0.5), 0.0);
+        assert_eq!(e.eval(1.0), 0.25);
+        assert_eq!(e.eval(2.5), 0.5);
+        assert_eq!(e.eval(4.0), 1.0);
+        assert_eq!(e.eval(9.0), 1.0);
+    }
+
+    #[test]
+    fn handles_ties() {
+        let e = Ecdf::new(vec![2.0, 2.0, 2.0, 5.0]);
+        assert_eq!(e.eval(1.9), 0.0);
+        assert_eq!(e.eval(2.0), 0.75);
+    }
+
+    #[test]
+    fn ks_zero_against_itself_like_cdf() {
+        // ECDF vs a step-matching CDF evaluated from the same points can't be
+        // exactly zero, but vs the true law of a large sample it is small.
+        use crate::dist::{Exponential, Sample};
+        use crate::rng::Xoshiro256pp;
+        let d = Exponential::new(1.0);
+        let mut rng = Xoshiro256pp::seed_from_u64(77);
+        let n = 20_000;
+        let e = Ecdf::new((0..n).map(|_| d.sample(&mut rng)).collect());
+        let ks = e.ks_distance(|x| d.cdf(x));
+        assert!(ks < ks_critical_value(n, 0.001), "ks = {ks}");
+    }
+
+    #[test]
+    fn ks_detects_wrong_distribution() {
+        use crate::dist::{Exponential, Sample};
+        use crate::rng::Xoshiro256pp;
+        let d = Exponential::new(1.0);
+        let wrong = Exponential::new(2.0);
+        let mut rng = Xoshiro256pp::seed_from_u64(78);
+        let n = 20_000;
+        let e = Ecdf::new((0..n).map(|_| d.sample(&mut rng)).collect());
+        let ks = e.ks_distance(|x| wrong.cdf(x));
+        assert!(ks > ks_critical_value(n, 0.001), "ks = {ks} should reject");
+    }
+
+    #[test]
+    fn two_sample_ks_symmetric() {
+        let a = Ecdf::new(vec![1.0, 2.0, 3.0]);
+        let b = Ecdf::new(vec![1.5, 2.5, 3.5, 4.5]);
+        let d1 = a.ks_two_sample(&b);
+        let d2 = b.ks_two_sample(&a);
+        assert!((d1 - d2).abs() < 1e-12);
+        assert!(d1 > 0.0);
+    }
+
+    #[test]
+    fn critical_value_decreases_with_n() {
+        assert!(ks_critical_value(100, 0.05) > ks_critical_value(10_000, 0.05));
+    }
+
+    #[test]
+    #[should_panic(expected = "unsupported alpha")]
+    fn critical_value_rejects_unknown_alpha() {
+        let _ = ks_critical_value(100, 0.2);
+    }
+}

@@ -1,0 +1,177 @@
+//! Fixed-bin histograms and empirical density estimates.
+//!
+//! Figure 1 of the paper shows empirically estimated pdfs of the per-task
+//! processing time; Figure 2 the pdf of the per-task transfer delay. The
+//! harness regenerates both with [`Histogram::density`].
+
+/// Equal-width histogram over `[lo, hi)` with overflow/underflow counters.
+#[derive(Clone, Debug)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    counts: Vec<u64>,
+    underflow: u64,
+    overflow: u64,
+    total: u64,
+}
+
+impl Histogram {
+    /// Creates a histogram with `bins` equal-width bins spanning `[lo, hi)`.
+    ///
+    /// # Panics
+    /// Panics unless `lo < hi` and `bins > 0`.
+    #[must_use]
+    pub fn new(lo: f64, hi: f64, bins: usize) -> Self {
+        assert!(lo.is_finite() && hi.is_finite() && lo < hi, "need lo < hi");
+        assert!(bins > 0, "need at least one bin");
+        Self { lo, hi, counts: vec![0; bins], underflow: 0, overflow: 0, total: 0 }
+    }
+
+    /// Records one observation.
+    pub fn add(&mut self, x: f64) {
+        assert!(x.is_finite(), "non-finite observation: {x}");
+        self.total += 1;
+        if x < self.lo {
+            self.underflow += 1;
+        } else if x >= self.hi {
+            self.overflow += 1;
+        } else {
+            let w = (self.hi - self.lo) / self.counts.len() as f64;
+            let idx = ((x - self.lo) / w) as usize;
+            // guard against floating rounding right at the top edge
+            let idx = idx.min(self.counts.len() - 1);
+            self.counts[idx] += 1;
+        }
+    }
+
+    /// Records every observation of a slice.
+    pub fn add_all(&mut self, xs: &[f64]) {
+        for &x in xs {
+            self.add(x);
+        }
+    }
+
+    /// Number of bins.
+    #[must_use]
+    pub fn bins(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Bin width.
+    #[must_use]
+    pub fn bin_width(&self) -> f64 {
+        (self.hi - self.lo) / self.counts.len() as f64
+    }
+
+    /// Raw count of bin `i`.
+    #[must_use]
+    pub fn count(&self, i: usize) -> u64 {
+        self.counts[i]
+    }
+
+    /// Total observations recorded (including under/overflow).
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Observations that fell below `lo`.
+    #[must_use]
+    pub fn underflow(&self) -> u64 {
+        self.underflow
+    }
+
+    /// Observations at or above `hi`.
+    #[must_use]
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// Midpoint of bin `i`.
+    #[must_use]
+    pub fn center(&self, i: usize) -> f64 {
+        self.lo + (i as f64 + 0.5) * self.bin_width()
+    }
+
+    /// Density estimate for bin `i`: `count / (total · bin_width)`.
+    /// Integrates to ≤ 1 (equality when nothing over/underflowed).
+    #[must_use]
+    pub fn density(&self, i: usize) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.counts[i] as f64 / (self.total as f64 * self.bin_width())
+        }
+    }
+
+    /// `(center, density)` series for the whole histogram — what the Fig. 1/2
+    /// harness prints.
+    #[must_use]
+    pub fn density_series(&self) -> Vec<(f64, f64)> {
+        (0..self.bins()).map(|i| (self.center(i), self.density(i))).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bins_and_edges() {
+        let mut h = Histogram::new(0.0, 10.0, 10);
+        h.add(0.0);
+        h.add(0.999);
+        h.add(9.999);
+        h.add(-0.1);
+        h.add(10.0);
+        assert_eq!(h.count(0), 2);
+        assert_eq!(h.count(9), 1);
+        assert_eq!(h.underflow(), 1);
+        assert_eq!(h.overflow(), 1);
+        assert_eq!(h.total(), 5);
+    }
+
+    #[test]
+    fn density_integrates_to_one_without_overflow() {
+        let mut h = Histogram::new(0.0, 1.0, 20);
+        for i in 0..1000 {
+            h.add((f64::from(i) + 0.5) / 1000.0);
+        }
+        let integral: f64 = (0..h.bins()).map(|i| h.density(i) * h.bin_width()).sum();
+        assert!((integral - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn exponential_histogram_tracks_pdf() {
+        use crate::dist::{Exponential, Sample};
+        use crate::rng::Xoshiro256pp;
+        let d = Exponential::new(1.86);
+        let mut rng = Xoshiro256pp::seed_from_u64(42);
+        let mut h = Histogram::new(0.0, 5.0, 25);
+        for _ in 0..200_000 {
+            h.add(d.sample(&mut rng));
+        }
+        for i in 0..h.bins() {
+            let x = h.center(i);
+            assert!(
+                (h.density(i) - d.pdf(x)).abs() < 0.05,
+                "bin {i}: density {} vs pdf {}",
+                h.density(i),
+                d.pdf(x)
+            );
+        }
+    }
+
+    #[test]
+    fn centers_are_midpoints() {
+        let h = Histogram::new(1.0, 2.0, 4);
+        assert!((h.center(0) - 1.125).abs() < 1e-12);
+        assert!((h.center(3) - 1.875).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "lo < hi")]
+    fn rejects_inverted_range() {
+        let _ = Histogram::new(2.0, 1.0, 4);
+    }
+}

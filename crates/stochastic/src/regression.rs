@@ -1,0 +1,100 @@
+//! Ordinary least-squares straight-line fit.
+//!
+//! Figure 2 (bottom) of the paper fits the mean transfer delay as a linear
+//! function of the number of tasks transferred; the harness reproduces that
+//! fit with [`fit_line`].
+
+/// Result of a least-squares line fit `y ≈ slope·x + intercept`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct LineFit {
+    /// Slope of the fitted line.
+    pub slope: f64,
+    /// Intercept of the fitted line.
+    pub intercept: f64,
+    /// Coefficient of determination in `[0, 1]` (1 = perfect fit).
+    pub r_squared: f64,
+}
+
+impl LineFit {
+    /// Evaluates the fitted line at `x`.
+    #[must_use]
+    pub fn eval(&self, x: f64) -> f64 {
+        self.slope * x + self.intercept
+    }
+}
+
+/// Fits `y = slope·x + intercept` by ordinary least squares.
+///
+/// # Panics
+/// Panics if the slices have different lengths, fewer than two points, or if
+/// all `x` are identical (degenerate design matrix).
+#[must_use]
+pub fn fit_line(xs: &[f64], ys: &[f64]) -> LineFit {
+    assert_eq!(xs.len(), ys.len(), "x/y length mismatch");
+    assert!(xs.len() >= 2, "need at least two points");
+    let n = xs.len() as f64;
+    let mx = xs.iter().sum::<f64>() / n;
+    let my = ys.iter().sum::<f64>() / n;
+    let sxx: f64 = xs.iter().map(|x| (x - mx) * (x - mx)).sum();
+    assert!(sxx > 0.0, "all x identical — cannot fit a line");
+    let sxy: f64 = xs.iter().zip(ys).map(|(x, y)| (x - mx) * (y - my)).sum();
+    let slope = sxy / sxx;
+    let intercept = my - slope * mx;
+    let ss_tot: f64 = ys.iter().map(|y| (y - my) * (y - my)).sum();
+    let ss_res: f64 = xs
+        .iter()
+        .zip(ys)
+        .map(|(x, y)| {
+            let e = y - (slope * x + intercept);
+            e * e
+        })
+        .sum();
+    let r_squared = if ss_tot == 0.0 { 1.0 } else { 1.0 - ss_res / ss_tot };
+    LineFit { slope, intercept, r_squared }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_line_is_recovered() {
+        let xs: Vec<f64> = (0..20).map(f64::from).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| 0.02 * x + 0.5).collect();
+        let f = fit_line(&xs, &ys);
+        assert!((f.slope - 0.02).abs() < 1e-12);
+        assert!((f.intercept - 0.5).abs() < 1e-12);
+        assert!((f.r_squared - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn noisy_line_recovered_approximately() {
+        use crate::rng::Xoshiro256pp;
+        let mut rng = Xoshiro256pp::seed_from_u64(5);
+        let xs: Vec<f64> = (1..=100).map(f64::from).collect();
+        let ys: Vec<f64> =
+            xs.iter().map(|x| 0.02 * x + 0.1 + 0.01 * (rng.next_f64() - 0.5)).collect();
+        let f = fit_line(&xs, &ys);
+        assert!((f.slope - 0.02).abs() < 1e-3, "slope {}", f.slope);
+        assert!((f.intercept - 0.1).abs() < 0.01, "intercept {}", f.intercept);
+        assert!(f.r_squared > 0.99);
+    }
+
+    #[test]
+    fn eval_matches_parameters() {
+        let f = LineFit { slope: 2.0, intercept: 1.0, r_squared: 1.0 };
+        assert_eq!(f.eval(3.0), 7.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_lengths_panic() {
+        let _ = fit_line(&[1.0, 2.0], &[1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "all x identical")]
+    fn degenerate_x_panics() {
+        let _ = fit_line(&[1.0, 1.0, 1.0], &[1.0, 2.0, 3.0]);
+    }
+}

@@ -1,0 +1,432 @@
+//! Pseudo-random number generation.
+//!
+//! The suite deliberately ships its own PRNG instead of depending on an
+//! external crate: Monte-Carlo regression tests require *bit-exact*
+//! reproducibility across platforms, thread counts and crate-version bumps.
+//! The generator is xoshiro256++ (Blackman & Vigna), seeded through
+//! SplitMix64 exactly as its authors recommend; both algorithms are public
+//! domain and tiny.
+
+/// SplitMix64 generator, used to expand a single `u64` seed into
+/// full-entropy state words for [`Xoshiro256pp`].
+///
+/// It is also a perfectly serviceable (if statistically weaker) generator in
+/// its own right, and is used to derive per-stream seeds in
+/// [`StreamFactory`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Creates a generator from an arbitrary seed. Any value (including 0)
+    /// is acceptable.
+    #[must_use]
+    pub fn new(seed: u64) -> Self {
+        Self { state: seed }
+    }
+
+    /// Returns the next 64-bit output.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+#[inline]
+fn rotl(x: u64, k: u32) -> u64 {
+    x.rotate_left(k)
+}
+
+/// xoshiro256++ 1.0 — the suite's workhorse generator.
+///
+/// 256 bits of state, period `2^256 − 1`, passes BigCrush. Supports
+/// `jump`/`long_jump` for partitioning the output sequence into provably
+/// non-overlapping streams.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Xoshiro256pp {
+    s: [u64; 4],
+}
+
+/// Polynomial for [`Xoshiro256pp::jump`]: advances the stream by `2^128`
+/// outputs.
+const JUMP: [u64; 4] = [
+    0x180e_c6d3_3cfd_0aba,
+    0xd5a6_1266_f0c9_392c,
+    0xa958_2618_e03f_c9aa,
+    0x39ab_dc45_29b1_661c,
+];
+
+/// Polynomial for [`Xoshiro256pp::long_jump`]: advances the stream by
+/// `2^192` outputs.
+const LONG_JUMP: [u64; 4] = [
+    0x76e1_5d3e_fefd_cbbf,
+    0xc500_4e44_1c52_2fb3,
+    0x7771_0069_854e_e241,
+    0x3910_9bb0_2acb_e635,
+];
+
+impl Xoshiro256pp {
+    /// Seeds the generator by running SplitMix64 over `seed`, as recommended
+    /// by the xoshiro authors. The resulting state is never all-zero.
+    #[must_use]
+    pub fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = SplitMix64::new(seed);
+        let mut s = [0u64; 4];
+        for w in &mut s {
+            *w = sm.next_u64();
+        }
+        // All-zero state is the single invalid fixed point; SplitMix64 cannot
+        // produce four consecutive zeros from any seed, but guard anyway.
+        if s == [0, 0, 0, 0] {
+            s[0] = 0x9E37_79B9_7F4A_7C15;
+        }
+        Self { s }
+    }
+
+    /// Builds a generator directly from four state words.
+    ///
+    /// # Panics
+    /// Panics if all four words are zero (the invalid fixed point).
+    #[must_use]
+    pub fn from_state(s: [u64; 4]) -> Self {
+        assert!(s != [0, 0, 0, 0], "xoshiro256++ state must be non-zero");
+        Self { s }
+    }
+
+    /// Returns the next 64-bit output.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        let result = rotl(self.s[0].wrapping_add(self.s[3]), 23).wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = rotl(self.s[3], 45);
+        result
+    }
+
+    /// Returns a uniform `f64` in `[0, 1)` using the top 53 bits.
+    #[inline]
+    pub fn next_f64(&mut self) -> f64 {
+        // 2^-53; the mantissa of an f64 holds exactly 53 bits.
+        const SCALE: f64 = 1.0 / (1u64 << 53) as f64;
+        ((self.next_u64() >> 11) as f64) * SCALE
+    }
+
+    /// Returns a uniform `f64` in the *open* interval `(0, 1]`.
+    ///
+    /// Useful for `-ln(u)` style inverse-CDF sampling where `u = 0` would
+    /// produce infinity.
+    #[inline]
+    pub fn next_f64_open(&mut self) -> f64 {
+        1.0 - self.next_f64()
+    }
+
+    /// Returns a uniform integer in `[0, n)`.
+    ///
+    /// Uses Lemire's multiply-shift rejection method, which is unbiased.
+    ///
+    /// # Panics
+    /// Panics if `n == 0`.
+    pub fn next_below(&mut self, n: u64) -> u64 {
+        assert!(n > 0, "next_below(0) is meaningless");
+        // Lemire 2019: unbiased bounded generation without division in the
+        // common case.
+        let mut x = self.next_u64();
+        let mut m = (x as u128).wrapping_mul(n as u128);
+        let mut lo = m as u64;
+        if lo < n {
+            let threshold = n.wrapping_neg() % n;
+            while lo < threshold {
+                x = self.next_u64();
+                m = (x as u128).wrapping_mul(n as u128);
+                lo = m as u64;
+            }
+        }
+        (m >> 64) as u64
+    }
+
+    /// Samples `Exp(rate)` via inversion: `-ln(U)/rate` with `U ∈ (0, 1]`.
+    ///
+    /// # Panics
+    /// Panics if `rate` is not strictly positive and finite.
+    #[inline]
+    pub fn exp(&mut self, rate: f64) -> f64 {
+        assert!(rate > 0.0 && rate.is_finite(), "exponential rate must be positive");
+        -self.next_f64_open().ln() / rate
+    }
+
+    /// Advances the generator by `2^128` steps. 16 jumps partition the period
+    /// into non-overlapping substreams of length `2^128` each.
+    pub fn jump(&mut self) {
+        self.apply_jump(&JUMP);
+    }
+
+    /// Advances the generator by `2^192` steps (for coarser partitioning).
+    pub fn long_jump(&mut self) {
+        self.apply_jump(&LONG_JUMP);
+    }
+
+    fn apply_jump(&mut self, poly: &[u64; 4]) {
+        let mut acc = [0u64; 4];
+        for &p in poly {
+            for b in 0..64 {
+                if (p >> b) & 1 == 1 {
+                    for (a, s) in acc.iter_mut().zip(self.s.iter()) {
+                        *a ^= s;
+                    }
+                }
+                self.next_u64();
+            }
+        }
+        self.s = acc;
+    }
+}
+
+/// Derives independent, replayable random streams from a single master seed.
+///
+/// ```
+/// use churnbal_stochastic::StreamFactory;
+/// let f = StreamFactory::new(42);
+/// let mut service = f.stream(0);
+/// let mut churn = f.stream(1);
+/// // Replayable: the same (seed, id) always yields the same sequence.
+/// assert_eq!(f.stream(0).next_u64(), service.next_u64());
+/// // Streams do not track each other.
+/// assert_ne!(service.next_u64(), churn.next_u64());
+/// ```
+///
+/// Every named consumer (a Monte-Carlo replication, a node's service
+/// process, a failure injector …) asks for `stream(id)` and receives a
+/// generator whose seed depends only on `(master_seed, id)`. This gives:
+///
+/// * determinism under any parallel schedule — streams are pre-assigned, not
+///   drawn from a shared generator in scheduling order;
+/// * stability when the number of consumers changes — adding stream 7 does
+///   not perturb streams 0–6.
+#[derive(Clone, Debug)]
+pub struct StreamFactory {
+    master: u64,
+}
+
+impl StreamFactory {
+    /// Creates a factory for the given master seed.
+    #[must_use]
+    pub fn new(master: u64) -> Self {
+        Self { master }
+    }
+
+    /// Returns the master seed the factory was created with.
+    #[must_use]
+    pub fn master(&self) -> u64 {
+        self.master
+    }
+
+    /// Returns the generator for stream `id`.
+    ///
+    /// Streams are derived by hashing `(master, id)` through SplitMix64, so
+    /// any two distinct ids give (with overwhelming probability)
+    /// far-separated points of the xoshiro sequence space.
+    #[must_use]
+    pub fn stream(&self, id: u64) -> Xoshiro256pp {
+        let mut sm = SplitMix64::new(self.master ^ id.wrapping_mul(0xA076_1D64_78BD_642F));
+        // burn one output so that id=0 does not coincide with the raw master
+        // sequence
+        sm.next_u64();
+        Xoshiro256pp::seed_from_u64(sm.next_u64())
+    }
+
+    /// Returns a sub-factory for a namespaced group of streams (e.g. one per
+    /// replication, which then derives per-process streams internally).
+    #[must_use]
+    pub fn subfactory(&self, id: u64) -> StreamFactory {
+        let mut sm = SplitMix64::new(self.master ^ id.wrapping_mul(0x9E6C_63D0_876A_3F6B));
+        sm.next_u64();
+        StreamFactory::new(sm.next_u64())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splitmix_is_deterministic() {
+        let mut a = SplitMix64::new(42);
+        let mut b = SplitMix64::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn splitmix_differs_across_seeds() {
+        let mut a = SplitMix64::new(1);
+        let mut b = SplitMix64::new(2);
+        let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn xoshiro_is_deterministic() {
+        let mut a = Xoshiro256pp::seed_from_u64(7);
+        let mut b = Xoshiro256pp::seed_from_u64(7);
+        for _ in 0..1000 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn xoshiro_f64_in_unit_interval() {
+        let mut r = Xoshiro256pp::seed_from_u64(3);
+        for _ in 0..10_000 {
+            let x = r.next_f64();
+            assert!((0.0..1.0).contains(&x), "{x} out of [0,1)");
+        }
+    }
+
+    #[test]
+    fn xoshiro_f64_open_never_zero() {
+        let mut r = Xoshiro256pp::seed_from_u64(3);
+        for _ in 0..10_000 {
+            let x = r.next_f64_open();
+            assert!(x > 0.0 && x <= 1.0);
+        }
+    }
+
+    #[test]
+    fn xoshiro_mean_is_near_half() {
+        let mut r = Xoshiro256pp::seed_from_u64(11);
+        let n = 100_000;
+        let mean: f64 = (0..n).map(|_| r.next_f64()).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+    }
+
+    #[test]
+    fn xoshiro_low_serial_correlation() {
+        let mut r = Xoshiro256pp::seed_from_u64(13);
+        let n = 100_000;
+        let xs: Vec<f64> = (0..n).map(|_| r.next_f64() - 0.5).collect();
+        let corr: f64 = xs.windows(2).map(|w| w[0] * w[1]).sum::<f64>() / (n - 1) as f64;
+        // variance of U(0,1) is 1/12; lag-1 autocovariance should be ~0
+        assert!(corr.abs() < 0.005, "lag-1 autocovariance {corr}");
+    }
+
+    #[test]
+    fn jump_decorrelates() {
+        let mut a = Xoshiro256pp::seed_from_u64(5);
+        let mut b = a.clone();
+        b.jump();
+        let equal = (0..1000).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(equal, 0);
+    }
+
+    #[test]
+    fn long_jump_differs_from_jump() {
+        let base = Xoshiro256pp::seed_from_u64(5);
+        let mut j = base.clone();
+        j.jump();
+        let mut lj = base.clone();
+        lj.long_jump();
+        assert_ne!(j, lj);
+    }
+
+    #[test]
+    fn jump_is_an_advance_of_the_same_sequence() {
+        // Jump must commute with stepping: step-then-jump == jump-then-step.
+        let base = Xoshiro256pp::seed_from_u64(17);
+        let mut a = base.clone();
+        a.next_u64();
+        a.jump();
+        let mut b = base.clone();
+        b.jump();
+        b.next_u64();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn next_below_is_in_range_and_covers() {
+        let mut r = Xoshiro256pp::seed_from_u64(23);
+        let mut seen = [false; 7];
+        for _ in 0..10_000 {
+            let v = r.next_below(7) as usize;
+            assert!(v < 7);
+            seen[v] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all residues should appear");
+    }
+
+    #[test]
+    fn next_below_is_roughly_uniform() {
+        let mut r = Xoshiro256pp::seed_from_u64(29);
+        let n = 70_000;
+        let mut counts = [0u32; 7];
+        for _ in 0..n {
+            counts[r.next_below(7) as usize] += 1;
+        }
+        let expected = n as f64 / 7.0;
+        for c in counts {
+            assert!((f64::from(c) - expected).abs() < expected * 0.05, "count {c}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "meaningless")]
+    fn next_below_zero_panics() {
+        Xoshiro256pp::seed_from_u64(1).next_below(0);
+    }
+
+    #[test]
+    fn exp_sampling_matches_mean() {
+        let mut r = Xoshiro256pp::seed_from_u64(31);
+        let n = 200_000;
+        let rate = 1.86;
+        let mean: f64 = (0..n).map(|_| r.exp(rate)).sum::<f64>() / n as f64;
+        assert!((mean - 1.0 / rate).abs() < 0.01, "mean {mean}");
+    }
+
+    #[test]
+    #[should_panic(expected = "rate must be positive")]
+    fn exp_rejects_nonpositive_rate() {
+        Xoshiro256pp::seed_from_u64(1).exp(0.0);
+    }
+
+    #[test]
+    fn streams_are_independent_and_replayable() {
+        let f = StreamFactory::new(99);
+        let mut s0a = f.stream(0);
+        let mut s0b = f.stream(0);
+        let mut s1 = f.stream(1);
+        let mut same01 = 0;
+        for _ in 0..1000 {
+            assert_eq!(s0a.next_u64(), s0b.next_u64());
+            if s0a.clone().next_u64() == s1.next_u64() {
+                same01 += 1;
+            }
+        }
+        assert!(same01 <= 1, "streams 0 and 1 should not track each other");
+    }
+
+    #[test]
+    fn subfactory_streams_do_not_collide_with_parent() {
+        let f = StreamFactory::new(7);
+        let sub = f.subfactory(0);
+        let mut a = f.stream(0);
+        let mut b = sub.stream(0);
+        let equal = (0..100).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert!(equal <= 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn from_state_rejects_zero() {
+        let _ = Xoshiro256pp::from_state([0; 4]);
+    }
+}

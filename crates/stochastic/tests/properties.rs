@@ -1,0 +1,141 @@
+//! Property-based tests of the stochastic foundations.
+
+use churnbal_stochastic::{
+    dist::Sample, stats::quantile, Deterministic, Ecdf, Erlang, Exponential, Histogram,
+    OnlineStats, StreamFactory, Uniform, Xoshiro256pp,
+};
+use proptest::prelude::*;
+
+proptest! {
+    /// Exponential samples are strictly positive and finite for any rate.
+    #[test]
+    fn exponential_support(rate in 0.01f64..100.0, seed in any::<u64>()) {
+        let d = Exponential::new(rate);
+        let mut rng = Xoshiro256pp::seed_from_u64(seed);
+        for _ in 0..100 {
+            let x = d.sample(&mut rng);
+            prop_assert!(x > 0.0 && x.is_finite());
+        }
+    }
+
+    /// Uniform samples stay inside their interval.
+    #[test]
+    fn uniform_support(lo in -100.0f64..100.0, width in 0.001f64..100.0, seed in any::<u64>()) {
+        let d = Uniform::new(lo, lo + width);
+        let mut rng = Xoshiro256pp::seed_from_u64(seed);
+        for _ in 0..100 {
+            let x = d.sample(&mut rng);
+            prop_assert!(x >= lo && x < lo + width);
+        }
+    }
+
+    /// Erlang mean parameterisation is exact for any (k, mean).
+    #[test]
+    fn erlang_mean_roundtrip(k in 1u32..20, mean in 0.01f64..50.0) {
+        let d = Erlang::with_mean(k, mean);
+        prop_assert!((d.mean() - mean).abs() < 1e-9 * mean.max(1.0));
+    }
+
+    /// Welford merge equals sequential accumulation for arbitrary splits.
+    #[test]
+    fn stats_merge_associativity(
+        xs in prop::collection::vec(-1e6f64..1e6, 1..200),
+        split in 0usize..200,
+    ) {
+        let split = split.min(xs.len());
+        let mut left = OnlineStats::from_slice(&xs[..split]);
+        let right = OnlineStats::from_slice(&xs[split..]);
+        left.merge(&right);
+        let whole = OnlineStats::from_slice(&xs);
+        prop_assert_eq!(left.count(), whole.count());
+        prop_assert!((left.mean() - whole.mean()).abs() <= 1e-6 * whole.mean().abs().max(1.0));
+        prop_assert!((left.variance() - whole.variance()).abs()
+            <= 1e-6 * whole.variance().abs().max(1.0));
+    }
+
+    /// min <= mean <= max always.
+    #[test]
+    fn stats_ordering(xs in prop::collection::vec(-1e6f64..1e6, 1..100)) {
+        let s = OnlineStats::from_slice(&xs);
+        prop_assert!(s.min() <= s.mean() + 1e-9);
+        prop_assert!(s.mean() <= s.max() + 1e-9);
+    }
+
+    /// Quantiles are monotone in q and bounded by the extremes.
+    #[test]
+    fn quantile_monotone(xs in prop::collection::vec(-1e3f64..1e3, 2..100)) {
+        let q25 = quantile(&xs, 0.25);
+        let q50 = quantile(&xs, 0.50);
+        let q75 = quantile(&xs, 0.75);
+        prop_assert!(q25 <= q50 && q50 <= q75);
+        prop_assert!(quantile(&xs, 0.0) <= q25);
+        prop_assert!(q75 <= quantile(&xs, 1.0));
+    }
+
+    /// The ECDF is monotone, 0 before the minimum, 1 from the maximum on.
+    #[test]
+    fn ecdf_shape(xs in prop::collection::vec(-1e3f64..1e3, 1..100)) {
+        let e = Ecdf::new(xs.clone());
+        let lo = xs.iter().copied().fold(f64::INFINITY, f64::min);
+        let hi = xs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert_eq!(e.eval(lo - 1.0), 0.0);
+        prop_assert_eq!(e.eval(hi), 1.0);
+        let mut prev = 0.0;
+        for i in 0..=20 {
+            let t = lo + (hi - lo) * f64::from(i) / 20.0;
+            let v = e.eval(t);
+            prop_assert!(v >= prev - 1e-12);
+            prev = v;
+        }
+    }
+
+    /// Histogram density integrates to exactly the covered fraction.
+    #[test]
+    fn histogram_integral(
+        xs in prop::collection::vec(0.0f64..10.0, 1..500),
+        bins in 1usize..64,
+    ) {
+        let mut h = Histogram::new(0.0, 5.0, bins);
+        h.add_all(&xs);
+        let covered = xs.iter().filter(|&&x| x < 5.0).count() as f64 / xs.len() as f64;
+        let integral: f64 = (0..h.bins()).map(|i| h.density(i) * h.bin_width()).sum();
+        prop_assert!((integral - covered).abs() < 1e-9);
+    }
+
+    /// Streams derived from the same (seed, id) agree; different ids do not
+    /// produce identical prefixes.
+    #[test]
+    fn stream_identity(seed in any::<u64>(), id in 0u64..1000) {
+        let f = StreamFactory::new(seed);
+        let mut a = f.stream(id);
+        let mut b = f.stream(id);
+        let mut c = f.stream(id.wrapping_add(1));
+        let mut all_equal = true;
+        for _ in 0..32 {
+            let x = a.next_u64();
+            prop_assert_eq!(x, b.next_u64());
+            if x != c.next_u64() {
+                all_equal = false;
+            }
+        }
+        prop_assert!(!all_equal, "adjacent streams must diverge");
+    }
+
+    /// Deterministic distribution is, in fact, deterministic.
+    #[test]
+    fn deterministic_point_mass(v in 0.0f64..1e6, seed in any::<u64>()) {
+        let d = Deterministic::new(v);
+        let mut rng = Xoshiro256pp::seed_from_u64(seed);
+        prop_assert_eq!(d.sample(&mut rng), v);
+        prop_assert_eq!(d.variance(), 0.0);
+    }
+
+    /// next_below(n) < n for all n.
+    #[test]
+    fn next_below_bound(n in 1u64..1_000_000, seed in any::<u64>()) {
+        let mut rng = Xoshiro256pp::seed_from_u64(seed);
+        for _ in 0..50 {
+            prop_assert!(rng.next_below(n) < n);
+        }
+    }
+}

@@ -1,0 +1,57 @@
+//! The policy-crossover study (Table 3, finer grid): when does preemptive
+//! LBP-1 overtake reactive LBP-2 as the network slows down?
+//!
+//! ```text
+//! cargo run --release --example policy_crossover
+//! ```
+//!
+//! Paper §4/§5: "when the network delays are small compared to the average
+//! recovery times, LBP-2 outperforms LBP-1. In contrast, when the network
+//! delays are large …, it is advantageous to use the LBP-1."
+
+use churnbal::prelude::*;
+
+fn main() {
+    let m0 = [100u32, 60];
+    let reps = 400;
+    println!("policy crossover, workload (100, 60), {reps} MC reps per point\n");
+    println!(
+        "{:>14} {:>16} {:>18} {:>10}",
+        "delay (s/task)", "LBP-1 model (s)", "LBP-2 MC (s)", "winner"
+    );
+
+    let mut crossover: Option<(f64, f64)> = None;
+    let mut prev: Option<(f64, bool)> = None;
+    for delay in [0.01, 0.1, 0.25, 0.5, 0.75, 1.0, 1.5, 2.0, 3.0] {
+        let mut config = SystemConfig::paper(m0);
+        config.network = NetworkConfig::exponential(delay);
+        let params = model_params(&config);
+        let lbp1 = optimize_lbp1(&params, m0, WorkState::BOTH_UP);
+        let k2 = Lbp2::optimal_initial_gain(&config);
+        let lbp2 = run_replications(&config, &|_| Lbp2::new(k2), reps, 5, 0, SimOptions::default());
+        let lbp2_wins = lbp2.mean() < lbp1.mean;
+        println!(
+            "{delay:>14.2} {:>16.2} {:>13.2} ± {:>4.2} {:>8}",
+            lbp1.mean,
+            lbp2.mean(),
+            lbp2.ci95(),
+            if lbp2_wins { "LBP-2" } else { "LBP-1" }
+        );
+        if let Some((d_prev, prev_wins)) = prev {
+            if prev_wins && !lbp2_wins && crossover.is_none() {
+                crossover = Some((d_prev, delay));
+            }
+        }
+        prev = Some((delay, lbp2_wins));
+    }
+    match crossover {
+        Some((lo, hi)) => {
+            println!("\ncrossover between {lo} and {hi} s/task (paper: between 0.5 and 1 s)");
+            println!(
+                "mean recovery times are 10-20 s; the crossover sits where shipping a\n\
+                 compensation batch costs a noticeable fraction of a recovery period."
+            );
+        }
+        None => println!("\nno crossover in this sweep (increase the range)"),
+    }
+}

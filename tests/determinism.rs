@@ -1,0 +1,78 @@
+//! Integration: reproducibility guarantees across the whole stack.
+
+use churnbal::prelude::*;
+
+/// A full experiment (policy + engine + replication runner) is a pure
+/// function of its seed, regardless of parallelism.
+#[test]
+fn full_stack_determinism_across_thread_counts() {
+    let config = SystemConfig::paper([60, 35]);
+    let k = Lbp2::optimal_initial_gain(&config);
+    let runs: Vec<Vec<f64>> = [1usize, 2, 5, 8]
+        .iter()
+        .map(|&threads| {
+            run_replications(
+                &config,
+                &|_| Lbp2::new(k),
+                48,
+                0xFEED,
+                threads,
+                SimOptions::default(),
+            )
+            .completion_times
+        })
+        .collect();
+    for other in &runs[1..] {
+        assert_eq!(&runs[0], other, "thread count changed the results");
+    }
+}
+
+/// Model evaluations are bit-stable (pure arithmetic, no hidden state).
+#[test]
+fn model_is_bit_stable() {
+    let params = TwoNodeParams::paper();
+    let a = churnbal::model::mean::lbp1_mean(&params, [50, 30], 0, 17, WorkState::BOTH_UP);
+    let b = churnbal::model::mean::lbp1_mean(&params, [50, 30], 0, 17, WorkState::BOTH_UP);
+    assert_eq!(a.to_bits(), b.to_bits());
+}
+
+/// Trace-recording must not perturb the dynamics (observation only).
+#[test]
+fn tracing_does_not_change_the_run() {
+    let config = SystemConfig::paper([40, 25]);
+    let a = simulate(&config, &mut Lbp2::new(1.0), 3, SimOptions::default());
+    let b = simulate(
+        &config,
+        &mut Lbp2::new(1.0),
+        3,
+        SimOptions { record_trace: true, deadline: None },
+    );
+    assert_eq!(a.completion_time, b.completion_time);
+    assert_eq!(a.metrics, b.metrics);
+}
+
+/// Different policies see the same churn path under the same seed
+/// (common random numbers — what makes Fig. 4 and the gain sweeps fair).
+#[test]
+fn churn_path_is_policy_independent() {
+    let config = SystemConfig::paper([80, 50]);
+    let opts = SimOptions { record_trace: true, deadline: None };
+    let a = simulate(&config, &mut NoBalancing, 11, opts);
+    let b = simulate(&config, &mut Lbp2::new(1.0), 11, opts);
+    let ta = a.trace.expect("trace");
+    let tb = b.trace.expect("trace");
+    // Compare the first down-transition of each node (if any) — these are
+    // drawn from the policy-independent churn streams. Completion times
+    // differ, so only compare transitions before the shorter completion.
+    let horizon = a.completion_time.min(b.completion_time);
+    for node in 0..2 {
+        let firsts = |s: &[(f64, bool)]| {
+            s.iter().find(|(t, up)| !up && *t < horizon).map(|(t, _)| *t)
+        };
+        let fa = firsts(ta.state_series(node));
+        let fb = firsts(tb.state_series(node));
+        if let (Some(x), Some(y)) = (fa, fb) {
+            assert_eq!(x, y, "node {node}: first failure time differs between policies");
+        }
+    }
+}
