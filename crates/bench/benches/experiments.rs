@@ -79,7 +79,10 @@ fn fig4_traced_realisation(c: &mut Criterion) {
                 &cfg,
                 &mut Lbp2::new(1.0),
                 seed,
-                SimOptions { record_trace: true, deadline: None },
+                SimOptions {
+                    record_trace: true,
+                    deadline: None,
+                },
             )
             .completion_time
         });
@@ -139,8 +142,7 @@ fn table3_point(c: &mut Criterion) {
         b.iter(|| {
             let lbp1 = optimize_lbp1(&params, FIG3_WORKLOAD, WorkState::BOTH_UP).mean;
             let lbp2 =
-                run_replications(&cfg, &|_| Lbp2::new(1.0), 50, 4, 0, SimOptions::default())
-                    .mean();
+                run_replications(&cfg, &|_| Lbp2::new(1.0), 50, 4, 0, SimOptions::default()).mean();
             black_box((lbp1, lbp2))
         });
     });

@@ -47,7 +47,16 @@ fn bench_cdf_solver(c: &mut Criterion) {
     let params = TwoNodeParams::paper();
     let times: Vec<f64> = (0..=60).map(|i| f64::from(i) * 2.0).collect();
     c.bench_function("eq5_cdf_25_15_L8", |b| {
-        b.iter(|| lbp1_cdf(black_box(&params), [25, 15], 0, 8, WorkState::BOTH_UP, &times));
+        b.iter(|| {
+            lbp1_cdf(
+                black_box(&params),
+                [25, 15],
+                0,
+                8,
+                WorkState::BOTH_UP,
+                &times,
+            )
+        });
     });
 }
 

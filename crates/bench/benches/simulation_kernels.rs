@@ -48,8 +48,13 @@ fn bench_single_runs(c: &mut Criterion) {
         let mut seed = 0;
         b.iter(|| {
             seed += 1;
-            simulate(&cfg, &mut Lbp1::with_gain(0, 1, 100, 0.35), seed, SimOptions::default())
-                .completion_time
+            simulate(
+                &cfg,
+                &mut Lbp1::with_gain(0, 1, 100, 0.35),
+                seed,
+                SimOptions::default(),
+            )
+            .completion_time
         });
     });
     g.bench_function("lbp2", |b| {
@@ -70,8 +75,7 @@ fn bench_replication_runner(c: &mut Criterion) {
         let label = if threads == 1 { "serial" } else { "parallel" };
         g.bench_with_input(BenchmarkId::from_parameter(label), &threads, |b, &t| {
             b.iter(|| {
-                run_replications(&cfg, &|_| Lbp2::new(1.0), 100, 5, t, SimOptions::default())
-                    .mean()
+                run_replications(&cfg, &|_| Lbp2::new(1.0), 100, 5, t, SimOptions::default()).mean()
             });
         });
     }

@@ -15,7 +15,12 @@ pub struct Args {
 
 impl Default for Args {
     fn default() -> Self {
-        Self { reps: 0, seed: 20060425, quick: false, threads: 0 }
+        Self {
+            reps: 0,
+            seed: 20060425,
+            quick: false,
+            threads: 0,
+        }
     }
 }
 
@@ -24,7 +29,7 @@ impl Args {
     /// process arguments. Unknown flags abort with a usage message.
     #[must_use]
     pub fn parse() -> Self {
-        Self::from_iter(std::env::args().skip(1))
+        Self::parse_from(std::env::args().skip(1))
     }
 
     /// Parses from an explicit iterator (testable).
@@ -32,7 +37,7 @@ impl Args {
     /// # Panics
     /// Panics on malformed flags.
     #[must_use]
-    pub fn from_iter<I: IntoIterator<Item = String>>(iter: I) -> Self {
+    pub fn parse_from<I: IntoIterator<Item = String>>(iter: I) -> Self {
         let mut args = Self::default();
         let mut it = iter.into_iter();
         while let Some(flag) = it.next() {
@@ -50,9 +55,9 @@ impl Args {
                     args.threads = v.parse().expect("--threads must be an integer");
                 }
                 "--quick" => args.quick = true,
-                other => panic!(
-                    "unknown flag {other}; supported: --reps N --seed S --threads T --quick"
-                ),
+                other => {
+                    panic!("unknown flag {other}; supported: --reps N --seed S --threads T --quick")
+                }
             }
         }
         args
@@ -76,7 +81,7 @@ mod tests {
     use super::*;
 
     fn parse(s: &[&str]) -> Args {
-        Args::from_iter(s.iter().map(|x| (*x).to_string()))
+        Args::parse_from(s.iter().map(|x| (*x).to_string()))
     }
 
     #[test]

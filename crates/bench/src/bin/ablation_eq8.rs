@@ -29,12 +29,23 @@ fn main() {
         let cfg = mc_config_with_delay(m0, delay);
         let k = Lbp2::optimal_initial_gain(&cfg);
         let run = |mk: &(dyn Fn() -> Lbp2 + Sync)| {
-            run_replications(&cfg, &|_| mk(), reps, args.seed, args.threads, SimOptions::default())
+            run_replications(
+                &cfg,
+                &|_| mk(),
+                reps,
+                args.seed,
+                args.threads,
+                SimOptions::default(),
+            )
         };
         let full = run(&|| Lbp2::new(k));
         let no_avail = run(&|| Lbp2::new(k).without_availability_weight());
         let no_speed = run(&|| Lbp2::new(k).without_speed_weight());
-        let none = run(&|| Lbp2::new(k).without_availability_weight().without_speed_weight());
+        let none = run(&|| {
+            Lbp2::new(k)
+                .without_availability_weight()
+                .without_speed_weight()
+        });
         t.row([
             f2(delay),
             pm(full.mean(), full.ci95()),

@@ -77,5 +77,7 @@ fn main() {
         );
     }
     t.print();
-    println!("\nshape check OK: ignoring churn when picking K never helps, and costs up to several %");
+    println!(
+        "\nshape check OK: ignoring churn when picking K never helps, and costs up to several %"
+    );
 }

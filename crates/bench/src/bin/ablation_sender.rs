@@ -29,8 +29,11 @@ fn main() {
         let ev = Lbp1Evaluator::new(&params, m0);
         let (l0, v0) = optimize_transfer(&ev, 0, WorkState::BOTH_UP);
         let (l1, v1) = optimize_transfer(&ev, 1, WorkState::BOTH_UP);
-        let (right, wrong, right_l) =
-            if v0 <= v1 { (v0, v1, (0, l0)) } else { (v1, v0, (1, l1)) };
+        let (right, wrong, right_l) = if v0 <= v1 {
+            (v0, v1, (0, l0))
+        } else {
+            (v1, v0, (1, l1))
+        };
         let penalty = (wrong / right - 1.0) * 100.0;
         t.row([
             format!("({}, {})", m0[0], m0[1]),

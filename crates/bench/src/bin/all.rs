@@ -12,8 +12,18 @@ use std::process::Command;
 
 fn main() {
     let bins = [
-        "fig1", "fig2", "fig3", "fig4", "fig5", "table1", "table2", "table3",
-        "ablation_gain", "ablation_eq8", "ablation_sender", "extension_multinode",
+        "fig1",
+        "fig2",
+        "fig3",
+        "fig4",
+        "fig5",
+        "table1",
+        "table2",
+        "table3",
+        "ablation_gain",
+        "ablation_eq8",
+        "ablation_sender",
+        "extension_multinode",
         "extension_variance",
     ];
     let exe = std::env::current_exe().expect("own path");

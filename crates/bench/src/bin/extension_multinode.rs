@@ -47,11 +47,30 @@ fn main() {
         let cfg = system(n, 160);
         let opts = SimOptions::default();
         let none = run_replications(&cfg, &|_| NoBalancing, reps, args.seed, args.threads, opts);
-        let init =
-            run_replications(&cfg, &|_| InitialBalanceOnly::new(1.0), reps, args.seed, args.threads, opts);
-        let lbp2 = run_replications(&cfg, &|_| Lbp2::new(1.0), reps, args.seed, args.threads, opts);
-        let multi =
-            run_replications(&cfg, &|_| Lbp1Multi::new(1.0), reps, args.seed, args.threads, opts);
+        let init = run_replications(
+            &cfg,
+            &|_| InitialBalanceOnly::new(1.0),
+            reps,
+            args.seed,
+            args.threads,
+            opts,
+        );
+        let lbp2 = run_replications(
+            &cfg,
+            &|_| Lbp2::new(1.0),
+            reps,
+            args.seed,
+            args.threads,
+            opts,
+        );
+        let multi = run_replications(
+            &cfg,
+            &|_| Lbp1Multi::new(1.0),
+            reps,
+            args.seed,
+            args.threads,
+            opts,
+        );
         t.row([
             n.to_string(),
             pm(none.mean(), none.ci95()),

@@ -34,14 +34,20 @@ fn main() {
     h.add_all(&xs);
     let mut t = TextTable::new(["z (s)", "empirical pdf", "shifted-exp fit"]);
     for (x, d) in h.density_series() {
-        let fitted = if x < sf.shift { 0.0 } else { sf.rate * (-(sf.rate) * (x - sf.shift)).exp() };
+        let fitted = if x < sf.shift {
+            0.0
+        } else {
+            sf.rate * (-(sf.rate) * (x - sf.shift)).exp()
+        };
         t.row([format!("{x:.4}"), f2(d), f2(fitted)]);
     }
     t.print();
 
     // --- Bottom panel: mean delay vs batch size ---
-    let reps = if args.quick { 30 } else { 30 }; // the paper used 30 realisations
-    println!("\nFigure 2 (bottom) — mean transfer delay vs number of tasks ({reps} realisations/point)");
+    let reps = 30; // the paper used 30 realisations; cheap enough to keep under --quick
+    println!(
+        "\nFigure 2 (bottom) — mean transfer delay vs number of tasks ({reps} realisations/point)"
+    );
     let ls: Vec<u32> = (1..=10).map(|i| i * 10).collect();
     let mut means = Vec::new();
     let mut t = TextTable::new(["# tasks L", "mean delay (s)", "ci95", "model mean"]);
@@ -65,7 +71,10 @@ fn main() {
         "\nlinear fit: mean ≈ {:.4} + {:.4}·L  (paper: slope ≈ 0.02 s/task), R² = {:.4}",
         line.intercept, line.slope, line.r_squared
     );
-    assert!((line.slope - 0.02).abs() < 0.004, "slope strays from 0.02 s/task");
+    assert!(
+        (line.slope - 0.02).abs() < 0.004,
+        "slope strays from 0.02 s/task"
+    );
     assert!(line.r_squared > 0.98, "mean delay must be linear in L");
     println!("shape check OK: delay mean grows linearly at ~0.02 s/task");
 }

@@ -76,7 +76,10 @@ fn main() {
     }
 
     println!("Figure 3 — LBP-1 mean overall completion time vs gain K");
-    println!("workload (m1,m2) = ({}, {}); MC reps = {mc_reps}, experiment reps = {exp_reps}\n", m0[0], m0[1]);
+    println!(
+        "workload (m1,m2) = ({}, {}); MC reps = {mc_reps}, experiment reps = {exp_reps}\n",
+        m0[0], m0[1]
+    );
     t.print();
     println!();
     println!(
@@ -87,6 +90,9 @@ fn main() {
         "model optimum, no churn:  K* = {:.2}, mean = {:.2} s   (paper: K* = {:.2})",
         best_nf.0, best_nf.1, FIG3_PAPER.2
     );
-    assert!(best.0 < best_nf.0, "shape check failed: churn should lower K*");
+    assert!(
+        best.0 < best_nf.0,
+        "shape check failed: churn should lower K*"
+    );
     println!("\nshape check OK: churn optimum sits left of the no-failure optimum");
 }

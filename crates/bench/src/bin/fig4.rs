@@ -17,7 +17,10 @@ fn main() {
     let args = Args::parse();
     let m0 = FIG3_WORKLOAD;
     let cfg = mc_config(m0);
-    let opts = SimOptions { record_trace: true, deadline: None };
+    let opts = SimOptions {
+        record_trace: true,
+        deadline: None,
+    };
 
     // Paper settings: LBP-1 with its optimal gain, LBP-2 with K = 1.
     let mut lbp1 = Lbp1::optimal(&cfg);
@@ -30,7 +33,10 @@ fn main() {
     let t_max = out1.completion_time.max(out2.completion_time);
     let points = 71;
 
-    println!("Figure 4 — queue sizes over time, one realisation (seed {})", args.seed);
+    println!(
+        "Figure 4 — queue sizes over time, one realisation (seed {})",
+        args.seed
+    );
     println!(
         "LBP-1: K = {:.2} ({} tasks, node {} -> node {}), completion {:.2} s",
         lbp1.gain(),
@@ -75,7 +81,11 @@ fn main() {
                     _ => None,
                 })
                 .collect();
-            println!("{label} node {} down intervals: {}", node + 1, downs.join(" "));
+            println!(
+                "{label} node {} down intervals: {}",
+                node + 1,
+                downs.join(" ")
+            );
         }
     }
 }

@@ -29,8 +29,22 @@ fn main() {
         let opt_f = optimize_lbp1(&params, m0, WorkState::BOTH_UP);
         let opt_n = optimize_lbp1(&nofail, m0, WorkState::BOTH_UP);
 
-        let cdf_f = lbp1_cdf(&params, m0, opt_f.sender, opt_f.tasks, WorkState::BOTH_UP, &times);
-        let cdf_n = lbp1_cdf(&nofail, m0, opt_n.sender, opt_n.tasks, WorkState::BOTH_UP, &times);
+        let cdf_f = lbp1_cdf(
+            &params,
+            m0,
+            opt_f.sender,
+            opt_f.tasks,
+            WorkState::BOTH_UP,
+            &times,
+        );
+        let cdf_n = lbp1_cdf(
+            &nofail,
+            m0,
+            opt_n.sender,
+            opt_n.tasks,
+            WorkState::BOTH_UP,
+            &times,
+        );
 
         // Monte-Carlo validation of the failure-case CDF.
         let mc = run_replications(
@@ -47,9 +61,18 @@ fn main() {
 
         println!(
             "workload ({}, {}): K* = {:.2} (failure, sender node {}), K* = {:.2} (no failure)",
-            m0[0], m0[1], opt_f.gain, opt_f.sender + 1, opt_n.gain
+            m0[0],
+            m0[1],
+            opt_f.gain,
+            opt_f.sender + 1,
+            opt_n.gain
         );
-        let mut t = TextTable::new(["t (s)", "P(T<=t) failure", "P(T<=t) no failure", "MC ECDF (failure)"]);
+        let mut t = TextTable::new([
+            "t (s)",
+            "P(T<=t) failure",
+            "P(T<=t) no failure",
+            "MC ECDF (failure)",
+        ]);
         for (i, &time) in times.iter().enumerate().step_by(5) {
             t.row([
                 f2(time),

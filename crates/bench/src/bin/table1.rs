@@ -57,10 +57,17 @@ fn main() {
         // Shape checks per row.
         assert!(opt_nf.mean < opt.mean, "no-failure must be faster");
         let rel = (opt.mean - theory_paper).abs() / theory_paper;
-        assert!(rel < 0.2, "theory strays {rel:.3} from the paper for {m0:?}");
+        assert!(
+            rel < 0.2,
+            "theory strays {rel:.3} from the paper for {m0:?}"
+        );
     }
     t.print();
-    println!("\nshape checks OK: theory within 20% of paper rows; churn always slower than no-failure");
-    println!("note: K* uses a slightly shifted delay mean (test-bed fixed shift), so it can differ");
+    println!(
+        "\nshape checks OK: theory within 20% of paper rows; churn always slower than no-failure"
+    );
+    println!(
+        "note: K* uses a slightly shifted delay mean (test-bed fixed shift), so it can differ"
+    );
     println!("from the pure-model value by one grid step.");
 }

@@ -46,7 +46,11 @@ fn main() {
             args.threads,
             SimOptions::default(),
         );
-        let winner = if opt1.mean < mc2.mean() { "LBP-1" } else { "LBP-2" };
+        let winner = if opt1.mean < mc2.mean() {
+            "LBP-1"
+        } else {
+            "LBP-2"
+        };
         if let Some(prev) = previous_winner {
             if prev != winner {
                 crossover_seen = true;
@@ -63,6 +67,11 @@ fn main() {
         ]);
     }
     t.print();
-    assert!(crossover_seen, "expected a policy crossover somewhere in the sweep");
-    println!("\nshape check OK: LBP-2 wins at small delay, LBP-1 at large delay (crossover present)");
+    assert!(
+        crossover_seen,
+        "expected a policy crossover somewhere in the sweep"
+    );
+    println!(
+        "\nshape check OK: LBP-2 wins at small delay, LBP-1 at large delay (crossover present)"
+    );
 }

@@ -20,15 +20,34 @@ impl NodeConfig {
     /// Panics on non-positive service rate, negative churn rates, or a
     /// node that fails but never recovers.
     #[must_use]
-    pub fn new(service_rate: f64, failure_rate: f64, recovery_rate: f64, initial_tasks: u32) -> Self {
-        assert!(service_rate > 0.0 && service_rate.is_finite(), "service rate must be positive");
-        assert!(failure_rate >= 0.0 && failure_rate.is_finite(), "failure rate must be >= 0");
-        assert!(recovery_rate >= 0.0 && recovery_rate.is_finite(), "recovery rate must be >= 0");
+    pub fn new(
+        service_rate: f64,
+        failure_rate: f64,
+        recovery_rate: f64,
+        initial_tasks: u32,
+    ) -> Self {
+        assert!(
+            service_rate > 0.0 && service_rate.is_finite(),
+            "service rate must be positive"
+        );
+        assert!(
+            failure_rate >= 0.0 && failure_rate.is_finite(),
+            "failure rate must be >= 0"
+        );
+        assert!(
+            recovery_rate >= 0.0 && recovery_rate.is_finite(),
+            "recovery rate must be >= 0"
+        );
         assert!(
             failure_rate == 0.0 || recovery_rate > 0.0,
             "a node that fails but never recovers has unbounded completion time"
         );
-        Self { service_rate, failure_rate, recovery_rate, initial_tasks }
+        Self {
+            service_rate,
+            failure_rate,
+            recovery_rate,
+            initial_tasks,
+        }
     }
 
     /// Node that never fails.
@@ -83,10 +102,20 @@ impl NetworkConfig {
     /// Panics on negative components or an identically zero mean.
     #[must_use]
     pub fn new(fixed: f64, per_task: f64, law: DelayLaw) -> Self {
-        assert!(fixed >= 0.0 && fixed.is_finite(), "fixed delay must be >= 0");
-        assert!(per_task >= 0.0 && per_task.is_finite(), "per-task delay must be >= 0");
+        assert!(
+            fixed >= 0.0 && fixed.is_finite(),
+            "fixed delay must be >= 0"
+        );
+        assert!(
+            per_task >= 0.0 && per_task.is_finite(),
+            "per-task delay must be >= 0"
+        );
         assert!(fixed + per_task > 0.0, "delay cannot be identically zero");
-        Self { fixed, per_task, law }
+        Self {
+            fixed,
+            per_task,
+            law,
+        }
     }
 
     /// The paper's analytical delay model: `Exp(mean = per_task · L)`.
@@ -139,8 +168,16 @@ impl SystemConfig {
     /// arrival target.
     #[must_use]
     pub fn new(nodes: Vec<NodeConfig>, network: NetworkConfig) -> Self {
-        assert!(nodes.len() >= 2, "a distributed system needs at least two nodes");
-        Self { nodes, network, external_arrivals: Vec::new(), link_scales: None }
+        assert!(
+            nodes.len() >= 2,
+            "a distributed system needs at least two nodes"
+        );
+        Self {
+            nodes,
+            network,
+            external_arrivals: Vec::new(),
+            link_scales: None,
+        }
     }
 
     /// Installs per-link delay multipliers (`scales[i][j]` applies to
@@ -178,8 +215,15 @@ impl SystemConfig {
     #[must_use]
     pub fn with_external_arrivals(mut self, mut arrivals: Vec<ExternalArrival>) -> Self {
         for a in &arrivals {
-            assert!(a.node < self.nodes.len(), "external arrival to unknown node {}", a.node);
-            assert!(a.time >= 0.0 && a.time.is_finite(), "arrival time must be finite and >= 0");
+            assert!(
+                a.node < self.nodes.len(),
+                "external arrival to unknown node {}",
+                a.node
+            );
+            assert!(
+                a.time >= 0.0 && a.time.is_finite(),
+                "arrival time must be finite and >= 0"
+            );
         }
         arrivals.sort_by(|a, b| a.time.partial_cmp(&b.time).expect("finite times"));
         self.external_arrivals = arrivals;
@@ -221,7 +265,11 @@ impl SystemConfig {
     #[must_use]
     pub fn total_tasks(&self) -> u64 {
         self.initial_total_tasks()
-            + self.external_arrivals.iter().map(|a| u64::from(a.tasks)).sum::<u64>()
+            + self
+                .external_arrivals
+                .iter()
+                .map(|a| u64::from(a.tasks))
+                .sum::<u64>()
     }
 
     /// Number of nodes.
@@ -251,14 +299,25 @@ mod tests {
     fn no_failure_config_disables_churn() {
         let c = SystemConfig::paper_no_failure([10, 10]);
         assert!(c.nodes.iter().all(|n| n.failure_rate == 0.0));
-        assert!(c.nodes.iter().all(|n| (n.availability() - 1.0).abs() < 1e-12));
+        assert!(c
+            .nodes
+            .iter()
+            .all(|n| (n.availability() - 1.0).abs() < 1e-12));
     }
 
     #[test]
     fn external_arrivals_are_sorted_and_counted() {
         let c = SystemConfig::paper([5, 5]).with_external_arrivals(vec![
-            ExternalArrival { time: 10.0, node: 1, tasks: 3 },
-            ExternalArrival { time: 2.0, node: 0, tasks: 4 },
+            ExternalArrival {
+                time: 10.0,
+                node: 1,
+                tasks: 3,
+            },
+            ExternalArrival {
+                time: 2.0,
+                node: 0,
+                tasks: 4,
+            },
         ]);
         assert_eq!(c.external_arrivals[0].time, 2.0);
         assert_eq!(c.total_tasks(), 17);

@@ -23,19 +23,13 @@ use crate::policy::{NodeView, Policy, SystemView, TransferOrder};
 use crate::trace::QueueTrace;
 
 /// Run options.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, Default)]
 pub struct SimOptions {
     /// Record queue/work-state traces (Fig. 4).
     pub record_trace: bool,
     /// Hard stop; `None` runs to completion. A run that hits the deadline
     /// reports `completed = false`.
     pub deadline: Option<f64>,
-}
-
-impl Default for SimOptions {
-    fn default() -> Self {
-        Self { record_trace: false, deadline: None }
-    }
 }
 
 /// Result of one simulation run.
@@ -93,10 +87,21 @@ impl<'a> Simulator<'a> {
         let nodes: Vec<NodeRt> = config
             .nodes
             .iter()
-            .map(|nc| NodeRt { up: true, queue: nc.initial_tasks, service_ev: None, down_since: 0.0 })
+            .map(|nc| NodeRt {
+                up: true,
+                queue: nc.initial_tasks,
+                service_ev: None,
+                down_since: 0.0,
+            })
             .collect();
         let trace = options.record_trace.then(|| {
-            QueueTrace::new(&config.nodes.iter().map(|nc| nc.initial_tasks).collect::<Vec<_>>())
+            QueueTrace::new(
+                &config
+                    .nodes
+                    .iter()
+                    .map(|nc| nc.initial_tasks)
+                    .collect::<Vec<_>>(),
+            )
         });
         Self {
             config,
@@ -125,11 +130,13 @@ impl<'a> Simulator<'a> {
             }
         }
         for a in &self.config.external_arrivals {
-            self.queue
-                .schedule_at(churnbal_desim::SimTime::new(a.time), Ev::External {
+            self.queue.schedule_at(
+                churnbal_desim::SimTime::new(a.time),
+                Ev::External {
                     node: a.node,
                     tasks: a.tasks,
-                });
+                },
+            );
         }
         // t = 0 policy action.
         let orders = policy.on_start(&self.view());
@@ -151,7 +158,10 @@ impl<'a> Simulator<'a> {
             match ev.payload {
                 Ev::Service(i) => {
                     debug_assert!(self.nodes[i].up, "service completion on a down node");
-                    debug_assert!(self.nodes[i].queue > 0, "service completion with empty queue");
+                    debug_assert!(
+                        self.nodes[i].queue > 0,
+                        "service completion with empty queue"
+                    );
                     self.nodes[i].service_ev = None;
                     self.nodes[i].queue -= 1;
                     self.processed += 1;
@@ -213,7 +223,10 @@ impl<'a> Simulator<'a> {
         // Queue exhausted without processing everything: only possible when
         // tasks remain but nothing can ever happen — prevented by config
         // validation (a failing node always recovers).
-        unreachable!("event queue exhausted with {}/{} tasks processed", self.processed, total);
+        unreachable!(
+            "event queue exhausted with {}/{} tasks processed",
+            self.processed, total
+        );
     }
 
     fn view(&self) -> SystemView {
@@ -277,7 +290,13 @@ impl<'a> Simulator<'a> {
             self.metrics.transfers += 1;
             self.metrics.tasks_shipped += u64::from(granted);
             let delay = self.sample_delay(order.from, order.to, granted);
-            self.queue.schedule_in(delay, Ev::TransferArrive { to: order.to, tasks: granted });
+            self.queue.schedule_in(
+                delay,
+                Ev::TransferArrive {
+                    to: order.to,
+                    tasks: granted,
+                },
+            );
         }
     }
 
@@ -350,7 +369,10 @@ mod tests {
 
     fn reliable_pair(m: [u32; 2]) -> SystemConfig {
         SystemConfig::new(
-            vec![NodeConfig::reliable(1.08, m[0]), NodeConfig::reliable(1.86, m[1])],
+            vec![
+                NodeConfig::reliable(1.08, m[0]),
+                NodeConfig::reliable(1.86, m[1]),
+            ],
             NetworkConfig::exponential(0.02),
         )
     }
@@ -442,7 +464,15 @@ mod tests {
     #[test]
     fn deadline_stops_early() {
         let cfg = reliable_pair([10_000, 10_000]);
-        let out = simulate(&cfg, &mut NoBalancing, 4, SimOptions { record_trace: false, deadline: Some(1.0) });
+        let out = simulate(
+            &cfg,
+            &mut NoBalancing,
+            4,
+            SimOptions {
+                record_trace: false,
+                deadline: Some(1.0),
+            },
+        );
         assert!(!out.completed);
         assert_eq!(out.completion_time, 1.0);
         assert!(out.metrics.total_processed() < 20_000);
@@ -451,7 +481,15 @@ mod tests {
     #[test]
     fn trace_records_queue_drain() {
         let cfg = reliable_pair([5, 3]);
-        let out = simulate(&cfg, &mut NoBalancing, 5, SimOptions { record_trace: true, deadline: None });
+        let out = simulate(
+            &cfg,
+            &mut NoBalancing,
+            5,
+            SimOptions {
+                record_trace: true,
+                deadline: None,
+            },
+        );
         let tr = out.trace.expect("trace requested");
         assert_eq!(tr.queue_at(0, 0.0), 5);
         assert_eq!(tr.queue_at(0, out.completion_time + 1.0), 0);
@@ -469,7 +507,10 @@ mod tests {
         let out = simulate(&cfg, &mut NoBalancing, 6, SimOptions::default());
         assert!(out.completed);
         assert_eq!(out.metrics.total_processed(), 8);
-        assert!(out.completion_time > 5.0, "cannot finish before the arrival lands");
+        assert!(
+            out.completion_time > 5.0,
+            "cannot finish before the arrival lands"
+        );
     }
 
     /// A policy that ships a fixed batch at start — exercises transfers.
@@ -479,7 +520,11 @@ mod tests {
             "ship-once"
         }
         fn on_start(&mut self, _: &SystemView) -> Vec<TransferOrder> {
-            vec![TransferOrder { from: 0, to: 1, tasks: self.0 }]
+            vec![TransferOrder {
+                from: 0,
+                to: 1,
+                tasks: self.0,
+            }]
         }
     }
 
@@ -511,8 +556,13 @@ mod tests {
         // exactly 4x the homogeneous time.
         let mut cfg = reliable_pair([4, 0]);
         cfg.network = NetworkConfig::new(0.5, 0.25, crate::config::DelayLaw::DeterministicBatch);
-        let slow = cfg.clone().with_link_delay_scales(vec![vec![1.0, 4.0], vec![1.0, 1.0]]);
-        let opts = SimOptions { record_trace: true, deadline: None };
+        let slow = cfg
+            .clone()
+            .with_link_delay_scales(vec![vec![1.0, 4.0], vec![1.0, 1.0]]);
+        let opts = SimOptions {
+            record_trace: true,
+            deadline: None,
+        };
         let out = simulate(&slow, &mut ShipOnce(4), 11, opts);
         let tr = out.trace.expect("trace");
         assert_eq!(tr.queue_at(1, 5.99), 0);
@@ -527,14 +577,21 @@ mod tests {
                 "ship-back"
             }
             fn on_start(&mut self, _: &SystemView) -> Vec<TransferOrder> {
-                vec![TransferOrder { from: 1, to: 0, tasks: 2 }]
+                vec![TransferOrder {
+                    from: 1,
+                    to: 0,
+                    tasks: 2,
+                }]
             }
         }
         let mut cfg = reliable_pair([0, 2]);
         cfg.network = NetworkConfig::new(1.0, 0.0, crate::config::DelayLaw::DeterministicBatch);
         // 0->1 is slow, 1->0 is fast: the 1->0 transfer must use scale 0.5.
         let cfg = cfg.with_link_delay_scales(vec![vec![1.0, 10.0], vec![0.5, 1.0]]);
-        let opts = SimOptions { record_trace: true, deadline: None };
+        let opts = SimOptions {
+            record_trace: true,
+            deadline: None,
+        };
         let out = simulate(&cfg, &mut ShipBack, 12, opts);
         let tr = out.trace.expect("trace");
         assert_eq!(tr.queue_at(0, 0.49), 0);
@@ -544,15 +601,22 @@ mod tests {
     #[test]
     #[should_panic(expected = "must be positive")]
     fn zero_link_scale_rejected() {
-        let _ = reliable_pair([1, 1])
-            .with_link_delay_scales(vec![vec![1.0, 0.0], vec![1.0, 1.0]]);
+        let _ = reliable_pair([1, 1]).with_link_delay_scales(vec![vec![1.0, 0.0], vec![1.0, 1.0]]);
     }
 
     #[test]
     fn deterministic_delay_law_is_exact() {
         let mut cfg = reliable_pair([4, 0]);
         cfg.network = NetworkConfig::new(0.5, 0.25, crate::config::DelayLaw::DeterministicBatch);
-        let out = simulate(&cfg, &mut ShipOnce(4), 11, SimOptions { record_trace: true, deadline: None });
+        let out = simulate(
+            &cfg,
+            &mut ShipOnce(4),
+            11,
+            SimOptions {
+                record_trace: true,
+                deadline: None,
+            },
+        );
         let tr = out.trace.expect("trace");
         // All 4 tasks leave node 0 at t=0 and land at node 1 at exactly 1.5 s.
         assert_eq!(tr.queue_at(1, 1.49), 0);
@@ -569,7 +633,15 @@ mod tests {
             ],
             NetworkConfig::exponential(0.02),
         );
-        let out = simulate(&cfg, &mut NoBalancing, 13, SimOptions { record_trace: true, deadline: None });
+        let out = simulate(
+            &cfg,
+            &mut NoBalancing,
+            13,
+            SimOptions {
+                record_trace: true,
+                deadline: None,
+            },
+        );
         let tr = out.trace.expect("trace");
         let states = tr.state_series(0);
         assert!(states.len() >= 3, "node 0 should churn");

@@ -37,5 +37,5 @@ pub mod trace;
 pub use config::{DelayLaw, ExternalArrival, NetworkConfig, NodeConfig, SystemConfig};
 pub use engine::{simulate, SimOptions, SimOutcome, Simulator};
 pub use mc::{run_replications, McEstimate};
-pub use policy::{NodeView, NoBalancing, Policy, SystemView, TransferOrder};
+pub use policy::{NoBalancing, NodeView, Policy, SystemView, TransferOrder};
 pub use trace::QueueTrace;

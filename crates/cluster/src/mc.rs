@@ -76,7 +76,9 @@ where
     // `t, t+threads, t+2·threads, …` and returns its results; the scatter
     // into the index-ordered vectors below makes the output a pure function
     // of (config, policy, master_seed, reps) regardless of scheduling.
-    let per_thread: Vec<Vec<(u64, f64, u64, u64, bool)>> = std::thread::scope(|scope| {
+    // (replication index, completion time, failures, tasks shipped, completed)
+    type RepRecord = (u64, f64, u64, u64, bool);
+    let per_thread: Vec<Vec<RepRecord>> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..threads as u64)
             .map(|t| {
                 let factory = &factory;
@@ -100,7 +102,10 @@ where
                 })
             })
             .collect();
-        handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker panicked"))
+            .collect()
     });
 
     let mut times = vec![0.0f64; reps as usize];
@@ -179,7 +184,10 @@ mod tests {
     #[test]
     fn incomplete_runs_are_counted() {
         let cfg = SystemConfig::paper([5000, 5000]);
-        let opts = SimOptions { record_trace: false, deadline: Some(0.5) };
+        let opts = SimOptions {
+            record_trace: false,
+            deadline: Some(0.5),
+        };
         let e = run_replications(&cfg, &|_| NoBalancing, 8, 5, 2, opts);
         assert_eq!(e.incomplete, 8);
     }

@@ -111,7 +111,12 @@ pub trait Policy {
     }
 
     /// Called when a transferred batch of `tasks` arrives at `node`.
-    fn on_transfer_arrival(&mut self, node: usize, tasks: u32, view: &SystemView) -> Vec<TransferOrder> {
+    fn on_transfer_arrival(
+        &mut self,
+        node: usize,
+        tasks: u32,
+        view: &SystemView,
+    ) -> Vec<TransferOrder> {
         let _ = (node, tasks, view);
         Vec::new()
     }
@@ -119,7 +124,12 @@ pub trait Policy {
     /// Called when an external batch of `tasks` arrives at `node`
     /// (dynamic-workload extension; the paper's conclusion suggests
     /// re-running a balancing episode here).
-    fn on_external_arrival(&mut self, node: usize, tasks: u32, view: &SystemView) -> Vec<TransferOrder> {
+    fn on_external_arrival(
+        &mut self,
+        node: usize,
+        tasks: u32,
+        view: &SystemView,
+    ) -> Vec<TransferOrder> {
         let _ = (node, tasks, view);
         Vec::new()
     }

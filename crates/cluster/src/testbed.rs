@@ -104,7 +104,9 @@ pub fn processing_time(task: Task, rate: f64) -> f64 {
 /// the data behind Fig. 1.
 #[must_use]
 pub fn sample_processing_times(rate: f64, n: usize, rng: &mut Xoshiro256pp) -> Vec<f64> {
-    (0..n).map(|_| processing_time(sample_task(rng), rate)).collect()
+    (0..n)
+        .map(|_| processing_time(sample_task(rng), rate))
+        .collect()
 }
 
 /// Samples `n` realised transfer delays for a batch of `l` tasks on the
@@ -201,8 +203,16 @@ mod tests {
         let mut rng = Xoshiro256pp::seed_from_u64(29);
         let xs = sample_per_task_delays(50_000, &mut rng);
         let f = fit::shifted_exp_fit(&xs);
-        assert!((f.shift - TESTBED_DELAY_SHIFT).abs() < 1e-3, "shift {}", f.shift);
-        assert!((1.0 / f.rate - 0.02).abs() < 0.002, "tail mean {}", 1.0 / f.rate);
+        assert!(
+            (f.shift - TESTBED_DELAY_SHIFT).abs() < 1e-3,
+            "shift {}",
+            f.shift
+        );
+        assert!(
+            (1.0 / f.rate - 0.02).abs() < 0.002,
+            "tail mean {}",
+            1.0 / f.rate
+        );
     }
 
     #[test]

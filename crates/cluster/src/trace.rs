@@ -113,7 +113,10 @@ mod tests {
         let mut tr = QueueTrace::new(&[1, 1]);
         tr.record_state(4.0, 1, false);
         tr.record_state(9.0, 1, true);
-        assert_eq!(tr.state_series(1), &[(0.0, true), (4.0, false), (9.0, true)]);
+        assert_eq!(
+            tr.state_series(1),
+            &[(0.0, true), (4.0, false), (9.0, true)]
+        );
     }
 
     #[test]

@@ -8,15 +8,20 @@ use churnbal_cluster::{
 use proptest::prelude::*;
 
 fn arb_node() -> impl Strategy<Value = NodeConfig> {
-    (0.2f64..4.0, prop::bool::ANY, 0.02f64..0.3, 0.02f64..0.3, 0u32..40).prop_map(
-        |(rate, churns, f, r, tasks)| {
+    (
+        0.2f64..4.0,
+        prop::bool::ANY,
+        0.02f64..0.3,
+        0.02f64..0.3,
+        0u32..40,
+    )
+        .prop_map(|(rate, churns, f, r, tasks)| {
             if churns {
                 NodeConfig::new(rate, f, r, tasks)
             } else {
                 NodeConfig::reliable(rate, tasks)
             }
-        },
-    )
+        })
 }
 
 fn arb_config() -> impl Strategy<Value = SystemConfig> {
@@ -45,7 +50,10 @@ impl ChaosPolicy {
     fn orders(&mut self, view: &SystemView) -> Vec<TransferOrder> {
         self.calls += 1;
         let n = view.nodes.len();
-        let mut x = self.seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(self.calls);
+        let mut x = self
+            .seed
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(self.calls);
         let mut next = || {
             x ^= x << 13;
             x ^= x >> 7;
@@ -60,7 +68,11 @@ impl ChaosPolicy {
                 if to == from {
                     to = (to + 1) % n;
                 }
-                TransferOrder { from, to, tasks: (next() % 50) as u32 }
+                TransferOrder {
+                    from,
+                    to,
+                    tasks: (next() % 50) as u32,
+                }
             })
             .collect()
     }

@@ -26,7 +26,9 @@ impl InitialBalanceOnly {
     /// Panics unless `K ∈ [0, 1]`.
     #[must_use]
     pub fn new(gain: f64) -> Self {
-        Self { inner: Lbp2::new(gain) }
+        Self {
+            inner: Lbp2::new(gain),
+        }
     }
 }
 
@@ -51,7 +53,9 @@ impl UponFailureOnly {
     /// Failure compensation with the full Eq. 8 weighting.
     #[must_use]
     pub fn new() -> Self {
-        Self { inner: Lbp2::new(1.0) }
+        Self {
+            inner: Lbp2::new(1.0),
+        }
     }
 }
 

@@ -31,7 +31,10 @@ impl EpisodicLbp2 {
     /// Panics unless `K ∈ [0, 1]`.
     #[must_use]
     pub fn new(gain: f64) -> Self {
-        Self { inner: Lbp2::new(gain), episodes: 0 }
+        Self {
+            inner: Lbp2::new(gain),
+            episodes: 0,
+        }
     }
 
     /// Number of balancing episodes executed so far (start + arrivals).
@@ -55,7 +58,12 @@ impl Policy for EpisodicLbp2 {
         self.inner.failure_orders(node, view)
     }
 
-    fn on_external_arrival(&mut self, _node: usize, _tasks: u32, view: &SystemView) -> Vec<TransferOrder> {
+    fn on_external_arrival(
+        &mut self,
+        _node: usize,
+        _tasks: u32,
+        view: &SystemView,
+    ) -> Vec<TransferOrder> {
         self.episodes += 1;
         self.inner.balancing_orders(view)
     }
@@ -83,7 +91,10 @@ impl DynamicLbp1 {
     /// Panics unless the configuration has exactly two nodes.
     #[must_use]
     pub fn new(config: &SystemConfig) -> Self {
-        Self { params: model_params(config), episodes: 0 }
+        Self {
+            params: model_params(config),
+            episodes: 0,
+        }
     }
 
     /// Number of optimisation episodes executed so far.
@@ -103,7 +114,11 @@ impl DynamicLbp1 {
         if opt.tasks == 0 {
             return Vec::new();
         }
-        vec![TransferOrder { from: opt.sender, to: opt.receiver, tasks: opt.tasks }]
+        vec![TransferOrder {
+            from: opt.sender,
+            to: opt.receiver,
+            tasks: opt.tasks,
+        }]
     }
 }
 
@@ -116,7 +131,12 @@ impl Policy for DynamicLbp1 {
         self.plan(view)
     }
 
-    fn on_external_arrival(&mut self, _node: usize, _tasks: u32, view: &SystemView) -> Vec<TransferOrder> {
+    fn on_external_arrival(
+        &mut self,
+        _node: usize,
+        _tasks: u32,
+        view: &SystemView,
+    ) -> Vec<TransferOrder> {
         self.plan(view)
     }
 }
@@ -129,8 +149,16 @@ mod tests {
     #[test]
     fn episodes_fire_at_external_arrivals() {
         let cfg = SystemConfig::paper_no_failure([40, 10]).with_external_arrivals(vec![
-            ExternalArrival { time: 5.0, node: 0, tasks: 50 },
-            ExternalArrival { time: 10.0, node: 0, tasks: 50 },
+            ExternalArrival {
+                time: 5.0,
+                node: 0,
+                tasks: 50,
+            },
+            ExternalArrival {
+                time: 10.0,
+                node: 0,
+                tasks: 50,
+            },
         ]);
         let mut p = EpisodicLbp2::new(1.0);
         let out = simulate(&cfg, &mut p, 41, SimOptions::default());
@@ -151,7 +179,10 @@ mod tests {
         let out = simulate(&cfg, &mut p, 51, SimOptions::default());
         assert!(out.completed);
         assert_eq!(p.episodes(), 2, "start + one arrival");
-        assert!(out.metrics.transfers >= 2, "each episode should ship something here");
+        assert!(
+            out.metrics.transfers >= 2,
+            "each episode should ship something here"
+        );
     }
 
     #[test]
@@ -166,8 +197,7 @@ mod tests {
         let static_plan = crate::lbp1::Lbp1::optimal(&cfg);
         let opts = SimOptions::default();
         let reps = 300;
-        let dynamic =
-            run_replications(&cfg, &|_| DynamicLbp1::new(&cfg), reps, 63, 0, opts);
+        let dynamic = run_replications(&cfg, &|_| DynamicLbp1::new(&cfg), reps, 63, 0, opts);
         let fixed = run_replications(&cfg, &|_| static_plan, reps, 63, 0, opts);
         assert!(
             dynamic.mean() + 1.0 < fixed.mean(),
@@ -183,13 +213,15 @@ mod tests {
         // the mean completion time versus balancing only at t = 0.
         use churnbal_cluster::run_replications;
         let cfg = SystemConfig::paper_no_failure([30, 30]).with_external_arrivals(vec![
-            ExternalArrival { time: 8.0, node: 0, tasks: 120 },
+            ExternalArrival {
+                time: 8.0,
+                node: 0,
+                tasks: 120,
+            },
         ]);
         let opts = SimOptions::default();
-        let episodic =
-            run_replications(&cfg, &|_| EpisodicLbp2::new(1.0), 300, 77, 0, opts);
-        let start_only =
-            run_replications(&cfg, &|_| crate::lbp2::Lbp2::new(1.0), 300, 77, 0, opts);
+        let episodic = run_replications(&cfg, &|_| EpisodicLbp2::new(1.0), 300, 77, 0, opts);
+        let start_only = run_replications(&cfg, &|_| crate::lbp2::Lbp2::new(1.0), 300, 77, 0, opts);
         assert!(
             episodic.mean() + 1.0 < start_only.mean(),
             "episodic {} should clearly beat start-only {}",

@@ -30,7 +30,10 @@
 pub fn excess_loads(queues: &[u32], service_rates: &[f64]) -> Vec<f64> {
     assert_eq!(queues.len(), service_rates.len(), "length mismatch");
     assert!(queues.len() >= 2, "need at least two nodes");
-    assert!(service_rates.iter().all(|&r| r > 0.0), "service rates must be positive");
+    assert!(
+        service_rates.iter().all(|&r| r > 0.0),
+        "service rates must be positive"
+    );
     let total_rate: f64 = service_rates.iter().sum();
     let total_load: f64 = queues.iter().map(|&q| f64::from(q)).sum();
     queues
@@ -57,7 +60,10 @@ pub fn partition_fractions(queues: &[u32], service_rates: &[f64], j: usize) -> V
     assert_eq!(n, service_rates.len(), "length mismatch");
     assert!(n >= 2, "need at least two nodes");
     assert!(j < n, "node {j} out of range");
-    assert!(service_rates.iter().all(|&r| r > 0.0), "service rates must be positive");
+    assert!(
+        service_rates.iter().all(|&r| r > 0.0),
+        "service rates must be positive"
+    );
     let mut p = vec![0.0; n];
     if n == 2 {
         p[1 - j] = 1.0;

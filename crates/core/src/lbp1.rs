@@ -29,7 +29,12 @@ impl Lbp1 {
     #[must_use]
     pub fn new(sender: usize, receiver: usize, tasks: u32) -> Self {
         assert_ne!(sender, receiver, "sender and receiver must differ");
-        Self { sender, receiver, tasks, gain: f64::NAN }
+        Self {
+            sender,
+            receiver,
+            tasks,
+            gain: f64::NAN,
+        }
     }
 
     /// Eq. (1): transfer `round(K · m_sender)` tasks.
@@ -38,10 +43,18 @@ impl Lbp1 {
     /// Panics unless `K ∈ [0, 1]` and the node indices differ.
     #[must_use]
     pub fn with_gain(sender: usize, receiver: usize, m_sender: u32, gain: f64) -> Self {
-        assert!((0.0..=1.0).contains(&gain), "gain K must be in [0,1], got {gain}");
+        assert!(
+            (0.0..=1.0).contains(&gain),
+            "gain K must be in [0,1], got {gain}"
+        );
         assert_ne!(sender, receiver, "sender and receiver must differ");
         let tasks = (gain * f64::from(m_sender)).round() as u32;
-        Self { sender, receiver, tasks, gain }
+        Self {
+            sender,
+            receiver,
+            tasks,
+            gain,
+        }
     }
 
     /// The model-optimal LBP-1 for a two-node configuration: gain, sender
@@ -55,7 +68,12 @@ impl Lbp1 {
         let params = model_params(config);
         let m0 = initial_workload(config);
         let opt = optimize_lbp1(&params, m0, WorkState::BOTH_UP);
-        Self { sender: opt.sender, receiver: opt.receiver, tasks: opt.tasks, gain: opt.gain }
+        Self {
+            sender: opt.sender,
+            receiver: opt.receiver,
+            tasks: opt.tasks,
+            gain: opt.gain,
+        }
     }
 
     /// The sending node.
@@ -92,7 +110,11 @@ impl Policy for Lbp1 {
         if self.tasks == 0 {
             return Vec::new();
         }
-        vec![TransferOrder { from: self.sender, to: self.receiver, tasks: self.tasks }]
+        vec![TransferOrder {
+            from: self.sender,
+            to: self.receiver,
+            tasks: self.tasks,
+        }]
     }
     // All other hooks: deliberately no action (the defining property of
     // LBP-1 — §2.1: "no other balancing action is taken afterwards").

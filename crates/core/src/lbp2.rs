@@ -44,8 +44,15 @@ impl Lbp2 {
     /// Panics unless `K ∈ [0, 1]`.
     #[must_use]
     pub fn new(gain: f64) -> Self {
-        assert!((0.0..=1.0).contains(&gain), "gain K must be in [0,1], got {gain}");
-        Self { gain, use_availability_weight: true, use_speed_weight: true }
+        assert!(
+            (0.0..=1.0).contains(&gain),
+            "gain K must be in [0,1], got {gain}"
+        );
+        Self {
+            gain,
+            use_availability_weight: true,
+            use_speed_weight: true,
+        }
     }
 
     /// Ablation: drop the availability factor `λ_ri/(λ_fi+λ_ri)` from
@@ -86,7 +93,11 @@ impl Lbp2 {
         let m0 = initial_workload(config);
         let rates = [config.nodes[0].service_rate, config.nodes[1].service_rate];
         let excess = excess_loads(&m0.map(|m| m), &rates);
-        let (sender, amount) = if excess[0] > 0.0 { (0, excess[0]) } else { (1, excess[1]) };
+        let (sender, amount) = if excess[0] > 0.0 {
+            (0, excess[0])
+        } else {
+            (1, excess[1])
+        };
         if amount < 0.5 {
             return 1.0;
         }
@@ -124,7 +135,11 @@ impl Lbp2 {
             for (i, &frac) in p.iter().enumerate() {
                 let amount = (self.gain * frac * ex).round() as u32;
                 if amount > 0 {
-                    orders.push(TransferOrder { from: j, to: i, tasks: amount });
+                    orders.push(TransferOrder {
+                        from: j,
+                        to: i,
+                        tasks: amount,
+                    });
                 }
             }
         }
@@ -147,8 +162,11 @@ impl Lbp2 {
             if i == j {
                 continue;
             }
-            let availability =
-                if self.use_availability_weight { view.nodes[i].availability() } else { 1.0 };
+            let availability = if self.use_availability_weight {
+                view.nodes[i].availability()
+            } else {
+                1.0
+            };
             let speed_share = if self.use_speed_weight {
                 view.nodes[i].service_rate / total_rate
             } else {
@@ -156,7 +174,11 @@ impl Lbp2 {
             };
             let amount = (availability * speed_share * backlog).floor() as u32;
             if amount > 0 {
-                orders.push(TransferOrder { from: j, to: i, tasks: amount });
+                orders.push(TransferOrder {
+                    from: j,
+                    to: i,
+                    tasks: amount,
+                });
             }
         }
         orders
@@ -241,9 +263,23 @@ mod tests {
         let p = Lbp2::new(1.0);
         let v = paper_view([100, 60]);
         let f1 = p.failure_orders(0, &v);
-        assert_eq!(f1, vec![TransferOrder { from: 0, to: 1, tasks: 3 }]);
+        assert_eq!(
+            f1,
+            vec![TransferOrder {
+                from: 0,
+                to: 1,
+                tasks: 3
+            }]
+        );
         let f2 = p.failure_orders(1, &v);
-        assert_eq!(f2, vec![TransferOrder { from: 1, to: 0, tasks: 9 }]);
+        assert_eq!(
+            f2,
+            vec![TransferOrder {
+                from: 1,
+                to: 0,
+                tasks: 9
+            }]
+        );
     }
 
     #[test]
@@ -260,7 +296,10 @@ mod tests {
     fn ablations_change_eq8() {
         let v = paper_view([100, 60]);
         let full = Lbp2::new(1.0).failure_orders(1, &v)[0].tasks;
-        let no_avail = Lbp2::new(1.0).without_availability_weight().failure_orders(1, &v)[0].tasks;
+        let no_avail = Lbp2::new(1.0)
+            .without_availability_weight()
+            .failure_orders(1, &v)[0]
+            .tasks;
         // availability of node 1 is 2/3 < 1, so dropping it ships more.
         assert!(no_avail > full, "{no_avail} vs {full}");
         let no_speed = Lbp2::new(1.0).without_speed_weight().failure_orders(1, &v)[0].tasks;

@@ -32,8 +32,14 @@ impl Lbp1Multi {
     /// Panics unless `K ∈ [0, 1]`.
     #[must_use]
     pub fn new(gain: f64) -> Self {
-        assert!((0.0..=1.0).contains(&gain), "gain K must be in [0,1], got {gain}");
-        Self { gain, availability_weighted: true }
+        assert!(
+            (0.0..=1.0).contains(&gain),
+            "gain K must be in [0,1], got {gain}"
+        );
+        Self {
+            gain,
+            availability_weighted: true,
+        }
     }
 
     /// Ablation: ignore availability (use raw service rates, i.e. the
@@ -80,7 +86,11 @@ impl Lbp1Multi {
             for (i, &frac) in p.iter().enumerate() {
                 let amount = (self.gain * frac * e).round() as u32;
                 if amount > 0 {
-                    orders.push(TransferOrder { from: j, to: i, tasks: amount });
+                    orders.push(TransferOrder {
+                        from: j,
+                        to: i,
+                        tasks: amount,
+                    });
                 }
             }
         }
@@ -159,7 +169,11 @@ mod tests {
         let aware = Lbp1Multi::new(1.0).initial_orders(&view);
         let blind = Lbp1Multi::new(1.0).churn_blind().initial_orders(&view);
         let to_flaky = |orders: &[TransferOrder]| -> u64 {
-            orders.iter().filter(|o| o.to == 1).map(|o| u64::from(o.tasks)).sum()
+            orders
+                .iter()
+                .filter(|o| o.to == 1)
+                .map(|o| u64::from(o.tasks))
+                .sum()
         };
         assert!(
             to_flaky(&aware) < to_flaky(&blind),
@@ -196,8 +210,22 @@ mod tests {
     fn beats_no_balancing_on_the_grid() {
         let cfg = grid();
         let reps = 400;
-        let none = run_replications(&cfg, &|_| churnbal_cluster::NoBalancing, reps, 5, 0, SimOptions::default());
-        let multi = run_replications(&cfg, &|_| Lbp1Multi::new(1.0), reps, 5, 0, SimOptions::default());
+        let none = run_replications(
+            &cfg,
+            &|_| churnbal_cluster::NoBalancing,
+            reps,
+            5,
+            0,
+            SimOptions::default(),
+        );
+        let multi = run_replications(
+            &cfg,
+            &|_| Lbp1Multi::new(1.0),
+            reps,
+            5,
+            0,
+            SimOptions::default(),
+        );
         assert!(
             multi.mean() < none.mean() * 0.8,
             "preemptive spread {} should clearly beat hoarding {}",

@@ -82,7 +82,12 @@ where
         .min_by(|a, b| a.1.partial_cmp(b.1).expect("finite means"))
         .map(|(i, _)| i)
         .expect("non-empty");
-    GainSweep { gains: gains.to_vec(), means, ci95, best }
+    GainSweep {
+        gains: gains.to_vec(),
+        means,
+        ci95,
+        best,
+    }
 }
 
 #[cfg(test)]
@@ -118,8 +123,7 @@ mod tests {
     fn sweep_reports_all_points() {
         let cfg = SystemConfig::paper([10, 6]);
         let gains = [0.0, 0.5, 1.0];
-        let sweep =
-            optimize_gain_mc(&cfg, &|k, _| Lbp1::with_gain(0, 1, 10, k), &gains, 50, 7, 2);
+        let sweep = optimize_gain_mc(&cfg, &|k, _| Lbp1::with_gain(0, 1, 10, k), &gains, 50, 7, 2);
         assert_eq!(sweep.means.len(), 3);
         assert_eq!(sweep.ci95.len(), 3);
         assert!(sweep.best < 3);

@@ -29,7 +29,11 @@ pub struct AbsorbOptions {
 
 impl Default for AbsorbOptions {
     fn default() -> Self {
-        Self { max_iters: 200_000, tolerance: 1e-10, dense_threshold: 512 }
+        Self {
+            max_iters: 200_000,
+            tolerance: 1e-10,
+            dense_threshold: 512,
+        }
     }
 }
 
@@ -86,7 +90,10 @@ fn solve_dense(chain: &Chain) -> Vec<f64> {
                     .expect("no NaN in generator")
             })
             .expect("non-empty range");
-        assert!(a[pivot_row * stride + col].abs() > 1e-300, "singular absorption system");
+        assert!(
+            a[pivot_row * stride + col].abs() > 1e-300,
+            "singular absorption system"
+        );
         if pivot_row != col {
             for k in col..=n {
                 a.swap(pivot_row * stride + k, col * stride + k);
@@ -141,7 +148,10 @@ fn solve_gauss_seidel(chain: &Chain, opts: AbsorbOptions) -> Vec<f64> {
         }
         let _ = iter;
     }
-    panic!("Gauss-Seidel failed to converge after {} sweeps", opts.max_iters);
+    panic!(
+        "Gauss-Seidel failed to converge after {} sweeps",
+        opts.max_iters
+    );
 }
 
 #[cfg(test)]
@@ -214,11 +224,17 @@ mod tests {
         let c = Chain::from_rows(rows);
         let dense = expected_absorption_times_with(
             &c,
-            AbsorbOptions { dense_threshold: 100, ..Default::default() },
+            AbsorbOptions {
+                dense_threshold: 100,
+                ..Default::default()
+            },
         );
         let gs = expected_absorption_times_with(
             &c,
-            AbsorbOptions { dense_threshold: 0, ..Default::default() },
+            AbsorbOptions {
+                dense_threshold: 0,
+                ..Default::default()
+            },
         );
         for (a, b) in dense.iter().zip(&gs) {
             assert!((a - b).abs() < 1e-8, "dense {a} vs GS {b}");

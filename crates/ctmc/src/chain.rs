@@ -54,7 +54,12 @@ impl Chain {
             exit_rates.push(exit);
             row_ptr.push(targets.len());
         }
-        Self { row_ptr, targets, rates, exit_rates }
+        Self {
+            row_ptr,
+            targets,
+            rates,
+            exit_rates,
+        }
     }
 
     /// Number of transient (non-absorbing) states.
@@ -85,7 +90,10 @@ impl Chain {
     pub fn transitions(&self, i: StateIndex) -> impl Iterator<Item = (StateIndex, f64)> + '_ {
         let lo = self.row_ptr[i];
         let hi = self.row_ptr[i + 1];
-        self.targets[lo..hi].iter().copied().zip(self.rates[lo..hi].iter().copied())
+        self.targets[lo..hi]
+            .iter()
+            .copied()
+            .zip(self.rates[lo..hi].iter().copied())
     }
 
     /// Returns `true` if every state has a path to absorption.
@@ -100,11 +108,11 @@ impl Chain {
         let mut rev: Vec<Vec<StateIndex>> = vec![Vec::new(); n];
         let mut frontier: Vec<StateIndex> = Vec::new();
         let mut reached = vec![false; n];
-        for i in 0..n {
+        for (i, r) in reached.iter_mut().enumerate() {
             for (t, _) in self.transitions(i) {
                 if t == ABSORBING {
-                    if !reached[i] {
-                        reached[i] = true;
+                    if !*r {
+                        *r = true;
                         frontier.push(i);
                     }
                 } else {
@@ -153,11 +161,7 @@ mod tests {
     #[test]
     fn absorption_reachability_negative() {
         // 0 and 1 cycle forever; 2 absorbs but is unreachable backwards.
-        let c = Chain::from_rows(vec![
-            vec![(1, 1.0)],
-            vec![(0, 1.0)],
-            vec![(ABSORBING, 1.0)],
-        ]);
+        let c = Chain::from_rows(vec![vec![(1, 1.0)], vec![(0, 1.0)], vec![(ABSORBING, 1.0)]]);
         assert!(!c.absorption_is_reachable_from_all());
     }
 

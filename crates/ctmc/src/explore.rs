@@ -50,14 +50,17 @@ where
     let mut frontier: Vec<StateIndex> = Vec::new();
 
     let intern = |s: S,
-                      states: &mut Vec<S>,
-                      index_of: &mut HashMap<S, StateIndex>,
-                      frontier: &mut Vec<StateIndex>| {
+                  states: &mut Vec<S>,
+                  index_of: &mut HashMap<S, StateIndex>,
+                  frontier: &mut Vec<StateIndex>| {
         if let Some(&i) = index_of.get(&s) {
             return i;
         }
         let i = states.len();
-        assert!(i < max_states, "state space exceeded max_states = {max_states}");
+        assert!(
+            i < max_states,
+            "state space exceeded max_states = {max_states}"
+        );
         states.push(s.clone());
         index_of.insert(s, i);
         frontier.push(i);
@@ -84,7 +87,11 @@ where
         cursor += 1;
     }
 
-    Explored { chain: Chain::from_rows(rows), index_of, states }
+    Explored {
+        chain: Chain::from_rows(rows),
+        index_of,
+        states,
+    }
 }
 
 #[cfg(test)]

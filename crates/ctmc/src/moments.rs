@@ -148,7 +148,11 @@ mod tests {
             vec![(ABSORBING, 0.1)],
         ]);
         let m = absorption_moments(&c);
-        assert!(m.cv2(0) > 1.0, "mixture must be over-dispersed, got {}", m.cv2(0));
+        assert!(
+            m.cv2(0) > 1.0,
+            "mixture must be over-dispersed, got {}",
+            m.cv2(0)
+        );
     }
 
     #[test]

@@ -40,8 +40,11 @@ pub fn stationary_distribution(chain: &Chain, tolerance: f64, max_iters: usize) 
                 next[t] += pi[i] * r / lambda;
             }
         }
-        let delta: f64 =
-            pi.iter().zip(&next).map(|(a, b)| (a - b).abs()).fold(0.0, f64::max);
+        let delta: f64 = pi
+            .iter()
+            .zip(&next)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0, f64::max);
         std::mem::swap(&mut pi, &mut next);
         if delta < tolerance {
             // Normalise against accumulated rounding.

@@ -63,7 +63,7 @@ fn dtmc_step(chain: &Chain, lambda: f64, input: &[f64], out: &mut [f64]) {
 }
 
 /// Advances `dist` by `dt` seconds of CTMC evolution.
-fn advance(chain: &Chain, dist: &mut Vec<f64>, dt: f64, epsilon: f64) {
+fn advance(chain: &Chain, dist: &mut [f64], dt: f64, epsilon: f64) {
     if dt == 0.0 {
         return;
     }
@@ -110,7 +110,12 @@ fn advance(chain: &Chain, dist: &mut Vec<f64>, dt: f64, epsilon: f64) {
 /// # Panics
 /// Panics if `initial` is out of bounds or `t` is negative.
 #[must_use]
-pub fn transient_distribution(chain: &Chain, initial: usize, t: f64, epsilon: f64) -> TransientDistribution {
+pub fn transient_distribution(
+    chain: &Chain,
+    initial: usize,
+    t: f64,
+    epsilon: f64,
+) -> TransientDistribution {
     assert!(initial < chain.num_states(), "initial state out of bounds");
     assert!(t >= 0.0 && t.is_finite(), "time must be finite and >= 0");
     let n = chain.num_states();
@@ -135,7 +140,10 @@ pub fn absorption_cdf(chain: &Chain, initial: usize, times: &[f64], epsilon: f64
     let mut out = Vec::with_capacity(times.len());
     let mut prev = 0.0f64;
     for &t in times {
-        assert!(t >= prev && t.is_finite(), "time grid must be ascending and finite");
+        assert!(
+            t >= prev && t.is_finite(),
+            "time grid must be ascending and finite"
+        );
         advance(chain, &mut dist, t - prev, epsilon);
         out.push(dist[n]);
         prev = t;
@@ -209,7 +217,10 @@ mod tests {
         for &p in &cdf {
             assert!((0.0..=1.0 + 1e-12).contains(&p));
         }
-        assert!(cdf[cdf.len() - 1] > 0.99, "should be nearly absorbed by t=10");
+        assert!(
+            cdf[cdf.len() - 1] > 0.99,
+            "should be nearly absorbed by t=10"
+        );
     }
 
     #[test]
@@ -223,10 +234,7 @@ mod tests {
 
     #[test]
     fn transient_distribution_conserves_mass() {
-        let c = Chain::from_rows(vec![
-            vec![(1, 2.0)],
-            vec![(0, 1.0), (ABSORBING, 1.0)],
-        ]);
+        let c = Chain::from_rows(vec![vec![(1, 2.0)], vec![(0, 1.0), (ABSORBING, 1.0)]]);
         let d = transient_distribution(&c, 0, 3.0, 1e-12);
         let total: f64 = d.probs.iter().sum();
         assert!((total - 1.0).abs() < 1e-9, "mass {total}");

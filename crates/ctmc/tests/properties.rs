@@ -6,11 +6,7 @@ use proptest::prelude::*;
 
 /// A random birth-death chain on {1..=n}: state k dies to k-1 at rate d,
 /// births to k+1 (capped at n) at rate b; absorption from state 0.
-fn bd_chain(
-    n: u32,
-    death: f64,
-    birth: f64,
-) -> churnbal_ctmc::Explored<u32> {
+fn bd_chain(n: u32, death: f64, birth: f64) -> churnbal_ctmc::Explored<u32> {
     explore(
         &[n],
         move |&k| {

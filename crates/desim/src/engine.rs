@@ -45,7 +45,10 @@ impl<E> Ord for Entry<E> {
     fn cmp(&self, other: &Self) -> Ordering {
         // BinaryHeap is a max-heap; invert so the earliest (time, seq) pops
         // first. seq breaks ties FIFO for determinism.
-        other.time.cmp(&self.time).then_with(|| other.seq.cmp(&self.seq))
+        other
+            .time
+            .cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
     }
 }
 
@@ -116,9 +119,18 @@ impl<E> EventQueue<E> {
     /// # Panics
     /// Panics if `at` is before the current time.
     pub fn schedule_at(&mut self, at: SimTime, payload: E) -> EventId {
-        assert!(at >= self.now, "cannot schedule in the past ({at} < {})", self.now);
+        assert!(
+            at >= self.now,
+            "cannot schedule in the past ({at} < {})",
+            self.now
+        );
         let id = EventId(self.next_seq);
-        self.heap.push(Entry { time: at, seq: self.next_seq, id, payload });
+        self.heap.push(Entry {
+            time: at,
+            seq: self.next_seq,
+            id,
+            payload,
+        });
         self.next_seq += 1;
         self.live += 1;
         id
@@ -129,7 +141,10 @@ impl<E> EventQueue<E> {
     /// # Panics
     /// Panics if `delay` is negative or non-finite.
     pub fn schedule_in(&mut self, delay: f64, payload: E) -> EventId {
-        assert!(delay.is_finite() && delay >= 0.0, "delay must be finite and >= 0, got {delay}");
+        assert!(
+            delay.is_finite() && delay >= 0.0,
+            "delay must be finite and >= 0, got {delay}"
+        );
         self.schedule_at(self.now + delay, payload)
     }
 
@@ -177,7 +192,11 @@ impl<E> EventQueue<E> {
             self.live -= 1;
             debug_assert!(entry.time >= self.now, "event queue went back in time");
             self.now = entry.time;
-            return Some(ScheduledEvent { time: entry.time, id: entry.id, payload: entry.payload });
+            return Some(ScheduledEvent {
+                time: entry.time,
+                id: entry.id,
+                payload: entry.payload,
+            });
         }
         None
     }
@@ -339,7 +358,9 @@ mod tests {
     #[test]
     fn heavy_churn_len_bookkeeping() {
         let mut q = EventQueue::new();
-        let ids: Vec<EventId> = (0..1000).map(|i| q.schedule_in(f64::from(i) * 0.01, i)).collect();
+        let ids: Vec<EventId> = (0..1000)
+            .map(|i| q.schedule_in(f64::from(i) * 0.01, i))
+            .collect();
         for id in ids.iter().step_by(2) {
             assert!(q.cancel(*id));
         }

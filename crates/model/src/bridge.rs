@@ -36,6 +36,11 @@ pub struct TwoNodeSysState {
 ///
 /// # Panics
 /// Panics if the state space exceeds `max_states`.
+///
+/// A zero-task system (`m == [0, 0]` and no transit) never absorbs — the
+/// work states cycle forever — so callers must special-case the empty
+/// workload (completion time 0) before building a chain, as every public
+/// entry point in this crate does.
 #[must_use]
 pub fn lbp1_chain(
     params: &TwoNodeParams,
@@ -59,8 +64,7 @@ pub fn lbp1_chain(
         &initial,
         move |s| {
             let mut out: Vec<(f64, Option<TwoNodeSysState>)> = Vec::with_capacity(6);
-            let tasks_left =
-                s.m[0] + s.m[1] + s.transit.map_or(0, |(_, l)| l);
+            let tasks_left = s.m[0] + s.m[1] + s.transit.map_or(0, |(_, l)| l);
             for i in 0..2 {
                 if s.up.is_up(i) {
                     if s.m[i] > 0 {
@@ -106,12 +110,23 @@ pub fn lbp1_mean_exact(
     initial: WorkState,
 ) -> f64 {
     assert!(sender < 2 && l <= m0[sender], "invalid transfer spec");
+    if m0[0] + m0[1] == 0 {
+        // Nothing to process: the chain never absorbs (work states cycle
+        // forever), but the completion time is identically zero.
+        return 0.0;
+    }
     let mut m = m0;
     m[sender] -= l;
     let transit = if l > 0 { Some((1 - sender, l)) } else { None };
     let explored = lbp1_chain(params, m, transit, 4_000_000);
-    let start = TwoNodeSysState { m, up: initial, transit: transit.map(|(r, l)| (r as u8, l)) };
-    let idx = explored.index(&start).expect("initial state is in the chain");
+    let start = TwoNodeSysState {
+        m,
+        up: initial,
+        transit: transit.map(|(r, l)| (r as u8, l)),
+    };
+    let idx = explored
+        .index(&start)
+        .expect("initial state is in the chain");
     churnbal_ctmc::expected_absorption_times(&explored.chain)[idx]
 }
 
@@ -150,6 +165,8 @@ impl Lbp2State {
 /// # Panics
 /// Panics if the state space exceeds `max_states` (LBP-2's flight set is
 /// unbounded in principle; in practice arrival rates keep it tiny).
+///
+/// Zero-task systems never absorb; see [`lbp1_chain`].
 #[must_use]
 pub fn lbp2_chain(
     params: &TwoNodeParams,
@@ -171,14 +188,18 @@ pub fn lbp2_chain(
     let initial: Vec<Lbp2State> = space
         .states()
         .iter()
-        .map(|&up| Lbp2State { m: m0, up, flights: flights.clone() })
+        .map(|&up| Lbp2State {
+            m: m0,
+            up,
+            flights: flights.clone(),
+        })
         .collect();
     explore(
         &initial,
         move |s| {
             let mut out: Vec<(f64, Option<Lbp2State>)> = Vec::with_capacity(8);
             let tasks_left = s.tasks_left();
-            for i in 0..2 {
+            for (i, &lf_full) in lf_on_failure.iter().enumerate() {
                 if s.up.is_up(i) {
                     if s.m[i] > 0 {
                         let mut next = s.clone();
@@ -191,7 +212,7 @@ pub fn lbp2_chain(
                         // the other node (clamped to what it holds).
                         let mut next = s.clone();
                         next.up = s.up.with_down(i);
-                        let lf = lf_on_failure[i].min(next.m[i]);
+                        let lf = lf_full.min(next.m[i]);
                         if lf > 0 {
                             next.m[i] -= lf;
                             next = next.with_flight(1 - i as u8, lf);
@@ -231,9 +252,16 @@ pub fn lbp2_mean_exact(
     let mut m = m0;
     let mut flights = Vec::new();
     if let Some((sender, l)) = initial_transfer {
-        assert!(sender < 2 && l <= m0[sender] && l > 0, "invalid initial transfer");
+        assert!(
+            sender < 2 && l <= m0[sender] && l > 0,
+            "invalid initial transfer"
+        );
         m[sender] -= l;
         flights.push((1 - sender, l));
+    }
+    if m0[0] + m0[1] == 0 {
+        // Same empty-workload guard as `lbp1_mean_exact`.
+        return 0.0;
     }
     let explored = lbp2_chain(params, m, lf_on_failure, &flights, max_states);
     let start = Lbp2State {
@@ -241,7 +269,9 @@ pub fn lbp2_mean_exact(
         up: initial,
         flights: flights.iter().map(|&(r, l)| (r as u8, l)).collect(),
     };
-    let idx = explored.index(&start).expect("initial state is in the chain");
+    let idx = explored
+        .index(&start)
+        .expect("initial state is in the chain");
     churnbal_ctmc::expected_absorption_times(&explored.chain)[idx]
 }
 
@@ -258,6 +288,16 @@ mod tests {
             [0.1, 0.05],
             DelayModel::per_task(0.1),
         )
+    }
+
+    #[test]
+    fn zero_workload_means_are_zero() {
+        let p = small_params();
+        assert_eq!(lbp1_mean_exact(&p, [0, 0], 0, 0, WorkState::BOTH_UP), 0.0);
+        assert_eq!(
+            lbp2_mean_exact(&p, [0, 0], [3, 3], None, WorkState::BOTH_UP, 1000),
+            0.0
+        );
     }
 
     #[test]
@@ -280,7 +320,10 @@ mod tests {
         for l in [1u32, 3, 6] {
             let rec = lbp1_mean(&p, m0, 0, l, WorkState::BOTH_UP);
             let exact = lbp1_mean_exact(&p, m0, 0, l, WorkState::BOTH_UP);
-            assert!((rec - exact).abs() < 1e-8, "l={l}: recursion {rec} vs ctmc {exact}");
+            assert!(
+                (rec - exact).abs() < 1e-8,
+                "l={l}: recursion {rec} vs ctmc {exact}"
+            );
         }
     }
 
@@ -310,7 +353,14 @@ mod tests {
     #[test]
     fn lbp2_chain_reduces_to_lbp1_when_lf_is_zero() {
         let p = small_params();
-        let a = lbp2_mean_exact(&p, [4, 3], [0, 0], Some((0, 2)), WorkState::BOTH_UP, 100_000);
+        let a = lbp2_mean_exact(
+            &p,
+            [4, 3],
+            [0, 0],
+            Some((0, 2)),
+            WorkState::BOTH_UP,
+            100_000,
+        );
         let b = lbp1_mean_exact(&p, [4, 3], 0, 2, WorkState::BOTH_UP);
         assert!((a - b).abs() < 1e-8, "{a} vs {b}");
     }

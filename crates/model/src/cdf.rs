@@ -41,7 +41,11 @@ impl CompletionCdf {
             return 0.0;
         }
         if t <= self.times[0] {
-            return if t < self.times[0] { 0.0 } else { self.values[0] };
+            return if t < self.times[0] {
+                0.0
+            } else {
+                self.values[0]
+            };
         }
         if t >= *self.times.last().expect("non-empty") {
             return *self.values.last().expect("non-empty");
@@ -68,8 +72,15 @@ impl CompletionCdf {
 #[must_use]
 pub fn mean_from_cdf(cdf: &CompletionCdf) -> f64 {
     assert!(cdf.times.len() >= 2, "need at least two samples");
-    assert!(cdf.coverage() > 0.5, "horizon too short: coverage {}", cdf.coverage());
-    let mut mean = cdf.times[0] * 1.0; // F = 0 on [0, t0] ⇒ survival is 1
+    assert!(
+        cdf.coverage() > 0.5,
+        "horizon too short: coverage {}",
+        cdf.coverage()
+    );
+    // Head segment [0, t0]: survival is bounded by 1 - F(t0) there (F is
+    // monotone), and equals it when the grid starts where mass already
+    // accumulated (e.g. the degenerate T = 0 workload on a late grid).
+    let mut mean = cdf.times[0] * (1.0 - cdf.values[0]);
     for i in 1..cdf.times.len() {
         let s0 = 1.0 - cdf.values[i - 1];
         let s1 = 1.0 - cdf.values[i];
@@ -88,7 +99,10 @@ pub fn mean_from_cdf(cdf: &CompletionCdf) -> f64 {
         let s0 = 1.0 - cdf.values[i0];
         let s1 = tail_mass;
         let beta = (s0 / s1).ln() / (cdf.times[i1] - cdf.times[i0]);
-        assert!(beta > 0.0, "survival curve is not decaying — extend the horizon");
+        assert!(
+            beta > 0.0,
+            "survival curve is not decaying — extend the horizon"
+        );
         mean += tail_mass / beta;
     }
     mean
@@ -112,14 +126,17 @@ pub fn cdf_from_chain(
 ) -> Vec<f64> {
     assert!(!times.is_empty(), "empty time grid");
     assert!(initial < chain.num_states(), "initial state out of range");
-    assert!(steps_per_unit_rate >= 2.0, "step control too coarse for RK4 stability");
+    assert!(
+        steps_per_unit_rate >= 2.0,
+        "step control too coarse for RK4 stability"
+    );
     let n = chain.num_states();
     // CSR views plus the absorption inflow vector.
     let mut absorb = vec![0.0f64; n];
-    for x in 0..n {
+    for (x, a) in absorb.iter_mut().enumerate() {
         for (t, r) in chain.transitions(x) {
             if t == ABSORBING {
-                absorb[x] += r;
+                *a += r;
             }
         }
     }
@@ -194,14 +211,30 @@ pub fn lbp1_cdf(
     times: &[f64],
 ) -> CompletionCdf {
     assert!(sender < 2 && l <= m0[sender], "invalid transfer spec");
+    if m0[0] + m0[1] == 0 {
+        // Zero workload: T = 0, so P(T <= t) = 1 on the whole (t >= 0) grid.
+        return CompletionCdf {
+            times: times.to_vec(),
+            values: vec![1.0; times.len()],
+        };
+    }
     let mut m = m0;
     m[sender] -= l;
     let transit = if l > 0 { Some((1 - sender, l)) } else { None };
     let explored = lbp1_chain(params, m, transit, 4_000_000);
-    let start = TwoNodeSysState { m, up: initial, transit: transit.map(|(r, s)| (r as u8, s)) };
-    let idx = explored.index(&start).expect("initial state is in the chain");
+    let start = TwoNodeSysState {
+        m,
+        up: initial,
+        transit: transit.map(|(r, s)| (r as u8, s)),
+    };
+    let idx = explored
+        .index(&start)
+        .expect("initial state is in the chain");
     let values = cdf_from_chain(&explored.chain, idx, times, 8.0);
-    CompletionCdf { times: times.to_vec(), values }
+    CompletionCdf {
+        times: times.to_vec(),
+        values,
+    }
 }
 
 #[cfg(test)]
@@ -211,6 +244,19 @@ mod tests {
 
     fn grid(to: f64, n: usize) -> Vec<f64> {
         (0..=n).map(|i| to * i as f64 / n as f64).collect()
+    }
+
+    #[test]
+    fn zero_workload_cdf_is_one_everywhere() {
+        let p = TwoNodeParams::paper();
+        let times = grid(10.0, 5);
+        let cdf = lbp1_cdf(&p, [0, 0], 0, 0, WorkState::BOTH_UP, &times);
+        assert!(cdf.values.iter().all(|&v| v == 1.0));
+        assert!((mean_from_cdf(&cdf) - 0.0).abs() < 1e-12);
+        // A grid that starts past t = 0 must not resurrect phantom mass in
+        // the head segment of the mean integral.
+        let late = lbp1_cdf(&p, [0, 0], 0, 0, WorkState::BOTH_UP, &[5.0, 10.0]);
+        assert!((mean_from_cdf(&late) - 0.0).abs() < 1e-12);
     }
 
     #[test]
@@ -259,7 +305,11 @@ mod tests {
     fn rk4_matches_uniformization() {
         let p = TwoNodeParams::paper();
         let explored = crate::bridge::lbp1_chain(&p, [5, 3], Some((1, 2)), 100_000);
-        let start = TwoNodeSysState { m: [5, 3], up: WorkState::BOTH_UP, transit: Some((1, 2)) };
+        let start = TwoNodeSysState {
+            m: [5, 3],
+            up: WorkState::BOTH_UP,
+            transit: Some((1, 2)),
+        };
         let idx = explored.index(&start).expect("state");
         let times = grid(40.0, 40);
         let rk4 = cdf_from_chain(&explored.chain, idx, &times, 8.0);
@@ -289,18 +339,20 @@ mod tests {
         let times = grid(120.0, 60);
         let c_fail = lbp1_cdf(&fail, [25, 10], 0, 8, WorkState::BOTH_UP, &times);
         let c_nofail = lbp1_cdf(&nofail, [25, 10], 0, 8, WorkState::BOTH_UP, &times);
-        for i in 0..times.len() {
+        for (i, &t) in times.iter().enumerate() {
             assert!(
                 c_fail.values[i] <= c_nofail.values[i] + 1e-9,
-                "churn CDF must lie below at t={}",
-                times[i]
+                "churn CDF must lie below at t={t}"
             );
         }
     }
 
     #[test]
     fn eval_interpolates() {
-        let cdf = CompletionCdf { times: vec![0.0, 1.0, 2.0], values: vec![0.0, 0.4, 0.8] };
+        let cdf = CompletionCdf {
+            times: vec![0.0, 1.0, 2.0],
+            values: vec![0.0, 0.4, 0.8],
+        };
         assert_eq!(cdf.eval(-1.0), 0.0);
         assert!((cdf.eval(0.5) - 0.2).abs() < 1e-12);
         assert!((cdf.eval(1.5) - 0.6).abs() < 1e-12);
@@ -310,7 +362,10 @@ mod tests {
     #[test]
     #[should_panic(expected = "horizon too short")]
     fn mean_rejects_uncovered_cdf() {
-        let cdf = CompletionCdf { times: vec![0.0, 1.0], values: vec![0.0, 0.1] };
+        let cdf = CompletionCdf {
+            times: vec![0.0, 1.0],
+            values: vec![0.0, 0.1],
+        };
         let _ = mean_from_cdf(&cdf);
     }
 }

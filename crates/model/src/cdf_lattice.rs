@@ -39,11 +39,17 @@ struct CellSeries {
 
 impl CellSeries {
     fn constant_one(steps: usize, ns: usize) -> Self {
-        Self { data: vec![1.0; (steps + 1) * ns], ns }
+        Self {
+            data: vec![1.0; (steps + 1) * ns],
+            ns,
+        }
     }
 
     fn zeroed(steps: usize, ns: usize) -> Self {
-        Self { data: vec![0.0; (steps + 1) * ns], ns }
+        Self {
+            data: vec![0.0; (steps + 1) * ns],
+            ns,
+        }
     }
 
     #[inline]
@@ -100,7 +106,11 @@ impl Lattice {
                 lower[i] -= 1;
                 let series = &self.cells[self.cell_index(lower)];
                 u += self.params.service[i]
-                    * if half { series.at_half(step, slot) } else { series.at(step, slot) };
+                    * if half {
+                        series.at_half(step, slot)
+                    } else {
+                        series.at(step, slot)
+                    };
             }
         }
         if let Some((receiver, l, lambda21)) = self.transit {
@@ -109,7 +119,11 @@ impl Lattice {
             arrived[receiver] += l;
             let series = &hat.cells[hat.cell_index(arrived)];
             u += lambda21
-                * if half { series.at_half(step, slot) } else { series.at(step, slot) };
+                * if half {
+                    series.at_half(step, slot)
+                } else {
+                    series.at(step, slot)
+                };
         }
         u
     }
@@ -121,9 +135,9 @@ impl Lattice {
         let mut lambda = vec![0.0f64; ns];
         let mut couple: Vec<Vec<(usize, f64)>> = vec![Vec::new(); ns];
         for (slot, &st) in self.space.states().iter().enumerate() {
-            for i in 0..2 {
+            for (i, &mi) in m.iter().enumerate() {
                 if st.is_up(i) {
-                    if m[i] > 0 {
+                    if mi > 0 {
                         lambda[slot] += self.params.service[i];
                     }
                     if self.space.churns(i) {
@@ -156,16 +170,11 @@ impl Lattice {
         let mut u0 = vec![0.0f64; ns];
         let mut uh = vec![0.0f64; ns];
         let mut u1 = vec![0.0f64; ns];
-        let (mut k1, mut k2, mut k3, mut k4) = (
-            vec![0.0; ns],
-            vec![0.0; ns],
-            vec![0.0; ns],
-            vec![0.0; ns],
-        );
+        let (mut k1, mut k2, mut k3, mut k4) =
+            (vec![0.0; ns], vec![0.0; ns], vec![0.0; ns], vec![0.0; ns]);
         let mut tmp = vec![0.0f64; ns];
         let idx = self.cell_index(m);
-        for slot in 0..ns {
-            let v = y[slot];
+        for (slot, &v) in y.iter().enumerate() {
             self.cells[idx].set(0, slot, v);
         }
         for step in 0..self.steps {
@@ -189,8 +198,8 @@ impl Lattice {
             }
             deriv(&tmp, &u1, &mut k4);
             for s in 0..ns {
-                y[s] = (y[s] + h / 6.0 * (k1[s] + 2.0 * k2[s] + 2.0 * k3[s] + k4[s]))
-                    .clamp(0.0, 1.0);
+                y[s] =
+                    (y[s] + h / 6.0 * (k1[s] + 2.0 * k2[s] + 2.0 * k3[s] + k4[s])).clamp(0.0, 1.0);
                 self.cells[idx].set(step + 1, s, y[s]);
             }
         }
@@ -238,7 +247,15 @@ fn build_lattice(
             }
         }
     }
-    Lattice { params: *params, space, max_m, steps, h, cells, transit }
+    Lattice {
+        params: *params,
+        space,
+        max_m,
+        steps,
+        h,
+        cells,
+        transit,
+    }
 }
 
 /// Completion-time CDF of LBP-1 via the paper's per-cell iteration.
@@ -317,7 +334,10 @@ pub fn lbp1_cdf_lattice(
             }
         })
         .collect();
-    CompletionCdf { times: times.to_vec(), values }
+    CompletionCdf {
+        times: times.to_vec(),
+        values,
+    }
 }
 
 #[cfg(test)]

@@ -41,8 +41,10 @@ pub mod variance;
 pub use cdf::{lbp1_cdf, mean_from_cdf, CompletionCdf};
 pub use cdf_lattice::lbp1_cdf_lattice;
 pub use mean::{HatTable, Lbp1Evaluator};
-pub use optimize::{gain_sweep, optimize_lbp1, optimize_lbp1_deadline, DeadlineOptimum, Lbp1Optimum};
 pub use multinode::{multinode_mean_exact, MultiNodeParams};
+pub use optimize::{
+    gain_sweep, optimize_lbp1, optimize_lbp1_deadline, DeadlineOptimum, Lbp1Optimum,
+};
 pub use rates::{DelayModel, TwoNodeParams};
-pub use variance::{lbp1_moments, lbp2_moments, CompletionMoments};
 pub use state::{StateSpace, WorkState};
+pub use variance::{lbp1_moments, lbp2_moments, CompletionMoments};

@@ -306,7 +306,10 @@ impl Lbp1Evaluator {
     /// Panics unless `K ∈ [0, 1]`.
     #[must_use]
     pub fn mean_for_gain(&self, sender: usize, gain: f64, initial: WorkState) -> f64 {
-        assert!((0.0..=1.0).contains(&gain), "gain K must be in [0,1], got {gain}");
+        assert!(
+            (0.0..=1.0).contains(&gain),
+            "gain K must be in [0,1], got {gain}"
+        );
         let l = (gain * f64::from(self.m0[sender])).round() as u32;
         self.mean(sender, l, initial)
     }

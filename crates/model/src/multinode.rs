@@ -35,18 +35,40 @@ impl MultiNodeParams {
     /// # Panics
     /// Panics on inconsistent lengths or invalid rates.
     #[must_use]
-    pub fn new(service: Vec<f64>, failure: Vec<f64>, recovery: Vec<f64>, delay: DelayModel) -> Self {
+    pub fn new(
+        service: Vec<f64>,
+        failure: Vec<f64>,
+        recovery: Vec<f64>,
+        delay: DelayModel,
+    ) -> Self {
         let n = service.len();
         assert!(n >= 2, "need at least two nodes");
         assert_eq!(failure.len(), n, "failure rate length mismatch");
         assert_eq!(recovery.len(), n, "recovery rate length mismatch");
         for i in 0..n {
-            assert!(service[i] > 0.0, "service rate of node {i} must be positive");
-            assert!(failure[i] >= 0.0 && recovery[i] >= 0.0, "negative churn rate at node {i}");
-            assert!(failure[i] == 0.0 || recovery[i] > 0.0, "node {i} fails but never recovers");
+            assert!(
+                service[i] > 0.0,
+                "service rate of node {i} must be positive"
+            );
+            assert!(
+                failure[i] >= 0.0 && recovery[i] >= 0.0,
+                "negative churn rate at node {i}"
+            );
+            assert!(
+                failure[i] == 0.0 || recovery[i] > 0.0,
+                "node {i} fails but never recovers"
+            );
         }
-        assert!(n <= 16, "up-mask is 16 bits; the exact model is for small n anyway");
-        Self { service, failure, recovery, delay }
+        assert!(
+            n <= 16,
+            "up-mask is 16 bits; the exact model is for small n anyway"
+        );
+        Self {
+            service,
+            failure,
+            recovery,
+            delay,
+        }
     }
 
     /// Number of nodes.
@@ -90,6 +112,10 @@ impl MultiState {
 ///
 /// # Panics
 /// Panics if exploration exceeds `max_states`.
+///
+/// Zero-task systems never absorb; see
+/// [`crate::bridge::lbp1_chain`] — callers must special-case the empty
+/// workload before building a chain.
 #[must_use]
 pub fn multi_chain<F>(
     params: &MultiNodeParams,
@@ -113,7 +139,11 @@ where
         .collect();
     flights.sort_unstable();
     let all_up = ((1u32 << n) - 1) as u16;
-    let initial = MultiState { m: m0.to_vec(), up: all_up, flights };
+    let initial = MultiState {
+        m: m0.to_vec(),
+        up: all_up,
+        flights,
+    };
     explore(
         &[initial],
         move |s| {
@@ -125,7 +155,10 @@ where
                     if s.m[i] > 0 {
                         let mut next = s.clone();
                         next.m[i] -= 1;
-                        out.push((p.service[i], if tasks_left == 1 { None } else { Some(next) }));
+                        out.push((
+                            p.service[i],
+                            if tasks_left == 1 { None } else { Some(next) },
+                        ));
                     }
                     if p.failure[i] > 0.0 {
                         let mut next = s.clone();
@@ -175,12 +208,19 @@ pub fn multinode_mean_exact<F>(
 where
     F: Fn(usize) -> Vec<(usize, u32)>,
 {
+    if m0.iter().all(|&x| x == 0) && initial_flights.is_empty() {
+        // Zero workload: the chain never absorbs, but T is identically 0.
+        return 0.0;
+    }
     let explored = multi_chain(params, m0, initial_flights, on_failure, max_states);
     let all_up = ((1u32 << params.len()) - 1) as u16;
-    let mut flights: Vec<(u8, u32)> =
-        initial_flights.iter().map(|&(r, l)| (r as u8, l)).collect();
+    let mut flights: Vec<(u8, u32)> = initial_flights.iter().map(|&(r, l)| (r as u8, l)).collect();
     flights.sort_unstable();
-    let start = MultiState { m: m0.to_vec(), up: all_up, flights };
+    let start = MultiState {
+        m: m0.to_vec(),
+        up: all_up,
+        flights,
+    };
     let idx = explored.index(&start).expect("initial state present");
     expected_absorption_times(&explored.chain)[idx]
 }
@@ -194,14 +234,17 @@ mod tests {
 
     fn two_node() -> (MultiNodeParams, TwoNodeParams) {
         let delay = DelayModel::per_task(0.1);
-        let multi = MultiNodeParams::new(
-            vec![1.08, 1.86],
-            vec![0.05, 0.05],
-            vec![0.1, 0.05],
-            delay,
-        );
+        let multi =
+            MultiNodeParams::new(vec![1.08, 1.86], vec![0.05, 0.05], vec![0.1, 0.05], delay);
         let two = TwoNodeParams::new([1.08, 1.86], [0.05, 0.05], [0.1, 0.05], delay);
         (multi, two)
+    }
+
+    #[test]
+    fn zero_workload_mean_is_zero() {
+        let (multi, _) = two_node();
+        let t = multinode_mean_exact(&multi, &[0, 0], &[], |_| vec![], 1000);
+        assert_eq!(t, 0.0);
     }
 
     #[test]
@@ -237,12 +280,7 @@ mod tests {
     #[test]
     fn third_node_helps() {
         let delay = DelayModel::per_task(0.05);
-        let two = MultiNodeParams::new(
-            vec![1.0, 1.0],
-            vec![0.05, 0.05],
-            vec![0.1, 0.1],
-            delay,
-        );
+        let two = MultiNodeParams::new(vec![1.0, 1.0], vec![0.05, 0.05], vec![0.1, 0.1], delay);
         let three = MultiNodeParams::new(
             vec![1.0, 1.0, 1.0],
             vec![0.05, 0.05, 0.05],
@@ -252,8 +290,7 @@ mod tests {
         // Same 12-task total: two nodes split 6/6 (3 in flight), three
         // nodes split 4/5/3 (2 and 3 in flight).
         let t2 = multinode_mean_exact(&two, &[6, 3], &[(1, 3)], |_| vec![], 500_000);
-        let t3 =
-            multinode_mean_exact(&three, &[4, 3, 0], &[(1, 2), (2, 3)], |_| vec![], 500_000);
+        let t3 = multinode_mean_exact(&three, &[4, 3, 0], &[(1, 2), (2, 3)], |_| vec![], 500_000);
         assert!(t3 < t2, "a third worker should help: {t3} vs {t2}");
     }
 
@@ -261,13 +298,7 @@ mod tests {
     fn failure_response_changes_the_mean() {
         let (multi, _) = two_node();
         let passive = multinode_mean_exact(&multi, &[6, 2], &[], |_| vec![], 2_000_000);
-        let active = multinode_mean_exact(
-            &multi,
-            &[6, 2],
-            &[],
-            |j| vec![(1 - j, 3u32)],
-            2_000_000,
-        );
+        let active = multinode_mean_exact(&multi, &[6, 2], &[], |j| vec![(1 - j, 3u32)], 2_000_000);
         assert!((passive - active).abs() > 1e-6);
     }
 

@@ -32,11 +32,7 @@ pub struct Lbp1Optimum {
 /// Minimises the mean completion time over `L ∈ {0..=m_sender}` for a fixed
 /// sender, returning `(L*, mean*)`.
 #[must_use]
-pub fn optimize_transfer(
-    ev: &Lbp1Evaluator,
-    sender: usize,
-    initial: WorkState,
-) -> (u32, f64) {
+pub fn optimize_transfer(ev: &Lbp1Evaluator, sender: usize, initial: WorkState) -> (u32, f64) {
     let m_max = ev.workload()[sender];
     let eval = |l: u32| ev.mean(sender, l, initial);
     if m_max == 0 {
@@ -76,17 +72,23 @@ pub fn optimize_transfer(
 /// Returns the sender/receiver pair and gain minimising the model's mean
 /// completion time from work state `initial` (the paper uses `(1,1)`).
 #[must_use]
-pub fn optimize_lbp1(
-    params: &TwoNodeParams,
-    m0: [u32; 2],
-    initial: WorkState,
-) -> Lbp1Optimum {
+pub fn optimize_lbp1(params: &TwoNodeParams, m0: [u32; 2], initial: WorkState) -> Lbp1Optimum {
     let ev = Lbp1Evaluator::new(params, m0);
     let mut best: Option<Lbp1Optimum> = None;
-    for sender in 0..2 {
+    for (sender, &m_sender) in m0.iter().enumerate() {
         let (tasks, mean) = optimize_transfer(&ev, sender, initial);
-        let gain = if m0[sender] == 0 { 0.0 } else { f64::from(tasks) / f64::from(m0[sender]) };
-        let candidate = Lbp1Optimum { sender, receiver: 1 - sender, tasks, gain, mean };
+        let gain = if m_sender == 0 {
+            0.0
+        } else {
+            f64::from(tasks) / f64::from(m_sender)
+        };
+        let candidate = Lbp1Optimum {
+            sender,
+            receiver: 1 - sender,
+            tasks,
+            gain,
+            mean,
+        };
         let better = match &best {
             None => true,
             Some(b) => mean < b.mean,
@@ -131,7 +133,10 @@ pub fn optimize_lbp1_deadline(
     initial: WorkState,
     grid_points: u32,
 ) -> DeadlineOptimum {
-    assert!(deadline > 0.0 && deadline.is_finite(), "deadline must be positive");
+    assert!(
+        deadline > 0.0 && deadline.is_finite(),
+        "deadline must be positive"
+    );
     assert!(grid_points > 0, "need at least one grid interval");
     let times = [deadline];
     let mut best: Option<DeadlineOptimum> = None;
@@ -145,9 +150,18 @@ pub fn optimize_lbp1_deadline(
             }
             let cdf = crate::cdf::lbp1_cdf(params, m0, sender, l, initial, &times);
             let probability = cdf.values[0];
-            let gain = if m_max == 0 { 0.0 } else { f64::from(l) / f64::from(m_max) };
-            let candidate =
-                DeadlineOptimum { sender, receiver: 1 - sender, tasks: l, gain, probability };
+            let gain = if m_max == 0 {
+                0.0
+            } else {
+                f64::from(l) / f64::from(m_max)
+            };
+            let candidate = DeadlineOptimum {
+                sender,
+                receiver: 1 - sender,
+                tasks: l,
+                gain,
+                probability,
+            };
             if best.as_ref().is_none_or(|b| probability > b.probability) {
                 best = Some(candidate);
             }
@@ -170,7 +184,10 @@ pub fn gain_sweep(
     initial: WorkState,
 ) -> Vec<f64> {
     let ev = Lbp1Evaluator::new(params, m0);
-    gains.iter().map(|&k| ev.mean_for_gain(sender, k, initial)).collect()
+    gains
+        .iter()
+        .map(|&k| ev.mean_for_gain(sender, k, initial))
+        .collect()
 }
 
 #[cfg(test)]
@@ -216,7 +233,10 @@ mod tests {
     fn sender_flips_with_the_workload() {
         let p = quick_params();
         let opt = optimize_lbp1(&p, [5, 30], WorkState::BOTH_UP);
-        assert_eq!(opt.sender, 1, "node 2 holds the load and the other node idles");
+        assert_eq!(
+            opt.sender, 1,
+            "node 2 holds the load and the other node idles"
+        );
         assert!(opt.tasks > 0);
     }
 
@@ -257,7 +277,10 @@ mod tests {
         // It must beat (or tie) the no-transfer and full-transfer corners.
         for (s, l) in [(0usize, 0u32), (0, 20), (1, 12)] {
             let q = crate::cdf::lbp1_cdf(&p, m0, s, l, WorkState::BOTH_UP, &[deadline]).values[0];
-            assert!(opt.probability >= q - 1e-9, "corner ({s},{l}) beats the optimum");
+            assert!(
+                opt.probability >= q - 1e-9,
+                "corner ({s},{l}) beats the optimum"
+            );
         }
     }
 

@@ -28,9 +28,18 @@ impl DelayModel {
     /// initial queue instead).
     #[must_use]
     pub fn new(fixed: f64, per_task: f64) -> Self {
-        assert!(fixed.is_finite() && fixed >= 0.0, "fixed delay must be >= 0");
-        assert!(per_task.is_finite() && per_task >= 0.0, "per-task delay must be >= 0");
-        assert!(fixed + per_task > 0.0, "delay model cannot be identically zero");
+        assert!(
+            fixed.is_finite() && fixed >= 0.0,
+            "fixed delay must be >= 0"
+        );
+        assert!(
+            per_task.is_finite() && per_task >= 0.0,
+            "per-task delay must be >= 0"
+        );
+        assert!(
+            fixed + per_task > 0.0,
+            "delay model cannot be identically zero"
+        );
         Self { fixed, per_task }
     }
 
@@ -87,7 +96,12 @@ impl TwoNodeParams {
     /// recover (`recovery = 0`) — its expected completion time would be
     /// infinite.
     #[must_use]
-    pub fn new(service: [f64; 2], failure: [f64; 2], recovery: [f64; 2], delay: DelayModel) -> Self {
+    pub fn new(
+        service: [f64; 2],
+        failure: [f64; 2],
+        recovery: [f64; 2],
+        delay: DelayModel,
+    ) -> Self {
         for i in 0..2 {
             assert!(
                 service[i] > 0.0 && service[i].is_finite(),
@@ -106,7 +120,12 @@ impl TwoNodeParams {
                 "node {i} can fail but never recovers — completion time is infinite"
             );
         }
-        Self { service, failure, recovery, delay }
+        Self {
+            service,
+            failure,
+            recovery,
+            delay,
+        }
     }
 
     /// The exact parameter set of the paper's §4 experiments:
@@ -135,13 +154,20 @@ impl TwoNodeParams {
     /// Copy with churn disabled on both nodes.
     #[must_use]
     pub fn without_failures(&self) -> Self {
-        Self { failure: [0.0, 0.0], recovery: [0.0, 0.0], ..*self }
+        Self {
+            failure: [0.0, 0.0],
+            recovery: [0.0, 0.0],
+            ..*self
+        }
     }
 
     /// Copy with a different mean per-task delay (Table 3 sweeps this).
     #[must_use]
     pub fn with_per_task_delay(&self, per_task: f64) -> Self {
-        Self { delay: DelayModel::new(self.delay.fixed, per_task), ..*self }
+        Self {
+            delay: DelayModel::new(self.delay.fixed, per_task),
+            ..*self
+        }
     }
 
     /// True when node `i` participates in churn (`λ_f > 0`).

@@ -89,7 +89,11 @@ impl StateSpace {
                 states.push(s);
             }
         }
-        Self { states, slot_of, churns }
+        Self {
+            states,
+            slot_of,
+            churns,
+        }
     }
 
     /// Number of reachable states (1, 2 or 4).
@@ -118,7 +122,10 @@ impl StateSpace {
     #[must_use]
     pub fn slot(&self, s: WorkState) -> usize {
         let slot = self.slot_of[s.mask() as usize];
-        assert!(slot != usize::MAX, "work state {s:?} unreachable under these parameters");
+        assert!(
+            slot != usize::MAX,
+            "work state {s:?} unreachable under these parameters"
+        );
         slot
     }
 

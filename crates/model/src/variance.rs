@@ -38,14 +38,31 @@ pub fn lbp1_moments(
     initial: WorkState,
 ) -> CompletionMoments {
     assert!(sender < 2 && l <= m0[sender], "invalid transfer spec");
+    if m0[0] + m0[1] == 0 {
+        // Zero workload: the chain never absorbs, but T is identically 0
+        // (cv² of a point mass is taken as 0).
+        return CompletionMoments {
+            mean: 0.0,
+            std_dev: 0.0,
+            cv2: 0.0,
+        };
+    }
     let mut m = m0;
     m[sender] -= l;
     let transit = if l > 0 { Some((1 - sender, l)) } else { None };
     let explored = lbp1_chain(params, m, transit, 4_000_000);
-    let start = TwoNodeSysState { m, up: initial, transit: transit.map(|(r, s)| (r as u8, s)) };
+    let start = TwoNodeSysState {
+        m,
+        up: initial,
+        transit: transit.map(|(r, s)| (r as u8, s)),
+    };
     let idx = explored.index(&start).expect("initial state present");
     let mm = absorption_moments(&explored.chain);
-    CompletionMoments { mean: mm.mean[idx], std_dev: mm.std_dev(idx), cv2: mm.cv2(idx) }
+    CompletionMoments {
+        mean: mm.mean[idx],
+        std_dev: mm.std_dev(idx),
+        cv2: mm.cv2(idx),
+    }
 }
 
 /// Moments of the LBP-2 completion time (exact, via the CTMC; the paper
@@ -67,9 +84,20 @@ pub fn lbp2_moments(
     let mut m = m0;
     let mut flights = Vec::new();
     if let Some((sender, l)) = initial_transfer {
-        assert!(sender < 2 && l <= m0[sender] && l > 0, "invalid initial transfer");
+        assert!(
+            sender < 2 && l <= m0[sender] && l > 0,
+            "invalid initial transfer"
+        );
         m[sender] -= l;
         flights.push((1 - sender, l));
+    }
+    if m0[0] + m0[1] == 0 {
+        // Same zero-workload guard as `lbp1_moments`.
+        return CompletionMoments {
+            mean: 0.0,
+            std_dev: 0.0,
+            cv2: 0.0,
+        };
     }
     let explored = lbp2_chain(params, m, lf_on_failure, &flights, max_states);
     let start = Lbp2State {
@@ -79,7 +107,11 @@ pub fn lbp2_moments(
     };
     let idx = explored.index(&start).expect("initial state present");
     let mm = absorption_moments(&explored.chain);
-    CompletionMoments { mean: mm.mean[idx], std_dev: mm.std_dev(idx), cv2: mm.cv2(idx) }
+    CompletionMoments {
+        mean: mm.mean[idx],
+        std_dev: mm.std_dev(idx),
+        cv2: mm.cv2(idx),
+    }
 }
 
 #[cfg(test)]
@@ -96,6 +128,18 @@ mod tests {
             [0.1, 0.05],
             DelayModel::per_task(0.05),
         )
+    }
+
+    #[test]
+    fn zero_workload_has_zero_moments() {
+        let p = params();
+        let a = lbp1_moments(&p, [0, 0], 0, 0, WorkState::BOTH_UP);
+        let b = lbp2_moments(&p, [0, 0], [2, 2], None, WorkState::BOTH_UP, 100_000);
+        for m in [a, b] {
+            assert_eq!(m.mean, 0.0);
+            assert_eq!(m.std_dev, 0.0);
+            assert_eq!(m.cv2, 0.0);
+        }
     }
 
     #[test]
@@ -147,7 +191,14 @@ mod tests {
     #[test]
     fn lbp2_moments_reduce_to_lbp1_when_inactive() {
         let p = params();
-        let a = lbp2_moments(&p, [5, 4], [0, 0], Some((0, 2)), WorkState::BOTH_UP, 200_000);
+        let a = lbp2_moments(
+            &p,
+            [5, 4],
+            [0, 0],
+            Some((0, 2)),
+            WorkState::BOTH_UP,
+            200_000,
+        );
         let b = lbp1_moments(&p, [5, 4], 0, 2, WorkState::BOTH_UP);
         assert!((a.mean - b.mean).abs() < 1e-7);
         assert!((a.std_dev - b.std_dev).abs() < 1e-6);

@@ -35,14 +35,20 @@ impl Exponential {
     /// Panics unless `rate` is strictly positive and finite.
     #[must_use]
     pub fn new(rate: f64) -> Self {
-        assert!(rate > 0.0 && rate.is_finite(), "rate must be positive, got {rate}");
+        assert!(
+            rate > 0.0 && rate.is_finite(),
+            "rate must be positive, got {rate}"
+        );
         Self { rate }
     }
 
     /// Creates the exponential with the given mean (`rate = 1/mean`).
     #[must_use]
     pub fn with_mean(mean: f64) -> Self {
-        assert!(mean > 0.0 && mean.is_finite(), "mean must be positive, got {mean}");
+        assert!(
+            mean > 0.0 && mean.is_finite(),
+            "mean must be positive, got {mean}"
+        );
         Self { rate: 1.0 / mean }
     }
 
@@ -105,8 +111,14 @@ impl ShiftedExponential {
     /// Panics if `shift` is negative or `rate` non-positive.
     #[must_use]
     pub fn new(shift: f64, rate: f64) -> Self {
-        assert!(shift >= 0.0 && shift.is_finite(), "shift must be non-negative");
-        Self { shift, exp: Exponential::new(rate) }
+        assert!(
+            shift >= 0.0 && shift.is_finite(),
+            "shift must be non-negative"
+        );
+        Self {
+            shift,
+            exp: Exponential::new(rate),
+        }
     }
 
     /// The additive shift.
@@ -148,7 +160,10 @@ impl Deterministic {
     /// Creates a point mass at `value` (must be finite and non-negative).
     #[must_use]
     pub fn new(value: f64) -> Self {
-        assert!(value >= 0.0 && value.is_finite(), "value must be finite and >= 0");
+        assert!(
+            value >= 0.0 && value.is_finite(),
+            "value must be finite and >= 0"
+        );
         Self { value }
     }
 }
@@ -221,7 +236,10 @@ impl Erlang {
     #[must_use]
     pub fn new(k: u32, rate: f64) -> Self {
         assert!(k > 0, "Erlang needs at least one stage");
-        Self { k, stage: Exponential::new(rate) }
+        Self {
+            k,
+            stage: Exponential::new(rate),
+        }
     }
 
     /// Creates the Erlang-`k` with the given overall mean.
@@ -263,8 +281,15 @@ impl HyperExponential {
     /// Panics unless `p ∈ [0,1]` and both rates are positive.
     #[must_use]
     pub fn new(p: f64, rate1: f64, rate2: f64) -> Self {
-        assert!((0.0..=1.0).contains(&p), "mixing probability must be in [0,1]");
-        Self { p, a: Exponential::new(rate1), b: Exponential::new(rate2) }
+        assert!(
+            (0.0..=1.0).contains(&p),
+            "mixing probability must be in [0,1]"
+        );
+        Self {
+            p,
+            a: Exponential::new(rate1),
+            b: Exponential::new(rate2),
+        }
     }
 }
 
@@ -308,11 +333,18 @@ impl Empirical {
     #[must_use]
     pub fn new(samples: Vec<f64>) -> Self {
         assert!(!samples.is_empty(), "empirical distribution needs data");
-        assert!(samples.iter().all(|x| x.is_finite()), "samples must be finite");
+        assert!(
+            samples.iter().all(|x| x.is_finite()),
+            "samples must be finite"
+        );
         let n = samples.len() as f64;
         let mean = samples.iter().sum::<f64>() / n;
         let variance = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n;
-        Self { samples, mean, variance }
+        Self {
+            samples,
+            mean,
+            variance,
+        }
     }
 
     /// Number of underlying observations.

@@ -15,7 +15,10 @@
 pub fn exp_rate_mle(samples: &[f64]) -> f64 {
     assert!(!samples.is_empty(), "cannot fit an empty sample");
     let mean = samples.iter().sum::<f64>() / samples.len() as f64;
-    assert!(mean > 0.0, "sample mean must be positive for an exponential fit");
+    assert!(
+        mean > 0.0,
+        "sample mean must be positive for an exponential fit"
+    );
     1.0 / mean
 }
 
@@ -44,7 +47,10 @@ pub fn shifted_exp_fit(samples: &[f64]) -> ShiftedExpFit {
     let mean = samples.iter().sum::<f64>() / samples.len() as f64;
     let tail_mean = mean - shift;
     assert!(tail_mean > 0.0, "degenerate sample — no exponential tail");
-    ShiftedExpFit { shift, rate: 1.0 / tail_mean }
+    ShiftedExpFit {
+        shift,
+        rate: 1.0 / tail_mean,
+    }
 }
 
 #[cfg(test)]

@@ -24,7 +24,14 @@ impl Histogram {
     pub fn new(lo: f64, hi: f64, bins: usize) -> Self {
         assert!(lo.is_finite() && hi.is_finite() && lo < hi, "need lo < hi");
         assert!(bins > 0, "need at least one bin");
-        Self { lo, hi, counts: vec![0; bins], underflow: 0, overflow: 0, total: 0 }
+        Self {
+            lo,
+            hi,
+            counts: vec![0; bins],
+            underflow: 0,
+            overflow: 0,
+            total: 0,
+        }
     }
 
     /// Records one observation.
@@ -108,7 +115,9 @@ impl Histogram {
     /// harness prints.
     #[must_use]
     pub fn density_series(&self) -> Vec<(f64, f64)> {
-        (0..self.bins()).map(|i| (self.center(i), self.density(i))).collect()
+        (0..self.bins())
+            .map(|i| (self.center(i), self.density(i)))
+            .collect()
     }
 }
 

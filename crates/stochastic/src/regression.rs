@@ -49,8 +49,16 @@ pub fn fit_line(xs: &[f64], ys: &[f64]) -> LineFit {
             e * e
         })
         .sum();
-    let r_squared = if ss_tot == 0.0 { 1.0 } else { 1.0 - ss_res / ss_tot };
-    LineFit { slope, intercept, r_squared }
+    let r_squared = if ss_tot == 0.0 {
+        1.0
+    } else {
+        1.0 - ss_res / ss_tot
+    };
+    LineFit {
+        slope,
+        intercept,
+        r_squared,
+    }
 }
 
 #[cfg(test)]
@@ -72,17 +80,27 @@ mod tests {
         use crate::rng::Xoshiro256pp;
         let mut rng = Xoshiro256pp::seed_from_u64(5);
         let xs: Vec<f64> = (1..=100).map(f64::from).collect();
-        let ys: Vec<f64> =
-            xs.iter().map(|x| 0.02 * x + 0.1 + 0.01 * (rng.next_f64() - 0.5)).collect();
+        let ys: Vec<f64> = xs
+            .iter()
+            .map(|x| 0.02 * x + 0.1 + 0.01 * (rng.next_f64() - 0.5))
+            .collect();
         let f = fit_line(&xs, &ys);
         assert!((f.slope - 0.02).abs() < 1e-3, "slope {}", f.slope);
-        assert!((f.intercept - 0.1).abs() < 0.01, "intercept {}", f.intercept);
+        assert!(
+            (f.intercept - 0.1).abs() < 0.01,
+            "intercept {}",
+            f.intercept
+        );
         assert!(f.r_squared > 0.99);
     }
 
     #[test]
     fn eval_matches_parameters() {
-        let f = LineFit { slope: 2.0, intercept: 1.0, r_squared: 1.0 };
+        let f = LineFit {
+            slope: 2.0,
+            intercept: 1.0,
+            r_squared: 1.0,
+        };
         assert_eq!(f.eval(3.0), 7.0);
     }
 

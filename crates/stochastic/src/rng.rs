@@ -159,7 +159,10 @@ impl Xoshiro256pp {
     /// Panics if `rate` is not strictly positive and finite.
     #[inline]
     pub fn exp(&mut self, rate: f64) -> f64 {
-        assert!(rate > 0.0 && rate.is_finite(), "exponential rate must be positive");
+        assert!(
+            rate > 0.0 && rate.is_finite(),
+            "exponential rate must be positive"
+        );
         -self.next_f64_open().ln() / rate
     }
 
@@ -373,7 +376,10 @@ mod tests {
         }
         let expected = n as f64 / 7.0;
         for c in counts {
-            assert!((f64::from(c) - expected).abs() < expected * 0.05, "count {c}");
+            assert!(
+                (f64::from(c) - expected).abs() < expected * 0.05,
+                "count {c}"
+            );
         }
     }
 

@@ -1,0 +1,247 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no network access to crates.io, so this
+//! workspace vendors a minimal, API-compatible subset of criterion: enough
+//! for the benches under `crates/bench/benches/` to compile and run.
+//!
+//! Behaviour mirrors the real crate's two modes:
+//!
+//! * under `cargo bench` (cargo passes `--bench`), each benchmark is warmed
+//!   up and timed adaptively, and a `name  time: [..]` line is printed;
+//! * under `cargo test` (no `--bench` flag), each benchmark body runs
+//!   exactly once as a smoke test, unmeasured.
+//!
+//! No statistics, plots, or baselines. Swapping back to the real crate is a
+//! one-line change in `[workspace.dependencies]`.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Target measurement budget per benchmark in bench mode.
+const MEASUREMENT_BUDGET: Duration = Duration::from_millis(300);
+
+/// The benchmark manager handed to `criterion_group!` targets.
+pub struct Criterion {
+    bench_mode: bool,
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let args: Vec<String> = std::env::args().collect();
+        Criterion {
+            bench_mode: args.iter().any(|a| a == "--bench"),
+            filter: args.iter().skip(1).find(|a| !a.starts_with("--")).cloned(),
+        }
+    }
+}
+
+impl Criterion {
+    /// Configure the per-group sample count (accepted, ignored).
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Configure the per-group measurement time (accepted, ignored).
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Run a single named benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.run(name, f);
+        self
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            parent: self,
+            name: name.to_string(),
+        }
+    }
+
+    fn run<F>(&mut self, name: &str, mut f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        if let Some(filter) = &self.filter {
+            if !name.contains(filter.as_str()) {
+                return;
+            }
+        }
+        let mut b = Bencher {
+            bench_mode: self.bench_mode,
+            measured: None,
+        };
+        f(&mut b);
+        if self.bench_mode {
+            match b.measured {
+                Some(per_iter) => println!("{name:<50} time: [{}]", fmt_duration(per_iter)),
+                None => println!("{name:<50} (no measurement recorded)"),
+            }
+        }
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and (ignored) settings.
+pub struct BenchmarkGroup<'a> {
+    parent: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Configure the sample count (accepted, ignored).
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Configure the measurement time (accepted, ignored).
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Declare the throughput of subsequent benchmarks (accepted, ignored).
+    pub fn throughput(&mut self, _t: Throughput) -> &mut Self {
+        self
+    }
+
+    /// Run a benchmark within the group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.into().0);
+        self.parent.run(&full, f);
+        self
+    }
+
+    /// Run a parameterised benchmark within the group.
+    pub fn bench_with_input<I, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id.into().0);
+        self.parent.run(&full, |b| f(b, input));
+        self
+    }
+
+    /// End the group.
+    pub fn finish(self) {}
+}
+
+/// A benchmark identifier (`group/id` once qualified).
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// Identify a benchmark by a function name and a parameter.
+    pub fn new(name: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId(format!("{name}/{parameter}"))
+    }
+
+    /// Identify a benchmark by its parameter alone.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId(parameter.to_string())
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId(s.to_string())
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId(s)
+    }
+}
+
+/// Throughput declaration (accepted, ignored by the stub).
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Timer handed to each benchmark body.
+pub struct Bencher {
+    bench_mode: bool,
+    measured: Option<Duration>,
+}
+
+impl Bencher {
+    /// Call `routine` repeatedly and record the mean time per call.
+    ///
+    /// In test mode (`cargo test`) the routine runs exactly once.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        if !self.bench_mode {
+            black_box(routine());
+            return;
+        }
+        // One warm-up call, then grow the batch until the budget is spent.
+        black_box(routine());
+        let mut iters: u64 = 1;
+        let mut total = Duration::ZERO;
+        let mut done: u64 = 0;
+        while total < MEASUREMENT_BUDGET {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            total += start.elapsed();
+            done += iters;
+            iters = iters.saturating_mul(2).min(1 << 20);
+        }
+        self.measured = Some(total / u32::try_from(done.max(1)).unwrap_or(u32::MAX));
+    }
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let nanos = d.as_nanos();
+    if nanos < 1_000 {
+        format!("{nanos} ns")
+    } else if nanos < 1_000_000 {
+        format!("{:.3} µs", nanos as f64 / 1e3)
+    } else if nanos < 1_000_000_000 {
+        format!("{:.3} ms", nanos as f64 / 1e6)
+    } else {
+        format!("{:.3} s", nanos as f64 / 1e9)
+    }
+}
+
+/// Collect benchmark functions into a group runner.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Emit `fn main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

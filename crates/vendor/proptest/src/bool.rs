@@ -1,0 +1,18 @@
+//! `prop::bool` — boolean strategies.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Strategy type behind [`ANY`].
+#[derive(Debug, Clone, Copy)]
+pub struct BoolAny;
+
+/// Either boolean, uniformly.
+pub const ANY: BoolAny = BoolAny;
+
+impl Strategy for BoolAny {
+    type Value = bool;
+    fn generate(&self, rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}

@@ -56,7 +56,10 @@ fn main() {
     let l = (best_mean.0 * f64::from(m0[0])).round() as u32;
     let c_fail = lbp1_cdf(&params, m0, 0, l, WorkState::BOTH_UP, &times);
     let c_ok = lbp1_cdf(&nofail, m0, 0, l, WorkState::BOTH_UP, &times);
-    println!("\nP(T <= t) with vs without churn (K = {:.2}):", best_mean.0);
+    println!(
+        "\nP(T <= t) with vs without churn (K = {:.2}):",
+        best_mean.0
+    );
     for &t in [60.0, 90.0, 120.0, 150.0, 180.0].iter() {
         println!(
             "  t = {t:>5.0} s: failure {:>6.4} vs no-failure {:>6.4}",

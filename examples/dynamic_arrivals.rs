@@ -30,23 +30,63 @@ fn main() {
     let total_external: u32 = arrivals.iter().map(|a| a.tasks).sum();
     let config = SystemConfig::paper([30, 30]).with_external_arrivals(arrivals.clone());
 
-    println!("dynamic arrivals: 60 initial tasks + {total_external} tasks in 8 bursts over ~{t:.0} s");
+    println!(
+        "dynamic arrivals: 60 initial tasks + {total_external} tasks in 8 bursts over ~{t:.0} s"
+    );
     for a in &arrivals {
-        println!("  t = {:>6.1} s: {:>3} tasks -> node {}", a.time, a.tasks, a.node + 1);
+        println!(
+            "  t = {:>6.1} s: {:>3} tasks -> node {}",
+            a.time,
+            a.tasks,
+            a.node + 1
+        );
     }
 
     let reps = 300;
-    let episodic =
-        run_replications(&config, &|_| EpisodicLbp2::new(1.0), reps, 17, 0, SimOptions::default());
-    let start_only =
-        run_replications(&config, &|_| Lbp2::new(1.0), reps, 17, 0, SimOptions::default());
-    let nothing =
-        run_replications(&config, &|_| NoBalancing, reps, 17, 0, SimOptions::default());
+    let episodic = run_replications(
+        &config,
+        &|_| EpisodicLbp2::new(1.0),
+        reps,
+        17,
+        0,
+        SimOptions::default(),
+    );
+    let start_only = run_replications(
+        &config,
+        &|_| Lbp2::new(1.0),
+        reps,
+        17,
+        0,
+        SimOptions::default(),
+    );
+    let nothing = run_replications(
+        &config,
+        &|_| NoBalancing,
+        reps,
+        17,
+        0,
+        SimOptions::default(),
+    );
 
     println!("\n{:<28} {:>12} {:>10}", "policy", "mean (s)", "±95% CI");
-    println!("{:<28} {:>12.2} {:>10.2}", "no balancing", nothing.mean(), nothing.ci95());
-    println!("{:<28} {:>12.2} {:>10.2}", "LBP-2 (t = 0 episode only)", start_only.mean(), start_only.ci95());
-    println!("{:<28} {:>12.2} {:>10.2}", "LBP-2 (episodic)", episodic.mean(), episodic.ci95());
+    println!(
+        "{:<28} {:>12.2} {:>10.2}",
+        "no balancing",
+        nothing.mean(),
+        nothing.ci95()
+    );
+    println!(
+        "{:<28} {:>12.2} {:>10.2}",
+        "LBP-2 (t = 0 episode only)",
+        start_only.mean(),
+        start_only.ci95()
+    );
+    println!(
+        "{:<28} {:>12.2} {:>10.2}",
+        "LBP-2 (episodic)",
+        episodic.mean(),
+        episodic.ci95()
+    );
 
     assert!(episodic.mean() < nothing.mean());
     println!(

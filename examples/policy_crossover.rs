@@ -28,7 +28,14 @@ fn main() {
         let params = model_params(&config);
         let lbp1 = optimize_lbp1(&params, m0, WorkState::BOTH_UP);
         let k2 = Lbp2::optimal_initial_gain(&config);
-        let lbp2 = run_replications(&config, &|_| Lbp2::new(k2), reps, 5, 0, SimOptions::default());
+        let lbp2 = run_replications(
+            &config,
+            &|_| Lbp2::new(k2),
+            reps,
+            5,
+            0,
+            SimOptions::default(),
+        );
         let lbp2_wins = lbp2.mean() < lbp1.mean;
         println!(
             "{delay:>14.2} {:>16.2} {:>13.2} ± {:>4.2} {:>8}",

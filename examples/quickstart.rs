@@ -39,21 +39,25 @@ fn main() {
     println!("model mean completion time: {model_mean:.2} s (paper: ≈ 117 s)");
 
     // 4. ... confirmed by 500 Monte-Carlo replications.
-    let mc = run_replications(
-        &config,
-        &|_| policy,
-        500,
-        2006,
-        0,
-        SimOptions::default(),
+    let mc = run_replications(&config, &|_| policy, 500, 2006, 0, SimOptions::default());
+    println!(
+        "Monte-Carlo: {:.2} ± {:.2} s (95% CI, 500 reps)",
+        mc.mean(),
+        mc.ci95()
     );
-    println!("Monte-Carlo: {:.2} ± {:.2} s (95% CI, 500 reps)", mc.mean(), mc.ci95());
     let agrees = (mc.mean() - model_mean).abs() < 3.0 * mc.ci95().max(0.5);
     println!("model within the Monte-Carlo confidence band: {agrees}");
 
     // 5. Compare against the reactive policy (LBP-2) on the same system.
     let k = Lbp2::optimal_initial_gain(&config);
-    let mc2 = run_replications(&config, &|_| Lbp2::new(k), 500, 2006, 0, SimOptions::default());
+    let mc2 = run_replications(
+        &config,
+        &|_| Lbp2::new(k),
+        500,
+        2006,
+        0,
+        SimOptions::default(),
+    );
     println!(
         "\nLBP-2 (initial K = {k:.2} + Eq. 8 failure compensation): {:.2} ± {:.2} s",
         mc2.mean(),

@@ -13,8 +13,8 @@ fn main() {
     // Two dedicated servers plus four volunteer desktops. Volunteers are
     // individually fast but only ~50-67% available.
     let nodes = vec![
-        NodeConfig::reliable(2.0, 300),            // dedicated
-        NodeConfig::reliable(1.5, 250),            // dedicated
+        NodeConfig::reliable(2.0, 300),                  // dedicated
+        NodeConfig::reliable(1.5, 250),                  // dedicated
         NodeConfig::new(1.2, 1.0 / 15.0, 1.0 / 10.0, 0), // volunteer
         NodeConfig::new(1.2, 1.0 / 15.0, 1.0 / 10.0, 0),
         NodeConfig::new(1.0, 1.0 / 10.0, 1.0 / 10.0, 0),
@@ -26,14 +26,30 @@ fn main() {
     println!(
         "aggregate speed: {:.1} task/s nominal, {:.2} task/s availability-weighted\n",
         config.nodes.iter().map(|n| n.service_rate).sum::<f64>(),
-        config.nodes.iter().map(|n| n.service_rate * n.availability()).sum::<f64>()
+        config
+            .nodes
+            .iter()
+            .map(|n| n.service_rate * n.availability())
+            .sum::<f64>()
     );
 
     let reps = 300;
     let mut rows: Vec<(String, f64, f64, f64)> = Vec::new();
     // Keep everything on the dedicated servers:
-    let none = run_replications(&config, &|_| NoBalancing, reps, 11, 0, SimOptions::default());
-    rows.push(("no balancing (servers only)".into(), none.mean(), none.ci95(), 0.0));
+    let none = run_replications(
+        &config,
+        &|_| NoBalancing,
+        reps,
+        11,
+        0,
+        SimOptions::default(),
+    );
+    rows.push((
+        "no balancing (servers only)".into(),
+        none.mean(),
+        none.ci95(),
+        0.0,
+    ));
     // Ship excess to volunteers once, ignore churn afterwards:
     let init = run_replications(
         &config,
@@ -43,12 +59,32 @@ fn main() {
         0,
         SimOptions::default(),
     );
-    rows.push(("initial balancing only".into(), init.mean(), init.ci95(), 0.0));
+    rows.push((
+        "initial balancing only".into(),
+        init.mean(),
+        init.ci95(),
+        0.0,
+    ));
     // Full LBP-2: initial balancing + Eq. 8 compensation at every failure.
-    let lbp2 = run_replications(&config, &|_| Lbp2::new(1.0), reps, 11, 0, SimOptions::default());
-    rows.push(("LBP-2 (initial + Eq. 8)".into(), lbp2.mean(), lbp2.ci95(), lbp2.mean_tasks_shipped));
+    let lbp2 = run_replications(
+        &config,
+        &|_| Lbp2::new(1.0),
+        reps,
+        11,
+        0,
+        SimOptions::default(),
+    );
+    rows.push((
+        "LBP-2 (initial + Eq. 8)".into(),
+        lbp2.mean(),
+        lbp2.ci95(),
+        lbp2.mean_tasks_shipped,
+    ));
 
-    println!("{:<30} {:>12} {:>10} {:>16}", "policy", "mean (s)", "±95% CI", "tasks shipped");
+    println!(
+        "{:<30} {:>12} {:>10} {:>16}",
+        "policy", "mean (s)", "±95% CI", "tasks shipped"
+    );
     for (name, mean, ci, shipped) in &rows {
         println!("{name:<30} {mean:>12.2} {ci:>10.2} {shipped:>16.1}");
     }

@@ -35,7 +35,10 @@ fn main() {
         .collect();
     let xs: Vec<f64> = ls.iter().map(|&l| f64::from(l)).collect();
     let line = regression::fit_line(&xs, &means);
-    println!("estimated delay: {:.4} s/task (channel probing, 30 realisations/point)\n", line.slope);
+    println!(
+        "estimated delay: {:.4} s/task (channel probing, 30 realisations/point)\n",
+        line.slope
+    );
 
     // --- The experiment: (100, 60) tasks, both policies ---
     let config = testbed::testbed_config([100, 60]);
@@ -64,9 +67,20 @@ fn main() {
 
     // --- One traced realisation (Fig. 4 flavour) ---
     let mut p = Lbp2::new(k2);
-    let out = simulate(&config, &mut p, 99, SimOptions { record_trace: true, deadline: None });
+    let out = simulate(
+        &config,
+        &mut p,
+        99,
+        SimOptions {
+            record_trace: true,
+            deadline: None,
+        },
+    );
     let tr = out.trace.expect("trace");
-    println!("\none realisation under LBP-2 (completion {:.1} s):", out.completion_time);
+    println!(
+        "\none realisation under LBP-2 (completion {:.1} s):",
+        out.completion_time
+    );
     for t in [0.0, 20.0, 40.0, 60.0, 80.0, 100.0] {
         if t > out.completion_time {
             break;

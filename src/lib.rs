@@ -59,8 +59,8 @@ pub mod prelude {
         UponFailureOnly,
     };
     pub use churnbal_model::{
-        lbp1_cdf, lbp1_moments, mean_from_cdf, optimize_lbp1, optimize_lbp1_deadline,
-        DelayModel, TwoNodeParams, WorkState,
+        lbp1_cdf, lbp1_moments, mean_from_cdf, optimize_lbp1, optimize_lbp1_deadline, DelayModel,
+        TwoNodeParams, WorkState,
     };
     pub use churnbal_stochastic::{OnlineStats, StreamFactory, Xoshiro256pp};
 }

@@ -45,7 +45,10 @@ fn tracing_does_not_change_the_run() {
         &config,
         &mut Lbp2::new(1.0),
         3,
-        SimOptions { record_trace: true, deadline: None },
+        SimOptions {
+            record_trace: true,
+            deadline: None,
+        },
     );
     assert_eq!(a.completion_time, b.completion_time);
     assert_eq!(a.metrics, b.metrics);
@@ -56,7 +59,10 @@ fn tracing_does_not_change_the_run() {
 #[test]
 fn churn_path_is_policy_independent() {
     let config = SystemConfig::paper([80, 50]);
-    let opts = SimOptions { record_trace: true, deadline: None };
+    let opts = SimOptions {
+        record_trace: true,
+        deadline: None,
+    };
     let a = simulate(&config, &mut NoBalancing, 11, opts);
     let b = simulate(&config, &mut Lbp2::new(1.0), 11, opts);
     let ta = a.trace.expect("trace");
@@ -67,12 +73,17 @@ fn churn_path_is_policy_independent() {
     let horizon = a.completion_time.min(b.completion_time);
     for node in 0..2 {
         let firsts = |s: &[(f64, bool)]| {
-            s.iter().find(|(t, up)| !up && *t < horizon).map(|(t, _)| *t)
+            s.iter()
+                .find(|(t, up)| !up && *t < horizon)
+                .map(|(t, _)| *t)
         };
         let fa = firsts(ta.state_series(node));
         let fb = firsts(tb.state_series(node));
         if let (Some(x), Some(y)) = (fa, fb) {
-            assert_eq!(x, y, "node {node}: first failure time differs between policies");
+            assert_eq!(
+                x, y,
+                "node {node}: first failure time differs between policies"
+            );
         }
     }
 }

@@ -2,8 +2,8 @@
 //! Monte-Carlo simulation, exact CTMC — must agree with each other on the
 //! same dynamics, for both policies.
 
-use churnbal::prelude::*;
 use churnbal::model::bridge;
+use churnbal::prelude::*;
 
 /// Mean of the LBP-1 dynamics: recursion vs Monte-Carlo confidence band.
 #[test]
@@ -62,14 +62,7 @@ fn lbp2_mc_matches_exact_ctmc() {
         WorkState::BOTH_UP,
         5_000_000,
     );
-    let mc = run_replications(
-        &config,
-        &|_| lbp2,
-        4000,
-        99,
-        0,
-        SimOptions::default(),
-    );
+    let mc = run_replications(&config, &|_| lbp2, 4000, 99, 0, SimOptions::default());
     let diff = (mc.mean() - exact).abs();
     assert!(
         diff < 3.0 * mc.ci95(),
@@ -102,7 +95,10 @@ fn lbp1_cdf_matches_mc_ecdf() {
     let ecdf = churnbal::stochastic::Ecdf::new(mc.completion_times.clone());
     let ks = ecdf.ks_distance(|t| cdf.eval(t));
     let crit = churnbal::stochastic::ecdf::ks_critical_value(n as usize, 0.001);
-    assert!(ks < crit, "KS {ks:.4} exceeds the 0.1% critical value {crit:.4}");
+    assert!(
+        ks < crit,
+        "KS {ks:.4} exceeds the 0.1% critical value {crit:.4}"
+    );
 }
 
 /// The same system described through the simulator's config and through

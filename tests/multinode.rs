@@ -23,34 +23,42 @@ fn three_node_no_policy_matches_exact_ctmc() {
         up: u8,
     }
     let explored = explore(
-        &[S { m: [6, 4, 5], up: 0b111 }],
+        &[S {
+            m: [6, 4, 5],
+            up: 0b111,
+        }],
         |s| {
             let mut out: Vec<(f64, Option<S>)> = Vec::new();
             let total: u32 = s.m.iter().sum();
-            for i in 0..3 {
+            for (i, node) in nodes.iter().enumerate() {
                 let up = s.up & (1 << i) != 0;
                 if up {
                     if s.m[i] > 0 {
                         let mut n = s.clone();
                         n.m[i] -= 1;
-                        out.push((nodes[i].service_rate, if total == 1 { None } else { Some(n) }));
+                        out.push((node.service_rate, if total == 1 { None } else { Some(n) }));
                     }
-                    if nodes[i].failure_rate > 0.0 {
+                    if node.failure_rate > 0.0 {
                         let mut n = s.clone();
                         n.up &= !(1 << i);
-                        out.push((nodes[i].failure_rate, Some(n)));
+                        out.push((node.failure_rate, Some(n)));
                     }
                 } else {
                     let mut n = s.clone();
                     n.up |= 1 << i;
-                    out.push((nodes[i].recovery_rate, Some(n)));
+                    out.push((node.recovery_rate, Some(n)));
                 }
             }
             out
         },
         1_000_000,
     );
-    let idx = explored.index(&S { m: [6, 4, 5], up: 0b111 }).expect("initial");
+    let idx = explored
+        .index(&S {
+            m: [6, 4, 5],
+            up: 0b111,
+        })
+        .expect("initial");
     let exact = expected_absorption_times(&explored.chain)[idx];
 
     let mc = run_replications(&config, &|_| NoBalancing, 6000, 3, 0, SimOptions::default());
@@ -76,7 +84,14 @@ fn three_node_lbp2_beats_no_balancing() {
     );
     let reps = 1500;
     let none = run_replications(&config, &|_| NoBalancing, reps, 7, 0, SimOptions::default());
-    let lbp2 = run_replications(&config, &|_| Lbp2::new(1.0), reps, 7, 0, SimOptions::default());
+    let lbp2 = run_replications(
+        &config,
+        &|_| Lbp2::new(1.0),
+        reps,
+        7,
+        0,
+        SimOptions::default(),
+    );
     assert!(
         lbp2.mean() < none.mean() * 0.75,
         "3-node LBP-2 {:.2} should clearly beat no-balancing {:.2}",

@@ -18,7 +18,10 @@ fn churn_attenuates_gain_across_workloads() {
         let params = model_params(&config);
         let churn = optimize_lbp1(&params, m0, WorkState::BOTH_UP);
         let clean = optimize_lbp1(&params.without_failures(), m0, WorkState::BOTH_UP);
-        assert_eq!(churn.sender, 0, "{m0:?}: node 1 holds the load and must send");
+        assert_eq!(
+            churn.sender, 0,
+            "{m0:?}: node 1 holds the load and must send"
+        );
         assert!(
             churn.gain <= clean.gain + 1e-9,
             "{m0:?}: churn K* {} should not exceed no-failure K* {} (receiver is flaky)",
@@ -31,7 +34,10 @@ fn churn_attenuates_gain_across_workloads() {
         let params = model_params(&config);
         let churn = optimize_lbp1(&params, m0, WorkState::BOTH_UP);
         let clean = optimize_lbp1(&params.without_failures(), m0, WorkState::BOTH_UP);
-        assert_eq!(churn.sender, 1, "{m0:?}: node 2 holds the load and must send");
+        assert_eq!(
+            churn.sender, 1,
+            "{m0:?}: node 2 holds the load and must send"
+        );
         assert!(
             churn.gain >= clean.gain - 1e-9,
             "{m0:?}: churn K* {} should not drop below no-failure K* {} (receiver is reliable)",
@@ -51,7 +57,14 @@ fn lbp2_wins_at_small_delay() {
     let reps = 2000;
     let a = run_replications(&config, &|_| lbp1, reps, 31, 0, SimOptions::default());
     let k = Lbp2::optimal_initial_gain(&config);
-    let b = run_replications(&config, &|_| Lbp2::new(k), reps, 31, 0, SimOptions::default());
+    let b = run_replications(
+        &config,
+        &|_| Lbp2::new(k),
+        reps,
+        31,
+        0,
+        SimOptions::default(),
+    );
     assert!(
         b.mean() < a.mean(),
         "LBP-2 ({:.2}) should beat LBP-1 ({:.2}) at 0.02 s/task",
@@ -70,7 +83,14 @@ fn lbp1_wins_at_large_delay() {
     let lbp1 = optimize_lbp1(&params, m0, WorkState::BOTH_UP);
     let k = Lbp2::optimal_initial_gain(&config);
     let reps = 2000;
-    let b = run_replications(&config, &|_| Lbp2::new(k), reps, 37, 0, SimOptions::default());
+    let b = run_replications(
+        &config,
+        &|_| Lbp2::new(k),
+        reps,
+        37,
+        0,
+        SimOptions::default(),
+    );
     assert!(
         lbp1.mean < b.mean(),
         "LBP-1 ({:.2}) should beat LBP-2 ({:.2}) at 3 s/task",
@@ -85,11 +105,25 @@ fn lbp1_wins_at_large_delay() {
 fn balancing_beats_hoarding() {
     let config = SystemConfig::paper([160, 0]);
     let reps = 1500;
-    let none = run_replications(&config, &|_| NoBalancing, reps, 41, 0, SimOptions::default());
+    let none = run_replications(
+        &config,
+        &|_| NoBalancing,
+        reps,
+        41,
+        0,
+        SimOptions::default(),
+    );
     let lbp1 = Lbp1::optimal(&config);
     let one = run_replications(&config, &|_| lbp1, reps, 41, 0, SimOptions::default());
     let k = Lbp2::optimal_initial_gain(&config);
-    let two = run_replications(&config, &|_| Lbp2::new(k), reps, 41, 0, SimOptions::default());
+    let two = run_replications(
+        &config,
+        &|_| Lbp2::new(k),
+        reps,
+        41,
+        0,
+        SimOptions::default(),
+    );
     assert!(one.mean() < none.mean());
     assert!(two.mean() < none.mean());
 }
@@ -99,7 +133,10 @@ fn balancing_beats_hoarding() {
 #[test]
 fn failure_compensation_is_visible_in_traces() {
     let config = SystemConfig::paper([100, 60]);
-    let opts = SimOptions { record_trace: true, deadline: None };
+    let opts = SimOptions {
+        record_trace: true,
+        deadline: None,
+    };
     // Pick a seed whose churn path has at least one failure per node.
     let mut seed = 0u64;
     let (out1, out2) = loop {
@@ -126,7 +163,14 @@ fn failure_compensation_is_visible_in_traces() {
 fn lbp2_absolute_band_for_fig3_workload() {
     let config = SystemConfig::paper([100, 60]);
     let k = Lbp2::optimal_initial_gain(&config);
-    let est = run_replications(&config, &|_| Lbp2::new(k), 3000, 43, 0, SimOptions::default());
+    let est = run_replications(
+        &config,
+        &|_| Lbp2::new(k),
+        3000,
+        43,
+        0,
+        SimOptions::default(),
+    );
     assert!(
         (100.0..=125.0).contains(&est.mean()),
         "LBP-2 mean {:.2} outside the paper band (109.17 exp / 112.43 MC)",
@@ -143,8 +187,22 @@ fn testbed_and_model_faithful_engines_agree() {
     let tb_cfg = churnbal::cluster::testbed::testbed_config(m0);
     let k = Lbp2::optimal_initial_gain(&mc_cfg);
     let reps = 2000;
-    let a = run_replications(&mc_cfg, &|_| Lbp2::new(k), reps, 47, 0, SimOptions::default());
-    let b = run_replications(&tb_cfg, &|_| Lbp2::new(k), reps, 47, 0, SimOptions::default());
+    let a = run_replications(
+        &mc_cfg,
+        &|_| Lbp2::new(k),
+        reps,
+        47,
+        0,
+        SimOptions::default(),
+    );
+    let b = run_replications(
+        &tb_cfg,
+        &|_| Lbp2::new(k),
+        reps,
+        47,
+        0,
+        SimOptions::default(),
+    );
     let rel = (a.mean() - b.mean()).abs() / a.mean();
     assert!(rel < 0.08, "engines diverge by {:.1}%", rel * 100.0);
 }

@@ -1,0 +1,83 @@
+//! Workspace-wiring smoke test: touch one public item from each of the six
+//! library crates *through the umbrella crate*, so a broken re-export or a
+//! dropped dependency edge fails fast and points at the wiring, not at
+//! whichever deep test happens to hit it first.
+
+use churnbal::prelude::*;
+
+#[test]
+fn stochastic_is_wired() {
+    let mut rng = churnbal::stochastic::Xoshiro256pp::seed_from_u64(7);
+    let mut stats = churnbal::stochastic::OnlineStats::new();
+    for _ in 0..100 {
+        stats.push(rng.next_f64());
+    }
+    assert_eq!(stats.count(), 100);
+    assert!(stats.mean() > 0.0 && stats.mean() < 1.0);
+}
+
+#[test]
+fn desim_is_wired() {
+    let mut q = churnbal::desim::EventQueue::new();
+    q.schedule_in(2.0, "late");
+    q.schedule_in(1.0, "early");
+    assert_eq!(q.pop().expect("scheduled").payload, "early");
+}
+
+#[test]
+fn ctmc_is_wired() {
+    // Two transient states chained to absorption at unit rate each:
+    // E[T | s] = 2 from state 0, 1 from state 1.
+    let explored = churnbal::ctmc::explore(
+        &[0u32],
+        |&s| vec![(1.0, if s == 1 { None } else { Some(s + 1) })],
+        16,
+    );
+    let times = churnbal::ctmc::expected_absorption_times(&explored.chain);
+    assert!((times[explored.index(&0).expect("explored")] - 2.0).abs() < 1e-9);
+}
+
+#[test]
+fn cluster_is_wired() {
+    let config = SystemConfig::paper([40, 20]);
+    let out = simulate(&config, &mut NoBalancing, 11, SimOptions::default());
+    assert!(out.completed);
+    assert_eq!(out.metrics.total_processed(), config.total_tasks());
+}
+
+#[test]
+fn core_is_wired() {
+    let config = SystemConfig::paper([100, 60]);
+    let mut policy = Lbp1::optimal(&config);
+    assert!(policy.sender() < 2);
+    let out = simulate(&config, &mut policy, 3, SimOptions::default());
+    assert!(out.completed);
+}
+
+#[test]
+fn model_is_wired() {
+    let config = SystemConfig::paper([30, 10]);
+    let params = model_params(&config);
+    let opt = optimize_lbp1(&params, [30, 10], WorkState::BOTH_UP);
+    let mean = churnbal::model::mean::lbp1_mean(
+        &params,
+        [30, 10],
+        opt.sender,
+        opt.tasks,
+        WorkState::BOTH_UP,
+    );
+    assert!(mean.is_finite() && mean > 0.0);
+}
+
+#[test]
+fn prelude_names_resolve() {
+    // Item-level canaries for re-exports no other smoke test touches.
+    let _order = TransferOrder {
+        from: 0,
+        to: 1,
+        tasks: 5,
+    };
+    let factory = StreamFactory::new(1);
+    let _ = factory.stream(0);
+    let _law: DelayLaw = DelayLaw::ExponentialBatch;
+}
