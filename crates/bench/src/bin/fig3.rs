@@ -8,6 +8,11 @@
 //! * Monte-Carlo simulation (model-faithful engine),
 //! * "experiment" — the test-bed stand-in simulator.
 //!
+//! The Monte-Carlo column executes through the scenario lab's
+//! `paper-fig3` preset (`churnbal-lab run paper-fig3` regenerates exactly
+//! this series), so the bench harness and the lab share one code path —
+//! pinned by `tests/lab_scenarios.rs`.
+//!
 //! Paper result: minimum at `K = 0.35` (≈ 117 s); no-failure minimum at
 //! `K = 0.45`. The optimum under churn sits left of the no-failure one.
 
@@ -16,6 +21,8 @@ use churnbal_bench::table::{f2, pm, TextTable};
 use churnbal_bench::Args;
 use churnbal_cluster::{run_replications, SimOptions};
 use churnbal_core::{model_params, Lbp1};
+use churnbal_lab::registry;
+use churnbal_lab::sweep::{expand_grid, run_scenario, RunOptions};
 use churnbal_model::mean::Lbp1Evaluator;
 use churnbal_model::WorkState;
 
@@ -25,13 +32,17 @@ fn main() {
     let mc_reps = args.reps_or(500); // paper: 500 MC realisations
     let exp_reps = args.reps_or(100);
 
-    let cfg_mc = mc_config(m0);
     let cfg_exp = experiment_config(m0);
-    let params = model_params(&cfg_mc);
+    let params = model_params(&mc_config(m0));
     let ev_fail = Lbp1Evaluator::new(&params, m0);
     let ev_nofail = Lbp1Evaluator::new(&params.without_failures(), m0);
 
-    let gains: Vec<f64> = (0..=20).map(|i| f64::from(i) * 0.05).collect();
+    // The gain grid lives in the scenario registry; the bench binary and
+    // `churnbal-lab run paper-fig3` expand and execute the same points.
+    let mut scenario = registry::get("paper-fig3").expect("registered scenario");
+    scenario.seed = args.seed;
+    let grid = expand_grid(&scenario, &[]).expect("preset axes are valid");
+
     let mut t = TextTable::new([
         "K",
         "theory (failure)",
@@ -41,7 +52,8 @@ fn main() {
     ]);
     let mut best = (0.0f64, f64::INFINITY);
     let mut best_nf = (0.0f64, f64::INFINITY);
-    for &k in &gains {
+    for point in grid {
+        let k = point.coords[0].1;
         let theory = ev_fail.mean_for_gain(0, k, WorkState::BOTH_UP);
         let theory_nf = ev_nofail.mean_for_gain(0, k, WorkState::BOTH_UP);
         if theory < best.1 {
@@ -50,14 +62,15 @@ fn main() {
         if theory_nf < best_nf.1 {
             best_nf = (k, theory_nf);
         }
-        let mc = run_replications(
-            &cfg_mc,
-            &|_| Lbp1::with_gain(0, 1, m0[0], k),
-            mc_reps,
-            args.seed,
-            args.threads,
-            SimOptions::default(),
-        );
+        let mc = run_scenario(
+            &point.scenario,
+            RunOptions {
+                reps: Some(mc_reps),
+                threads: args.threads,
+                ..RunOptions::default()
+            },
+        )
+        .expect("preset scenario is valid");
         let exp = run_replications(
             &cfg_exp,
             &|_| Lbp1::with_gain(0, 1, m0[0], k),

@@ -47,25 +47,25 @@ pub const FIG3_WORKLOAD: [u32; 2] = [100, 60];
 pub const FIG5_WORKLOADS: [[u32; 2]; 2] = [[50, 0], [25, 50]];
 
 /// Model-faithful system (exponential batch delay) for a workload — the
-/// "MC simulation" column of the paper.
+/// "MC simulation" column of the paper. Since the scenario-lab migration
+/// this delegates to `churnbal_lab::registry`, so the bench binaries and
+/// `churnbal-lab` provably build their configurations through one path.
 #[must_use]
 pub fn mc_config(m0: [u32; 2]) -> SystemConfig {
-    SystemConfig::paper(m0)
+    churnbal_lab::registry::paper_mc(m0)
 }
 
 /// Test-bed stand-in (Erlang per-task delay with fixed shift) — the
 /// "experiment" column of the paper (see DESIGN.md, Substitutions).
 #[must_use]
 pub fn experiment_config(m0: [u32; 2]) -> SystemConfig {
-    churnbal_cluster::testbed::testbed_config(m0)
+    churnbal_lab::registry::paper_experiment(m0)
 }
 
 /// Model-faithful system with a different mean per-task delay (Table 3).
 #[must_use]
 pub fn mc_config_with_delay(m0: [u32; 2], per_task: f64) -> SystemConfig {
-    let mut c = SystemConfig::paper(m0);
-    c.network = churnbal_cluster::NetworkConfig::exponential(per_task);
-    c
+    churnbal_lab::registry::paper_mc_with_delay(m0, per_task)
 }
 
 #[cfg(test)]

@@ -131,6 +131,251 @@ impl NetworkConfig {
     }
 }
 
+/// The instantaneous-rate shape of a stochastic external-arrival process.
+///
+/// All kinds are sampled lazily by the engine from a dedicated RNG stream,
+/// so adding an arrival process never perturbs the service/churn/transfer
+/// streams of a configuration that does not use one.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ArrivalKind {
+    /// Homogeneous Poisson arrivals at `rate` batches per second.
+    Poisson {
+        /// Batch arrivals per second.
+        rate: f64,
+    },
+    /// Markov-modulated Poisson process: the arrival rate is `rates[i]`
+    /// while a background chain sits in phase `i`; the chain leaves phase
+    /// `i` at rate `switch_rates[i]`, cycling `i → i+1 (mod phases)`.
+    /// Two phases with a low and a high rate give the classic bursty
+    /// on/off workload.
+    Mmpp {
+        /// Arrival rate per phase (at least one must be positive).
+        rates: Vec<f64>,
+        /// Rate of leaving each phase (all positive).
+        switch_rates: Vec<f64>,
+    },
+    /// Non-homogeneous Poisson with the diurnal rate profile
+    /// `λ(t) = base_rate · (1 + amplitude · sin(2πt/period))`,
+    /// sampled by thinning.
+    Diurnal {
+        /// Mean arrival rate (batches per second).
+        base_rate: f64,
+        /// Relative swing in `[0, 1]` (1 = rate touches zero at the dip).
+        amplitude: f64,
+        /// Period of the cycle (seconds).
+        period: f64,
+    },
+    /// Piecewise-constant "flash crowd": `base_rate` everywhere except a
+    /// spike window `[spike_start, spike_start + spike_duration)` where the
+    /// rate is `base_rate · spike_factor`.
+    FlashCrowd {
+        /// Off-spike arrival rate (batches per second).
+        base_rate: f64,
+        /// Spike onset (seconds).
+        spike_start: f64,
+        /// Spike length (seconds).
+        spike_duration: f64,
+        /// Rate multiplier during the spike (≥ 1).
+        spike_factor: f64,
+    },
+}
+
+/// A stochastic external-arrival process: batches of tasks land on
+/// uniformly random nodes until a finite `horizon`, with batch sizes
+/// uniform in `[batch_min, batch_max]`.
+///
+/// This generalizes the fixed [`ExternalArrival`] list to the *ongoing*
+/// open-system workloads of the related literature (Ganesh et al.): the
+/// run then completes when the horizon has passed **and** every spawned
+/// task has been processed.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ArrivalProcess {
+    /// The rate shape.
+    pub kind: ArrivalKind,
+    /// Smallest batch size (≥ 1).
+    pub batch_min: u32,
+    /// Largest batch size (≥ `batch_min`).
+    pub batch_max: u32,
+    /// No arrivals are generated after this time (finite, ≥ 0).
+    pub horizon: f64,
+}
+
+impl ArrivalProcess {
+    /// Homogeneous Poisson arrivals of single tasks until `horizon`.
+    #[must_use]
+    pub fn poisson(rate: f64, horizon: f64) -> Self {
+        Self {
+            kind: ArrivalKind::Poisson { rate },
+            batch_min: 1,
+            batch_max: 1,
+            horizon,
+        }
+    }
+
+    /// Sets the uniform batch-size range.
+    #[must_use]
+    pub fn with_batch(mut self, batch_min: u32, batch_max: u32) -> Self {
+        self.batch_min = batch_min;
+        self.batch_max = batch_max;
+        self
+    }
+
+    /// Validates all parameters, returning a precise message on failure.
+    ///
+    /// # Errors
+    /// Returns a description of the first violated constraint.
+    pub fn validate(&self) -> Result<(), String> {
+        let finite_nonneg = |name: &str, v: f64| {
+            if v.is_finite() && v >= 0.0 {
+                Ok(())
+            } else {
+                Err(format!(
+                    "arrival process: {name} must be finite and >= 0, got {v}"
+                ))
+            }
+        };
+        let finite_pos = |name: &str, v: f64| {
+            if v.is_finite() && v > 0.0 {
+                Ok(())
+            } else {
+                Err(format!("arrival process: {name} must be positive, got {v}"))
+            }
+        };
+        if self.batch_min == 0 {
+            return Err("arrival process: batch_min must be >= 1".into());
+        }
+        if self.batch_max < self.batch_min {
+            return Err(format!(
+                "arrival process: batch_max ({}) must be >= batch_min ({})",
+                self.batch_max, self.batch_min
+            ));
+        }
+        finite_nonneg("horizon", self.horizon)?;
+        match &self.kind {
+            ArrivalKind::Poisson { rate } => finite_pos("rate", *rate),
+            ArrivalKind::Mmpp {
+                rates,
+                switch_rates,
+            } => {
+                if rates.is_empty() || rates.len() != switch_rates.len() {
+                    return Err(format!(
+                        "arrival process: mmpp needs equally many rates and switch_rates \
+                         (got {} and {})",
+                        rates.len(),
+                        switch_rates.len()
+                    ));
+                }
+                for &r in rates {
+                    finite_nonneg("mmpp rate", r)?;
+                }
+                if rates.iter().all(|&r| r == 0.0) {
+                    return Err("arrival process: at least one mmpp rate must be positive".into());
+                }
+                for &q in switch_rates {
+                    finite_pos("mmpp switch rate", q)?;
+                }
+                Ok(())
+            }
+            ArrivalKind::Diurnal {
+                base_rate,
+                amplitude,
+                period,
+            } => {
+                finite_pos("base_rate", *base_rate)?;
+                if !(0.0..=1.0).contains(amplitude) {
+                    return Err(format!(
+                        "arrival process: diurnal amplitude must be in [0, 1], got {amplitude}"
+                    ));
+                }
+                finite_pos("period", *period)
+            }
+            ArrivalKind::FlashCrowd {
+                base_rate,
+                spike_start,
+                spike_duration,
+                spike_factor,
+            } => {
+                finite_pos("base_rate", *base_rate)?;
+                finite_nonneg("spike_start", *spike_start)?;
+                finite_nonneg("spike_duration", *spike_duration)?;
+                if !spike_factor.is_finite() || *spike_factor < 1.0 {
+                    return Err(format!(
+                        "arrival process: spike_factor must be >= 1, got {spike_factor}"
+                    ));
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+/// How node failures are coupled across the system.
+///
+/// The paper's model (and the default here) is fully independent per-node
+/// churn; the extensions model the *adversarial/heterogeneous* failure
+/// regimes of the related literature (Aspnes–Yang–Yin): environmental
+/// shocks that take out many nodes at once, and overload cascades where
+/// the failure rate grows with the number of nodes already down.
+#[derive(Clone, Debug, PartialEq, Default)]
+pub enum ChurnModel {
+    /// Independent exponential failure/recovery per node (the paper's §2).
+    #[default]
+    Independent,
+    /// Independent churn *plus* a Poisson stream of environmental shocks:
+    /// each shock instantaneously fails every up, failure-prone node with
+    /// probability `hit_probability` (correlated mass failures).
+    CorrelatedShocks {
+        /// Shock arrivals per second (positive).
+        shock_rate: f64,
+        /// Per-node probability of being taken down by a shock, in (0, 1].
+        hit_probability: f64,
+    },
+    /// Cascading failures: a node's effective failure rate is
+    /// `λ_f · (1 + amplification · d)` where `d` is the number of nodes
+    /// currently down — recoveries relax the pressure again.
+    Cascading {
+        /// Extra failure-rate multiplier per down node (≥ 0).
+        amplification: f64,
+    },
+}
+
+impl ChurnModel {
+    /// Validates all parameters, returning a precise message on failure.
+    ///
+    /// # Errors
+    /// Returns a description of the first violated constraint.
+    pub fn validate(&self) -> Result<(), String> {
+        match self {
+            Self::Independent => Ok(()),
+            Self::CorrelatedShocks {
+                shock_rate,
+                hit_probability,
+            } => {
+                if !shock_rate.is_finite() || *shock_rate <= 0.0 {
+                    return Err(format!(
+                        "churn model: shock_rate must be positive, got {shock_rate}"
+                    ));
+                }
+                if !hit_probability.is_finite() || *hit_probability <= 0.0 || *hit_probability > 1.0
+                {
+                    return Err(format!(
+                        "churn model: hit_probability must be in (0, 1], got {hit_probability}"
+                    ));
+                }
+                Ok(())
+            }
+            Self::Cascading { amplification } => {
+                if !amplification.is_finite() || *amplification < 0.0 {
+                    return Err(format!(
+                        "churn model: amplification must be finite and >= 0, got {amplification}"
+                    ));
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
 /// A batch of tasks arriving from outside the system at a given time —
 /// the dynamic-workload extension sketched in the paper's conclusion.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -152,6 +397,10 @@ pub struct SystemConfig {
     pub network: NetworkConfig,
     /// Externally arriving workload (empty for the paper's experiments).
     pub external_arrivals: Vec<ExternalArrival>,
+    /// Ongoing stochastic arrivals (`None` for the paper's closed system).
+    pub arrival_process: Option<ArrivalProcess>,
+    /// Failure-coupling model (independent per-node churn by default).
+    pub churn: ChurnModel,
     /// Optional per-link delay multipliers (row-major `n × n`): the mean
     /// delay of a transfer `i → j` is scaled by `link_scales[i][j]`.
     /// `None` = homogeneous network (scale 1 everywhere). Models the
@@ -176,8 +425,38 @@ impl SystemConfig {
             nodes,
             network,
             external_arrivals: Vec::new(),
+            arrival_process: None,
+            churn: ChurnModel::Independent,
             link_scales: None,
         }
+    }
+
+    /// Installs a stochastic external-arrival process.
+    ///
+    /// # Panics
+    /// Panics if the process parameters are invalid (see
+    /// [`ArrivalProcess::validate`]).
+    #[must_use]
+    pub fn with_arrival_process(mut self, process: ArrivalProcess) -> Self {
+        if let Err(e) = process.validate() {
+            panic!("{e}");
+        }
+        self.arrival_process = Some(process);
+        self
+    }
+
+    /// Installs a failure-coupling model.
+    ///
+    /// # Panics
+    /// Panics if the model parameters are invalid (see
+    /// [`ChurnModel::validate`]).
+    #[must_use]
+    pub fn with_churn_model(mut self, churn: ChurnModel) -> Self {
+        if let Err(e) = churn.validate() {
+            panic!("{e}");
+        }
+        self.churn = churn;
+        self
     }
 
     /// Installs per-link delay multipliers (`scales[i][j]` applies to
@@ -261,7 +540,9 @@ impl SystemConfig {
         self.nodes.iter().map(|n| u64::from(n.initial_tasks)).sum()
     }
 
-    /// Total tasks the run will ever see (initial + external).
+    /// Total tasks known ahead of the run (initial + fixed external
+    /// arrivals). A stochastic [`ArrivalProcess`] spawns further tasks on
+    /// top of this during the run.
     #[must_use]
     pub fn total_tasks(&self) -> u64 {
         self.initial_total_tasks()
@@ -351,5 +632,66 @@ mod tests {
     #[test]
     fn availability_of_reliable_node_is_one() {
         assert_eq!(NodeConfig::reliable(2.0, 0).availability(), 1.0);
+    }
+
+    #[test]
+    fn arrival_process_validation_messages_are_precise() {
+        let bad_batch = ArrivalProcess::poisson(1.0, 10.0).with_batch(5, 2);
+        assert!(bad_batch.validate().unwrap_err().contains("batch_max"));
+        let bad_rate = ArrivalProcess::poisson(0.0, 10.0);
+        assert!(bad_rate.validate().unwrap_err().contains("rate"));
+        let bad_mmpp = ArrivalProcess {
+            kind: ArrivalKind::Mmpp {
+                rates: vec![1.0, 2.0],
+                switch_rates: vec![0.1],
+            },
+            batch_min: 1,
+            batch_max: 1,
+            horizon: 10.0,
+        };
+        assert!(bad_mmpp.validate().unwrap_err().contains("equally many"));
+        let bad_amp = ArrivalProcess {
+            kind: ArrivalKind::Diurnal {
+                base_rate: 1.0,
+                amplitude: 1.5,
+                period: 60.0,
+            },
+            batch_min: 1,
+            batch_max: 1,
+            horizon: 10.0,
+        };
+        assert!(bad_amp.validate().unwrap_err().contains("amplitude"));
+    }
+
+    #[test]
+    fn churn_model_validation_messages_are_precise() {
+        assert!(ChurnModel::Independent.validate().is_ok());
+        let bad = ChurnModel::CorrelatedShocks {
+            shock_rate: 0.1,
+            hit_probability: 1.5,
+        };
+        assert!(bad.validate().unwrap_err().contains("hit_probability"));
+        let bad = ChurnModel::Cascading {
+            amplification: -1.0,
+        };
+        assert!(bad.validate().unwrap_err().contains("amplification"));
+    }
+
+    #[test]
+    #[should_panic(expected = "batch_min")]
+    fn invalid_arrival_process_rejected_by_builder() {
+        let _ = SystemConfig::paper([5, 5])
+            .with_arrival_process(ArrivalProcess::poisson(1.0, 10.0).with_batch(0, 3));
+    }
+
+    #[test]
+    fn builders_install_process_and_churn() {
+        let c = SystemConfig::paper([5, 5])
+            .with_arrival_process(ArrivalProcess::poisson(0.5, 30.0).with_batch(2, 4))
+            .with_churn_model(ChurnModel::Cascading { amplification: 2.0 });
+        assert!(c.arrival_process.is_some());
+        assert_eq!(c.churn, ChurnModel::Cascading { amplification: 2.0 });
+        // Stochastic arrivals are not part of the ahead-of-run total.
+        assert_eq!(c.total_tasks(), 10);
     }
 }

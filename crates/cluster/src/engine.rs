@@ -14,10 +14,10 @@
 //!   comparing LBP-1 and LBP-2 on the *same* failure trace (paper Fig. 4)
 //!   is a matter of reusing the seed (common random numbers).
 
-use churnbal_desim::{EventId, EventQueue};
+use churnbal_desim::{EventId, EventQueue, SimTime};
 use churnbal_stochastic::{StreamFactory, Xoshiro256pp};
 
-use crate::config::{DelayLaw, SystemConfig};
+use crate::config::{ArrivalKind, ChurnModel, DelayLaw, SystemConfig};
 use crate::metrics::Metrics;
 use crate::policy::{NodeView, Policy, SystemView, TransferOrder};
 use crate::trace::QueueTrace;
@@ -50,14 +50,29 @@ enum Ev {
     Service(usize),
     Fail(usize),
     Recover(usize),
-    TransferArrive { to: usize, tasks: u32 },
-    External { node: usize, tasks: u32 },
+    TransferArrive {
+        to: usize,
+        tasks: u32,
+    },
+    External {
+        node: usize,
+        tasks: u32,
+    },
+    /// A batch spawned by the stochastic [`ArrivalProcess`]; on firing, the
+    /// next process arrival is sampled and scheduled.
+    ProcArrival {
+        node: usize,
+        tasks: u32,
+    },
+    /// An environmental shock of [`ChurnModel::CorrelatedShocks`].
+    Shock,
 }
 
 struct NodeRt {
     up: bool,
     queue: u32,
     service_ev: Option<EventId>,
+    fail_ev: Option<EventId>,
     down_since: f64,
 }
 
@@ -70,7 +85,14 @@ pub struct Simulator<'a> {
     service_rng: Vec<Xoshiro256pp>,
     churn_rng: Vec<Xoshiro256pp>,
     transfer_rng: Xoshiro256pp,
+    arrival_rng: Xoshiro256pp,
+    shock_rng: Xoshiro256pp,
+    arrival_phase: usize,
+    arrival_clock: f64,
+    arrivals_open: bool,
     processed: u64,
+    spawned: u64,
+    down_count: usize,
     in_transit: u32,
     last_transit_change: f64,
     metrics: Metrics,
@@ -91,6 +113,7 @@ impl<'a> Simulator<'a> {
                 up: true,
                 queue: nc.initial_tasks,
                 service_ev: None,
+                fail_ev: None,
                 down_since: 0.0,
             })
             .collect();
@@ -109,8 +132,18 @@ impl<'a> Simulator<'a> {
             service_rng: (0..n).map(|i| streams.stream(2 * i as u64)).collect(),
             churn_rng: (0..n).map(|i| streams.stream(2 * i as u64 + 1)).collect(),
             transfer_rng: streams.stream(2 * n as u64),
+            // Dedicated streams for the stochastic extensions: derived from
+            // ids past every legacy stream, so configurations that do not
+            // use them stay bit-identical to the original engine.
+            arrival_rng: streams.stream(2 * n as u64 + 1),
+            shock_rng: streams.stream(2 * n as u64 + 2),
+            arrival_phase: 0,
+            arrival_clock: 0.0,
+            arrivals_open: config.arrival_process.is_some(),
             nodes,
             processed: 0,
+            spawned: config.total_tasks(),
+            down_count: 0,
             in_transit: 0,
             last_transit_change: 0.0,
             metrics: Metrics::new(n),
@@ -120,23 +153,30 @@ impl<'a> Simulator<'a> {
     }
 
     /// Executes the run to completion (or deadline) under `policy`.
+    ///
+    /// Completion means every spawned task (initial workload, fixed
+    /// external arrivals, and everything a stochastic arrival process has
+    /// generated up to its horizon) has been processed.
     pub fn run(mut self, policy: &mut dyn Policy) -> SimOutcome {
-        let total = self.config.total_tasks();
-        // Seed churn and external-arrival events.
+        // Seed churn, shock and external-arrival events.
         for i in 0..self.config.num_nodes() {
-            if self.config.nodes[i].failure_rate > 0.0 {
-                let dt = self.churn_rng[i].exp(self.config.nodes[i].failure_rate);
-                self.queue.schedule_in(dt, Ev::Fail(i));
-            }
+            self.schedule_failure(i);
+        }
+        if let ChurnModel::CorrelatedShocks { shock_rate, .. } = self.config.churn {
+            let dt = self.shock_rng.exp(shock_rate);
+            self.queue.schedule_in(dt, Ev::Shock);
         }
         for a in &self.config.external_arrivals {
             self.queue.schedule_at(
-                churnbal_desim::SimTime::new(a.time),
+                SimTime::new(a.time),
                 Ev::External {
                     node: a.node,
                     tasks: a.tasks,
                 },
             );
+        }
+        if self.arrivals_open {
+            self.schedule_next_proc_arrival();
         }
         // t = 0 policy action.
         let orders = policy.on_start(&self.view());
@@ -144,7 +184,7 @@ impl<'a> Simulator<'a> {
         for i in 0..self.config.num_nodes() {
             self.maybe_schedule_service(i);
         }
-        if self.processed >= total {
+        if self.is_complete() {
             return self.finish(0.0, true);
         }
 
@@ -167,38 +207,27 @@ impl<'a> Simulator<'a> {
                     self.processed += 1;
                     self.metrics.processed_per_node[i] += 1;
                     self.record_queue(now, i);
-                    if self.processed >= total {
+                    if self.is_complete() {
                         return self.finish(now, true);
                     }
                     self.maybe_schedule_service(i);
                 }
                 Ev::Fail(i) => {
-                    debug_assert!(self.nodes[i].up, "failure of an already-down node");
-                    self.nodes[i].up = false;
-                    self.nodes[i].down_since = now;
-                    self.metrics.failures += 1;
-                    if let Some(id) = self.nodes[i].service_ev.take() {
-                        self.queue.cancel(id);
-                    }
-                    let dt = self.churn_rng[i].exp(self.config.nodes[i].recovery_rate);
-                    self.queue.schedule_in(dt, Ev::Recover(i));
-                    if let Some(t) = &mut self.trace {
-                        t.record_state(now, i, false);
-                    }
-                    let orders = policy.on_failure(i, &self.view_at(now));
-                    self.apply_orders(&orders);
+                    self.nodes[i].fail_ev = None;
+                    self.fail_node(i, now, policy);
                 }
                 Ev::Recover(i) => {
                     debug_assert!(!self.nodes[i].up, "recovery of an up node");
                     self.nodes[i].up = true;
+                    self.down_count -= 1;
                     self.metrics.recoveries += 1;
                     self.metrics.downtime_per_node[i] += now - self.nodes[i].down_since;
-                    let dt = self.churn_rng[i].exp(self.config.nodes[i].failure_rate);
-                    self.queue.schedule_in(dt, Ev::Fail(i));
+                    self.schedule_failure(i);
                     self.maybe_schedule_service(i);
                     if let Some(t) = &mut self.trace {
                         t.record_state(now, i, true);
                     }
+                    self.reschedule_failures_on_pressure_change(i);
                     let orders = policy.on_recovery(i, &self.view_at(now));
                     self.apply_orders(&orders);
                 }
@@ -218,6 +247,34 @@ impl<'a> Simulator<'a> {
                     let orders = policy.on_external_arrival(node, tasks, &self.view_at(now));
                     self.apply_orders(&orders);
                 }
+                Ev::ProcArrival { node, tasks } => {
+                    self.spawned += u64::from(tasks);
+                    self.nodes[node].queue += tasks;
+                    self.record_queue(now, node);
+                    self.maybe_schedule_service(node);
+                    self.schedule_next_proc_arrival();
+                    let orders = policy.on_external_arrival(node, tasks, &self.view_at(now));
+                    self.apply_orders(&orders);
+                }
+                Ev::Shock => {
+                    let ChurnModel::CorrelatedShocks {
+                        shock_rate,
+                        hit_probability,
+                    } = self.config.churn
+                    else {
+                        unreachable!("shock event without a shock churn model")
+                    };
+                    for i in 0..self.config.num_nodes() {
+                        if self.nodes[i].up
+                            && self.config.nodes[i].failure_rate > 0.0
+                            && self.shock_rng.next_f64() < hit_probability
+                        {
+                            self.fail_node(i, now, policy);
+                        }
+                    }
+                    let dt = self.shock_rng.exp(shock_rate);
+                    self.queue.schedule_in(dt, Ev::Shock);
+                }
             }
         }
         // Queue exhausted without processing everything: only possible when
@@ -225,8 +282,190 @@ impl<'a> Simulator<'a> {
         // validation (a failing node always recovers).
         unreachable!(
             "event queue exhausted with {}/{} tasks processed",
-            self.processed, total
+            self.processed, self.spawned
         );
+    }
+
+    /// Every spawned task processed and no more arrivals can come.
+    fn is_complete(&self) -> bool {
+        self.processed >= self.spawned && !self.arrivals_open
+    }
+
+    /// The common failure transition, used by both natural [`Ev::Fail`]
+    /// events and environmental shocks.
+    fn fail_node(&mut self, i: usize, now: f64, policy: &mut dyn Policy) {
+        debug_assert!(self.nodes[i].up, "failure of an already-down node");
+        // A shock may preempt the node's pending natural failure.
+        if let Some(id) = self.nodes[i].fail_ev.take() {
+            self.queue.cancel(id);
+        }
+        self.nodes[i].up = false;
+        self.nodes[i].down_since = now;
+        self.down_count += 1;
+        self.metrics.failures += 1;
+        if let Some(id) = self.nodes[i].service_ev.take() {
+            self.queue.cancel(id);
+        }
+        let dt = self.churn_rng[i].exp(self.config.nodes[i].recovery_rate);
+        self.queue.schedule_in(dt, Ev::Recover(i));
+        if let Some(t) = &mut self.trace {
+            t.record_state(now, i, false);
+        }
+        self.reschedule_failures_on_pressure_change(i);
+        let orders = policy.on_failure(i, &self.view_at(now));
+        self.apply_orders(&orders);
+    }
+
+    /// Effective failure rate of node `i` under the configured churn model.
+    fn effective_failure_rate(&self, i: usize) -> f64 {
+        let base = self.config.nodes[i].failure_rate;
+        match self.config.churn {
+            ChurnModel::Cascading { amplification } => {
+                base * (1.0 + amplification * self.down_count as f64)
+            }
+            ChurnModel::Independent | ChurnModel::CorrelatedShocks { .. } => base,
+        }
+    }
+
+    /// Schedules the next natural failure of (up) node `i`.
+    fn schedule_failure(&mut self, i: usize) {
+        let rate = self.effective_failure_rate(i);
+        if rate > 0.0 {
+            let dt = self.churn_rng[i].exp(rate);
+            self.nodes[i].fail_ev = Some(self.queue.schedule_in(dt, Ev::Fail(i)));
+        }
+    }
+
+    /// Under [`ChurnModel::Cascading`], a change in the number of down
+    /// nodes changes every other up node's effective failure rate; by
+    /// memorylessness of the exponential, cancelling and redrawing the
+    /// pending failure at the new rate is distribution-exact for a
+    /// piecewise-constant hazard. `changed` is the node whose state just
+    /// flipped (its own failure event is already consistent).
+    fn reschedule_failures_on_pressure_change(&mut self, changed: usize) {
+        if !matches!(self.config.churn, ChurnModel::Cascading { .. }) {
+            return;
+        }
+        for j in 0..self.config.num_nodes() {
+            if j == changed || !self.nodes[j].up {
+                continue;
+            }
+            if let Some(id) = self.nodes[j].fail_ev.take() {
+                self.queue.cancel(id);
+                self.schedule_failure(j);
+            }
+        }
+    }
+
+    /// Samples and schedules the next stochastic arrival, or closes the
+    /// process when the horizon has passed.
+    fn schedule_next_proc_arrival(&mut self) {
+        let config = self.config;
+        let Some(process) = config.arrival_process.as_ref() else {
+            self.arrivals_open = false;
+            return;
+        };
+        match self.sample_next_arrival_time(&process.kind, process.horizon) {
+            None => self.arrivals_open = false,
+            Some(t) => {
+                let node = self.arrival_rng.next_below(config.num_nodes() as u64) as usize;
+                let span = u64::from(process.batch_max - process.batch_min) + 1;
+                let tasks = process.batch_min + self.arrival_rng.next_below(span) as u32;
+                self.queue
+                    .schedule_at(SimTime::new(t), Ev::ProcArrival { node, tasks });
+            }
+        }
+    }
+
+    /// Advances the arrival generator from its current clock to the next
+    /// arrival instant, or `None` once past the horizon.
+    fn sample_next_arrival_time(&mut self, kind: &ArrivalKind, horizon: f64) -> Option<f64> {
+        match kind {
+            ArrivalKind::Poisson { rate } => {
+                let t = self.arrival_clock + self.arrival_rng.exp(*rate);
+                (t <= horizon).then(|| {
+                    self.arrival_clock = t;
+                    t
+                })
+            }
+            ArrivalKind::Mmpp {
+                rates,
+                switch_rates,
+            } => {
+                let mut t = self.arrival_clock;
+                loop {
+                    let lambda = rates[self.arrival_phase];
+                    let sojourn = self.arrival_rng.exp(switch_rates[self.arrival_phase]);
+                    let arrival = if lambda > 0.0 {
+                        self.arrival_rng.exp(lambda)
+                    } else {
+                        f64::INFINITY
+                    };
+                    if arrival <= sojourn {
+                        let at = t + arrival;
+                        if at > horizon {
+                            return None;
+                        }
+                        self.arrival_clock = at;
+                        return Some(at);
+                    }
+                    t += sojourn;
+                    if t > horizon {
+                        return None;
+                    }
+                    self.arrival_phase = (self.arrival_phase + 1) % rates.len();
+                }
+            }
+            ArrivalKind::Diurnal {
+                base_rate,
+                amplitude,
+                period,
+            } => {
+                let rate_max = base_rate * (1.0 + amplitude);
+                let rate_at = |t: f64| {
+                    base_rate * (1.0 + amplitude * (2.0 * std::f64::consts::PI * t / period).sin())
+                };
+                self.sample_by_thinning(rate_max, rate_at, horizon)
+            }
+            ArrivalKind::FlashCrowd {
+                base_rate,
+                spike_start,
+                spike_duration,
+                spike_factor,
+            } => {
+                let rate_max = base_rate * spike_factor;
+                let spike = *spike_start..(spike_start + spike_duration);
+                let rate_at = |t: f64| {
+                    if spike.contains(&t) {
+                        base_rate * spike_factor
+                    } else {
+                        *base_rate
+                    }
+                };
+                self.sample_by_thinning(rate_max, rate_at, horizon)
+            }
+        }
+    }
+
+    /// Ogata thinning for a non-homogeneous Poisson process with rate
+    /// function `rate_at` bounded by `rate_max`.
+    fn sample_by_thinning(
+        &mut self,
+        rate_max: f64,
+        rate_at: impl Fn(f64) -> f64,
+        horizon: f64,
+    ) -> Option<f64> {
+        let mut t = self.arrival_clock;
+        loop {
+            t += self.arrival_rng.exp(rate_max);
+            if t > horizon {
+                return None;
+            }
+            if self.arrival_rng.next_f64() < rate_at(t) / rate_max {
+                self.arrival_clock = t;
+                return Some(t);
+            }
+        }
     }
 
     fn view(&self) -> SystemView {
@@ -621,6 +860,279 @@ mod tests {
         // All 4 tasks leave node 0 at t=0 and land at node 1 at exactly 1.5 s.
         assert_eq!(tr.queue_at(1, 1.49), 0);
         assert_eq!(tr.queue_at(1, 1.51), 4);
+    }
+
+    #[test]
+    fn poisson_arrivals_spawn_tasks_and_complete() {
+        use crate::config::ArrivalProcess;
+        // Open system: no initial workload, tasks stream in until t = 40.
+        let cfg = reliable_pair([0, 0])
+            .with_arrival_process(ArrivalProcess::poisson(1.5, 40.0).with_batch(1, 3));
+        let out = simulate(&cfg, &mut NoBalancing, 71, SimOptions::default());
+        assert!(out.completed);
+        // ~60 batches of mean size 2 ⇒ ~120 tasks; allow wide slack.
+        let n = out.metrics.total_processed();
+        assert!((40..=240).contains(&n), "spawned {n} tasks");
+        assert!(out.completion_time > 10.0, "arrivals span the horizon");
+    }
+
+    #[test]
+    fn arrival_process_with_initial_tasks_processes_both() {
+        use crate::config::ArrivalProcess;
+        let cfg = reliable_pair([10, 5]).with_arrival_process(ArrivalProcess::poisson(0.5, 20.0));
+        let out = simulate(&cfg, &mut NoBalancing, 72, SimOptions::default());
+        assert!(out.completed);
+        assert!(out.metrics.total_processed() >= 15);
+    }
+
+    #[test]
+    fn arrival_processes_are_deterministic_per_seed() {
+        use crate::config::{ArrivalKind, ArrivalProcess};
+        let cfg = reliable_pair([5, 5]).with_arrival_process(ArrivalProcess {
+            kind: ArrivalKind::Mmpp {
+                rates: vec![0.2, 4.0],
+                switch_rates: vec![0.1, 0.5],
+            },
+            batch_min: 1,
+            batch_max: 5,
+            horizon: 30.0,
+        });
+        let a = simulate(&cfg, &mut NoBalancing, 73, SimOptions::default());
+        let b = simulate(&cfg, &mut NoBalancing, 73, SimOptions::default());
+        assert_eq!(a.completion_time, b.completion_time);
+        assert_eq!(a.metrics, b.metrics);
+        let c = simulate(&cfg, &mut NoBalancing, 74, SimOptions::default());
+        assert_ne!(a.completion_time, c.completion_time);
+    }
+
+    #[test]
+    fn mmpp_is_burstier_than_poisson_at_equal_mean_rate() {
+        use crate::config::{ArrivalKind, ArrivalProcess};
+        // Equal-sojourn two-phase MMPP with rates (0, 4) has mean rate 2.
+        let mmpp = reliable_pair([0, 0]).with_arrival_process(ArrivalProcess {
+            kind: ArrivalKind::Mmpp {
+                rates: vec![0.0, 4.0],
+                switch_rates: vec![0.2, 0.2],
+            },
+            batch_min: 1,
+            batch_max: 1,
+            horizon: 50.0,
+        });
+        let poisson =
+            reliable_pair([0, 0]).with_arrival_process(ArrivalProcess::poisson(2.0, 50.0));
+        let spawned_var = |cfg: &SystemConfig| {
+            let mut s = OnlineStats::new();
+            for seed in 0..300 {
+                let out = simulate(cfg, &mut NoBalancing, seed, SimOptions::default());
+                s.push(out.metrics.total_processed() as f64);
+            }
+            (s.mean(), s.variance())
+        };
+        let (m_mmpp, v_mmpp) = spawned_var(&mmpp);
+        let (m_poi, v_poi) = spawned_var(&poisson);
+        assert!(
+            (m_mmpp - m_poi).abs() < 0.25 * m_poi,
+            "means should be comparable: {m_mmpp} vs {m_poi}"
+        );
+        assert!(
+            v_mmpp > 2.0 * v_poi,
+            "MMPP should be over-dispersed: var {v_mmpp} vs {v_poi}"
+        );
+    }
+
+    #[test]
+    fn flash_crowd_spawns_more_than_its_baseline() {
+        use crate::config::{ArrivalKind, ArrivalProcess};
+        let crowd = |factor: f64| {
+            reliable_pair([0, 0]).with_arrival_process(ArrivalProcess {
+                kind: ArrivalKind::FlashCrowd {
+                    base_rate: 0.5,
+                    spike_start: 10.0,
+                    spike_duration: 10.0,
+                    spike_factor: factor,
+                },
+                batch_min: 1,
+                batch_max: 1,
+                horizon: 40.0,
+            })
+        };
+        let count = |cfg: &SystemConfig| -> u64 {
+            (0..100)
+                .map(|seed| {
+                    simulate(cfg, &mut NoBalancing, seed, SimOptions::default())
+                        .metrics
+                        .total_processed()
+                })
+                .sum()
+        };
+        let base = count(&crowd(1.0));
+        let spiked = count(&crowd(8.0));
+        // The spike multiplies 10 s of a 40 s window by 8: ~2.75x the load.
+        assert!(
+            spiked > base * 2,
+            "flash crowd should spawn far more tasks ({spiked} vs {base})"
+        );
+    }
+
+    #[test]
+    fn diurnal_arrivals_complete_and_track_the_mean_rate() {
+        use crate::config::{ArrivalKind, ArrivalProcess};
+        let cfg = reliable_pair([0, 0]).with_arrival_process(ArrivalProcess {
+            kind: ArrivalKind::Diurnal {
+                base_rate: 1.0,
+                amplitude: 1.0,
+                period: 20.0,
+            },
+            batch_min: 1,
+            batch_max: 1,
+            horizon: 60.0,
+        });
+        // Over whole periods the sine integrates away: mean spawn ≈ 60.
+        let mut s = OnlineStats::new();
+        for seed in 0..200 {
+            let out = simulate(&cfg, &mut NoBalancing, seed, SimOptions::default());
+            assert!(out.completed);
+            s.push(out.metrics.total_processed() as f64);
+        }
+        assert!((s.mean() - 60.0).abs() < 3.0, "mean spawned {}", s.mean());
+    }
+
+    #[test]
+    fn correlated_shocks_fail_nodes_simultaneously() {
+        use crate::config::ChurnModel;
+        let cfg = SystemConfig::new(
+            vec![
+                NodeConfig::new(1.0, 1e-6, 0.5, 40),
+                NodeConfig::new(1.0, 1e-6, 0.5, 40),
+                NodeConfig::new(1.0, 1e-6, 0.5, 40),
+            ],
+            NetworkConfig::exponential(0.02),
+        )
+        .with_churn_model(ChurnModel::CorrelatedShocks {
+            shock_rate: 0.2,
+            hit_probability: 1.0,
+        });
+        let out = simulate(
+            &cfg,
+            &mut NoBalancing,
+            81,
+            SimOptions {
+                record_trace: true,
+                deadline: None,
+            },
+        );
+        assert!(out.completed);
+        let tr = out.trace.expect("trace");
+        // With hit probability 1, every shock downs all three nodes at the
+        // same instant: some down-transition time must be shared.
+        let downs = |i: usize| -> Vec<f64> {
+            tr.state_series(i)
+                .iter()
+                .filter(|(_, up)| !up)
+                .map(|(t, _)| *t)
+                .collect()
+        };
+        let d0 = downs(0);
+        assert!(!d0.is_empty(), "expected at least one shock");
+        let shared = d0
+            .iter()
+            .any(|t| downs(1).contains(t) && downs(2).contains(t));
+        assert!(shared, "shocks should fail all nodes at the same instant");
+    }
+
+    #[test]
+    fn shocks_add_failures_over_independent_churn() {
+        use crate::config::ChurnModel;
+        let base = SystemConfig::paper([80, 50]);
+        let shocked = base.clone().with_churn_model(ChurnModel::CorrelatedShocks {
+            shock_rate: 0.1,
+            hit_probability: 1.0,
+        });
+        let fails = |cfg: &SystemConfig| -> u64 {
+            (0..50)
+                .map(|seed| {
+                    simulate(cfg, &mut NoBalancing, seed, SimOptions::default())
+                        .metrics
+                        .failures
+                })
+                .sum()
+        };
+        assert!(fails(&shocked) > fails(&base));
+    }
+
+    #[test]
+    fn cascading_churn_amplifies_failures() {
+        use crate::config::ChurnModel;
+        let mk = |amp: f64| {
+            SystemConfig::new(
+                vec![
+                    NodeConfig::new(1.0, 0.02, 0.05, 60),
+                    NodeConfig::new(1.0, 0.02, 0.05, 60),
+                    NodeConfig::new(1.0, 0.02, 0.05, 60),
+                ],
+                NetworkConfig::exponential(0.02),
+            )
+            .with_churn_model(ChurnModel::Cascading { amplification: amp })
+        };
+        let fails = |cfg: &SystemConfig| -> u64 {
+            (0..60)
+                .map(|seed| {
+                    simulate(cfg, &mut NoBalancing, seed, SimOptions::default())
+                        .metrics
+                        .failures
+                })
+                .sum()
+        };
+        let independent = fails(&mk(0.0));
+        let cascading = fails(&mk(8.0));
+        assert!(
+            cascading > independent + independent / 4,
+            "cascade should amplify failures: {cascading} vs {independent}"
+        );
+    }
+
+    #[test]
+    fn zero_amplification_cascade_matches_independent_statistically() {
+        use crate::config::ChurnModel;
+        // amplification = 0 has the same law as Independent (the redraws
+        // consume different stream positions, so only distributions match).
+        let base = SystemConfig::paper([40, 30]);
+        let cascade0 = base
+            .clone()
+            .with_churn_model(ChurnModel::Cascading { amplification: 0.0 });
+        let mean = |cfg: &SystemConfig| {
+            let mut s = OnlineStats::new();
+            for seed in 0..400 {
+                s.push(
+                    simulate(cfg, &mut NoBalancing, seed, SimOptions::default()).completion_time,
+                );
+            }
+            s
+        };
+        let a = mean(&base);
+        let b = mean(&cascade0);
+        let tol = 3.0 * (a.ci95_half_width() + b.ci95_half_width());
+        assert!(
+            (a.mean() - b.mean()).abs() < tol,
+            "means {} vs {}",
+            a.mean(),
+            b.mean()
+        );
+    }
+
+    #[test]
+    fn legacy_configs_do_not_touch_new_streams() {
+        // The extension streams are derived lazily per id; a config without
+        // arrivals/shocks must produce the exact same run as before the
+        // extensions existed — pinned by cross-checking two identical runs
+        // through different code paths (builder vs plain construction).
+        let plain = SystemConfig::paper([30, 20]);
+        let via_builder =
+            SystemConfig::paper([30, 20]).with_churn_model(crate::config::ChurnModel::Independent);
+        let a = simulate(&plain, &mut NoBalancing, 91, SimOptions::default());
+        let b = simulate(&via_builder, &mut NoBalancing, 91, SimOptions::default());
+        assert_eq!(a.completion_time, b.completion_time);
+        assert_eq!(a.metrics, b.metrics);
     }
 
     #[test]

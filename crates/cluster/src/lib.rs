@@ -34,7 +34,10 @@ pub mod policy;
 pub mod testbed;
 pub mod trace;
 
-pub use config::{DelayLaw, ExternalArrival, NetworkConfig, NodeConfig, SystemConfig};
+pub use config::{
+    ArrivalKind, ArrivalProcess, ChurnModel, DelayLaw, ExternalArrival, NetworkConfig, NodeConfig,
+    SystemConfig,
+};
 pub use engine::{simulate, SimOptions, SimOutcome, Simulator};
 pub use mc::{run_replications, McEstimate};
 pub use policy::{NoBalancing, NodeView, Policy, SystemView, TransferOrder};

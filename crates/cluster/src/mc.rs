@@ -20,6 +20,12 @@ pub struct McEstimate {
     pub completion: OnlineStats,
     /// Raw completion times, indexed by replication (for ECDFs etc.).
     pub completion_times: Vec<f64>,
+    /// Failures observed in each replication (same indexing as
+    /// [`McEstimate::completion_times`]) — lets sweep harnesses report
+    /// dispersion, not just the mean.
+    pub failures_per_rep: Vec<u64>,
+    /// Tasks shipped in each replication (same indexing).
+    pub tasks_shipped_per_rep: Vec<u64>,
     /// Mean number of failures per replication.
     pub mean_failures: f64,
     /// Mean tasks shipped per replication.
@@ -131,6 +137,8 @@ where
         mean_failures: failures.iter().sum::<u64>() as f64 / reps as f64,
         mean_tasks_shipped: shipped.iter().sum::<u64>() as f64 / reps as f64,
         completion_times: times,
+        failures_per_rep: failures,
+        tasks_shipped_per_rep: shipped,
         incomplete,
     }
 }
@@ -179,6 +187,27 @@ mod tests {
         let a = run_replications(&cfg, &|_| NoBalancing, 32, 5, 0, opts);
         let b = run_replications(&cfg, &|_| NoBalancing, 512, 5, 0, opts);
         assert!(b.ci95() < a.ci95());
+    }
+
+    #[test]
+    fn per_replication_vectors_are_exposed_and_consistent() {
+        let cfg = SystemConfig::paper([30, 20]);
+        let opts = SimOptions::default();
+        let reps = 32;
+        let e = run_replications(&cfg, &|_| NoBalancing, reps, 77, 3, opts);
+        assert_eq!(e.failures_per_rep.len(), reps as usize);
+        assert_eq!(e.tasks_shipped_per_rep.len(), reps as usize);
+        let mean_f = e.failures_per_rep.iter().sum::<u64>() as f64 / reps as f64;
+        let mean_s = e.tasks_shipped_per_rep.iter().sum::<u64>() as f64 / reps as f64;
+        assert!((mean_f - e.mean_failures).abs() < 1e-12);
+        assert!((mean_s - e.mean_tasks_shipped).abs() < 1e-12);
+        // NoBalancing never ships; churn produces some failures somewhere.
+        assert!(e.tasks_shipped_per_rep.iter().all(|&s| s == 0));
+        assert!(e.failures_per_rep.iter().any(|&f| f > 0));
+        // Vectors are slot-stable across thread counts, like the times.
+        let e2 = run_replications(&cfg, &|_| NoBalancing, reps, 77, 7, opts);
+        assert_eq!(e.failures_per_rep, e2.failures_per_rep);
+        assert_eq!(e.tasks_shipped_per_rep, e2.tasks_shipped_per_rep);
     }
 
     #[test]

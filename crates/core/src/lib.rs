@@ -21,6 +21,9 @@
 //!   the analytical model's parameter set.
 //! * [`dynamic`] — the dynamic-workload extension sketched in the paper's
 //!   conclusion: re-running balancing episodes at external arrivals.
+//! * [`spec`] — declarative policy construction: [`PolicySpec`] describes
+//!   any policy as plain data (the scenario lab's currency), and builds it
+//!   into a boxed [`AnyPolicy`].
 //!
 //! [`SystemConfig`]: churnbal_cluster::SystemConfig
 
@@ -32,6 +35,7 @@ pub mod lbp1;
 pub mod lbp2;
 pub mod multi;
 pub mod optimizer;
+pub mod spec;
 
 pub use baseline::{InitialBalanceOnly, UponFailureOnly};
 pub use dynamic::{DynamicLbp1, EpisodicLbp2};
@@ -40,3 +44,4 @@ pub use glue::model_params;
 pub use lbp1::Lbp1;
 pub use lbp2::Lbp2;
 pub use multi::Lbp1Multi;
+pub use spec::{AnyPolicy, PolicySpec};

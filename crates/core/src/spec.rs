@@ -1,0 +1,369 @@
+//! Declarative policy construction.
+//!
+//! [`PolicySpec`] is a plain-data description of any policy the suite
+//! implements; [`PolicySpec::build`] turns it into a runnable boxed
+//! [`AnyPolicy`] against a concrete [`SystemConfig`]. The scenario lab
+//! (`churnbal_lab`) serializes these specs to its TOML subset, and sweep
+//! axes rewrite them (e.g. the gain) without touching policy code.
+
+use churnbal_cluster::{NoBalancing, Policy, SystemConfig, SystemView, TransferOrder};
+
+use crate::baseline::{InitialBalanceOnly, UponFailureOnly};
+use crate::dynamic::{DynamicLbp1, EpisodicLbp2};
+use crate::lbp1::Lbp1;
+use crate::lbp2::Lbp2;
+
+/// A type-erased, heap-allocated policy — what [`PolicySpec::build`]
+/// returns, so heterogeneous policies can flow through one code path.
+pub struct AnyPolicy {
+    inner: Box<dyn Policy>,
+}
+
+impl std::fmt::Debug for AnyPolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AnyPolicy")
+            .field("name", &self.inner.name())
+            .finish()
+    }
+}
+
+impl AnyPolicy {
+    /// Wraps a concrete policy.
+    #[must_use]
+    pub fn new(policy: impl Policy + 'static) -> Self {
+        Self {
+            inner: Box::new(policy),
+        }
+    }
+}
+
+impl Policy for AnyPolicy {
+    fn name(&self) -> &str {
+        self.inner.name()
+    }
+
+    fn on_start(&mut self, view: &SystemView) -> Vec<TransferOrder> {
+        self.inner.on_start(view)
+    }
+
+    fn on_failure(&mut self, node: usize, view: &SystemView) -> Vec<TransferOrder> {
+        self.inner.on_failure(node, view)
+    }
+
+    fn on_recovery(&mut self, node: usize, view: &SystemView) -> Vec<TransferOrder> {
+        self.inner.on_recovery(node, view)
+    }
+
+    fn on_transfer_arrival(
+        &mut self,
+        node: usize,
+        tasks: u32,
+        view: &SystemView,
+    ) -> Vec<TransferOrder> {
+        self.inner.on_transfer_arrival(node, tasks, view)
+    }
+
+    fn on_external_arrival(
+        &mut self,
+        node: usize,
+        tasks: u32,
+        view: &SystemView,
+    ) -> Vec<TransferOrder> {
+        self.inner.on_external_arrival(node, tasks, view)
+    }
+}
+
+/// Plain-data description of a policy, buildable against any
+/// [`SystemConfig`].
+#[derive(Clone, Debug, PartialEq)]
+pub enum PolicySpec {
+    /// The do-nothing baseline.
+    NoBalancing,
+    /// Fixed-orientation LBP-1: ship `round(gain · m_sender)` at `t = 0`.
+    Lbp1 {
+        /// Sending node index.
+        sender: usize,
+        /// Receiving node index.
+        receiver: usize,
+        /// Gain `K ∈ [0, 1]` applied to the sender's initial queue.
+        gain: f64,
+    },
+    /// Model-optimal LBP-1 (two-node configurations only).
+    Lbp1Optimal,
+    /// LBP-2 with the given initial gain and full Eq. 8 compensation.
+    Lbp2 {
+        /// Initial-balancing gain `K ∈ [0, 1]`.
+        gain: f64,
+    },
+    /// LBP-2 with the no-failure-model optimal initial gain (two nodes).
+    Lbp2Optimal,
+    /// LBP-2 re-running its balancing episode at every external arrival.
+    EpisodicLbp2 {
+        /// Episode gain `K ∈ [0, 1]`.
+        gain: f64,
+    },
+    /// LBP-1 re-optimised at every external arrival (two nodes).
+    DynamicLbp1,
+    /// Initial balancing only, no failure compensation.
+    InitialBalanceOnly {
+        /// Initial-balancing gain `K ∈ [0, 1]`.
+        gain: f64,
+    },
+    /// Eq. 8 failure compensation only, no initial balancing.
+    UponFailureOnly,
+}
+
+impl PolicySpec {
+    /// Stable kebab-case identifier, as used by the scenario lab's TOML.
+    #[must_use]
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Self::NoBalancing => "no-balancing",
+            Self::Lbp1 { .. } => "lbp1",
+            Self::Lbp1Optimal => "lbp1-optimal",
+            Self::Lbp2 { .. } => "lbp2",
+            Self::Lbp2Optimal => "lbp2-optimal",
+            Self::EpisodicLbp2 { .. } => "episodic-lbp2",
+            Self::DynamicLbp1 => "dynamic-lbp1",
+            Self::InitialBalanceOnly { .. } => "initial-only",
+            Self::UponFailureOnly => "upon-failure-only",
+        }
+    }
+
+    /// The spec's gain parameter, when it has one.
+    #[must_use]
+    pub fn gain(&self) -> Option<f64> {
+        match self {
+            Self::Lbp1 { gain, .. }
+            | Self::Lbp2 { gain }
+            | Self::EpisodicLbp2 { gain }
+            | Self::InitialBalanceOnly { gain } => Some(*gain),
+            _ => None,
+        }
+    }
+
+    /// Returns a copy with the gain replaced — how a sweep's `gain` axis
+    /// rewrites the policy.
+    ///
+    /// # Errors
+    /// Fails when the policy has no gain parameter or the value is outside
+    /// `[0, 1]`.
+    pub fn with_gain(&self, gain: f64) -> Result<Self, String> {
+        if !(0.0..=1.0).contains(&gain) {
+            return Err(format!(
+                "policy {}: gain must be in [0, 1], got {gain}",
+                self.kind()
+            ));
+        }
+        match self {
+            Self::Lbp1 {
+                sender, receiver, ..
+            } => Ok(Self::Lbp1 {
+                sender: *sender,
+                receiver: *receiver,
+                gain,
+            }),
+            Self::Lbp2 { .. } => Ok(Self::Lbp2 { gain }),
+            Self::EpisodicLbp2 { .. } => Ok(Self::EpisodicLbp2 { gain }),
+            Self::InitialBalanceOnly { .. } => Ok(Self::InitialBalanceOnly { gain }),
+            other => Err(format!(
+                "policy {} has no gain parameter to sweep",
+                other.kind()
+            )),
+        }
+    }
+
+    /// Checks the spec against a configuration without building.
+    ///
+    /// # Errors
+    /// Fails with a precise message on out-of-range parameters or a policy
+    /// that does not support the configuration's node count.
+    pub fn validate_for(&self, config: &SystemConfig) -> Result<(), String> {
+        let n = config.num_nodes();
+        if let Some(g) = self.gain() {
+            if !(0.0..=1.0).contains(&g) {
+                return Err(format!(
+                    "policy {}: gain must be in [0, 1], got {g}",
+                    self.kind()
+                ));
+            }
+        }
+        match self {
+            Self::Lbp1 {
+                sender, receiver, ..
+            } => {
+                if *sender >= n || *receiver >= n {
+                    return Err(format!(
+                        "policy lbp1: node indices ({sender}, {receiver}) out of range for \
+                         {n} nodes"
+                    ));
+                }
+                if sender == receiver {
+                    return Err("policy lbp1: sender and receiver must differ".into());
+                }
+                Ok(())
+            }
+            Self::Lbp1Optimal | Self::Lbp2Optimal | Self::DynamicLbp1 => {
+                if n == 2 {
+                    Ok(())
+                } else {
+                    Err(format!(
+                        "policy {}: the closed-form model covers exactly two nodes (got {n})",
+                        self.kind()
+                    ))
+                }
+            }
+            _ => Ok(()),
+        }
+    }
+
+    /// Builds a runnable policy for `config`.
+    ///
+    /// # Errors
+    /// Same conditions as [`PolicySpec::validate_for`].
+    pub fn build(&self, config: &SystemConfig) -> Result<AnyPolicy, String> {
+        self.validate_for(config)?;
+        Ok(match self {
+            Self::NoBalancing => AnyPolicy::new(NoBalancing),
+            Self::Lbp1 {
+                sender,
+                receiver,
+                gain,
+            } => AnyPolicy::new(Lbp1::with_gain(
+                *sender,
+                *receiver,
+                config.nodes[*sender].initial_tasks,
+                *gain,
+            )),
+            Self::Lbp1Optimal => AnyPolicy::new(Lbp1::optimal(config)),
+            Self::Lbp2 { gain } => AnyPolicy::new(Lbp2::new(*gain)),
+            Self::Lbp2Optimal => AnyPolicy::new(Lbp2::optimal(config)),
+            Self::EpisodicLbp2 { gain } => AnyPolicy::new(EpisodicLbp2::new(*gain)),
+            Self::DynamicLbp1 => AnyPolicy::new(DynamicLbp1::new(config)),
+            Self::InitialBalanceOnly { gain } => AnyPolicy::new(InitialBalanceOnly::new(*gain)),
+            Self::UponFailureOnly => AnyPolicy::new(UponFailureOnly::new()),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use churnbal_cluster::{simulate, NetworkConfig, NodeConfig, SimOptions};
+
+    fn three_node() -> SystemConfig {
+        SystemConfig::new(
+            vec![
+                NodeConfig::reliable(1.0, 30),
+                NodeConfig::reliable(1.5, 0),
+                NodeConfig::reliable(2.0, 0),
+            ],
+            NetworkConfig::exponential(0.02),
+        )
+    }
+
+    #[test]
+    fn built_policy_matches_direct_construction() {
+        let cfg = SystemConfig::paper([100, 60]);
+        let spec = PolicySpec::Lbp1 {
+            sender: 0,
+            receiver: 1,
+            gain: 0.35,
+        };
+        let mut built = spec.build(&cfg).expect("valid");
+        let mut direct = Lbp1::with_gain(0, 1, 100, 0.35);
+        let a = simulate(&cfg, &mut built, 5, SimOptions::default());
+        let b = simulate(&cfg, &mut direct, 5, SimOptions::default());
+        assert_eq!(a.completion_time, b.completion_time);
+        assert_eq!(a.metrics, b.metrics);
+        assert_eq!(built.name(), "LBP-1");
+    }
+
+    #[test]
+    fn every_kind_builds_on_a_two_node_config() {
+        let cfg = SystemConfig::paper([50, 30]);
+        let specs = [
+            PolicySpec::NoBalancing,
+            PolicySpec::Lbp1 {
+                sender: 0,
+                receiver: 1,
+                gain: 0.4,
+            },
+            PolicySpec::Lbp1Optimal,
+            PolicySpec::Lbp2 { gain: 1.0 },
+            PolicySpec::Lbp2Optimal,
+            PolicySpec::EpisodicLbp2 { gain: 1.0 },
+            PolicySpec::DynamicLbp1,
+            PolicySpec::InitialBalanceOnly { gain: 1.0 },
+            PolicySpec::UponFailureOnly,
+        ];
+        for spec in specs {
+            let mut p = spec
+                .build(&cfg)
+                .unwrap_or_else(|e| panic!("{}: {e}", spec.kind()));
+            let out = simulate(&cfg, &mut p, 9, SimOptions::default());
+            assert!(out.completed, "{} did not complete", spec.kind());
+        }
+    }
+
+    #[test]
+    fn two_node_only_policies_reject_larger_systems() {
+        let cfg = three_node();
+        for spec in [
+            PolicySpec::Lbp1Optimal,
+            PolicySpec::Lbp2Optimal,
+            PolicySpec::DynamicLbp1,
+        ] {
+            let err = spec.build(&cfg).unwrap_err();
+            assert!(err.contains("two nodes"), "{err}");
+        }
+        // n-node-capable specs are fine.
+        assert!(PolicySpec::Lbp2 { gain: 1.0 }.build(&cfg).is_ok());
+    }
+
+    #[test]
+    fn bad_parameters_are_rejected_with_messages() {
+        let cfg = SystemConfig::paper([10, 10]);
+        let err = PolicySpec::Lbp1 {
+            sender: 0,
+            receiver: 5,
+            gain: 0.5,
+        }
+        .build(&cfg)
+        .unwrap_err();
+        assert!(err.contains("out of range"), "{err}");
+        let err = PolicySpec::Lbp1 {
+            sender: 1,
+            receiver: 1,
+            gain: 0.5,
+        }
+        .build(&cfg)
+        .unwrap_err();
+        assert!(err.contains("must differ"), "{err}");
+        let err = PolicySpec::Lbp2 { gain: 1.5 }.build(&cfg).unwrap_err();
+        assert!(err.contains("[0, 1]"), "{err}");
+    }
+
+    #[test]
+    fn gain_rewrite_works_and_rejects_gainless_policies() {
+        let spec = PolicySpec::Lbp2 { gain: 0.3 };
+        assert_eq!(
+            spec.with_gain(0.9).expect("ok"),
+            PolicySpec::Lbp2 { gain: 0.9 }
+        );
+        let err = PolicySpec::NoBalancing.with_gain(0.5).unwrap_err();
+        assert!(err.contains("no gain parameter"), "{err}");
+        let err = PolicySpec::Lbp2 { gain: 0.3 }.with_gain(2.0).unwrap_err();
+        assert!(err.contains("[0, 1]"), "{err}");
+    }
+
+    #[test]
+    fn kinds_are_stable_identifiers() {
+        assert_eq!(PolicySpec::Lbp1Optimal.kind(), "lbp1-optimal");
+        assert_eq!(PolicySpec::UponFailureOnly.kind(), "upon-failure-only");
+        assert_eq!(
+            PolicySpec::EpisodicLbp2 { gain: 1.0 }.kind(),
+            "episodic-lbp2"
+        );
+    }
+}

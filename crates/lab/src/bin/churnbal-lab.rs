@@ -1,0 +1,13 @@
+//! The `churnbal-lab` CLI: list, show, run and sweep declarative
+//! scenarios. See `churnbal_lab::cli` for the full grammar.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match churnbal_lab::cli::run(&args) {
+        Ok(out) => print!("{out}"),
+        Err(err) => {
+            eprintln!("error: {err}");
+            std::process::exit(2);
+        }
+    }
+}

@@ -1,0 +1,458 @@
+//! The `churnbal-lab` command-line interface.
+//!
+//! ```text
+//! churnbal-lab list
+//! churnbal-lab show <scenario>
+//! churnbal-lab run   <scenario|file.toml> [--quick] [--reps N] [--seed S]
+//!                    [--threads T] [--format table|csv|jsonl] [--out PATH]
+//! churnbal-lab sweep <scenario|file.toml> [--axis param=v1,v2,... | param=lo:hi:step]...
+//!                    [--quick] [--reps N] [--seed S] [--threads T]
+//!                    [--format csv|jsonl] [--out PATH]
+//! ```
+//!
+//! `run` executes a scenario including its baked-in axes (so
+//! `run paper-fig3` regenerates the whole Fig. 3 gain sweep); `sweep`
+//! additionally grid-expands `--axis` specifications on top. All output is
+//! deterministic: bit-identical for any `--threads` value.
+
+use crate::registry;
+use crate::scenario::Scenario;
+use crate::sweep::{run_sweep, Axis, AxisParam, RunOptions, SweepResult};
+
+const USAGE: &str = "usage: churnbal-lab <command>\n\
+\n\
+commands:\n\
+  list                       list registered scenarios\n\
+  show <scenario>            print a scenario as TOML\n\
+  run <scenario|file.toml>   run a scenario (including its baked-in axes)\n\
+  sweep <scenario|file.toml> grid-expand and run; add axes with --axis\n\
+\n\
+options (run/sweep):\n\
+  --axis param=v1,v2,...     sweep axis, explicit values (sweep only)\n\
+  --axis param=lo:hi:step    sweep axis, inclusive range (sweep only)\n\
+  --quick                    a tenth of the replications (at least 10)\n\
+  --reps N                   replication override\n\
+  --seed S                   master-seed override\n\
+  --threads T                worker threads (0 = auto)\n\
+  --format F                 table (run default) | csv (sweep default) | jsonl\n\
+  --out PATH                 write the output to PATH instead of stdout\n";
+
+/// Executes a full CLI invocation, returning what should go to stdout.
+///
+/// # Errors
+/// Returns the message to print on stderr (exit code 2).
+pub fn run(args: &[String]) -> Result<String, String> {
+    let mut it = args.iter();
+    match it.next().map(String::as_str) {
+        None | Some("help" | "--help" | "-h") => Ok(USAGE.to_string()),
+        Some("list") => cmd_list(),
+        Some("show") => {
+            let name = it
+                .next()
+                .ok_or("show: missing scenario name\n\ntry: churnbal-lab list")?;
+            cmd_show(name)
+        }
+        Some("run") => {
+            let (scenario, opts) = parse_common(&mut it, false)?;
+            cmd_run(&scenario, &opts)
+        }
+        Some("sweep") => {
+            let (scenario, opts) = parse_common(&mut it, true)?;
+            cmd_sweep(&scenario, &opts)
+        }
+        Some(other) => Err(format!("unknown command `{other}`\n\n{USAGE}")),
+    }
+}
+
+#[derive(Clone, Debug, Default)]
+struct CliOptions {
+    axes: Vec<Axis>,
+    run: RunOptions,
+    format: Option<String>,
+    out: Option<String>,
+}
+
+fn parse_common<'a>(
+    it: &mut impl Iterator<Item = &'a String>,
+    allow_axes: bool,
+) -> Result<(Scenario, CliOptions), String> {
+    let name = it
+        .next()
+        .ok_or("missing scenario name or file\n\ntry: churnbal-lab list")?;
+    let scenario = load_scenario(name)?;
+    let mut opts = CliOptions::default();
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--axis" if allow_axes => {
+                let spec = it.next().ok_or("--axis needs `param=values`")?;
+                opts.axes.push(parse_axis(spec)?);
+            }
+            "--axis" => return Err("--axis is only valid for `sweep`".into()),
+            "--quick" => opts.run.quick = true,
+            "--reps" => {
+                let v = it.next().ok_or("--reps needs a value")?;
+                opts.run.reps = Some(
+                    v.parse()
+                        .map_err(|_| format!("--reps: expected an integer, got `{v}`"))?,
+                );
+            }
+            "--seed" => {
+                let v = it.next().ok_or("--seed needs a value")?;
+                opts.run.seed = Some(
+                    v.parse()
+                        .map_err(|_| format!("--seed: expected an integer, got `{v}`"))?,
+                );
+            }
+            "--threads" => {
+                let v = it.next().ok_or("--threads needs a value")?;
+                opts.run.threads = v
+                    .parse()
+                    .map_err(|_| format!("--threads: expected an integer, got `{v}`"))?;
+            }
+            "--format" => {
+                let v = it.next().ok_or("--format needs a value")?;
+                if !["table", "csv", "jsonl"].contains(&v.as_str()) {
+                    return Err(format!("--format: expected table | csv | jsonl, got `{v}`"));
+                }
+                opts.format = Some(v.clone());
+            }
+            "--out" => {
+                let v = it.next().ok_or("--out needs a path")?;
+                opts.out = Some(v.clone());
+            }
+            other => return Err(format!("unknown flag `{other}`\n\n{USAGE}")),
+        }
+    }
+    Ok((scenario, opts))
+}
+
+/// Resolves a scenario by registry name first, then as a TOML file path.
+fn load_scenario(name: &str) -> Result<Scenario, String> {
+    if let Some(sc) = registry::get(name) {
+        return Ok(sc);
+    }
+    if std::path::Path::new(name).exists() {
+        let text = std::fs::read_to_string(name)
+            .map_err(|e| format!("cannot read scenario file `{name}`: {e}"))?;
+        let sc = Scenario::from_toml(&text).map_err(|e| format!("{name}: {e}"))?;
+        sc.validate().map_err(|e| format!("{name}: {e}"))?;
+        return Ok(sc);
+    }
+    Err(format!(
+        "unknown scenario `{name}` and no such file; registered scenarios:\n  {}",
+        registry::names().join("\n  ")
+    ))
+}
+
+/// Parses `param=v1,v2,...` or `param=lo:hi:step` (inclusive range).
+fn parse_axis(spec: &str) -> Result<Axis, String> {
+    let Some((key, values)) = spec.split_once('=') else {
+        return Err(format!("--axis: expected `param=values`, got `{spec}`"));
+    };
+    let param = AxisParam::parse(key.trim())?;
+    let values = values.trim();
+    let parse_f64 = |s: &str| -> Result<f64, String> {
+        s.trim()
+            .parse::<f64>()
+            .map_err(|_| format!("--axis {key}: `{s}` is not a number"))
+    };
+    let vals: Vec<f64> = if values.contains(':') {
+        let parts: Vec<&str> = values.split(':').collect();
+        if parts.len() != 3 {
+            return Err(format!(
+                "--axis {key}: ranges are `lo:hi:step`, got `{values}`"
+            ));
+        }
+        let (lo, hi, step) = (
+            parse_f64(parts[0])?,
+            parse_f64(parts[1])?,
+            parse_f64(parts[2])?,
+        );
+        if !(step.is_finite() && step > 0.0) || hi < lo {
+            return Err(format!(
+                "--axis {key}: need lo <= hi and step > 0 in `{values}`"
+            ));
+        }
+        // Multiply rather than accumulate so 0:1:0.05 hits 1.0 exactly.
+        let n = ((hi - lo) / step + 1e-9).floor() as usize;
+        (0..=n).map(|i| lo + i as f64 * step).collect()
+    } else {
+        values
+            .split(',')
+            .filter(|s| !s.trim().is_empty())
+            .map(parse_f64)
+            .collect::<Result<_, _>>()?
+    };
+    let axis = Axis {
+        param,
+        values: vals,
+    };
+    axis.validate()?;
+    Ok(axis)
+}
+
+fn cmd_list() -> Result<String, String> {
+    let mut out = String::new();
+    let scenarios = registry::all();
+    let width = scenarios.iter().map(|s| s.name.len()).max().unwrap_or(0);
+    for sc in scenarios {
+        let axes = if sc.axes.is_empty() {
+            String::new()
+        } else {
+            let keys: Vec<&str> = sc.axes.iter().map(|a| a.param.key()).collect();
+            format!(" [axes: {}]", keys.join(", "))
+        };
+        out.push_str(&format!(
+            "{:width$}  {}{}\n",
+            sc.name,
+            sc.description,
+            axes,
+            width = width
+        ));
+    }
+    Ok(out)
+}
+
+fn cmd_show(name: &str) -> Result<String, String> {
+    Ok(load_scenario(name)?.to_toml())
+}
+
+fn render(result: &SweepResult, format: &str) -> String {
+    match format {
+        "csv" => result.to_csv(),
+        "jsonl" => result.to_jsonl(),
+        _ => render_table(result),
+    }
+}
+
+fn render_table(result: &SweepResult) -> String {
+    let mut header: Vec<String> = result.axes.iter().map(|a| a.key().to_string()).collect();
+    header.extend(
+        [
+            "mean (s)",
+            "±95% CI",
+            "sd",
+            "failures",
+            "shipped",
+            "incomplete",
+        ]
+        .map(str::to_string),
+    );
+    // Display-only rounding: the machine formats keep exact values.
+    let pretty = |v: f64| {
+        let s = format!("{v:.6}");
+        let s = s.trim_end_matches('0').trim_end_matches('.');
+        if s.is_empty() || s == "-" {
+            "0".to_string()
+        } else {
+            s.to_string()
+        }
+    };
+    let mut rows: Vec<Vec<String>> = Vec::new();
+    for r in &result.rows {
+        let mut row: Vec<String> = r.coords.iter().map(|&(_, v)| pretty(v)).collect();
+        row.extend([
+            format!("{:.2}", r.mean_completion),
+            format!("{:.2}", r.ci95),
+            format!("{:.2}", r.sd_completion),
+            format!("{:.2} ± {:.2}", r.mean_failures, r.sd_failures),
+            format!("{:.1} ± {:.1}", r.mean_tasks_shipped, r.sd_tasks_shipped),
+            r.incomplete.to_string(),
+        ]);
+        rows.push(row);
+    }
+    let cols = header.len();
+    let mut width = vec![0usize; cols];
+    for (i, h) in header.iter().enumerate() {
+        width[i] = h.len();
+    }
+    for row in &rows {
+        for (i, c) in row.iter().enumerate() {
+            width[i] = width[i].max(c.len());
+        }
+    }
+    let fmt_row = |cells: &[String]| -> String {
+        let mut line = String::new();
+        for (i, c) in cells.iter().enumerate() {
+            if i > 0 {
+                line.push_str("  ");
+            }
+            line.push_str(&format!("{c:>w$}", w = width[i]));
+        }
+        line.push('\n');
+        line
+    };
+    let mut out = fmt_row(&header);
+    out.push_str(&"-".repeat(width.iter().sum::<usize>() + 2 * (cols - 1)));
+    out.push('\n');
+    for row in &rows {
+        out.push_str(&fmt_row(row));
+    }
+    out
+}
+
+fn deliver(text: String, opts: &CliOptions, preamble: String) -> Result<String, String> {
+    match &opts.out {
+        None => Ok(format!("{preamble}{text}")),
+        Some(path) => {
+            std::fs::write(path, &text).map_err(|e| format!("cannot write `{path}`: {e}"))?;
+            Ok(format!(
+                "{preamble}wrote {} lines to {path}\n",
+                text.lines().count()
+            ))
+        }
+    }
+}
+
+fn cmd_run(scenario: &Scenario, opts: &CliOptions) -> Result<String, String> {
+    let result = run_sweep(scenario, &opts.axes, opts.run)?;
+    let format = opts.format.as_deref().unwrap_or("table");
+    let reps = opts.run.reps.unwrap_or(if opts.run.quick {
+        scenario.quick_reps()
+    } else {
+        scenario.reps
+    });
+    let preamble = if format == "table" {
+        format!(
+            "{}: {}\n{} point(s), {} replications each, seed {}\n\n",
+            scenario.name,
+            scenario.description,
+            result.rows.len(),
+            reps,
+            opts.run.seed.unwrap_or(scenario.seed),
+        )
+    } else {
+        String::new()
+    };
+    deliver(render(&result, format), opts, preamble)
+}
+
+fn cmd_sweep(scenario: &Scenario, opts: &CliOptions) -> Result<String, String> {
+    let result = run_sweep(scenario, &opts.axes, opts.run)?;
+    let format = opts.format.as_deref().unwrap_or("csv");
+    deliver(render(&result, format), opts, String::new())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn call(args: &[&str]) -> Result<String, String> {
+        run(&args.iter().map(|s| (*s).to_string()).collect::<Vec<_>>())
+    }
+
+    #[test]
+    fn list_names_every_preset() {
+        let out = call(&["list"]).expect("list works");
+        for name in registry::names() {
+            assert!(out.contains(name), "missing {name} in:\n{out}");
+        }
+    }
+
+    #[test]
+    fn show_round_trips_through_the_parser() {
+        let out = call(&["show", "flash-crowd"]).expect("show works");
+        let sc = Scenario::from_toml(&out).expect("show output parses");
+        assert_eq!(sc, registry::get("flash-crowd").expect("preset"));
+    }
+
+    #[test]
+    fn unknown_scenario_lists_the_registry() {
+        let err = call(&["run", "nope"]).unwrap_err();
+        assert!(err.contains("unknown scenario `nope`"), "{err}");
+        assert!(err.contains("paper-fig3"), "{err}");
+    }
+
+    #[test]
+    fn unknown_flags_and_commands_error_with_usage() {
+        let err = call(&["frobnicate"]).unwrap_err();
+        assert!(err.contains("unknown command"), "{err}");
+        let err = call(&["run", "paper-fig3", "--wat"]).unwrap_err();
+        assert!(err.contains("unknown flag `--wat`"), "{err}");
+        let err = call(&["run", "paper-fig3", "--axis", "gain=1"]).unwrap_err();
+        assert!(err.contains("only valid for `sweep`"), "{err}");
+    }
+
+    #[test]
+    fn axis_specs_parse_lists_and_ranges() {
+        let a = parse_axis("gain=0.1,0.5,0.9").expect("list");
+        assert_eq!(a.param, AxisParam::Gain);
+        assert_eq!(a.values, vec![0.1, 0.5, 0.9]);
+        let a = parse_axis("failure-scale=0:1:0.25").expect("range");
+        assert_eq!(a.values, vec![0.0, 0.25, 0.5, 0.75, 1.0]);
+        let err = parse_axis("gain").unwrap_err();
+        assert!(err.contains("param=values"), "{err}");
+        let err = parse_axis("warp=1,2").unwrap_err();
+        assert!(err.contains("unknown sweep parameter"), "{err}");
+        let err = parse_axis("gain=1:0:0.1").unwrap_err();
+        assert!(err.contains("lo <= hi"), "{err}");
+    }
+
+    #[test]
+    fn run_renders_a_table_with_axis_columns() {
+        let out = call(&["run", "paper-fig5", "--reps", "4", "--threads", "2"]).expect("run works");
+        assert!(out.contains("paper-fig5"), "{out}");
+        assert!(out.contains("mean (s)"), "{out}");
+        assert!(out.contains("1 point(s), 4 replications"), "{out}");
+    }
+
+    #[test]
+    fn sweep_emits_csv_by_default_and_jsonl_on_request() {
+        let csv = call(&[
+            "sweep",
+            "paper-fig5",
+            "--axis",
+            "gain=0.2,0.8",
+            "--reps",
+            "3",
+        ]);
+        // paper-fig5 uses lbp1-optimal (gainless): the axis must be
+        // rejected with a helpful message, not silently ignored.
+        let err = csv.unwrap_err();
+        assert!(err.contains("no gain parameter"), "{err}");
+
+        let csv = call(&[
+            "sweep",
+            "paper-delay-crossover",
+            "--axis",
+            "failure-scale=0.5,1.0",
+            "--reps",
+            "3",
+            "--threads",
+            "2",
+        ])
+        .expect("sweep works");
+        assert!(
+            csv.starts_with("scenario,point,delay-per-task,failure-scale,"),
+            "{csv}"
+        );
+        assert_eq!(csv.lines().count(), 11, "5x2 grid + header:\n{csv}");
+
+        let jsonl =
+            call(&["run", "paper-fig5", "--reps", "3", "--format", "jsonl"]).expect("jsonl works");
+        assert!(jsonl.starts_with("{\"scenario\":\"paper-fig5\""), "{jsonl}");
+    }
+
+    #[test]
+    fn file_scenarios_load_and_run() {
+        let dir = std::env::temp_dir().join("churnbal_lab_cli_test");
+        std::fs::create_dir_all(&dir).expect("tmp dir");
+        let path = dir.join("custom.toml");
+        let mut sc = registry::get("hot-spare").expect("preset");
+        sc.name = "custom-hot-spare".into();
+        std::fs::write(&path, sc.to_toml()).expect("write");
+        let out = call(&["run", path.to_str().expect("utf8"), "--reps", "2"])
+            .expect("file scenario runs");
+        assert!(out.contains("custom-hot-spare"), "{out}");
+
+        std::fs::write(&path, "name = \"broken\"\n").expect("write");
+        let err = call(&["run", path.to_str().expect("utf8")]).unwrap_err();
+        assert!(err.contains("missing key `reps`"), "{err}");
+    }
+
+    #[test]
+    fn help_is_printed_without_arguments() {
+        let out = call(&[]).expect("usage");
+        assert!(out.contains("usage: churnbal-lab"), "{out}");
+    }
+}

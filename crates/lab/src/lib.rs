@@ -1,0 +1,51 @@
+//! # churnbal-lab
+//!
+//! The declarative scenario & sweep subsystem: experiments as data
+//! instead of `main()` functions.
+//!
+//! The paper's §4 is a handful of hard-coded parameter points; the lab
+//! turns every experiment the suite can simulate into a serializable
+//! [`Scenario`] — topology, per-node service/failure/recovery rates,
+//! arrival process, delay model, policy, replications and seed — that can
+//! be named, listed, dumped, edited, swept and reproduced:
+//!
+//! * [`toml`] — a hand-rolled TOML-subset document model, parser and
+//!   serializer (the environment is offline; no serde). Canonical output,
+//!   `parse ∘ serialize = id`, line-numbered errors.
+//! * [`scenario`] — the [`Scenario`] spec and its TOML mapping; builds
+//!   [`SystemConfig`](churnbal_cluster::SystemConfig)s and
+//!   [`PolicySpec`](churnbal_core::PolicySpec)-driven policies on demand.
+//! * [`registry`] — named presets: the paper baselines plus heterogeneous
+//!   speeds, hot-spare recovery, correlated/cascading failures, bursty
+//!   MMPP, diurnal and flash-crowd arrivals, volunteer churn.
+//! * [`sweep`] — grid expansion over axes (gain, failure/recovery scale,
+//!   arrival scale, delay, node count) and the deterministic parallel
+//!   runner: replications execute in parallel via `cluster::mc` with
+//!   `StreamFactory`-derived seeds, so CSV/JSON-lines output is
+//!   **bit-identical for any thread count**; every grid point shares the
+//!   master seed (common random numbers).
+//! * [`cli`] — the `churnbal-lab` binary: `list | show | run | sweep`.
+//!
+//! ```
+//! use churnbal_lab::{registry, sweep};
+//!
+//! let scenario = registry::get("flash-crowd").expect("registered");
+//! let est = sweep::run_scenario(
+//!     &scenario,
+//!     sweep::RunOptions { reps: Some(4), threads: 2, ..Default::default() },
+//! )
+//! .expect("valid scenario");
+//! assert_eq!(est.completion_times.len(), 4);
+//! ```
+
+pub mod cli;
+pub mod registry;
+pub mod scenario;
+pub mod sweep;
+pub mod toml;
+
+pub use scenario::{ArrivalsSpec, NetworkSpec, NodeSpec, Scenario};
+pub use sweep::{
+    apply_axis, expand_grid, run_scenario, run_sweep, Axis, AxisParam, RunOptions, SweepResult,
+    SweepRow,
+};

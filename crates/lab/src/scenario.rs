@@ -1,0 +1,804 @@
+//! The declarative experiment spec.
+//!
+//! A [`Scenario`] describes a complete experiment — topology, per-node
+//! service/failure/recovery rates, arrival process, delay model, policy,
+//! replication count and master seed, plus optional baked-in sweep axes —
+//! as plain data. It serializes to and from the lab's TOML subset
+//! ([`Scenario::to_toml`] / [`Scenario::from_toml`], round-trip-exact) and
+//! builds the simulator-facing [`SystemConfig`] on demand.
+
+use churnbal_cluster::{
+    ArrivalKind, ArrivalProcess, ChurnModel, DelayLaw, ExternalArrival, NetworkConfig, NodeConfig,
+    SystemConfig,
+};
+use churnbal_core::PolicySpec;
+
+use crate::sweep::{Axis, AxisParam};
+use crate::toml::{Doc, Table, Value};
+
+/// One node template; `count` identical nodes are instantiated.
+#[derive(Clone, Debug, PartialEq)]
+pub struct NodeSpec {
+    /// Service rate `λ_d` (tasks per second, positive).
+    pub service_rate: f64,
+    /// Failure rate `λ_f` (1/s, ≥ 0).
+    pub failure_rate: f64,
+    /// Recovery rate `λ_r` (1/s; positive when `failure_rate` is).
+    pub recovery_rate: f64,
+    /// Tasks queued at `t = 0` on each instance.
+    pub initial_tasks: u32,
+    /// How many identical nodes this template expands to (≥ 1).
+    pub count: u32,
+}
+
+impl NodeSpec {
+    /// A single node with the given parameters.
+    #[must_use]
+    pub fn new(
+        service_rate: f64,
+        failure_rate: f64,
+        recovery_rate: f64,
+        initial_tasks: u32,
+    ) -> Self {
+        Self {
+            service_rate,
+            failure_rate,
+            recovery_rate,
+            initial_tasks,
+            count: 1,
+        }
+    }
+
+    /// Expands the template to `count` instances.
+    #[must_use]
+    pub fn times(mut self, count: u32) -> Self {
+        self.count = count;
+        self
+    }
+}
+
+/// Network delay parameters.
+#[derive(Clone, Debug, PartialEq)]
+pub struct NetworkSpec {
+    /// Load-independent mean-delay component (seconds).
+    pub fixed: f64,
+    /// Mean seconds per transferred task.
+    pub per_task: f64,
+    /// Distributional shape.
+    pub law: DelayLaw,
+}
+
+/// External workload description.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ArrivalsSpec {
+    /// Closed system: only the initial workload.
+    None,
+    /// A fixed, fully deterministic arrival list.
+    Fixed(Vec<ExternalArrival>),
+    /// A stochastic arrival process sampled by the engine.
+    Process(ArrivalProcess),
+}
+
+/// A complete, serializable experiment description.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Scenario {
+    /// Registry/display name (kebab-case).
+    pub name: String,
+    /// One-line human description.
+    pub description: String,
+    /// Monte-Carlo replications (≥ 1).
+    pub reps: u64,
+    /// Master seed; replication `r` derives its streams from `(seed, r)`.
+    pub seed: u64,
+    /// Optional hard stop per replication (seconds).
+    pub deadline: Option<f64>,
+    /// Node templates (expanding to ≥ 2 nodes).
+    pub nodes: Vec<NodeSpec>,
+    /// Network parameters.
+    pub network: NetworkSpec,
+    /// External workload.
+    pub arrivals: ArrivalsSpec,
+    /// Failure-coupling model.
+    pub churn: ChurnModel,
+    /// The policy under test.
+    pub policy: PolicySpec,
+    /// Sweep axes baked into the scenario (may be empty).
+    pub axes: Vec<Axis>,
+}
+
+impl Scenario {
+    /// Validates the spec and materializes the simulator configuration.
+    ///
+    /// # Errors
+    /// Fails with a precise message naming the offending field.
+    pub fn system_config(&self) -> Result<SystemConfig, String> {
+        if self.reps == 0 {
+            return Err(format!("scenario {}: reps must be >= 1", self.name));
+        }
+        let mut nodes = Vec::new();
+        for (i, spec) in self.nodes.iter().enumerate() {
+            let ctx = format!("scenario {}: node template {i}", self.name);
+            if spec.count == 0 {
+                return Err(format!("{ctx}: count must be >= 1"));
+            }
+            if !(spec.service_rate.is_finite() && spec.service_rate > 0.0) {
+                return Err(format!(
+                    "{ctx}: service_rate must be positive, got {}",
+                    spec.service_rate
+                ));
+            }
+            if !(spec.failure_rate.is_finite() && spec.failure_rate >= 0.0) {
+                return Err(format!(
+                    "{ctx}: failure_rate must be >= 0, got {}",
+                    spec.failure_rate
+                ));
+            }
+            if !(spec.recovery_rate.is_finite() && spec.recovery_rate >= 0.0) {
+                return Err(format!(
+                    "{ctx}: recovery_rate must be >= 0, got {}",
+                    spec.recovery_rate
+                ));
+            }
+            if spec.failure_rate > 0.0 && spec.recovery_rate == 0.0 {
+                return Err(format!(
+                    "{ctx}: a node that fails (failure_rate {}) must recover \
+                     (recovery_rate is 0)",
+                    spec.failure_rate
+                ));
+            }
+            for _ in 0..spec.count {
+                nodes.push(NodeConfig::new(
+                    spec.service_rate,
+                    spec.failure_rate,
+                    spec.recovery_rate,
+                    spec.initial_tasks,
+                ));
+            }
+        }
+        if nodes.len() < 2 {
+            return Err(format!(
+                "scenario {}: needs at least two nodes, templates expand to {}",
+                self.name,
+                nodes.len()
+            ));
+        }
+        let net_ok = self.network.fixed.is_finite()
+            && self.network.fixed >= 0.0
+            && self.network.per_task.is_finite()
+            && self.network.per_task >= 0.0
+            && self.network.fixed + self.network.per_task > 0.0;
+        if !net_ok {
+            return Err(format!(
+                "scenario {}: network delay must be finite, non-negative and not \
+                 identically zero (fixed {}, per_task {})",
+                self.name, self.network.fixed, self.network.per_task
+            ));
+        }
+        if let Some(d) = self.deadline {
+            if !(d.is_finite() && d > 0.0) {
+                return Err(format!(
+                    "scenario {}: deadline must be positive, got {d}",
+                    self.name
+                ));
+            }
+        }
+        self.churn
+            .validate()
+            .map_err(|e| format!("scenario {}: {e}", self.name))?;
+        let mut config = SystemConfig::new(
+            nodes,
+            NetworkConfig::new(self.network.fixed, self.network.per_task, self.network.law),
+        )
+        .with_churn_model(self.churn.clone());
+        match &self.arrivals {
+            ArrivalsSpec::None => {}
+            ArrivalsSpec::Fixed(list) => {
+                for a in list {
+                    if a.node >= config.num_nodes() {
+                        return Err(format!(
+                            "scenario {}: fixed arrival targets unknown node {}",
+                            self.name, a.node
+                        ));
+                    }
+                    if !(a.time.is_finite() && a.time >= 0.0) {
+                        return Err(format!(
+                            "scenario {}: fixed arrival time must be >= 0, got {}",
+                            self.name, a.time
+                        ));
+                    }
+                }
+                config = config.with_external_arrivals(list.clone());
+            }
+            ArrivalsSpec::Process(p) => {
+                p.validate()
+                    .map_err(|e| format!("scenario {}: {e}", self.name))?;
+                config = config.with_arrival_process(p.clone());
+            }
+        }
+        self.policy
+            .validate_for(&config)
+            .map_err(|e| format!("scenario {}: {e}", self.name))?;
+        for axis in &self.axes {
+            axis.validate()
+                .map_err(|e| format!("scenario {}: {e}", self.name))?;
+        }
+        Ok(config)
+    }
+
+    /// Full validation without materializing (config + policy + axes).
+    ///
+    /// # Errors
+    /// Same conditions as [`Scenario::system_config`].
+    pub fn validate(&self) -> Result<(), String> {
+        self.system_config().map(|_| ())
+    }
+
+    /// Replication count under the common `--quick` convention
+    /// (a tenth of the spec, at least 10).
+    #[must_use]
+    pub fn quick_reps(&self) -> u64 {
+        (self.reps / 10).max(10)
+    }
+
+    // ---- TOML mapping -----------------------------------------------
+
+    /// Serializes to the lab's TOML subset (canonical form).
+    #[must_use]
+    pub fn to_toml(&self) -> String {
+        self.to_doc().serialize()
+    }
+
+    /// Parses a scenario from the lab's TOML subset.
+    ///
+    /// # Errors
+    /// Reports the first syntactic error with its line number, or the
+    /// first semantic error with its section and key.
+    pub fn from_toml(text: &str) -> Result<Self, String> {
+        Self::from_doc(&Doc::parse(text)?)
+    }
+
+    fn to_doc(&self) -> Doc {
+        let mut doc = Doc::default();
+        doc.root.set("name", Value::Str(self.name.clone()));
+        doc.root
+            .set("description", Value::Str(self.description.clone()));
+        doc.root.set("reps", Value::Int(self.reps as i64));
+        // Seeds use the full u64 space; they travel through the TOML
+        // subset's signed integers in two's complement (the parser casts
+        // back), so every seed value round-trips exactly.
+        doc.root.set("seed", Value::Int(self.seed as i64));
+        if let Some(d) = self.deadline {
+            doc.root.set("deadline", Value::Float(d));
+        }
+
+        let mut net = Table::new();
+        net.set("fixed", Value::Float(self.network.fixed));
+        net.set("per_task", Value::Float(self.network.per_task));
+        net.set("law", Value::Str(delay_law_name(self.network.law).into()));
+        doc.set_table("network", net);
+
+        let mut pol = Table::new();
+        pol.set("kind", Value::Str(self.policy.kind().into()));
+        match &self.policy {
+            PolicySpec::Lbp1 {
+                sender,
+                receiver,
+                gain,
+            } => {
+                pol.set("sender", Value::Int(*sender as i64));
+                pol.set("receiver", Value::Int(*receiver as i64));
+                pol.set("gain", Value::Float(*gain));
+            }
+            PolicySpec::Lbp2 { gain }
+            | PolicySpec::EpisodicLbp2 { gain }
+            | PolicySpec::InitialBalanceOnly { gain } => {
+                pol.set("gain", Value::Float(*gain));
+            }
+            _ => {}
+        }
+        doc.set_table("policy", pol);
+
+        let mut churn = Table::new();
+        match &self.churn {
+            ChurnModel::Independent => {
+                churn.set("kind", Value::Str("independent".into()));
+            }
+            ChurnModel::CorrelatedShocks {
+                shock_rate,
+                hit_probability,
+            } => {
+                churn.set("kind", Value::Str("correlated-shocks".into()));
+                churn.set("shock_rate", Value::Float(*shock_rate));
+                churn.set("hit_probability", Value::Float(*hit_probability));
+            }
+            ChurnModel::Cascading { amplification } => {
+                churn.set("kind", Value::Str("cascading".into()));
+                churn.set("amplification", Value::Float(*amplification));
+            }
+        }
+        doc.set_table("churn", churn);
+
+        let mut arr = Table::new();
+        match &self.arrivals {
+            ArrivalsSpec::None => arr.set("kind", Value::Str("none".into())),
+            ArrivalsSpec::Fixed(_) => arr.set("kind", Value::Str("fixed".into())),
+            ArrivalsSpec::Process(p) => {
+                match &p.kind {
+                    ArrivalKind::Poisson { rate } => {
+                        arr.set("kind", Value::Str("poisson".into()));
+                        arr.set("rate", Value::Float(*rate));
+                    }
+                    ArrivalKind::Mmpp {
+                        rates,
+                        switch_rates,
+                    } => {
+                        arr.set("kind", Value::Str("mmpp".into()));
+                        arr.set(
+                            "rates",
+                            Value::Array(rates.iter().map(|&x| Value::Float(x)).collect()),
+                        );
+                        arr.set(
+                            "switch_rates",
+                            Value::Array(switch_rates.iter().map(|&x| Value::Float(x)).collect()),
+                        );
+                    }
+                    ArrivalKind::Diurnal {
+                        base_rate,
+                        amplitude,
+                        period,
+                    } => {
+                        arr.set("kind", Value::Str("diurnal".into()));
+                        arr.set("base_rate", Value::Float(*base_rate));
+                        arr.set("amplitude", Value::Float(*amplitude));
+                        arr.set("period", Value::Float(*period));
+                    }
+                    ArrivalKind::FlashCrowd {
+                        base_rate,
+                        spike_start,
+                        spike_duration,
+                        spike_factor,
+                    } => {
+                        arr.set("kind", Value::Str("flash-crowd".into()));
+                        arr.set("base_rate", Value::Float(*base_rate));
+                        arr.set("spike_start", Value::Float(*spike_start));
+                        arr.set("spike_duration", Value::Float(*spike_duration));
+                        arr.set("spike_factor", Value::Float(*spike_factor));
+                    }
+                }
+                arr.set("batch_min", Value::Int(i64::from(p.batch_min)));
+                arr.set("batch_max", Value::Int(i64::from(p.batch_max)));
+                arr.set("horizon", Value::Float(p.horizon));
+            }
+        }
+        doc.set_table("arrivals", arr);
+
+        for n in &self.nodes {
+            let mut t = Table::new();
+            t.set("service_rate", Value::Float(n.service_rate));
+            t.set("failure_rate", Value::Float(n.failure_rate));
+            t.set("recovery_rate", Value::Float(n.recovery_rate));
+            t.set("initial_tasks", Value::Int(i64::from(n.initial_tasks)));
+            t.set("count", Value::Int(i64::from(n.count)));
+            doc.push_array("node", t);
+        }
+        if let ArrivalsSpec::Fixed(list) = &self.arrivals {
+            for a in list {
+                let mut t = Table::new();
+                t.set("time", Value::Float(a.time));
+                t.set("node", Value::Int(a.node as i64));
+                t.set("tasks", Value::Int(i64::from(a.tasks)));
+                doc.push_array("arrival", t);
+            }
+        }
+        for axis in &self.axes {
+            let mut t = Table::new();
+            t.set("param", Value::Str(axis.param.key().into()));
+            t.set(
+                "values",
+                Value::Array(axis.values.iter().map(|&x| Value::Float(x)).collect()),
+            );
+            doc.push_array("axis", t);
+        }
+        doc
+    }
+
+    fn from_doc(doc: &Doc) -> Result<Self, String> {
+        let name = req_str(&doc.root, "", "name")?;
+        let description = opt_str(&doc.root, "description").unwrap_or_default();
+        let reps = req_u64(&doc.root, "", "reps")?;
+        // Inverse of the two's-complement serialization in `to_doc`:
+        // negative literals map back to seeds above `i64::MAX`.
+        let seed = req_i64(&doc.root, "", "seed")? as u64;
+        let deadline = opt_f64(&doc.root, "", "deadline")?;
+
+        let net = doc
+            .table("network")
+            .ok_or("missing [network] table".to_string())?;
+        let network = NetworkSpec {
+            fixed: req_f64(net, "[network]", "fixed")?,
+            per_task: req_f64(net, "[network]", "per_task")?,
+            law: parse_delay_law(&req_str(net, "[network]", "law")?)?,
+        };
+
+        let mut nodes = Vec::new();
+        for (i, t) in doc.array("node").iter().enumerate() {
+            let ctx = format!("[[node]] #{}", i + 1);
+            nodes.push(NodeSpec {
+                service_rate: req_f64(t, &ctx, "service_rate")?,
+                failure_rate: req_f64(t, &ctx, "failure_rate")?,
+                recovery_rate: req_f64(t, &ctx, "recovery_rate")?,
+                initial_tasks: req_u32(t, &ctx, "initial_tasks")?,
+                count: match t.get("count") {
+                    Some(_) => req_u32(t, &ctx, "count")?,
+                    None => 1,
+                },
+            });
+        }
+        if nodes.is_empty() {
+            return Err("missing [[node]] tables (need at least two nodes)".into());
+        }
+
+        let pol = doc
+            .table("policy")
+            .ok_or("missing [policy] table".to_string())?;
+        let policy = parse_policy(pol)?;
+
+        let churn = match doc.table("churn") {
+            None => ChurnModel::Independent,
+            Some(t) => match req_str(t, "[churn]", "kind")?.as_str() {
+                "independent" => ChurnModel::Independent,
+                "correlated-shocks" => ChurnModel::CorrelatedShocks {
+                    shock_rate: req_f64(t, "[churn]", "shock_rate")?,
+                    hit_probability: req_f64(t, "[churn]", "hit_probability")?,
+                },
+                "cascading" => ChurnModel::Cascading {
+                    amplification: req_f64(t, "[churn]", "amplification")?,
+                },
+                other => {
+                    return Err(format!(
+                        "[churn].kind: unknown churn model \"{other}\" (expected independent \
+                         | correlated-shocks | cascading)"
+                    ))
+                }
+            },
+        };
+
+        let arrivals = match doc.table("arrivals") {
+            None => ArrivalsSpec::None,
+            Some(t) => parse_arrivals(t, doc)?,
+        };
+
+        let mut axes = Vec::new();
+        for (i, t) in doc.array("axis").iter().enumerate() {
+            let ctx = format!("[[axis]] #{}", i + 1);
+            let param = AxisParam::parse(&req_str(t, &ctx, "param")?)?;
+            let values = t
+                .get("values")
+                .ok_or(format!("{ctx}: missing key `values`"))?;
+            let Some(items) = values.as_array() else {
+                return Err(format!("{ctx}.values: expected an array"));
+            };
+            let mut vals = Vec::new();
+            for (j, v) in items.iter().enumerate() {
+                vals.push(
+                    v.as_f64()
+                        .ok_or(format!("{ctx}.values[{j}]: expected a number"))?,
+                );
+            }
+            axes.push(Axis {
+                param,
+                values: vals,
+            });
+        }
+
+        Ok(Self {
+            name,
+            description,
+            reps,
+            seed,
+            deadline,
+            nodes,
+            network,
+            arrivals,
+            churn,
+            policy,
+            axes,
+        })
+    }
+}
+
+fn delay_law_name(law: DelayLaw) -> &'static str {
+    match law {
+        DelayLaw::ExponentialBatch => "exponential-batch",
+        DelayLaw::ErlangPerTask => "erlang-per-task",
+        DelayLaw::DeterministicBatch => "deterministic-batch",
+    }
+}
+
+fn parse_delay_law(name: &str) -> Result<DelayLaw, String> {
+    match name {
+        "exponential-batch" => Ok(DelayLaw::ExponentialBatch),
+        "erlang-per-task" => Ok(DelayLaw::ErlangPerTask),
+        "deterministic-batch" => Ok(DelayLaw::DeterministicBatch),
+        other => Err(format!(
+            "[network].law: unknown delay law \"{other}\" (expected exponential-batch \
+             | erlang-per-task | deterministic-batch)"
+        )),
+    }
+}
+
+fn parse_policy(t: &Table) -> Result<PolicySpec, String> {
+    let kind = req_str(t, "[policy]", "kind")?;
+    match kind.as_str() {
+        "no-balancing" => Ok(PolicySpec::NoBalancing),
+        "lbp1" => Ok(PolicySpec::Lbp1 {
+            sender: req_usize(t, "[policy]", "sender")?,
+            receiver: req_usize(t, "[policy]", "receiver")?,
+            gain: req_f64(t, "[policy]", "gain")?,
+        }),
+        "lbp1-optimal" => Ok(PolicySpec::Lbp1Optimal),
+        "lbp2" => Ok(PolicySpec::Lbp2 {
+            gain: req_f64(t, "[policy]", "gain")?,
+        }),
+        "lbp2-optimal" => Ok(PolicySpec::Lbp2Optimal),
+        "episodic-lbp2" => Ok(PolicySpec::EpisodicLbp2 {
+            gain: req_f64(t, "[policy]", "gain")?,
+        }),
+        "dynamic-lbp1" => Ok(PolicySpec::DynamicLbp1),
+        "initial-only" => Ok(PolicySpec::InitialBalanceOnly {
+            gain: req_f64(t, "[policy]", "gain")?,
+        }),
+        "upon-failure-only" => Ok(PolicySpec::UponFailureOnly),
+        other => Err(format!(
+            "[policy].kind: unknown policy \"{other}\" (expected no-balancing | lbp1 \
+             | lbp1-optimal | lbp2 | lbp2-optimal | episodic-lbp2 | dynamic-lbp1 \
+             | initial-only | upon-failure-only)"
+        )),
+    }
+}
+
+fn parse_arrivals(t: &Table, doc: &Doc) -> Result<ArrivalsSpec, String> {
+    let kind = req_str(t, "[arrivals]", "kind")?;
+    let process_kind = match kind.as_str() {
+        "none" => return Ok(ArrivalsSpec::None),
+        "fixed" => {
+            let mut list = Vec::new();
+            for (i, a) in doc.array("arrival").iter().enumerate() {
+                let ctx = format!("[[arrival]] #{}", i + 1);
+                list.push(ExternalArrival {
+                    time: req_f64(a, &ctx, "time")?,
+                    node: req_usize(a, &ctx, "node")?,
+                    tasks: req_u32(a, &ctx, "tasks")?,
+                });
+            }
+            return Ok(ArrivalsSpec::Fixed(list));
+        }
+        "poisson" => ArrivalKind::Poisson {
+            rate: req_f64(t, "[arrivals]", "rate")?,
+        },
+        "mmpp" => ArrivalKind::Mmpp {
+            rates: req_f64_array(t, "[arrivals]", "rates")?,
+            switch_rates: req_f64_array(t, "[arrivals]", "switch_rates")?,
+        },
+        "diurnal" => ArrivalKind::Diurnal {
+            base_rate: req_f64(t, "[arrivals]", "base_rate")?,
+            amplitude: req_f64(t, "[arrivals]", "amplitude")?,
+            period: req_f64(t, "[arrivals]", "period")?,
+        },
+        "flash-crowd" => ArrivalKind::FlashCrowd {
+            base_rate: req_f64(t, "[arrivals]", "base_rate")?,
+            spike_start: req_f64(t, "[arrivals]", "spike_start")?,
+            spike_duration: req_f64(t, "[arrivals]", "spike_duration")?,
+            spike_factor: req_f64(t, "[arrivals]", "spike_factor")?,
+        },
+        other => {
+            return Err(format!(
+                "[arrivals].kind: unknown arrival process \"{other}\" (expected none | fixed \
+                 | poisson | mmpp | diurnal | flash-crowd)"
+            ))
+        }
+    };
+    Ok(ArrivalsSpec::Process(ArrivalProcess {
+        kind: process_kind,
+        batch_min: req_u32(t, "[arrivals]", "batch_min")?,
+        batch_max: req_u32(t, "[arrivals]", "batch_max")?,
+        horizon: req_f64(t, "[arrivals]", "horizon")?,
+    }))
+}
+
+// ---- typed field accessors with contextual errors ---------------------
+
+fn ctx_key(ctx: &str, key: &str) -> String {
+    if ctx.is_empty() {
+        format!("`{key}`")
+    } else {
+        format!("{ctx}.{key}")
+    }
+}
+
+fn req_str(t: &Table, ctx: &str, key: &str) -> Result<String, String> {
+    let v = t.get(key).ok_or(format!(
+        "{}: missing key `{key}`",
+        if ctx.is_empty() { "document root" } else { ctx }
+    ))?;
+    v.as_str()
+        .map(str::to_string)
+        .ok_or(format!("{}: expected a string", ctx_key(ctx, key)))
+}
+
+fn opt_str(t: &Table, key: &str) -> Option<String> {
+    t.get(key).and_then(|v| v.as_str()).map(str::to_string)
+}
+
+fn req_f64(t: &Table, ctx: &str, key: &str) -> Result<f64, String> {
+    let v = t.get(key).ok_or(format!(
+        "{}: missing key `{key}`",
+        if ctx.is_empty() { "document root" } else { ctx }
+    ))?;
+    v.as_f64()
+        .ok_or(format!("{}: expected a number", ctx_key(ctx, key)))
+}
+
+fn opt_f64(t: &Table, ctx: &str, key: &str) -> Result<Option<f64>, String> {
+    match t.get(key) {
+        None => Ok(None),
+        Some(v) => v
+            .as_f64()
+            .map(Some)
+            .ok_or(format!("{}: expected a number", ctx_key(ctx, key))),
+    }
+}
+
+fn req_i64(t: &Table, ctx: &str, key: &str) -> Result<i64, String> {
+    let v = t.get(key).ok_or(format!(
+        "{}: missing key `{key}`",
+        if ctx.is_empty() { "document root" } else { ctx }
+    ))?;
+    v.as_int()
+        .ok_or(format!("{}: expected an integer", ctx_key(ctx, key)))
+}
+
+fn req_u64(t: &Table, ctx: &str, key: &str) -> Result<u64, String> {
+    let i = req_i64(t, ctx, key)?;
+    u64::try_from(i).map_err(|_| format!("{}: must be >= 0, got {i}", ctx_key(ctx, key)))
+}
+
+fn req_u32(t: &Table, ctx: &str, key: &str) -> Result<u32, String> {
+    let i = req_i64(t, ctx, key)?;
+    u32::try_from(i).map_err(|_| {
+        format!(
+            "{}: must be between 0 and {}, got {i}",
+            ctx_key(ctx, key),
+            u32::MAX
+        )
+    })
+}
+
+fn req_usize(t: &Table, ctx: &str, key: &str) -> Result<usize, String> {
+    let i = req_i64(t, ctx, key)?;
+    usize::try_from(i).map_err(|_| format!("{}: must be >= 0, got {i}", ctx_key(ctx, key)))
+}
+
+fn req_f64_array(t: &Table, ctx: &str, key: &str) -> Result<Vec<f64>, String> {
+    let v = t.get(key).ok_or(format!("{ctx}: missing key `{key}`"))?;
+    let Some(items) = v.as_array() else {
+        return Err(format!(
+            "{}: expected an array of numbers",
+            ctx_key(ctx, key)
+        ));
+    };
+    items
+        .iter()
+        .enumerate()
+        .map(|(i, x)| {
+            x.as_f64()
+                .ok_or(format!("{}[{i}]: expected a number", ctx_key(ctx, key)))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry;
+
+    #[test]
+    fn toml_round_trip_is_identity_for_presets() {
+        for name in registry::names() {
+            let sc = registry::get(name).expect("preset exists");
+            let text = sc.to_toml();
+            let back = Scenario::from_toml(&text)
+                .unwrap_or_else(|e| panic!("{name}: reparse failed: {e}\n{text}"));
+            assert_eq!(sc, back, "{name}: round trip changed the scenario");
+        }
+    }
+
+    #[test]
+    fn semantic_errors_name_section_and_key() {
+        let base = registry::get("paper-fig3").expect("preset").to_toml();
+        // Drop the [network] table.
+        let text = base
+            .lines()
+            .filter(|l| !l.starts_with("[network]") && !l.contains("per_task"))
+            .collect::<Vec<_>>()
+            .join("\n");
+        let err = Scenario::from_toml(&text).unwrap_err();
+        assert!(
+            err.contains("[network]") || err.contains("missing [network]"),
+            "{err}"
+        );
+
+        let err = Scenario::from_toml("name = \"x\"\nseed = 1\n").unwrap_err();
+        assert!(err.contains("missing key `reps`"), "{err}");
+
+        let bad_policy = base.replace("kind = \"lbp1\"", "kind = \"lbp3\"");
+        let err = Scenario::from_toml(&bad_policy).unwrap_err();
+        assert!(err.contains("unknown policy \"lbp3\""), "{err}");
+
+        let bad_law = base.replace("law = \"exponential-batch\"", "law = \"gamma\"");
+        let err = Scenario::from_toml(&bad_law).unwrap_err();
+        assert!(err.contains("unknown delay law \"gamma\""), "{err}");
+
+        let bad_reps = base.replace("reps = 500", "reps = -4");
+        let err = Scenario::from_toml(&bad_reps).unwrap_err();
+        assert!(err.contains("`reps`") && err.contains(">= 0"), "{err}");
+    }
+
+    #[test]
+    fn config_validation_reports_precise_messages() {
+        let mut sc = registry::get("paper-fig3").expect("preset");
+        sc.nodes[0].service_rate = -1.0;
+        let err = sc.validate().unwrap_err();
+        assert!(err.contains("service_rate must be positive"), "{err}");
+
+        let mut sc = registry::get("paper-fig3").expect("preset");
+        sc.nodes[0].recovery_rate = 0.0;
+        let err = sc.validate().unwrap_err();
+        assert!(err.contains("must recover"), "{err}");
+
+        let mut sc = registry::get("paper-fig3").expect("preset");
+        sc.nodes.truncate(1);
+        sc.nodes[0].count = 1;
+        let err = sc.validate().unwrap_err();
+        assert!(err.contains("at least two nodes"), "{err}");
+
+        let mut sc = registry::get("paper-fig3").expect("preset");
+        sc.reps = 0;
+        let err = sc.validate().unwrap_err();
+        assert!(err.contains("reps must be >= 1"), "{err}");
+    }
+
+    #[test]
+    fn node_templates_expand_by_count() {
+        let mut sc = registry::get("paper-fig3").expect("preset");
+        sc.nodes = vec![
+            NodeSpec::new(1.0, 0.0, 0.0, 10).times(3),
+            NodeSpec::new(2.0, 0.0, 0.0, 0),
+        ];
+        sc.policy = PolicySpec::Lbp2 { gain: 1.0 };
+        sc.axes.clear();
+        let cfg = sc.system_config().expect("valid");
+        assert_eq!(cfg.num_nodes(), 4);
+        assert_eq!(cfg.nodes[2].service_rate, 1.0);
+        assert_eq!(cfg.nodes[3].service_rate, 2.0);
+    }
+
+    #[test]
+    fn full_u64_seed_range_round_trips() {
+        for seed in [0u64, 1, i64::MAX as u64, i64::MAX as u64 + 1, u64::MAX] {
+            let mut sc = registry::get("paper-fig5").expect("preset");
+            sc.seed = seed;
+            let back =
+                Scenario::from_toml(&sc.to_toml()).unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+            assert_eq!(back.seed, seed);
+        }
+    }
+
+    #[test]
+    fn missing_count_defaults_to_one_when_parsing() {
+        let sc = registry::get("paper-fig3").expect("preset");
+        let text = sc.to_toml().replace("count = 1\n", "");
+        let back = Scenario::from_toml(&text).expect("parses");
+        assert_eq!(back.nodes[0].count, 1);
+    }
+}

@@ -1,0 +1,710 @@
+//! Grid expansion and the deterministic parallel sweep runner.
+//!
+//! A sweep takes a [`Scenario`], grid-expands it over axes (the scenario's
+//! baked-in [`Scenario::axes`] plus any extra ones), runs every grid point
+//! through [`churnbal_cluster::mc::run_replications`] — replications in
+//! parallel, with per-replication streams derived from the scenario seed —
+//! and renders the results as CSV or JSON-lines.
+//!
+//! Two determinism guarantees, both pinned by tests:
+//!
+//! * output is **bit-identical for any worker thread count** (inherited
+//!   from the Monte-Carlo runner's pre-assigned replication streams), and
+//! * every grid point reuses the **same master seed** (common random
+//!   numbers), so differences along an axis are not masked by sampling
+//!   noise — exactly how the paper compares policies across gains.
+
+use churnbal_cluster::mc::{run_replications, McEstimate};
+use churnbal_cluster::{ArrivalKind, SimOptions};
+
+use crate::scenario::{ArrivalsSpec, Scenario};
+
+/// A sweepable scenario parameter.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AxisParam {
+    /// The policy gain `K` (policies with a gain parameter only).
+    Gain,
+    /// Multiplies every node's failure rate.
+    FailureScale,
+    /// Multiplies every node's recovery rate.
+    RecoveryScale,
+    /// Multiplies the arrival process's rate(s).
+    ArrivalScale,
+    /// Sets the network's mean per-task delay (seconds).
+    DelayPerTask,
+    /// Sets the total node count by resizing the last node template.
+    NodeCount,
+}
+
+impl AxisParam {
+    /// All parameters, for help text.
+    pub const ALL: [Self; 6] = [
+        Self::Gain,
+        Self::FailureScale,
+        Self::RecoveryScale,
+        Self::ArrivalScale,
+        Self::DelayPerTask,
+        Self::NodeCount,
+    ];
+
+    /// Stable kebab-case key (CLI flag value and TOML/CSV column name).
+    #[must_use]
+    pub fn key(self) -> &'static str {
+        match self {
+            Self::Gain => "gain",
+            Self::FailureScale => "failure-scale",
+            Self::RecoveryScale => "recovery-scale",
+            Self::ArrivalScale => "arrival-scale",
+            Self::DelayPerTask => "delay-per-task",
+            Self::NodeCount => "node-count",
+        }
+    }
+
+    /// Parses a key.
+    ///
+    /// # Errors
+    /// Lists the known parameters when the key is unknown.
+    pub fn parse(key: &str) -> Result<Self, String> {
+        Self::ALL
+            .into_iter()
+            .find(|p| p.key() == key)
+            .ok_or_else(|| {
+                let known: Vec<&str> = Self::ALL.iter().map(|p| p.key()).collect();
+                format!(
+                    "unknown sweep parameter \"{key}\" (known: {})",
+                    known.join(" | ")
+                )
+            })
+    }
+}
+
+/// One sweep axis: a parameter and the values it takes.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Axis {
+    /// The swept parameter.
+    pub param: AxisParam,
+    /// The grid values (non-empty, finite).
+    pub values: Vec<f64>,
+}
+
+impl Axis {
+    /// Checks the axis is non-empty with finite values.
+    ///
+    /// # Errors
+    /// Names the axis parameter in the message.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.values.is_empty() {
+            return Err(format!(
+                "axis {}: needs at least one value",
+                self.param.key()
+            ));
+        }
+        if let Some(v) = self.values.iter().find(|v| !v.is_finite()) {
+            return Err(format!("axis {}: non-finite value {v}", self.param.key()));
+        }
+        Ok(())
+    }
+}
+
+/// Rewrites a scenario for one axis value.
+///
+/// # Errors
+/// Fails when the parameter does not apply to this scenario (e.g. a gain
+/// axis on a gainless policy) or the value is out of range.
+pub fn apply_axis(scenario: &Scenario, param: AxisParam, value: f64) -> Result<Scenario, String> {
+    let mut sc = scenario.clone();
+    match param {
+        AxisParam::Gain => {
+            sc.policy = sc.policy.with_gain(value)?;
+        }
+        AxisParam::FailureScale => {
+            if !(value.is_finite() && value >= 0.0) {
+                return Err(format!("failure-scale must be >= 0, got {value}"));
+            }
+            for n in &mut sc.nodes {
+                n.failure_rate *= value;
+            }
+        }
+        AxisParam::RecoveryScale => {
+            if !(value.is_finite() && value > 0.0) {
+                return Err(format!("recovery-scale must be positive, got {value}"));
+            }
+            for n in &mut sc.nodes {
+                n.recovery_rate *= value;
+            }
+        }
+        AxisParam::ArrivalScale => {
+            if !(value.is_finite() && value > 0.0) {
+                return Err(format!("arrival-scale must be positive, got {value}"));
+            }
+            let ArrivalsSpec::Process(p) = &mut sc.arrivals else {
+                return Err(
+                    "arrival-scale requires a stochastic arrival process in the scenario".into(),
+                );
+            };
+            match &mut p.kind {
+                ArrivalKind::Poisson { rate } => *rate *= value,
+                ArrivalKind::Mmpp { rates, .. } => {
+                    for r in rates {
+                        *r *= value;
+                    }
+                }
+                ArrivalKind::Diurnal { base_rate, .. }
+                | ArrivalKind::FlashCrowd { base_rate, .. } => *base_rate *= value,
+            }
+        }
+        AxisParam::DelayPerTask => {
+            if !(value.is_finite() && value >= 0.0) {
+                return Err(format!("delay-per-task must be >= 0, got {value}"));
+            }
+            sc.network.per_task = value;
+        }
+        AxisParam::NodeCount => {
+            let n = value.round();
+            if (value - n).abs() > 1e-9 || !(2.0..=4096.0).contains(&n) {
+                return Err(format!(
+                    "node-count must be an integer in [2, 4096], got {value}"
+                ));
+            }
+            let want = n as u32;
+            let fixed: u32 = sc.nodes[..sc.nodes.len() - 1].iter().map(|t| t.count).sum();
+            let last = sc.nodes.last_mut().expect("scenarios have node templates");
+            if want <= fixed {
+                return Err(format!(
+                    "node-count {want} would leave no instance of the last node template \
+                     ({fixed} nodes come from the preceding templates)"
+                ));
+            }
+            last.count = want - fixed;
+        }
+    }
+    // The rewritten scenario must still be internally consistent.
+    sc.validate()?;
+    Ok(sc)
+}
+
+/// One point of the expanded grid.
+#[derive(Clone, Debug)]
+pub struct GridPoint {
+    /// Row-major index in the expanded grid.
+    pub index: usize,
+    /// Axis coordinates of this point, in axis order.
+    pub coords: Vec<(AxisParam, f64)>,
+    /// The fully rewritten scenario.
+    pub scenario: Scenario,
+}
+
+/// Expands a scenario over its baked-in axes plus `extra` axes, row-major
+/// with the **last** axis varying fastest.
+///
+/// # Errors
+/// Propagates axis-validation and axis-application failures.
+pub fn expand_grid(scenario: &Scenario, extra: &[Axis]) -> Result<Vec<GridPoint>, String> {
+    let mut axes: Vec<Axis> = scenario.axes.clone();
+    axes.extend_from_slice(extra);
+    for axis in &axes {
+        axis.validate()?;
+    }
+    if axes.is_empty() {
+        return Ok(vec![GridPoint {
+            index: 0,
+            coords: Vec::new(),
+            scenario: scenario.clone(),
+        }]);
+    }
+    let total: usize = axes.iter().map(|a| a.values.len()).product();
+    let mut points = Vec::with_capacity(total);
+    for index in 0..total {
+        let mut rem = index;
+        let mut coords = Vec::with_capacity(axes.len());
+        // Row-major decode: later axes vary fastest.
+        for axis in axes.iter().rev() {
+            let k = rem % axis.values.len();
+            rem /= axis.values.len();
+            coords.push((axis.param, axis.values[k]));
+        }
+        coords.reverse();
+        let mut sc = scenario.clone();
+        sc.axes.clear();
+        for &(param, value) in &coords {
+            sc = apply_axis(&sc, param, value)?;
+        }
+        points.push(GridPoint {
+            index,
+            coords,
+            scenario: sc,
+        });
+    }
+    Ok(points)
+}
+
+/// Execution options shared by `run` and `sweep`.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct RunOptions {
+    /// Overrides the scenario's replication count.
+    pub reps: Option<u64>,
+    /// Overrides the scenario's master seed.
+    pub seed: Option<u64>,
+    /// `--quick`: a tenth of the replications (at least 10).
+    pub quick: bool,
+    /// Worker threads for the Monte-Carlo runner (0 = auto).
+    pub threads: usize,
+}
+
+impl RunOptions {
+    fn effective_reps(self, scenario: &Scenario) -> u64 {
+        match self.reps {
+            Some(r) => r,
+            None if self.quick => scenario.quick_reps(),
+            None => scenario.reps,
+        }
+    }
+}
+
+/// Runs one (already rewritten) scenario and returns the raw estimate.
+///
+/// # Errors
+/// Propagates scenario/policy validation failures.
+pub fn run_scenario(scenario: &Scenario, options: RunOptions) -> Result<McEstimate, String> {
+    let config = scenario.system_config()?;
+    // Validate the policy once up front so the per-replication closure
+    // cannot fail.
+    scenario.policy.build(&config)?;
+    let reps = options.effective_reps(scenario).max(1);
+    let seed = options.seed.unwrap_or(scenario.seed);
+    let sim = SimOptions {
+        record_trace: false,
+        deadline: scenario.deadline,
+    };
+    let policy = &scenario.policy;
+    Ok(run_replications(
+        &config,
+        &|_| policy.build(&config).expect("validated above"),
+        reps,
+        seed,
+        options.threads,
+        sim,
+    ))
+}
+
+/// One result row of a sweep.
+#[derive(Clone, Debug)]
+pub struct SweepRow {
+    /// Grid-point index.
+    pub index: usize,
+    /// Axis coordinates, in axis order.
+    pub coords: Vec<(AxisParam, f64)>,
+    /// Replications actually run.
+    pub reps: u64,
+    /// Master seed used.
+    pub seed: u64,
+    /// Policy kind identifier.
+    pub policy: String,
+    /// Mean overall completion time (s).
+    pub mean_completion: f64,
+    /// 95% confidence half-width of the mean.
+    pub ci95: f64,
+    /// Sample standard deviation of the completion time.
+    pub sd_completion: f64,
+    /// Mean failures per replication.
+    pub mean_failures: f64,
+    /// Sample standard deviation of failures per replication.
+    pub sd_failures: f64,
+    /// Mean tasks shipped per replication.
+    pub mean_tasks_shipped: f64,
+    /// Sample standard deviation of tasks shipped per replication.
+    pub sd_tasks_shipped: f64,
+    /// Replications that hit the deadline without completing.
+    pub incomplete: u64,
+}
+
+/// The full outcome of a sweep: the axis schema plus one row per point.
+#[derive(Clone, Debug)]
+pub struct SweepResult {
+    /// Scenario name.
+    pub scenario: String,
+    /// Axis parameters, in column order.
+    pub axes: Vec<AxisParam>,
+    /// One row per grid point, in grid order.
+    pub rows: Vec<SweepRow>,
+}
+
+/// Sample standard deviation (n − 1 denominator; 0 for n < 2).
+fn sample_sd(xs: impl Iterator<Item = f64> + Clone) -> f64 {
+    let n = xs.clone().count();
+    if n < 2 {
+        return 0.0;
+    }
+    let mean = xs.clone().sum::<f64>() / n as f64;
+    let ss: f64 = xs.map(|x| (x - mean) * (x - mean)).sum();
+    (ss / (n - 1) as f64).sqrt()
+}
+
+/// Grid-expands and runs a sweep. Every point runs its replications in
+/// parallel via the Monte-Carlo runner; rows come back in grid order and
+/// are bit-identical for any `threads` value.
+///
+/// # Errors
+/// Propagates expansion and execution failures.
+pub fn run_sweep(
+    scenario: &Scenario,
+    extra_axes: &[Axis],
+    options: RunOptions,
+) -> Result<SweepResult, String> {
+    let points = expand_grid(scenario, extra_axes)?;
+    let axes: Vec<AxisParam> = points
+        .first()
+        .map(|p| p.coords.iter().map(|&(a, _)| a).collect())
+        .unwrap_or_default();
+    let mut rows = Vec::with_capacity(points.len());
+    for point in points {
+        let est = run_scenario(&point.scenario, options)?;
+        rows.push(SweepRow {
+            index: point.index,
+            coords: point.coords,
+            reps: options.effective_reps(&point.scenario).max(1),
+            seed: options.seed.unwrap_or(point.scenario.seed),
+            policy: point.scenario.policy.kind().to_string(),
+            mean_completion: est.mean(),
+            ci95: est.ci95(),
+            sd_completion: sample_sd(est.completion_times.iter().copied()),
+            mean_failures: est.mean_failures,
+            sd_failures: sample_sd(est.failures_per_rep.iter().map(|&x| x as f64)),
+            mean_tasks_shipped: est.mean_tasks_shipped,
+            sd_tasks_shipped: sample_sd(est.tasks_shipped_per_rep.iter().map(|&x| x as f64)),
+            incomplete: est.incomplete,
+        });
+    }
+    Ok(SweepResult {
+        scenario: scenario.name.clone(),
+        axes,
+        rows,
+    })
+}
+
+/// Formats a float for machine-readable output: Rust's shortest
+/// round-trip representation, so equal numbers always yield equal bytes.
+fn fnum(x: f64) -> String {
+    format!("{x:?}")
+}
+
+/// RFC 4180 field quoting: wraps fields containing separators, quotes or
+/// line breaks, doubling embedded quotes. Scenario names are user data.
+fn csv_field(s: &str) -> String {
+    if s.contains(['"', ',', '\n', '\r']) {
+        format!("\"{}\"", s.replace('"', "\"\""))
+    } else {
+        s.to_string()
+    }
+}
+
+/// JSON string escaping for user data (quotes, backslashes, controls).
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = std::fmt::Write::write_fmt(&mut out, format_args!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+impl SweepResult {
+    /// Renders the sweep as CSV (header + one line per grid point).
+    #[must_use]
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("scenario,point");
+        for a in &self.axes {
+            out.push(',');
+            out.push_str(a.key());
+        }
+        out.push_str(
+            ",policy,reps,seed,mean_completion,ci95,sd_completion,mean_failures,\
+             sd_failures,mean_tasks_shipped,sd_tasks_shipped,incomplete\n",
+        );
+        for r in &self.rows {
+            out.push_str(&csv_field(&self.scenario));
+            out.push(',');
+            out.push_str(&r.index.to_string());
+            for &(_, v) in &r.coords {
+                out.push(',');
+                out.push_str(&fnum(v));
+            }
+            let tail = [
+                csv_field(&r.policy),
+                r.reps.to_string(),
+                r.seed.to_string(),
+                fnum(r.mean_completion),
+                fnum(r.ci95),
+                fnum(r.sd_completion),
+                fnum(r.mean_failures),
+                fnum(r.sd_failures),
+                fnum(r.mean_tasks_shipped),
+                fnum(r.sd_tasks_shipped),
+                r.incomplete.to_string(),
+            ];
+            for cell in tail {
+                out.push(',');
+                out.push_str(&cell);
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Renders the sweep as JSON-lines (one object per grid point).
+    #[must_use]
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        for r in &self.rows {
+            out.push_str(&format!(
+                "{{\"scenario\":{},\"point\":{}",
+                json_string(&self.scenario),
+                r.index
+            ));
+            for &(a, v) in &r.coords {
+                out.push_str(&format!(",\"{}\":{}", a.key(), fnum(v)));
+            }
+            out.push_str(&format!(
+                ",\"policy\":{},\"reps\":{},\"seed\":{},\"mean_completion\":{},\
+                 \"ci95\":{},\"sd_completion\":{},\"mean_failures\":{},\"sd_failures\":{},\
+                 \"mean_tasks_shipped\":{},\"sd_tasks_shipped\":{},\"incomplete\":{}}}\n",
+                json_string(&r.policy),
+                r.reps,
+                r.seed,
+                fnum(r.mean_completion),
+                fnum(r.ci95),
+                fnum(r.sd_completion),
+                fnum(r.mean_failures),
+                fnum(r.sd_failures),
+                fnum(r.mean_tasks_shipped),
+                fnum(r.sd_tasks_shipped),
+                r.incomplete
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry;
+
+    #[test]
+    fn grid_expansion_is_row_major_with_last_axis_fastest() {
+        let mut sc = registry::get("paper-fig3").expect("preset");
+        sc.axes = vec![
+            Axis {
+                param: AxisParam::FailureScale,
+                values: vec![1.0, 2.0],
+            },
+            Axis {
+                param: AxisParam::Gain,
+                values: vec![0.0, 0.5, 1.0],
+            },
+        ];
+        let grid = expand_grid(&sc, &[]).expect("expands");
+        assert_eq!(grid.len(), 6);
+        let coords: Vec<(f64, f64)> = grid
+            .iter()
+            .map(|p| (p.coords[0].1, p.coords[1].1))
+            .collect();
+        assert_eq!(
+            coords,
+            vec![
+                (1.0, 0.0),
+                (1.0, 0.5),
+                (1.0, 1.0),
+                (2.0, 0.0),
+                (2.0, 0.5),
+                (2.0, 1.0)
+            ]
+        );
+        assert_eq!(grid[3].index, 3);
+        // The rewrites really land in the scenario.
+        assert_eq!(grid[5].scenario.policy.gain(), Some(1.0));
+        assert_eq!(grid[5].scenario.nodes[0].failure_rate, 2.0 * (1.0 / 20.0));
+    }
+
+    #[test]
+    fn gain_axis_on_gainless_policy_is_rejected() {
+        let mut sc = registry::get("paper-fig3").expect("preset");
+        sc.policy = churnbal_core::PolicySpec::NoBalancing;
+        sc.axes = vec![Axis {
+            param: AxisParam::Gain,
+            values: vec![0.5],
+        }];
+        let err = expand_grid(&sc, &[]).unwrap_err();
+        assert!(err.contains("no gain parameter"), "{err}");
+    }
+
+    #[test]
+    fn arrival_scale_requires_a_process() {
+        let sc = registry::get("paper-fig3").expect("preset");
+        let err = apply_axis(&sc, AxisParam::ArrivalScale, 2.0).unwrap_err();
+        assert!(err.contains("arrival process"), "{err}");
+        let bursty = registry::get("mmpp-bursty").expect("preset");
+        let scaled = apply_axis(&bursty, AxisParam::ArrivalScale, 2.0).expect("ok");
+        let (a, b) = match (&bursty.arrivals, &scaled.arrivals) {
+            (
+                crate::scenario::ArrivalsSpec::Process(p),
+                crate::scenario::ArrivalsSpec::Process(q),
+            ) => (p, q),
+            _ => panic!("both scenarios carry processes"),
+        };
+        let (ArrivalKind::Mmpp { rates: ra, .. }, ArrivalKind::Mmpp { rates: rb, .. }) =
+            (&a.kind, &b.kind)
+        else {
+            panic!("mmpp preset")
+        };
+        assert_eq!(rb[0], 2.0 * ra[0]);
+    }
+
+    #[test]
+    fn node_count_axis_resizes_the_last_template() {
+        let sc = registry::get("volunteer-grid").expect("preset");
+        let grown = apply_axis(&sc, AxisParam::NodeCount, 12.0).expect("ok");
+        let total: u32 = grown.nodes.iter().map(|t| t.count).sum();
+        assert_eq!(total, 12);
+        let err = apply_axis(&sc, AxisParam::NodeCount, 2.5).unwrap_err();
+        assert!(err.contains("integer"), "{err}");
+    }
+
+    #[test]
+    fn run_scenario_equals_direct_replications() {
+        use churnbal_cluster::{run_replications, SimOptions, SystemConfig};
+        use churnbal_core::Lbp2;
+        let sc = registry::get("paper-delay-crossover").expect("preset");
+        let point = apply_axis(&sc, AxisParam::DelayPerTask, 0.02).expect("ok");
+        let mut plain = point.clone();
+        plain.axes.clear();
+        let est = run_scenario(
+            &plain,
+            RunOptions {
+                reps: Some(16),
+                threads: 2,
+                ..RunOptions::default()
+            },
+        )
+        .expect("runs");
+        let mut cfg = SystemConfig::paper([100, 60]);
+        cfg.network = churnbal_cluster::NetworkConfig::exponential(0.02);
+        let direct = run_replications(
+            &cfg,
+            &|_| Lbp2::new(1.0),
+            16,
+            sc.seed,
+            3,
+            SimOptions::default(),
+        );
+        assert_eq!(est.completion_times, direct.completion_times);
+    }
+
+    #[test]
+    fn sweep_csv_is_bit_identical_across_thread_counts() {
+        let sc = registry::get("mmpp-bursty").expect("preset");
+        let axes = vec![
+            Axis {
+                param: AxisParam::Gain,
+                values: vec![0.5, 1.0],
+            },
+            Axis {
+                param: AxisParam::FailureScale,
+                values: vec![0.5, 1.5],
+            },
+        ];
+        let csv = |threads: usize| {
+            run_sweep(
+                &sc,
+                &axes,
+                RunOptions {
+                    reps: Some(6),
+                    threads,
+                    ..RunOptions::default()
+                },
+            )
+            .expect("sweep runs")
+            .to_csv()
+        };
+        let one = csv(1);
+        assert_eq!(one, csv(4), "4 threads changed the CSV bytes");
+        assert_eq!(one, csv(7), "7 threads changed the CSV bytes");
+        // Shape: header + 4 grid points, with both axis columns present.
+        assert_eq!(one.lines().count(), 5, "{one}");
+        assert!(
+            one.starts_with("scenario,point,gain,failure-scale,policy,"),
+            "{one}"
+        );
+    }
+
+    #[test]
+    fn jsonl_has_one_parseable_looking_object_per_point() {
+        let sc = registry::get("paper-fig3").expect("preset");
+        let result = run_sweep(
+            &sc,
+            &[],
+            RunOptions {
+                reps: Some(2),
+                threads: 1,
+                ..RunOptions::default()
+            },
+        )
+        .expect("sweep runs");
+        let jsonl = result.to_jsonl();
+        assert_eq!(jsonl.lines().count(), 21, "one line per gain value");
+        for line in jsonl.lines() {
+            assert!(line.starts_with("{\"scenario\":\"paper-fig3\""), "{line}");
+            assert!(line.ends_with('}'), "{line}");
+            assert!(line.contains("\"gain\":"), "{line}");
+        }
+    }
+
+    #[test]
+    fn hostile_scenario_names_are_escaped_in_csv_and_jsonl() {
+        let mut sc = registry::get("paper-fig5").expect("preset");
+        sc.name = "run \"A\", phase\n2".into();
+        let result = run_sweep(
+            &sc,
+            &[],
+            RunOptions {
+                reps: Some(2),
+                threads: 1,
+                ..RunOptions::default()
+            },
+        )
+        .expect("runs");
+        let csv = result.to_csv();
+        let data_line = csv.lines().nth(1).expect("one data row").to_string()
+            + "\n"
+            + csv.lines().nth(2).unwrap_or("");
+        assert!(
+            data_line.starts_with("\"run \"\"A\"\", phase\n2\","),
+            "RFC 4180 quoting expected:\n{csv}"
+        );
+        let jsonl = result.to_jsonl();
+        assert!(
+            jsonl.starts_with("{\"scenario\":\"run \\\"A\\\", phase\\n2\","),
+            "JSON escaping expected:\n{jsonl}"
+        );
+        assert_eq!(jsonl.lines().count(), 1, "escapes keep one line per row");
+    }
+
+    #[test]
+    fn sample_sd_matches_hand_computation() {
+        assert_eq!(sample_sd([].iter().copied()), 0.0);
+        assert_eq!(sample_sd([4.0].iter().copied()), 0.0);
+        let sd = sample_sd([2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0].iter().copied());
+        assert!((sd - 2.138_089_935_299_395).abs() < 1e-12, "{sd}");
+    }
+}

@@ -1,0 +1,629 @@
+//! A hand-rolled TOML-subset document model, parser and serializer.
+//!
+//! The build environment is offline (no serde/toml crates), so the lab
+//! carries its own minimal dialect — exactly what scenario files need and
+//! nothing more:
+//!
+//! * root-level and `[table]` sections of `key = value` pairs,
+//! * `[[array-of-tables]]` sections,
+//! * values: strings (`"..."` with `\" \\ \n \t` escapes), integers,
+//!   floats, booleans, and single-line arrays of those scalars,
+//! * `#` comments (also trailing) and blank lines.
+//!
+//! Not supported (and rejected with a clear error): dotted/quoted keys,
+//! nested arrays, inline tables, multi-line strings and dates.
+//!
+//! The serializer emits a canonical form that the parser maps back to an
+//! identical document — `parse ∘ serialize = id`, pinned by property
+//! tests. Floats are printed with Rust's shortest-round-trip formatting,
+//! so numeric values survive the trip bit-exactly.
+
+use std::fmt::Write as _;
+
+/// A scalar or array value.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    /// A quoted string.
+    Str(String),
+    /// A 64-bit signed integer (no `.`, `e` or `E` in the literal).
+    Int(i64),
+    /// A finite 64-bit float.
+    Float(f64),
+    /// `true` / `false`.
+    Bool(bool),
+    /// A single-line array of scalars.
+    Array(Vec<Value>),
+}
+
+impl Value {
+    /// String content, if this is a string.
+    #[must_use]
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Self::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Integer content, if this is an integer.
+    #[must_use]
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Self::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// Numeric content as `f64` (integers coerce).
+    #[must_use]
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Self::Float(x) => Some(*x),
+            Self::Int(i) => Some(*i as f64),
+            _ => None,
+        }
+    }
+
+    /// Boolean content, if this is a boolean.
+    #[must_use]
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Self::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Array elements, if this is an array.
+    #[must_use]
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Self::Array(xs) => Some(xs),
+            _ => None,
+        }
+    }
+}
+
+/// An ordered `key = value` section.
+#[derive(Clone, Debug, PartialEq, Default)]
+pub struct Table {
+    pairs: Vec<(String, Value)>,
+}
+
+impl Table {
+    /// An empty table.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Looks a key up.
+    #[must_use]
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+
+    /// Appends or replaces a key.
+    pub fn set(&mut self, key: impl Into<String>, value: Value) {
+        let key = key.into();
+        if let Some(slot) = self.pairs.iter_mut().find(|(k, _)| *k == key) {
+            slot.1 = value;
+        } else {
+            self.pairs.push((key, value));
+        }
+    }
+
+    /// Iterates pairs in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &Value)> {
+        self.pairs.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// All keys, in insertion order.
+    #[must_use]
+    pub fn keys(&self) -> Vec<&str> {
+        self.pairs.iter().map(|(k, _)| k.as_str()).collect()
+    }
+
+    /// Number of pairs.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.pairs.len()
+    }
+
+    /// Whether the table has no pairs.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.pairs.is_empty()
+    }
+}
+
+/// A parsed document: root pairs, named tables, named arrays of tables.
+#[derive(Clone, Debug, PartialEq, Default)]
+pub struct Doc {
+    /// Pairs before the first section header.
+    pub root: Table,
+    /// `[name]` sections, in order of first appearance.
+    pub tables: Vec<(String, Table)>,
+    /// `[[name]]` sections, grouped by name in order of first appearance.
+    pub arrays: Vec<(String, Vec<Table>)>,
+}
+
+impl Doc {
+    /// Looks a `[name]` table up.
+    #[must_use]
+    pub fn table(&self, name: &str) -> Option<&Table> {
+        self.tables.iter().find(|(n, _)| n == name).map(|(_, t)| t)
+    }
+
+    /// The `[[name]]` group (empty when absent).
+    #[must_use]
+    pub fn array(&self, name: &str) -> &[Table] {
+        self.arrays
+            .iter()
+            .find(|(n, _)| n == name)
+            .map_or(&[], |(_, ts)| ts.as_slice())
+    }
+
+    /// Adds (or replaces) a `[name]` table.
+    pub fn set_table(&mut self, name: impl Into<String>, table: Table) {
+        let name = name.into();
+        if let Some(slot) = self.tables.iter_mut().find(|(n, _)| *n == name) {
+            slot.1 = table;
+        } else {
+            self.tables.push((name, table));
+        }
+    }
+
+    /// Appends one `[[name]]` table to its group.
+    pub fn push_array(&mut self, name: impl Into<String>, table: Table) {
+        let name = name.into();
+        if let Some(slot) = self.arrays.iter_mut().find(|(n, _)| *n == name) {
+            slot.1.push(table);
+        } else {
+            self.arrays.push((name, vec![table]));
+        }
+    }
+
+    /// Parses a document, reporting the first error with its line number.
+    ///
+    /// # Errors
+    /// Returns `"line N: <reason>"` on the first malformed line.
+    pub fn parse(text: &str) -> Result<Self, String> {
+        let mut doc = Self::default();
+        // Where new pairs currently land.
+        enum Cursor {
+            Root,
+            Table(usize),
+            Array(usize),
+        }
+        let mut cursor = Cursor::Root;
+        for (idx, raw) in text.lines().enumerate() {
+            let lineno = idx + 1;
+            let line = strip_comment(raw, lineno)?;
+            let line = line.trim();
+            if line.is_empty() {
+                continue;
+            }
+            if let Some(inner) = line.strip_prefix("[[") {
+                let Some(name) = inner.strip_suffix("]]") else {
+                    return Err(format!("line {lineno}: unterminated [[...]] header"));
+                };
+                let name = name.trim();
+                check_key(name, lineno)?;
+                doc.push_array(name, Table::new());
+                let gi = doc
+                    .arrays
+                    .iter()
+                    .position(|(n, _)| n == name)
+                    .expect("just pushed");
+                cursor = Cursor::Array(gi);
+            } else if let Some(inner) = line.strip_prefix('[') {
+                let Some(name) = inner.strip_suffix(']') else {
+                    return Err(format!("line {lineno}: unterminated [...] header"));
+                };
+                let name = name.trim();
+                check_key(name, lineno)?;
+                if doc.table(name).is_some() {
+                    return Err(format!("line {lineno}: duplicate table [{name}]"));
+                }
+                if doc.arrays.iter().any(|(n, _)| n == name) {
+                    return Err(format!(
+                        "line {lineno}: [{name}] conflicts with earlier [[{name}]]"
+                    ));
+                }
+                doc.set_table(name, Table::new());
+                let ti = doc
+                    .tables
+                    .iter()
+                    .position(|(n, _)| n == name)
+                    .expect("just set");
+                cursor = Cursor::Table(ti);
+            } else {
+                let Some(eq) = line.find('=') else {
+                    return Err(format!(
+                        "line {lineno}: expected `key = value` or a [section] header"
+                    ));
+                };
+                let key = line[..eq].trim();
+                check_key(key, lineno)?;
+                let value = parse_value(line[eq + 1..].trim(), lineno)?;
+                let target = match cursor {
+                    Cursor::Root => &mut doc.root,
+                    Cursor::Table(i) => &mut doc.tables[i].1,
+                    Cursor::Array(i) => doc.arrays[i].1.last_mut().expect("non-empty group"),
+                };
+                if target.get(key).is_some() {
+                    return Err(format!("line {lineno}: duplicate key `{key}`"));
+                }
+                target.set(key, value);
+            }
+        }
+        Ok(doc)
+    }
+
+    /// Renders the canonical text form.
+    #[must_use]
+    pub fn serialize(&self) -> String {
+        let mut out = String::new();
+        let write_pairs = |out: &mut String, t: &Table| {
+            for (k, v) in t.iter() {
+                let _ = writeln!(out, "{k} = {}", format_value(v));
+            }
+        };
+        write_pairs(&mut out, &self.root);
+        for (name, table) in &self.tables {
+            if !out.is_empty() {
+                out.push('\n');
+            }
+            let _ = writeln!(out, "[{name}]");
+            write_pairs(&mut out, table);
+        }
+        for (name, group) in &self.arrays {
+            for table in group {
+                if !out.is_empty() {
+                    out.push('\n');
+                }
+                let _ = writeln!(out, "[[{name}]]");
+                write_pairs(&mut out, table);
+            }
+        }
+        out
+    }
+}
+
+/// Bare keys only: ASCII letters, digits, `_` and `-`.
+fn check_key(key: &str, lineno: usize) -> Result<(), String> {
+    if key.is_empty() {
+        return Err(format!("line {lineno}: empty key"));
+    }
+    if let Some(c) = key
+        .chars()
+        .find(|c| !(c.is_ascii_alphanumeric() || *c == '_' || *c == '-'))
+    {
+        return Err(format!(
+            "line {lineno}: invalid character `{c}` in key `{key}` \
+             (bare keys use letters, digits, `_`, `-`)"
+        ));
+    }
+    Ok(())
+}
+
+/// Cuts a trailing `#` comment, respecting `#` inside strings.
+fn strip_comment(line: &str, lineno: usize) -> Result<&str, String> {
+    let mut in_str = false;
+    let mut escaped = false;
+    for (i, c) in line.char_indices() {
+        if in_str {
+            if escaped {
+                escaped = false;
+            } else if c == '\\' {
+                escaped = true;
+            } else if c == '"' {
+                in_str = false;
+            }
+        } else if c == '"' {
+            in_str = true;
+        } else if c == '#' {
+            return Ok(&line[..i]);
+        }
+    }
+    if in_str {
+        return Err(format!("line {lineno}: unterminated string"));
+    }
+    Ok(line)
+}
+
+fn parse_value(text: &str, lineno: usize) -> Result<Value, String> {
+    if text.is_empty() {
+        return Err(format!("line {lineno}: missing value after `=`"));
+    }
+    if text.starts_with('"') {
+        let (s, rest) = parse_string(text, lineno)?;
+        if !rest.trim().is_empty() {
+            return Err(format!(
+                "line {lineno}: unexpected trailing `{}` after string",
+                rest.trim()
+            ));
+        }
+        return Ok(Value::Str(s));
+    }
+    if let Some(inner) = text.strip_prefix('[') {
+        let Some(inner) = inner.strip_suffix(']') else {
+            return Err(format!(
+                "line {lineno}: arrays must open and close on one line"
+            ));
+        };
+        let mut items = Vec::new();
+        for item in split_array_items(inner, lineno)? {
+            if item.starts_with('[') {
+                return Err(format!("line {lineno}: nested arrays are not supported"));
+            }
+            items.push(parse_value(item, lineno)?);
+        }
+        return Ok(Value::Array(items));
+    }
+    match text {
+        "true" => return Ok(Value::Bool(true)),
+        "false" => return Ok(Value::Bool(false)),
+        _ => {}
+    }
+    parse_number(text, lineno)
+}
+
+/// Parses a leading quoted string, returning it and the remaining text.
+fn parse_string(text: &str, lineno: usize) -> Result<(String, &str), String> {
+    debug_assert!(text.starts_with('"'));
+    let mut out = String::new();
+    let mut chars = text.char_indices().skip(1);
+    while let Some((i, c)) = chars.next() {
+        match c {
+            '"' => return Ok((out, &text[i + 1..])),
+            '\\' => match chars.next() {
+                Some((_, '"')) => out.push('"'),
+                Some((_, '\\')) => out.push('\\'),
+                Some((_, 'n')) => out.push('\n'),
+                Some((_, 't')) => out.push('\t'),
+                Some((_, other)) => {
+                    return Err(format!(
+                        "line {lineno}: unsupported escape `\\{other}` \
+                         (supported: \\\" \\\\ \\n \\t)"
+                    ))
+                }
+                None => return Err(format!("line {lineno}: unterminated string")),
+            },
+            _ => out.push(c),
+        }
+    }
+    Err(format!("line {lineno}: unterminated string"))
+}
+
+/// Splits array contents on commas that sit outside strings.
+fn split_array_items(inner: &str, lineno: usize) -> Result<Vec<&str>, String> {
+    let mut items = Vec::new();
+    let mut start = 0;
+    let mut in_str = false;
+    let mut escaped = false;
+    for (i, c) in inner.char_indices() {
+        if in_str {
+            if escaped {
+                escaped = false;
+            } else if c == '\\' {
+                escaped = true;
+            } else if c == '"' {
+                in_str = false;
+            }
+        } else if c == '"' {
+            in_str = true;
+        } else if c == ',' {
+            items.push(inner[start..i].trim());
+            start = i + 1;
+        }
+    }
+    if in_str {
+        return Err(format!("line {lineno}: unterminated string in array"));
+    }
+    // A missing final item is a permitted trailing comma; holes like
+    // `[a,,b]` surface as empty mid-list items and are rejected.
+    let last = inner[start..].trim();
+    if !last.is_empty() {
+        items.push(last);
+    }
+    if items.iter().any(|s| s.is_empty()) {
+        return Err(format!("line {lineno}: empty array element"));
+    }
+    Ok(items)
+}
+
+fn parse_number(text: &str, lineno: usize) -> Result<Value, String> {
+    let digits = text.strip_prefix(['+', '-']).unwrap_or(text);
+    let is_int_literal = !digits.is_empty() && digits.bytes().all(|b| b.is_ascii_digit());
+    if is_int_literal {
+        return text
+            .parse::<i64>()
+            .map(Value::Int)
+            .map_err(|_| format!("line {lineno}: integer `{text}` out of range"));
+    }
+    match text.parse::<f64>() {
+        Ok(x) if x.is_finite() => Ok(Value::Float(x)),
+        Ok(_) => Err(format!(
+            "line {lineno}: non-finite numbers are not supported (`{text}`)"
+        )),
+        Err(_) => Err(format!(
+            "line {lineno}: expected a string, number, boolean or array, got `{text}`"
+        )),
+    }
+}
+
+fn format_value(v: &Value) -> String {
+    match v {
+        Value::Str(s) => {
+            let mut out = String::with_capacity(s.len() + 2);
+            out.push('"');
+            for c in s.chars() {
+                match c {
+                    '"' => out.push_str("\\\""),
+                    '\\' => out.push_str("\\\\"),
+                    '\n' => out.push_str("\\n"),
+                    '\t' => out.push_str("\\t"),
+                    _ => out.push(c),
+                }
+            }
+            out.push('"');
+            out
+        }
+        Value::Int(i) => i.to_string(),
+        // `{:?}` is Rust's shortest representation that parses back to the
+        // same bits, and always keeps a float marker (`1.0`, `1e300`).
+        Value::Float(x) => format!("{x:?}"),
+        Value::Bool(b) => b.to_string(),
+        Value::Array(xs) => {
+            let items: Vec<String> = xs.iter().map(format_value).collect();
+            format!("[{}]", items.join(", "))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(doc: &Doc) {
+        let text = doc.serialize();
+        let back = Doc::parse(&text).unwrap_or_else(|e| panic!("reparse failed: {e}\n{text}"));
+        assert_eq!(doc, &back, "round trip changed the document:\n{text}");
+    }
+
+    #[test]
+    fn parses_the_kitchen_sink() {
+        let text = r#"
+# top comment
+name = "lab" # trailing comment
+reps = 500
+gain = 0.35
+quick = false
+values = [0.0, 0.5, 1.0]
+words = ["a", "b#c"]
+
+[network]
+per_task = 0.02
+
+[[node]]
+service_rate = 1.08
+
+[[node]]
+service_rate = 1.86
+"#;
+        let doc = Doc::parse(text).expect("parses");
+        assert_eq!(doc.root.get("name").unwrap().as_str(), Some("lab"));
+        assert_eq!(doc.root.get("reps").unwrap().as_int(), Some(500));
+        assert_eq!(doc.root.get("gain").unwrap().as_f64(), Some(0.35));
+        assert_eq!(doc.root.get("quick").unwrap().as_bool(), Some(false));
+        assert_eq!(doc.root.get("values").unwrap().as_array().unwrap().len(), 3);
+        assert_eq!(
+            doc.root.get("words").unwrap().as_array().unwrap()[1].as_str(),
+            Some("b#c")
+        );
+        assert_eq!(
+            doc.table("network")
+                .unwrap()
+                .get("per_task")
+                .unwrap()
+                .as_f64(),
+            Some(0.02)
+        );
+        assert_eq!(doc.array("node").len(), 2);
+        assert_eq!(
+            doc.array("node")[1].get("service_rate").unwrap().as_f64(),
+            Some(1.86)
+        );
+        roundtrip(&doc);
+    }
+
+    #[test]
+    fn serialize_is_canonical_and_stable() {
+        let mut doc = Doc::default();
+        doc.root.set("name", Value::Str("x \"y\"\n".into()));
+        doc.root.set("seed", Value::Int(-7));
+        doc.root.set("rate", Value::Float(1.0));
+        let mut t = Table::new();
+        t.set(
+            "values",
+            Value::Array(vec![Value::Float(0.1), Value::Int(2)]),
+        );
+        doc.set_table("sweep", t);
+        doc.push_array("node", Table::new());
+        let text = doc.serialize();
+        assert!(text.contains("name = \"x \\\"y\\\"\\n\""), "{text}");
+        assert!(
+            text.contains("rate = 1.0"),
+            "float keeps its marker: {text}"
+        );
+        assert!(text.contains("values = [0.1, 2]"), "{text}");
+        roundtrip(&doc);
+    }
+
+    #[test]
+    fn int_float_distinction_survives_round_trips() {
+        let mut doc = Doc::default();
+        doc.root.set("i", Value::Int(3));
+        doc.root.set("f", Value::Float(3.0));
+        doc.root.set("tiny", Value::Float(5e-324));
+        doc.root.set("huge", Value::Float(1.7976931348623157e308));
+        doc.root.set("neg", Value::Float(-0.0));
+        roundtrip(&doc);
+        let back = Doc::parse(&doc.serialize()).unwrap();
+        assert!(matches!(back.root.get("i"), Some(Value::Int(3))));
+        assert!(matches!(back.root.get("f"), Some(Value::Float(_))));
+    }
+
+    #[test]
+    fn error_messages_carry_line_numbers_and_reasons() {
+        let cases: &[(&str, &str)] = &[
+            ("a =", "line 1: missing value"),
+            ("a ^ 1", "expected `key = value`"),
+            ("x = \"abc", "line 1: unterminated string"),
+            ("x = [1, 2", "open and close on one line"),
+            ("x = [[1], [2]]", "nested arrays"),
+            ("x = 1.2.3", "expected a string, number"),
+            ("x = nan", "non-finite"),
+            ("x = inf", "non-finite"),
+            ("x = 99999999999999999999", "out of range"),
+            ("[net\nx = 1", "line 1: unterminated [...] header"),
+            ("[[node]\nx = 1", "line 1: unterminated [[...]] header"),
+            ("a = 1\na = 2", "line 2: duplicate key `a`"),
+            ("[n]\nx = 1\n[n]\ny = 2", "line 3: duplicate table [n]"),
+            ("[[n]]\nx = 1\n[n]", "conflicts with earlier [[n]]"),
+            ("bad key = 1", "invalid character ` `"),
+            ("x = \"a\" junk", "unexpected trailing"),
+            ("x = [1, , 2]", "empty array element"),
+            ("x = \"a\\q\"", "unsupported escape"),
+        ];
+        for (input, want) in cases {
+            let err = Doc::parse(input).expect_err(input);
+            assert!(
+                err.contains(want),
+                "for `{input}`: got `{err}`, wanted substring `{want}`"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_and_comment_only_documents_parse() {
+        assert_eq!(Doc::parse("").unwrap(), Doc::default());
+        assert_eq!(Doc::parse("# just a comment\n\n").unwrap(), Doc::default());
+    }
+
+    #[test]
+    fn trailing_comma_in_arrays_is_accepted() {
+        let doc = Doc::parse("x = [1, 2,]").unwrap();
+        assert_eq!(doc.root.get("x").unwrap().as_array().unwrap().len(), 2);
+    }
+
+    #[test]
+    fn table_set_replaces_in_place() {
+        let mut t = Table::new();
+        t.set("k", Value::Int(1));
+        t.set("k", Value::Int(2));
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.get("k").unwrap().as_int(), Some(2));
+    }
+}

@@ -6,34 +6,29 @@
 //! cargo run --release --example dynamic_arrivals
 //! ```
 //!
-//! A bursty stream of task batches lands on whichever node the client
-//! happens to contact; episodic LBP-2 re-balances at each arrival and is
-//! compared against balancing only once at t = 0.
+//! The workload comes from the scenario registry's `dynamic-arrivals`
+//! preset (`churnbal-lab show dynamic-arrivals` prints it as TOML): a
+//! bursty stream of task batches lands on whichever node the client
+//! happens to contact. Episodic LBP-2 re-balances at each arrival and is
+//! compared against balancing only once at `t = 0`, with every comparison
+//! policy built declaratively from a [`PolicySpec`].
 
+use churnbal::lab::{registry, run_scenario, RunOptions};
 use churnbal::prelude::*;
-use churnbal::stochastic::Xoshiro256pp;
 
 fn main() {
-    // Build a reproducible bursty arrival pattern: 8 batches, alternating
-    // targets, sizes 40-120, roughly every 15 s.
-    let mut rng = Xoshiro256pp::seed_from_u64(404);
-    let mut arrivals = Vec::new();
-    let mut t = 0.0;
-    for i in 0..8 {
-        t += 5.0 + rng.exp(1.0 / 10.0);
-        arrivals.push(ExternalArrival {
-            time: t,
-            node: i % 2,
-            tasks: 40 + (rng.next_below(81) as u32),
-        });
-    }
+    let scenario = registry::get("dynamic-arrivals").expect("registered preset");
+    let config = scenario.system_config().expect("preset is valid");
+    let arrivals = &config.external_arrivals;
     let total_external: u32 = arrivals.iter().map(|a| a.tasks).sum();
-    let config = SystemConfig::paper([30, 30]).with_external_arrivals(arrivals.clone());
+    let horizon = arrivals.last().expect("preset has arrivals").time;
 
     println!(
-        "dynamic arrivals: 60 initial tasks + {total_external} tasks in 8 bursts over ~{t:.0} s"
+        "dynamic arrivals: {} initial tasks + {total_external} tasks in {} bursts over ~{horizon:.0} s",
+        config.initial_total_tasks(),
+        arrivals.len(),
     );
-    for a in &arrivals {
+    for a in arrivals {
         println!(
             "  t = {:>6.1} s: {:>3} tasks -> node {}",
             a.time,
@@ -42,31 +37,20 @@ fn main() {
         );
     }
 
-    let reps = 300;
-    let episodic = run_replications(
-        &config,
-        &|_| EpisodicLbp2::new(1.0),
-        reps,
-        17,
-        0,
-        SimOptions::default(),
-    );
-    let start_only = run_replications(
-        &config,
-        &|_| Lbp2::new(1.0),
-        reps,
-        17,
-        0,
-        SimOptions::default(),
-    );
-    let nothing = run_replications(
-        &config,
-        &|_| NoBalancing,
-        reps,
-        17,
-        0,
-        SimOptions::default(),
-    );
+    // The preset's own policy (episodic LBP-2) plus two declarative
+    // alternatives, all on the same config, seed and replication count.
+    let opts = RunOptions {
+        threads: 0,
+        ..RunOptions::default()
+    };
+    let episodic = run_scenario(&scenario, opts).expect("preset runs");
+    let alternative = |policy: PolicySpec| {
+        let mut sc = scenario.clone();
+        sc.policy = policy;
+        run_scenario(&sc, opts).expect("alternative runs")
+    };
+    let start_only = alternative(PolicySpec::Lbp2 { gain: 1.0 });
+    let nothing = alternative(PolicySpec::NoBalancing);
 
     println!("\n{:<28} {:>12} {:>10}", "policy", "mean (s)", "±95% CI");
     println!(

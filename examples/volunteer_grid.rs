@@ -6,23 +6,23 @@
 //! ```text
 //! cargo run --release --example volunteer_grid
 //! ```
+//!
+//! The system comes from the scenario registry's `volunteer-grid` preset
+//! (`churnbal-lab show volunteer-grid` prints it as TOML); the ablation
+//! policies are built declaratively from [`PolicySpec`]s against the
+//! preset's configuration — no duplicated config-building here.
 
+use churnbal::lab::{registry, run_scenario, RunOptions};
 use churnbal::prelude::*;
 
 fn main() {
-    // Two dedicated servers plus four volunteer desktops. Volunteers are
-    // individually fast but only ~50-67% available.
-    let nodes = vec![
-        NodeConfig::reliable(2.0, 300),                  // dedicated
-        NodeConfig::reliable(1.5, 250),                  // dedicated
-        NodeConfig::new(1.2, 1.0 / 15.0, 1.0 / 10.0, 0), // volunteer
-        NodeConfig::new(1.2, 1.0 / 15.0, 1.0 / 10.0, 0),
-        NodeConfig::new(1.0, 1.0 / 10.0, 1.0 / 10.0, 0),
-        NodeConfig::new(1.0, 1.0 / 10.0, 1.0 / 10.0, 0),
-    ];
-    let config = SystemConfig::new(nodes, NetworkConfig::exponential(0.05));
-    let total: u32 = 550;
-    println!("volunteer grid: 2 dedicated + 4 volunteer nodes, {total} tasks on the servers");
+    let scenario = registry::get("volunteer-grid").expect("registered preset");
+    let config = scenario.system_config().expect("preset is valid");
+    let total = config.initial_total_tasks();
+    println!(
+        "volunteer grid: 2 dedicated + {} volunteer nodes, {total} tasks on the servers",
+        config.num_nodes() - 2
+    );
     println!(
         "aggregate speed: {:.1} task/s nominal, {:.2} task/s availability-weighted\n",
         config.nodes.iter().map(|n| n.service_rate).sum::<f64>(),
@@ -33,17 +33,18 @@ fn main() {
             .sum::<f64>()
     );
 
-    let reps = 300;
+    let opts = RunOptions {
+        threads: 0,
+        ..RunOptions::default()
+    };
+    let run = |policy: PolicySpec| {
+        let mut sc = scenario.clone();
+        sc.policy = policy;
+        run_scenario(&sc, opts).expect("volunteer-grid variant runs")
+    };
     let mut rows: Vec<(String, f64, f64, f64)> = Vec::new();
     // Keep everything on the dedicated servers:
-    let none = run_replications(
-        &config,
-        &|_| NoBalancing,
-        reps,
-        11,
-        0,
-        SimOptions::default(),
-    );
+    let none = run(PolicySpec::NoBalancing);
     rows.push((
         "no balancing (servers only)".into(),
         none.mean(),
@@ -51,29 +52,16 @@ fn main() {
         0.0,
     ));
     // Ship excess to volunteers once, ignore churn afterwards:
-    let init = run_replications(
-        &config,
-        &|_| InitialBalanceOnly::new(1.0),
-        reps,
-        11,
-        0,
-        SimOptions::default(),
-    );
+    let init = run(PolicySpec::InitialBalanceOnly { gain: 1.0 });
     rows.push((
         "initial balancing only".into(),
         init.mean(),
         init.ci95(),
         0.0,
     ));
-    // Full LBP-2: initial balancing + Eq. 8 compensation at every failure.
-    let lbp2 = run_replications(
-        &config,
-        &|_| Lbp2::new(1.0),
-        reps,
-        11,
-        0,
-        SimOptions::default(),
-    );
+    // Full LBP-2 (the preset's own policy): initial balancing + Eq. 8
+    // compensation at every failure.
+    let lbp2 = run_scenario(&scenario, opts).expect("preset runs");
     rows.push((
         "LBP-2 (initial + Eq. 8)".into(),
         lbp2.mean(),

@@ -16,7 +16,12 @@
 //! * [`core`] — the paper's policies: preemptive [`core::Lbp1`], reactive
 //!   [`core::Lbp2`], baselines, optimisers;
 //! * [`model`] — the regeneration-theory analytics: mean completion time
-//!   (Eq. 4), completion-time CDF (Eq. 5), gain optimisation.
+//!   (Eq. 4), completion-time CDF (Eq. 5), gain optimisation;
+//! * [`lab`] — the declarative scenario & sweep subsystem: TOML-subset
+//!   experiment specs, a registry of named presets (paper baselines,
+//!   correlated failures, bursty/diurnal/flash-crowd arrivals, volunteer
+//!   churn, …), a deterministic parallel sweep runner and the
+//!   `churnbal-lab` CLI.
 //!
 //! ## Quickstart
 //!
@@ -45,19 +50,22 @@ pub use churnbal_cluster as cluster;
 pub use churnbal_core as core;
 pub use churnbal_ctmc as ctmc;
 pub use churnbal_desim as desim;
+pub use churnbal_lab as lab;
 pub use churnbal_model as model;
 pub use churnbal_stochastic as stochastic;
 
 /// The most commonly used items in one import.
 pub mod prelude {
     pub use churnbal_cluster::{
-        run_replications, simulate, DelayLaw, ExternalArrival, NetworkConfig, NoBalancing,
-        NodeConfig, Policy, SimOptions, SystemConfig, TransferOrder,
+        run_replications, simulate, ArrivalKind, ArrivalProcess, ChurnModel, DelayLaw,
+        ExternalArrival, NetworkConfig, NoBalancing, NodeConfig, Policy, SimOptions, SystemConfig,
+        TransferOrder,
     };
     pub use churnbal_core::{
-        model_params, DynamicLbp1, EpisodicLbp2, InitialBalanceOnly, Lbp1, Lbp1Multi, Lbp2,
-        UponFailureOnly,
+        model_params, AnyPolicy, DynamicLbp1, EpisodicLbp2, InitialBalanceOnly, Lbp1, Lbp1Multi,
+        Lbp2, PolicySpec, UponFailureOnly,
     };
+    pub use churnbal_lab::{run_scenario, run_sweep, Axis, AxisParam, RunOptions, Scenario};
     pub use churnbal_model::{
         lbp1_cdf, lbp1_moments, mean_from_cdf, optimize_lbp1, optimize_lbp1_deadline, DelayModel,
         TwoNodeParams, WorkState,

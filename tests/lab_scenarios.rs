@@ -1,0 +1,89 @@
+//! Integration: the scenario lab and the bench harness share one code
+//! path — `churnbal-lab run paper-fig3` reproduces the `fig3` binary's
+//! Monte-Carlo column bit-exactly, for any thread count.
+
+use churnbal::lab::{apply_axis, expand_grid, registry, run_scenario, AxisParam, RunOptions};
+use churnbal::prelude::*;
+
+/// The `fig3` binary's Monte-Carlo formula (its MC column now executes
+/// through the lab's `paper-fig3` preset; this test pins the two paths to
+/// the same bits at several gains and thread counts).
+fn fig3_direct(k: f64, reps: u64, seed: u64, threads: usize) -> Vec<f64> {
+    let cfg = SystemConfig::paper([100, 60]);
+    run_replications(
+        &cfg,
+        &|_| Lbp1::with_gain(0, 1, 100, k),
+        reps,
+        seed,
+        threads,
+        SimOptions::default(),
+    )
+    .completion_times
+}
+
+#[test]
+fn lab_paper_fig3_reproduces_the_fig3_bench_numbers() {
+    let scenario = registry::get("paper-fig3").expect("registered");
+    for k in [0.0, 0.35, 1.0] {
+        let point = apply_axis(&scenario, AxisParam::Gain, k).expect("gain applies");
+        let est = run_scenario(
+            &point,
+            RunOptions {
+                reps: Some(40),
+                threads: 2,
+                ..RunOptions::default()
+            },
+        )
+        .expect("preset runs");
+        let direct = fig3_direct(k, 40, scenario.seed, 5);
+        assert_eq!(
+            est.completion_times, direct,
+            "lab and bench disagree at K = {k}"
+        );
+    }
+}
+
+#[test]
+fn lab_grid_matches_the_binary_gain_sequence() {
+    let scenario = registry::get("paper-fig3").expect("registered");
+    let grid = expand_grid(&scenario, &[]).expect("expands");
+    let gains: Vec<f64> = grid.iter().map(|p| p.coords[0].1).collect();
+    let expected: Vec<f64> = (0..=20).map(|i| f64::from(i) * 0.05).collect();
+    assert_eq!(gains, expected, "the preset must carry the paper's grid");
+    // The scenario's system is the paper's system, bit for bit.
+    assert_eq!(
+        scenario.system_config().expect("valid"),
+        SystemConfig::paper([100, 60])
+    );
+}
+
+#[test]
+fn quick_reps_convention_matches_the_bench_harness() {
+    // fig3 --quick runs max(500/10, 10) = 50 MC replications; the lab's
+    // --quick must agree so the CI smoke gates compare like with like.
+    let scenario = registry::get("paper-fig3").expect("registered");
+    assert_eq!(scenario.quick_reps(), 50);
+}
+
+#[test]
+fn sweeps_are_thread_count_invariant_end_to_end() {
+    let scenario = registry::get("open-system").expect("registered");
+    let run = |threads: usize| {
+        churnbal::lab::run_sweep(
+            &scenario,
+            &[Axis {
+                param: AxisParam::FailureScale,
+                values: vec![0.0, 1.0, 3.0],
+            }],
+            RunOptions {
+                reps: Some(8),
+                threads,
+                ..RunOptions::default()
+            },
+        )
+        .expect("sweep runs")
+        .to_csv()
+    };
+    assert_eq!(run(1), run(4));
+    assert_eq!(run(1), run(7));
+}
