@@ -1,12 +1,14 @@
 //! Criterion benches for the simulation substrate: RNG throughput, event
-//! queue operations, single runs of both policies, and the parallel
-//! replication runner.
+//! queue operations (including the cancel-heavy patterns the indexed heap
+//! exists for), single runs of both policies, cancel-storm systems
+//! (cascading churn, shock storms), and the parallel replication runner.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use std::hint::black_box;
 
+use churnbal_bench::perf::{cascading_churn_config, shock_storm_config};
 use churnbal_cluster::{run_replications, simulate, SimOptions, SystemConfig};
-use churnbal_core::{Lbp1, Lbp2};
+use churnbal_core::{Lbp1, Lbp2, UponFailureOnly};
 use churnbal_desim::EventQueue;
 use churnbal_stochastic::Xoshiro256pp;
 
@@ -39,6 +41,63 @@ fn bench_event_queue(c: &mut Criterion) {
             black_box(acc)
         });
     });
+    // The cancel-heavy pattern of churn-driven simulations: a standing
+    // population of pending events, of which a large fraction is cancelled
+    // and redrawn every "transition" — O(n·log n) on the indexed heap,
+    // O(n²) on the old tombstone design (one fired() scan per cancel).
+    c.bench_function("desim_cancel_storm_64x256", |b| {
+        let mut r = Xoshiro256pp::seed_from_u64(4);
+        b.iter(|| {
+            let mut q = EventQueue::new();
+            let mut pending: Vec<_> = (0..64u32)
+                .map(|i| q.schedule_in(1.0 + r.next_f64(), i))
+                .collect();
+            for _ in 0..256 {
+                // Cancel and redraw half the population (a cascading-churn
+                // hazard change), then let one event fire. A tracked id may
+                // have fired already — cancel then truthfully returns false,
+                // exactly the mixed live/stale traffic the engine generates.
+                for slot in pending.iter_mut().step_by(2) {
+                    q.cancel(*slot);
+                    *slot = q.schedule_in(1.0 + r.next_f64(), 0);
+                }
+                q.pop();
+                pending.push(q.schedule_in(1.0 + r.next_f64(), 1));
+            }
+            black_box(q.len())
+        });
+    });
+}
+
+/// Cancel-storm systems end to end: cascading churn redraws every pending
+/// failure event per churn transition; correlated shocks cancel service
+/// and failure events for half the fleet at one instant.
+fn bench_cancel_heavy_systems(c: &mut Criterion) {
+    let mut g = c.benchmark_group("cancel_heavy");
+    g.sample_size(10);
+    let cascading = cascading_churn_config();
+    g.bench_function("cascading_churn_24n", |b| {
+        let mut seed = 0;
+        b.iter(|| {
+            seed += 1;
+            simulate(
+                &cascading,
+                &mut UponFailureOnly::new(),
+                seed,
+                SimOptions::default(),
+            )
+            .completion_time
+        });
+    });
+    let shocks = shock_storm_config();
+    g.bench_function("shock_storm_32n", |b| {
+        let mut seed = 0;
+        b.iter(|| {
+            seed += 1;
+            simulate(&shocks, &mut Lbp2::new(1.0), seed, SimOptions::default()).completion_time
+        });
+    });
+    g.finish();
 }
 
 fn bench_single_runs(c: &mut Criterion) {
@@ -86,6 +145,7 @@ criterion_group!(
     benches,
     bench_rng,
     bench_event_queue,
+    bench_cancel_heavy_systems,
     bench_single_runs,
     bench_replication_runner
 );

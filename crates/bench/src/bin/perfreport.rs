@@ -1,0 +1,126 @@
+//! Deterministic wall-clock perf harness: events/sec on the named engine
+//! workloads, with pinned completion-time digests and a machine-readable
+//! JSON report.
+//!
+//! ```text
+//! cargo run -p churnbal_bench --release --bin perfreport             # full
+//! cargo run -p churnbal_bench --release --bin perfreport -- --quick  # CI smoke
+//! ```
+//!
+//! Flags: `--quick` (CI replication counts), `--threads T` (0 = auto;
+//! default 1 for stable throughput numbers), `--seed S` (non-default seeds
+//! skip digest assertions), `--out PATH` (default `BENCH_3.json`),
+//! `--no-write` (print only).
+//!
+//! The digests make the harness a regression *gate*, not just a meter: a
+//! refactor that changes any sampled trajectory fails here before its perf
+//! numbers can be mistaken for a like-for-like comparison.
+
+use churnbal_bench::perf::{expected_digest, measure, to_json, workloads, PERF_SEED};
+
+struct Options {
+    quick: bool,
+    threads: usize,
+    seed: u64,
+    out: String,
+    write: bool,
+}
+
+fn parse_args() -> Options {
+    let mut opts = Options {
+        quick: false,
+        threads: 1,
+        seed: PERF_SEED,
+        out: "BENCH_3.json".to_string(),
+        write: true,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--quick" => opts.quick = true,
+            "--threads" => {
+                let v = it.next().expect("--threads needs a value");
+                opts.threads = v.parse().expect("--threads must be an integer");
+            }
+            "--seed" => {
+                let v = it.next().expect("--seed needs a value");
+                opts.seed = v.parse().expect("--seed must be an integer");
+            }
+            "--out" => opts.out = it.next().expect("--out needs a path"),
+            "--no-write" => opts.write = false,
+            other => panic!(
+                "unknown flag {other}; supported: --quick --threads T --seed S --out PATH --no-write"
+            ),
+        }
+    }
+    opts
+}
+
+fn main() {
+    let opts = parse_args();
+    let suite = workloads();
+    let mut measurements = Vec::with_capacity(suite.len());
+    let mut drifted = false;
+    println!(
+        "perfreport ({} mode, {} threads, seed {})",
+        if opts.quick { "quick" } else { "full" },
+        if opts.threads == 0 {
+            "auto".to_string()
+        } else {
+            opts.threads.to_string()
+        },
+        opts.seed
+    );
+    println!(
+        "{:<16} {:>6} {:>12} {:>10} {:>14}  digest",
+        "workload", "reps", "events", "wall (s)", "events/sec"
+    );
+    for w in &suite {
+        let m = measure(w, opts.quick, opts.threads, opts.seed);
+        let verdict = if opts.seed == PERF_SEED {
+            let expected = expected_digest(m.name, opts.quick).expect("pinned");
+            if m.digest == expected {
+                "ok"
+            } else {
+                drifted = true;
+                "DRIFT"
+            }
+        } else {
+            "unpinned"
+        };
+        println!(
+            "{:<16} {:>6} {:>12} {:>10.3} {:>14.0}  {:#018x} {}",
+            m.name,
+            m.reps,
+            m.events,
+            m.wall_seconds,
+            m.events_per_sec(),
+            m.digest,
+            verdict
+        );
+        measurements.push(m);
+    }
+    let events: u64 = measurements.iter().map(|m| m.events).sum();
+    let wall: f64 = measurements.iter().map(|m| m.wall_seconds).sum();
+    println!(
+        "{:<16} {:>6} {:>12} {:>10.3} {:>14.0}",
+        "total",
+        "",
+        events,
+        wall,
+        events as f64 / wall
+    );
+
+    let json = to_json(&measurements, opts.quick, opts.threads, opts.seed);
+    println!("\n{json}");
+    if opts.write {
+        std::fs::write(&opts.out, &json)
+            .unwrap_or_else(|e| panic!("cannot write {}: {e}", opts.out));
+        println!("wrote {}", opts.out);
+    }
+    assert!(
+        !drifted,
+        "completion-time digests drifted from their pinned values: the engine's \
+         sample paths changed; re-pin deliberately if the change is intended"
+    );
+}

@@ -23,6 +23,7 @@
 //! `cargo bench`.
 
 pub mod args;
+pub mod perf;
 pub mod presets;
 pub mod table;
 

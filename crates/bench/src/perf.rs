@@ -1,0 +1,277 @@
+//! The `perfreport` harness: named engine workloads, wall-clock
+//! measurement, pinned completion-time digests, and the machine-readable
+//! `BENCH_*.json` report.
+//!
+//! Three workloads span the engine's regimes:
+//!
+//! * `paper-fig3` — the paper's two-node LBP-1 system (service-dominated:
+//!   throughput of the plain event loop and the replication runner);
+//! * `shock-storm` — 32 nodes under correlated environmental shocks
+//!   (bursts of simultaneous failures, each cancelling pending service and
+//!   failure events);
+//! * `cascading-churn` — 24 nodes with load-dependent failure
+//!   amplification, where every churn transition cancels and redraws every
+//!   other node's pending failure — the cancel-heavy path the indexed
+//!   event queue exists for.
+//!
+//! Wall-clock numbers are measurements; the *sample paths* are pinned: the
+//! digest of each workload's completion-time vector is asserted against a
+//! committed value, so a refactor that silently changes sampling fails the
+//! report rather than producing an incomparable number.
+
+use std::time::Instant;
+
+use churnbal_cluster::{run_replications, ChurnModel, SimOptions};
+use churnbal_cluster::{NetworkConfig, NodeConfig, SystemConfig};
+use churnbal_core::PolicySpec;
+use churnbal_stochastic::digest_f64s;
+
+/// Master seed shared by every perf workload (digests are pinned to it).
+pub const PERF_SEED: u64 = 20060425;
+
+/// One named engine workload: a system, a policy, and replication counts.
+#[derive(Clone, Debug)]
+pub struct Workload {
+    /// Stable workload name (JSON key, digest-table key).
+    pub name: &'static str,
+    /// The system under test.
+    pub config: SystemConfig,
+    /// The policy driving it.
+    pub policy: PolicySpec,
+    /// Replications in a full run.
+    pub reps: u64,
+    /// Replications in a `--quick` run.
+    pub quick_reps: u64,
+}
+
+/// The perf suite, in report order.
+#[must_use]
+pub fn workloads() -> Vec<Workload> {
+    vec![
+        Workload {
+            name: "paper-fig3",
+            config: SystemConfig::paper([100, 60]),
+            policy: PolicySpec::Lbp1 {
+                sender: 0,
+                receiver: 1,
+                gain: 0.35,
+            },
+            reps: 500,
+            quick_reps: 50,
+        },
+        Workload {
+            name: "shock-storm",
+            config: shock_storm_config(),
+            policy: PolicySpec::Lbp2 { gain: 1.0 },
+            reps: 200,
+            quick_reps: 20,
+        },
+        Workload {
+            name: "cascading-churn",
+            config: cascading_churn_config(),
+            policy: PolicySpec::UponFailureOnly,
+            reps: 200,
+            quick_reps: 20,
+        },
+    ]
+}
+
+/// 32 heterogeneous nodes hit by correlated shocks: each shock downs about
+/// half the fleet at one instant, cancelling every victim's pending
+/// service and failure events.
+#[must_use]
+pub fn shock_storm_config() -> SystemConfig {
+    let rates = [0.8, 1.2, 1.6, 2.0];
+    SystemConfig::new(
+        (0..32)
+            .map(|i| NodeConfig::new(rates[i % rates.len()], 0.02, 0.4, 30))
+            .collect(),
+        NetworkConfig::exponential(0.01),
+    )
+    .with_churn_model(ChurnModel::CorrelatedShocks {
+        shock_rate: 0.25,
+        hit_probability: 0.5,
+    })
+}
+
+/// 24 nodes with cascading failure amplification: every failure and
+/// recovery changes every other up node's hazard, so the engine cancels
+/// and redraws up to `n − 1` pending failure events per churn transition.
+#[must_use]
+pub fn cascading_churn_config() -> SystemConfig {
+    SystemConfig::new(
+        (0..24)
+            .map(|_| NodeConfig::new(1.0, 0.06, 0.5, 40))
+            .collect(),
+        NetworkConfig::exponential(0.01),
+    )
+    .with_churn_model(ChurnModel::Cascading { amplification: 3.0 })
+}
+
+/// Result of measuring one workload.
+#[derive(Clone, Debug)]
+pub struct Measurement {
+    /// Workload name.
+    pub name: &'static str,
+    /// Replications run.
+    pub reps: u64,
+    /// Total engine events dispatched.
+    pub events: u64,
+    /// Wall-clock seconds for the whole replication run.
+    pub wall_seconds: f64,
+    /// Mean completion time (a sanity anchor, not a perf number).
+    pub mean_completion: f64,
+    /// FNV-1a digest of the completion-time vector.
+    pub digest: u64,
+}
+
+impl Measurement {
+    /// Events per wall-clock second.
+    #[must_use]
+    pub fn events_per_sec(&self) -> f64 {
+        self.events as f64 / self.wall_seconds
+    }
+}
+
+/// Pinned completion-time digests: `(workload, quick digest, full digest)`
+/// for the default seed. Any engine change that alters a sample path must
+/// update these deliberately (and justify it in the PR).
+pub const EXPECTED_DIGESTS: &[(&str, u64, u64)] = &[
+    ("paper-fig3", 0x2c94_8cc7_508e_4943, 0x23ce_c6b9_6177_7e3f),
+    ("shock-storm", 0x652b_fe99_eae3_59e7, 0xafa7_2471_119b_5837),
+    (
+        "cascading-churn",
+        0xa6dd_59e7_2da6_9095,
+        0xfbf3_672e_d885_7e79,
+    ),
+];
+
+/// Looks up the pinned digest for a workload in the given mode.
+#[must_use]
+pub fn expected_digest(name: &str, quick: bool) -> Option<u64> {
+    EXPECTED_DIGESTS
+        .iter()
+        .find(|(n, _, _)| *n == name)
+        .map(|&(_, q, f)| if quick { q } else { f })
+}
+
+/// Runs one workload and measures it. `threads` follows the
+/// replication-runner convention (0 = auto); digests are thread-invariant.
+///
+/// # Panics
+/// Panics if the workload's policy does not build against its config
+/// (a bug in the workload table).
+#[must_use]
+pub fn measure(w: &Workload, quick: bool, threads: usize, seed: u64) -> Measurement {
+    let reps = if quick { w.quick_reps } else { w.reps };
+    // Policies are rebuilt per replication through the same declarative
+    // path the lab uses, so the measurement covers the production loop.
+    w.policy
+        .validate_for(&w.config)
+        .expect("perf workload must be self-consistent");
+    let start = Instant::now();
+    let est = run_replications(
+        &w.config,
+        &|_| w.policy.build(&w.config).expect("validated"),
+        reps,
+        seed,
+        threads,
+        SimOptions::default(),
+    );
+    let wall_seconds = start.elapsed().as_secs_f64();
+    Measurement {
+        name: w.name,
+        reps,
+        events: est.total_events,
+        wall_seconds,
+        mean_completion: est.mean(),
+        digest: digest_f64s(&est.completion_times),
+    }
+}
+
+/// Renders the report as pretty-printed JSON (no external deps; every
+/// field is a number or a fixed-format string).
+#[must_use]
+pub fn to_json(measurements: &[Measurement], quick: bool, threads: usize, seed: u64) -> String {
+    let mut out = String::from("{\n");
+    out.push_str("  \"schema\": \"churnbal-perfreport/1\",\n");
+    out.push_str(&format!(
+        "  \"mode\": \"{}\",\n",
+        if quick { "quick" } else { "full" }
+    ));
+    out.push_str(&format!("  \"threads\": {threads},\n"));
+    out.push_str(&format!("  \"seed\": {seed},\n"));
+    out.push_str("  \"workloads\": [\n");
+    for (i, m) in measurements.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"name\": \"{}\", \"reps\": {}, \"events\": {}, \"wall_seconds\": {:?}, \
+             \"events_per_sec\": {:.0}, \"mean_completion\": {:?}, \"digest\": \"{:#018x}\"}}{}\n",
+            m.name,
+            m.reps,
+            m.events,
+            m.wall_seconds,
+            m.events_per_sec(),
+            m.mean_completion,
+            m.digest,
+            if i + 1 < measurements.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ],\n");
+    let events: u64 = measurements.iter().map(|m| m.events).sum();
+    let wall: f64 = measurements.iter().map(|m| m.wall_seconds).sum();
+    out.push_str(&format!(
+        "  \"total\": {{\"events\": {}, \"wall_seconds\": {:?}, \"events_per_sec\": {:.0}}}\n",
+        events,
+        wall,
+        events as f64 / wall
+    ));
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workload_table_is_self_consistent() {
+        for w in workloads() {
+            w.policy
+                .validate_for(&w.config)
+                .unwrap_or_else(|e| panic!("{}: {e}", w.name));
+            assert!(w.quick_reps < w.reps, "{}: quick must be cheaper", w.name);
+            assert!(expected_digest(w.name, true).is_some(), "{}", w.name);
+            assert!(expected_digest(w.name, false).is_some(), "{}", w.name);
+        }
+    }
+
+    #[test]
+    fn quick_digests_match_their_pins() {
+        // The full-mode digests are asserted by `perfreport` itself (CI
+        // runs `--quick`); here the cheap mode keeps `cargo test` honest.
+        for w in workloads() {
+            let m = measure(&w, true, 0, PERF_SEED);
+            assert_eq!(
+                Some(m.digest),
+                expected_digest(w.name, true),
+                "{}: sample path drifted (digest {:#018x})",
+                w.name,
+                m.digest
+            );
+        }
+    }
+
+    #[test]
+    fn json_report_has_every_workload() {
+        let ms: Vec<Measurement> = workloads()
+            .iter()
+            .map(|w| measure(w, true, 0, PERF_SEED))
+            .collect();
+        let json = to_json(&ms, true, 0, PERF_SEED);
+        for w in workloads() {
+            assert!(json.contains(w.name), "{json}");
+        }
+        assert!(json.contains("\"schema\": \"churnbal-perfreport/1\""));
+        assert!(json.contains("\"total\""));
+    }
+}

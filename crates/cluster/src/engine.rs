@@ -45,6 +45,23 @@ pub struct SimOutcome {
     pub trace: Option<QueueTrace>,
 }
 
+/// Compact, allocation-free result of one replication — what the
+/// Monte-Carlo runner needs from [`Simulator::run_summary`] without moving
+/// or cloning the full [`Metrics`] out of a reused simulator.
+#[derive(Clone, Copy, Debug)]
+pub struct RunSummary {
+    /// Overall completion time (or the deadline if not completed).
+    pub completion_time: f64,
+    /// Whether every task was processed.
+    pub completed: bool,
+    /// Node failures observed.
+    pub failures: u64,
+    /// Total tasks shipped between nodes.
+    pub tasks_shipped: u64,
+    /// Engine events dispatched.
+    pub events: u64,
+}
+
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 enum Ev {
     Service(usize),
@@ -76,12 +93,22 @@ struct NodeRt {
     down_since: f64,
 }
 
-/// The simulator. Create one per run (it owns the event queue and RNG
-/// streams) and call [`Simulator::run`].
+/// The simulator. Owns the event queue, the RNG streams and the
+/// per-callback scratch buffers (node views, order sink). One-shot use is
+/// [`Simulator::new`] + [`Simulator::run`]; the replication runner instead
+/// keeps one simulator per worker and cycles it through
+/// [`Simulator::reset`] + [`Simulator::run_summary`], so every allocation
+/// is reused across replications.
 pub struct Simulator<'a> {
     config: &'a SystemConfig,
     queue: EventQueue<Ev>,
     nodes: Vec<NodeRt>,
+    /// Scratch lent to policy hooks as `SystemView::nodes`; the static
+    /// fields (id, rates) are filled once, the dynamic ones re-synced per
+    /// callback.
+    node_views: Vec<NodeView>,
+    /// Reusable hook sink: cleared before each policy callback.
+    order_sink: Vec<TransferOrder>,
     service_rng: Vec<Xoshiro256pp>,
     churn_rng: Vec<Xoshiro256pp>,
     transfer_rng: Xoshiro256pp,
@@ -117,6 +144,19 @@ impl<'a> Simulator<'a> {
                 down_since: 0.0,
             })
             .collect();
+        let node_views: Vec<NodeView> = config
+            .nodes
+            .iter()
+            .enumerate()
+            .map(|(id, nc)| NodeView {
+                id,
+                queue_len: nc.initial_tasks,
+                up: true,
+                service_rate: nc.service_rate,
+                failure_rate: nc.failure_rate,
+                recovery_rate: nc.recovery_rate,
+            })
+            .collect();
         let trace = options.record_trace.then(|| {
             QueueTrace::new(
                 &config
@@ -141,6 +181,8 @@ impl<'a> Simulator<'a> {
             arrival_clock: 0.0,
             arrivals_open: config.arrival_process.is_some(),
             nodes,
+            node_views,
+            order_sink: Vec::new(),
             processed: 0,
             spawned: config.total_tasks(),
             down_count: 0,
@@ -152,12 +194,95 @@ impl<'a> Simulator<'a> {
         }
     }
 
+    /// Re-arms a finished simulator for another replication of the same
+    /// configuration, overwriting the RNG streams from `streams` — bit-
+    /// identical to building a fresh [`Simulator::new`] with the same
+    /// arguments, but reusing every allocation (event queue, node vectors,
+    /// metrics, scratch buffers).
+    pub fn reset(&mut self, streams: &StreamFactory) {
+        let n = self.config.num_nodes();
+        self.queue.clear();
+        for (i, nc) in self.config.nodes.iter().enumerate() {
+            self.nodes[i] = NodeRt {
+                up: true,
+                queue: nc.initial_tasks,
+                service_ev: None,
+                fail_ev: None,
+                down_since: 0.0,
+            };
+            self.node_views[i].queue_len = nc.initial_tasks;
+            self.node_views[i].up = true;
+            self.service_rng[i] = streams.stream(2 * i as u64);
+            self.churn_rng[i] = streams.stream(2 * i as u64 + 1);
+        }
+        self.transfer_rng = streams.stream(2 * n as u64);
+        self.arrival_rng = streams.stream(2 * n as u64 + 1);
+        self.shock_rng = streams.stream(2 * n as u64 + 2);
+        self.arrival_phase = 0;
+        self.arrival_clock = 0.0;
+        self.arrivals_open = self.config.arrival_process.is_some();
+        self.processed = 0;
+        self.spawned = self.config.total_tasks();
+        self.down_count = 0;
+        self.in_transit = 0;
+        self.last_transit_change = 0.0;
+        self.metrics.reset();
+        self.order_sink.clear();
+        self.trace = self.options.record_trace.then(|| {
+            QueueTrace::new(
+                &self
+                    .config
+                    .nodes
+                    .iter()
+                    .map(|nc| nc.initial_tasks)
+                    .collect::<Vec<_>>(),
+            )
+        });
+    }
+
     /// Executes the run to completion (or deadline) under `policy`.
     ///
     /// Completion means every spawned task (initial workload, fixed
     /// external arrivals, and everything a stochastic arrival process has
     /// generated up to its horizon) has been processed.
     pub fn run(mut self, policy: &mut dyn Policy) -> SimOutcome {
+        let (time, completed) = self.drive(policy);
+        self.close_accounting(time);
+        SimOutcome {
+            completion_time: time,
+            completed,
+            metrics: self.metrics,
+            trace: self.trace,
+        }
+    }
+
+    /// Executes the run and returns the compact per-replication summary,
+    /// leaving the simulator ready for [`Simulator::reset`]. The
+    /// allocation-free counterpart of [`Simulator::run`] for the
+    /// replication runner; full metrics stay readable via
+    /// [`Simulator::metrics`].
+    pub fn run_summary(&mut self, policy: &mut dyn Policy) -> RunSummary {
+        let (time, completed) = self.drive(policy);
+        self.close_accounting(time);
+        RunSummary {
+            completion_time: time,
+            completed,
+            failures: self.metrics.failures,
+            tasks_shipped: self.metrics.tasks_shipped,
+            events: self.metrics.events,
+        }
+    }
+
+    /// The metrics of the last completed run (for callers using
+    /// [`Simulator::run_summary`]).
+    #[must_use]
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+
+    /// Seeds the initial events and drives the event loop; returns the
+    /// completion time and whether the workload finished.
+    fn drive(&mut self, policy: &mut dyn Policy) -> (f64, bool) {
         // Seed churn, shock and external-arrival events.
         for i in 0..self.config.num_nodes() {
             self.schedule_failure(i);
@@ -179,22 +304,24 @@ impl<'a> Simulator<'a> {
             self.schedule_next_proc_arrival();
         }
         // t = 0 policy action.
-        let orders = policy.on_start(&self.view());
-        self.apply_orders(&orders);
+        self.dispatch(policy, 0.0, |p, v, s| p.on_start(v, s));
         for i in 0..self.config.num_nodes() {
             self.maybe_schedule_service(i);
         }
         if self.is_complete() {
-            return self.finish(0.0, true);
+            return (0.0, true);
         }
 
         while let Some(ev) = self.queue.pop() {
             let now = ev.time.seconds();
             if let Some(deadline) = self.options.deadline {
                 if now > deadline {
-                    return self.finish(deadline, false);
+                    // Not counted in `metrics.events`: the event is popped
+                    // but never executed.
+                    return (deadline, false);
                 }
             }
+            self.metrics.events += 1;
             match ev.payload {
                 Ev::Service(i) => {
                     debug_assert!(self.nodes[i].up, "service completion on a down node");
@@ -208,7 +335,7 @@ impl<'a> Simulator<'a> {
                     self.metrics.processed_per_node[i] += 1;
                     self.record_queue(now, i);
                     if self.is_complete() {
-                        return self.finish(now, true);
+                        return (now, true);
                     }
                     self.maybe_schedule_service(i);
                 }
@@ -228,8 +355,7 @@ impl<'a> Simulator<'a> {
                         t.record_state(now, i, true);
                     }
                     self.reschedule_failures_on_pressure_change(i);
-                    let orders = policy.on_recovery(i, &self.view_at(now));
-                    self.apply_orders(&orders);
+                    self.dispatch(policy, now, |p, v, s| p.on_recovery(i, v, s));
                 }
                 Ev::TransferArrive { to, tasks } => {
                     self.accumulate_transit(now);
@@ -237,15 +363,17 @@ impl<'a> Simulator<'a> {
                     self.nodes[to].queue += tasks;
                     self.record_queue(now, to);
                     self.maybe_schedule_service(to);
-                    let orders = policy.on_transfer_arrival(to, tasks, &self.view_at(now));
-                    self.apply_orders(&orders);
+                    self.dispatch(policy, now, |p, v, s| {
+                        p.on_transfer_arrival(to, tasks, v, s)
+                    });
                 }
                 Ev::External { node, tasks } => {
                     self.nodes[node].queue += tasks;
                     self.record_queue(now, node);
                     self.maybe_schedule_service(node);
-                    let orders = policy.on_external_arrival(node, tasks, &self.view_at(now));
-                    self.apply_orders(&orders);
+                    self.dispatch(policy, now, |p, v, s| {
+                        p.on_external_arrival(node, tasks, v, s);
+                    });
                 }
                 Ev::ProcArrival { node, tasks } => {
                     self.spawned += u64::from(tasks);
@@ -253,8 +381,9 @@ impl<'a> Simulator<'a> {
                     self.record_queue(now, node);
                     self.maybe_schedule_service(node);
                     self.schedule_next_proc_arrival();
-                    let orders = policy.on_external_arrival(node, tasks, &self.view_at(now));
-                    self.apply_orders(&orders);
+                    self.dispatch(policy, now, |p, v, s| {
+                        p.on_external_arrival(node, tasks, v, s);
+                    });
                 }
                 Ev::Shock => {
                     let ChurnModel::CorrelatedShocks {
@@ -312,8 +441,7 @@ impl<'a> Simulator<'a> {
             t.record_state(now, i, false);
         }
         self.reschedule_failures_on_pressure_change(i);
-        let orders = policy.on_failure(i, &self.view_at(now));
-        self.apply_orders(&orders);
+        self.dispatch(policy, now, |p, v, s| p.on_failure(i, v, s));
     }
 
     /// Effective failure rate of node `i` under the configured churn model.
@@ -468,26 +596,37 @@ impl<'a> Simulator<'a> {
         }
     }
 
-    fn view(&self) -> SystemView {
-        self.view_at(self.queue.now().seconds())
+    /// The policy-callback path: syncs the borrowed view scratch
+    /// (`view_at`), invokes one hook into the reusable order sink, and
+    /// applies the resulting orders — all without heap allocation once the
+    /// sink has warmed up.
+    fn dispatch(
+        &mut self,
+        policy: &mut dyn Policy,
+        now: f64,
+        hook: impl FnOnce(&mut dyn Policy, &SystemView<'_>, &mut Vec<TransferOrder>),
+    ) {
+        // Temporarily take the sink so the view's borrow of `self` and the
+        // sink's mutability do not alias (`mem::take` swaps in an empty,
+        // allocation-free Vec).
+        let mut sink = std::mem::take(&mut self.order_sink);
+        sink.clear();
+        let view = self.view_at(now);
+        hook(policy, &view, &mut sink);
+        self.apply_orders(&sink);
+        self.order_sink = sink;
     }
 
-    fn view_at(&self, time: f64) -> SystemView {
+    /// Re-syncs the dynamic node fields into the view scratch and lends it
+    /// out as a borrowed snapshot at time `time`.
+    fn view_at(&mut self, time: f64) -> SystemView<'_> {
+        for (v, rt) in self.node_views.iter_mut().zip(&self.nodes) {
+            v.queue_len = rt.queue;
+            v.up = rt.up;
+        }
         SystemView {
             time,
-            nodes: self
-                .nodes
-                .iter()
-                .enumerate()
-                .map(|(id, rt)| NodeView {
-                    id,
-                    queue_len: rt.queue,
-                    up: rt.up,
-                    service_rate: self.config.nodes[id].service_rate,
-                    failure_rate: self.config.nodes[id].failure_rate,
-                    recovery_rate: self.config.nodes[id].recovery_rate,
-                })
-                .collect(),
+            nodes: &self.node_views,
             delay_per_task: self.config.network.per_task,
             in_transit: self.in_transit,
         }
@@ -571,19 +710,15 @@ impl<'a> Simulator<'a> {
         }
     }
 
-    fn finish(mut self, time: f64, completed: bool) -> SimOutcome {
+    /// End-of-run bookkeeping shared by [`Simulator::run`] and
+    /// [`Simulator::run_summary`].
+    fn close_accounting(&mut self, time: f64) {
         self.accumulate_transit(time);
         // Close out down-time accounting for nodes still down.
         for i in 0..self.config.num_nodes() {
             if !self.nodes[i].up {
                 self.metrics.downtime_per_node[i] += time - self.nodes[i].down_since;
             }
-        }
-        SimOutcome {
-            completion_time: time,
-            completed,
-            metrics: self.metrics,
-            trace: self.trace,
         }
     }
 }
@@ -701,6 +836,41 @@ mod tests {
     }
 
     #[test]
+    fn reset_replays_a_run_bit_exactly() {
+        // A reused simulator must be indistinguishable from a fresh one:
+        // same streams -> same trajectory; intervening runs leave no trace.
+        let cfg = SystemConfig::paper([60, 35]);
+        let factory = StreamFactory::new(99);
+        let fresh = Simulator::new(&cfg, &factory.subfactory(1), SimOptions::default())
+            .run(&mut NoBalancing);
+        let mut sim = Simulator::new(&cfg, &factory.subfactory(0), SimOptions::default());
+        let _ = sim.run_summary(&mut NoBalancing); // a different replication first
+        sim.reset(&factory.subfactory(1));
+        let reused = sim.run_summary(&mut NoBalancing);
+        assert_eq!(reused.completion_time, fresh.completion_time);
+        assert_eq!(reused.failures, fresh.metrics.failures);
+        assert_eq!(reused.events, fresh.metrics.events);
+        assert_eq!(sim.metrics(), &fresh.metrics);
+    }
+
+    #[test]
+    fn reset_covers_arrival_process_state() {
+        use crate::config::ArrivalProcess;
+        // Arrival clock/phase are part of the reset contract too.
+        let cfg = reliable_pair([2, 2])
+            .with_arrival_process(ArrivalProcess::poisson(1.0, 15.0).with_batch(1, 2));
+        let factory = StreamFactory::new(7);
+        let fresh = Simulator::new(&cfg, &factory.subfactory(3), SimOptions::default())
+            .run(&mut NoBalancing);
+        let mut sim = Simulator::new(&cfg, &factory.subfactory(2), SimOptions::default());
+        let _ = sim.run_summary(&mut NoBalancing);
+        sim.reset(&factory.subfactory(3));
+        let reused = sim.run_summary(&mut NoBalancing);
+        assert_eq!(reused.completion_time, fresh.completion_time);
+        assert_eq!(sim.metrics(), &fresh.metrics);
+    }
+
+    #[test]
     fn deadline_stops_early() {
         let cfg = reliable_pair([10_000, 10_000]);
         let out = simulate(
@@ -758,12 +928,12 @@ mod tests {
         fn name(&self) -> &str {
             "ship-once"
         }
-        fn on_start(&mut self, _: &SystemView) -> Vec<TransferOrder> {
-            vec![TransferOrder {
+        fn on_start(&mut self, _: &SystemView<'_>, orders: &mut Vec<TransferOrder>) {
+            orders.push(TransferOrder {
                 from: 0,
                 to: 1,
                 tasks: self.0,
-            }]
+            });
         }
     }
 
@@ -815,12 +985,12 @@ mod tests {
             fn name(&self) -> &str {
                 "ship-back"
             }
-            fn on_start(&mut self, _: &SystemView) -> Vec<TransferOrder> {
-                vec![TransferOrder {
+            fn on_start(&mut self, _: &SystemView<'_>, orders: &mut Vec<TransferOrder>) {
+                orders.push(TransferOrder {
                     from: 1,
                     to: 0,
                     tasks: 2,
-                }]
+                });
             }
         }
         let mut cfg = reliable_pair([0, 2]);

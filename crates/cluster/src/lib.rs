@@ -7,13 +7,17 @@
 //!
 //! * [`config`] — node/network/system parameter sets.
 //! * [`policy`] — the hook interface load-balancing policies implement
-//!   (`at start`, `at failure`, `at recovery`, `at arrival`); the policies
-//!   themselves (LBP-1, LBP-2, baselines) live in `churnbal-core`.
+//!   (`at start`, `at failure`, `at recovery`, `at arrival`): borrowed
+//!   [`SystemView`]s over engine scratch plus a reusable order sink, so a
+//!   policy callback allocates nothing. The policies themselves (LBP-1,
+//!   LBP-2, baselines) live in `churnbal-core`.
 //! * [`engine`] — the event-driven simulator built on `churnbal-desim`:
 //!   exponential service, churn processes, delayed batch transfers,
-//!   external arrivals, queue traces, hard determinism from a seed.
+//!   external arrivals, queue traces, hard determinism from a seed;
+//!   resettable in place for allocation-free replication loops.
 //! * [`mc`] — the replication runner: parallel Monte-Carlo estimation with
-//!   per-replication random streams, bit-identical for any thread count.
+//!   per-replication random streams, bit-identical for any thread count;
+//!   each worker reuses one simulator's scratch across its replications.
 //! * [`testbed`] — the stand-in for the paper's physical WLAN test-bed
 //!   (see DESIGN.md "Substitutions"): the same dynamics with the empirically
 //!   shaped transfer-delay law (fixed shift + per-task jitter) and the
@@ -38,7 +42,7 @@ pub use config::{
     ArrivalKind, ArrivalProcess, ChurnModel, DelayLaw, ExternalArrival, NetworkConfig, NodeConfig,
     SystemConfig,
 };
-pub use engine::{simulate, SimOptions, SimOutcome, Simulator};
+pub use engine::{simulate, RunSummary, SimOptions, SimOutcome, Simulator};
 pub use mc::{run_replications, McEstimate};
 pub use policy::{NoBalancing, NodeView, Policy, SystemView, TransferOrder};
 pub use trace::QueueTrace;

@@ -26,6 +26,9 @@ pub struct McEstimate {
     pub failures_per_rep: Vec<u64>,
     /// Tasks shipped in each replication (same indexing).
     pub tasks_shipped_per_rep: Vec<u64>,
+    /// Total engine events dispatched across all replications — the
+    /// numerator of `perfreport`'s events/sec throughput figure.
+    pub total_events: u64,
     /// Mean number of failures per replication.
     pub mean_failures: f64,
     /// Mean tasks shipped per replication.
@@ -82,24 +85,35 @@ where
     // `t, t+threads, t+2·threads, …` and returns its results; the scatter
     // into the index-ordered vectors below makes the output a pure function
     // of (config, policy, master_seed, reps) regardless of scheduling.
-    // (replication index, completion time, failures, tasks shipped, completed)
-    type RepRecord = (u64, f64, u64, u64, bool);
+    // Every worker keeps ONE simulator alive across its replications —
+    // [`Simulator::reset`] re-seeds the RNG streams and rewinds the state
+    // in place, so the event queue, node vectors, metrics and policy-view
+    // scratch are allocated once per thread, not once per replication.
+    // (replication index, completion time, failures, tasks shipped, events,
+    // completed)
+    type RepRecord = (u64, f64, u64, u64, u64, bool);
     let per_thread: Vec<Vec<RepRecord>> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..threads as u64)
             .map(|t| {
                 let factory = &factory;
                 scope.spawn(move || {
                     let mut local = Vec::new();
+                    // `new` already seeds from replication `t`'s streams;
+                    // `reset` re-arms for every later replication.
+                    let mut sim = Simulator::new(config, &factory.subfactory(t), options);
                     let mut r = t;
                     while r < reps {
                         let mut policy = make_policy(r);
-                        let sub = factory.subfactory(r);
-                        let out = Simulator::new(config, &sub, options).run(&mut policy);
+                        if r != t {
+                            sim.reset(&factory.subfactory(r));
+                        }
+                        let out = sim.run_summary(&mut policy);
                         local.push((
                             r,
                             out.completion_time,
-                            out.metrics.failures,
-                            out.metrics.tasks_shipped,
+                            out.failures,
+                            out.tasks_shipped,
+                            out.events,
                             out.completed,
                         ));
                         r += threads as u64;
@@ -118,11 +132,13 @@ where
     let mut failures = vec![0u64; reps as usize];
     let mut shipped = vec![0u64; reps as usize];
     let mut complete = vec![false; reps as usize];
+    let mut total_events = 0u64;
     for chunk in per_thread {
-        for (r, t, f, s, c) in chunk {
+        for (r, t, f, s, e, c) in chunk {
             times[r as usize] = t;
             failures[r as usize] = f;
             shipped[r as usize] = s;
+            total_events += e;
             complete[r as usize] = c;
         }
     }
@@ -134,6 +150,7 @@ where
     let incomplete = complete.iter().filter(|&&c| !c).count() as u64;
     McEstimate {
         completion,
+        total_events,
         mean_failures: failures.iter().sum::<u64>() as f64 / reps as f64,
         mean_tasks_shipped: shipped.iter().sum::<u64>() as f64 / reps as f64,
         completion_times: times,

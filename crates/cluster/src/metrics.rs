@@ -3,6 +3,9 @@
 /// Counters and integrals collected during one simulation run.
 #[derive(Clone, Debug, PartialEq)]
 pub struct Metrics {
+    /// Number of events the engine executed (a deadline-exceeding pop is
+    /// not counted). The throughput numerator of the `perfreport` harness.
+    pub events: u64,
     /// Number of node failures observed.
     pub failures: u64,
     /// Number of node recoveries observed.
@@ -29,6 +32,7 @@ impl Metrics {
     #[must_use]
     pub fn new(n: usize) -> Self {
         Self {
+            events: 0,
             failures: 0,
             recoveries: 0,
             transfers: 0,
@@ -44,6 +48,20 @@ impl Metrics {
     #[must_use]
     pub fn total_processed(&self) -> u64 {
         self.processed_per_node.iter().sum()
+    }
+
+    /// Zeroes every counter in place, keeping the per-node vectors'
+    /// allocations — the reset path of a reused simulator.
+    pub fn reset(&mut self) {
+        self.events = 0;
+        self.failures = 0;
+        self.recoveries = 0;
+        self.transfers = 0;
+        self.tasks_shipped = 0;
+        self.tasks_clamped = 0;
+        self.processed_per_node.fill(0);
+        self.downtime_per_node.fill(0.0);
+        self.transit_task_seconds = 0.0;
     }
 }
 
@@ -66,5 +84,21 @@ mod tests {
         m.processed_per_node[0] = 10;
         m.processed_per_node[1] = 32;
         assert_eq!(m.total_processed(), 42);
+    }
+
+    #[test]
+    fn reset_restores_the_zero_state() {
+        let mut m = Metrics::new(2);
+        m.events = 9;
+        m.failures = 3;
+        m.recoveries = 2;
+        m.transfers = 1;
+        m.tasks_shipped = 7;
+        m.tasks_clamped = 4;
+        m.processed_per_node[1] = 5;
+        m.downtime_per_node[0] = 1.5;
+        m.transit_task_seconds = 0.25;
+        m.reset();
+        assert_eq!(m, Metrics::new(2));
     }
 }

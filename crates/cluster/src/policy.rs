@@ -7,6 +7,14 @@
 //! clamping to what the source queue actually holds (the backup system can
 //! only ship tasks that exist).
 //!
+//! The interface is shaped for a zero-allocation hot path:
+//!
+//! * [`SystemView`] *borrows* the engine's node snapshots instead of
+//!   owning a freshly collected vector — the engine maintains one scratch
+//!   buffer per simulator and lends it out per callback;
+//! * hooks *append* to a reusable [`TransferOrder`] sink (cleared by the
+//!   engine before each call) instead of returning a fresh `Vec`.
+//!
 //! The concrete policies of the paper (LBP-1, LBP-2) and the baselines are
 //! implemented in `churnbal-core`; this crate only fixes the interface so
 //! the substrate stays policy-agnostic.
@@ -41,13 +49,14 @@ impl NodeView {
     }
 }
 
-/// Read-only system snapshot handed to policy hooks.
-#[derive(Clone, Debug)]
-pub struct SystemView {
+/// Read-only system snapshot handed to policy hooks. Borrows the engine's
+/// per-simulator scratch buffer — building one costs no allocation.
+#[derive(Clone, Copy, Debug)]
+pub struct SystemView<'a> {
     /// Simulation time of the triggering event (seconds).
     pub time: f64,
     /// Per-node snapshots.
-    pub nodes: Vec<NodeView>,
+    pub nodes: &'a [NodeView],
     /// Mean network delay per task (the policies of the paper know the
     /// channel estimate from probing, §4).
     pub delay_per_task: f64,
@@ -55,7 +64,7 @@ pub struct SystemView {
     pub in_transit: u32,
 }
 
-impl SystemView {
+impl SystemView<'_> {
     /// Sum of all queued tasks.
     #[must_use]
     pub fn total_queued(&self) -> u32 {
@@ -82,32 +91,30 @@ pub struct TransferOrder {
 
 /// A load-balancing policy: stateful, invoked at the §3 hook points.
 ///
-/// Hooks return the transfers to initiate *now*; returning an empty vector
-/// means no action. Default implementations do nothing, so a policy only
-/// overrides the hooks it uses (LBP-1 only `on_start`, LBP-2 both
-/// `on_start` and `on_failure`).
+/// Hooks push the transfers to initiate *now* into `orders` — a reusable
+/// sink the engine clears before every call; leaving it empty means no
+/// action. Default implementations do nothing, so a policy only overrides
+/// the hooks it uses (LBP-1 only `on_start`, LBP-2 both `on_start` and
+/// `on_failure`).
 pub trait Policy {
     /// Human-readable policy name (used in harness output).
     fn name(&self) -> &str;
 
     /// Called once at `t = 0` when all nodes are up and hold their initial
     /// workloads.
-    fn on_start(&mut self, view: &SystemView) -> Vec<TransferOrder> {
-        let _ = view;
-        Vec::new()
+    fn on_start(&mut self, view: &SystemView<'_>, orders: &mut Vec<TransferOrder>) {
+        let _ = (view, orders);
     }
 
     /// Called at every failure instant of `node` (the node is already
     /// marked down; its backup system can still send).
-    fn on_failure(&mut self, node: usize, view: &SystemView) -> Vec<TransferOrder> {
-        let _ = (node, view);
-        Vec::new()
+    fn on_failure(&mut self, node: usize, view: &SystemView<'_>, orders: &mut Vec<TransferOrder>) {
+        let _ = (node, view, orders);
     }
 
     /// Called at every recovery instant of `node`.
-    fn on_recovery(&mut self, node: usize, view: &SystemView) -> Vec<TransferOrder> {
-        let _ = (node, view);
-        Vec::new()
+    fn on_recovery(&mut self, node: usize, view: &SystemView<'_>, orders: &mut Vec<TransferOrder>) {
+        let _ = (node, view, orders);
     }
 
     /// Called when a transferred batch of `tasks` arrives at `node`.
@@ -115,10 +122,10 @@ pub trait Policy {
         &mut self,
         node: usize,
         tasks: u32,
-        view: &SystemView,
-    ) -> Vec<TransferOrder> {
-        let _ = (node, tasks, view);
-        Vec::new()
+        view: &SystemView<'_>,
+        orders: &mut Vec<TransferOrder>,
+    ) {
+        let _ = (node, tasks, view, orders);
     }
 
     /// Called when an external batch of `tasks` arrives at `node`
@@ -128,10 +135,10 @@ pub trait Policy {
         &mut self,
         node: usize,
         tasks: u32,
-        view: &SystemView,
-    ) -> Vec<TransferOrder> {
-        let _ = (node, tasks, view);
-        Vec::new()
+        view: &SystemView<'_>,
+        orders: &mut Vec<TransferOrder>,
+    ) {
+        let _ = (node, tasks, view, orders);
     }
 }
 
@@ -149,35 +156,36 @@ impl Policy for NoBalancing {
 mod tests {
     use super::*;
 
-    fn view() -> SystemView {
-        SystemView {
-            time: 0.0,
-            nodes: vec![
-                NodeView {
-                    id: 0,
-                    queue_len: 100,
-                    up: true,
-                    service_rate: 1.08,
-                    failure_rate: 0.05,
-                    recovery_rate: 0.1,
-                },
-                NodeView {
-                    id: 1,
-                    queue_len: 60,
-                    up: true,
-                    service_rate: 1.86,
-                    failure_rate: 0.05,
-                    recovery_rate: 0.05,
-                },
-            ],
-            delay_per_task: 0.02,
-            in_transit: 0,
-        }
+    fn nodes() -> Vec<NodeView> {
+        vec![
+            NodeView {
+                id: 0,
+                queue_len: 100,
+                up: true,
+                service_rate: 1.08,
+                failure_rate: 0.05,
+                recovery_rate: 0.1,
+            },
+            NodeView {
+                id: 1,
+                queue_len: 60,
+                up: true,
+                service_rate: 1.86,
+                failure_rate: 0.05,
+                recovery_rate: 0.05,
+            },
+        ]
     }
 
     #[test]
     fn view_aggregates() {
-        let v = view();
+        let nodes = nodes();
+        let v = SystemView {
+            time: 0.0,
+            nodes: &nodes,
+            delay_per_task: 0.02,
+            in_transit: 0,
+        };
         assert_eq!(v.total_queued(), 160);
         assert!((v.total_service_rate() - 2.94).abs() < 1e-12);
         assert!((v.nodes[0].availability() - 2.0 / 3.0).abs() < 1e-12);
@@ -186,12 +194,20 @@ mod tests {
     #[test]
     fn no_balancing_never_acts() {
         let mut p = NoBalancing;
-        let v = view();
-        assert!(p.on_start(&v).is_empty());
-        assert!(p.on_failure(0, &v).is_empty());
-        assert!(p.on_recovery(1, &v).is_empty());
-        assert!(p.on_transfer_arrival(0, 5, &v).is_empty());
-        assert!(p.on_external_arrival(1, 5, &v).is_empty());
+        let nodes = nodes();
+        let v = SystemView {
+            time: 0.0,
+            nodes: &nodes,
+            delay_per_task: 0.02,
+            in_transit: 0,
+        };
+        let mut sink = Vec::new();
+        p.on_start(&v, &mut sink);
+        p.on_failure(0, &v, &mut sink);
+        p.on_recovery(1, &v, &mut sink);
+        p.on_transfer_arrival(0, 5, &v, &mut sink);
+        p.on_external_arrival(1, 5, &v, &mut sink);
+        assert!(sink.is_empty());
         assert_eq!(p.name(), "no-balancing");
     }
 }

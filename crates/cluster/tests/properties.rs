@@ -47,7 +47,7 @@ struct ChaosPolicy {
 }
 
 impl ChaosPolicy {
-    fn orders(&mut self, view: &SystemView) -> Vec<TransferOrder> {
+    fn orders(&mut self, view: &SystemView<'_>, sink: &mut Vec<TransferOrder>) {
         self.calls += 1;
         let n = view.nodes.len();
         let mut x = self
@@ -61,20 +61,18 @@ impl ChaosPolicy {
             x
         };
         let count = (next() % 3) as usize;
-        (0..count)
-            .map(|_| {
-                let from = (next() % n as u64) as usize;
-                let mut to = (next() % n as u64) as usize;
-                if to == from {
-                    to = (to + 1) % n;
-                }
-                TransferOrder {
-                    from,
-                    to,
-                    tasks: (next() % 50) as u32,
-                }
-            })
-            .collect()
+        for _ in 0..count {
+            let from = (next() % n as u64) as usize;
+            let mut to = (next() % n as u64) as usize;
+            if to == from {
+                to = (to + 1) % n;
+            }
+            sink.push(TransferOrder {
+                from,
+                to,
+                tasks: (next() % 50) as u32,
+            });
+        }
     }
 }
 
@@ -82,17 +80,28 @@ impl Policy for ChaosPolicy {
     fn name(&self) -> &str {
         "chaos"
     }
-    fn on_start(&mut self, view: &SystemView) -> Vec<TransferOrder> {
-        self.orders(view)
+    fn on_start(&mut self, view: &SystemView<'_>, orders: &mut Vec<TransferOrder>) {
+        self.orders(view, orders);
     }
-    fn on_failure(&mut self, _node: usize, view: &SystemView) -> Vec<TransferOrder> {
-        self.orders(view)
+    fn on_failure(&mut self, _node: usize, view: &SystemView<'_>, orders: &mut Vec<TransferOrder>) {
+        self.orders(view, orders);
     }
-    fn on_recovery(&mut self, _node: usize, view: &SystemView) -> Vec<TransferOrder> {
-        self.orders(view)
+    fn on_recovery(
+        &mut self,
+        _node: usize,
+        view: &SystemView<'_>,
+        orders: &mut Vec<TransferOrder>,
+    ) {
+        self.orders(view, orders);
     }
-    fn on_transfer_arrival(&mut self, _n: usize, _t: u32, view: &SystemView) -> Vec<TransferOrder> {
-        self.orders(view)
+    fn on_transfer_arrival(
+        &mut self,
+        _n: usize,
+        _t: u32,
+        view: &SystemView<'_>,
+        orders: &mut Vec<TransferOrder>,
+    ) {
+        self.orders(view, orders);
     }
 }
 

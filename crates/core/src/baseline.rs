@@ -37,8 +37,8 @@ impl Policy for InitialBalanceOnly {
         "initial-balance-only"
     }
 
-    fn on_start(&mut self, view: &SystemView) -> Vec<TransferOrder> {
-        self.inner.balancing_orders(view)
+    fn on_start(&mut self, view: &SystemView<'_>, orders: &mut Vec<TransferOrder>) {
+        self.inner.balancing_orders_into(view, orders);
     }
 }
 
@@ -70,8 +70,8 @@ impl Policy for UponFailureOnly {
         "upon-failure-only"
     }
 
-    fn on_failure(&mut self, node: usize, view: &SystemView) -> Vec<TransferOrder> {
-        self.inner.failure_orders(node, view)
+    fn on_failure(&mut self, node: usize, view: &SystemView<'_>, orders: &mut Vec<TransferOrder>) {
+        self.inner.failure_orders_into(node, view, orders);
     }
 }
 

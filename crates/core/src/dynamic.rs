@@ -49,23 +49,24 @@ impl Policy for EpisodicLbp2 {
         "LBP-2 (episodic)"
     }
 
-    fn on_start(&mut self, view: &SystemView) -> Vec<TransferOrder> {
+    fn on_start(&mut self, view: &SystemView<'_>, orders: &mut Vec<TransferOrder>) {
         self.episodes += 1;
-        self.inner.balancing_orders(view)
+        self.inner.balancing_orders_into(view, orders);
     }
 
-    fn on_failure(&mut self, node: usize, view: &SystemView) -> Vec<TransferOrder> {
-        self.inner.failure_orders(node, view)
+    fn on_failure(&mut self, node: usize, view: &SystemView<'_>, orders: &mut Vec<TransferOrder>) {
+        self.inner.failure_orders_into(node, view, orders);
     }
 
     fn on_external_arrival(
         &mut self,
         _node: usize,
         _tasks: u32,
-        view: &SystemView,
-    ) -> Vec<TransferOrder> {
+        view: &SystemView<'_>,
+        orders: &mut Vec<TransferOrder>,
+    ) {
         self.episodes += 1;
-        self.inner.balancing_orders(view)
+        self.inner.balancing_orders_into(view, orders);
     }
 }
 
@@ -103,22 +104,22 @@ impl DynamicLbp1 {
         self.episodes
     }
 
-    fn plan(&mut self, view: &SystemView) -> Vec<TransferOrder> {
+    fn plan(&mut self, view: &SystemView<'_>, orders: &mut Vec<TransferOrder>) {
         self.episodes += 1;
         let m0 = [view.nodes[0].queue_len, view.nodes[1].queue_len];
         if m0[0] + m0[1] == 0 {
-            return Vec::new();
+            return;
         }
         let state = WorkState::new(view.nodes[0].up, view.nodes[1].up);
         let opt = optimize_lbp1(&self.params, m0, state);
         if opt.tasks == 0 {
-            return Vec::new();
+            return;
         }
-        vec![TransferOrder {
+        orders.push(TransferOrder {
             from: opt.sender,
             to: opt.receiver,
             tasks: opt.tasks,
-        }]
+        });
     }
 }
 
@@ -127,17 +128,18 @@ impl Policy for DynamicLbp1 {
         "LBP-1 (dynamic)"
     }
 
-    fn on_start(&mut self, view: &SystemView) -> Vec<TransferOrder> {
-        self.plan(view)
+    fn on_start(&mut self, view: &SystemView<'_>, orders: &mut Vec<TransferOrder>) {
+        self.plan(view, orders);
     }
 
     fn on_external_arrival(
         &mut self,
         _node: usize,
         _tasks: u32,
-        view: &SystemView,
-    ) -> Vec<TransferOrder> {
-        self.plan(view)
+        view: &SystemView<'_>,
+        orders: &mut Vec<TransferOrder>,
+    ) {
+        self.plan(view, orders);
     }
 }
 

@@ -20,6 +20,83 @@
 //! load `m/λ_d` receive more. The amount actually shipped is attenuated by
 //! the gain: `L_ij = K · p_ij · L_excess_j` (Eq. 7).
 
+use churnbal_cluster::TransferOrder;
+
+/// Streams the Eq. (6)–(7) balancing orders for an `n`-node system into
+/// `sink` without allocating: node `j`'s excess over its weight-
+/// proportional share, attenuated by `gain` and partitioned over the other
+/// nodes, one order per positive rounded amount.
+///
+/// `queue(i)` / `weight(i)` describe the system (the weight is the service
+/// rate for LBP-2, or an availability-discounted rate for the multi-node
+/// preemptive policy). The arithmetic performs the exact operation
+/// sequence of [`excess_loads`] + [`partition_fractions`], so orders are
+/// bit-identical to the historical collect-then-partition path.
+///
+/// # Panics
+/// Panics if `n < 2` or any weight is non-positive.
+pub fn balancing_orders_into(
+    n: usize,
+    queue: impl Fn(usize) -> u32,
+    weight: impl Fn(usize) -> f64,
+    gain: f64,
+    sink: &mut Vec<TransferOrder>,
+) {
+    assert!(n >= 2, "need at least two nodes");
+    let mut total_rate = 0.0;
+    let mut total_load = 0.0;
+    for l in 0..n {
+        let w = weight(l);
+        assert!(w > 0.0, "service rates must be positive");
+        total_rate += w;
+        total_load += f64::from(queue(l));
+    }
+    for j in 0..n {
+        let ex = (f64::from(queue(j)) - weight(j) / total_rate * total_load).max(0.0);
+        if ex <= 0.0 {
+            continue;
+        }
+        if n == 2 {
+            // The two-node partition is trivially p = 1 for the other node.
+            let amount = (gain * 1.0 * ex).round() as u32;
+            if amount > 0 {
+                sink.push(TransferOrder {
+                    from: j,
+                    to: 1 - j,
+                    tasks: amount,
+                });
+            }
+            continue;
+        }
+        // Σ_{l≠j} m_l/λ_l, accumulated in index order like the historical
+        // per-`l` vector sum.
+        let mut w_total = 0.0;
+        for l in 0..n {
+            if l != j {
+                w_total += f64::from(queue(l)) / weight(l);
+            }
+        }
+        for i in 0..n {
+            if i == j {
+                continue;
+            }
+            let frac = if w_total > 0.0 {
+                (1.0 - (f64::from(queue(i)) / weight(i)) / w_total) / (n as f64 - 2.0)
+            } else {
+                1.0 / (n as f64 - 1.0)
+            };
+            let amount = (gain * frac * ex).round() as u32;
+            if amount > 0 {
+                sink.push(TransferOrder {
+                    from: j,
+                    to: i,
+                    tasks: amount,
+                });
+            }
+        }
+    }
+}
+
 /// Excess load of every node (Eq. 6's `L_excess_j`), as real numbers
 /// (rounding happens when orders are cut).
 ///
@@ -168,5 +245,50 @@ mod tests {
     #[should_panic(expected = "out of range")]
     fn bad_j_rejected() {
         let _ = partition_fractions(&[1, 2], &[1.0, 1.0], 5);
+    }
+
+    /// The streaming sink path must replicate the collect-then-partition
+    /// reference bit-for-bit — order amounts come from the same float ops.
+    #[test]
+    fn balancing_orders_into_matches_the_slice_reference() {
+        let cases: &[(&[u32], &[f64])] = &[
+            (&[100, 60], &[1.08, 1.86]),
+            (&[108, 186], &[1.08, 1.86]),
+            (&[90, 0, 30], &[1.0, 1.0, 1.0]),
+            (&[90, 30, 30, 7], &[1.0, 1.0, 10.0, 0.3]),
+            (&[50, 0, 0], &[1.0, 2.0, 3.0]),
+            (&[0, 0, 0], &[1.0, 2.0, 3.0]),
+        ];
+        for &(queues, rates) in cases {
+            for gain in [0.0, 0.33, 0.5, 1.0] {
+                let mut reference = Vec::new();
+                let excess = excess_loads(queues, rates);
+                for (j, &ex) in excess.iter().enumerate() {
+                    if ex <= 0.0 {
+                        continue;
+                    }
+                    let p = partition_fractions(queues, rates, j);
+                    for (i, &frac) in p.iter().enumerate() {
+                        let amount = (gain * frac * ex).round() as u32;
+                        if amount > 0 {
+                            reference.push(TransferOrder {
+                                from: j,
+                                to: i,
+                                tasks: amount,
+                            });
+                        }
+                    }
+                }
+                let mut streamed = Vec::new();
+                balancing_orders_into(
+                    queues.len(),
+                    |i| queues[i],
+                    |i| rates[i],
+                    gain,
+                    &mut streamed,
+                );
+                assert_eq!(streamed, reference, "queues {queues:?} gain {gain}");
+            }
+        }
     }
 }

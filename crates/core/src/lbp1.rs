@@ -106,15 +106,14 @@ impl Policy for Lbp1 {
         "LBP-1"
     }
 
-    fn on_start(&mut self, _view: &SystemView) -> Vec<TransferOrder> {
-        if self.tasks == 0 {
-            return Vec::new();
+    fn on_start(&mut self, _view: &SystemView<'_>, orders: &mut Vec<TransferOrder>) {
+        if self.tasks > 0 {
+            orders.push(TransferOrder {
+                from: self.sender,
+                to: self.receiver,
+                tasks: self.tasks,
+            });
         }
-        vec![TransferOrder {
-            from: self.sender,
-            to: self.receiver,
-            tasks: self.tasks,
-        }]
     }
     // All other hooks: deliberately no action (the defining property of
     // LBP-1 — §2.1: "no other balancing action is taken afterwards").

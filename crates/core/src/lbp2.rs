@@ -26,7 +26,7 @@ use churnbal_cluster::{Policy, SystemConfig, SystemView, TransferOrder};
 use churnbal_model::mean::Lbp1Evaluator;
 use churnbal_model::WorkState;
 
-use crate::excess::{excess_loads, partition_fractions};
+use crate::excess::excess_loads;
 use crate::glue::{initial_workload, model_params};
 
 /// The reactive policy.
@@ -119,45 +119,44 @@ impl Lbp2 {
         Self::new(Self::optimal_initial_gain(config))
     }
 
-    /// The Eq. (7) orders for the current queue snapshot — used both at
-    /// `t = 0` and by the episodic-rebalancing extension.
+    /// The Eq. (7) orders for the current queue snapshot, appended to
+    /// `orders` without allocating — the hot-path form used by the engine
+    /// hooks at `t = 0` and by the episodic-rebalancing extension.
+    pub fn balancing_orders_into(&self, view: &SystemView<'_>, orders: &mut Vec<TransferOrder>) {
+        crate::excess::balancing_orders_into(
+            view.nodes.len(),
+            |i| view.nodes[i].queue_len,
+            |i| view.nodes[i].service_rate,
+            self.gain,
+            orders,
+        );
+    }
+
+    /// The Eq. (7) orders as a fresh vector (convenience/diagnostic form of
+    /// [`Lbp2::balancing_orders_into`]).
     #[must_use]
-    pub fn balancing_orders(&self, view: &SystemView) -> Vec<TransferOrder> {
-        let queues: Vec<u32> = view.nodes.iter().map(|n| n.queue_len).collect();
-        let rates: Vec<f64> = view.nodes.iter().map(|n| n.service_rate).collect();
-        let excess = excess_loads(&queues, &rates);
+    pub fn balancing_orders(&self, view: &SystemView<'_>) -> Vec<TransferOrder> {
         let mut orders = Vec::new();
-        for (j, &ex) in excess.iter().enumerate() {
-            if ex <= 0.0 {
-                continue;
-            }
-            let p = partition_fractions(&queues, &rates, j);
-            for (i, &frac) in p.iter().enumerate() {
-                let amount = (self.gain * frac * ex).round() as u32;
-                if amount > 0 {
-                    orders.push(TransferOrder {
-                        from: j,
-                        to: i,
-                        tasks: amount,
-                    });
-                }
-            }
-        }
+        self.balancing_orders_into(view, &mut orders);
         orders
     }
 
-    /// The Eq. (8) compensation orders for a failure of node `j`.
-    #[must_use]
-    pub fn failure_orders(&self, j: usize, view: &SystemView) -> Vec<TransferOrder> {
+    /// The Eq. (8) compensation orders for a failure of node `j`, appended
+    /// to `orders` without allocating.
+    pub fn failure_orders_into(
+        &self,
+        j: usize,
+        view: &SystemView<'_>,
+        orders: &mut Vec<TransferOrder>,
+    ) {
         let n = view.nodes.len();
         let failed = &view.nodes[j];
         if failed.recovery_rate <= 0.0 {
-            return Vec::new(); // never recovers — config validation forbids this
+            return; // never recovers — config validation forbids this
         }
         // Expected backlog accumulated while j recovers: λ_dj / λ_rj.
         let backlog = failed.service_rate / failed.recovery_rate;
         let total_rate: f64 = view.nodes.iter().map(|nv| nv.service_rate).sum();
-        let mut orders = Vec::new();
         for i in 0..n {
             if i == j {
                 continue;
@@ -181,6 +180,14 @@ impl Lbp2 {
                 });
             }
         }
+    }
+
+    /// The Eq. (8) orders as a fresh vector (convenience/diagnostic form of
+    /// [`Lbp2::failure_orders_into`]).
+    #[must_use]
+    pub fn failure_orders(&self, j: usize, view: &SystemView<'_>) -> Vec<TransferOrder> {
+        let mut orders = Vec::new();
+        self.failure_orders_into(j, view, &mut orders);
         orders
     }
 }
@@ -195,12 +202,12 @@ impl Policy for Lbp2 {
         }
     }
 
-    fn on_start(&mut self, view: &SystemView) -> Vec<TransferOrder> {
-        self.balancing_orders(view)
+    fn on_start(&mut self, view: &SystemView<'_>, orders: &mut Vec<TransferOrder>) {
+        self.balancing_orders_into(view, orders);
     }
 
-    fn on_failure(&mut self, node: usize, view: &SystemView) -> Vec<TransferOrder> {
-        self.failure_orders(node, view)
+    fn on_failure(&mut self, node: usize, view: &SystemView<'_>, orders: &mut Vec<TransferOrder>) {
+        self.failure_orders_into(node, view, orders);
     }
 }
 
@@ -209,27 +216,31 @@ mod tests {
     use super::*;
     use churnbal_cluster::{simulate, NodeView, SimOptions};
 
-    fn paper_view(queues: [u32; 2]) -> SystemView {
+    fn paper_nodes(queues: [u32; 2]) -> Vec<NodeView> {
+        vec![
+            NodeView {
+                id: 0,
+                queue_len: queues[0],
+                up: true,
+                service_rate: 1.08,
+                failure_rate: 0.05,
+                recovery_rate: 0.1,
+            },
+            NodeView {
+                id: 1,
+                queue_len: queues[1],
+                up: true,
+                service_rate: 1.86,
+                failure_rate: 0.05,
+                recovery_rate: 0.05,
+            },
+        ]
+    }
+
+    fn view(nodes: &[NodeView]) -> SystemView<'_> {
         SystemView {
             time: 0.0,
-            nodes: vec![
-                NodeView {
-                    id: 0,
-                    queue_len: queues[0],
-                    up: true,
-                    service_rate: 1.08,
-                    failure_rate: 0.05,
-                    recovery_rate: 0.1,
-                },
-                NodeView {
-                    id: 1,
-                    queue_len: queues[1],
-                    up: true,
-                    service_rate: 1.86,
-                    failure_rate: 0.05,
-                    recovery_rate: 0.05,
-                },
-            ],
+            nodes,
             delay_per_task: 0.02,
             in_transit: 0,
         }
@@ -238,21 +249,23 @@ mod tests {
     #[test]
     fn initial_orders_ship_gain_times_excess() {
         // (100, 60): node 1's excess is 41.22; K = 1 ships 41 tasks.
+        let nodes = paper_nodes([100, 60]);
         let p = Lbp2::new(1.0);
-        let orders = p.balancing_orders(&paper_view([100, 60]));
+        let orders = p.balancing_orders(&view(&nodes));
         assert_eq!(orders.len(), 1);
         assert_eq!(orders[0].from, 0);
         assert_eq!(orders[0].to, 1);
         assert_eq!(orders[0].tasks, 41);
         // K = 0.5 ships half.
         let half = Lbp2::new(0.5);
-        assert_eq!(half.balancing_orders(&paper_view([100, 60]))[0].tasks, 21);
+        assert_eq!(half.balancing_orders(&view(&nodes))[0].tasks, 21);
     }
 
     #[test]
     fn balanced_queues_produce_no_orders() {
+        let nodes = paper_nodes([108, 186]);
         let p = Lbp2::new(1.0);
-        assert!(p.balancing_orders(&paper_view([108, 186])).is_empty());
+        assert!(p.balancing_orders(&view(&nodes)).is_empty());
     }
 
     #[test]
@@ -261,7 +274,8 @@ mod tests {
         // ⌊0.5 · (1.86/2.94) · (1.08·10)⌋ = ⌊3.417⌋ = 3 tasks to node 2;
         // node 2 fails -> ⌊(2/3)·(1.08/2.94)·(1.86·20)⌋ = ⌊9.11⌋ = 9 tasks.
         let p = Lbp2::new(1.0);
-        let v = paper_view([100, 60]);
+        let nodes = paper_nodes([100, 60]);
+        let v = view(&nodes);
         let f1 = p.failure_orders(0, &v);
         assert_eq!(
             f1,
@@ -287,14 +301,17 @@ mod tests {
         // §4: "the amount of load to be transferred at every failure
         // instant happens to be a constant" — it depends on rates only.
         let p = Lbp2::new(1.0);
-        let a = p.failure_orders(0, &paper_view([100, 60]));
-        let b = p.failure_orders(0, &paper_view([3, 200]));
+        let heavy = paper_nodes([100, 60]);
+        let light = paper_nodes([3, 200]);
+        let a = p.failure_orders(0, &view(&heavy));
+        let b = p.failure_orders(0, &view(&light));
         assert_eq!(a, b);
     }
 
     #[test]
     fn ablations_change_eq8() {
-        let v = paper_view([100, 60]);
+        let nodes = paper_nodes([100, 60]);
+        let v = view(&nodes);
         let full = Lbp2::new(1.0).failure_orders(1, &v)[0].tasks;
         let no_avail = Lbp2::new(1.0)
             .without_availability_weight()

@@ -56,44 +56,34 @@ impl Lbp1Multi {
         self.gain
     }
 
-    /// Effective per-node weight: service rate, availability-discounted
-    /// when enabled.
-    fn weights(&self, view: &SystemView) -> Vec<f64> {
-        view.nodes
-            .iter()
-            .map(|n| {
-                if self.availability_weighted {
-                    n.service_rate * n.availability()
-                } else {
-                    n.service_rate
-                }
-            })
-            .collect()
+    /// Effective weight of one node: service rate,
+    /// availability-discounted when enabled.
+    fn weight(&self, n: &churnbal_cluster::NodeView) -> f64 {
+        if self.availability_weighted {
+            n.service_rate * n.availability()
+        } else {
+            n.service_rate
+        }
     }
 
-    /// The `t = 0` orders.
+    /// The `t = 0` orders, appended to `orders` without allocating — the
+    /// hot-path form used by the `on_start` hook.
+    pub fn initial_orders_into(&self, view: &SystemView<'_>, orders: &mut Vec<TransferOrder>) {
+        excess::balancing_orders_into(
+            view.nodes.len(),
+            |i| view.nodes[i].queue_len,
+            |i| self.weight(&view.nodes[i]),
+            self.gain,
+            orders,
+        );
+    }
+
+    /// The `t = 0` orders as a fresh vector (convenience/diagnostic form
+    /// of [`Lbp1Multi::initial_orders_into`]).
     #[must_use]
-    pub fn initial_orders(&self, view: &SystemView) -> Vec<TransferOrder> {
-        let queues: Vec<u32> = view.nodes.iter().map(|n| n.queue_len).collect();
-        let weights = self.weights(view);
-        let ex = excess::excess_loads(&queues, &weights);
+    pub fn initial_orders(&self, view: &SystemView<'_>) -> Vec<TransferOrder> {
         let mut orders = Vec::new();
-        for (j, &e) in ex.iter().enumerate() {
-            if e <= 0.0 {
-                continue;
-            }
-            let p = excess::partition_fractions(&queues, &weights, j);
-            for (i, &frac) in p.iter().enumerate() {
-                let amount = (self.gain * frac * e).round() as u32;
-                if amount > 0 {
-                    orders.push(TransferOrder {
-                        from: j,
-                        to: i,
-                        tasks: amount,
-                    });
-                }
-            }
-        }
+        self.initial_orders_into(view, &mut orders);
         orders
     }
 }
@@ -107,8 +97,8 @@ impl Policy for Lbp1Multi {
         }
     }
 
-    fn on_start(&mut self, view: &SystemView) -> Vec<TransferOrder> {
-        self.initial_orders(view)
+    fn on_start(&mut self, view: &SystemView<'_>, orders: &mut Vec<TransferOrder>) {
+        self.initial_orders_into(view, orders);
     }
     // Preemptive: no reaction to failures, recoveries or arrivals.
 }
@@ -148,21 +138,22 @@ mod tests {
     #[test]
     fn availability_weighting_ships_less_to_flaky_nodes() {
         let cfg = grid();
+        let nodes: Vec<churnbal_cluster::NodeView> = cfg
+            .nodes
+            .iter()
+            .enumerate()
+            .map(|(id, n)| churnbal_cluster::NodeView {
+                id,
+                queue_len: n.initial_tasks,
+                up: true,
+                service_rate: n.service_rate,
+                failure_rate: n.failure_rate,
+                recovery_rate: n.recovery_rate,
+            })
+            .collect();
         let view = churnbal_cluster::SystemView {
             time: 0.0,
-            nodes: cfg
-                .nodes
-                .iter()
-                .enumerate()
-                .map(|(id, n)| churnbal_cluster::NodeView {
-                    id,
-                    queue_len: n.initial_tasks,
-                    up: true,
-                    service_rate: n.service_rate,
-                    failure_rate: n.failure_rate,
-                    recovery_rate: n.recovery_rate,
-                })
-                .collect(),
+            nodes: &nodes,
             delay_per_task: 0.02,
             in_transit: 0,
         };

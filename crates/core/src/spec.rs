@@ -42,34 +42,36 @@ impl Policy for AnyPolicy {
         self.inner.name()
     }
 
-    fn on_start(&mut self, view: &SystemView) -> Vec<TransferOrder> {
-        self.inner.on_start(view)
+    fn on_start(&mut self, view: &SystemView<'_>, orders: &mut Vec<TransferOrder>) {
+        self.inner.on_start(view, orders);
     }
 
-    fn on_failure(&mut self, node: usize, view: &SystemView) -> Vec<TransferOrder> {
-        self.inner.on_failure(node, view)
+    fn on_failure(&mut self, node: usize, view: &SystemView<'_>, orders: &mut Vec<TransferOrder>) {
+        self.inner.on_failure(node, view, orders);
     }
 
-    fn on_recovery(&mut self, node: usize, view: &SystemView) -> Vec<TransferOrder> {
-        self.inner.on_recovery(node, view)
+    fn on_recovery(&mut self, node: usize, view: &SystemView<'_>, orders: &mut Vec<TransferOrder>) {
+        self.inner.on_recovery(node, view, orders);
     }
 
     fn on_transfer_arrival(
         &mut self,
         node: usize,
         tasks: u32,
-        view: &SystemView,
-    ) -> Vec<TransferOrder> {
-        self.inner.on_transfer_arrival(node, tasks, view)
+        view: &SystemView<'_>,
+        orders: &mut Vec<TransferOrder>,
+    ) {
+        self.inner.on_transfer_arrival(node, tasks, view, orders);
     }
 
     fn on_external_arrival(
         &mut self,
         node: usize,
         tasks: u32,
-        view: &SystemView,
-    ) -> Vec<TransferOrder> {
-        self.inner.on_external_arrival(node, tasks, view)
+        view: &SystemView<'_>,
+        orders: &mut Vec<TransferOrder>,
+    ) {
+        self.inner.on_external_arrival(node, tasks, view, orders);
     }
 }
 

@@ -11,22 +11,26 @@ fn arb_system(n: usize) -> impl Strategy<Value = (Vec<u32>, Vec<f64>)> {
     )
 }
 
-fn view_from(queues: &[u32], rates: &[f64]) -> SystemView {
+fn nodes_from(queues: &[u32], rates: &[f64]) -> Vec<NodeView> {
+    queues
+        .iter()
+        .zip(rates)
+        .enumerate()
+        .map(|(id, (&q, &r))| NodeView {
+            id,
+            queue_len: q,
+            up: true,
+            service_rate: r,
+            failure_rate: 0.05,
+            recovery_rate: 0.08,
+        })
+        .collect()
+}
+
+fn view_from(nodes: &[NodeView]) -> SystemView<'_> {
     SystemView {
         time: 0.0,
-        nodes: queues
-            .iter()
-            .zip(rates)
-            .enumerate()
-            .map(|(id, (&q, &r))| NodeView {
-                id,
-                queue_len: q,
-                up: true,
-                service_rate: r,
-                failure_rate: 0.05,
-                recovery_rate: 0.08,
-            })
-            .collect(),
+        nodes,
         delay_per_task: 0.02,
         in_transit: 0,
     }
@@ -71,7 +75,8 @@ proptest! {
     /// rounding per receiver) than the computed excess, and scale with K.
     #[test]
     fn initial_orders_respect_excess((queues, rates) in arb_system(3), k in 0.0f64..1.0) {
-        let view = view_from(&queues, &rates);
+        let nodes = nodes_from(&queues, &rates);
+        let view = view_from(&nodes);
         let lbp2 = Lbp2::new(k);
         let orders = lbp2.balancing_orders(&view);
         let excess = excess_loads(&queues, &rates);
@@ -94,7 +99,8 @@ proptest! {
     /// receiver.
     #[test]
     fn failure_orders_structure((queues, rates) in arb_system(3), j in 0usize..3) {
-        let view = view_from(&queues, &rates);
+        let nodes = nodes_from(&queues, &rates);
+        let view = view_from(&nodes);
         let full = Lbp2::new(1.0);
         let orders = full.failure_orders(j, &view);
         let backlog = rates[j] / 0.08; // service_rate / recovery_rate

@@ -1,13 +1,50 @@
-//! The future-event list.
-
-use std::cmp::Ordering;
-use std::collections::{BinaryHeap, HashSet};
+//! The future-event list: an indexed binary heap.
+//!
+//! The queue is a hand-rolled min-heap over `(time, seq)` with a slot map
+//! from [`EventId`] to heap position, so every operation the simulation
+//! hot path performs is cheap and allocation-free in steady state:
+//!
+//! * `schedule` — O(log n) sift-up, reusing freed slots and heap capacity;
+//! * `pop` — O(log n) sift-down of the root;
+//! * `cancel` — O(log n): the slot map locates the entry, a swap-remove
+//!   plus one sift repairs the heap. No tombstones, so cancelled events
+//!   occupy no memory and never slow later pops down.
+//!
+//! (The previous design — `BinaryHeap` plus a `HashSet` of tombstones —
+//! needed an O(n) heap scan on every cancel just to keep the return value
+//! truthful, and leaked tombstones until pops drained them.)
+//!
+//! Determinism contract: pops are ordered by `(time, seq)` where `seq` is
+//! a monotone schedule counter, i.e. exactly FIFO among equal timestamps.
+//! Slot reuse affects only the opaque ids, never the pop order, so runs
+//! are bit-identical to the tombstone design's.
 
 use crate::time::SimTime;
 
 /// Opaque handle to a scheduled event, usable for cancellation.
+///
+/// Internally a `(generation, slot)` pair: slots are recycled once their
+/// event fires or is cancelled, and the generation distinguishes the
+/// current tenant from stale handles, keeping [`EventQueue::cancel`]'s
+/// return value truthful without any scan. (A stale handle could collide
+/// only after its slot's 32-bit generation wraps — 2^32 reuses of one
+/// slot — which no simulation horizon approaches.)
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct EventId(u64);
+
+impl EventId {
+    fn new(slot: u32, generation: u32) -> Self {
+        Self((u64::from(generation) << 32) | u64::from(slot))
+    }
+
+    fn slot(self) -> usize {
+        (self.0 & 0xFFFF_FFFF) as usize
+    }
+
+    fn generation(self) -> u32 {
+        (self.0 >> 32) as u32
+    }
+}
 
 /// An event popped from the queue: when it fires and what it carries.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -23,37 +60,34 @@ pub struct ScheduledEvent<E> {
 struct Entry<E> {
     time: SimTime,
     seq: u64,
-    id: EventId,
+    slot: u32,
     payload: E,
 }
 
-impl<E> PartialEq for Entry<E> {
-    fn eq(&self, other: &Self) -> bool {
-        self.time == other.time && self.seq == other.seq
+impl<E> Entry<E> {
+    /// Strict total order: earlier time first, FIFO (`seq`) among ties.
+    fn sorts_before(&self, other: &Self) -> bool {
+        match self.time.cmp(&other.time) {
+            std::cmp::Ordering::Less => true,
+            std::cmp::Ordering::Greater => false,
+            std::cmp::Ordering::Equal => self.seq < other.seq,
+        }
     }
 }
 
-impl<E> Eq for Entry<E> {}
-
-impl<E> PartialOrd for Entry<E> {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
+/// One slot-map cell: the current tenant's generation and, while an event
+/// is pending in this slot, its heap position.
+#[derive(Clone, Copy, Debug)]
+struct Slot {
+    generation: u32,
+    pos: usize,
 }
 
-impl<E> Ord for Entry<E> {
-    fn cmp(&self, other: &Self) -> Ordering {
-        // BinaryHeap is a max-heap; invert so the earliest (time, seq) pops
-        // first. seq breaks ties FIFO for determinism.
-        other
-            .time
-            .cmp(&self.time)
-            .then_with(|| other.seq.cmp(&self.seq))
-    }
-}
+/// Sentinel heap position for a slot with no pending event.
+const VACANT: usize = usize::MAX;
 
-/// Deterministic future-event list with O(log n) scheduling and pop, and
-/// O(1) amortised cancellation.
+/// Deterministic future-event list with O(log n) scheduling, pop and
+/// cancellation.
 ///
 /// ```
 /// use churnbal_desim::EventQueue;
@@ -70,11 +104,15 @@ impl<E> Ord for Entry<E> {
 /// the most recently popped event (initially `0`), and scheduling earlier
 /// than `now` panics.
 pub struct EventQueue<E> {
-    heap: BinaryHeap<Entry<E>>,
-    cancelled: HashSet<EventId>,
+    /// Binary min-heap over `(time, seq)`.
+    heap: Vec<Entry<E>>,
+    /// Slot map: `EventId::slot` → generation + heap position.
+    slots: Vec<Slot>,
+    /// Recycled slot indices.
+    free: Vec<u32>,
+    /// Monotone schedule counter — the FIFO tie-break, never recycled.
     next_seq: u64,
     now: SimTime,
-    live: usize,
 }
 
 impl<E> Default for EventQueue<E> {
@@ -88,11 +126,11 @@ impl<E> EventQueue<E> {
     #[must_use]
     pub fn new() -> Self {
         Self {
-            heap: BinaryHeap::new(),
-            cancelled: HashSet::new(),
+            heap: Vec::new(),
+            slots: Vec::new(),
+            free: Vec::new(),
             next_seq: 0,
             now: SimTime::ZERO,
-            live: 0,
         }
     }
 
@@ -102,16 +140,35 @@ impl<E> EventQueue<E> {
         self.now
     }
 
-    /// Number of live (non-cancelled) events still pending.
+    /// Number of live events still pending.
     #[must_use]
     pub fn len(&self) -> usize {
-        self.live
+        self.heap.len()
     }
 
     /// True when no live events remain.
     #[must_use]
     pub fn is_empty(&self) -> bool {
-        self.live == 0
+        self.heap.is_empty()
+    }
+
+    /// Empties the queue and resets the clock and schedule counter to the
+    /// freshly-constructed state, keeping every allocation (heap capacity,
+    /// slot map, free list) — the reset path of a reused simulator.
+    /// Outstanding [`EventId`]s are invalidated ([`EventQueue::cancel`]
+    /// returns `false` for them).
+    pub fn clear(&mut self) {
+        self.heap.clear();
+        // Bump every generation so pre-clear ids go stale, then rebuild the
+        // free list; slot order only affects id values, never pop order.
+        self.free.clear();
+        for (i, slot) in self.slots.iter_mut().enumerate() {
+            slot.generation = slot.generation.wrapping_add(1);
+            slot.pos = VACANT;
+            self.free.push(i as u32);
+        }
+        self.next_seq = 0;
+        self.now = SimTime::ZERO;
     }
 
     /// Schedules `payload` at absolute time `at`.
@@ -124,15 +181,28 @@ impl<E> EventQueue<E> {
             "cannot schedule in the past ({at} < {})",
             self.now
         );
-        let id = EventId(self.next_seq);
+        let slot = match self.free.pop() {
+            Some(s) => s,
+            None => {
+                let s = u32::try_from(self.slots.len()).expect("more than 2^32 pending events");
+                self.slots.push(Slot {
+                    generation: 0,
+                    pos: VACANT,
+                });
+                s
+            }
+        };
+        let pos = self.heap.len();
+        self.slots[slot as usize].pos = pos;
+        let id = EventId::new(slot, self.slots[slot as usize].generation);
         self.heap.push(Entry {
             time: at,
             seq: self.next_seq,
-            id,
+            slot,
             payload,
         });
         self.next_seq += 1;
-        self.live += 1;
+        self.sift_up(pos);
         id
     }
 
@@ -148,72 +218,117 @@ impl<E> EventQueue<E> {
         self.schedule_at(self.now + delay, payload)
     }
 
-    /// Cancels a pending event. Returns `true` if the event was still
-    /// pending (and is now guaranteed never to fire), `false` if it already
-    /// fired or was already cancelled.
+    /// Cancels a pending event in O(log n). Returns `true` if the event was
+    /// still pending (and is now guaranteed never to fire), `false` if it
+    /// already fired, was already cancelled, or was never issued.
     pub fn cancel(&mut self, id: EventId) -> bool {
-        // An id refers to a pending event iff it was issued (< next_seq),
-        // has not fired, and is not already tombstoned. Fired events are
-        // removed from the heap, so the check below is: is it in the heap?
-        // We avoid an O(n) scan by trusting `live` bookkeeping: insert the
-        // tombstone and verify lazily on pop. To keep `cancel` truthful we
-        // track issued-but-not-fired ids implicitly: a second cancel of the
-        // same id returns false via the HashSet.
-        if id.0 >= self.next_seq || self.cancelled.contains(&id) {
-            return false;
+        let Some(slot) = self.slots.get(id.slot()) else {
+            return false; // never issued
+        };
+        if slot.generation != id.generation() || slot.pos == VACANT {
+            return false; // fired, cancelled, or a stale pre-clear handle
         }
-        // Check whether it already fired: fired events can never be in the
-        // heap. We cannot probe the heap cheaply, so we keep a conservative
-        // contract: cancelling a fired id inserts a harmless tombstone but
-        // returns false. Callers that need the distinction keep their own
-        // state; the cluster simulator always cancels before the event time.
-        if self.fired(id) {
-            return false;
-        }
-        self.cancelled.insert(id);
-        self.live -= 1;
+        let pos = slot.pos;
+        self.remove_at(pos);
+        self.release_slot(id.slot());
         true
-    }
-
-    fn fired(&self, id: EventId) -> bool {
-        // A fired id is one that is neither pending in the heap nor
-        // tombstoned. Scanning the heap is O(n) but cancel-after-fire is a
-        // cold path used only in assertions and tests.
-        !self.heap.iter().any(|e| e.id == id)
     }
 
     /// Pops the next live event, advancing the clock to its firing time.
     /// Returns `None` when the queue is exhausted.
     pub fn pop(&mut self) -> Option<ScheduledEvent<E>> {
-        while let Some(entry) = self.heap.pop() {
-            if self.cancelled.remove(&entry.id) {
-                continue; // tombstoned
-            }
-            self.live -= 1;
-            debug_assert!(entry.time >= self.now, "event queue went back in time");
-            self.now = entry.time;
-            return Some(ScheduledEvent {
-                time: entry.time,
-                id: entry.id,
-                payload: entry.payload,
-            });
+        if self.heap.is_empty() {
+            return None;
         }
-        None
+        let entry = self.remove_at(0);
+        let slot = entry.slot as usize;
+        let id = EventId::new(entry.slot, self.slots[slot].generation);
+        self.release_slot(slot);
+        debug_assert!(entry.time >= self.now, "event queue went back in time");
+        self.now = entry.time;
+        Some(ScheduledEvent {
+            time: entry.time,
+            id,
+            payload: entry.payload,
+        })
     }
 
     /// Peeks at the firing time of the next live event without popping it.
     #[must_use]
-    pub fn peek_time(&mut self) -> Option<SimTime> {
-        // Drop tombstones eagerly so peek is accurate.
-        while let Some(entry) = self.heap.peek() {
-            if self.cancelled.contains(&entry.id) {
-                let e = self.heap.pop().expect("peeked entry exists");
-                self.cancelled.remove(&e.id);
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.first().map(|e| e.time)
+    }
+
+    /// Marks a slot's event as gone: bumps the generation (staling the old
+    /// id) and returns the slot to the free list.
+    fn release_slot(&mut self, slot: usize) {
+        self.slots[slot].generation = self.slots[slot].generation.wrapping_add(1);
+        self.slots[slot].pos = VACANT;
+        self.free.push(slot as u32);
+    }
+
+    /// Removes and returns the entry at heap position `pos`, repairing the
+    /// heap with one swap-remove plus a single sift in the needed
+    /// direction. Does not touch the removed entry's slot.
+    fn remove_at(&mut self, pos: usize) -> Entry<E> {
+        let last = self.heap.len() - 1;
+        self.heap.swap(pos, last);
+        let entry = self.heap.pop().expect("heap is non-empty");
+        if pos < self.heap.len() {
+            self.slots[self.heap[pos].slot as usize].pos = pos;
+            // The transplanted entry may violate the heap property in
+            // either direction relative to its new neighbourhood. At the
+            // root (the pop path) only downward repair can apply.
+            if pos == 0 {
+                self.sift_down(0);
             } else {
-                return Some(entry.time);
+                let moved = self.sift_up(pos);
+                self.sift_down(moved);
             }
         }
-        None
+        entry
+    }
+
+    /// Moves the entry at `pos` up until its parent sorts before it;
+    /// returns its final position.
+    fn sift_up(&mut self, mut pos: usize) -> usize {
+        while pos > 0 {
+            let parent = (pos - 1) / 2;
+            if self.heap[pos].sorts_before(&self.heap[parent]) {
+                self.heap.swap(pos, parent);
+                self.slots[self.heap[pos].slot as usize].pos = pos;
+                pos = parent;
+            } else {
+                break;
+            }
+        }
+        self.slots[self.heap[pos].slot as usize].pos = pos;
+        pos
+    }
+
+    /// Moves the entry at `pos` down until no child sorts before it.
+    fn sift_down(&mut self, mut pos: usize) {
+        loop {
+            let left = 2 * pos + 1;
+            if left >= self.heap.len() {
+                break;
+            }
+            let right = left + 1;
+            let smallest_child =
+                if right < self.heap.len() && self.heap[right].sorts_before(&self.heap[left]) {
+                    right
+                } else {
+                    left
+                };
+            if self.heap[smallest_child].sorts_before(&self.heap[pos]) {
+                self.heap.swap(pos, smallest_child);
+                self.slots[self.heap[pos].slot as usize].pos = pos;
+                pos = smallest_child;
+            } else {
+                break;
+            }
+        }
+        self.slots[self.heap[pos].slot as usize].pos = pos;
     }
 }
 
@@ -293,13 +408,63 @@ mod tests {
     }
 
     #[test]
-    fn cancel_unknown_id_returns_false() {
-        let mut q: EventQueue<()> = EventQueue::new();
-        assert!(!q.cancel(EventId(42)));
+    fn cancel_after_fire_stays_false_when_the_slot_is_reused() {
+        // The fired event's slot is recycled by the next schedule; the
+        // stale id must not cancel the new tenant (generation check).
+        let mut q = EventQueue::new();
+        let old = q.schedule_in(1.0, "old");
+        q.pop();
+        let new = q.schedule_in(2.0, "new");
+        assert_eq!(old.slot(), new.slot(), "test assumes slot reuse");
+        assert!(!q.cancel(old), "stale id cancelled the new tenant");
+        assert_eq!(q.len(), 1);
+        assert!(q.cancel(new));
+        assert!(q.is_empty());
     }
 
     #[test]
-    fn peek_skips_tombstones() {
+    fn cancel_after_cancel_stays_false_when_the_slot_is_reused() {
+        let mut q = EventQueue::new();
+        let a = q.schedule_in(1.0, "a");
+        assert!(q.cancel(a));
+        let b = q.schedule_in(1.0, "b");
+        assert_eq!(a.slot(), b.slot(), "test assumes slot reuse");
+        assert!(!q.cancel(a), "double-cancel revived through slot reuse");
+        assert_eq!(q.pop().map(|e| e.payload), Some("b"));
+    }
+
+    #[test]
+    fn cancel_unknown_id_returns_false() {
+        let mut q: EventQueue<()> = EventQueue::new();
+        assert!(!q.cancel(EventId::new(42, 0)));
+    }
+
+    #[test]
+    fn cancel_mid_heap_preserves_order() {
+        // Cancel an interior entry of a larger heap and check the survivors
+        // still pop in exact (time, seq) order.
+        let mut q = EventQueue::new();
+        let ids: Vec<EventId> = (0..50)
+            .map(|i| q.schedule_at(SimTime::new(f64::from((i * 7) % 13)), i))
+            .collect();
+        for &i in &[3usize, 17, 31, 44] {
+            assert!(q.cancel(ids[i]));
+        }
+        let mut last = (SimTime::ZERO, 0u32);
+        let mut seen = 0;
+        while let Some(e) = q.pop() {
+            assert!(
+                e.time > last.0 || (e.time == last.0 && e.payload > last.1) || seen == 0,
+                "order violated at {e:?}"
+            );
+            last = (e.time, e.payload);
+            seen += 1;
+        }
+        assert_eq!(seen, 46);
+    }
+
+    #[test]
+    fn peek_skips_nothing_and_matches_pop() {
         let mut q = EventQueue::new();
         let first = q.schedule_in(1.0, "x");
         q.schedule_in(2.0, "y");
@@ -371,5 +536,42 @@ mod tests {
         }
         assert_eq!(popped, 500);
         assert!(q.is_empty());
+    }
+
+    #[test]
+    fn clear_resets_to_the_fresh_state_and_stales_old_ids() {
+        let mut q = EventQueue::new();
+        let a = q.schedule_in(1.0, 1);
+        q.schedule_in(2.0, 2);
+        q.pop();
+        q.clear();
+        assert!(q.is_empty());
+        assert_eq!(q.now(), SimTime::ZERO);
+        assert!(!q.cancel(a), "pre-clear id survived the clear");
+        // Post-clear behaviour matches a fresh queue exactly.
+        q.schedule_in(3.0, 30);
+        q.schedule_in(1.0, 10);
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|e| e.payload)).collect();
+        assert_eq!(order, vec![10, 30]);
+        assert_eq!(q.now(), SimTime::new(3.0));
+    }
+
+    #[test]
+    fn steady_state_churn_reuses_slots() {
+        // A bounded schedule/cancel/pop loop must not grow the slot map
+        // beyond its high-water mark of concurrently pending events.
+        let mut q = EventQueue::new();
+        for round in 0..200u32 {
+            let a = q.schedule_in(0.5, round);
+            q.schedule_in(1.0, round);
+            q.cancel(a);
+            q.pop();
+        }
+        assert!(q.is_empty());
+        assert!(
+            q.slots.len() <= 4,
+            "slot map grew to {} despite steady-state churn",
+            q.slots.len()
+        );
     }
 }

@@ -13,9 +13,15 @@
 //! * **Determinism.** Ties in event time are broken by insertion sequence
 //!   number (FIFO), so a simulation is a pure function of its inputs — a
 //!   property the replication-level regression tests rely on.
-//! * **Cancellation.** A scheduled event can be cancelled in O(1) via its
-//!   [`EventId`] (tombstoning); a node failure cancels the node's pending
+//! * **Cancellation.** A scheduled event can be cancelled in O(log n) via
+//!   its [`EventId`]: the queue is an indexed binary heap (slot map from id
+//!   to heap position), so cancellation removes the entry outright — no
+//!   tombstones, no scans. A node failure cancels the node's pending
 //!   task-completion event, for example.
+//! * **Allocation-free steady state.** Slots and heap capacity are
+//!   recycled, so `schedule`/`cancel`/`pop` perform no heap allocation
+//!   once the queue has reached its high-water mark, and
+//!   [`EventQueue::clear`] resets for reuse without releasing capacity.
 //! * **Monotone clock.** [`SimTime`] is a validated, totally ordered wrapper
 //!   over `f64`; the engine panics loudly if asked to schedule in the past.
 //!

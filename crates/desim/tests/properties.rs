@@ -91,6 +91,100 @@ proptest! {
         }
     }
 
+    /// Differential test: the indexed heap agrees with a brute-force
+    /// reference oracle on every observable — pop sequence, cancel return
+    /// values, and live counts — through arbitrary schedule/cancel/pop
+    /// interleavings (including double-cancels and cancel-after-fire).
+    #[test]
+    fn indexed_heap_matches_reference_oracle(
+        ops in prop::collection::vec(op_strategy(), 1..300),
+    ) {
+        /// The oracle: a flat list of (time, seq, state) with linear-scan
+        /// minimum pops — trivially correct, O(n) everything.
+        #[derive(Clone, Copy, PartialEq)]
+        enum St { Pending, Fired, Cancelled }
+        struct Oracle { events: Vec<(SimTime, St)>, now: SimTime }
+        impl Oracle {
+            fn schedule(&mut self, at: SimTime) -> usize {
+                self.events.push((at, St::Pending));
+                self.events.len() - 1
+            }
+            fn cancel(&mut self, i: usize) -> bool {
+                if self.events[i].1 == St::Pending {
+                    self.events[i].1 = St::Cancelled;
+                    true
+                } else {
+                    false
+                }
+            }
+            fn pop(&mut self) -> Option<(SimTime, usize)> {
+                // Earliest (time, seq) among pending; seq order = index
+                // order, so strict `<` keeps the first (FIFO) among ties.
+                let best = self
+                    .events
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, (_, s))| *s == St::Pending)
+                    .min_by(|(i, (ta, _)), (j, (tb, _))| {
+                        ta.cmp(tb).then(i.cmp(j))
+                    })
+                    .map(|(i, _)| i)?;
+                self.events[best].1 = St::Fired;
+                self.now = self.events[best].0;
+                Some((self.events[best].0, best))
+            }
+            fn live(&self) -> usize {
+                self.events.iter().filter(|(_, s)| *s == St::Pending).count()
+            }
+        }
+
+        let mut q = EventQueue::new();
+        let mut oracle = Oracle { events: Vec::new(), now: SimTime::ZERO };
+        let mut ids = Vec::new(); // (queue id, oracle index), same order
+        for op in ops {
+            match op {
+                Op::Schedule(dt) => {
+                    let at = q.now() + dt;
+                    ids.push((q.schedule_in(dt, ()), oracle.schedule(at)));
+                }
+                Op::CancelNth(i) => {
+                    if !ids.is_empty() {
+                        let (qid, oid) = ids[i % ids.len()];
+                        prop_assert_eq!(
+                            q.cancel(qid),
+                            oracle.cancel(oid),
+                            "cancel verdicts diverged"
+                        );
+                    }
+                }
+                Op::Pop => {
+                    let got = q.pop();
+                    let want = oracle.pop();
+                    match (got, want) {
+                        (None, None) => {}
+                        (Some(ev), Some((t, oid))) => {
+                            prop_assert_eq!(ev.time, t, "pop times diverged");
+                            // The popped queue id must be the one scheduled
+                            // together with the oracle's pick.
+                            let (qid, _) = ids.iter().find(|(_, o)| *o == oid)
+                                .expect("oracle popped a scheduled event");
+                            prop_assert_eq!(ev.id, *qid, "pop identity diverged");
+                        }
+                        (g, w) => prop_assert!(false, "pop presence diverged: {:?} vs {:?}",
+                            g.map(|e| e.time), w.map(|(t, _)| t)),
+                    }
+                }
+            }
+            prop_assert_eq!(q.len(), oracle.live(), "live counts diverged");
+        }
+        // Drain both to the end.
+        while let Some((t, _)) = oracle.pop() {
+            let ev = q.pop();
+            prop_assert_eq!(ev.map(|e| e.time), Some(t));
+        }
+        prop_assert!(q.pop().is_none());
+    }
+
     /// peek_time always reports the time of the next successful pop.
     #[test]
     fn peek_matches_pop(delays in prop::collection::vec(0.0f64..50.0, 1..50)) {

@@ -17,7 +17,10 @@
 
 use crate::registry;
 use crate::scenario::Scenario;
-use crate::sweep::{run_sweep, Axis, AxisParam, RunOptions, SweepResult};
+use crate::sweep::{
+    csv_header, csv_row, jsonl_row, run_sweep, run_sweep_streaming, Axis, AxisParam, RunOptions,
+    SweepResult,
+};
 
 const USAGE: &str = "usage: churnbal-lab <command>\n\
 \n\
@@ -304,32 +307,82 @@ fn deliver(text: String, opts: &CliOptions, preamble: String) -> Result<String, 
     }
 }
 
+/// Runs a sweep in streaming mode: each row is rendered and written (to
+/// the `--out` file or the in-memory stdout buffer) as its grid point
+/// finishes, so a long sweep's partial results are on disk while later
+/// points still run. The per-row renderers are shared with
+/// [`SweepResult::to_csv`]/[`to_jsonl`](SweepResult::to_jsonl), so the
+/// bytes are identical to the buffered path's.
+fn stream_sweep(scenario: &Scenario, opts: &CliOptions, jsonl: bool) -> Result<String, String> {
+    use std::io::Write;
+    let mut file = match &opts.out {
+        Some(path) => Some(std::io::BufWriter::new(
+            std::fs::File::create(path).map_err(|e| format!("cannot write `{path}`: {e}"))?,
+        )),
+        None => None,
+    };
+    let mut buf = String::new();
+    let mut lines = 0usize;
+    let mut first = true;
+    let name = scenario.name.clone();
+    run_sweep_streaming(scenario, &opts.axes, opts.run, |row| {
+        let mut chunk = String::new();
+        if first && !jsonl {
+            let axes: Vec<AxisParam> = row.coords.iter().map(|&(a, _)| a).collect();
+            chunk.push_str(&csv_header(&axes));
+        }
+        first = false;
+        chunk.push_str(&if jsonl {
+            jsonl_row(&name, &row)
+        } else {
+            csv_row(&name, &row)
+        });
+        lines += chunk.lines().count();
+        match &mut file {
+            Some(f) => f
+                .write_all(chunk.as_bytes())
+                .and_then(|()| f.flush())
+                .map_err(|e| format!("cannot write sweep output: {e}")),
+            None => {
+                buf.push_str(&chunk);
+                Ok(())
+            }
+        }
+    })?;
+    match &opts.out {
+        Some(path) => Ok(format!("wrote {lines} lines to {path}\n")),
+        None => Ok(buf),
+    }
+}
+
 fn cmd_run(scenario: &Scenario, opts: &CliOptions) -> Result<String, String> {
-    let result = run_sweep(scenario, &opts.axes, opts.run)?;
     let format = opts.format.as_deref().unwrap_or("table");
+    if format != "table" {
+        return stream_sweep(scenario, opts, format == "jsonl");
+    }
+    let result = run_sweep(scenario, &opts.axes, opts.run)?;
     let reps = opts.run.reps.unwrap_or(if opts.run.quick {
         scenario.quick_reps()
     } else {
         scenario.reps
     });
-    let preamble = if format == "table" {
-        format!(
-            "{}: {}\n{} point(s), {} replications each, seed {}\n\n",
-            scenario.name,
-            scenario.description,
-            result.rows.len(),
-            reps,
-            opts.run.seed.unwrap_or(scenario.seed),
-        )
-    } else {
-        String::new()
-    };
+    let preamble = format!(
+        "{}: {}\n{} point(s), {} replications each, seed {}\n\n",
+        scenario.name,
+        scenario.description,
+        result.rows.len(),
+        reps,
+        opts.run.seed.unwrap_or(scenario.seed),
+    );
     deliver(render(&result, format), opts, preamble)
 }
 
 fn cmd_sweep(scenario: &Scenario, opts: &CliOptions) -> Result<String, String> {
-    let result = run_sweep(scenario, &opts.axes, opts.run)?;
     let format = opts.format.as_deref().unwrap_or("csv");
+    if format != "table" {
+        return stream_sweep(scenario, opts, format == "jsonl");
+    }
+    let result = run_sweep(scenario, &opts.axes, opts.run)?;
     deliver(render(&result, format), opts, String::new())
 }
 
@@ -431,6 +484,39 @@ mod tests {
         let jsonl =
             call(&["run", "paper-fig5", "--reps", "3", "--format", "jsonl"]).expect("jsonl works");
         assert!(jsonl.starts_with("{\"scenario\":\"paper-fig5\""), "{jsonl}");
+    }
+
+    #[test]
+    fn streamed_out_file_matches_stdout_bytes() {
+        // `--out` streams rows to the file as points finish; the bytes must
+        // equal the stdout rendering of the same sweep, for CSV and JSONL.
+        let dir = std::env::temp_dir().join("churnbal_lab_cli_stream_test");
+        std::fs::create_dir_all(&dir).expect("tmp dir");
+        for format in ["csv", "jsonl"] {
+            let path = dir.join(format!("sweep.{format}"));
+            let path_str = path.to_str().expect("utf8");
+            let base = [
+                "sweep",
+                "paper-delay-crossover",
+                "--axis",
+                "failure-scale=0.5,1.5",
+                "--reps",
+                "3",
+                "--format",
+                format,
+            ];
+            let stdout = call(&base).expect("stdout sweep runs");
+            let mut with_out: Vec<&str> = base.to_vec();
+            with_out.extend(["--out", path_str]);
+            let report = call(&with_out).expect("file sweep runs");
+            let written = std::fs::read_to_string(&path).expect("file written");
+            assert_eq!(written, stdout, "{format}: file bytes differ from stdout");
+            let lines = written.lines().count();
+            assert!(
+                report.contains(&format!("wrote {lines} lines to {path_str}")),
+                "{report}"
+            );
+        }
     }
 
     #[test]

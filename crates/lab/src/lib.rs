@@ -46,6 +46,6 @@ pub mod toml;
 
 pub use scenario::{ArrivalsSpec, NetworkSpec, NodeSpec, Scenario};
 pub use sweep::{
-    apply_axis, expand_grid, run_scenario, run_sweep, Axis, AxisParam, RunOptions, SweepResult,
-    SweepRow,
+    apply_axis, csv_header, csv_row, expand_grid, jsonl_row, run_scenario, run_sweep,
+    run_sweep_streaming, Axis, AxisParam, RunOptions, SweepResult, SweepRow, SweepSchema,
 };

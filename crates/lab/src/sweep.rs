@@ -340,31 +340,55 @@ fn sample_sd(xs: impl Iterator<Item = f64> + Clone) -> f64 {
     (ss / (n - 1) as f64).sqrt()
 }
 
-/// Grid-expands and runs a sweep. Every point runs its replications in
-/// parallel via the Monte-Carlo runner; rows come back in grid order and
-/// are bit-identical for any `threads` value.
+/// The axis schema of a sweep, known before any grid point has run —
+/// what a streaming consumer needs to emit a header up front.
+#[derive(Clone, Debug)]
+pub struct SweepSchema {
+    /// Scenario name.
+    pub scenario: String,
+    /// Axis parameters, in column order.
+    pub axes: Vec<AxisParam>,
+    /// Number of grid points the sweep will run.
+    pub points: usize,
+}
+
+/// Grid-expands and runs a sweep, handing each completed row to `on_row`
+/// **as its grid point finishes** instead of buffering the whole grid —
+/// the streaming backbone of [`run_sweep`] and the CLI's CSV/JSONL
+/// writers. Rows arrive in grid order (replications within a point run in
+/// parallel; points are sequential), so streamed output is bit-identical
+/// for any `threads` value.
 ///
 /// # Errors
-/// Propagates expansion and execution failures.
-pub fn run_sweep(
+/// Propagates expansion and execution failures, and anything `on_row`
+/// returns (e.g. an I/O error from a row writer).
+pub fn run_sweep_streaming<F>(
     scenario: &Scenario,
     extra_axes: &[Axis],
     options: RunOptions,
-) -> Result<SweepResult, String> {
+    mut on_row: F,
+) -> Result<SweepSchema, String>
+where
+    F: FnMut(SweepRow) -> Result<(), String>,
+{
     let points = expand_grid(scenario, extra_axes)?;
     let axes: Vec<AxisParam> = points
         .first()
         .map(|p| p.coords.iter().map(|&(a, _)| a).collect())
         .unwrap_or_default();
-    let mut rows = Vec::with_capacity(points.len());
+    let schema = SweepSchema {
+        scenario: scenario.name.clone(),
+        axes,
+        points: points.len(),
+    };
     for point in points {
         let est = run_scenario(&point.scenario, options)?;
-        rows.push(SweepRow {
+        on_row(SweepRow {
             index: point.index,
-            coords: point.coords,
             reps: options.effective_reps(&point.scenario).max(1),
             seed: options.seed.unwrap_or(point.scenario.seed),
             policy: point.scenario.policy.kind().to_string(),
+            coords: point.coords,
             mean_completion: est.mean(),
             ci95: est.ci95(),
             sd_completion: sample_sd(est.completion_times.iter().copied()),
@@ -373,11 +397,30 @@ pub fn run_sweep(
             mean_tasks_shipped: est.mean_tasks_shipped,
             sd_tasks_shipped: sample_sd(est.tasks_shipped_per_rep.iter().map(|&x| x as f64)),
             incomplete: est.incomplete,
-        });
+        })?;
     }
+    Ok(schema)
+}
+
+/// Grid-expands and runs a sweep, collecting every row. The buffered
+/// convenience form of [`run_sweep_streaming`] — table rendering and tests
+/// want all rows at once.
+///
+/// # Errors
+/// Propagates expansion and execution failures.
+pub fn run_sweep(
+    scenario: &Scenario,
+    extra_axes: &[Axis],
+    options: RunOptions,
+) -> Result<SweepResult, String> {
+    let mut rows = Vec::new();
+    let schema = run_sweep_streaming(scenario, extra_axes, options, |row| {
+        rows.push(row);
+        Ok(())
+    })?;
     Ok(SweepResult {
-        scenario: scenario.name.clone(),
-        axes,
+        scenario: schema.scenario,
+        axes: schema.axes,
         rows,
     })
 }
@@ -419,45 +462,92 @@ fn json_string(s: &str) -> String {
     out
 }
 
+/// The CSV header line (with trailing newline) for a sweep over `axes` —
+/// what a streaming writer emits before the first row.
+#[must_use]
+pub fn csv_header(axes: &[AxisParam]) -> String {
+    let mut out = String::from("scenario,point");
+    for a in axes {
+        out.push(',');
+        out.push_str(a.key());
+    }
+    out.push_str(
+        ",policy,reps,seed,mean_completion,ci95,sd_completion,mean_failures,\
+         sd_failures,mean_tasks_shipped,sd_tasks_shipped,incomplete\n",
+    );
+    out
+}
+
+/// One CSV data line (with trailing newline) for `row` of `scenario`.
+/// [`SweepResult::to_csv`] and the streaming writers share this renderer,
+/// so streamed bytes are identical to buffered bytes by construction.
+#[must_use]
+pub fn csv_row(scenario: &str, r: &SweepRow) -> String {
+    let mut out = csv_field(scenario);
+    out.push(',');
+    out.push_str(&r.index.to_string());
+    for &(_, v) in &r.coords {
+        out.push(',');
+        out.push_str(&fnum(v));
+    }
+    let tail = [
+        csv_field(&r.policy),
+        r.reps.to_string(),
+        r.seed.to_string(),
+        fnum(r.mean_completion),
+        fnum(r.ci95),
+        fnum(r.sd_completion),
+        fnum(r.mean_failures),
+        fnum(r.sd_failures),
+        fnum(r.mean_tasks_shipped),
+        fnum(r.sd_tasks_shipped),
+        r.incomplete.to_string(),
+    ];
+    for cell in tail {
+        out.push(',');
+        out.push_str(&cell);
+    }
+    out.push('\n');
+    out
+}
+
+/// One JSON-lines object (with trailing newline) for `row` of `scenario`.
+#[must_use]
+pub fn jsonl_row(scenario: &str, r: &SweepRow) -> String {
+    let mut out = format!(
+        "{{\"scenario\":{},\"point\":{}",
+        json_string(scenario),
+        r.index
+    );
+    for &(a, v) in &r.coords {
+        out.push_str(&format!(",\"{}\":{}", a.key(), fnum(v)));
+    }
+    out.push_str(&format!(
+        ",\"policy\":{},\"reps\":{},\"seed\":{},\"mean_completion\":{},\
+         \"ci95\":{},\"sd_completion\":{},\"mean_failures\":{},\"sd_failures\":{},\
+         \"mean_tasks_shipped\":{},\"sd_tasks_shipped\":{},\"incomplete\":{}}}\n",
+        json_string(&r.policy),
+        r.reps,
+        r.seed,
+        fnum(r.mean_completion),
+        fnum(r.ci95),
+        fnum(r.sd_completion),
+        fnum(r.mean_failures),
+        fnum(r.sd_failures),
+        fnum(r.mean_tasks_shipped),
+        fnum(r.sd_tasks_shipped),
+        r.incomplete
+    ));
+    out
+}
+
 impl SweepResult {
     /// Renders the sweep as CSV (header + one line per grid point).
     #[must_use]
     pub fn to_csv(&self) -> String {
-        let mut out = String::from("scenario,point");
-        for a in &self.axes {
-            out.push(',');
-            out.push_str(a.key());
-        }
-        out.push_str(
-            ",policy,reps,seed,mean_completion,ci95,sd_completion,mean_failures,\
-             sd_failures,mean_tasks_shipped,sd_tasks_shipped,incomplete\n",
-        );
+        let mut out = csv_header(&self.axes);
         for r in &self.rows {
-            out.push_str(&csv_field(&self.scenario));
-            out.push(',');
-            out.push_str(&r.index.to_string());
-            for &(_, v) in &r.coords {
-                out.push(',');
-                out.push_str(&fnum(v));
-            }
-            let tail = [
-                csv_field(&r.policy),
-                r.reps.to_string(),
-                r.seed.to_string(),
-                fnum(r.mean_completion),
-                fnum(r.ci95),
-                fnum(r.sd_completion),
-                fnum(r.mean_failures),
-                fnum(r.sd_failures),
-                fnum(r.mean_tasks_shipped),
-                fnum(r.sd_tasks_shipped),
-                r.incomplete.to_string(),
-            ];
-            for cell in tail {
-                out.push(',');
-                out.push_str(&cell);
-            }
-            out.push('\n');
+            out.push_str(&csv_row(&self.scenario, r));
         }
         out
     }
@@ -467,30 +557,7 @@ impl SweepResult {
     pub fn to_jsonl(&self) -> String {
         let mut out = String::new();
         for r in &self.rows {
-            out.push_str(&format!(
-                "{{\"scenario\":{},\"point\":{}",
-                json_string(&self.scenario),
-                r.index
-            ));
-            for &(a, v) in &r.coords {
-                out.push_str(&format!(",\"{}\":{}", a.key(), fnum(v)));
-            }
-            out.push_str(&format!(
-                ",\"policy\":{},\"reps\":{},\"seed\":{},\"mean_completion\":{},\
-                 \"ci95\":{},\"sd_completion\":{},\"mean_failures\":{},\"sd_failures\":{},\
-                 \"mean_tasks_shipped\":{},\"sd_tasks_shipped\":{},\"incomplete\":{}}}\n",
-                json_string(&r.policy),
-                r.reps,
-                r.seed,
-                fnum(r.mean_completion),
-                fnum(r.ci95),
-                fnum(r.sd_completion),
-                fnum(r.mean_failures),
-                fnum(r.sd_failures),
-                fnum(r.mean_tasks_shipped),
-                fnum(r.sd_tasks_shipped),
-                r.incomplete
-            ));
+            out.push_str(&jsonl_row(&self.scenario, r));
         }
         out
     }
@@ -698,6 +765,59 @@ mod tests {
             "JSON escaping expected:\n{jsonl}"
         );
         assert_eq!(jsonl.lines().count(), 1, "escapes keep one line per row");
+    }
+
+    #[test]
+    fn streaming_rows_reproduce_the_buffered_bytes() {
+        // The streaming path must emit exactly the bytes of the buffered
+        // renderers, row for row, and deliver rows in grid order.
+        let sc = registry::get("mmpp-bursty").expect("preset");
+        let axes = vec![Axis {
+            param: AxisParam::Gain,
+            values: vec![0.25, 0.75],
+        }];
+        let options = RunOptions {
+            reps: Some(4),
+            threads: 2,
+            ..RunOptions::default()
+        };
+        let buffered = run_sweep(&sc, &axes, options).expect("buffered runs");
+        let mut streamed_csv = String::new();
+        let mut streamed_jsonl = String::new();
+        let mut indices = Vec::new();
+        let schema = run_sweep_streaming(&sc, &axes, options, |row| {
+            if streamed_csv.is_empty() {
+                let axes: Vec<AxisParam> = row.coords.iter().map(|&(a, _)| a).collect();
+                streamed_csv.push_str(&csv_header(&axes));
+            }
+            streamed_csv.push_str(&csv_row(&sc.name, &row));
+            streamed_jsonl.push_str(&jsonl_row(&sc.name, &row));
+            indices.push(row.index);
+            Ok(())
+        })
+        .expect("streaming runs");
+        assert_eq!(streamed_csv, buffered.to_csv());
+        assert_eq!(streamed_jsonl, buffered.to_jsonl());
+        assert_eq!(indices, vec![0, 1], "rows must arrive in grid order");
+        assert_eq!(schema.points, 2);
+        assert_eq!(schema.axes, vec![AxisParam::Gain]);
+    }
+
+    #[test]
+    fn streaming_propagates_sink_errors() {
+        let sc = registry::get("paper-fig5").expect("preset");
+        let err = run_sweep_streaming(
+            &sc,
+            &[],
+            RunOptions {
+                reps: Some(2),
+                threads: 1,
+                ..RunOptions::default()
+            },
+            |_| Err("disk full".to_string()),
+        )
+        .unwrap_err();
+        assert_eq!(err, "disk full");
     }
 
     #[test]

@@ -1,0 +1,84 @@
+//! Order-sensitive digests of numeric result vectors.
+//!
+//! Regression gates (pinned scenarios, the `perfreport` harness) need a
+//! compact fingerprint of a Monte-Carlo output that changes whenever any
+//! sampled value changes — by even one ULP — and is identical across
+//! platforms and thread counts. FNV-1a over the IEEE-754 bit patterns has
+//! exactly those properties: byte-exact inputs give byte-exact digests,
+//! and the engine's determinism contract makes the inputs byte-exact.
+
+/// FNV-1a offset basis (64-bit).
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+/// FNV-1a prime (64-bit).
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// FNV-1a over a byte slice.
+#[must_use]
+pub fn fnv1a_bytes(bytes: &[u8]) -> u64 {
+    let mut h = FNV_OFFSET;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+/// Order-sensitive digest of a float sequence: FNV-1a over the
+/// little-endian IEEE-754 bit patterns. `-0.0` and `0.0` digest
+/// differently, as do NaNs with different payloads — the digest refuses to
+/// paper over any bit-level drift.
+#[must_use]
+pub fn digest_f64s(xs: &[f64]) -> u64 {
+    let mut h = FNV_OFFSET;
+    for &x in xs {
+        for b in x.to_bits().to_le_bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(FNV_PRIME);
+        }
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_input_is_the_offset_basis() {
+        assert_eq!(digest_f64s(&[]), FNV_OFFSET);
+        assert_eq!(fnv1a_bytes(&[]), FNV_OFFSET);
+    }
+
+    #[test]
+    fn known_fnv1a_vector() {
+        // FNV-1a("a") = 0xaf63dc4c8601ec8c (published test vector).
+        assert_eq!(fnv1a_bytes(b"a"), 0xaf63_dc4c_8601_ec8c);
+    }
+
+    #[test]
+    fn digest_is_order_sensitive() {
+        assert_ne!(digest_f64s(&[1.0, 2.0]), digest_f64s(&[2.0, 1.0]));
+    }
+
+    #[test]
+    fn digest_sees_single_ulp_changes() {
+        let x = 1.0f64;
+        let bumped = f64::from_bits(x.to_bits() + 1);
+        assert_ne!(digest_f64s(&[x]), digest_f64s(&[bumped]));
+    }
+
+    #[test]
+    fn digest_distinguishes_signed_zero() {
+        assert_ne!(digest_f64s(&[0.0]), digest_f64s(&[-0.0]));
+    }
+
+    #[test]
+    fn digest_matches_byte_equivalent() {
+        let xs = [3.25f64, -17.5, 0.1];
+        let mut bytes = Vec::new();
+        for x in xs {
+            bytes.extend_from_slice(&x.to_bits().to_le_bytes());
+        }
+        assert_eq!(digest_f64s(&xs), fnv1a_bytes(&bytes));
+    }
+}

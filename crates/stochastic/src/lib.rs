@@ -17,11 +17,14 @@
 //! * [`regression`] — ordinary least-squares line fit (Fig. 2, mean transfer
 //!   delay vs. batch size).
 //! * [`fit`] — moment/MLE fitting of exponential laws to samples.
+//! * [`digest`] — FNV-1a fingerprints of result vectors, the currency of
+//!   the suite's pinned-scenario regression gates and `perfreport`.
 //!
 //! Everything is `no_std`-shaped plain Rust with zero runtime dependencies;
 //! determinism across platforms is part of the contract and is covered by
 //! tests.
 
+pub mod digest;
 pub mod dist;
 pub mod ecdf;
 pub mod fit;
@@ -30,6 +33,7 @@ pub mod regression;
 pub mod rng;
 pub mod stats;
 
+pub use digest::{digest_f64s, fnv1a_bytes};
 pub use dist::{
     Deterministic, Empirical, Erlang, Exponential, HyperExponential, Sample, ShiftedExponential,
     Uniform,

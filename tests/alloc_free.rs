@@ -1,0 +1,129 @@
+//! Proof of the zero-allocation hot path: a counting global allocator
+//! wraps the system allocator, and a warmed-up simulator must drive entire
+//! replications — event scheduling, cancellation, pops, policy callbacks
+//! (`view_at` + hook + `apply_orders`) — without a single allocation.
+//!
+//! This file deliberately holds ONE test: the counter is process-global,
+//! and the default test harness runs sibling tests concurrently.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use churnbal::cluster::{
+    ChurnModel, NetworkConfig, NodeConfig, SimOptions, Simulator, SystemConfig,
+};
+use churnbal::core::Lbp2;
+use churnbal::desim::EventQueue;
+use churnbal::stochastic::StreamFactory;
+
+struct CountingAllocator;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+// The safety obligations are exactly `System`'s — every call is forwarded
+// verbatim; the counter has no effect on layout or pointers.
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAllocator = CountingAllocator;
+
+fn allocations() -> u64 {
+    ALLOCS.load(Ordering::Relaxed)
+}
+
+/// Runs `f` and returns how many allocations it performed.
+fn count_allocs(f: impl FnOnce()) -> u64 {
+    let before = allocations();
+    f();
+    allocations() - before
+}
+
+#[test]
+fn warm_simulation_hot_path_does_not_allocate() {
+    // --- 1. The event queue alone: schedule/cancel/pop churn in steady
+    //        state reuses slots and heap capacity.
+    let mut q = EventQueue::new();
+    for round in 0..64u32 {
+        let a = q.schedule_in(0.5, round);
+        q.schedule_in(1.0, round);
+        q.cancel(a);
+        q.pop();
+    }
+    while q.pop().is_some() {}
+    let queue_allocs = count_allocs(|| {
+        for round in 0..512u32 {
+            let a = q.schedule_in(0.5, round);
+            q.schedule_in(1.0, round);
+            assert!(q.cancel(a));
+            q.pop();
+        }
+        while q.pop().is_some() {}
+    });
+    assert_eq!(
+        queue_allocs, 0,
+        "EventQueue schedule/cancel/pop allocated after warm-up"
+    );
+
+    // --- 2. Whole replications on the paper system under LBP-2 (start
+    //        balancing + Eq. 8 failure compensation): after one warm-up
+    //        run, an identical reset + run allocates nothing.
+    let paper = SystemConfig::paper([100, 60]);
+    assert_run_is_allocation_free(&paper, 11, "paper two-node");
+
+    // --- 3. A cancel-heavy multi-node system: cascading churn redraws
+    //        every pending failure event at each churn transition, and the
+    //        multi-node Eq. 6-7 partition exercises the n-node order path.
+    let cascading = SystemConfig::new(
+        (0..8)
+            .map(|_| NodeConfig::new(1.0, 0.05, 0.4, 25))
+            .collect(),
+        NetworkConfig::exponential(0.01),
+    )
+    .with_churn_model(ChurnModel::Cascading { amplification: 2.0 });
+    assert_run_is_allocation_free(&cascading, 17, "cascading eight-node");
+}
+
+fn assert_run_is_allocation_free(config: &SystemConfig, seed: u64, label: &str) {
+    let factory = StreamFactory::new(seed);
+    let sub = factory.subfactory(0);
+    let mut policy = Lbp2::new(1.0);
+    let mut sim = Simulator::new(config, &sub, SimOptions::default());
+    // Warm-up: reach the high-water marks of the event queue, the order
+    // sink and every scratch buffer on the exact trajectory we re-run.
+    let warm = sim.run_summary(&mut policy);
+    assert!(warm.completed, "{label}: warm-up must complete");
+    sim.reset(&sub);
+    let (summary, steady_allocs) = {
+        let before = allocations();
+        let summary = sim.run_summary(&mut policy);
+        (summary, allocations() - before)
+    };
+    assert_eq!(
+        summary.completion_time, warm.completion_time,
+        "{label}: reset must replay the warm-up trajectory"
+    );
+    assert!(
+        summary.events > 100,
+        "{label}: workload too trivial to prove anything"
+    );
+    assert_eq!(
+        steady_allocs, 0,
+        "{label}: a warmed-up replication performed {steady_allocs} allocations \
+         (events: {})",
+        summary.events
+    );
+}

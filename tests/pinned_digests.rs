@@ -1,0 +1,79 @@
+//! Regression gate: pinned completion-time digests for named scenarios.
+//!
+//! The engine's determinism contract says a scenario's Monte-Carlo output
+//! is a pure function of `(scenario, reps, seed)` — these tests pin that
+//! function's value for three presets spanning the engine's regimes
+//! (two-node paper baseline, cascading failures, a heterogeneous
+//! volunteer grid). Any refactor that drifts a sampled trajectory — a
+//! reordered RNG draw, a changed event pop order, a float reassociation —
+//! fails here deliberately instead of silently invalidating every pinned
+//! experiment. If a drift is *intended*, re-pin the digests in the same PR
+//! and say why.
+
+use churnbal::lab::{registry, run_scenario, RunOptions};
+use churnbal::stochastic::digest_f64s;
+
+/// Small but non-trivial replication count: enough to cover churn,
+/// transfers and multi-node paths, cheap enough for every `cargo test`.
+const REPS: u64 = 24;
+
+fn scenario_digest(name: &str) -> u64 {
+    let scenario = registry::get(name).unwrap_or_else(|| panic!("preset {name} missing"));
+    let est = run_scenario(
+        &scenario,
+        RunOptions {
+            reps: Some(REPS),
+            threads: 3,
+            ..RunOptions::default()
+        },
+    )
+    .unwrap_or_else(|e| panic!("{name}: {e}"));
+    digest_f64s(&est.completion_times)
+}
+
+#[test]
+fn paper_fig3_sample_paths_are_pinned() {
+    assert_eq!(
+        scenario_digest("paper-fig3"),
+        0x0f2c_1e54_e4b4_11e8,
+        "paper-fig3 trajectories drifted"
+    );
+}
+
+#[test]
+fn cascading_failures_sample_paths_are_pinned() {
+    assert_eq!(
+        scenario_digest("cascading-failures"),
+        0x91fd_73a9_e9db_6dff,
+        "cascading-failures trajectories drifted"
+    );
+}
+
+#[test]
+fn volunteer_grid_sample_paths_are_pinned() {
+    assert_eq!(
+        scenario_digest("volunteer-grid"),
+        0xf267_bfbb_f4ef_2654,
+        "volunteer-grid trajectories drifted"
+    );
+}
+
+/// The digests above must not depend on the worker-thread count — pin the
+/// invariance itself so the gate cannot be weakened by a scheduling leak.
+#[test]
+fn pinned_digests_are_thread_invariant() {
+    let scenario = registry::get("cascading-failures").expect("preset");
+    let run = |threads: usize| {
+        run_scenario(
+            &scenario,
+            RunOptions {
+                reps: Some(REPS),
+                threads,
+                ..RunOptions::default()
+            },
+        )
+        .expect("runs")
+        .completion_times
+    };
+    assert_eq!(digest_f64s(&run(1)), digest_f64s(&run(7)));
+}
