@@ -8,20 +8,27 @@
 //! ```
 //!
 //! Flags: `--quick` (CI replication counts), `--threads T` (0 = auto;
-//! default 1 for stable throughput numbers), `--seed S` (non-default seeds
-//! skip digest assertions), `--out PATH` (default `BENCH_3.json`),
-//! `--no-write` (print only).
+//! default 1 for stable throughput numbers; the `sweep-grid` comparison
+//! always runs both modes at its own fixed thread count), `--repeat N`
+//! (measurement rounds per workload, fastest kept; default 3 — one-sided
+//! scheduling noise makes min-of-N the stable estimator), `--seed S`
+//! (non-default seeds skip digest assertions), `--out PATH` (default
+//! `BENCH_4.json`), `--no-write` (print only).
 //!
 //! The digests make the harness a regression *gate*, not just a meter: a
 //! refactor that changes any sampled trajectory fails here before its perf
 //! numbers can be mistaken for a like-for-like comparison.
 
-use churnbal_bench::perf::{expected_digest, measure, to_json, workloads, PERF_SEED};
+use churnbal_bench::perf::{
+    expected_digest, expected_sweep_grid_digest, measure_repeated, measure_sweep_grid, to_json,
+    workloads, PERF_SEED,
+};
 
 struct Options {
     quick: bool,
     threads: usize,
     seed: u64,
+    repeat: u32,
     out: String,
     write: bool,
 }
@@ -31,7 +38,8 @@ fn parse_args() -> Options {
         quick: false,
         threads: 1,
         seed: PERF_SEED,
-        out: "BENCH_3.json".to_string(),
+        repeat: 3,
+        out: "BENCH_4.json".to_string(),
         write: true,
     };
     let mut it = std::env::args().skip(1);
@@ -46,10 +54,15 @@ fn parse_args() -> Options {
                 let v = it.next().expect("--seed needs a value");
                 opts.seed = v.parse().expect("--seed must be an integer");
             }
+            "--repeat" => {
+                let v = it.next().expect("--repeat needs a value");
+                opts.repeat = v.parse().expect("--repeat must be a positive integer");
+                assert!(opts.repeat > 0, "--repeat must be a positive integer");
+            }
             "--out" => opts.out = it.next().expect("--out needs a path"),
             "--no-write" => opts.write = false,
             other => panic!(
-                "unknown flag {other}; supported: --quick --threads T --seed S --out PATH --no-write"
+                "unknown flag {other}; supported: --quick --threads T --repeat N --seed S --out PATH --no-write"
             ),
         }
     }
@@ -76,7 +89,7 @@ fn main() {
         "workload", "reps", "events", "wall (s)", "events/sec"
     );
     for w in &suite {
-        let m = measure(w, opts.quick, opts.threads, opts.seed);
+        let m = measure_repeated(w, opts.quick, opts.threads, opts.seed, opts.repeat);
         let verdict = if opts.seed == PERF_SEED {
             let expected = expected_digest(m.name, opts.quick).expect("pinned");
             if m.digest == expected {
@@ -111,9 +124,47 @@ fn main() {
         events as f64 / wall
     );
 
-    let json = to_json(&measurements, opts.quick, opts.threads, opts.seed);
+    // The scheduler workload: same grid through the flattened scheduler
+    // and the sequential-point baseline (both at its fixed thread count);
+    // `measure_sweep_grid` cross-checks the two modes bit-exactly.
+    let sweep = measure_sweep_grid(opts.quick, opts.seed, opts.repeat);
+    let sweep_verdict = if opts.seed == PERF_SEED {
+        if sweep.digest == expected_sweep_grid_digest(opts.quick) {
+            "ok"
+        } else {
+            drifted = true;
+            "DRIFT"
+        }
+    } else {
+        "unpinned"
+    };
+    println!(
+        "{:<16} {:>6} {:>12} {:>10.3} {:>14.0}  {:#018x} {} ({} pts, {:.2}x vs sequential points at {} threads)",
+        "sweep-grid",
+        sweep.reps,
+        sweep.events,
+        sweep.wall_seconds,
+        sweep.events_per_sec(),
+        sweep.digest,
+        sweep_verdict,
+        sweep.points,
+        sweep.speedup(),
+        sweep.threads,
+    );
+
+    let json = to_json(
+        &measurements,
+        Some(&sweep),
+        opts.quick,
+        opts.threads,
+        opts.seed,
+        opts.repeat,
+    );
     println!("\n{json}");
-    if opts.write {
+    // Refuse to touch the committed baseline file with a drifted report —
+    // otherwise a sampling regression would overwrite the very reference
+    // the digest gate protects, one `git add` away from being re-pinned.
+    if opts.write && !drifted {
         std::fs::write(&opts.out, &json)
             .unwrap_or_else(|e| panic!("cannot write {}: {e}", opts.out));
         println!("wrote {}", opts.out);
@@ -121,6 +172,7 @@ fn main() {
     assert!(
         !drifted,
         "completion-time digests drifted from their pinned values: the engine's \
-         sample paths changed; re-pin deliberately if the change is intended"
+         sample paths changed; the report was NOT written. Re-pin deliberately \
+         if the change is intended"
     );
 }

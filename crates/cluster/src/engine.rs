@@ -15,11 +15,11 @@
 //!   is a matter of reusing the seed (common random numbers).
 
 use churnbal_desim::{EventId, EventQueue, SimTime};
-use churnbal_stochastic::{StreamFactory, Xoshiro256pp};
+use churnbal_stochastic::{BatchedRng, StreamFactory};
 
 use crate::config::{ArrivalKind, ChurnModel, DelayLaw, SystemConfig};
 use crate::metrics::Metrics;
-use crate::policy::{NodeView, Policy, SystemView, TransferOrder};
+use crate::policy::{Policy, SystemView, TransferOrder};
 use crate::trace::QueueTrace;
 
 /// Run options.
@@ -85,12 +85,53 @@ enum Ev {
     Shock,
 }
 
-struct NodeRt {
-    up: bool,
-    queue: u32,
-    service_ev: Option<EventId>,
-    fail_ev: Option<EventId>,
-    down_since: f64,
+/// Per-node runtime state in structure-of-arrays layout: column `i` of
+/// every vector describes node `i`. The dynamic columns (`up`, `queue`)
+/// double as the policy view — [`Simulator::view_at`] lends them out
+/// directly, so a policy callback costs no per-node copy — and the rate
+/// columns cache the static config fields contiguously so hot scans
+/// (policy excess passes, the shock sweep, service scheduling) do not
+/// stride through interleaved [`crate::config::NodeConfig`] structs.
+#[derive(Default)]
+struct NodeSoa {
+    up: Vec<bool>,
+    queue: Vec<u32>,
+    service_ev: Vec<Option<EventId>>,
+    fail_ev: Vec<Option<EventId>>,
+    down_since: Vec<f64>,
+    service_rate: Vec<f64>,
+    failure_rate: Vec<f64>,
+    recovery_rate: Vec<f64>,
+}
+
+impl NodeSoa {
+    /// (Re)initialises every column from `config`, resizing as needed —
+    /// shared by construction, [`Simulator::reset`] and
+    /// [`Simulator::rebind`]. Allocation-free once each column's capacity
+    /// covers the node count.
+    fn load(&mut self, config: &SystemConfig) {
+        let n = config.num_nodes();
+        self.up.clear();
+        self.up.resize(n, true);
+        self.queue.clear();
+        self.queue
+            .extend(config.nodes.iter().map(|nc| nc.initial_tasks));
+        self.service_ev.clear();
+        self.service_ev.resize(n, None);
+        self.fail_ev.clear();
+        self.fail_ev.resize(n, None);
+        self.down_since.clear();
+        self.down_since.resize(n, 0.0);
+        self.service_rate.clear();
+        self.service_rate
+            .extend(config.nodes.iter().map(|nc| nc.service_rate));
+        self.failure_rate.clear();
+        self.failure_rate
+            .extend(config.nodes.iter().map(|nc| nc.failure_rate));
+        self.recovery_rate.clear();
+        self.recovery_rate
+            .extend(config.nodes.iter().map(|nc| nc.recovery_rate));
+    }
 }
 
 /// The simulator. Owns the event queue, the RNG streams and the
@@ -102,18 +143,15 @@ struct NodeRt {
 pub struct Simulator<'a> {
     config: &'a SystemConfig,
     queue: EventQueue<Ev>,
-    nodes: Vec<NodeRt>,
-    /// Scratch lent to policy hooks as `SystemView::nodes`; the static
-    /// fields (id, rates) are filled once, the dynamic ones re-synced per
-    /// callback.
-    node_views: Vec<NodeView>,
+    /// All per-node state, as columns (see [`NodeSoa`]).
+    nodes: NodeSoa,
     /// Reusable hook sink: cleared before each policy callback.
     order_sink: Vec<TransferOrder>,
-    service_rng: Vec<Xoshiro256pp>,
-    churn_rng: Vec<Xoshiro256pp>,
-    transfer_rng: Xoshiro256pp,
-    arrival_rng: Xoshiro256pp,
-    shock_rng: Xoshiro256pp,
+    service_rng: Vec<BatchedRng>,
+    churn_rng: Vec<BatchedRng>,
+    transfer_rng: BatchedRng,
+    arrival_rng: BatchedRng,
+    shock_rng: BatchedRng,
     arrival_phase: usize,
     arrival_clock: f64,
     arrivals_open: bool,
@@ -133,30 +171,8 @@ impl<'a> Simulator<'a> {
     #[must_use]
     pub fn new(config: &'a SystemConfig, streams: &StreamFactory, options: SimOptions) -> Self {
         let n = config.num_nodes();
-        let nodes: Vec<NodeRt> = config
-            .nodes
-            .iter()
-            .map(|nc| NodeRt {
-                up: true,
-                queue: nc.initial_tasks,
-                service_ev: None,
-                fail_ev: None,
-                down_since: 0.0,
-            })
-            .collect();
-        let node_views: Vec<NodeView> = config
-            .nodes
-            .iter()
-            .enumerate()
-            .map(|(id, nc)| NodeView {
-                id,
-                queue_len: nc.initial_tasks,
-                up: true,
-                service_rate: nc.service_rate,
-                failure_rate: nc.failure_rate,
-                recovery_rate: nc.recovery_rate,
-            })
-            .collect();
+        let mut nodes = NodeSoa::default();
+        nodes.load(config);
         let trace = options.record_trace.then(|| {
             QueueTrace::new(
                 &config
@@ -169,19 +185,22 @@ impl<'a> Simulator<'a> {
         Self {
             config,
             queue: EventQueue::new(),
-            service_rng: (0..n).map(|i| streams.stream(2 * i as u64)).collect(),
-            churn_rng: (0..n).map(|i| streams.stream(2 * i as u64 + 1)).collect(),
-            transfer_rng: streams.stream(2 * n as u64),
+            service_rng: (0..n)
+                .map(|i| BatchedRng::new(streams.stream(2 * i as u64)))
+                .collect(),
+            churn_rng: (0..n)
+                .map(|i| BatchedRng::new(streams.stream(2 * i as u64 + 1)))
+                .collect(),
+            transfer_rng: BatchedRng::new(streams.stream(2 * n as u64)),
             // Dedicated streams for the stochastic extensions: derived from
             // ids past every legacy stream, so configurations that do not
             // use them stay bit-identical to the original engine.
-            arrival_rng: streams.stream(2 * n as u64 + 1),
-            shock_rng: streams.stream(2 * n as u64 + 2),
+            arrival_rng: BatchedRng::new(streams.stream(2 * n as u64 + 1)),
+            shock_rng: BatchedRng::new(streams.stream(2 * n as u64 + 2)),
             arrival_phase: 0,
             arrival_clock: 0.0,
             arrivals_open: config.arrival_process.is_some(),
             nodes,
-            node_views,
             order_sink: Vec::new(),
             processed: 0,
             spawned: config.total_tasks(),
@@ -200,38 +219,58 @@ impl<'a> Simulator<'a> {
     /// arguments, but reusing every allocation (event queue, node vectors,
     /// metrics, scratch buffers).
     pub fn reset(&mut self, streams: &StreamFactory) {
-        let n = self.config.num_nodes();
+        let config = self.config;
+        let options = self.options;
+        self.rebind(config, streams, options);
+    }
+
+    /// Re-arms the simulator for a run of a *different* configuration —
+    /// the cross-grid-point reuse path of the sweep scheduler: one
+    /// long-lived simulator per worker serves every `(point, replication)`
+    /// task it claims. Bit-identical to a fresh [`Simulator::new`] with
+    /// the same arguments; per-node vectors are resized in place, so
+    /// switching between points of equal node count (the common case along
+    /// most sweep axes) keeps every allocation, and any point revisited
+    /// after the high-water node count allocates nothing.
+    pub fn rebind(
+        &mut self,
+        config: &'a SystemConfig,
+        streams: &StreamFactory,
+        options: SimOptions,
+    ) {
+        let n = config.num_nodes();
+        self.config = config;
+        self.options = options;
         self.queue.clear();
-        for (i, nc) in self.config.nodes.iter().enumerate() {
-            self.nodes[i] = NodeRt {
-                up: true,
-                queue: nc.initial_tasks,
-                service_ev: None,
-                fail_ev: None,
-                down_since: 0.0,
-            };
-            self.node_views[i].queue_len = nc.initial_tasks;
-            self.node_views[i].up = true;
-            self.service_rng[i] = streams.stream(2 * i as u64);
-            self.churn_rng[i] = streams.stream(2 * i as u64 + 1);
+        self.nodes.load(config);
+        self.service_rng.truncate(n);
+        self.churn_rng.truncate(n);
+        for i in 0..self.service_rng.len() {
+            self.service_rng[i].reseed(streams.stream(2 * i as u64));
+            self.churn_rng[i].reseed(streams.stream(2 * i as u64 + 1));
         }
-        self.transfer_rng = streams.stream(2 * n as u64);
-        self.arrival_rng = streams.stream(2 * n as u64 + 1);
-        self.shock_rng = streams.stream(2 * n as u64 + 2);
+        for i in self.service_rng.len()..n {
+            self.service_rng
+                .push(BatchedRng::new(streams.stream(2 * i as u64)));
+            self.churn_rng
+                .push(BatchedRng::new(streams.stream(2 * i as u64 + 1)));
+        }
+        self.transfer_rng.reseed(streams.stream(2 * n as u64));
+        self.arrival_rng.reseed(streams.stream(2 * n as u64 + 1));
+        self.shock_rng.reseed(streams.stream(2 * n as u64 + 2));
         self.arrival_phase = 0;
         self.arrival_clock = 0.0;
-        self.arrivals_open = self.config.arrival_process.is_some();
+        self.arrivals_open = config.arrival_process.is_some();
         self.processed = 0;
-        self.spawned = self.config.total_tasks();
+        self.spawned = config.total_tasks();
         self.down_count = 0;
         self.in_transit = 0;
         self.last_transit_change = 0.0;
-        self.metrics.reset();
+        self.metrics.reset_for(n);
         self.order_sink.clear();
-        self.trace = self.options.record_trace.then(|| {
+        self.trace = options.record_trace.then(|| {
             QueueTrace::new(
-                &self
-                    .config
+                &config
                     .nodes
                     .iter()
                     .map(|nc| nc.initial_tasks)
@@ -283,6 +322,13 @@ impl<'a> Simulator<'a> {
     /// Seeds the initial events and drives the event loop; returns the
     /// completion time and whether the workload finished.
     fn drive(&mut self, policy: &mut dyn Policy) -> (f64, bool) {
+        // A simulator must be freshly built, reset or rebound before every
+        // run — driving a finished one again would seed new events onto
+        // stale state and "complete" instantly with garbage.
+        debug_assert!(
+            self.queue.is_empty() && self.processed == 0 && self.metrics.events == 0,
+            "Simulator reused without reset()/rebind()"
+        );
         // Seed churn, shock and external-arrival events.
         for i in 0..self.config.num_nodes() {
             self.schedule_failure(i);
@@ -324,13 +370,13 @@ impl<'a> Simulator<'a> {
             self.metrics.events += 1;
             match ev.payload {
                 Ev::Service(i) => {
-                    debug_assert!(self.nodes[i].up, "service completion on a down node");
+                    debug_assert!(self.nodes.up[i], "service completion on a down node");
                     debug_assert!(
-                        self.nodes[i].queue > 0,
+                        self.nodes.queue[i] > 0,
                         "service completion with empty queue"
                     );
-                    self.nodes[i].service_ev = None;
-                    self.nodes[i].queue -= 1;
+                    self.nodes.service_ev[i] = None;
+                    self.nodes.queue[i] -= 1;
                     self.processed += 1;
                     self.metrics.processed_per_node[i] += 1;
                     self.record_queue(now, i);
@@ -340,15 +386,15 @@ impl<'a> Simulator<'a> {
                     self.maybe_schedule_service(i);
                 }
                 Ev::Fail(i) => {
-                    self.nodes[i].fail_ev = None;
+                    self.nodes.fail_ev[i] = None;
                     self.fail_node(i, now, policy);
                 }
                 Ev::Recover(i) => {
-                    debug_assert!(!self.nodes[i].up, "recovery of an up node");
-                    self.nodes[i].up = true;
+                    debug_assert!(!self.nodes.up[i], "recovery of an up node");
+                    self.nodes.up[i] = true;
                     self.down_count -= 1;
                     self.metrics.recoveries += 1;
-                    self.metrics.downtime_per_node[i] += now - self.nodes[i].down_since;
+                    self.metrics.downtime_per_node[i] += now - self.nodes.down_since[i];
                     self.schedule_failure(i);
                     self.maybe_schedule_service(i);
                     if let Some(t) = &mut self.trace {
@@ -360,7 +406,7 @@ impl<'a> Simulator<'a> {
                 Ev::TransferArrive { to, tasks } => {
                     self.accumulate_transit(now);
                     self.in_transit -= tasks;
-                    self.nodes[to].queue += tasks;
+                    self.nodes.queue[to] += tasks;
                     self.record_queue(now, to);
                     self.maybe_schedule_service(to);
                     self.dispatch(policy, now, |p, v, s| {
@@ -368,7 +414,7 @@ impl<'a> Simulator<'a> {
                     });
                 }
                 Ev::External { node, tasks } => {
-                    self.nodes[node].queue += tasks;
+                    self.nodes.queue[node] += tasks;
                     self.record_queue(now, node);
                     self.maybe_schedule_service(node);
                     self.dispatch(policy, now, |p, v, s| {
@@ -377,7 +423,7 @@ impl<'a> Simulator<'a> {
                 }
                 Ev::ProcArrival { node, tasks } => {
                     self.spawned += u64::from(tasks);
-                    self.nodes[node].queue += tasks;
+                    self.nodes.queue[node] += tasks;
                     self.record_queue(now, node);
                     self.maybe_schedule_service(node);
                     self.schedule_next_proc_arrival();
@@ -394,8 +440,8 @@ impl<'a> Simulator<'a> {
                         unreachable!("shock event without a shock churn model")
                     };
                     for i in 0..self.config.num_nodes() {
-                        if self.nodes[i].up
-                            && self.config.nodes[i].failure_rate > 0.0
+                        if self.nodes.up[i]
+                            && self.nodes.failure_rate[i] > 0.0
                             && self.shock_rng.next_f64() < hit_probability
                         {
                             self.fail_node(i, now, policy);
@@ -423,19 +469,19 @@ impl<'a> Simulator<'a> {
     /// The common failure transition, used by both natural [`Ev::Fail`]
     /// events and environmental shocks.
     fn fail_node(&mut self, i: usize, now: f64, policy: &mut dyn Policy) {
-        debug_assert!(self.nodes[i].up, "failure of an already-down node");
+        debug_assert!(self.nodes.up[i], "failure of an already-down node");
         // A shock may preempt the node's pending natural failure.
-        if let Some(id) = self.nodes[i].fail_ev.take() {
+        if let Some(id) = self.nodes.fail_ev[i].take() {
             self.queue.cancel(id);
         }
-        self.nodes[i].up = false;
-        self.nodes[i].down_since = now;
+        self.nodes.up[i] = false;
+        self.nodes.down_since[i] = now;
         self.down_count += 1;
         self.metrics.failures += 1;
-        if let Some(id) = self.nodes[i].service_ev.take() {
+        if let Some(id) = self.nodes.service_ev[i].take() {
             self.queue.cancel(id);
         }
-        let dt = self.churn_rng[i].exp(self.config.nodes[i].recovery_rate);
+        let dt = self.churn_rng[i].exp(self.nodes.recovery_rate[i]);
         self.queue.schedule_in(dt, Ev::Recover(i));
         if let Some(t) = &mut self.trace {
             t.record_state(now, i, false);
@@ -446,7 +492,7 @@ impl<'a> Simulator<'a> {
 
     /// Effective failure rate of node `i` under the configured churn model.
     fn effective_failure_rate(&self, i: usize) -> f64 {
-        let base = self.config.nodes[i].failure_rate;
+        let base = self.nodes.failure_rate[i];
         match self.config.churn {
             ChurnModel::Cascading { amplification } => {
                 base * (1.0 + amplification * self.down_count as f64)
@@ -460,7 +506,7 @@ impl<'a> Simulator<'a> {
         let rate = self.effective_failure_rate(i);
         if rate > 0.0 {
             let dt = self.churn_rng[i].exp(rate);
-            self.nodes[i].fail_ev = Some(self.queue.schedule_in(dt, Ev::Fail(i)));
+            self.nodes.fail_ev[i] = Some(self.queue.schedule_in(dt, Ev::Fail(i)));
         }
     }
 
@@ -475,10 +521,10 @@ impl<'a> Simulator<'a> {
             return;
         }
         for j in 0..self.config.num_nodes() {
-            if j == changed || !self.nodes[j].up {
+            if j == changed || !self.nodes.up[j] {
                 continue;
             }
-            if let Some(id) = self.nodes[j].fail_ev.take() {
+            if let Some(id) = self.nodes.fail_ev[j].take() {
                 self.queue.cancel(id);
                 self.schedule_failure(j);
             }
@@ -596,10 +642,9 @@ impl<'a> Simulator<'a> {
         }
     }
 
-    /// The policy-callback path: syncs the borrowed view scratch
-    /// (`view_at`), invokes one hook into the reusable order sink, and
-    /// applies the resulting orders — all without heap allocation once the
-    /// sink has warmed up.
+    /// The policy-callback path: lends the engine's own state columns out
+    /// as the view (`view_at` — no copy, no allocation), invokes one hook
+    /// into the reusable order sink, and applies the resulting orders.
     fn dispatch(
         &mut self,
         policy: &mut dyn Policy,
@@ -617,26 +662,27 @@ impl<'a> Simulator<'a> {
         self.order_sink = sink;
     }
 
-    /// Re-syncs the dynamic node fields into the view scratch and lends it
-    /// out as a borrowed snapshot at time `time`.
-    fn view_at(&mut self, time: f64) -> SystemView<'_> {
-        for (v, rt) in self.node_views.iter_mut().zip(&self.nodes) {
-            v.queue_len = rt.queue;
-            v.up = rt.up;
-        }
+    /// Lends the engine's state columns out as a borrowed snapshot at time
+    /// `time`. The dynamic columns (`queue`, `up`) *are* the engine state,
+    /// so there is nothing to sync — the AoS design this replaces copied
+    /// every node into a scratch view on each policy callback.
+    fn view_at(&self, time: f64) -> SystemView<'_> {
         SystemView {
             time,
-            nodes: &self.node_views,
+            queue_len: &self.nodes.queue,
+            up: &self.nodes.up,
+            service_rate: &self.nodes.service_rate,
+            failure_rate: &self.nodes.failure_rate,
+            recovery_rate: &self.nodes.recovery_rate,
             delay_per_task: self.config.network.per_task,
             in_transit: self.in_transit,
         }
     }
 
     fn maybe_schedule_service(&mut self, i: usize) {
-        let node = &mut self.nodes[i];
-        if node.up && node.queue > 0 && node.service_ev.is_none() {
-            let dt = self.service_rng[i].exp(self.config.nodes[i].service_rate);
-            node.service_ev = Some(self.queue.schedule_in(dt, Ev::Service(i)));
+        if self.nodes.up[i] && self.nodes.queue[i] > 0 && self.nodes.service_ev[i].is_none() {
+            let dt = self.service_rng[i].exp(self.nodes.service_rate[i]);
+            self.nodes.service_ev[i] = Some(self.queue.schedule_in(dt, Ev::Service(i)));
         }
     }
 
@@ -648,17 +694,17 @@ impl<'a> Simulator<'a> {
                 "transfer order references unknown node: {order:?}"
             );
             assert!(order.from != order.to, "transfer to self: {order:?}");
-            let available = self.nodes[order.from].queue;
+            let available = self.nodes.queue[order.from];
             let granted = order.tasks.min(available);
             self.metrics.tasks_clamped += u64::from(order.tasks - granted);
             if granted == 0 {
                 continue;
             }
-            self.nodes[order.from].queue -= granted;
+            self.nodes.queue[order.from] -= granted;
             // The batch may include the task currently in service; with the
             // queue emptied the pending completion must be cancelled.
-            if self.nodes[order.from].queue == 0 {
-                if let Some(id) = self.nodes[order.from].service_ev.take() {
+            if self.nodes.queue[order.from] == 0 {
+                if let Some(id) = self.nodes.service_ev[order.from].take() {
                     self.queue.cancel(id);
                 }
             }
@@ -706,7 +752,7 @@ impl<'a> Simulator<'a> {
 
     fn record_queue(&mut self, now: f64, i: usize) {
         if let Some(t) = &mut self.trace {
-            t.record_queue(now, i, self.nodes[i].queue);
+            t.record_queue(now, i, self.nodes.queue[i]);
         }
     }
 
@@ -716,8 +762,8 @@ impl<'a> Simulator<'a> {
         self.accumulate_transit(time);
         // Close out down-time accounting for nodes still down.
         for i in 0..self.config.num_nodes() {
-            if !self.nodes[i].up {
-                self.metrics.downtime_per_node[i] += time - self.nodes[i].down_since;
+            if !self.nodes.up[i] {
+                self.metrics.downtime_per_node[i] += time - self.nodes.down_since[i];
             }
         }
     }

@@ -1,0 +1,580 @@
+//! The sweep scheduler: one shared worker pool over the flattened
+//! `(grid point, replication)` index space.
+//!
+//! The Monte-Carlo runner of `mc` parallelises replications *within* one
+//! system; a parameter sweep runs many systems, and driving them through
+//! that runner point-by-point erects a thread barrier at every grid point
+//! — workers idle whenever a point has fewer replications than the
+//! machine has cores, and every point pays a fresh spawn/join round.
+//! This module removes the barrier:
+//!
+//! * the whole grid is flattened into one task space, task `t` being the
+//!   `r`-th replication of point `p` (points in grid order, replications
+//!   in index order within a point);
+//! * a fixed pool of workers claims **chunks** of that space from a single
+//!   atomic cursor (a lock-light chunked work queue: claiming costs one
+//!   `fetch_add`, and idle workers automatically "steal" whatever the
+//!   busy ones have not claimed yet);
+//! * each worker owns one long-lived [`Simulator`] and cycles it through
+//!   [`Simulator::reset`] within a point and [`Simulator::rebind`] across
+//!   points, so simulator allocations are per-worker, not per-point;
+//! * results scatter into pre-sized **slot-stable** per-point buffers
+//!   (atomic cells indexed by replication), and completed points drain
+//!   through a reorder buffer so the caller's `on_point` callback fires in
+//!   **grid order** even when a later point finishes first.
+//!
+//! Determinism: replication `r` of point `p` always runs on the streams
+//! derived from `(jobs[p].seed, r)` — worker placement, thread count and
+//! chunk size cannot change a single sampled value, only who computes it.
+//! The in-order drain then makes the *observable output* (rows, bytes)
+//! independent of scheduling too; both invariants are pinned by tests.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Condvar, Mutex};
+
+use churnbal_stochastic::StreamFactory;
+
+use crate::config::SystemConfig;
+use crate::engine::{SimOptions, Simulator};
+use crate::policy::Policy;
+
+/// One grid point to execute: a system, how many replications, and the
+/// master seed its streams derive from.
+#[derive(Clone, Copy, Debug)]
+pub struct PointJob<'a> {
+    /// The system under test.
+    pub config: &'a SystemConfig,
+    /// Replications to run (must be ≥ 1).
+    pub reps: u64,
+    /// Master seed: replication `r` uses
+    /// `StreamFactory::new(seed).subfactory(r)`.
+    pub seed: u64,
+    /// Engine options (deadline; traces are not collected by the
+    /// scheduler).
+    pub options: SimOptions,
+}
+
+/// Slot-stable per-replication results of one completed grid point, in
+/// replication order.
+#[derive(Clone, Debug)]
+pub struct PointStats {
+    /// Completion time of each replication.
+    pub completion_times: Vec<f64>,
+    /// Failures observed in each replication.
+    pub failures_per_rep: Vec<u64>,
+    /// Tasks shipped in each replication.
+    pub tasks_shipped_per_rep: Vec<u64>,
+    /// Replications that hit the deadline without completing.
+    pub incomplete: u64,
+    /// Engine events dispatched across all replications.
+    pub total_events: u64,
+}
+
+/// Per-point result cells: replication-indexed atomics the workers
+/// scatter into, plus the countdown that detects point completion.
+struct PointCell {
+    /// Completion times as `f64::to_bits`.
+    times: Vec<AtomicU64>,
+    failures: Vec<AtomicU64>,
+    shipped: Vec<AtomicU64>,
+    /// Bit `completed` per replication (1 = ran to completion).
+    completed: Vec<AtomicBool>,
+    events: AtomicU64,
+    /// Replications still outstanding; the worker that decrements it to
+    /// zero publishes the point.
+    remaining: AtomicU64,
+    /// Published flag the drain loop polls under the rendezvous lock.
+    done: AtomicBool,
+}
+
+impl PointCell {
+    fn new(reps: u64) -> Self {
+        let n = usize::try_from(reps).expect("replication count fits usize");
+        Self {
+            times: (0..n).map(|_| AtomicU64::new(0)).collect(),
+            failures: (0..n).map(|_| AtomicU64::new(0)).collect(),
+            shipped: (0..n).map(|_| AtomicU64::new(0)).collect(),
+            completed: (0..n).map(|_| AtomicBool::new(false)).collect(),
+            events: AtomicU64::new(0),
+            remaining: AtomicU64::new(reps),
+            done: AtomicBool::new(false),
+        }
+    }
+
+    /// Reads the cells out as the caller-facing stats (called on the
+    /// drain thread after the point is published).
+    fn stats(&self) -> PointStats {
+        let completion_times: Vec<f64> = self
+            .times
+            .iter()
+            .map(|t| f64::from_bits(t.load(Ordering::Acquire)))
+            .collect();
+        let failures_per_rep: Vec<u64> = self
+            .failures
+            .iter()
+            .map(|f| f.load(Ordering::Acquire))
+            .collect();
+        let tasks_shipped_per_rep: Vec<u64> = self
+            .shipped
+            .iter()
+            .map(|s| s.load(Ordering::Acquire))
+            .collect();
+        let incomplete = self
+            .completed
+            .iter()
+            .filter(|c| !c.load(Ordering::Acquire))
+            .count() as u64;
+        PointStats {
+            completion_times,
+            failures_per_rep,
+            tasks_shipped_per_rep,
+            incomplete,
+            total_events: self.events.load(Ordering::Acquire),
+        }
+    }
+}
+
+/// Resolves the `threads = 0 means auto` convention shared with the
+/// Monte-Carlo runner, clamped to the total task count.
+fn resolve_threads(threads: usize, total_tasks: u64) -> usize {
+    let threads = if threads == 0 {
+        std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+    } else {
+        threads
+    };
+    threads
+        .min(usize::try_from(total_tasks).unwrap_or(usize::MAX))
+        .max(1)
+}
+
+/// Default chunk size: small enough to balance wildly unequal points
+/// across workers, large enough that the claim `fetch_add` is noise.
+/// Exposed through the `chunk = 0` convention.
+fn resolve_chunk(chunk: usize, total_tasks: u64, threads: usize) -> u64 {
+    if chunk != 0 {
+        return chunk as u64;
+    }
+    // Aim for ~16 claims per worker, capped so tiny tails still spread.
+    (total_tasks / (threads as u64 * 16)).clamp(1, 64)
+}
+
+/// Executes every `(point, replication)` task of `jobs` on a shared
+/// worker pool and hands each point's [`PointStats`] to `on_point` **in
+/// grid order** as points complete (a reorder buffer holds points that
+/// finish early). `make_policy(point, rep)` builds the policy for one
+/// replication. `threads = 0` picks the available parallelism; results
+/// are independent of `threads` and `chunk` (0 = auto) by construction.
+///
+/// With `threads == 1` no worker thread is spawned at all: the calling
+/// thread executes the flattened task space in order, which is also the
+/// bit-exact reference schedule for the parallel path.
+///
+/// # Errors
+/// Propagates the first error `on_point` returns; remaining work is
+/// abandoned (workers stop at their next chunk claim).
+///
+/// # Panics
+/// Panics if any job has `reps == 0`, or if a worker thread panics
+/// (engine invariant violations propagate).
+pub fn run_grid_streaming<P, F, G>(
+    jobs: &[PointJob<'_>],
+    make_policy: &F,
+    threads: usize,
+    chunk: usize,
+    mut on_point: G,
+) -> Result<(), String>
+where
+    P: Policy,
+    F: Fn(usize, u64) -> P + Sync,
+    G: FnMut(usize, PointStats) -> Result<(), String>,
+{
+    assert!(
+        jobs.iter().all(|j| j.reps > 0),
+        "every grid point needs at least one replication"
+    );
+    if jobs.is_empty() {
+        return Ok(());
+    }
+    // Flattened task space: point p owns flat indices [starts[p], starts[p+1]).
+    let mut starts = Vec::with_capacity(jobs.len() + 1);
+    let mut acc = 0u64;
+    for job in jobs {
+        starts.push(acc);
+        acc += job.reps;
+    }
+    starts.push(acc);
+    let total = acc;
+    let threads = resolve_threads(threads, total);
+
+    if threads == 1 {
+        return run_grid_inline(jobs, make_policy, &mut on_point);
+    }
+
+    let chunk = resolve_chunk(chunk, total, threads);
+    let cells: Vec<PointCell> = jobs.iter().map(|j| PointCell::new(j.reps)).collect();
+    let cursor = AtomicU64::new(0);
+    let abort = AtomicBool::new(false);
+    // Rendezvous for the drain loop: workers notify under the lock after
+    // publishing a point (or on panic, via the guard below).
+    let rendezvous = (Mutex::new(()), Condvar::new());
+
+    let mut result = Ok(());
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| {
+                // Wake the drain loop even if this worker unwinds, so a
+                // panicking worker cannot leave the main thread waiting
+                // forever — the scope join then propagates the panic.
+                let _guard = NotifyOnDrop {
+                    rendezvous: &rendezvous,
+                    abort: &abort,
+                };
+                let mut sim: Option<(usize, Simulator<'_>)> = None;
+                loop {
+                    if abort.load(Ordering::Relaxed) {
+                        break;
+                    }
+                    let begin = cursor.fetch_add(chunk, Ordering::Relaxed);
+                    if begin >= total {
+                        break;
+                    }
+                    let end = (begin + chunk).min(total);
+                    for flat in begin..end {
+                        // Binary-search the owning point (starts is sorted,
+                        // one entry past the end).
+                        let p = match starts.binary_search(&flat) {
+                            Ok(exact) => exact,
+                            Err(insert) => insert - 1,
+                        };
+                        let r = flat - starts[p];
+                        run_task(jobs, p, r, &mut sim, make_policy, &cells[p]);
+                        if cells[p].remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
+                            let _lock = rendezvous.0.lock().expect("rendezvous poisoned");
+                            cells[p].done.store(true, Ordering::Release);
+                            rendezvous.1.notify_all();
+                        }
+                    }
+                }
+            });
+        }
+
+        // Drain loop: emit points strictly in grid order. Points that
+        // complete early sit published in their cells (the reorder buffer)
+        // until their turn.
+        for (p, cell) in cells.iter().enumerate() {
+            let mut lock = rendezvous.0.lock().expect("rendezvous poisoned");
+            while !cell.done.load(Ordering::Acquire) && !abort.load(Ordering::Relaxed) {
+                lock = rendezvous.1.wait(lock).expect("rendezvous poisoned");
+            }
+            if !cell.done.load(Ordering::Acquire) {
+                break; // a worker died before finishing this point
+            }
+            drop(lock);
+            let stats = cell.stats();
+            if let Err(e) = on_point(p, stats) {
+                abort.store(true, Ordering::Relaxed);
+                result = Err(e);
+                break;
+            }
+        }
+        // An on_point error (or early break) must stop claim processing.
+        if result.is_err() {
+            abort.store(true, Ordering::Relaxed);
+        }
+    });
+    result
+}
+
+/// The single-threaded schedule: flattened task order on the calling
+/// thread, emitting each point as its last replication finishes. This is
+/// both the `threads == 1` fast path (no spawn, no atomics contention)
+/// and the reference the parallel path must reproduce byte-for-byte.
+fn run_grid_inline<P, F, G>(
+    jobs: &[PointJob<'_>],
+    make_policy: &F,
+    on_point: &mut G,
+) -> Result<(), String>
+where
+    P: Policy,
+    F: Fn(usize, u64) -> P + Sync,
+    G: FnMut(usize, PointStats) -> Result<(), String>,
+{
+    let mut sim: Option<(usize, Simulator<'_>)> = None;
+    let mut stats = PointStats {
+        completion_times: Vec::new(),
+        failures_per_rep: Vec::new(),
+        tasks_shipped_per_rep: Vec::new(),
+        incomplete: 0,
+        total_events: 0,
+    };
+    for (p, job) in jobs.iter().enumerate() {
+        stats.completion_times.clear();
+        stats.failures_per_rep.clear();
+        stats.tasks_shipped_per_rep.clear();
+        stats.incomplete = 0;
+        stats.total_events = 0;
+        stats.completion_times.reserve(job.reps as usize);
+        stats.failures_per_rep.reserve(job.reps as usize);
+        stats.tasks_shipped_per_rep.reserve(job.reps as usize);
+        for r in 0..job.reps {
+            let sim = bind_simulator(&mut sim, p, job, r);
+            let mut policy = make_policy(p, r);
+            let out = sim.run_summary(&mut policy);
+            stats.completion_times.push(out.completion_time);
+            stats.failures_per_rep.push(out.failures);
+            stats.tasks_shipped_per_rep.push(out.tasks_shipped);
+            stats.incomplete += u64::from(!out.completed);
+            stats.total_events += out.events;
+        }
+        on_point(p, stats.clone())?;
+    }
+    Ok(())
+}
+
+/// Returns the worker's long-lived simulator bound to point `p` and
+/// re-armed on the streams of replication `r` — creating on first use,
+/// [`Simulator::reset`] within a point, [`Simulator::rebind`] across
+/// points. The ONE binding protocol shared by the inline and the
+/// parallel path, so the two schedules cannot drift apart.
+fn bind_simulator<'s, 'a>(
+    slot: &'s mut Option<(usize, Simulator<'a>)>,
+    p: usize,
+    job: &PointJob<'a>,
+    r: u64,
+) -> &'s mut Simulator<'a> {
+    let streams = StreamFactory::new(job.seed).subfactory(r);
+    match slot {
+        Some((bound, sim)) => {
+            if *bound == p {
+                sim.reset(&streams);
+            } else {
+                sim.rebind(job.config, &streams, job.options);
+                *bound = p;
+            }
+            sim
+        }
+        none => {
+            *none = Some((p, Simulator::new(job.config, &streams, job.options)));
+            &mut none.as_mut().expect("just set").1
+        }
+    }
+}
+
+/// Runs one `(point, replication)` task on the worker's long-lived
+/// simulator (creating or rebinding it as needed) and scatters the
+/// summary into the point's slot `r`.
+fn run_task<'a, P, F>(
+    jobs: &[PointJob<'a>],
+    p: usize,
+    r: u64,
+    sim: &mut Option<(usize, Simulator<'a>)>,
+    make_policy: &F,
+    cell: &PointCell,
+) where
+    P: Policy,
+    F: Fn(usize, u64) -> P + Sync,
+{
+    let job = &jobs[p];
+    let sim = bind_simulator(sim, p, job, r);
+    let mut policy = make_policy(p, r);
+    let out = sim.run_summary(&mut policy);
+    let slot = usize::try_from(r).expect("replication index fits usize");
+    cell.times[slot].store(out.completion_time.to_bits(), Ordering::Release);
+    cell.failures[slot].store(out.failures, Ordering::Release);
+    cell.shipped[slot].store(out.tasks_shipped, Ordering::Release);
+    cell.completed[slot].store(out.completed, Ordering::Release);
+    cell.events.fetch_add(out.events, Ordering::AcqRel);
+}
+
+/// Drop guard that wakes the drain loop; on a panicking unwind it also
+/// raises the abort flag so sibling workers stop claiming chunks.
+struct NotifyOnDrop<'a> {
+    rendezvous: &'a (Mutex<()>, Condvar),
+    abort: &'a AtomicBool,
+}
+
+impl Drop for NotifyOnDrop<'_> {
+    fn drop(&mut self) {
+        if std::thread::panicking() {
+            self.abort.store(true, Ordering::Relaxed);
+        }
+        // Grab the lock so the wake cannot slip between the drain loop's
+        // flag check and its wait.
+        let _lock = self.rendezvous.0.lock();
+        self.rendezvous.1.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{NetworkConfig, NodeConfig, SystemConfig};
+    use crate::policy::NoBalancing;
+
+    fn small(tasks: [u32; 2]) -> SystemConfig {
+        SystemConfig::new(
+            vec![
+                NodeConfig::new(1.08, 0.05, 0.1, tasks[0]),
+                NodeConfig::new(1.86, 0.05, 0.05, tasks[1]),
+            ],
+            NetworkConfig::exponential(0.02),
+        )
+    }
+
+    fn grid() -> Vec<SystemConfig> {
+        vec![small([30, 5]), small([4, 4]), small([60, 1]), small([2, 9])]
+    }
+
+    fn collect(
+        configs: &[SystemConfig],
+        reps: &[u64],
+        threads: usize,
+        chunk: usize,
+    ) -> Vec<(usize, PointStats)> {
+        let jobs: Vec<PointJob<'_>> = configs
+            .iter()
+            .zip(reps)
+            .map(|(config, &reps)| PointJob {
+                config,
+                reps,
+                seed: 42,
+                options: SimOptions::default(),
+            })
+            .collect();
+        let mut out = Vec::new();
+        run_grid_streaming(&jobs, &|_, _| NoBalancing, threads, chunk, |p, stats| {
+            out.push((p, stats));
+            Ok(())
+        })
+        .expect("grid runs");
+        out
+    }
+
+    #[test]
+    fn points_arrive_in_grid_order_with_correct_shapes() {
+        let configs = grid();
+        let reps = [3u64, 1, 7, 2];
+        let out = collect(&configs, &reps, 3, 1);
+        assert_eq!(out.len(), 4);
+        for (i, (p, stats)) in out.iter().enumerate() {
+            assert_eq!(*p, i, "points must drain in grid order");
+            assert_eq!(stats.completion_times.len(), reps[i] as usize);
+            assert_eq!(stats.failures_per_rep.len(), reps[i] as usize);
+            assert_eq!(stats.tasks_shipped_per_rep.len(), reps[i] as usize);
+            assert!(stats.completion_times.iter().all(|&t| t > 0.0));
+            assert!(stats.total_events > 0);
+            assert_eq!(stats.incomplete, 0);
+        }
+    }
+
+    #[test]
+    fn results_are_invariant_to_threads_and_chunks() {
+        let configs = grid();
+        let reps = [5u64, 1, 9, 2];
+        let reference = collect(&configs, &reps, 1, 0);
+        for threads in [2, 3, 8] {
+            for chunk in [0, 1, 2, 7, 64] {
+                let got = collect(&configs, &reps, threads, chunk);
+                for ((p_a, a), (p_b, b)) in reference.iter().zip(&got) {
+                    assert_eq!(p_a, p_b);
+                    assert_eq!(
+                        a.completion_times, b.completion_times,
+                        "threads={threads} chunk={chunk}"
+                    );
+                    assert_eq!(a.failures_per_rep, b.failures_per_rep);
+                    assert_eq!(a.tasks_shipped_per_rep, b.tasks_shipped_per_rep);
+                    assert_eq!(a.total_events, b.total_events);
+                    assert_eq!(a.incomplete, b.incomplete);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn matches_the_single_point_runner() {
+        // The scheduler on one point must reproduce mc::run_replications
+        // (which itself wraps the scheduler — this pins the wrapper too).
+        let config = small([40, 25]);
+        let est = crate::mc::run_replications(
+            &config,
+            &|_| NoBalancing,
+            16,
+            42,
+            3,
+            SimOptions::default(),
+        );
+        let out = collect(std::slice::from_ref(&config), &[16], 4, 2);
+        assert_eq!(out[0].1.completion_times, est.completion_times);
+    }
+
+    #[test]
+    fn deadline_points_report_incomplete() {
+        let config = small([5000, 5000]);
+        let jobs = [PointJob {
+            config: &config,
+            reps: 4,
+            seed: 7,
+            options: SimOptions {
+                record_trace: false,
+                deadline: Some(0.25),
+            },
+        }];
+        let mut incomplete = 0;
+        run_grid_streaming(&jobs, &|_, _| NoBalancing, 2, 1, |_, stats| {
+            incomplete = stats.incomplete;
+            Ok(())
+        })
+        .expect("runs");
+        assert_eq!(incomplete, 4);
+    }
+
+    #[test]
+    fn sink_errors_abort_the_sweep() {
+        let configs = grid();
+        let jobs: Vec<PointJob<'_>> = configs
+            .iter()
+            .map(|config| PointJob {
+                config,
+                reps: 2,
+                seed: 1,
+                options: SimOptions::default(),
+            })
+            .collect();
+        for threads in [1, 4] {
+            let mut seen = 0;
+            let err = run_grid_streaming(&jobs, &|_, _| NoBalancing, threads, 1, |p, _| {
+                seen += 1;
+                if p == 1 {
+                    Err("disk full".to_string())
+                } else {
+                    Ok(())
+                }
+            })
+            .unwrap_err();
+            assert_eq!(err, "disk full", "threads={threads}");
+            assert_eq!(seen, 2, "threads={threads}: drain must stop at the error");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one replication")]
+    fn zero_rep_points_are_rejected() {
+        let config = small([1, 1]);
+        let jobs = [PointJob {
+            config: &config,
+            reps: 0,
+            seed: 1,
+            options: SimOptions::default(),
+        }];
+        let _ = run_grid_streaming(&jobs, &|_, _| NoBalancing, 1, 1, |_, _| Ok(()));
+    }
+
+    #[test]
+    fn empty_grid_is_a_no_op() {
+        let called =
+            run_grid_streaming::<NoBalancing, _, _>(&[], &|_, _| NoBalancing, 4, 0, |_, _| {
+                Err("must not be called".into())
+            });
+        assert_eq!(called, Ok(()));
+    }
+}

@@ -32,6 +32,7 @@
 
 pub mod config;
 pub mod engine;
+pub mod exec;
 pub mod mc;
 pub mod metrics;
 pub mod policy;
@@ -43,6 +44,7 @@ pub use config::{
     SystemConfig,
 };
 pub use engine::{simulate, RunSummary, SimOptions, SimOutcome, Simulator};
+pub use exec::{run_grid_streaming, PointJob, PointStats};
 pub use mc::{run_replications, McEstimate};
-pub use policy::{NoBalancing, NodeView, Policy, SystemView, TransferOrder};
+pub use policy::{NoBalancing, NodeView, Policy, SystemSnapshot, SystemView, TransferOrder};
 pub use trace::QueueTrace;

@@ -7,10 +7,11 @@
 //! `(master_seed, r)`, worker threads write into disjoint slots of a
 //! pre-allocated result vector, and the final reduction is sequential.
 
-use churnbal_stochastic::{OnlineStats, StreamFactory};
+use churnbal_stochastic::OnlineStats;
 
 use crate::config::SystemConfig;
-use crate::engine::{SimOptions, Simulator};
+use crate::engine::SimOptions;
+use crate::exec::{run_grid_streaming, PointJob, PointStats};
 use crate::policy::Policy;
 
 /// Aggregated replication results.
@@ -49,6 +50,29 @@ impl McEstimate {
     pub fn ci95(&self) -> f64 {
         self.completion.ci95_half_width()
     }
+
+    /// Aggregates one scheduler point into the estimate form — the shared
+    /// reduction of [`run_replications`] and the sweep runner. Sequential
+    /// and in replication order, so the aggregate is a pure function of
+    /// the slot-stable per-replication vectors.
+    #[must_use]
+    pub fn from_point_stats(stats: PointStats) -> Self {
+        let reps = stats.completion_times.len() as f64;
+        let mut completion = OnlineStats::new();
+        for &t in &stats.completion_times {
+            completion.push(t);
+        }
+        Self {
+            completion,
+            total_events: stats.total_events,
+            mean_failures: stats.failures_per_rep.iter().sum::<u64>() as f64 / reps,
+            mean_tasks_shipped: stats.tasks_shipped_per_rep.iter().sum::<u64>() as f64 / reps,
+            completion_times: stats.completion_times,
+            failures_per_rep: stats.failures_per_rep,
+            tasks_shipped_per_rep: stats.tasks_shipped_per_rep,
+            incomplete: stats.incomplete,
+        }
+    }
 }
 
 /// Runs `reps` independent replications of `config` under the policy built
@@ -73,91 +97,30 @@ where
     F: Fn(u64) -> P + Sync,
 {
     assert!(reps > 0, "need at least one replication");
-    let threads = if threads == 0 {
-        std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
-    } else {
-        threads
+    // A replication study is a one-point grid: the shared sweep scheduler
+    // of [`crate::exec`] supplies the worker pool, the per-worker
+    // simulator reuse ([`crate::engine::Simulator::reset`]) and the
+    // slot-stable scatter, so `run`, `compare`, the bench harness and the
+    // lab's sweeps all exercise the same execution path.
+    let job = PointJob {
+        config,
+        reps,
+        seed: master_seed,
+        options,
     };
-    let threads = threads.min(reps as usize).max(1);
-    let factory = StreamFactory::new(master_seed);
-
-    // Each worker owns the strided slice of replication indices
-    // `t, t+threads, t+2·threads, …` and returns its results; the scatter
-    // into the index-ordered vectors below makes the output a pure function
-    // of (config, policy, master_seed, reps) regardless of scheduling.
-    // Every worker keeps ONE simulator alive across its replications —
-    // [`Simulator::reset`] re-seeds the RNG streams and rewinds the state
-    // in place, so the event queue, node vectors, metrics and policy-view
-    // scratch are allocated once per thread, not once per replication.
-    // (replication index, completion time, failures, tasks shipped, events,
-    // completed)
-    type RepRecord = (u64, f64, u64, u64, u64, bool);
-    let per_thread: Vec<Vec<RepRecord>> = std::thread::scope(|scope| {
-        let handles: Vec<_> = (0..threads as u64)
-            .map(|t| {
-                let factory = &factory;
-                scope.spawn(move || {
-                    let mut local = Vec::new();
-                    // `new` already seeds from replication `t`'s streams;
-                    // `reset` re-arms for every later replication.
-                    let mut sim = Simulator::new(config, &factory.subfactory(t), options);
-                    let mut r = t;
-                    while r < reps {
-                        let mut policy = make_policy(r);
-                        if r != t {
-                            sim.reset(&factory.subfactory(r));
-                        }
-                        let out = sim.run_summary(&mut policy);
-                        local.push((
-                            r,
-                            out.completion_time,
-                            out.failures,
-                            out.tasks_shipped,
-                            out.events,
-                            out.completed,
-                        ));
-                        r += threads as u64;
-                    }
-                    local
-                })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("worker panicked"))
-            .collect()
-    });
-
-    let mut times = vec![0.0f64; reps as usize];
-    let mut failures = vec![0u64; reps as usize];
-    let mut shipped = vec![0u64; reps as usize];
-    let mut complete = vec![false; reps as usize];
-    let mut total_events = 0u64;
-    for chunk in per_thread {
-        for (r, t, f, s, e, c) in chunk {
-            times[r as usize] = t;
-            failures[r as usize] = f;
-            shipped[r as usize] = s;
-            total_events += e;
-            complete[r as usize] = c;
-        }
-    }
-
-    let mut completion = OnlineStats::new();
-    for &t in &times {
-        completion.push(t);
-    }
-    let incomplete = complete.iter().filter(|&&c| !c).count() as u64;
-    McEstimate {
-        completion,
-        total_events,
-        mean_failures: failures.iter().sum::<u64>() as f64 / reps as f64,
-        mean_tasks_shipped: shipped.iter().sum::<u64>() as f64 / reps as f64,
-        completion_times: times,
-        failures_per_rep: failures,
-        tasks_shipped_per_rep: shipped,
-        incomplete,
-    }
+    let mut stats = None;
+    run_grid_streaming(
+        std::slice::from_ref(&job),
+        &|_, r| make_policy(r),
+        threads,
+        0,
+        |_, s| {
+            stats = Some(s);
+            Ok(())
+        },
+    )
+    .expect("infallible sink");
+    McEstimate::from_point_stats(stats.expect("one point always completes"))
 }
 
 #[cfg(test)]

@@ -53,14 +53,24 @@ impl Metrics {
     /// Zeroes every counter in place, keeping the per-node vectors'
     /// allocations — the reset path of a reused simulator.
     pub fn reset(&mut self) {
+        let n = self.processed_per_node.len();
+        self.reset_for(n);
+    }
+
+    /// [`Metrics::reset`] for a possibly different node count — the rebind
+    /// path of a simulator reused across sweep grid points. Keeps the
+    /// per-node vectors' allocations whenever capacity allows.
+    pub fn reset_for(&mut self, n: usize) {
         self.events = 0;
         self.failures = 0;
         self.recoveries = 0;
         self.transfers = 0;
         self.tasks_shipped = 0;
         self.tasks_clamped = 0;
-        self.processed_per_node.fill(0);
-        self.downtime_per_node.fill(0.0);
+        self.processed_per_node.clear();
+        self.processed_per_node.resize(n, 0);
+        self.downtime_per_node.clear();
+        self.downtime_per_node.resize(n, 0.0);
         self.transit_task_seconds = 0.0;
     }
 }
@@ -84,6 +94,17 @@ mod tests {
         m.processed_per_node[0] = 10;
         m.processed_per_node[1] = 32;
         assert_eq!(m.total_processed(), 42);
+    }
+
+    #[test]
+    fn reset_for_resizes_to_the_new_node_count() {
+        let mut m = Metrics::new(4);
+        m.processed_per_node[3] = 9;
+        m.downtime_per_node[0] = 2.0;
+        m.reset_for(2);
+        assert_eq!(m, Metrics::new(2));
+        m.reset_for(6);
+        assert_eq!(m, Metrics::new(6));
     }
 
     #[test]

@@ -7,11 +7,14 @@
 //! clamping to what the source queue actually holds (the backup system can
 //! only ship tasks that exist).
 //!
-//! The interface is shaped for a zero-allocation hot path:
+//! The interface is shaped for a zero-allocation, cache-friendly hot path:
 //!
-//! * [`SystemView`] *borrows* the engine's node snapshots instead of
-//!   owning a freshly collected vector — the engine maintains one scratch
-//!   buffer per simulator and lends it out per callback;
+//! * [`SystemView`] exposes the node state as **structure-of-arrays
+//!   slices** (`queue_len`, `up`, `service_rate`, …) *borrowed straight
+//!   from the engine's own state* — building a view costs neither an
+//!   allocation nor a copy, and policy scans (the Eq. 6–7 excess pass, the
+//!   Eq. 8 speed/availability sums) stride over contiguous same-typed
+//!   memory instead of hopping across interleaved per-node structs;
 //! * hooks *append* to a reusable [`TransferOrder`] sink (cleared by the
 //!   engine before each call) instead of returning a fresh `Vec`.
 //!
@@ -21,6 +24,10 @@
 
 /// Read-only snapshot of one node, as exchanged in the paper's state
 /// packets (queue size, computational power, churn statistics).
+///
+/// The hot path stores node state as columns (see [`SystemView`]); this
+/// row form is what [`SystemView::node`] assembles for callers that want
+/// one node's fields together (diagnostics, tests).
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub struct NodeView {
     /// Node index.
@@ -49,14 +56,24 @@ impl NodeView {
     }
 }
 
-/// Read-only system snapshot handed to policy hooks. Borrows the engine's
-/// per-simulator scratch buffer — building one costs no allocation.
+/// Read-only system snapshot handed to policy hooks, in
+/// structure-of-arrays layout: column `i` of every slice describes node
+/// `i`. The engine lends its own state arrays — building one costs no
+/// allocation and no per-node copy.
 #[derive(Clone, Copy, Debug)]
 pub struct SystemView<'a> {
     /// Simulation time of the triggering event (seconds).
     pub time: f64,
-    /// Per-node snapshots.
-    pub nodes: &'a [NodeView],
+    /// Tasks currently queued, per node.
+    pub queue_len: &'a [u32],
+    /// Up/down state, per node.
+    pub up: &'a [bool],
+    /// Service rates `λ_d`, per node.
+    pub service_rate: &'a [f64],
+    /// Failure rates `λ_f`, per node.
+    pub failure_rate: &'a [f64],
+    /// Recovery rates `λ_r`, per node.
+    pub recovery_rate: &'a [f64],
     /// Mean network delay per task (the policies of the paper know the
     /// channel estimate from probing, §4).
     pub delay_per_task: f64,
@@ -65,16 +82,118 @@ pub struct SystemView<'a> {
 }
 
 impl SystemView<'_> {
+    /// Number of nodes in the system.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.queue_len.len()
+    }
+
+    /// True for a zero-node view (never produced by the engine).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.queue_len.is_empty()
+    }
+
+    /// Assembles the row form of node `i`.
+    ///
+    /// # Panics
+    /// Panics if `i` is out of range.
+    #[must_use]
+    pub fn node(&self, i: usize) -> NodeView {
+        NodeView {
+            id: i,
+            queue_len: self.queue_len[i],
+            up: self.up[i],
+            service_rate: self.service_rate[i],
+            failure_rate: self.failure_rate[i],
+            recovery_rate: self.recovery_rate[i],
+        }
+    }
+
+    /// Long-run availability `λ_r/(λ_f+λ_r)` of node `i`; 1 for reliable
+    /// nodes.
+    ///
+    /// # Panics
+    /// Panics if `i` is out of range.
+    #[must_use]
+    pub fn availability(&self, i: usize) -> f64 {
+        if self.failure_rate[i] == 0.0 {
+            1.0
+        } else {
+            self.recovery_rate[i] / (self.failure_rate[i] + self.recovery_rate[i])
+        }
+    }
+
     /// Sum of all queued tasks.
     #[must_use]
     pub fn total_queued(&self) -> u32 {
-        self.nodes.iter().map(|n| n.queue_len).sum()
+        self.queue_len.iter().sum()
     }
 
     /// Sum of service rates, `Σ λ_d` (the denominator of Eqs. 6–8).
     #[must_use]
     pub fn total_service_rate(&self) -> f64 {
-        self.nodes.iter().map(|n| n.service_rate).sum()
+        self.service_rate.iter().sum()
+    }
+}
+
+/// Owned structure-of-arrays node state — the builder behind
+/// [`SystemSnapshot::view`] for code that needs a [`SystemView`] *outside*
+/// a running engine: tests, diagnostics, and offline policy evaluation.
+#[derive(Clone, Debug, Default)]
+pub struct SystemSnapshot {
+    /// Simulation time the snapshot represents.
+    pub time: f64,
+    /// Mean network delay per task.
+    pub delay_per_task: f64,
+    /// Tasks in transit.
+    pub in_transit: u32,
+    queue_len: Vec<u32>,
+    up: Vec<bool>,
+    service_rate: Vec<f64>,
+    failure_rate: Vec<f64>,
+    recovery_rate: Vec<f64>,
+}
+
+impl SystemSnapshot {
+    /// Builds the column form from per-node rows (`id` fields are
+    /// ignored; order defines the node indices).
+    #[must_use]
+    pub fn from_nodes(nodes: &[NodeView]) -> Self {
+        Self {
+            time: 0.0,
+            delay_per_task: 0.0,
+            in_transit: 0,
+            queue_len: nodes.iter().map(|n| n.queue_len).collect(),
+            up: nodes.iter().map(|n| n.up).collect(),
+            service_rate: nodes.iter().map(|n| n.service_rate).collect(),
+            failure_rate: nodes.iter().map(|n| n.failure_rate).collect(),
+            recovery_rate: nodes.iter().map(|n| n.recovery_rate).collect(),
+        }
+    }
+
+    /// Sets the ambient fields in builder style.
+    #[must_use]
+    pub fn with_context(mut self, time: f64, delay_per_task: f64, in_transit: u32) -> Self {
+        self.time = time;
+        self.delay_per_task = delay_per_task;
+        self.in_transit = in_transit;
+        self
+    }
+
+    /// Borrows the snapshot as the view policies consume.
+    #[must_use]
+    pub fn view(&self) -> SystemView<'_> {
+        SystemView {
+            time: self.time,
+            queue_len: &self.queue_len,
+            up: &self.up,
+            service_rate: &self.service_rate,
+            failure_rate: &self.failure_rate,
+            recovery_rate: &self.recovery_rate,
+            delay_per_task: self.delay_per_task,
+            in_transit: self.in_transit,
+        }
     }
 }
 
@@ -156,8 +275,8 @@ impl Policy for NoBalancing {
 mod tests {
     use super::*;
 
-    fn nodes() -> Vec<NodeView> {
-        vec![
+    fn snapshot() -> SystemSnapshot {
+        SystemSnapshot::from_nodes(&[
             NodeView {
                 id: 0,
                 queue_len: 100,
@@ -174,33 +293,53 @@ mod tests {
                 failure_rate: 0.05,
                 recovery_rate: 0.05,
             },
-        ]
+        ])
+        .with_context(0.0, 0.02, 0)
     }
 
     #[test]
     fn view_aggregates() {
-        let nodes = nodes();
-        let v = SystemView {
-            time: 0.0,
-            nodes: &nodes,
-            delay_per_task: 0.02,
-            in_transit: 0,
-        };
+        let snap = snapshot();
+        let v = snap.view();
+        assert_eq!(v.len(), 2);
+        assert!(!v.is_empty());
         assert_eq!(v.total_queued(), 160);
         assert!((v.total_service_rate() - 2.94).abs() < 1e-12);
-        assert!((v.nodes[0].availability() - 2.0 / 3.0).abs() < 1e-12);
+        assert!((v.availability(0) - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn node_round_trips_the_row_form() {
+        let snap = snapshot();
+        let v = snap.view();
+        let n1 = v.node(1);
+        assert_eq!(n1.id, 1);
+        assert_eq!(n1.queue_len, 60);
+        assert!(n1.up);
+        assert_eq!(n1.service_rate, 1.86);
+        // The row's availability agrees with the column computation.
+        assert_eq!(n1.availability(), v.availability(1));
+    }
+
+    #[test]
+    fn reliable_nodes_have_unit_availability() {
+        let snap = SystemSnapshot::from_nodes(&[NodeView {
+            id: 0,
+            queue_len: 1,
+            up: true,
+            service_rate: 1.0,
+            failure_rate: 0.0,
+            recovery_rate: 0.0,
+        }]);
+        assert_eq!(snap.view().availability(0), 1.0);
+        assert_eq!(snap.view().node(0).availability(), 1.0);
     }
 
     #[test]
     fn no_balancing_never_acts() {
         let mut p = NoBalancing;
-        let nodes = nodes();
-        let v = SystemView {
-            time: 0.0,
-            nodes: &nodes,
-            delay_per_task: 0.02,
-            in_transit: 0,
-        };
+        let snap = snapshot();
+        let v = snap.view();
         let mut sink = Vec::new();
         p.on_start(&v, &mut sink);
         p.on_failure(0, &v, &mut sink);

@@ -49,7 +49,7 @@ struct ChaosPolicy {
 impl ChaosPolicy {
     fn orders(&mut self, view: &SystemView<'_>, sink: &mut Vec<TransferOrder>) {
         self.calls += 1;
-        let n = view.nodes.len();
+        let n = view.len();
         let mut x = self
             .seed
             .wrapping_mul(0x9E37_79B9_7F4A_7C15)

@@ -106,11 +106,11 @@ impl DynamicLbp1 {
 
     fn plan(&mut self, view: &SystemView<'_>, orders: &mut Vec<TransferOrder>) {
         self.episodes += 1;
-        let m0 = [view.nodes[0].queue_len, view.nodes[1].queue_len];
+        let m0 = [view.queue_len[0], view.queue_len[1]];
         if m0[0] + m0[1] == 0 {
             return;
         }
-        let state = WorkState::new(view.nodes[0].up, view.nodes[1].up);
+        let state = WorkState::new(view.up[0], view.up[1]);
         let opt = optimize_lbp1(&self.params, m0, state);
         if opt.tasks == 0 {
             return;

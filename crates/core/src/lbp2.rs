@@ -124,9 +124,9 @@ impl Lbp2 {
     /// hooks at `t = 0` and by the episodic-rebalancing extension.
     pub fn balancing_orders_into(&self, view: &SystemView<'_>, orders: &mut Vec<TransferOrder>) {
         crate::excess::balancing_orders_into(
-            view.nodes.len(),
-            |i| view.nodes[i].queue_len,
-            |i| view.nodes[i].service_rate,
+            view.len(),
+            |i| view.queue_len[i],
+            |i| view.service_rate[i],
             self.gain,
             orders,
         );
@@ -149,25 +149,24 @@ impl Lbp2 {
         view: &SystemView<'_>,
         orders: &mut Vec<TransferOrder>,
     ) {
-        let n = view.nodes.len();
-        let failed = &view.nodes[j];
-        if failed.recovery_rate <= 0.0 {
+        let n = view.len();
+        if view.recovery_rate[j] <= 0.0 {
             return; // never recovers — config validation forbids this
         }
         // Expected backlog accumulated while j recovers: λ_dj / λ_rj.
-        let backlog = failed.service_rate / failed.recovery_rate;
-        let total_rate: f64 = view.nodes.iter().map(|nv| nv.service_rate).sum();
+        let backlog = view.service_rate[j] / view.recovery_rate[j];
+        let total_rate: f64 = view.service_rate.iter().sum();
         for i in 0..n {
             if i == j {
                 continue;
             }
             let availability = if self.use_availability_weight {
-                view.nodes[i].availability()
+                view.availability(i)
             } else {
                 1.0
             };
             let speed_share = if self.use_speed_weight {
-                view.nodes[i].service_rate / total_rate
+                view.service_rate[i] / total_rate
             } else {
                 1.0 / (n as f64 - 1.0)
             };
@@ -214,10 +213,10 @@ impl Policy for Lbp2 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use churnbal_cluster::{simulate, NodeView, SimOptions};
+    use churnbal_cluster::{simulate, NodeView, SimOptions, SystemSnapshot};
 
-    fn paper_nodes(queues: [u32; 2]) -> Vec<NodeView> {
-        vec![
+    fn paper_nodes(queues: [u32; 2]) -> SystemSnapshot {
+        SystemSnapshot::from_nodes(&[
             NodeView {
                 id: 0,
                 queue_len: queues[0],
@@ -234,38 +233,30 @@ mod tests {
                 failure_rate: 0.05,
                 recovery_rate: 0.05,
             },
-        ]
-    }
-
-    fn view(nodes: &[NodeView]) -> SystemView<'_> {
-        SystemView {
-            time: 0.0,
-            nodes,
-            delay_per_task: 0.02,
-            in_transit: 0,
-        }
+        ])
+        .with_context(0.0, 0.02, 0)
     }
 
     #[test]
     fn initial_orders_ship_gain_times_excess() {
         // (100, 60): node 1's excess is 41.22; K = 1 ships 41 tasks.
-        let nodes = paper_nodes([100, 60]);
+        let snap = paper_nodes([100, 60]);
         let p = Lbp2::new(1.0);
-        let orders = p.balancing_orders(&view(&nodes));
+        let orders = p.balancing_orders(&snap.view());
         assert_eq!(orders.len(), 1);
         assert_eq!(orders[0].from, 0);
         assert_eq!(orders[0].to, 1);
         assert_eq!(orders[0].tasks, 41);
         // K = 0.5 ships half.
         let half = Lbp2::new(0.5);
-        assert_eq!(half.balancing_orders(&view(&nodes))[0].tasks, 21);
+        assert_eq!(half.balancing_orders(&snap.view())[0].tasks, 21);
     }
 
     #[test]
     fn balanced_queues_produce_no_orders() {
-        let nodes = paper_nodes([108, 186]);
+        let snap = paper_nodes([108, 186]);
         let p = Lbp2::new(1.0);
-        assert!(p.balancing_orders(&view(&nodes)).is_empty());
+        assert!(p.balancing_orders(&snap.view()).is_empty());
     }
 
     #[test]
@@ -274,8 +265,8 @@ mod tests {
         // ⌊0.5 · (1.86/2.94) · (1.08·10)⌋ = ⌊3.417⌋ = 3 tasks to node 2;
         // node 2 fails -> ⌊(2/3)·(1.08/2.94)·(1.86·20)⌋ = ⌊9.11⌋ = 9 tasks.
         let p = Lbp2::new(1.0);
-        let nodes = paper_nodes([100, 60]);
-        let v = view(&nodes);
+        let snap = paper_nodes([100, 60]);
+        let v = snap.view();
         let f1 = p.failure_orders(0, &v);
         assert_eq!(
             f1,
@@ -303,15 +294,15 @@ mod tests {
         let p = Lbp2::new(1.0);
         let heavy = paper_nodes([100, 60]);
         let light = paper_nodes([3, 200]);
-        let a = p.failure_orders(0, &view(&heavy));
-        let b = p.failure_orders(0, &view(&light));
+        let a = p.failure_orders(0, &heavy.view());
+        let b = p.failure_orders(0, &light.view());
         assert_eq!(a, b);
     }
 
     #[test]
     fn ablations_change_eq8() {
-        let nodes = paper_nodes([100, 60]);
-        let v = view(&nodes);
+        let snap = paper_nodes([100, 60]);
+        let v = snap.view();
         let full = Lbp2::new(1.0).failure_orders(1, &v)[0].tasks;
         let no_avail = Lbp2::new(1.0)
             .without_availability_weight()

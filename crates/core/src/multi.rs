@@ -56,13 +56,13 @@ impl Lbp1Multi {
         self.gain
     }
 
-    /// Effective weight of one node: service rate,
+    /// Effective weight of node `i`: service rate,
     /// availability-discounted when enabled.
-    fn weight(&self, n: &churnbal_cluster::NodeView) -> f64 {
+    fn weight(&self, view: &SystemView<'_>, i: usize) -> f64 {
         if self.availability_weighted {
-            n.service_rate * n.availability()
+            view.service_rate[i] * view.availability(i)
         } else {
-            n.service_rate
+            view.service_rate[i]
         }
     }
 
@@ -70,9 +70,9 @@ impl Lbp1Multi {
     /// hot-path form used by the `on_start` hook.
     pub fn initial_orders_into(&self, view: &SystemView<'_>, orders: &mut Vec<TransferOrder>) {
         excess::balancing_orders_into(
-            view.nodes.len(),
-            |i| view.nodes[i].queue_len,
-            |i| self.weight(&view.nodes[i]),
+            view.len(),
+            |i| view.queue_len[i],
+            |i| self.weight(view, i),
             self.gain,
             orders,
         );
@@ -151,14 +151,11 @@ mod tests {
                 recovery_rate: n.recovery_rate,
             })
             .collect();
-        let view = churnbal_cluster::SystemView {
-            time: 0.0,
-            nodes: &nodes,
-            delay_per_task: 0.02,
-            in_transit: 0,
-        };
-        let aware = Lbp1Multi::new(1.0).initial_orders(&view);
-        let blind = Lbp1Multi::new(1.0).churn_blind().initial_orders(&view);
+        let snap = churnbal_cluster::SystemSnapshot::from_nodes(&nodes).with_context(0.0, 0.02, 0);
+        let aware = Lbp1Multi::new(1.0).initial_orders(&snap.view());
+        let blind = Lbp1Multi::new(1.0)
+            .churn_blind()
+            .initial_orders(&snap.view());
         let to_flaky = |orders: &[TransferOrder]| -> u64 {
             orders
                 .iter()

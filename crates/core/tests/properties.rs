@@ -1,6 +1,6 @@
 //! Property-based tests of the policy arithmetic (Eqs. 6–8).
 
-use churnbal_cluster::{NodeView, SystemView};
+use churnbal_cluster::{NodeView, SystemSnapshot};
 use churnbal_core::{excess_loads, partition_fractions, Lbp2};
 use proptest::prelude::*;
 
@@ -11,8 +11,8 @@ fn arb_system(n: usize) -> impl Strategy<Value = (Vec<u32>, Vec<f64>)> {
     )
 }
 
-fn nodes_from(queues: &[u32], rates: &[f64]) -> Vec<NodeView> {
-    queues
+fn snapshot_from(queues: &[u32], rates: &[f64]) -> SystemSnapshot {
+    let nodes: Vec<NodeView> = queues
         .iter()
         .zip(rates)
         .enumerate()
@@ -24,16 +24,8 @@ fn nodes_from(queues: &[u32], rates: &[f64]) -> Vec<NodeView> {
             failure_rate: 0.05,
             recovery_rate: 0.08,
         })
-        .collect()
-}
-
-fn view_from(nodes: &[NodeView]) -> SystemView<'_> {
-    SystemView {
-        time: 0.0,
-        nodes,
-        delay_per_task: 0.02,
-        in_transit: 0,
-    }
+        .collect();
+    SystemSnapshot::from_nodes(&nodes).with_context(0.0, 0.02, 0)
 }
 
 proptest! {
@@ -75,8 +67,8 @@ proptest! {
     /// rounding per receiver) than the computed excess, and scale with K.
     #[test]
     fn initial_orders_respect_excess((queues, rates) in arb_system(3), k in 0.0f64..1.0) {
-        let nodes = nodes_from(&queues, &rates);
-        let view = view_from(&nodes);
+        let snap = snapshot_from(&queues, &rates);
+        let view = snap.view();
         let lbp2 = Lbp2::new(k);
         let orders = lbp2.balancing_orders(&view);
         let excess = excess_loads(&queues, &rates);
@@ -99,8 +91,8 @@ proptest! {
     /// receiver.
     #[test]
     fn failure_orders_structure((queues, rates) in arb_system(3), j in 0usize..3) {
-        let nodes = nodes_from(&queues, &rates);
-        let view = view_from(&nodes);
+        let snap = snapshot_from(&queues, &rates);
+        let view = snap.view();
         let full = Lbp2::new(1.0);
         let orders = full.failure_orders(j, &view);
         let backlog = rates[j] / 0.08; // service_rate / recovery_rate

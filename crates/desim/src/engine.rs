@@ -29,7 +29,10 @@ use crate::time::SimTime;
 /// return value truthful without any scan. (A stale handle could collide
 /// only after its slot's 32-bit generation wraps — 2^32 reuses of one
 /// slot — which no simulation horizon approaches.)
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+/// Deliberately **not** `Ord`: the packed `(generation, slot)` bits carry
+/// no meaningful order (a later event in a fresh slot can pack below an
+/// earlier one in a reused slot), so the handle stays honestly opaque.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub struct EventId(u64);
 
 impl EventId {
@@ -240,7 +243,7 @@ impl<E> EventQueue<E> {
         if self.heap.is_empty() {
             return None;
         }
-        let entry = self.remove_at(0);
+        let entry = self.remove_root();
         let slot = entry.slot as usize;
         let id = EventId::new(entry.slot, self.slots[slot].generation);
         self.release_slot(slot);
@@ -267,9 +270,57 @@ impl<E> EventQueue<E> {
         self.free.push(slot as u32);
     }
 
+    /// Removes and returns the root entry (the pop hot path) using a
+    /// hole-based sift: the root hole bubbles down along the min-child
+    /// path to a leaf (one comparison per level — children against each
+    /// other only), the heap's last entry drops into the hole, and a
+    /// sift-up repairs the path. A classic top-down sift instead compares
+    /// the transplanted entry against the smaller child at *every* level
+    /// (two comparisons per level) even though a freshly detached leaf
+    /// almost always sinks back to the bottom; the hole variant roughly
+    /// halves the comparisons per pop. The final array layout is
+    /// *identical* to the top-down sift's — both place each former
+    /// min-child one level up and drop the transplant at the same position
+    /// of the same path (the `(time, seq)` order is total, so there are no
+    /// ties to break differently) — hence pop order, ids and every pinned
+    /// digest are unchanged. Does not touch the removed entry's slot.
+    fn remove_root(&mut self) -> Entry<E> {
+        let last = self.heap.len() - 1;
+        if last == 0 {
+            return self.heap.pop().expect("heap is non-empty");
+        }
+        // Bubble the hole from the root to a leaf along min-children.
+        let mut hole = 0usize;
+        loop {
+            let left = 2 * hole + 1;
+            if left > last {
+                break;
+            }
+            let right = left + 1;
+            let child = if right <= last && self.heap[right].sorts_before(&self.heap[left]) {
+                right
+            } else {
+                left
+            };
+            self.heap.swap(hole, child);
+            self.slots[self.heap[hole].slot as usize].pos = hole;
+            hole = child;
+        }
+        // The detached root now sits at `hole`; swap it with the last
+        // entry, pop it off, and let the transplant rise to its place.
+        self.heap.swap(hole, last);
+        let entry = self.heap.pop().expect("heap is non-empty");
+        if hole < self.heap.len() {
+            self.sift_up(hole);
+        }
+        entry
+    }
+
     /// Removes and returns the entry at heap position `pos`, repairing the
     /// heap with one swap-remove plus a single sift in the needed
-    /// direction. Does not touch the removed entry's slot.
+    /// direction (the cancellation path; pops use the cheaper
+    /// [`EventQueue::remove_root`]). Does not touch the removed entry's
+    /// slot.
     fn remove_at(&mut self, pos: usize) -> Entry<E> {
         let last = self.heap.len() - 1;
         self.heap.swap(pos, last);

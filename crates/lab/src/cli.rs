@@ -4,16 +4,18 @@
 //! churnbal-lab list
 //! churnbal-lab show <scenario>
 //! churnbal-lab run   <scenario|file.toml> [--quick] [--reps N] [--seed S]
-//!                    [--threads T] [--format table|csv|jsonl] [--out PATH]
+//!                    [--threads T] [--chunk C] [--format table|csv|jsonl] [--out PATH]
 //! churnbal-lab sweep <scenario|file.toml> [--axis param=v1,v2,... | param=lo:hi:step]...
-//!                    [--quick] [--reps N] [--seed S] [--threads T]
+//!                    [--quick] [--reps N] [--seed S] [--threads T] [--chunk C]
 //!                    [--format csv|jsonl] [--out PATH]
 //! ```
 //!
 //! `run` executes a scenario including its baked-in axes (so
 //! `run paper-fig3` regenerates the whole Fig. 3 gain sweep); `sweep`
-//! additionally grid-expands `--axis` specifications on top. All output is
-//! deterministic: bit-identical for any `--threads` value.
+//! additionally grid-expands `--axis` specifications on top. The whole
+//! `(grid point, replication)` space runs on one shared worker pool
+//! (`--threads`), which claims `--chunk` tasks per grab. All output is
+//! deterministic: bit-identical for any `--threads` and `--chunk` value.
 
 use crate::registry;
 use crate::scenario::Scenario;
@@ -36,7 +38,8 @@ options (run/sweep):\n\
   --quick                    a tenth of the replications (at least 10)\n\
   --reps N                   replication override\n\
   --seed S                   master-seed override\n\
-  --threads T                worker threads (0 = auto)\n\
+  --threads T                worker threads for the whole sweep (0 = auto)\n\
+  --chunk C                  tasks claimed per scheduler grab (0 = auto)\n\
   --format F                 table (run default) | csv (sweep default) | jsonl\n\
   --out PATH                 write the output to PATH instead of stdout\n";
 
@@ -111,6 +114,12 @@ fn parse_common<'a>(
                 opts.run.threads = v
                     .parse()
                     .map_err(|_| format!("--threads: expected an integer, got `{v}`"))?;
+            }
+            "--chunk" => {
+                let v = it.next().ok_or("--chunk needs a value")?;
+                opts.run.chunk = v
+                    .parse()
+                    .map_err(|_| format!("--chunk: expected an integer, got `{v}`"))?;
             }
             "--format" => {
                 let v = it.next().ok_or("--format needs a value")?;

@@ -1,21 +1,26 @@
 //! Grid expansion and the deterministic parallel sweep runner.
 //!
 //! A sweep takes a [`Scenario`], grid-expands it over axes (the scenario's
-//! baked-in [`Scenario::axes`] plus any extra ones), runs every grid point
-//! through [`churnbal_cluster::mc::run_replications`] — replications in
-//! parallel, with per-replication streams derived from the scenario seed —
-//! and renders the results as CSV or JSON-lines.
+//! baked-in [`Scenario::axes`] plus any extra ones), and runs the **whole
+//! flattened `(grid point, replication)` space** through the shared
+//! work-stealing scheduler of [`churnbal_cluster::exec`]: one worker pool
+//! spans the entire sweep, each worker reuses one simulator across every
+//! task it claims, and completed points drain through a reorder buffer so
+//! rows still stream out in grid order. Results render as CSV or
+//! JSON-lines.
 //!
 //! Two determinism guarantees, both pinned by tests:
 //!
-//! * output is **bit-identical for any worker thread count** (inherited
-//!   from the Monte-Carlo runner's pre-assigned replication streams), and
+//! * output is **bit-identical for any worker thread count and chunk
+//!   size** (replication `r` of a point always runs on the streams
+//!   derived from `(seed, r)`, regardless of which worker claims it), and
 //! * every grid point reuses the **same master seed** (common random
 //!   numbers), so differences along an axis are not masked by sampling
 //!   noise — exactly how the paper compares policies across gains.
 
-use churnbal_cluster::mc::{run_replications, McEstimate};
-use churnbal_cluster::{ArrivalKind, SimOptions};
+use churnbal_cluster::exec::{run_grid_streaming, PointJob};
+use churnbal_cluster::mc::McEstimate;
+use churnbal_cluster::{ArrivalKind, SimOptions, SystemConfig};
 
 use crate::scenario::{ArrivalsSpec, Scenario};
 
@@ -247,8 +252,11 @@ pub struct RunOptions {
     pub seed: Option<u64>,
     /// `--quick`: a tenth of the replications (at least 10).
     pub quick: bool,
-    /// Worker threads for the Monte-Carlo runner (0 = auto).
+    /// Worker threads shared across the whole sweep (0 = auto).
     pub threads: usize,
+    /// Scheduler chunk size: `(point, replication)` tasks claimed per
+    /// atomic grab (0 = auto). Output bytes do not depend on it.
+    pub chunk: usize,
 }
 
 impl RunOptions {
@@ -261,7 +269,9 @@ impl RunOptions {
     }
 }
 
-/// Runs one (already rewritten) scenario and returns the raw estimate.
+/// Runs one (already rewritten) scenario and returns the raw estimate —
+/// a one-point grid through the shared scheduler, honouring both
+/// [`RunOptions::threads`] and [`RunOptions::chunk`].
 ///
 /// # Errors
 /// Propagates scenario/policy validation failures.
@@ -270,20 +280,29 @@ pub fn run_scenario(scenario: &Scenario, options: RunOptions) -> Result<McEstima
     // Validate the policy once up front so the per-replication closure
     // cannot fail.
     scenario.policy.build(&config)?;
-    let reps = options.effective_reps(scenario).max(1);
-    let seed = options.seed.unwrap_or(scenario.seed);
-    let sim = SimOptions {
-        record_trace: false,
-        deadline: scenario.deadline,
-    };
     let policy = &scenario.policy;
-    Ok(run_replications(
-        &config,
-        &|_| policy.build(&config).expect("validated above"),
-        reps,
-        seed,
+    let job = PointJob {
+        config: &config,
+        reps: options.effective_reps(scenario).max(1),
+        seed: options.seed.unwrap_or(scenario.seed),
+        options: SimOptions {
+            record_trace: false,
+            deadline: scenario.deadline,
+        },
+    };
+    let mut stats = None;
+    run_grid_streaming(
+        std::slice::from_ref(&job),
+        &|_, _| policy.build(&config).expect("validated above"),
         options.threads,
-        sim,
+        options.chunk,
+        |_, s| {
+            stats = Some(s);
+            Ok(())
+        },
+    )?;
+    Ok(McEstimate::from_point_stats(
+        stats.expect("one point always completes"),
     ))
 }
 
@@ -355,9 +374,15 @@ pub struct SweepSchema {
 /// Grid-expands and runs a sweep, handing each completed row to `on_row`
 /// **as its grid point finishes** instead of buffering the whole grid —
 /// the streaming backbone of [`run_sweep`] and the CLI's CSV/JSONL
-/// writers. Rows arrive in grid order (replications within a point run in
-/// parallel; points are sequential), so streamed output is bit-identical
-/// for any `threads` value.
+/// writers.
+///
+/// The whole `(point, replication)` space runs on one shared worker pool
+/// ([`churnbal_cluster::exec`]): replications of *different* points
+/// proceed concurrently, so small-rep points no longer serialise the
+/// sweep. The scheduler's reorder buffer still delivers rows in grid
+/// order, and because replication streams are keyed by `(seed, r)` alone,
+/// the emitted bytes are bit-identical for any `threads` and `chunk`
+/// value.
 ///
 /// # Errors
 /// Propagates expansion and execution failures, and anything `on_row`
@@ -381,24 +406,58 @@ where
         axes,
         points: points.len(),
     };
-    for point in points {
-        let est = run_scenario(&point.scenario, options)?;
-        on_row(SweepRow {
-            index: point.index,
+    // Materialise configs and validate every point's policy up front so
+    // the per-replication build in the worker closure cannot fail.
+    let mut configs: Vec<SystemConfig> = Vec::with_capacity(points.len());
+    for point in &points {
+        let config = point.scenario.system_config()?;
+        point.scenario.policy.build(&config)?;
+        configs.push(config);
+    }
+    let jobs: Vec<PointJob<'_>> = points
+        .iter()
+        .zip(&configs)
+        .map(|(point, config)| PointJob {
+            config,
             reps: options.effective_reps(&point.scenario).max(1),
             seed: options.seed.unwrap_or(point.scenario.seed),
-            policy: point.scenario.policy.kind().to_string(),
-            coords: point.coords,
-            mean_completion: est.mean(),
-            ci95: est.ci95(),
-            sd_completion: sample_sd(est.completion_times.iter().copied()),
-            mean_failures: est.mean_failures,
-            sd_failures: sample_sd(est.failures_per_rep.iter().map(|&x| x as f64)),
-            mean_tasks_shipped: est.mean_tasks_shipped,
-            sd_tasks_shipped: sample_sd(est.tasks_shipped_per_rep.iter().map(|&x| x as f64)),
-            incomplete: est.incomplete,
-        })?;
-    }
+            options: SimOptions {
+                record_trace: false,
+                deadline: point.scenario.deadline,
+            },
+        })
+        .collect();
+    run_grid_streaming(
+        &jobs,
+        &|p, _r| {
+            points[p]
+                .scenario
+                .policy
+                .build(&configs[p])
+                .expect("validated above")
+        },
+        options.threads,
+        options.chunk,
+        |p, stats| {
+            let point = &points[p];
+            let est = McEstimate::from_point_stats(stats);
+            on_row(SweepRow {
+                index: point.index,
+                reps: jobs[p].reps,
+                seed: jobs[p].seed,
+                policy: point.scenario.policy.kind().to_string(),
+                coords: point.coords.clone(),
+                mean_completion: est.mean(),
+                ci95: est.ci95(),
+                sd_completion: sample_sd(est.completion_times.iter().copied()),
+                mean_failures: est.mean_failures,
+                sd_failures: sample_sd(est.failures_per_rep.iter().map(|&x| x as f64)),
+                mean_tasks_shipped: est.mean_tasks_shipped,
+                sd_tasks_shipped: sample_sd(est.tasks_shipped_per_rep.iter().map(|&x| x as f64)),
+                incomplete: est.incomplete,
+            })
+        },
+    )?;
     Ok(schema)
 }
 

@@ -40,5 +40,5 @@ pub use dist::{
 };
 pub use ecdf::Ecdf;
 pub use histogram::Histogram;
-pub use rng::{SplitMix64, StreamFactory, Xoshiro256pp};
+pub use rng::{BatchedRng, SplitMix64, StreamFactory, Xoshiro256pp, RNG_BATCH};
 pub use stats::OnlineStats;

@@ -10,8 +10,8 @@
 //! experiment. If a drift is *intended*, re-pin the digests in the same PR
 //! and say why.
 
-use churnbal::lab::{registry, run_scenario, RunOptions};
-use churnbal::stochastic::digest_f64s;
+use churnbal::lab::{registry, run_scenario, run_sweep, Axis, AxisParam, RunOptions};
+use churnbal::stochastic::{digest_f64s, fnv1a_bytes};
 
 /// Small but non-trivial replication count: enough to cover churn,
 /// transfers and multi-node paths, cheap enough for every `cargo test`.
@@ -55,6 +55,66 @@ fn volunteer_grid_sample_paths_are_pinned() {
         scenario_digest("volunteer-grid"),
         0xf267_bfbb_f4ef_2654,
         "volunteer-grid trajectories drifted"
+    );
+}
+
+/// Digest of the **full sweep CSV bytes** of a preset — header, axis
+/// columns, every statistics column of every row. Stricter than the
+/// completion-time digests above: it additionally pins the grid
+/// expansion, the row ordering of the sweep scheduler's reorder buffer,
+/// the derived statistics arithmetic and the exact rendering.
+fn sweep_csv_digest(name: &str, extra: &[Axis], threads: usize) -> u64 {
+    let scenario = registry::get(name).unwrap_or_else(|| panic!("preset {name} missing"));
+    let result = run_sweep(
+        &scenario,
+        extra,
+        RunOptions {
+            reps: Some(6),
+            threads,
+            ..RunOptions::default()
+        },
+    )
+    .unwrap_or_else(|e| panic!("{name}: {e}"));
+    fnv1a_bytes(result.to_csv().as_bytes())
+}
+
+#[test]
+fn paper_fig3_sweep_csv_bytes_are_pinned() {
+    // The preset's baked-in 21-value gain axis: one full Fig. 3 sweep.
+    assert_eq!(
+        sweep_csv_digest("paper-fig3", &[], 3),
+        0xd850_21ea_fc0e_8e22,
+        "paper-fig3 sweep CSV bytes drifted"
+    );
+}
+
+#[test]
+fn mmpp_bursty_sweep_csv_bytes_are_pinned() {
+    // A 2x2 grid over gain x failure-scale on the MMPP arrival preset —
+    // covers the stochastic-arrival path and multi-axis expansion.
+    let axes = vec![
+        Axis {
+            param: AxisParam::Gain,
+            values: vec![0.25, 0.75],
+        },
+        Axis {
+            param: AxisParam::FailureScale,
+            values: vec![0.5, 1.5],
+        },
+    ];
+    assert_eq!(
+        sweep_csv_digest("mmpp-bursty", &axes, 3),
+        0x317d_3565_86d5_582d,
+        "mmpp-bursty sweep CSV bytes drifted"
+    );
+}
+
+/// The sweep-CSV digests must not depend on scheduling either.
+#[test]
+fn sweep_csv_digests_are_thread_invariant() {
+    assert_eq!(
+        sweep_csv_digest("paper-fig3", &[], 1),
+        sweep_csv_digest("paper-fig3", &[], 8)
     );
 }
 
