@@ -22,7 +22,8 @@ use churnbal_bench::Args;
 use churnbal_cluster::{run_replications, SimOptions};
 use churnbal_core::{model_params, Lbp1};
 use churnbal_lab::registry;
-use churnbal_lab::sweep::{expand_grid, run_scenario, RunOptions};
+use churnbal_lab::sweep::{expand_grid, RunOptions};
+use churnbal_lab::{Experiment, ExperimentSpec};
 use churnbal_model::mean::Lbp1Evaluator;
 use churnbal_model::WorkState;
 
@@ -62,14 +63,16 @@ fn main() {
         if theory_nf < best_nf.1 {
             best_nf = (k, theory_nf);
         }
-        let mc = run_scenario(
-            &point.scenario,
+        let mc = Experiment::new(ExperimentSpec::sweep(
+            point.scenario,
+            Vec::new(),
             RunOptions {
                 reps: Some(mc_reps),
                 threads: args.threads,
                 ..RunOptions::default()
             },
-        )
+        ))
+        .estimate()
         .expect("preset scenario is valid");
         let exp = run_replications(
             &cfg_exp,

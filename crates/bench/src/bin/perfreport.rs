@@ -13,15 +13,15 @@
 //! (measurement rounds per workload, fastest kept; default 3 — one-sided
 //! scheduling noise makes min-of-N the stable estimator), `--seed S`
 //! (non-default seeds skip digest assertions), `--out PATH` (default
-//! `BENCH_4.json`), `--no-write` (print only).
+//! `BENCH_5.json`), `--no-write` (print only).
 //!
 //! The digests make the harness a regression *gate*, not just a meter: a
 //! refactor that changes any sampled trajectory fails here before its perf
 //! numbers can be mistaken for a like-for-like comparison.
 
 use churnbal_bench::perf::{
-    expected_digest, expected_sweep_grid_digest, measure_repeated, measure_sweep_grid, to_json,
-    workloads, PERF_SEED,
+    expected_compare_grid_digest, expected_digest, expected_sweep_grid_digest,
+    measure_compare_grid, measure_repeated, measure_sweep_grid, to_json, workloads, PERF_SEED,
 };
 
 struct Options {
@@ -39,7 +39,7 @@ fn parse_args() -> Options {
         threads: 1,
         seed: PERF_SEED,
         repeat: 3,
-        out: "BENCH_4.json".to_string(),
+        out: "BENCH_5.json".to_string(),
         write: true,
     };
     let mut it = std::env::args().skip(1);
@@ -152,9 +152,41 @@ fn main() {
         sweep.threads,
     );
 
+    // The policy-axis workload: the same grid × a 3-policy comparison
+    // set, one shared (point, policy, replication) pass vs K sequential
+    // single-policy sweeps; `measure_compare_grid` cross-checks the two
+    // modes bit-exactly (the measured CRN invariant).
+    let compare = measure_compare_grid(opts.quick, opts.seed, opts.repeat);
+    let compare_verdict = if opts.seed == PERF_SEED {
+        if compare.digest == expected_compare_grid_digest(opts.quick) {
+            "ok"
+        } else {
+            drifted = true;
+            "DRIFT"
+        }
+    } else {
+        "unpinned"
+    };
+    println!(
+        "{:<16} {:>6} {:>12} {:>10.3} {:>14.0}  {:#018x} {} ({} pts x {} policies, {:.2}x vs {} sequential sweeps at {} threads)",
+        "compare-grid",
+        compare.reps,
+        compare.events,
+        compare.wall_seconds,
+        compare.events_per_sec(),
+        compare.digest,
+        compare_verdict,
+        compare.points,
+        compare.policies,
+        compare.speedup(),
+        compare.policies,
+        compare.threads,
+    );
+
     let json = to_json(
         &measurements,
         Some(&sweep),
+        Some(&compare),
         opts.quick,
         opts.threads,
         opts.seed,

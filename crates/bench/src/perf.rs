@@ -23,6 +23,14 @@
 //! count. The engine code is identical in both modes; the measured gap is
 //! exactly the per-point orchestration cost the flattened pass removes.
 //!
+//! A fifth workload, `compare-grid`, measures the **policy axis**: the
+//! same grid × a 3-policy comparison set, run once through a single
+//! `(point, policy, replication)` scheduler pass (how `churnbal-lab
+//! compare` executes) and once as K sequential single-policy sweeps (how
+//! the comparison had to be asked before). The bit-exact cross-check of
+//! the two modes doubles as a measured proof of the common-random-numbers
+//! invariant.
+//!
 //! Wall-clock numbers are measurements; the *sample paths* are pinned: the
 //! digest of each workload's completion-time vector is asserted against a
 //! committed value, so a refactor that silently changes sampling fails the
@@ -30,7 +38,7 @@
 
 use std::time::Instant;
 
-use churnbal_cluster::exec::{run_grid_streaming, PointJob};
+use churnbal_cluster::exec::{run_grid_policies_streaming, run_grid_streaming, PointJob};
 use churnbal_cluster::{run_replications, ChurnModel, SimOptions};
 use churnbal_cluster::{NetworkConfig, NodeConfig, SystemConfig};
 use churnbal_core::{Lbp2, PolicySpec};
@@ -284,6 +292,193 @@ pub fn measure_sweep_grid(quick: bool, seed: u64, repeat: u32) -> SweepGridMeasu
     }
 }
 
+/// The policy set of the `compare-grid` workload, in baseline-first
+/// order — the same declarative specs the lab's `compare` resolves.
+#[must_use]
+pub fn compare_grid_policies() -> Vec<PolicySpec> {
+    vec![
+        PolicySpec::Lbp2 { gain: 1.0 },
+        PolicySpec::UponFailureOnly,
+        PolicySpec::NoBalancing,
+    ]
+}
+
+/// Result of measuring the `compare-grid` workload: the sweep grid ×
+/// a 3-policy set through one shared scheduler pass vs K sequential
+/// single-policy sweeps.
+#[derive(Clone, Debug)]
+pub struct CompareGridMeasurement {
+    /// Grid points run.
+    pub points: usize,
+    /// Policies evaluated per point.
+    pub policies: usize,
+    /// Total replications across `points × policies`.
+    pub reps: u64,
+    /// Total engine events (identical in both execution modes).
+    pub events: u64,
+    /// Wall-clock seconds through the single shared pass.
+    pub wall_seconds: f64,
+    /// Wall-clock seconds through K sequential single-policy sweeps.
+    pub sequential_wall_seconds: f64,
+    /// Worker threads used by both modes.
+    pub threads: usize,
+    /// FNV-1a digest of the flattened completion-time vector (cells in
+    /// `(point, policy)` order) — asserted identical between the two
+    /// modes before either wall-clock number is reported.
+    pub digest: u64,
+}
+
+impl CompareGridMeasurement {
+    /// K-sequential-sweeps wall clock over shared-pass wall clock.
+    #[must_use]
+    pub fn speedup(&self) -> f64 {
+        self.sequential_wall_seconds / self.wall_seconds
+    }
+
+    /// Events per second through the shared pass.
+    #[must_use]
+    pub fn events_per_sec(&self) -> f64 {
+        self.events as f64 / self.wall_seconds
+    }
+}
+
+/// Measures the `compare-grid` workload: the `sweep_grid` systems × the
+/// 3-policy comparison set, once through a single
+/// [`run_grid_policies_streaming`] pass (the lab `compare` execution
+/// shape) and once as K sequential [`run_grid_streaming`] sweeps (the
+/// pre-policy-axis way to answer the same question). Sample paths are
+/// cross-checked bit-exactly between the modes before timing is trusted —
+/// which is also the common-random-numbers invariant, measured instead of
+/// assumed. Each mode keeps its fastest of `repeat` rounds.
+///
+/// # Panics
+/// Panics if `repeat == 0` or the two execution modes disagree on any
+/// sampled value (a scheduler determinism bug).
+#[must_use]
+pub fn measure_compare_grid(quick: bool, seed: u64, repeat: u32) -> CompareGridMeasurement {
+    assert!(repeat > 0, "need at least one measurement round");
+    let (configs, reps) = sweep_grid(quick);
+    let policies = compare_grid_policies();
+    for (config, policy) in configs
+        .iter()
+        .flat_map(|c| policies.iter().map(move |p| (c, p)))
+    {
+        policy
+            .validate_for(config)
+            .expect("compare-grid policies fit every point");
+    }
+    let jobs: Vec<PointJob<'_>> = configs
+        .iter()
+        .zip(&reps)
+        .map(|(config, &reps)| PointJob {
+            config,
+            reps,
+            seed,
+            options: SimOptions::default(),
+        })
+        .collect();
+    let k = policies.len();
+
+    let mut times = Vec::new();
+    let mut events = 0u64;
+    let mut wall_seconds = f64::INFINITY;
+    let mut sequential_wall_seconds = f64::INFINITY;
+    for round in 0..repeat {
+        // Shared pass: one pool over every (point, policy, rep) task.
+        let mut round_times = Vec::new();
+        let mut round_events = 0u64;
+        let start = Instant::now();
+        run_grid_policies_streaming(
+            &jobs,
+            k,
+            &|p, v, _| policies[v].build(jobs[p].config).expect("validated"),
+            SWEEP_GRID_THREADS,
+            0,
+            |_, _, stats| {
+                round_times.extend_from_slice(&stats.completion_times);
+                round_events += stats.total_events;
+                Ok(())
+            },
+        )
+        .expect("compare-grid shared pass");
+        wall_seconds = wall_seconds.min(start.elapsed().as_secs_f64());
+
+        // Baseline: K sequential sweeps, one full scheduler pass per
+        // policy — same engine code, same per-policy task order; only the
+        // orchestration differs. Results land per policy and are then
+        // interleaved into the shared pass's (point, policy) cell order
+        // for the bit-exact cross-check.
+        let mut per_policy: Vec<Vec<Vec<f64>>> = Vec::with_capacity(k);
+        let mut seq_events = 0u64;
+        let start = Instant::now();
+        for policy in &policies {
+            let mut cells: Vec<Vec<f64>> = Vec::with_capacity(jobs.len());
+            run_grid_streaming(
+                &jobs,
+                &|p, _| policy.build(jobs[p].config).expect("validated"),
+                SWEEP_GRID_THREADS,
+                0,
+                |_, stats| {
+                    seq_events += stats.total_events;
+                    cells.push(stats.completion_times);
+                    Ok(())
+                },
+            )
+            .expect("compare-grid sequential sweep");
+            per_policy.push(cells);
+        }
+        sequential_wall_seconds = sequential_wall_seconds.min(start.elapsed().as_secs_f64());
+        let mut seq_times = Vec::with_capacity(round_times.len());
+        for p in 0..jobs.len() {
+            for cells in &per_policy {
+                seq_times.extend_from_slice(&cells[p]);
+            }
+        }
+
+        assert_eq!(
+            round_times, seq_times,
+            "compare-grid: shared pass and sequential sweeps sampled \
+             different trajectories (CRN invariant broken)"
+        );
+        assert_eq!(
+            round_events, seq_events,
+            "compare-grid: event counts diverged"
+        );
+        if round == 0 {
+            times = round_times;
+            events = round_events;
+        } else {
+            assert_eq!(times, round_times, "compare-grid: rounds disagree");
+        }
+    }
+    CompareGridMeasurement {
+        points: configs.len(),
+        policies: k,
+        reps: reps.iter().sum::<u64>() * k as u64,
+        events,
+        wall_seconds,
+        sequential_wall_seconds,
+        threads: SWEEP_GRID_THREADS,
+        digest: digest_f64s(&times),
+    }
+}
+
+/// Pinned `(quick, full)` digests of the `compare-grid` flattened
+/// completion-time vector for [`PERF_SEED`]. Change them deliberately or
+/// not at all.
+pub const EXPECTED_COMPARE_GRID_DIGESTS: (u64, u64) =
+    (0x0098_fd56_7fda_0769, 0x6d97_8a9a_9f7a_3d4d);
+
+/// The pinned `compare-grid` digest for the given mode.
+#[must_use]
+pub fn expected_compare_grid_digest(quick: bool) -> u64 {
+    if quick {
+        EXPECTED_COMPARE_GRID_DIGESTS.0
+    } else {
+        EXPECTED_COMPARE_GRID_DIGESTS.1
+    }
+}
+
 /// Result of measuring one workload.
 #[derive(Clone, Debug)]
 pub struct Measurement {
@@ -426,13 +621,14 @@ pub fn measure_repeated(
 pub fn to_json(
     measurements: &[Measurement],
     sweep: Option<&SweepGridMeasurement>,
+    compare: Option<&CompareGridMeasurement>,
     quick: bool,
     threads: usize,
     seed: u64,
     repeat: u32,
 ) -> String {
     let mut out = String::from("{\n");
-    out.push_str("  \"schema\": \"churnbal-perfreport/2\",\n");
+    out.push_str("  \"schema\": \"churnbal-perfreport/3\",\n");
     out.push_str(&format!(
         "  \"mode\": \"{}\",\n",
         if quick { "quick" } else { "full" }
@@ -469,6 +665,23 @@ pub fn to_json(
             s.sequential_wall_seconds,
             s.speedup(),
             s.digest,
+        ));
+    }
+    if let Some(c) = compare {
+        out.push_str(&format!(
+            "  \"compare_grid\": {{\"points\": {}, \"policies\": {}, \"reps\": {}, \
+             \"events\": {}, \"threads\": {}, \"wall_seconds\": {:?}, \
+             \"sequential_wall_seconds\": {:?}, \"speedup\": {:.2}, \
+             \"digest\": \"{:#018x}\"}},\n",
+            c.points,
+            c.policies,
+            c.reps,
+            c.events,
+            c.threads,
+            c.wall_seconds,
+            c.sequential_wall_seconds,
+            c.speedup(),
+            c.digest,
         ));
     }
     let events: u64 = measurements.iter().map(|m| m.events).sum();
@@ -522,15 +735,36 @@ mod tests {
             .map(|w| measure(w, true, 0, PERF_SEED))
             .collect();
         let sweep = measure_sweep_grid(true, PERF_SEED, 1);
-        let json = to_json(&ms, Some(&sweep), true, 0, PERF_SEED, 1);
+        let compare = measure_compare_grid(true, PERF_SEED, 1);
+        let json = to_json(&ms, Some(&sweep), Some(&compare), true, 0, PERF_SEED, 1);
         for w in workloads() {
             assert!(json.contains(w.name), "{json}");
         }
-        assert!(json.contains("\"schema\": \"churnbal-perfreport/2\""));
+        assert!(json.contains("\"schema\": \"churnbal-perfreport/3\""));
         assert!(json.contains("\"sweep_grid\""));
+        assert!(json.contains("\"compare_grid\""));
+        assert!(json.contains("\"policies\": 3"));
         assert!(json.contains("\"repeat\": 1"));
         assert!(json.contains("\"speedup\""));
         assert!(json.contains("\"total\""));
+    }
+
+    #[test]
+    fn compare_grid_digest_matches_its_pin() {
+        // `measure_compare_grid` itself cross-checks the shared pass
+        // against K sequential sweeps bit-exactly; this additionally pins
+        // the sampled trajectories to their committed digest.
+        let m = measure_compare_grid(true, PERF_SEED, 1);
+        assert_eq!(
+            m.digest,
+            expected_compare_grid_digest(true),
+            "compare-grid sample paths drifted (digest {:#018x})",
+            m.digest
+        );
+        assert_eq!(m.points, 32);
+        assert_eq!(m.policies, 3);
+        assert_eq!(m.reps, 3 * 108);
+        assert!(m.events > 0);
     }
 
     #[test]

@@ -337,6 +337,17 @@ pub enum ChurnModel {
         /// Extra failure-rate multiplier per down node (≥ 0).
         amplification: f64,
     },
+    /// Adversarial targeted churn (Aspnes–Yang–Yin's adversary): on top of
+    /// the independent per-node churn, a Poisson stream of strikes each
+    /// instantly fails the currently **most-loaded** up, failure-prone
+    /// node (largest queue; ties break toward the lowest index). The
+    /// worst-case counterpart of [`ChurnModel::CorrelatedShocks`]: instead
+    /// of hitting nodes at random, the adversary always removes the node
+    /// holding the most work.
+    Adversarial {
+        /// Adversary strikes per second (positive).
+        strike_rate: f64,
+    },
 }
 
 impl ChurnModel {
@@ -368,6 +379,14 @@ impl ChurnModel {
                 if !amplification.is_finite() || *amplification < 0.0 {
                     return Err(format!(
                         "churn model: amplification must be finite and >= 0, got {amplification}"
+                    ));
+                }
+                Ok(())
+            }
+            Self::Adversarial { strike_rate } => {
+                if !strike_rate.is_finite() || *strike_rate <= 0.0 {
+                    return Err(format!(
+                        "churn model: strike_rate must be positive, got {strike_rate}"
                     ));
                 }
                 Ok(())

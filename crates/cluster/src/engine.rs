@@ -333,9 +333,16 @@ impl<'a> Simulator<'a> {
         for i in 0..self.config.num_nodes() {
             self.schedule_failure(i);
         }
-        if let ChurnModel::CorrelatedShocks { shock_rate, .. } = self.config.churn {
-            let dt = self.shock_rng.exp(shock_rate);
-            self.queue.schedule_in(dt, Ev::Shock);
+        match self.config.churn {
+            ChurnModel::CorrelatedShocks { shock_rate, .. } => {
+                let dt = self.shock_rng.exp(shock_rate);
+                self.queue.schedule_in(dt, Ev::Shock);
+            }
+            ChurnModel::Adversarial { strike_rate } => {
+                let dt = self.shock_rng.exp(strike_rate);
+                self.queue.schedule_in(dt, Ev::Shock);
+            }
+            ChurnModel::Independent | ChurnModel::Cascading { .. } => {}
         }
         for a in &self.config.external_arrivals {
             self.queue.schedule_at(
@@ -431,25 +438,46 @@ impl<'a> Simulator<'a> {
                         p.on_external_arrival(node, tasks, v, s);
                     });
                 }
-                Ev::Shock => {
-                    let ChurnModel::CorrelatedShocks {
+                Ev::Shock => match self.config.churn {
+                    ChurnModel::CorrelatedShocks {
                         shock_rate,
                         hit_probability,
-                    } = self.config.churn
-                    else {
-                        unreachable!("shock event without a shock churn model")
-                    };
-                    for i in 0..self.config.num_nodes() {
-                        if self.nodes.up[i]
-                            && self.nodes.failure_rate[i] > 0.0
-                            && self.shock_rng.next_f64() < hit_probability
-                        {
+                    } => {
+                        for i in 0..self.config.num_nodes() {
+                            if self.nodes.up[i]
+                                && self.nodes.failure_rate[i] > 0.0
+                                && self.shock_rng.next_f64() < hit_probability
+                            {
+                                self.fail_node(i, now, policy);
+                            }
+                        }
+                        let dt = self.shock_rng.exp(shock_rate);
+                        self.queue.schedule_in(dt, Ev::Shock);
+                    }
+                    ChurnModel::Adversarial { strike_rate } => {
+                        // The adversary downs the most-loaded up,
+                        // failure-prone node (ties to the lowest index) —
+                        // no randomness beyond the strike clock.
+                        let mut target: Option<usize> = None;
+                        for i in 0..self.config.num_nodes() {
+                            if self.nodes.up[i] && self.nodes.failure_rate[i] > 0.0 {
+                                let better = target
+                                    .is_none_or(|t| self.nodes.queue[i] > self.nodes.queue[t]);
+                                if better {
+                                    target = Some(i);
+                                }
+                            }
+                        }
+                        if let Some(i) = target {
                             self.fail_node(i, now, policy);
                         }
+                        let dt = self.shock_rng.exp(strike_rate);
+                        self.queue.schedule_in(dt, Ev::Shock);
                     }
-                    let dt = self.shock_rng.exp(shock_rate);
-                    self.queue.schedule_in(dt, Ev::Shock);
-                }
+                    ChurnModel::Independent | ChurnModel::Cascading { .. } => {
+                        unreachable!("shock event without a shock churn model")
+                    }
+                },
             }
         }
         // Queue exhausted without processing everything: only possible when
@@ -497,7 +525,9 @@ impl<'a> Simulator<'a> {
             ChurnModel::Cascading { amplification } => {
                 base * (1.0 + amplification * self.down_count as f64)
             }
-            ChurnModel::Independent | ChurnModel::CorrelatedShocks { .. } => base,
+            ChurnModel::Independent
+            | ChurnModel::CorrelatedShocks { .. }
+            | ChurnModel::Adversarial { .. } => base,
         }
     }
 
@@ -1211,6 +1241,105 @@ mod tests {
             s.push(out.metrics.total_processed() as f64);
         }
         assert!((s.mean() - 60.0).abs() < 3.0, "mean spawned {}", s.mean());
+    }
+
+    #[test]
+    fn adversarial_strikes_fail_the_most_loaded_node_first() {
+        use crate::config::ChurnModel;
+        // Node 0 holds almost all the work and natural churn is
+        // negligible: every observed failure is an adversary strike, and
+        // the very first one must land on node 0.
+        let cfg = SystemConfig::new(
+            vec![
+                NodeConfig::new(1.0, 1e-9, 1.0, 60),
+                NodeConfig::new(1.0, 1e-9, 1.0, 2),
+            ],
+            NetworkConfig::exponential(0.02),
+        )
+        .with_churn_model(ChurnModel::Adversarial { strike_rate: 0.5 });
+        let out = simulate(
+            &cfg,
+            &mut NoBalancing,
+            7,
+            SimOptions {
+                record_trace: true,
+                deadline: None,
+            },
+        );
+        assert!(out.completed);
+        assert!(out.metrics.failures > 0, "strikes must land");
+        let trace = out.trace.expect("trace requested");
+        let first_down = |node: usize| {
+            trace
+                .state_series(node)
+                .iter()
+                .find(|&&(_, up)| !up)
+                .map(|&(t, _)| t)
+        };
+        let d0 = first_down(0).expect("node 0 must be struck");
+        assert!(
+            first_down(1).is_none_or(|d1| d0 < d1),
+            "the adversary must strike the loaded node first"
+        );
+    }
+
+    #[test]
+    fn adversarial_strikes_spare_reliable_nodes() {
+        use crate::config::ChurnModel;
+        // A failure-free node is not a valid target even when it is the
+        // most loaded one; strikes fall on the churn-prone node instead.
+        let cfg = SystemConfig::new(
+            vec![
+                NodeConfig::new(1.0, 0.0, 0.0, 100),
+                NodeConfig::new(1.0, 1e-9, 1.0, 5),
+            ],
+            NetworkConfig::exponential(0.02),
+        )
+        .with_churn_model(ChurnModel::Adversarial { strike_rate: 1.0 });
+        let out = simulate(
+            &cfg,
+            &mut NoBalancing,
+            11,
+            SimOptions {
+                record_trace: true,
+                deadline: None,
+            },
+        );
+        assert!(out.completed);
+        let trace = out.trace.expect("trace requested");
+        assert!(
+            trace.state_series(0).iter().all(|&(_, up)| up),
+            "a reliable node must never be struck"
+        );
+        assert!(
+            trace.state_series(1).iter().any(|&(_, up)| !up),
+            "the churn-prone node absorbs the strikes"
+        );
+    }
+
+    #[test]
+    fn adversarial_runs_are_reproducible_and_distinct_from_independent() {
+        use crate::config::ChurnModel;
+        let base = SystemConfig::new(
+            vec![
+                NodeConfig::new(1.0, 0.02, 0.5, 30),
+                NodeConfig::new(1.2, 0.02, 0.5, 30),
+            ],
+            NetworkConfig::exponential(0.02),
+        );
+        let adv = base
+            .clone()
+            .with_churn_model(ChurnModel::Adversarial { strike_rate: 0.3 });
+        let a = simulate(&adv, &mut NoBalancing, 5, SimOptions::default());
+        let b = simulate(&adv, &mut NoBalancing, 5, SimOptions::default());
+        assert_eq!(a.completion_time, b.completion_time, "determinism");
+        let plain = simulate(&base, &mut NoBalancing, 5, SimOptions::default());
+        assert!(
+            a.metrics.failures > plain.metrics.failures,
+            "strikes add failures ({} vs {})",
+            a.metrics.failures,
+            plain.metrics.failures
+        );
     }
 
     #[test]

@@ -28,6 +28,13 @@
 //! chunk size cannot change a single sampled value, only who computes it.
 //! The in-order drain then makes the *observable output* (rows, bytes)
 //! independent of scheduling too; both invariants are pinned by tests.
+//!
+//! [`run_grid_policies_streaming`] additionally flattens a **policy
+//! axis** into the same task space: `N` policies evaluate per grid point
+//! in one pass, every variant's replication `r` reusing the *identical*
+//! `(seed, r)` streams — common random numbers across policies by
+//! construction, which is what makes paired policy deltas a
+//! variance-reduction device rather than a subtraction of noise.
 
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Condvar, Mutex};
@@ -165,6 +172,10 @@ fn resolve_chunk(chunk: usize, total_tasks: u64, threads: usize) -> u64 {
 /// replication. `threads = 0` picks the available parallelism; results
 /// are independent of `threads` and `chunk` (0 = auto) by construction.
 ///
+/// The single-policy form of [`run_grid_policies_streaming`] — one
+/// variant per point, so the flattened task order (and every sampled
+/// byte) is exactly the pre-variant scheduler's.
+///
 /// With `threads == 1` no worker thread is spawned at all: the calling
 /// thread executes the flattened task space in order, which is also the
 /// bit-exact reference schedule for the parallel path.
@@ -188,6 +199,56 @@ where
     F: Fn(usize, u64) -> P + Sync,
     G: FnMut(usize, PointStats) -> Result<(), String>,
 {
+    run_grid_policies_streaming(
+        jobs,
+        1,
+        &|p, _v, r| make_policy(p, r),
+        threads,
+        chunk,
+        |p, _v, stats| on_point(p, stats),
+    )
+}
+
+/// Executes the full `(point, policy, replication)` task space of
+/// `jobs × policies` on one shared worker pool — the **policy axis** of a
+/// comparison study, evaluated in a single scheduler pass instead of
+/// `policies` sequential sweeps.
+///
+/// Replication `r` of *every* policy variant of point `p` runs on the
+/// streams derived from `(jobs[p].seed, r)`: common random numbers across
+/// the policy axis hold **by construction**, so per-replication deltas
+/// between two policies of the same point are paired samples. Because all
+/// variants of a point share one configuration, a worker moving between
+/// them keeps its simulator bound ([`Simulator::reset`], not
+/// [`Simulator::rebind`]) — event-queue slots, SoA node columns and
+/// scratch buffers are shared across the whole policy set of the point.
+///
+/// `make_policy(point, policy, rep)` builds one variant's policy;
+/// `on_cell(point, policy, stats)` fires in lexicographic
+/// `(point, policy)` order (the reorder buffer holds early finishers), so
+/// a paired-delta consumer always sees a point's baseline variant first.
+///
+/// # Errors
+/// Propagates the first error `on_cell` returns; remaining work is
+/// abandoned (workers stop at their next chunk claim).
+///
+/// # Panics
+/// Panics if `policies == 0`, if any job has `reps == 0`, or if a worker
+/// thread panics (engine invariant violations propagate).
+pub fn run_grid_policies_streaming<P, F, G>(
+    jobs: &[PointJob<'_>],
+    policies: usize,
+    make_policy: &F,
+    threads: usize,
+    chunk: usize,
+    mut on_cell: G,
+) -> Result<(), String>
+where
+    P: Policy,
+    F: Fn(usize, usize, u64) -> P + Sync,
+    G: FnMut(usize, usize, PointStats) -> Result<(), String>,
+{
+    assert!(policies > 0, "need at least one policy variant");
     assert!(
         jobs.iter().all(|j| j.reps > 0),
         "every grid point needs at least one replication"
@@ -195,27 +256,35 @@ where
     if jobs.is_empty() {
         return Ok(());
     }
-    // Flattened task space: point p owns flat indices [starts[p], starts[p+1]).
+    // Flattened task space: point p owns flat indices [starts[p],
+    // starts[p+1]) — `reps` consecutive tasks per policy variant, variants
+    // in order, so a chunk tends to stay within one (point, policy) run of
+    // simulator resets.
+    let variants = policies as u64;
     let mut starts = Vec::with_capacity(jobs.len() + 1);
     let mut acc = 0u64;
     for job in jobs {
         starts.push(acc);
-        acc += job.reps;
+        acc += job.reps * variants;
     }
     starts.push(acc);
     let total = acc;
     let threads = resolve_threads(threads, total);
 
     if threads == 1 {
-        return run_grid_inline(jobs, make_policy, &mut on_point);
+        return run_grid_inline(jobs, policies, make_policy, &mut on_cell);
     }
 
     let chunk = resolve_chunk(chunk, total, threads);
-    let cells: Vec<PointCell> = jobs.iter().map(|j| PointCell::new(j.reps)).collect();
+    // One result cell per (point, policy), point-major.
+    let cells: Vec<PointCell> = jobs
+        .iter()
+        .flat_map(|j| (0..policies).map(|_| PointCell::new(j.reps)))
+        .collect();
     let cursor = AtomicU64::new(0);
     let abort = AtomicBool::new(false);
     // Rendezvous for the drain loop: workers notify under the lock after
-    // publishing a point (or on panic, via the guard below).
+    // publishing a cell (or on panic, via the guard below).
     let rendezvous = (Mutex::new(()), Condvar::new());
 
     let mut result = Ok(());
@@ -246,11 +315,14 @@ where
                             Ok(exact) => exact,
                             Err(insert) => insert - 1,
                         };
-                        let r = flat - starts[p];
-                        run_task(jobs, p, r, &mut sim, make_policy, &cells[p]);
-                        if cells[p].remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
+                        let off = flat - starts[p];
+                        let v = (off / jobs[p].reps) as usize;
+                        let r = off % jobs[p].reps;
+                        let cell = &cells[p * policies + v];
+                        run_task(jobs, p, v, r, &mut sim, make_policy, cell);
+                        if cell.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
                             let _lock = rendezvous.0.lock().expect("rendezvous poisoned");
-                            cells[p].done.store(true, Ordering::Release);
+                            cell.done.store(true, Ordering::Release);
                             rendezvous.1.notify_all();
                         }
                     }
@@ -258,26 +330,26 @@ where
             });
         }
 
-        // Drain loop: emit points strictly in grid order. Points that
-        // complete early sit published in their cells (the reorder buffer)
-        // until their turn.
-        for (p, cell) in cells.iter().enumerate() {
+        // Drain loop: emit cells strictly in (point, policy) order. Cells
+        // that complete early sit published (the reorder buffer) until
+        // their turn.
+        for (idx, cell) in cells.iter().enumerate() {
             let mut lock = rendezvous.0.lock().expect("rendezvous poisoned");
             while !cell.done.load(Ordering::Acquire) && !abort.load(Ordering::Relaxed) {
                 lock = rendezvous.1.wait(lock).expect("rendezvous poisoned");
             }
             if !cell.done.load(Ordering::Acquire) {
-                break; // a worker died before finishing this point
+                break; // a worker died before finishing this cell
             }
             drop(lock);
             let stats = cell.stats();
-            if let Err(e) = on_point(p, stats) {
+            if let Err(e) = on_cell(idx / policies, idx % policies, stats) {
                 abort.store(true, Ordering::Relaxed);
                 result = Err(e);
                 break;
             }
         }
-        // An on_point error (or early break) must stop claim processing.
+        // An on_cell error (or early break) must stop claim processing.
         if result.is_err() {
             abort.store(true, Ordering::Relaxed);
         }
@@ -286,18 +358,20 @@ where
 }
 
 /// The single-threaded schedule: flattened task order on the calling
-/// thread, emitting each point as its last replication finishes. This is
-/// both the `threads == 1` fast path (no spawn, no atomics contention)
-/// and the reference the parallel path must reproduce byte-for-byte.
+/// thread, emitting each `(point, policy)` cell as its last replication
+/// finishes. This is both the `threads == 1` fast path (no spawn, no
+/// atomics contention) and the reference the parallel path must reproduce
+/// byte-for-byte.
 fn run_grid_inline<P, F, G>(
     jobs: &[PointJob<'_>],
+    policies: usize,
     make_policy: &F,
-    on_point: &mut G,
+    on_cell: &mut G,
 ) -> Result<(), String>
 where
     P: Policy,
-    F: Fn(usize, u64) -> P + Sync,
-    G: FnMut(usize, PointStats) -> Result<(), String>,
+    F: Fn(usize, usize, u64) -> P + Sync,
+    G: FnMut(usize, usize, PointStats) -> Result<(), String>,
 {
     let mut sim: Option<(usize, Simulator<'_>)> = None;
     let mut stats = PointStats {
@@ -308,25 +382,27 @@ where
         total_events: 0,
     };
     for (p, job) in jobs.iter().enumerate() {
-        stats.completion_times.clear();
-        stats.failures_per_rep.clear();
-        stats.tasks_shipped_per_rep.clear();
-        stats.incomplete = 0;
-        stats.total_events = 0;
-        stats.completion_times.reserve(job.reps as usize);
-        stats.failures_per_rep.reserve(job.reps as usize);
-        stats.tasks_shipped_per_rep.reserve(job.reps as usize);
-        for r in 0..job.reps {
-            let sim = bind_simulator(&mut sim, p, job, r);
-            let mut policy = make_policy(p, r);
-            let out = sim.run_summary(&mut policy);
-            stats.completion_times.push(out.completion_time);
-            stats.failures_per_rep.push(out.failures);
-            stats.tasks_shipped_per_rep.push(out.tasks_shipped);
-            stats.incomplete += u64::from(!out.completed);
-            stats.total_events += out.events;
+        for v in 0..policies {
+            stats.completion_times.clear();
+            stats.failures_per_rep.clear();
+            stats.tasks_shipped_per_rep.clear();
+            stats.incomplete = 0;
+            stats.total_events = 0;
+            stats.completion_times.reserve(job.reps as usize);
+            stats.failures_per_rep.reserve(job.reps as usize);
+            stats.tasks_shipped_per_rep.reserve(job.reps as usize);
+            for r in 0..job.reps {
+                let sim = bind_simulator(&mut sim, p, job, r);
+                let mut policy = make_policy(p, v, r);
+                let out = sim.run_summary(&mut policy);
+                stats.completion_times.push(out.completion_time);
+                stats.failures_per_rep.push(out.failures);
+                stats.tasks_shipped_per_rep.push(out.tasks_shipped);
+                stats.incomplete += u64::from(!out.completed);
+                stats.total_events += out.events;
+            }
+            on_cell(p, v, stats.clone())?;
         }
-        on_point(p, stats.clone())?;
     }
     Ok(())
 }
@@ -360,23 +436,24 @@ fn bind_simulator<'s, 'a>(
     }
 }
 
-/// Runs one `(point, replication)` task on the worker's long-lived
-/// simulator (creating or rebinding it as needed) and scatters the
-/// summary into the point's slot `r`.
+/// Runs one `(point, policy, replication)` task on the worker's
+/// long-lived simulator (creating or rebinding it as needed) and scatters
+/// the summary into the cell's slot `r`.
 fn run_task<'a, P, F>(
     jobs: &[PointJob<'a>],
     p: usize,
+    v: usize,
     r: u64,
     sim: &mut Option<(usize, Simulator<'a>)>,
     make_policy: &F,
     cell: &PointCell,
 ) where
     P: Policy,
-    F: Fn(usize, u64) -> P + Sync,
+    F: Fn(usize, usize, u64) -> P + Sync,
 {
     let job = &jobs[p];
     let sim = bind_simulator(sim, p, job, r);
-    let mut policy = make_policy(p, r);
+    let mut policy = make_policy(p, v, r);
     let out = sim.run_summary(&mut policy);
     let slot = usize::try_from(r).expect("replication index fits usize");
     cell.times[slot].store(out.completion_time.to_bits(), Ordering::Release);
@@ -567,6 +644,169 @@ mod tests {
             options: SimOptions::default(),
         }];
         let _ = run_grid_streaming(&jobs, &|_, _| NoBalancing, 1, 1, |_, _| Ok(()));
+    }
+
+    #[test]
+    fn policy_variants_share_replication_streams() {
+        // Two variants of the *same* policy must sample identical
+        // trajectories — the common-random-numbers invariant of the
+        // policy axis, bit for bit.
+        let configs = grid();
+        let jobs: Vec<PointJob<'_>> = configs
+            .iter()
+            .map(|config| PointJob {
+                config,
+                reps: 5,
+                seed: 42,
+                options: SimOptions::default(),
+            })
+            .collect();
+        for threads in [1, 4] {
+            let mut cells: Vec<(usize, usize, PointStats)> = Vec::new();
+            run_grid_policies_streaming(
+                &jobs,
+                2,
+                &|_, _, _| NoBalancing,
+                threads,
+                1,
+                |p, v, stats| {
+                    cells.push((p, v, stats));
+                    Ok(())
+                },
+            )
+            .expect("runs");
+            assert_eq!(cells.len(), 2 * jobs.len(), "threads={threads}");
+            for (point, pair) in cells.chunks(2).enumerate() {
+                let (p0, v0, a) = &pair[0];
+                let (p1, v1, b) = &pair[1];
+                assert_eq!((*p0, *v0), (point, 0), "cell order");
+                assert_eq!((*p1, *v1), (point, 1), "cell order");
+                assert_eq!(a.completion_times, b.completion_times);
+                assert_eq!(a.failures_per_rep, b.failures_per_rep);
+                assert_eq!(a.total_events, b.total_events);
+            }
+        }
+    }
+
+    #[test]
+    fn policy_variants_match_independent_single_policy_passes() {
+        // A variant pass over K distinct policies must reproduce, bit for
+        // bit, K independent single-policy passes with the same seeds —
+        // the compare ≡ K sweeps contract.
+        use churnbal_core_free::gains;
+        let configs = grid();
+        let jobs: Vec<PointJob<'_>> = configs
+            .iter()
+            .enumerate()
+            .map(|(k, config)| PointJob {
+                config,
+                reps: 3 + (k as u64 % 3),
+                seed: 7,
+                options: SimOptions::default(),
+            })
+            .collect();
+        let k_policies = gains().len();
+        let mut combined: Vec<(usize, usize, Vec<f64>)> = Vec::new();
+        run_grid_policies_streaming(
+            &jobs,
+            k_policies,
+            &|_, v, _| gains()[v].clone(),
+            3,
+            2,
+            |p, v, stats| {
+                combined.push((p, v, stats.completion_times));
+                Ok(())
+            },
+        )
+        .expect("variant pass runs");
+        for (v, policy) in gains().into_iter().enumerate() {
+            let mut single: Vec<(usize, Vec<f64>)> = Vec::new();
+            run_grid_streaming(&jobs, &|_, _| policy.clone(), 1, 0, |p, stats| {
+                single.push((p, stats.completion_times));
+                Ok(())
+            })
+            .expect("single pass runs");
+            for (p, times) in single {
+                let cell = combined
+                    .iter()
+                    .find(|&&(cp, cv, _)| cp == p && cv == v)
+                    .expect("cell present");
+                assert_eq!(cell.2, times, "point {p} policy {v} diverged");
+            }
+        }
+    }
+
+    /// Tiny local stand-in for distinct policies without a `core` dep:
+    /// transfer-free policies that differ only in name (the trajectories
+    /// still differ through NoBalancing vs a one-shot shipper below).
+    mod churnbal_core_free {
+        use crate::policy::{Policy, SystemView, TransferOrder};
+
+        /// Ships `tasks` from node 0 to node 1 at t = 0 — enough to make
+        /// two "policies" sample genuinely different trajectories.
+        #[derive(Clone)]
+        pub struct ShipAtStart(pub u32);
+
+        impl Policy for ShipAtStart {
+            fn name(&self) -> &str {
+                "ship-at-start"
+            }
+            fn on_start(&mut self, view: &SystemView<'_>, orders: &mut Vec<TransferOrder>) {
+                let l = self.0.min(view.queue_len[0]);
+                if l > 0 {
+                    orders.push(TransferOrder {
+                        from: 0,
+                        to: 1,
+                        tasks: l,
+                    });
+                }
+            }
+        }
+
+        /// Three distinct variants: do nothing, ship 2, ship 5.
+        pub fn gains() -> Vec<ShipAtStart> {
+            vec![ShipAtStart(0), ShipAtStart(2), ShipAtStart(5)]
+        }
+    }
+
+    #[test]
+    fn variant_cells_drain_in_point_major_order_across_threads() {
+        let configs = grid();
+        let jobs: Vec<PointJob<'_>> = configs
+            .iter()
+            .map(|config| PointJob {
+                config,
+                reps: 2,
+                seed: 3,
+                options: SimOptions::default(),
+            })
+            .collect();
+        for threads in [1, 3, 8] {
+            let mut order = Vec::new();
+            run_grid_policies_streaming(&jobs, 3, &|_, _, _| NoBalancing, threads, 1, |p, v, _| {
+                order.push((p, v));
+                Ok(())
+            })
+            .expect("runs");
+            let expected: Vec<(usize, usize)> = (0..jobs.len())
+                .flat_map(|p| (0..3).map(move |v| (p, v)))
+                .collect();
+            assert_eq!(order, expected, "threads={threads}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one policy")]
+    fn zero_policies_are_rejected() {
+        let config = small([1, 1]);
+        let jobs = [PointJob {
+            config: &config,
+            reps: 1,
+            seed: 1,
+            options: SimOptions::default(),
+        }];
+        let _ =
+            run_grid_policies_streaming(&jobs, 0, &|_, _, _| NoBalancing, 1, 1, |_, _, _| Ok(()));
     }
 
     #[test]

@@ -44,7 +44,7 @@ pub use config::{
     SystemConfig,
 };
 pub use engine::{simulate, RunSummary, SimOptions, SimOutcome, Simulator};
-pub use exec::{run_grid_streaming, PointJob, PointStats};
+pub use exec::{run_grid_policies_streaming, run_grid_streaming, PointJob, PointStats};
 pub use mc::{run_replications, McEstimate};
 pub use policy::{NoBalancing, NodeView, Policy, SystemSnapshot, SystemView, TransferOrder};
 pub use trace::QueueTrace;

@@ -175,6 +175,84 @@ impl PolicySpec {
         }
     }
 
+    /// All stable kind identifiers, for help text and error messages.
+    pub const KINDS: [&'static str; 9] = [
+        "no-balancing",
+        "lbp1",
+        "lbp1-optimal",
+        "lbp2",
+        "lbp2-optimal",
+        "episodic-lbp2",
+        "dynamic-lbp1",
+        "initial-only",
+        "upon-failure-only",
+    ];
+
+    /// Parses a compact policy name — a [`PolicySpec::kind`] identifier
+    /// (plus the shorthand `none`), optionally with an `@gain` suffix,
+    /// e.g. `lbp2`, `none`, `lbp1@0.5`.
+    ///
+    /// `template` supplies structural parameters the name alone cannot: a
+    /// name matching the template's kind inherits the template spec
+    /// verbatim (so `lbp1` against a Fig. 3 scenario keeps its
+    /// sender/receiver/gain); otherwise gains default to 1 and LBP-1
+    /// ships node 0 → node 1. This is how `churnbal-lab compare
+    /// --policies a,b,...` resolves its policy set against a scenario.
+    ///
+    /// # Errors
+    /// Names the valid identifiers on an unknown name; propagates
+    /// [`PolicySpec::with_gain`] failures for an `@gain` suffix on a
+    /// gainless policy or an out-of-range value.
+    pub fn parse(name: &str, template: &Self) -> Result<Self, String> {
+        let name = name.trim();
+        let (kind, gain) = match name.split_once('@') {
+            None => (name, None),
+            Some((kind, g)) => {
+                let g: f64 = g.trim().parse().map_err(|_| {
+                    format!("policy `{name}`: `{g}` is not a number (expected `kind@gain`)")
+                })?;
+                (kind.trim(), Some(g))
+            }
+        };
+        let base = match kind {
+            "none" | "no-balancing" => Self::NoBalancing,
+            "lbp1" => match template {
+                Self::Lbp1 { .. } => template.clone(),
+                _ => Self::Lbp1 {
+                    sender: 0,
+                    receiver: 1,
+                    gain: 1.0,
+                },
+            },
+            "lbp1-optimal" => Self::Lbp1Optimal,
+            "lbp2" => match template {
+                Self::Lbp2 { .. } => template.clone(),
+                _ => Self::Lbp2 { gain: 1.0 },
+            },
+            "lbp2-optimal" => Self::Lbp2Optimal,
+            "episodic-lbp2" => match template {
+                Self::EpisodicLbp2 { .. } => template.clone(),
+                _ => Self::EpisodicLbp2 { gain: 1.0 },
+            },
+            "dynamic-lbp1" => Self::DynamicLbp1,
+            "initial-only" => match template {
+                Self::InitialBalanceOnly { .. } => template.clone(),
+                _ => Self::InitialBalanceOnly { gain: 1.0 },
+            },
+            "upon-failure-only" => Self::UponFailureOnly,
+            other => {
+                return Err(format!(
+                    "unknown policy `{other}` (known: none | {})",
+                    Self::KINDS.join(" | ")
+                ))
+            }
+        };
+        match gain {
+            None => Ok(base),
+            Some(g) => base.with_gain(g),
+        }
+    }
+
     /// Checks the spec against a configuration without building.
     ///
     /// # Errors
@@ -357,6 +435,58 @@ mod tests {
         assert!(err.contains("no gain parameter"), "{err}");
         let err = PolicySpec::Lbp2 { gain: 0.3 }.with_gain(2.0).unwrap_err();
         assert!(err.contains("[0, 1]"), "{err}");
+    }
+
+    #[test]
+    fn parse_resolves_names_against_a_template() {
+        let fig3 = PolicySpec::Lbp1 {
+            sender: 0,
+            receiver: 1,
+            gain: 0.35,
+        };
+        // Matching kind inherits the template verbatim.
+        assert_eq!(PolicySpec::parse("lbp1", &fig3).expect("ok"), fig3);
+        // Other kinds fall back to their defaults.
+        assert_eq!(
+            PolicySpec::parse("lbp2", &fig3).expect("ok"),
+            PolicySpec::Lbp2 { gain: 1.0 }
+        );
+        assert_eq!(
+            PolicySpec::parse("none", &fig3).expect("ok"),
+            PolicySpec::NoBalancing
+        );
+        assert_eq!(
+            PolicySpec::parse("no-balancing", &fig3).expect("ok"),
+            PolicySpec::NoBalancing
+        );
+        // @gain overrides, keeping the template's structure.
+        assert_eq!(
+            PolicySpec::parse("lbp1@0.5", &fig3).expect("ok"),
+            PolicySpec::Lbp1 {
+                sender: 0,
+                receiver: 1,
+                gain: 0.5
+            }
+        );
+        // Every stable kind parses against any template.
+        for kind in PolicySpec::KINDS {
+            let spec = PolicySpec::parse(kind, &fig3).unwrap_or_else(|e| panic!("{kind}: {e}"));
+            assert_eq!(spec.kind(), kind);
+        }
+    }
+
+    #[test]
+    fn parse_rejects_bad_names_and_gains() {
+        let t = PolicySpec::NoBalancing;
+        let err = PolicySpec::parse("lbp3", &t).unwrap_err();
+        assert!(err.contains("unknown policy `lbp3`"), "{err}");
+        assert!(err.contains("lbp2-optimal"), "lists the kinds: {err}");
+        let err = PolicySpec::parse("none@0.5", &t).unwrap_err();
+        assert!(err.contains("no gain parameter"), "{err}");
+        let err = PolicySpec::parse("lbp2@1.5", &t).unwrap_err();
+        assert!(err.contains("[0, 1]"), "{err}");
+        let err = PolicySpec::parse("lbp2@x", &t).unwrap_err();
+        assert!(err.contains("not a number"), "{err}");
     }
 
     #[test]

@@ -3,44 +3,70 @@
 //! ```text
 //! churnbal-lab list
 //! churnbal-lab show <scenario>
-//! churnbal-lab run   <scenario|file.toml> [--quick] [--reps N] [--seed S]
-//!                    [--threads T] [--chunk C] [--format table|csv|jsonl] [--out PATH]
-//! churnbal-lab sweep <scenario|file.toml> [--axis param=v1,v2,... | param=lo:hi:step]...
-//!                    [--quick] [--reps N] [--seed S] [--threads T] [--chunk C]
-//!                    [--format csv|jsonl] [--out PATH]
+//! churnbal-lab run     <scenario|file.toml> [--quick] [--reps N] [--seed S]
+//!                      [--threads T] [--chunk C] [--format table|csv|jsonl] [--out PATH]
+//! churnbal-lab sweep   <scenario|file.toml> [--axis param=v1,v2,... | param=lo:hi:step]...
+//!                      [--theory] [--quick] [--reps N] [--seed S] [--threads T] [--chunk C]
+//!                      [--format csv|jsonl|table] [--out PATH]
+//! churnbal-lab compare <scenario|file.toml> --policies a,b,...
+//!                      [--axis ...] [--quick] [--reps N] [--seed S] [--threads T] [--chunk C]
+//!                      [--format table|csv|jsonl] [--out PATH]
 //! ```
 //!
 //! `run` executes a scenario including its baked-in axes (so
 //! `run paper-fig3` regenerates the whole Fig. 3 gain sweep); `sweep`
-//! additionally grid-expands `--axis` specifications on top. The whole
-//! `(grid point, replication)` space runs on one shared worker pool
-//! (`--threads`), which claims `--chunk` tasks per grab. All output is
-//! deterministic: bit-identical for any `--threads` and `--chunk` value.
+//! additionally grid-expands `--axis` specifications on top, and
+//! `--theory` joins the Eq. 4 model mean wherever a grid point is a
+//! two-node closed system. `compare` evaluates several policies on every
+//! grid point **in one scheduler pass with common random numbers**: the
+//! first policy is the baseline, and every row reports the CRN-paired
+//! per-replication delta against it with a t-based 95% confidence
+//! interval, plus the theory columns.
+//!
+//! Policy names are `PolicySpec` kinds (plus `none`), optionally with an
+//! `@gain` suffix: `lbp1`, `lbp2@0.5`, `none`, `upon-failure-only`, ...
+//! A name matching the scenario's own policy kind inherits its exact
+//! parameters.
+//!
+//! All output is deterministic: bit-identical for any `--threads` and
+//! `--chunk` value.
 
+use std::io::Write;
+
+use churnbal_core::PolicySpec;
+
+use crate::experiment::{
+    CsvSink, Experiment, ExperimentResult, ExperimentSchema, ExperimentSpec, JsonlSink, PolicyEntry,
+};
 use crate::registry;
 use crate::scenario::Scenario;
-use crate::sweep::{
-    csv_header, csv_row, jsonl_row, run_sweep, run_sweep_streaming, Axis, AxisParam, RunOptions,
-    SweepResult,
-};
+use crate::sweep::{Axis, AxisParam, RunOptions};
 
 const USAGE: &str = "usage: churnbal-lab <command>\n\
 \n\
 commands:\n\
-  list                       list registered scenarios\n\
-  show <scenario>            print a scenario as TOML\n\
-  run <scenario|file.toml>   run a scenario (including its baked-in axes)\n\
-  sweep <scenario|file.toml> grid-expand and run; add axes with --axis\n\
+  list                          list registered scenarios\n\
+  show <scenario>               print a scenario as TOML\n\
+  run <scenario|file.toml>      run a scenario (including its baked-in axes)\n\
+  sweep <scenario|file.toml>    grid-expand and run; add axes with --axis\n\
+  compare <scenario|file.toml>  run several policies on one grid with common\n\
+                                random numbers (paired deltas vs the first)\n\
 \n\
-options (run/sweep):\n\
-  --axis param=v1,v2,...     sweep axis, explicit values (sweep only)\n\
-  --axis param=lo:hi:step    sweep axis, inclusive range (sweep only)\n\
+options (run/sweep/compare):\n\
+  --axis param=v1,v2,...     sweep axis, explicit values (sweep/compare)\n\
+  --axis param=lo:hi:step    sweep axis, inclusive range (sweep/compare)\n\
+  --policies a,b,...         policy set (compare only; first = baseline);\n\
+                             names are policy kinds or `none`, with an\n\
+                             optional gain suffix like lbp2@0.5\n\
+  --theory                   join Eq. 4 theory columns (sweep; compare\n\
+                             always joins them)\n\
   --quick                    a tenth of the replications (at least 10)\n\
   --reps N                   replication override\n\
   --seed S                   master-seed override\n\
-  --threads T                worker threads for the whole sweep (0 = auto)\n\
+  --threads T                worker threads for the whole grid (0 = auto)\n\
   --chunk C                  tasks claimed per scheduler grab (0 = auto)\n\
-  --format F                 table (run default) | csv (sweep default) | jsonl\n\
+  --format F                 table (run/compare default) | csv (sweep\n\
+                             default) | jsonl\n\
   --out PATH                 write the output to PATH instead of stdout\n";
 
 /// Executes a full CLI invocation, returning what should go to stdout.
@@ -50,6 +76,7 @@ options (run/sweep):\n\
 pub fn run(args: &[String]) -> Result<String, String> {
     let mut it = args.iter();
     match it.next().map(String::as_str) {
+        // No subcommand is a request for help, not an error.
         None | Some("help" | "--help" | "-h") => Ok(USAGE.to_string()),
         Some("list") => cmd_list(),
         Some("show") => {
@@ -59,15 +86,27 @@ pub fn run(args: &[String]) -> Result<String, String> {
             cmd_show(name)
         }
         Some("run") => {
-            let (scenario, opts) = parse_common(&mut it, false)?;
+            let (scenario, opts) = parse_common(&mut it, Grammar::Run)?;
             cmd_run(&scenario, &opts)
         }
         Some("sweep") => {
-            let (scenario, opts) = parse_common(&mut it, true)?;
+            let (scenario, opts) = parse_common(&mut it, Grammar::Sweep)?;
             cmd_sweep(&scenario, &opts)
+        }
+        Some("compare") => {
+            let (scenario, opts) = parse_common(&mut it, Grammar::Compare)?;
+            cmd_compare(&scenario, &opts)
         }
         Some(other) => Err(format!("unknown command `{other}`\n\n{USAGE}")),
     }
+}
+
+/// Which flags a subcommand accepts.
+#[derive(Clone, Copy, PartialEq)]
+enum Grammar {
+    Run,
+    Sweep,
+    Compare,
 }
 
 #[derive(Clone, Debug, Default)]
@@ -76,24 +115,45 @@ struct CliOptions {
     run: RunOptions,
     format: Option<String>,
     out: Option<String>,
+    policies: Vec<String>,
+    theory: bool,
 }
 
 fn parse_common<'a>(
     it: &mut impl Iterator<Item = &'a String>,
-    allow_axes: bool,
+    grammar: Grammar,
 ) -> Result<(Scenario, CliOptions), String> {
     let name = it
         .next()
         .ok_or("missing scenario name or file\n\ntry: churnbal-lab list")?;
     let scenario = load_scenario(name)?;
     let mut opts = CliOptions::default();
+    let allow_axes = grammar != Grammar::Run;
     while let Some(flag) = it.next() {
         match flag.as_str() {
             "--axis" if allow_axes => {
                 let spec = it.next().ok_or("--axis needs `param=values`")?;
                 opts.axes.push(parse_axis(spec)?);
             }
-            "--axis" => return Err("--axis is only valid for `sweep`".into()),
+            "--axis" => return Err("--axis is only valid for `sweep` and `compare`".into()),
+            "--policies" if grammar == Grammar::Compare => {
+                let spec = it
+                    .next()
+                    .ok_or("--policies needs a comma-separated list, e.g. `lbp1,lbp2,none`")?;
+                opts.policies = spec
+                    .split(',')
+                    .map(str::trim)
+                    .filter(|s| !s.is_empty())
+                    .map(str::to_string)
+                    .collect();
+            }
+            "--policies" => return Err("--policies is only valid for `compare`".into()),
+            "--theory" if grammar == Grammar::Sweep => opts.theory = true,
+            "--theory" => {
+                return Err(
+                    "--theory is only valid for `sweep` (compare always joins theory)".into(),
+                )
+            }
             "--quick" => opts.run.quick = true,
             "--reps" => {
                 let v = it.next().ok_or("--reps needs a value")?;
@@ -135,6 +195,13 @@ fn parse_common<'a>(
             other => return Err(format!("unknown flag `{other}`\n\n{USAGE}")),
         }
     }
+    if grammar == Grammar::Compare && opts.policies.len() < 2 {
+        return Err(format!(
+            "compare needs at least two --policies (got {}); \
+             e.g. --policies lbp1,lbp2,none",
+            opts.policies.len()
+        ));
+    }
     Ok((scenario, opts))
 }
 
@@ -161,6 +228,7 @@ fn parse_axis(spec: &str) -> Result<Axis, String> {
     let Some((key, values)) = spec.split_once('=') else {
         return Err(format!("--axis: expected `param=values`, got `{spec}`"));
     };
+    // `AxisParam::parse` enumerates the valid keys in its error message.
     let param = AxisParam::parse(key.trim())?;
     let values = values.trim();
     let parse_f64 = |s: &str| -> Result<f64, String> {
@@ -203,6 +271,24 @@ fn parse_axis(spec: &str) -> Result<Axis, String> {
     Ok(axis)
 }
 
+/// Resolves the `--policies` tokens against the scenario's own policy.
+/// An explicit `@gain` suffix pins the gain: a `gain` axis sweeps the
+/// other gain-bearing policies but leaves pinned ones at their value.
+fn parse_policies(tokens: &[String], scenario: &Scenario) -> Result<Vec<PolicyEntry>, String> {
+    tokens
+        .iter()
+        .map(|token| {
+            let mut entry = PolicyEntry::named(
+                token.clone(),
+                PolicySpec::parse(token, &scenario.policy)
+                    .map_err(|e| format!("--policies: {e}"))?,
+            );
+            entry.pinned_gain = token.contains('@');
+            Ok(entry)
+        })
+        .collect()
+}
+
 fn cmd_list() -> Result<String, String> {
     let mut out = String::new();
     let scenarios = registry::all();
@@ -229,44 +315,63 @@ fn cmd_show(name: &str) -> Result<String, String> {
     Ok(load_scenario(name)?.to_toml())
 }
 
-fn render(result: &SweepResult, format: &str) -> String {
-    match format {
-        "csv" => result.to_csv(),
-        "jsonl" => result.to_jsonl(),
-        _ => render_table(result),
+/// Pretty float for tables: up to 6 decimals, trailing zeros trimmed.
+fn pretty(v: f64) -> String {
+    let s = format!("{v:.6}");
+    let s = s.trim_end_matches('0').trim_end_matches('.');
+    if s.is_empty() || s == "-" {
+        "0".to_string()
+    } else {
+        s.to_string()
     }
 }
 
-fn render_table(result: &SweepResult) -> String {
-    let mut header: Vec<String> = result.axes.iter().map(|a| a.key().to_string()).collect();
-    header.extend(
-        [
-            "mean (s)",
-            "±95% CI",
-            "sd",
-            "failures",
-            "shipped",
-            "incomplete",
-        ]
-        .map(str::to_string),
-    );
-    // Display-only rounding: the machine formats keep exact values.
-    let pretty = |v: f64| {
-        let s = format!("{v:.6}");
-        let s = s.trim_end_matches('0').trim_end_matches('.');
-        if s.is_empty() || s == "-" {
-            "0".to_string()
-        } else {
-            s.to_string()
-        }
-    };
+fn render_table(result: &ExperimentResult) -> String {
+    let schema = &result.schema;
+    let mut header: Vec<String> = schema.axes.iter().map(|a| a.key().to_string()).collect();
+    if schema.paired {
+        header.push("policy".to_string());
+    }
+    header.extend(["mean (s)", "±95% CI", "sd"].map(str::to_string));
+    if schema.theory {
+        header.extend(["theory", "mc−theory"].map(str::to_string));
+    }
+    if schema.paired {
+        header.extend(["Δ vs base", "±95% CI(Δ)"].map(str::to_string));
+    }
+    header.extend(["failures", "shipped", "incomplete"].map(str::to_string));
+
     let mut rows: Vec<Vec<String>> = Vec::new();
     for r in &result.rows {
+        // Display-only rounding: the machine formats keep exact values.
         let mut row: Vec<String> = r.coords.iter().map(|&(_, v)| pretty(v)).collect();
+        if schema.paired {
+            row.push(r.policy.clone());
+        }
         row.extend([
             format!("{:.2}", r.mean_completion),
             format!("{:.2}", r.ci95),
             format!("{:.2}", r.sd_completion),
+        ]);
+        if schema.theory {
+            row.push(r.theory_mean.map_or(String::new(), |t| format!("{t:.2}")));
+            row.push(
+                r.mc_minus_theory
+                    .map_or(String::new(), |d| format!("{d:+.2}")),
+            );
+        }
+        if schema.paired {
+            let d = r.delta.expect("paired rows carry deltas");
+            if r.policy_index == 0 {
+                row.extend([String::from("baseline"), String::new()]);
+            } else {
+                row.extend([
+                    format!("{:+.2}", d.mean_delta),
+                    format!("{:.2}", d.ci95_half_width),
+                ]);
+            }
+        }
+        row.extend([
             format!("{:.2} ± {:.2}", r.mean_failures, r.sd_failures),
             format!("{:.1} ± {:.1}", r.mean_tasks_shipped, r.sd_tasks_shipped),
             r.incomplete.to_string(),
@@ -276,11 +381,11 @@ fn render_table(result: &SweepResult) -> String {
     let cols = header.len();
     let mut width = vec![0usize; cols];
     for (i, h) in header.iter().enumerate() {
-        width[i] = h.len();
+        width[i] = h.chars().count();
     }
     for row in &rows {
         for (i, c) in row.iter().enumerate() {
-            width[i] = width[i].max(c.len());
+            width[i] = width[i].max(c.chars().count());
         }
     }
     let fmt_row = |cells: &[String]| -> String {
@@ -289,6 +394,8 @@ fn render_table(result: &SweepResult) -> String {
             if i > 0 {
                 line.push_str("  ");
             }
+            // `{:>w$}` pads by char count, which is what the widths
+            // above measure (the headers contain ± and Δ).
             line.push_str(&format!("{c:>w$}", w = width[i]));
         }
         line.push('\n');
@@ -316,83 +423,102 @@ fn deliver(text: String, opts: &CliOptions, preamble: String) -> Result<String, 
     }
 }
 
-/// Runs a sweep in streaming mode: each row is rendered and written (to
-/// the `--out` file or the in-memory stdout buffer) as its grid point
-/// finishes, so a long sweep's partial results are on disk while later
-/// points still run. The per-row renderers are shared with
-/// [`SweepResult::to_csv`]/[`to_jsonl`](SweepResult::to_jsonl), so the
-/// bytes are identical to the buffered path's.
-fn stream_sweep(scenario: &Scenario, opts: &CliOptions, jsonl: bool) -> Result<String, String> {
-    use std::io::Write;
-    let mut file = match &opts.out {
-        Some(path) => Some(std::io::BufWriter::new(
-            std::fs::File::create(path).map_err(|e| format!("cannot write `{path}`: {e}"))?,
-        )),
-        None => None,
-    };
-    let mut buf = String::new();
-    let mut lines = 0usize;
-    let mut first = true;
-    let name = scenario.name.clone();
-    run_sweep_streaming(scenario, &opts.axes, opts.run, |row| {
-        let mut chunk = String::new();
-        if first && !jsonl {
-            let axes: Vec<AxisParam> = row.coords.iter().map(|&(a, _)| a).collect();
-            chunk.push_str(&csv_header(&axes));
-        }
-        first = false;
-        chunk.push_str(&if jsonl {
-            jsonl_row(&name, &row)
+/// Runs an experiment in machine format. With `--out`, rows stream to the
+/// file as their `(grid point, policy)` cells finish — a long grid's
+/// partial results are on disk while later points still run — and the
+/// returned report names the line count. Without it, rows stream into an
+/// in-memory buffer returned for stdout. Both paths go through the same
+/// [`CsvSink`]/[`JsonlSink`] renderers as [`ExperimentResult::to_csv`] /
+/// [`to_jsonl`](ExperimentResult::to_jsonl), so the bytes are identical
+/// to the buffered path's.
+fn run_machine_format(
+    spec: ExperimentSpec,
+    opts: &CliOptions,
+    jsonl: bool,
+) -> Result<String, String> {
+    fn run_into<W: Write>(
+        experiment: &Experiment,
+        out: W,
+        jsonl: bool,
+    ) -> Result<(ExperimentSchema, W), String> {
+        if jsonl {
+            let mut sink = JsonlSink::new(out);
+            let schema = experiment.run(&mut sink)?;
+            Ok((schema, sink.into_inner()))
         } else {
-            csv_row(&name, &row)
-        });
-        lines += chunk.lines().count();
-        match &mut file {
-            Some(f) => f
-                .write_all(chunk.as_bytes())
-                .and_then(|()| f.flush())
-                .map_err(|e| format!("cannot write sweep output: {e}")),
-            None => {
-                buf.push_str(&chunk);
-                Ok(())
-            }
+            let mut sink = CsvSink::new(out);
+            let schema = experiment.run(&mut sink)?;
+            Ok((schema, sink.into_inner()))
         }
-    })?;
+    }
+    let experiment = Experiment::new(spec);
     match &opts.out {
-        Some(path) => Ok(format!("wrote {lines} lines to {path}\n")),
-        None => Ok(buf),
+        Some(path) => {
+            let file =
+                std::fs::File::create(path).map_err(|e| format!("cannot write `{path}`: {e}"))?;
+            let (schema, out) = run_into(&experiment, std::io::BufWriter::new(file), jsonl)?;
+            drop(out); // flushes the BufWriter
+            let lines = schema.rows() + usize::from(!jsonl);
+            Ok(format!("wrote {lines} lines to {path}\n"))
+        }
+        None => {
+            let (_, buf) = run_into(&experiment, Vec::new(), jsonl)?;
+            String::from_utf8(buf).map_err(|e| format!("output is not UTF-8: {e}"))
+        }
     }
 }
 
 fn cmd_run(scenario: &Scenario, opts: &CliOptions) -> Result<String, String> {
+    let spec = ExperimentSpec::sweep(scenario.clone(), opts.axes.clone(), opts.run);
     let format = opts.format.as_deref().unwrap_or("table");
     if format != "table" {
-        return stream_sweep(scenario, opts, format == "jsonl");
+        return run_machine_format(spec, opts, format == "jsonl");
     }
-    let result = run_sweep(scenario, &opts.axes, opts.run)?;
-    let reps = opts.run.reps.unwrap_or(if opts.run.quick {
-        scenario.quick_reps()
-    } else {
-        scenario.reps
-    });
+    let result = Experiment::new(spec).collect()?;
+    let reps = opts.run.effective_reps(scenario);
     let preamble = format!(
         "{}: {}\n{} point(s), {} replications each, seed {}\n\n",
         scenario.name,
         scenario.description,
-        result.rows.len(),
+        result.schema.points,
         reps,
         opts.run.seed.unwrap_or(scenario.seed),
     );
-    deliver(render(&result, format), opts, preamble)
+    deliver(render_table(&result), opts, preamble)
 }
 
 fn cmd_sweep(scenario: &Scenario, opts: &CliOptions) -> Result<String, String> {
+    let mut spec = ExperimentSpec::sweep(scenario.clone(), opts.axes.clone(), opts.run);
+    spec.theory = opts.theory;
     let format = opts.format.as_deref().unwrap_or("csv");
     if format != "table" {
-        return stream_sweep(scenario, opts, format == "jsonl");
+        return run_machine_format(spec, opts, format == "jsonl");
     }
-    let result = run_sweep(scenario, &opts.axes, opts.run)?;
-    deliver(render(&result, format), opts, String::new())
+    let result = Experiment::new(spec).collect()?;
+    deliver(render_table(&result), opts, String::new())
+}
+
+fn cmd_compare(scenario: &Scenario, opts: &CliOptions) -> Result<String, String> {
+    let policies = parse_policies(&opts.policies, scenario)?;
+    let spec = ExperimentSpec::compare(scenario.clone(), opts.axes.clone(), policies, opts.run);
+    let format = opts.format.as_deref().unwrap_or("table");
+    if format != "table" {
+        return run_machine_format(spec, opts, format == "jsonl");
+    }
+    let result = Experiment::new(spec).collect()?;
+    let reps = opts.run.effective_reps(scenario);
+    let preamble = format!(
+        "{}: {}\n{} point(s) x {} policies (baseline {}), {} replications each, seed {}\n\
+         deltas are CRN-paired per-replication differences vs the baseline\n\n",
+        scenario.name,
+        scenario.description,
+        result.schema.points,
+        result.schema.policies.len(),
+        result.schema.policies[0],
+        reps,
+        opts.run.seed.unwrap_or(scenario.seed),
+    );
+    deliver(render_table(&result), opts, preamble)
 }
 
 #[cfg(test)]
@@ -432,7 +558,12 @@ mod tests {
         let err = call(&["run", "paper-fig3", "--wat"]).unwrap_err();
         assert!(err.contains("unknown flag `--wat`"), "{err}");
         let err = call(&["run", "paper-fig3", "--axis", "gain=1"]).unwrap_err();
-        assert!(err.contains("only valid for `sweep`"), "{err}");
+        assert!(
+            err.contains("only valid for `sweep` and `compare`"),
+            "{err}"
+        );
+        let err = call(&["sweep", "paper-fig3", "--policies", "lbp1,none"]).unwrap_err();
+        assert!(err.contains("only valid for `compare`"), "{err}");
     }
 
     #[test]
@@ -444,10 +575,22 @@ mod tests {
         assert_eq!(a.values, vec![0.0, 0.25, 0.5, 0.75, 1.0]);
         let err = parse_axis("gain").unwrap_err();
         assert!(err.contains("param=values"), "{err}");
-        let err = parse_axis("warp=1,2").unwrap_err();
-        assert!(err.contains("unknown sweep parameter"), "{err}");
         let err = parse_axis("gain=1:0:0.1").unwrap_err();
         assert!(err.contains("lo <= hi"), "{err}");
+    }
+
+    #[test]
+    fn unknown_axis_keys_enumerate_every_valid_key() {
+        // A typo must produce the full menu, not a bare string.
+        let err = parse_axis("warp=1,2").unwrap_err();
+        assert!(err.contains("unknown sweep parameter \"warp\""), "{err}");
+        for param in AxisParam::ALL {
+            assert!(
+                err.contains(param.key()),
+                "missing {} in: {err}",
+                param.key()
+            );
+        }
     }
 
     #[test]
@@ -496,9 +639,140 @@ mod tests {
     }
 
     #[test]
+    fn sweep_theory_flag_appends_model_columns() {
+        let csv = call(&[
+            "sweep",
+            "paper-fig3",
+            "--theory",
+            "--reps",
+            "2",
+            "--threads",
+            "2",
+        ])
+        .expect("sweep --theory works");
+        let header = csv.lines().next().expect("header");
+        assert!(
+            header.ends_with("incomplete,theory_mean,mc_minus_theory"),
+            "{header}"
+        );
+        // Every fig3 row is in the Eq. 4 domain: no empty theory cells.
+        for line in csv.lines().skip(1) {
+            assert!(!line.ends_with(','), "{line}");
+        }
+        // Without the flag the header is the legacy one.
+        let plain = call(&["sweep", "paper-fig3", "--reps", "2"]).expect("plain sweep");
+        assert!(plain
+            .lines()
+            .next()
+            .expect("header")
+            .ends_with("incomplete"));
+    }
+
+    #[test]
+    fn compare_reports_paired_deltas_and_theory() {
+        let out = call(&[
+            "compare",
+            "paper-fig3",
+            "--policies",
+            "lbp1,lbp2,none",
+            "--reps",
+            "4",
+            "--threads",
+            "2",
+        ])
+        .expect("compare works");
+        assert!(out.contains("3 policies (baseline lbp1)"), "{out}");
+        assert!(out.contains("Δ vs base"), "{out}");
+        assert!(out.contains("theory"), "{out}");
+        assert!(out.contains("baseline"), "{out}");
+        // 21 gain points x 3 policies + header + rule + preamble lines.
+        assert!(out.lines().count() > 63, "{out}");
+
+        let csv = call(&[
+            "compare",
+            "paper-fig3",
+            "--policies",
+            "lbp1,none",
+            "--reps",
+            "3",
+            "--format",
+            "csv",
+        ])
+        .expect("compare csv works");
+        let header = csv.lines().next().expect("header");
+        assert!(
+            header.ends_with("theory_mean,mc_minus_theory,delta_mean,delta_sd,delta_ci95"),
+            "{header}"
+        );
+        assert_eq!(csv.lines().count(), 1 + 21 * 2, "{csv}");
+    }
+
+    #[test]
+    fn explicit_gain_suffixes_survive_a_gain_axis() {
+        // paper-fig3 carries a baked-in 21-value gain axis. Policies the
+        // user pinned with @gain must NOT be rewritten by it: the two
+        // lbp2 variants stay at 0.2 and 0.8 and therefore genuinely
+        // differ, while bare `lbp1` still follows the axis.
+        let csv = call(&[
+            "compare",
+            "paper-fig3",
+            "--policies",
+            "lbp2@0.2,lbp2@0.8,lbp1",
+            "--reps",
+            "3",
+            "--format",
+            "csv",
+        ])
+        .expect("compare works");
+        let rows: Vec<&str> = csv.lines().skip(1).collect();
+        assert_eq!(rows.len(), 21 * 3);
+        // The two pinned variants must differ somewhere (they would be
+        // bit-identical rows if the axis overwrote both gains).
+        let a: Vec<&&str> = rows.iter().filter(|r| r.contains(",lbp2@0.2,")).collect();
+        let b: Vec<&&str> = rows.iter().filter(|r| r.contains(",lbp2@0.8,")).collect();
+        assert_eq!(a.len(), 21);
+        let differing = a
+            .iter()
+            .zip(&b)
+            .filter(|(ra, rb)| {
+                let strip = |r: &str| r.replacen("lbp2@0.2", "X", 1).replacen("lbp2@0.8", "X", 1);
+                strip(ra) != strip(rb)
+            })
+            .count();
+        assert!(
+            differing > 0,
+            "pinned gains were overwritten by the axis:\n{csv}"
+        );
+        // And each pinned variant is flat only in its *policy*, not the
+        // grid: its rows repeat identically across the gain axis.
+        let strip_gain = |r: &str| {
+            let mut parts: Vec<&str> = r.split(',').collect();
+            parts.remove(2); // the gain coordinate column
+            parts.remove(1); // the grid-point index column
+            parts.join(",")
+        };
+        assert!(
+            a.windows(2).all(|w| strip_gain(w[0]) == strip_gain(w[1])),
+            "a pinned policy must ride the gain axis unchanged:\n{csv}"
+        );
+    }
+
+    #[test]
+    fn compare_requires_at_least_two_policies() {
+        let err = call(&["compare", "paper-fig3"]).unwrap_err();
+        assert!(err.contains("at least two --policies"), "{err}");
+        let err = call(&["compare", "paper-fig3", "--policies", "lbp1"]).unwrap_err();
+        assert!(err.contains("at least two --policies"), "{err}");
+        let err = call(&["compare", "paper-fig3", "--policies", "lbp1,warp9"]).unwrap_err();
+        assert!(err.contains("unknown policy `warp9`"), "{err}");
+        assert!(err.contains("upon-failure-only"), "lists kinds: {err}");
+    }
+
+    #[test]
     fn streamed_out_file_matches_stdout_bytes() {
-        // `--out` streams rows to the file as points finish; the bytes must
-        // equal the stdout rendering of the same sweep, for CSV and JSONL.
+        // `--out` streams rows to the file as cells finish; the bytes must
+        // equal the stdout rendering of the same grid, for CSV and JSONL,
+        // for sweeps and comparisons.
         let dir = std::env::temp_dir().join("churnbal_lab_cli_stream_test");
         std::fs::create_dir_all(&dir).expect("tmp dir");
         for format in ["csv", "jsonl"] {
@@ -520,6 +794,30 @@ mod tests {
             let report = call(&with_out).expect("file sweep runs");
             let written = std::fs::read_to_string(&path).expect("file written");
             assert_eq!(written, stdout, "{format}: file bytes differ from stdout");
+            let lines = written.lines().count();
+            assert!(
+                report.contains(&format!("wrote {lines} lines to {path_str}")),
+                "{report}"
+            );
+
+            let path = dir.join(format!("compare.{format}"));
+            let path_str = path.to_str().expect("utf8");
+            let base = [
+                "compare",
+                "paper-fig5",
+                "--policies",
+                "lbp1-optimal,none",
+                "--reps",
+                "3",
+                "--format",
+                format,
+            ];
+            let stdout = call(&base).expect("stdout compare runs");
+            let mut with_out: Vec<&str> = base.to_vec();
+            with_out.extend(["--out", path_str]);
+            let report = call(&with_out).expect("file compare runs");
+            let written = std::fs::read_to_string(&path).expect("file written");
+            assert_eq!(written, stdout, "{format}: compare bytes differ");
             let lines = written.lines().count();
             assert!(
                 report.contains(&format!("wrote {lines} lines to {path_str}")),
@@ -549,5 +847,6 @@ mod tests {
     fn help_is_printed_without_arguments() {
         let out = call(&[]).expect("usage");
         assert!(out.contains("usage: churnbal-lab"), "{out}");
+        assert!(out.contains("compare"), "{out}");
     }
 }

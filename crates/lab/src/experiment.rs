@@ -1,0 +1,990 @@
+//! The first-class experiment API: one concept for runs, sweeps and
+//! multi-policy comparisons.
+//!
+//! An [`ExperimentSpec`] is `scenario × axes × policy set × options`. Its
+//! [`Experiment`] executes the whole thing in **one pass** through the
+//! shared work-stealing scheduler
+//! ([`churnbal_cluster::exec::run_grid_policies_streaming`]): the policy
+//! set is just another axis of the flattened task space, and replication
+//! `r` of *every* policy at a grid point runs on the streams derived from
+//! `(seed, r)` — common random numbers across policies by construction.
+//! That makes the per-replication differences between two policies paired
+//! samples, and [`ExperimentRow::delta`] reports their mean with a
+//! t-based 95% confidence interval
+//! ([`churnbal_stochastic::paired_comparison`]).
+//!
+//! Output is decoupled from execution through [`RowSink`]: CSV, JSON
+//! lines and collecting (for tables/tests) are sink implementations, and
+//! rows stream to the sink in `(grid point, policy)` order as cells
+//! complete. Where a grid point is a two-node closed system, the Eq. 4
+//! theory mean joins each row ([`ExperimentSpec::theory`],
+//! [`crate::theory`]).
+//!
+//! The historical `run_scenario` / `run_sweep` / `run_sweep_streaming`
+//! entry points survive as thin deprecated wrappers in [`crate::sweep`];
+//! their output bytes are unchanged (the pinned sweep digests prove it).
+
+use std::io::Write;
+
+use churnbal_cluster::exec::{run_grid_policies_streaming, PointJob};
+use churnbal_cluster::mc::McEstimate;
+use churnbal_cluster::{SimOptions, SystemConfig};
+use churnbal_core::PolicySpec;
+use churnbal_stochastic::{paired_comparison, PairedComparison};
+
+use crate::scenario::Scenario;
+use crate::sweep::{expand_grid, sample_sd, Axis, AxisParam, RunOptions, SweepRow, SweepSchema};
+use crate::theory::TheoryCache;
+
+/// One labelled policy of a comparison: the display/CSV label (usually the
+/// CLI token it was parsed from, e.g. `none` or `lbp2@0.5`) and the spec.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PolicyEntry {
+    /// Label printed in the `policy` column.
+    pub label: String,
+    /// The policy itself.
+    pub spec: PolicySpec,
+    /// When true, a `gain` axis does **not** rewrite this entry's gain:
+    /// the policy rides along the axis at its own fixed gain, like a
+    /// gainless policy. Set by the CLI for explicit `@gain` suffixes —
+    /// `lbp2@0.2` must stay at 0.2 even when the grid sweeps gains.
+    pub pinned_gain: bool,
+}
+
+impl PolicyEntry {
+    /// Labels the entry with the spec's stable kind identifier; the gain
+    /// (if any) follows a `gain` axis.
+    #[must_use]
+    pub fn from_spec(spec: PolicySpec) -> Self {
+        Self {
+            label: spec.kind().to_string(),
+            spec,
+            pinned_gain: false,
+        }
+    }
+
+    /// An entry with an explicit label; the gain follows a `gain` axis.
+    #[must_use]
+    pub fn named(label: impl Into<String>, spec: PolicySpec) -> Self {
+        Self {
+            label: label.into(),
+            spec,
+            pinned_gain: false,
+        }
+    }
+}
+
+/// A complete experiment description: scenario × axes × policy set ×
+/// execution options.
+#[derive(Clone, Debug)]
+pub struct ExperimentSpec {
+    /// The base scenario (its baked-in axes are part of the grid).
+    pub scenario: Scenario,
+    /// Extra sweep axes on top of the scenario's baked-in ones.
+    pub axes: Vec<Axis>,
+    /// The policy set evaluated at every grid point. Empty = the
+    /// scenario's own policy (a plain run/sweep); two or more entries
+    /// make this a comparison: entry 0 is the baseline and every row
+    /// carries CRN-paired deltas against it.
+    pub policies: Vec<PolicyEntry>,
+    /// Replications, seed, threads, chunking.
+    pub options: RunOptions,
+    /// Join the Eq. 4 theory mean (and `mc − theory`) where the model
+    /// covers the point and policy; out-of-domain rows render empty
+    /// cells.
+    pub theory: bool,
+}
+
+impl ExperimentSpec {
+    /// A plain run/sweep of the scenario under its own policy.
+    #[must_use]
+    pub fn sweep(scenario: Scenario, axes: Vec<Axis>, options: RunOptions) -> Self {
+        Self {
+            scenario,
+            axes,
+            policies: Vec::new(),
+            options,
+            theory: false,
+        }
+    }
+
+    /// A multi-policy comparison (baseline first), theory columns on.
+    #[must_use]
+    pub fn compare(
+        scenario: Scenario,
+        axes: Vec<Axis>,
+        policies: Vec<PolicyEntry>,
+        options: RunOptions,
+    ) -> Self {
+        Self {
+            scenario,
+            axes,
+            policies,
+            options,
+            theory: true,
+        }
+    }
+}
+
+/// What a streaming consumer knows before the first row: the column
+/// layout and the grid size.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ExperimentSchema {
+    /// Scenario name.
+    pub scenario: String,
+    /// Axis parameters, in column order.
+    pub axes: Vec<AxisParam>,
+    /// Grid points (each yields one row per policy).
+    pub points: usize,
+    /// Policy labels, in evaluation order (index 0 is the baseline).
+    pub policies: Vec<String>,
+    /// Whether rows carry `theory_mean` / `mc_minus_theory` columns.
+    pub theory: bool,
+    /// Whether rows carry paired-delta columns (≥ 2 policies).
+    pub paired: bool,
+}
+
+impl ExperimentSchema {
+    /// Total rows the experiment will emit.
+    #[must_use]
+    pub fn rows(&self) -> usize {
+        self.points * self.policies.len()
+    }
+
+    /// The sweep-schema view of this experiment (legacy wrapper support).
+    #[must_use]
+    pub fn to_sweep_schema(&self) -> SweepSchema {
+        SweepSchema {
+            scenario: self.scenario.clone(),
+            axes: self.axes.clone(),
+            points: self.points,
+        }
+    }
+}
+
+/// CRN-paired delta of one policy against the baseline policy of the
+/// same grid point: the per-replication difference statistics of
+/// [`churnbal_stochastic::paired_comparison`] (`policy − baseline`;
+/// identically zero for the baseline row itself).
+pub type PairedDelta = PairedComparison;
+
+/// One result row: a `(grid point, policy)` cell.
+#[derive(Clone, Debug)]
+pub struct ExperimentRow {
+    /// Grid-point index.
+    pub index: usize,
+    /// Axis coordinates, in axis order.
+    pub coords: Vec<(AxisParam, f64)>,
+    /// Index into [`ExperimentSchema::policies`].
+    pub policy_index: usize,
+    /// Policy label.
+    pub policy: String,
+    /// Replications run.
+    pub reps: u64,
+    /// Master seed used.
+    pub seed: u64,
+    /// Mean overall completion time (s).
+    pub mean_completion: f64,
+    /// 95% confidence half-width of the mean (normal approximation).
+    pub ci95: f64,
+    /// Sample standard deviation of the completion time.
+    pub sd_completion: f64,
+    /// Mean failures per replication.
+    pub mean_failures: f64,
+    /// Sample standard deviation of failures per replication.
+    pub sd_failures: f64,
+    /// Mean tasks shipped per replication.
+    pub mean_tasks_shipped: f64,
+    /// Sample standard deviation of tasks shipped per replication.
+    pub sd_tasks_shipped: f64,
+    /// Replications that hit the deadline without completing.
+    pub incomplete: u64,
+    /// Eq. 4 theory mean, when the model covers this point and policy.
+    pub theory_mean: Option<f64>,
+    /// `mean_completion − theory_mean`, when theory is available.
+    pub mc_minus_theory: Option<f64>,
+    /// Paired delta vs the point's baseline policy (`None` on plain
+    /// sweeps).
+    pub delta: Option<PairedDelta>,
+}
+
+impl ExperimentRow {
+    /// The legacy sweep-row view: the base statistics columns shared with
+    /// PR 2–4 output (theory/delta extras dropped).
+    #[must_use]
+    pub fn to_sweep_row(&self) -> SweepRow {
+        SweepRow {
+            index: self.index,
+            coords: self.coords.clone(),
+            reps: self.reps,
+            seed: self.seed,
+            policy: self.policy.clone(),
+            mean_completion: self.mean_completion,
+            ci95: self.ci95,
+            sd_completion: self.sd_completion,
+            mean_failures: self.mean_failures,
+            sd_failures: self.sd_failures,
+            mean_tasks_shipped: self.mean_tasks_shipped,
+            sd_tasks_shipped: self.sd_tasks_shipped,
+            incomplete: self.incomplete,
+        }
+    }
+}
+
+/// A consumer of experiment rows. Rows arrive in `(grid point, policy)`
+/// order as cells complete; `begin` always precedes the first row and
+/// `finish` follows the last (when the run succeeds).
+pub trait RowSink {
+    /// Announces the schema before any row.
+    ///
+    /// # Errors
+    /// An error aborts the experiment before it starts executing.
+    fn begin(&mut self, schema: &ExperimentSchema) -> Result<(), String> {
+        let _ = schema;
+        Ok(())
+    }
+
+    /// Consumes one row.
+    ///
+    /// # Errors
+    /// An error aborts the remaining grid (workers stop claiming tasks).
+    fn row(&mut self, row: &ExperimentRow) -> Result<(), String>;
+
+    /// Flushes after the last row.
+    ///
+    /// # Errors
+    /// Propagated to the experiment's caller.
+    fn finish(&mut self) -> Result<(), String> {
+        Ok(())
+    }
+}
+
+// ---- renderers ---------------------------------------------------------
+
+/// Renders an optional numeric cell: the shortest-round-trip float or an
+/// empty CSV field.
+fn csv_opt(x: Option<f64>) -> String {
+    x.map(|v| format!("{v:?}")).unwrap_or_default()
+}
+
+/// JSON value for an optional number (`null` when absent).
+fn json_opt(x: Option<f64>) -> String {
+    x.map_or_else(|| "null".to_string(), |v| format!("{v:?}"))
+}
+
+/// The CSV header (with trailing newline) for `schema`: the legacy sweep
+/// columns, then `theory_mean,mc_minus_theory` when theory is joined,
+/// then `delta_mean,delta_sd,delta_ci95` when the experiment is paired.
+/// Built on the PR 3 header renderer, so the base columns are
+/// byte-identical to every pinned sweep CSV.
+#[must_use]
+pub fn experiment_csv_header(schema: &ExperimentSchema) -> String {
+    let mut out = crate::sweep::csv_header(&schema.axes);
+    let base_len = out.len() - 1; // strip the newline, extend, restore
+    out.truncate(base_len);
+    if schema.theory {
+        out.push_str(",theory_mean,mc_minus_theory");
+    }
+    if schema.paired {
+        out.push_str(",delta_mean,delta_sd,delta_ci95");
+    }
+    out.push('\n');
+    out
+}
+
+/// One CSV line (with trailing newline) for `row` under `schema`.
+#[must_use]
+pub fn experiment_csv_row(schema: &ExperimentSchema, row: &ExperimentRow) -> String {
+    let mut out = crate::sweep::csv_row(&schema.scenario, &row.to_sweep_row());
+    let base_len = out.len() - 1;
+    out.truncate(base_len);
+    if schema.theory {
+        out.push(',');
+        out.push_str(&csv_opt(row.theory_mean));
+        out.push(',');
+        out.push_str(&csv_opt(row.mc_minus_theory));
+    }
+    if schema.paired {
+        let d = row.delta.expect("paired schema rows carry deltas");
+        out.push_str(&format!(
+            ",{:?},{:?},{:?}",
+            d.mean_delta, d.sd_delta, d.ci95_half_width
+        ));
+    }
+    out.push('\n');
+    out
+}
+
+/// One JSON-lines object (with trailing newline) for `row` under `schema`.
+#[must_use]
+pub fn experiment_jsonl_row(schema: &ExperimentSchema, row: &ExperimentRow) -> String {
+    let mut out = crate::sweep::jsonl_row(&schema.scenario, &row.to_sweep_row());
+    let base_len = out.len() - 2; // strip "}\n", extend, restore
+    out.truncate(base_len);
+    if schema.theory {
+        out.push_str(&format!(
+            ",\"theory_mean\":{},\"mc_minus_theory\":{}",
+            json_opt(row.theory_mean),
+            json_opt(row.mc_minus_theory)
+        ));
+    }
+    if schema.paired {
+        let d = row.delta.expect("paired schema rows carry deltas");
+        out.push_str(&format!(
+            ",\"delta_mean\":{:?},\"delta_sd\":{:?},\"delta_ci95\":{:?}",
+            d.mean_delta, d.sd_delta, d.ci95_half_width
+        ));
+    }
+    out.push_str("}\n");
+    out
+}
+
+// ---- sinks -------------------------------------------------------------
+
+/// Streams rows as CSV to any writer (header at `begin`, flush at
+/// `finish`).
+pub struct CsvSink<W: Write> {
+    out: W,
+    schema: Option<ExperimentSchema>,
+}
+
+impl<W: Write> CsvSink<W> {
+    /// Wraps a writer.
+    pub fn new(out: W) -> Self {
+        Self { out, schema: None }
+    }
+
+    /// Unwraps the inner writer.
+    pub fn into_inner(self) -> W {
+        self.out
+    }
+}
+
+impl<W: Write> RowSink for CsvSink<W> {
+    fn begin(&mut self, schema: &ExperimentSchema) -> Result<(), String> {
+        self.out
+            .write_all(experiment_csv_header(schema).as_bytes())
+            .map_err(|e| format!("cannot write CSV header: {e}"))?;
+        self.schema = Some(schema.clone());
+        Ok(())
+    }
+
+    fn row(&mut self, row: &ExperimentRow) -> Result<(), String> {
+        let schema = self.schema.as_ref().expect("begin precedes rows");
+        self.out
+            .write_all(experiment_csv_row(schema, row).as_bytes())
+            .and_then(|()| self.out.flush())
+            .map_err(|e| format!("cannot write CSV row: {e}"))
+    }
+
+    fn finish(&mut self) -> Result<(), String> {
+        self.out
+            .flush()
+            .map_err(|e| format!("cannot flush CSV output: {e}"))
+    }
+}
+
+/// Streams rows as JSON lines to any writer.
+pub struct JsonlSink<W: Write> {
+    out: W,
+    schema: Option<ExperimentSchema>,
+}
+
+impl<W: Write> JsonlSink<W> {
+    /// Wraps a writer.
+    pub fn new(out: W) -> Self {
+        Self { out, schema: None }
+    }
+
+    /// Unwraps the inner writer.
+    pub fn into_inner(self) -> W {
+        self.out
+    }
+}
+
+impl<W: Write> RowSink for JsonlSink<W> {
+    fn begin(&mut self, schema: &ExperimentSchema) -> Result<(), String> {
+        self.schema = Some(schema.clone());
+        Ok(())
+    }
+
+    fn row(&mut self, row: &ExperimentRow) -> Result<(), String> {
+        let schema = self.schema.as_ref().expect("begin precedes rows");
+        self.out
+            .write_all(experiment_jsonl_row(schema, row).as_bytes())
+            .and_then(|()| self.out.flush())
+            .map_err(|e| format!("cannot write JSONL row: {e}"))
+    }
+
+    fn finish(&mut self) -> Result<(), String> {
+        self.out
+            .flush()
+            .map_err(|e| format!("cannot flush JSONL output: {e}"))
+    }
+}
+
+/// Buffers every row in memory — what table renderers and tests want.
+#[derive(Default)]
+pub struct CollectSink {
+    /// The announced schema.
+    pub schema: Option<ExperimentSchema>,
+    /// All rows, in `(point, policy)` order.
+    pub rows: Vec<ExperimentRow>,
+}
+
+impl CollectSink {
+    /// An empty collector.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl RowSink for CollectSink {
+    fn begin(&mut self, schema: &ExperimentSchema) -> Result<(), String> {
+        self.schema = Some(schema.clone());
+        Ok(())
+    }
+
+    fn row(&mut self, row: &ExperimentRow) -> Result<(), String> {
+        self.rows.push(row.clone());
+        Ok(())
+    }
+}
+
+/// A fully collected experiment: schema plus every row.
+#[derive(Clone, Debug)]
+pub struct ExperimentResult {
+    /// Column layout.
+    pub schema: ExperimentSchema,
+    /// All rows, in `(point, policy)` order.
+    pub rows: Vec<ExperimentRow>,
+}
+
+impl ExperimentResult {
+    /// Renders the whole result as CSV.
+    #[must_use]
+    pub fn to_csv(&self) -> String {
+        let mut out = experiment_csv_header(&self.schema);
+        for row in &self.rows {
+            out.push_str(&experiment_csv_row(&self.schema, row));
+        }
+        out
+    }
+
+    /// Renders the whole result as JSON lines.
+    #[must_use]
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        for row in &self.rows {
+            out.push_str(&experiment_jsonl_row(&self.schema, row));
+        }
+        out
+    }
+}
+
+// ---- execution ---------------------------------------------------------
+
+/// A validated, runnable experiment.
+#[derive(Clone, Debug)]
+pub struct Experiment {
+    spec: ExperimentSpec,
+}
+
+impl Experiment {
+    /// Wraps a spec (validation happens in [`Experiment::run`], where the
+    /// grid is expanded and every point's policies are checked up front).
+    #[must_use]
+    pub fn new(spec: ExperimentSpec) -> Self {
+        Self { spec }
+    }
+
+    /// The spec this experiment runs.
+    #[must_use]
+    pub fn spec(&self) -> &ExperimentSpec {
+        &self.spec
+    }
+
+    /// Collects the whole experiment in memory — the buffered convenience
+    /// form of [`Experiment::run`].
+    ///
+    /// # Errors
+    /// Same conditions as [`Experiment::run`].
+    pub fn collect(&self) -> Result<ExperimentResult, String> {
+        let mut sink = CollectSink::new();
+        let schema = self.run(&mut sink)?;
+        Ok(ExperimentResult {
+            schema,
+            rows: sink.rows,
+        })
+    }
+
+    /// Runs the **base point** of the spec's scenario (axes ignored)
+    /// under its first policy — or the scenario's own policy when the set
+    /// is empty — and returns the raw Monte-Carlo estimate with every
+    /// per-replication vector. The programmatic primitive behind the
+    /// legacy `run_scenario`; rendered output goes through
+    /// [`Experiment::run`] instead.
+    ///
+    /// # Errors
+    /// Propagates scenario/policy validation failures.
+    pub fn estimate(&self) -> Result<McEstimate, String> {
+        let spec = &self.spec;
+        let scenario = &spec.scenario;
+        let config = scenario.system_config()?;
+        let policy = match spec.policies.first() {
+            Some(entry) => entry.spec.clone(),
+            None => scenario.policy.clone(),
+        };
+        // Validate once up front so the per-replication build cannot fail.
+        policy
+            .validate_for(&config)
+            .map_err(|e| format!("scenario {}: {e}", scenario.name))?;
+        let job = PointJob {
+            config: &config,
+            reps: spec.options.effective_reps(scenario).max(1),
+            seed: spec.options.seed.unwrap_or(scenario.seed),
+            options: SimOptions {
+                record_trace: false,
+                deadline: scenario.deadline,
+            },
+        };
+        let mut stats = None;
+        run_grid_policies_streaming(
+            std::slice::from_ref(&job),
+            1,
+            &|_, _, _| policy.build(&config).expect("validated above"),
+            spec.options.threads,
+            spec.options.chunk,
+            |_, _, s| {
+                stats = Some(s);
+                Ok(())
+            },
+        )?;
+        Ok(McEstimate::from_point_stats(
+            stats.expect("one point always completes"),
+        ))
+    }
+
+    /// Executes the experiment, streaming rows to `sink` in
+    /// `(grid point, policy)` order as cells complete. One scheduler pass
+    /// covers the entire `grid × policy set × replication` space; output
+    /// bytes are bit-identical for any `threads` / `chunk` value.
+    ///
+    /// # Errors
+    /// Propagates grid-expansion and validation failures, and anything
+    /// the sink returns.
+    pub fn run(&self, sink: &mut dyn RowSink) -> Result<ExperimentSchema, String> {
+        let spec = &self.spec;
+        let points = expand_grid(&spec.scenario, &spec.axes)?;
+        let axes: Vec<AxisParam> = points
+            .first()
+            .map(|p| p.coords.iter().map(|&(a, _)| a).collect())
+            .unwrap_or_default();
+
+        // Resolve the policy set. Explicit policies inherit every gain
+        // coordinate of a point (a gain axis sweeps each gain-bearing,
+        // non-pinned policy of the comparison; gainless and gain-pinned
+        // policies ride along as flat baselines, exactly the shape of
+        // the paper's Fig. 3).
+        let labels: Vec<String> = if spec.policies.is_empty() {
+            vec![spec.scenario.policy.kind().to_string()]
+        } else {
+            spec.policies.iter().map(|e| e.label.clone()).collect()
+        };
+        let mut point_policies: Vec<Vec<PolicySpec>> = Vec::with_capacity(points.len());
+        for point in &points {
+            if spec.policies.is_empty() {
+                point_policies.push(vec![point.scenario.policy.clone()]);
+                continue;
+            }
+            let mut set = Vec::with_capacity(spec.policies.len());
+            for entry in &spec.policies {
+                let mut policy = entry.spec.clone();
+                for &(param, value) in &point.coords {
+                    // An explicitly pinned gain (`lbp2@0.2`) must never
+                    // be silently overwritten by the axis — the entry
+                    // rides along the grid at its own gain instead.
+                    if param == AxisParam::Gain && policy.gain().is_some() && !entry.pinned_gain {
+                        policy = policy.with_gain(value)?;
+                    }
+                }
+                set.push(policy);
+            }
+            point_policies.push(set);
+        }
+
+        // Materialise configs and validate every (point, policy) pair up
+        // front so the per-replication build in the workers cannot fail.
+        let mut configs: Vec<SystemConfig> = Vec::with_capacity(points.len());
+        for (point, set) in points.iter().zip(&point_policies) {
+            let config = point.scenario.system_config()?;
+            for policy in set {
+                policy
+                    .validate_for(&config)
+                    .map_err(|e| format!("scenario {}: {e}", point.scenario.name))?;
+            }
+            configs.push(config);
+        }
+
+        // Join the Eq. 4 theory means (cheap: one lattice per distinct
+        // two-node system, memoised).
+        let theory: Vec<Vec<Option<f64>>> = if spec.theory {
+            let mut cache = TheoryCache::new();
+            points
+                .iter()
+                .zip(&configs)
+                .zip(&point_policies)
+                .map(|((point, config), set)| {
+                    set.iter()
+                        .map(|policy| cache.eq4_mean(&point.scenario, config, policy))
+                        .collect()
+                })
+                .collect()
+        } else {
+            point_policies.iter().map(|s| vec![None; s.len()]).collect()
+        };
+
+        let jobs: Vec<PointJob<'_>> = points
+            .iter()
+            .zip(&configs)
+            .map(|(point, config)| PointJob {
+                config,
+                reps: spec.options.effective_reps(&point.scenario).max(1),
+                seed: spec.options.seed.unwrap_or(point.scenario.seed),
+                options: SimOptions {
+                    record_trace: false,
+                    deadline: point.scenario.deadline,
+                },
+            })
+            .collect();
+
+        let paired = labels.len() > 1;
+        let schema = ExperimentSchema {
+            scenario: spec.scenario.name.clone(),
+            axes,
+            points: points.len(),
+            policies: labels,
+            theory: spec.theory,
+            paired,
+        };
+        sink.begin(&schema)?;
+
+        let k = schema.policies.len();
+        let mut baseline_times: Vec<f64> = Vec::new();
+        run_grid_policies_streaming(
+            &jobs,
+            k,
+            &|p, v, _r| {
+                point_policies[p][v]
+                    .build(&configs[p])
+                    .expect("validated above")
+            },
+            spec.options.threads,
+            spec.options.chunk,
+            |p, v, stats| {
+                let est = McEstimate::from_point_stats(stats);
+                let delta = if !paired {
+                    None
+                } else if v == 0 {
+                    baseline_times.clear();
+                    baseline_times.extend_from_slice(&est.completion_times);
+                    // The baseline paired with itself: identically zero.
+                    Some(paired_comparison(&baseline_times, &baseline_times))
+                } else {
+                    Some(paired_comparison(&est.completion_times, &baseline_times))
+                };
+                let theory_mean = theory[p][v];
+                let row = ExperimentRow {
+                    index: points[p].index,
+                    coords: points[p].coords.clone(),
+                    policy_index: v,
+                    policy: schema.policies[v].clone(),
+                    reps: jobs[p].reps,
+                    seed: jobs[p].seed,
+                    mean_completion: est.mean(),
+                    ci95: est.ci95(),
+                    sd_completion: sample_sd(est.completion_times.iter().copied()),
+                    mean_failures: est.mean_failures,
+                    sd_failures: sample_sd(est.failures_per_rep.iter().map(|&x| x as f64)),
+                    mean_tasks_shipped: est.mean_tasks_shipped,
+                    sd_tasks_shipped: sample_sd(
+                        est.tasks_shipped_per_rep.iter().map(|&x| x as f64),
+                    ),
+                    incomplete: est.incomplete,
+                    theory_mean,
+                    mc_minus_theory: theory_mean.map(|t| est.mean() - t),
+                    delta,
+                };
+                sink.row(&row)
+            },
+        )?;
+        sink.finish()?;
+        Ok(schema)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry;
+
+    fn quick(reps: u64, threads: usize) -> RunOptions {
+        RunOptions {
+            reps: Some(reps),
+            threads,
+            ..RunOptions::default()
+        }
+    }
+
+    fn compare_fig3(reps: u64, threads: usize) -> ExperimentResult {
+        let scenario = registry::get("paper-fig3").expect("preset");
+        let policies = ["lbp1", "lbp2", "none"]
+            .iter()
+            .map(|name| {
+                PolicyEntry::named(
+                    (*name).to_string(),
+                    PolicySpec::parse(name, &scenario.policy).expect("parses"),
+                )
+            })
+            .collect();
+        Experiment::new(ExperimentSpec::compare(
+            scenario,
+            Vec::new(),
+            policies,
+            quick(reps, threads),
+        ))
+        .collect()
+        .expect("compare runs")
+    }
+
+    #[test]
+    fn single_policy_experiment_matches_the_legacy_sweep_bytes() {
+        // The deprecated wrappers must keep their pinned bytes: a
+        // single-policy, no-theory experiment rendered as CSV equals the
+        // legacy sweep CSV byte for byte.
+        #[allow(deprecated)]
+        let legacy = crate::sweep::run_sweep(
+            &registry::get("mmpp-bursty").expect("preset"),
+            &[Axis {
+                param: AxisParam::Gain,
+                values: vec![0.25, 0.75],
+            }],
+            quick(4, 2),
+        )
+        .expect("legacy sweep runs")
+        .to_csv();
+        let result = Experiment::new(ExperimentSpec::sweep(
+            registry::get("mmpp-bursty").expect("preset"),
+            vec![Axis {
+                param: AxisParam::Gain,
+                values: vec![0.25, 0.75],
+            }],
+            quick(4, 2),
+        ))
+        .collect()
+        .expect("experiment runs");
+        assert_eq!(result.to_csv(), legacy);
+        assert!(!result.schema.paired);
+        assert!(!result.schema.theory);
+    }
+
+    #[test]
+    fn compare_shares_random_numbers_across_policies() {
+        // `none` vs `none`: identical trajectories, so every delta is 0
+        // with a zero-width CI — CRN pairing at work.
+        let scenario = registry::get("cascading-failures").expect("preset");
+        let policies = vec![
+            PolicyEntry::named("a", PolicySpec::NoBalancing),
+            PolicyEntry::named("b", PolicySpec::NoBalancing),
+        ];
+        let result = Experiment::new(ExperimentSpec::compare(
+            scenario,
+            Vec::new(),
+            policies,
+            quick(6, 3),
+        ))
+        .collect()
+        .expect("runs");
+        assert_eq!(result.rows.len(), 2);
+        let (a, b) = (&result.rows[0], &result.rows[1]);
+        assert_eq!(a.mean_completion, b.mean_completion);
+        let d = b.delta.expect("paired");
+        assert_eq!(d.mean_delta, 0.0);
+        assert_eq!(d.sd_delta, 0.0);
+        assert_eq!(d.ci95_half_width, 0.0);
+    }
+
+    #[test]
+    fn compare_fig3_emits_theory_and_paired_deltas() {
+        let result = compare_fig3(4, 2);
+        // 21 gain values × 3 policies.
+        assert_eq!(result.rows.len(), 63);
+        assert_eq!(
+            result.schema.policies,
+            vec!["lbp1".to_string(), "lbp2".into(), "none".into()]
+        );
+        for rows in result.rows.chunks(3) {
+            let (lbp1, lbp2, none) = (&rows[0], &rows[1], &rows[2]);
+            assert_eq!(lbp1.policy_index, 0);
+            // The baseline delta is identically zero; the others are
+            // genuine paired stats.
+            let d0 = lbp1.delta.expect("paired");
+            assert_eq!(
+                (d0.mean_delta, d0.sd_delta, d0.ci95_half_width),
+                (0.0, 0.0, 0.0)
+            );
+            let dn = none.delta.expect("paired");
+            assert!(
+                (dn.mean_delta - (none.mean_completion - lbp1.mean_completion)).abs() < 1e-9,
+                "delta mean must equal the difference of means"
+            );
+            // Theory: Eq. 4 covers lbp1 and none, not LBP-2's
+            // failure-compensated dynamics.
+            assert!(lbp1.theory_mean.is_some());
+            assert!(none.theory_mean.is_some());
+            assert!(lbp2.theory_mean.is_none());
+            let t = lbp1.theory_mean.expect("some");
+            let gap = lbp1.mc_minus_theory.expect("some");
+            assert!((gap - (lbp1.mean_completion - t)).abs() < 1e-12);
+            // `none` ignores the gain axis: identical trajectories at
+            // every gain (checked below against the first chunk).
+        }
+        // The gainless baseline is flat across the gain axis.
+        let none_means: Vec<f64> = result
+            .rows
+            .iter()
+            .filter(|r| r.policy == "none")
+            .map(|r| r.mean_completion)
+            .collect();
+        assert!(none_means.windows(2).all(|w| w[0] == w[1]));
+    }
+
+    #[test]
+    fn compare_output_is_thread_and_chunk_invariant() {
+        let reference = compare_fig3(3, 1).to_csv();
+        assert_eq!(reference, compare_fig3(3, 4).to_csv());
+        assert_eq!(reference, compare_fig3(3, 7).to_csv());
+    }
+
+    #[test]
+    fn compare_rows_match_independent_single_policy_sweeps() {
+        // The CRN contract: policy k's rows in a comparison are
+        // bit-identical to a single-policy experiment of the same
+        // scenario with that policy swapped in.
+        let scenario = registry::get("paper-delay-crossover").expect("preset");
+        let names = ["lbp2", "upon-failure-only", "none"];
+        let policies: Vec<PolicyEntry> = names
+            .iter()
+            .map(|n| {
+                PolicyEntry::named(
+                    (*n).to_string(),
+                    PolicySpec::parse(n, &scenario.policy).expect("parses"),
+                )
+            })
+            .collect();
+        let combined = Experiment::new(ExperimentSpec::compare(
+            scenario.clone(),
+            Vec::new(),
+            policies.clone(),
+            quick(5, 3),
+        ))
+        .collect()
+        .expect("compare runs");
+        for (v, entry) in policies.iter().enumerate() {
+            let mut solo_scenario = scenario.clone();
+            solo_scenario.policy = entry.spec.clone();
+            let solo = Experiment::new(ExperimentSpec::sweep(
+                solo_scenario,
+                Vec::new(),
+                quick(5, 1),
+            ))
+            .collect()
+            .expect("solo runs");
+            let compare_rows: Vec<&ExperimentRow> = combined
+                .rows
+                .iter()
+                .filter(|r| r.policy_index == v)
+                .collect();
+            assert_eq!(compare_rows.len(), solo.rows.len());
+            for (c, s) in compare_rows.iter().zip(&solo.rows) {
+                assert_eq!(c.index, s.index);
+                assert_eq!(c.mean_completion, s.mean_completion, "{}", entry.label);
+                assert_eq!(c.sd_completion, s.sd_completion);
+                assert_eq!(c.mean_failures, s.mean_failures);
+                assert_eq!(c.incomplete, s.incomplete);
+            }
+        }
+    }
+
+    #[test]
+    fn csv_and_jsonl_carry_the_extra_columns() {
+        let result = compare_fig3(2, 2);
+        let csv = result.to_csv();
+        let header = csv.lines().next().expect("header");
+        assert!(
+            header
+                .ends_with("incomplete,theory_mean,mc_minus_theory,delta_mean,delta_sd,delta_ci95"),
+            "{header}"
+        );
+        // An out-of-domain theory cell is empty, not 0.
+        let lbp2_line = csv.lines().nth(2).expect("lbp2 row");
+        assert!(lbp2_line.contains(",lbp2,"), "{lbp2_line}");
+        let jsonl = result.to_jsonl();
+        let lbp2_json = jsonl.lines().nth(1).expect("lbp2 row");
+        assert!(lbp2_json.contains("\"theory_mean\":null"), "{lbp2_json}");
+        assert!(lbp2_json.contains("\"delta_mean\":"), "{lbp2_json}");
+        let lbp1_json = jsonl.lines().next().expect("lbp1 row");
+        assert!(!lbp1_json.contains("null"), "{lbp1_json}");
+    }
+
+    #[test]
+    fn sink_errors_abort_the_run() {
+        struct Failing(usize);
+        impl RowSink for Failing {
+            fn row(&mut self, _row: &ExperimentRow) -> Result<(), String> {
+                self.0 += 1;
+                if self.0 == 2 {
+                    Err("disk full".into())
+                } else {
+                    Ok(())
+                }
+            }
+        }
+        let scenario = registry::get("paper-fig5").expect("preset");
+        let policies = vec![
+            PolicyEntry::from_spec(PolicySpec::NoBalancing),
+            PolicyEntry::from_spec(PolicySpec::UponFailureOnly),
+            PolicyEntry::from_spec(PolicySpec::Lbp2 { gain: 1.0 }),
+        ];
+        let mut sink = Failing(0);
+        let err = Experiment::new(ExperimentSpec::compare(
+            scenario,
+            Vec::new(),
+            policies,
+            quick(2, 1),
+        ))
+        .run(&mut sink)
+        .unwrap_err();
+        assert_eq!(err, "disk full");
+        assert_eq!(sink.0, 2, "the run must stop at the failing row");
+    }
+
+    #[test]
+    fn gain_axis_on_an_all_gainless_comparison_still_errors_usefully() {
+        // The *scenario's* policy carries the axis through expansion, so a
+        // gain axis on a gainless scenario policy errors exactly as the
+        // legacy sweep did.
+        let mut scenario = registry::get("paper-fig3").expect("preset");
+        scenario.policy = PolicySpec::NoBalancing;
+        let err = Experiment::new(ExperimentSpec::compare(
+            scenario,
+            Vec::new(),
+            vec![PolicyEntry::from_spec(PolicySpec::NoBalancing)],
+            quick(2, 1),
+        ))
+        .collect()
+        .unwrap_err();
+        assert!(err.contains("no gain parameter"), "{err}");
+    }
+}

@@ -19,33 +19,56 @@
 //!   speeds, hot-spare recovery, correlated/cascading failures, bursty
 //!   MMPP, diurnal and flash-crowd arrivals, volunteer churn.
 //! * [`sweep`] — grid expansion over axes (gain, failure/recovery scale,
-//!   arrival scale, delay, node count) and the deterministic parallel
-//!   runner: replications execute in parallel via `cluster::mc` with
-//!   `StreamFactory`-derived seeds, so CSV/JSON-lines output is
-//!   **bit-identical for any thread count**; every grid point shares the
-//!   master seed (common random numbers).
-//! * [`cli`] — the `churnbal-lab` binary: `list | show | run | sweep`.
+//!   arrival scale, delay, node count) plus the legacy `run_sweep*`
+//!   wrappers (deprecated; they keep their pinned bytes).
+//! * [`experiment`] — the first-class experiment API: an
+//!   [`ExperimentSpec`] (scenario × axes × **policy set** × options)
+//!   executed in one scheduler pass, streaming rows to [`RowSink`]s
+//!   (CSV / JSON-lines / collect). Multiple policies evaluate per grid
+//!   point on **identical random-number streams**, so rows carry
+//!   CRN-paired deltas with t-based 95% CIs; two-node closed points join
+//!   the Eq. 4 theory mean ([`theory`]).
+//! * [`cli`] — the `churnbal-lab` binary:
+//!   `list | show | run | sweep | compare`.
 //!
 //! ```
-//! use churnbal_lab::{registry, sweep};
+//! use churnbal_core::PolicySpec;
+//! use churnbal_lab::{registry, Experiment, ExperimentSpec, PolicyEntry, RunOptions};
 //!
-//! let scenario = registry::get("flash-crowd").expect("registered");
-//! let est = sweep::run_scenario(
-//!     &scenario,
-//!     sweep::RunOptions { reps: Some(4), threads: 2, ..Default::default() },
-//! )
-//! .expect("valid scenario");
-//! assert_eq!(est.completion_times.len(), 4);
+//! let scenario = registry::get("paper-fig5").expect("registered");
+//! let policies = ["lbp1-optimal", "none"]
+//!     .map(|n| PolicyEntry::named(n, PolicySpec::parse(n, &scenario.policy).expect("known")))
+//!     .to_vec();
+//! let result = Experiment::new(ExperimentSpec::compare(
+//!     scenario,
+//!     Vec::new(),
+//!     policies,
+//!     RunOptions { reps: Some(4), threads: 2, ..Default::default() },
+//! ))
+//! .collect()
+//! .expect("valid experiment");
+//! // One row per (grid point, policy); the second policy's row carries a
+//! // CRN-paired delta against the first.
+//! assert_eq!(result.rows.len(), 2);
+//! assert!(result.rows[1].delta.is_some());
 //! ```
 
 pub mod cli;
+pub mod experiment;
 pub mod registry;
 pub mod scenario;
 pub mod sweep;
+pub mod theory;
 pub mod toml;
 
+pub use experiment::{
+    CollectSink, CsvSink, Experiment, ExperimentResult, ExperimentRow, ExperimentSchema,
+    ExperimentSpec, JsonlSink, PairedDelta, PolicyEntry, RowSink,
+};
 pub use scenario::{ArrivalsSpec, NetworkSpec, NodeSpec, Scenario};
 pub use sweep::{
-    apply_axis, csv_header, csv_row, expand_grid, jsonl_row, run_scenario, run_sweep,
-    run_sweep_streaming, Axis, AxisParam, RunOptions, SweepResult, SweepRow, SweepSchema,
+    apply_axis, csv_header, csv_row, expand_grid, jsonl_row, Axis, AxisParam, RunOptions,
+    SweepResult, SweepRow, SweepSchema,
 };
+#[allow(deprecated)]
+pub use sweep::{run_scenario, run_sweep, run_sweep_streaming};

@@ -47,7 +47,7 @@ pub fn all() -> Vec<Scenario> {
 
 type Preset = (&'static str, fn() -> Scenario);
 
-const PRESETS: [Preset; 13] = [
+const PRESETS: [Preset; 15] = [
     ("paper-fig3", paper_fig3),
     ("paper-fig5", paper_fig5),
     ("paper-delay-crossover", paper_delay_crossover),
@@ -55,6 +55,8 @@ const PRESETS: [Preset; 13] = [
     ("hot-spare", hot_spare),
     ("correlated-failures", correlated_failures),
     ("cascading-failures", cascading_failures),
+    ("adversarial-churn", adversarial_churn),
+    ("brownout", brownout),
     ("mmpp-bursty", mmpp_bursty),
     ("diurnal", diurnal),
     ("flash-crowd", flash_crowd),
@@ -234,6 +236,51 @@ fn cascading_failures() -> Scenario {
         policy: PolicySpec::Lbp2 { gain: 1.0 },
         axes: Vec::new(),
     }
+}
+
+/// Adversarial targeted churn: strikes always hit the most-loaded node.
+///
+/// The Aspnes–Yang–Yin framing: the policy plays against an adversary
+/// that removes whichever node currently holds the most work — the
+/// worst case for balancing, since every transfer *creates* the next
+/// target. Made for the policy axis:
+/// `churnbal-lab compare adversarial-churn --policies lbp2,upon-failure-only,none`.
+fn adversarial_churn() -> Scenario {
+    Scenario {
+        name: "adversarial-churn".into(),
+        description: "Adversarial churn (Aspnes-Yang-Yin): a strike every ~15 s downs the \
+                      currently most-loaded node on top of light independent churn"
+            .into(),
+        reps: 400,
+        seed: 12,
+        deadline: None,
+        nodes: vec![NodeSpec::new(1.2, 1.0 / 60.0, 1.0 / 8.0, 80).times(4)],
+        network: paper_network(),
+        arrivals: ArrivalsSpec::None,
+        churn: ChurnModel::Adversarial {
+            strike_rate: 1.0 / 15.0,
+        },
+        policy: PolicySpec::Lbp2 { gain: 1.0 },
+        axes: Vec::new(),
+    }
+}
+
+/// Brownout: the paper pair with repair crews an order of magnitude
+/// slower, so downtime dominates the completion time.
+fn brownout() -> Scenario {
+    let mut sc = base(
+        "brownout",
+        "Brownout regime: paper workload (100, 60) with recovery rates depressed 8x \
+         (mean repair 80 s / 160 s), so nodes spend long stretches down",
+        [100, 60],
+        PolicySpec::Lbp2 { gain: 1.0 },
+    );
+    sc.seed = 13;
+    sc.reps = 400;
+    for n in &mut sc.nodes {
+        n.recovery_rate /= 8.0;
+    }
+    sc
 }
 
 /// Bursty MMPP arrivals on the paper pair.
@@ -465,7 +512,8 @@ pub fn paper_mc_with_delay(m0: [u32; 2], per_task: f64) -> SystemConfig {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::sweep::{run_scenario, RunOptions};
+    use crate::experiment::{Experiment, ExperimentSpec};
+    use crate::sweep::RunOptions;
 
     #[test]
     fn every_preset_validates_and_lists() {
@@ -486,14 +534,16 @@ mod tests {
         for sc in all() {
             let mut point = sc.clone();
             point.axes.clear(); // run the base point, not the whole grid
-            let est = run_scenario(
-                &point,
+            let est = Experiment::new(ExperimentSpec::sweep(
+                point,
+                Vec::new(),
                 RunOptions {
                     reps: Some(2),
                     threads: 2,
                     ..RunOptions::default()
                 },
-            )
+            ))
+            .estimate()
             .unwrap_or_else(|e| panic!("{}: {e}", sc.name));
             assert_eq!(est.completion_times.len(), 2, "{}", sc.name);
             assert!(
@@ -515,6 +565,23 @@ mod tests {
         }
         let c = paper_mc_with_delay([10, 10], 2.0);
         assert!((c.network.mean_delay(1) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn new_regime_presets_are_listed_and_shaped_right() {
+        let adv = get("adversarial-churn").expect("registered");
+        assert!(matches!(
+            adv.churn,
+            ChurnModel::Adversarial { strike_rate } if (strike_rate - 1.0 / 15.0).abs() < 1e-12
+        ));
+        let brown = get("brownout").expect("registered");
+        // Same failure rates as the paper pair, repairs 8x slower.
+        assert_eq!(brown.nodes[0].failure_rate, 1.0 / 20.0);
+        assert_eq!(brown.nodes[0].recovery_rate, 1.0 / 80.0);
+        assert_eq!(brown.nodes[1].recovery_rate, 1.0 / 160.0);
+        // Both must appear in `churnbal-lab list` via the names table.
+        assert!(names().contains(&"adversarial-churn"));
+        assert!(names().contains(&"brownout"));
     }
 
     #[test]

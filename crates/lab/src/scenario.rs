@@ -315,6 +315,10 @@ impl Scenario {
                 churn.set("kind", Value::Str("cascading".into()));
                 churn.set("amplification", Value::Float(*amplification));
             }
+            ChurnModel::Adversarial { strike_rate } => {
+                churn.set("kind", Value::Str("adversarial".into()));
+                churn.set("strike_rate", Value::Float(*strike_rate));
+            }
         }
         doc.set_table("churn", churn);
 
@@ -454,10 +458,13 @@ impl Scenario {
                 "cascading" => ChurnModel::Cascading {
                     amplification: req_f64(t, "[churn]", "amplification")?,
                 },
+                "adversarial" => ChurnModel::Adversarial {
+                    strike_rate: req_f64(t, "[churn]", "strike_rate")?,
+                },
                 other => {
                     return Err(format!(
                         "[churn].kind: unknown churn model \"{other}\" (expected independent \
-                         | correlated-shocks | cascading)"
+                         | correlated-shocks | cascading | adversarial)"
                     ))
                 }
             },
@@ -781,6 +788,30 @@ mod tests {
         assert_eq!(cfg.num_nodes(), 4);
         assert_eq!(cfg.nodes[2].service_rate, 1.0);
         assert_eq!(cfg.nodes[3].service_rate, 2.0);
+    }
+
+    #[test]
+    fn adversarial_churn_round_trips_and_rejects_bad_rates() {
+        let sc = registry::get("adversarial-churn").expect("preset");
+        assert!(matches!(
+            sc.churn,
+            ChurnModel::Adversarial { strike_rate } if strike_rate > 0.0
+        ));
+        let text = sc.to_toml();
+        assert!(text.contains("kind = \"adversarial\""), "{text}");
+        assert!(text.contains("strike_rate"), "{text}");
+        let back = Scenario::from_toml(&text).expect("parses");
+        assert_eq!(back, sc);
+
+        let mut bad = sc.clone();
+        bad.churn = ChurnModel::Adversarial { strike_rate: 0.0 };
+        let err = bad.validate().unwrap_err();
+        assert!(err.contains("strike_rate must be positive"), "{err}");
+
+        let unknown = text.replace("kind = \"adversarial\"", "kind = \"byzantine\"");
+        let err = Scenario::from_toml(&unknown).unwrap_err();
+        assert!(err.contains("unknown churn model \"byzantine\""), "{err}");
+        assert!(err.contains("adversarial"), "lists the new kind: {err}");
     }
 
     #[test]

@@ -18,9 +18,8 @@
 //!   numbers), so differences along an axis are not masked by sampling
 //!   noise — exactly how the paper compares policies across gains.
 
-use churnbal_cluster::exec::{run_grid_streaming, PointJob};
 use churnbal_cluster::mc::McEstimate;
-use churnbal_cluster::{ArrivalKind, SimOptions, SystemConfig};
+use churnbal_cluster::ArrivalKind;
 
 use crate::scenario::{ArrivalsSpec, Scenario};
 
@@ -260,7 +259,7 @@ pub struct RunOptions {
 }
 
 impl RunOptions {
-    fn effective_reps(self, scenario: &Scenario) -> u64 {
+    pub(crate) fn effective_reps(self, scenario: &Scenario) -> u64 {
         match self.reps {
             Some(r) => r,
             None if self.quick => scenario.quick_reps(),
@@ -271,39 +270,24 @@ impl RunOptions {
 
 /// Runs one (already rewritten) scenario and returns the raw estimate —
 /// a one-point grid through the shared scheduler, honouring both
-/// [`RunOptions::threads`] and [`RunOptions::chunk`].
+/// [`RunOptions::threads`] and [`RunOptions::chunk`]. The scenario's
+/// baked-in axes are ignored: this is the base-point primitive.
+///
+/// Deprecated: build an [`Experiment`](crate::experiment::Experiment)
+/// and call [`estimate`](crate::experiment::Experiment::estimate) (or
+/// `run` with a [`RowSink`](crate::experiment::RowSink) for rendered
+/// output); this wrapper remains for the pinned legacy call sites.
 ///
 /// # Errors
 /// Propagates scenario/policy validation failures.
+#[deprecated(note = "use experiment::Experiment::estimate")]
 pub fn run_scenario(scenario: &Scenario, options: RunOptions) -> Result<McEstimate, String> {
-    let config = scenario.system_config()?;
-    // Validate the policy once up front so the per-replication closure
-    // cannot fail.
-    scenario.policy.build(&config)?;
-    let policy = &scenario.policy;
-    let job = PointJob {
-        config: &config,
-        reps: options.effective_reps(scenario).max(1),
-        seed: options.seed.unwrap_or(scenario.seed),
-        options: SimOptions {
-            record_trace: false,
-            deadline: scenario.deadline,
-        },
-    };
-    let mut stats = None;
-    run_grid_streaming(
-        std::slice::from_ref(&job),
-        &|_, _| policy.build(&config).expect("validated above"),
-        options.threads,
-        options.chunk,
-        |_, s| {
-            stats = Some(s);
-            Ok(())
-        },
-    )?;
-    Ok(McEstimate::from_point_stats(
-        stats.expect("one point always completes"),
+    crate::experiment::Experiment::new(crate::experiment::ExperimentSpec::sweep(
+        scenario.clone(),
+        Vec::new(),
+        options,
     ))
+    .estimate()
 }
 
 /// One result row of a sweep.
@@ -349,7 +333,7 @@ pub struct SweepResult {
 }
 
 /// Sample standard deviation (n − 1 denominator; 0 for n < 2).
-fn sample_sd(xs: impl Iterator<Item = f64> + Clone) -> f64 {
+pub(crate) fn sample_sd(xs: impl Iterator<Item = f64> + Clone) -> f64 {
     let n = xs.clone().count();
     if n < 2 {
         return 0.0;
@@ -372,107 +356,63 @@ pub struct SweepSchema {
 }
 
 /// Grid-expands and runs a sweep, handing each completed row to `on_row`
-/// **as its grid point finishes** instead of buffering the whole grid —
-/// the streaming backbone of [`run_sweep`] and the CLI's CSV/JSONL
-/// writers.
+/// **as its grid point finishes** instead of buffering the whole grid.
 ///
-/// The whole `(point, replication)` space runs on one shared worker pool
-/// ([`churnbal_cluster::exec`]): replications of *different* points
-/// proceed concurrently, so small-rep points no longer serialise the
-/// sweep. The scheduler's reorder buffer still delivers rows in grid
-/// order, and because replication streams are keyed by `(seed, r)` alone,
-/// the emitted bytes are bit-identical for any `threads` and `chunk`
-/// value.
+/// Deprecated: this is now a thin adapter over
+/// [`Experiment::run`](crate::experiment::Experiment::run) with a
+/// single-policy spec and a closure sink — new code should build an
+/// [`ExperimentSpec`](crate::experiment::ExperimentSpec) directly, which
+/// also unlocks the policy axis, paired deltas and theory columns. The
+/// rows (and therefore the rendered bytes) are unchanged; the pinned
+/// sweep digests prove it.
 ///
 /// # Errors
 /// Propagates expansion and execution failures, and anything `on_row`
 /// returns (e.g. an I/O error from a row writer).
+#[deprecated(note = "use experiment::Experiment::run with a RowSink")]
 pub fn run_sweep_streaming<F>(
     scenario: &Scenario,
     extra_axes: &[Axis],
     options: RunOptions,
-    mut on_row: F,
+    on_row: F,
 ) -> Result<SweepSchema, String>
 where
     F: FnMut(SweepRow) -> Result<(), String>,
 {
-    let points = expand_grid(scenario, extra_axes)?;
-    let axes: Vec<AxisParam> = points
-        .first()
-        .map(|p| p.coords.iter().map(|&(a, _)| a).collect())
-        .unwrap_or_default();
-    let schema = SweepSchema {
-        scenario: scenario.name.clone(),
-        axes,
-        points: points.len(),
-    };
-    // Materialise configs and validate every point's policy up front so
-    // the per-replication build in the worker closure cannot fail.
-    let mut configs: Vec<SystemConfig> = Vec::with_capacity(points.len());
-    for point in &points {
-        let config = point.scenario.system_config()?;
-        point.scenario.policy.build(&config)?;
-        configs.push(config);
+    use crate::experiment::{Experiment, ExperimentRow, ExperimentSpec, RowSink};
+    struct Adapter<F> {
+        on_row: F,
     }
-    let jobs: Vec<PointJob<'_>> = points
-        .iter()
-        .zip(&configs)
-        .map(|(point, config)| PointJob {
-            config,
-            reps: options.effective_reps(&point.scenario).max(1),
-            seed: options.seed.unwrap_or(point.scenario.seed),
-            options: SimOptions {
-                record_trace: false,
-                deadline: point.scenario.deadline,
-            },
-        })
-        .collect();
-    run_grid_streaming(
-        &jobs,
-        &|p, _r| {
-            points[p]
-                .scenario
-                .policy
-                .build(&configs[p])
-                .expect("validated above")
-        },
-        options.threads,
-        options.chunk,
-        |p, stats| {
-            let point = &points[p];
-            let est = McEstimate::from_point_stats(stats);
-            on_row(SweepRow {
-                index: point.index,
-                reps: jobs[p].reps,
-                seed: jobs[p].seed,
-                policy: point.scenario.policy.kind().to_string(),
-                coords: point.coords.clone(),
-                mean_completion: est.mean(),
-                ci95: est.ci95(),
-                sd_completion: sample_sd(est.completion_times.iter().copied()),
-                mean_failures: est.mean_failures,
-                sd_failures: sample_sd(est.failures_per_rep.iter().map(|&x| x as f64)),
-                mean_tasks_shipped: est.mean_tasks_shipped,
-                sd_tasks_shipped: sample_sd(est.tasks_shipped_per_rep.iter().map(|&x| x as f64)),
-                incomplete: est.incomplete,
-            })
-        },
-    )?;
-    Ok(schema)
+    impl<F: FnMut(SweepRow) -> Result<(), String>> RowSink for Adapter<F> {
+        fn row(&mut self, row: &ExperimentRow) -> Result<(), String> {
+            (self.on_row)(row.to_sweep_row())
+        }
+    }
+    let schema = Experiment::new(ExperimentSpec::sweep(
+        scenario.clone(),
+        extra_axes.to_vec(),
+        options,
+    ))
+    .run(&mut Adapter { on_row })?;
+    Ok(schema.to_sweep_schema())
 }
 
-/// Grid-expands and runs a sweep, collecting every row. The buffered
-/// convenience form of [`run_sweep_streaming`] — table rendering and tests
-/// want all rows at once.
+/// Grid-expands and runs a sweep, collecting every row.
+///
+/// Deprecated: use
+/// [`Experiment::collect`](crate::experiment::Experiment::collect), which
+/// returns the richer [`ExperimentResult`](crate::experiment::ExperimentResult).
 ///
 /// # Errors
 /// Propagates expansion and execution failures.
+#[deprecated(note = "use experiment::Experiment::collect")]
 pub fn run_sweep(
     scenario: &Scenario,
     extra_axes: &[Axis],
     options: RunOptions,
 ) -> Result<SweepResult, String> {
     let mut rows = Vec::new();
+    #[allow(deprecated)]
     let schema = run_sweep_streaming(scenario, extra_axes, options, |row| {
         rows.push(row);
         Ok(())
@@ -624,6 +564,10 @@ impl SweepResult {
 
 #[cfg(test)]
 mod tests {
+    // These tests deliberately exercise the deprecated wrappers: they pin
+    // the legacy entry points' behaviour (and bytes) until removal.
+    #![allow(deprecated)]
+
     use super::*;
     use crate::registry;
 

@@ -41,4 +41,4 @@ pub use dist::{
 pub use ecdf::Ecdf;
 pub use histogram::Histogram;
 pub use rng::{BatchedRng, SplitMix64, StreamFactory, Xoshiro256pp, RNG_BATCH};
-pub use stats::OnlineStats;
+pub use stats::{paired_comparison, t_critical_95, OnlineStats, PairedComparison};

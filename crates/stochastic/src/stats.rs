@@ -145,6 +145,124 @@ impl OnlineStats {
     }
 }
 
+/// Two-sided 95% critical value of Student's t distribution with `df`
+/// degrees of freedom (the 0.975 quantile).
+///
+/// Exact tabulated values cover `df ≤ 30`; beyond that the Cornish–Fisher
+/// expansion around the normal quantile `z₀.₉₇₅` is accurate to better
+/// than `1e-4`, which is far below the Monte-Carlo noise any confidence
+/// interval here quantifies. Used by [`paired_comparison`] — small paired
+/// samples are exactly where the normal approximation of
+/// [`OnlineStats::ci95_half_width`] is too tight.
+///
+/// # Panics
+/// Panics for `df == 0` (no variance estimate exists).
+#[must_use]
+pub fn t_critical_95(df: u64) -> f64 {
+    assert!(
+        df > 0,
+        "t critical value needs at least one degree of freedom"
+    );
+    const TABLE: [f64; 30] = [
+        12.706_204_74,
+        4.302_652_73,
+        3.182_446_31,
+        2.776_445_11,
+        2.570_581_84,
+        2.446_911_85,
+        2.364_624_25,
+        2.306_004_14,
+        2.262_157_16,
+        2.228_138_85,
+        2.200_985_16,
+        2.178_812_83,
+        2.160_368_66,
+        2.144_786_69,
+        2.131_449_55,
+        2.119_905_30,
+        2.109_815_58,
+        2.100_922_04,
+        2.093_024_05,
+        2.085_963_45,
+        2.079_613_84,
+        2.073_873_07,
+        2.068_657_61,
+        2.063_898_56,
+        2.059_538_55,
+        2.055_529_44,
+        2.051_830_52,
+        2.048_407_14,
+        2.045_229_64,
+        2.042_272_46,
+    ];
+    if df <= 30 {
+        return TABLE[(df - 1) as usize];
+    }
+    // Cornish–Fisher expansion of the t quantile in powers of 1/df.
+    let z = 1.959_963_984_540_054_f64; // Φ⁻¹(0.975)
+    let d = df as f64;
+    let z3 = z * z * z;
+    let z5 = z3 * z * z;
+    let z7 = z5 * z * z;
+    z + (z3 + z) / (4.0 * d)
+        + (5.0 * z5 + 16.0 * z3 + 3.0 * z) / (96.0 * d * d)
+        + (3.0 * z7 + 19.0 * z5 + 17.0 * z3 - 15.0 * z) / (384.0 * d * d * d)
+}
+
+/// Summary of a common-random-numbers paired comparison between two
+/// equally long replication vectors: statistics of the per-replication
+/// differences `xs[r] − ys[r]`.
+///
+/// Pairing under shared randomness is the standard variance-reduction
+/// device for policy comparison: the churn/service noise common to both
+/// policies cancels in the difference, so the CI on the *delta* is far
+/// tighter than the CIs on the two means would suggest.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct PairedComparison {
+    /// Number of pairs.
+    pub n: u64,
+    /// Mean difference `mean(xs) − mean(ys)`.
+    pub mean_delta: f64,
+    /// Sample standard deviation of the differences (n − 1 denominator;
+    /// 0 for a single pair).
+    pub sd_delta: f64,
+    /// Half-width of the two-sided 95% confidence interval for the mean
+    /// difference, `t₀.₉₇₅(n−1) · sd / √n` (0 for a single pair).
+    pub ci95_half_width: f64,
+}
+
+/// Computes the paired comparison `xs − ys` (see [`PairedComparison`]).
+///
+/// # Panics
+/// Panics when the slices are empty, of different lengths, or contain a
+/// non-finite difference.
+#[must_use]
+pub fn paired_comparison(xs: &[f64], ys: &[f64]) -> PairedComparison {
+    assert_eq!(
+        xs.len(),
+        ys.len(),
+        "paired comparison needs equally many replications of each policy"
+    );
+    assert!(!xs.is_empty(), "paired comparison of zero replications");
+    let mut deltas = OnlineStats::new();
+    for (&x, &y) in xs.iter().zip(ys) {
+        deltas.push(x - y);
+    }
+    let n = deltas.count();
+    let sd = deltas.std_dev();
+    let ci = if n >= 2 {
+        t_critical_95(n - 1) * sd / (n as f64).sqrt()
+    } else {
+        0.0
+    };
+    PairedComparison {
+        n,
+        mean_delta: deltas.mean(),
+        sd_delta: sd,
+        ci95_half_width: ci,
+    }
+}
+
 /// Returns the `q`-quantile (0 ≤ q ≤ 1) of the data using linear
 /// interpolation between order statistics (type-7, the R/NumPy default).
 ///
@@ -229,6 +347,82 @@ mod tests {
     #[should_panic(expected = "non-finite")]
     fn push_rejects_nan() {
         OnlineStats::new().push(f64::NAN);
+    }
+
+    #[test]
+    fn t_critical_values_match_the_reference_table() {
+        // Textbook two-sided 95% values.
+        assert!((t_critical_95(1) - 12.706).abs() < 1e-3);
+        assert!((t_critical_95(5) - 2.571).abs() < 1e-3);
+        assert!((t_critical_95(23) - 2.069).abs() < 1e-3);
+        assert!((t_critical_95(30) - 2.042).abs() < 1e-3);
+        // Beyond the table: reference values t(40) = 2.0211, t(60) = 2.0003,
+        // t(120) = 1.9799; the expansion must land within 1e-4.
+        assert!((t_critical_95(40) - 2.021_08).abs() < 1e-4);
+        assert!((t_critical_95(60) - 2.000_30).abs() < 1e-4);
+        assert!((t_critical_95(120) - 1.979_93).abs() < 1e-4);
+        // Monotone decrease toward the normal quantile.
+        for df in 1..200 {
+            assert!(t_critical_95(df) > t_critical_95(df + 1), "df={df}");
+        }
+        assert!(t_critical_95(1_000_000) > 1.959_963_9);
+    }
+
+    #[test]
+    #[should_panic(expected = "degree of freedom")]
+    fn t_critical_rejects_zero_df() {
+        let _ = t_critical_95(0);
+    }
+
+    #[test]
+    fn paired_comparison_matches_hand_computation() {
+        // Deltas are [1, 2, 3, 4]: mean 2.5, sd = sqrt(5/3),
+        // CI = t(3) * sd / 2 = 3.18244631 * 1.29099445 / 2.
+        let xs = [11.0, 22.0, 33.0, 44.0];
+        let ys = [10.0, 20.0, 30.0, 40.0];
+        let p = paired_comparison(&xs, &ys);
+        assert_eq!(p.n, 4);
+        assert!((p.mean_delta - 2.5).abs() < 1e-12, "{p:?}");
+        assert!((p.sd_delta - (5.0f64 / 3.0).sqrt()).abs() < 1e-12, "{p:?}");
+        let expected_ci = 3.182_446_31 * (5.0f64 / 3.0).sqrt() / 2.0;
+        assert!((p.ci95_half_width - expected_ci).abs() < 1e-8, "{p:?}");
+        // Antisymmetry: swapping the policies flips only the sign.
+        let q = paired_comparison(&ys, &xs);
+        assert_eq!(q.mean_delta, -p.mean_delta);
+        assert_eq!(q.sd_delta, p.sd_delta);
+        assert_eq!(q.ci95_half_width, p.ci95_half_width);
+    }
+
+    #[test]
+    fn paired_comparison_cancels_common_noise() {
+        // Heavy shared noise, constant true gap of 1: the paired CI is
+        // tiny even though each series varies wildly.
+        let noise = [5.0, 91.0, 2.0, 47.0, 60.0, 13.0, 77.0, 30.0];
+        let xs: Vec<f64> = noise.iter().map(|&w| w + 1.0).collect();
+        let p = paired_comparison(&xs, &noise);
+        assert!((p.mean_delta - 1.0).abs() < 1e-12);
+        assert_eq!(p.sd_delta, 0.0);
+        assert_eq!(p.ci95_half_width, 0.0);
+    }
+
+    #[test]
+    fn paired_comparison_single_pair_has_zero_width() {
+        let p = paired_comparison(&[3.5], &[1.25]);
+        assert_eq!(p.n, 1);
+        assert!((p.mean_delta - 2.25).abs() < 1e-12);
+        assert_eq!(p.ci95_half_width, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "equally many")]
+    fn paired_comparison_rejects_length_mismatch() {
+        let _ = paired_comparison(&[1.0, 2.0], &[1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero replications")]
+    fn paired_comparison_rejects_empty() {
+        let _ = paired_comparison(&[], &[]);
     }
 
     #[test]

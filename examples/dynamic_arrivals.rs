@@ -10,10 +10,13 @@
 //! preset (`churnbal-lab show dynamic-arrivals` prints it as TOML): a
 //! bursty stream of task batches lands on whichever node the client
 //! happens to contact. Episodic LBP-2 re-balances at each arrival and is
-//! compared against balancing only once at `t = 0`, with every comparison
-//! policy built declaratively from a [`PolicySpec`].
+//! compared against balancing only once at `t = 0` — one
+//! [`Experiment`] with a three-policy set, so every policy sees the
+//! *identical* arrival/churn sample paths (common random numbers) and
+//! the printed deltas are CRN-paired with t-based 95% CIs. Equivalent to
+//! `churnbal-lab compare dynamic-arrivals --policies none,lbp2,episodic-lbp2`.
 
-use churnbal::lab::{registry, run_scenario, RunOptions};
+use churnbal::lab::{registry, ExperimentSpec, PolicyEntry, RunOptions};
 use churnbal::prelude::*;
 
 fn main() {
@@ -37,45 +40,51 @@ fn main() {
         );
     }
 
-    // The preset's own policy (episodic LBP-2) plus two declarative
-    // alternatives, all on the same config, seed and replication count.
-    let opts = RunOptions {
-        threads: 0,
-        ..RunOptions::default()
-    };
-    let episodic = run_scenario(&scenario, opts).expect("preset runs");
-    let alternative = |policy: PolicySpec| {
-        let mut sc = scenario.clone();
-        sc.policy = policy;
-        run_scenario(&sc, opts).expect("alternative runs")
-    };
-    let start_only = alternative(PolicySpec::Lbp2 { gain: 1.0 });
-    let nothing = alternative(PolicySpec::NoBalancing);
+    // One experiment, three policies, identical random-number streams:
+    // the baseline is doing nothing, and every other row reports the
+    // CRN-paired per-replication delta against it.
+    let policies = vec![
+        PolicyEntry::named("no balancing", PolicySpec::NoBalancing),
+        PolicyEntry::named("LBP-2 (t = 0 episode only)", PolicySpec::Lbp2 { gain: 1.0 }),
+        PolicyEntry::named("LBP-2 (episodic)", scenario.policy.clone()),
+    ];
+    let result = Experiment::new(ExperimentSpec::compare(
+        scenario,
+        Vec::new(),
+        policies,
+        RunOptions {
+            threads: 0,
+            ..RunOptions::default()
+        },
+    ))
+    .collect()
+    .expect("preset comparison runs");
 
-    println!("\n{:<28} {:>12} {:>10}", "policy", "mean (s)", "±95% CI");
     println!(
-        "{:<28} {:>12.2} {:>10.2}",
-        "no balancing",
-        nothing.mean(),
-        nothing.ci95()
+        "\n{:<28} {:>12} {:>10} {:>14} {:>12}",
+        "policy", "mean (s)", "±95% CI", "Δ vs none (s)", "±95% CI(Δ)"
     );
-    println!(
-        "{:<28} {:>12.2} {:>10.2}",
-        "LBP-2 (t = 0 episode only)",
-        start_only.mean(),
-        start_only.ci95()
-    );
-    println!(
-        "{:<28} {:>12.2} {:>10.2}",
-        "LBP-2 (episodic)",
-        episodic.mean(),
-        episodic.ci95()
-    );
+    for row in &result.rows {
+        let delta = row.delta.expect("comparisons carry paired deltas");
+        let (d, dci) = if row.policy_index == 0 {
+            ("baseline".to_string(), String::new())
+        } else {
+            (
+                format!("{:+.2}", delta.mean_delta),
+                format!("{:.2}", delta.ci95_half_width),
+            )
+        };
+        println!(
+            "{:<28} {:>12.2} {:>10.2} {:>14} {:>12}",
+            row.policy, row.mean_completion, row.ci95, d, dci
+        );
+    }
 
-    assert!(episodic.mean() < nothing.mean());
+    let (nothing, start_only, episodic) = (&result.rows[0], &result.rows[1], &result.rows[2]);
+    assert!(episodic.mean_completion < nothing.mean_completion);
     println!(
         "\nepisodic re-balancing recovers the LBP-2 benefit under dynamic workloads\n\
          ({:.1}% faster than a single t = 0 episode)",
-        (start_only.mean() / episodic.mean() - 1.0) * 100.0
+        (start_only.mean_completion / episodic.mean_completion - 1.0) * 100.0
     );
 }

@@ -9,10 +9,12 @@
 //!
 //! The system comes from the scenario registry's `volunteer-grid` preset
 //! (`churnbal-lab show volunteer-grid` prints it as TOML); the ablation
-//! policies are built declaratively from [`PolicySpec`]s against the
-//! preset's configuration — no duplicated config-building here.
+//! is one [`Experiment`] over a three-policy set, so every policy sees
+//! identical churn sample paths and the deltas are CRN-paired.
+//! Equivalent to
+//! `churnbal-lab compare volunteer-grid --policies none,initial-only,lbp2`.
 
-use churnbal::lab::{registry, run_scenario, RunOptions};
+use churnbal::lab::{registry, ExperimentSpec, PolicyEntry, RunOptions};
 use churnbal::prelude::*;
 
 fn main() {
@@ -33,55 +35,55 @@ fn main() {
             .sum::<f64>()
     );
 
-    let opts = RunOptions {
-        threads: 0,
-        ..RunOptions::default()
-    };
-    let run = |policy: PolicySpec| {
-        let mut sc = scenario.clone();
-        sc.policy = policy;
-        run_scenario(&sc, opts).expect("volunteer-grid variant runs")
-    };
-    let mut rows: Vec<(String, f64, f64, f64)> = Vec::new();
-    // Keep everything on the dedicated servers:
-    let none = run(PolicySpec::NoBalancing);
-    rows.push((
-        "no balancing (servers only)".into(),
-        none.mean(),
-        none.ci95(),
-        0.0,
-    ));
-    // Ship excess to volunteers once, ignore churn afterwards:
-    let init = run(PolicySpec::InitialBalanceOnly { gain: 1.0 });
-    rows.push((
-        "initial balancing only".into(),
-        init.mean(),
-        init.ci95(),
-        0.0,
-    ));
-    // Full LBP-2 (the preset's own policy): initial balancing + Eq. 8
-    // compensation at every failure.
-    let lbp2 = run_scenario(&scenario, opts).expect("preset runs");
-    rows.push((
-        "LBP-2 (initial + Eq. 8)".into(),
-        lbp2.mean(),
-        lbp2.ci95(),
-        lbp2.mean_tasks_shipped,
-    ));
+    // One experiment, three policies, identical churn sample paths:
+    // servers-only hoarding as the baseline, then one-shot balancing,
+    // then full LBP-2 (the preset's own policy).
+    let policies = vec![
+        PolicyEntry::named("no balancing (servers only)", PolicySpec::NoBalancing),
+        PolicyEntry::named(
+            "initial balancing only",
+            PolicySpec::InitialBalanceOnly { gain: 1.0 },
+        ),
+        PolicyEntry::named("LBP-2 (initial + Eq. 8)", scenario.policy.clone()),
+    ];
+    let result = Experiment::new(ExperimentSpec::compare(
+        scenario,
+        Vec::new(),
+        policies,
+        RunOptions {
+            threads: 0,
+            ..RunOptions::default()
+        },
+    ))
+    .collect()
+    .expect("volunteer-grid comparison runs");
 
     println!(
-        "{:<30} {:>12} {:>10} {:>16}",
-        "policy", "mean (s)", "±95% CI", "tasks shipped"
+        "{:<30} {:>12} {:>10} {:>14} {:>16}",
+        "policy", "mean (s)", "±95% CI", "Δ vs none (s)", "tasks shipped"
     );
-    for (name, mean, ci, shipped) in &rows {
-        println!("{name:<30} {mean:>12.2} {ci:>10.2} {shipped:>16.1}");
+    for row in &result.rows {
+        let delta = row.delta.expect("comparisons carry paired deltas");
+        let d = if row.policy_index == 0 {
+            "baseline".to_string()
+        } else {
+            format!("{:+.2} ± {:.2}", delta.mean_delta, delta.ci95_half_width)
+        };
+        println!(
+            "{:<30} {:>12.2} {:>10.2} {:>14} {:>16.1}",
+            row.policy, row.mean_completion, row.ci95, d, row.mean_tasks_shipped
+        );
     }
 
-    let speedup = rows[0].1 / rows[2].1;
+    let (none, init, lbp2) = (&result.rows[0], &result.rows[1], &result.rows[2]);
+    let speedup = none.mean_completion / lbp2.mean_completion;
     println!("\nLBP-2 uses the volunteers despite churn: {speedup:.2}x faster than servers-only");
-    assert!(rows[2].1 < rows[0].1, "balancing must beat hoarding");
     assert!(
-        rows[2].1 <= rows[1].1 + 3.0,
+        lbp2.mean_completion < none.mean_completion,
+        "balancing must beat hoarding"
+    );
+    assert!(
+        lbp2.mean_completion <= init.mean_completion + 3.0,
         "failure compensation should not lose to initial-only"
     );
 }

@@ -2,7 +2,7 @@
 //! path — `churnbal-lab run paper-fig3` reproduces the `fig3` binary's
 //! Monte-Carlo column bit-exactly, for any thread count.
 
-use churnbal::lab::{apply_axis, expand_grid, registry, run_scenario, AxisParam, RunOptions};
+use churnbal::lab::{apply_axis, expand_grid, registry, AxisParam, ExperimentSpec, RunOptions};
 use churnbal::prelude::*;
 
 /// The `fig3` binary's Monte-Carlo formula (its MC column now executes
@@ -26,14 +26,16 @@ fn lab_paper_fig3_reproduces_the_fig3_bench_numbers() {
     let scenario = registry::get("paper-fig3").expect("registered");
     for k in [0.0, 0.35, 1.0] {
         let point = apply_axis(&scenario, AxisParam::Gain, k).expect("gain applies");
-        let est = run_scenario(
-            &point,
+        let est = Experiment::new(ExperimentSpec::sweep(
+            point,
+            Vec::new(),
             RunOptions {
                 reps: Some(40),
                 threads: 2,
                 ..RunOptions::default()
             },
-        )
+        ))
+        .estimate()
         .expect("preset runs");
         let direct = fig3_direct(k, 40, scenario.seed, 5);
         assert_eq!(
@@ -69,9 +71,9 @@ fn quick_reps_convention_matches_the_bench_harness() {
 fn sweeps_are_thread_count_invariant_end_to_end() {
     let scenario = registry::get("open-system").expect("registered");
     let run = |threads: usize| {
-        churnbal::lab::run_sweep(
-            &scenario,
-            &[Axis {
+        Experiment::new(ExperimentSpec::sweep(
+            scenario.clone(),
+            vec![Axis {
                 param: AxisParam::FailureScale,
                 values: vec![0.0, 1.0, 3.0],
             }],
@@ -80,7 +82,8 @@ fn sweeps_are_thread_count_invariant_end_to_end() {
                 threads,
                 ..RunOptions::default()
             },
-        )
+        ))
+        .collect()
         .expect("sweep runs")
         .to_csv()
     };

@@ -10,13 +10,22 @@
 //! experiment. If a drift is *intended*, re-pin the digests in the same PR
 //! and say why.
 
-use churnbal::lab::{registry, run_scenario, run_sweep, Axis, AxisParam, RunOptions};
+// The deprecated `run_scenario`/`run_sweep` wrappers are exercised here on
+// purpose: their bytes must stay identical to the pre-Experiment output
+// (the API-redesign acceptance gate), so the digests pin them directly.
+use churnbal::lab::{
+    registry, Axis, AxisParam, Experiment, ExperimentSpec, PolicyEntry, RunOptions,
+};
+#[allow(deprecated)]
+use churnbal::lab::{run_scenario, run_sweep};
+use churnbal::prelude::PolicySpec;
 use churnbal::stochastic::{digest_f64s, fnv1a_bytes};
 
 /// Small but non-trivial replication count: enough to cover churn,
 /// transfers and multi-node paths, cheap enough for every `cargo test`.
 const REPS: u64 = 24;
 
+#[allow(deprecated)]
 fn scenario_digest(name: &str) -> u64 {
     let scenario = registry::get(name).unwrap_or_else(|| panic!("preset {name} missing"));
     let est = run_scenario(
@@ -63,6 +72,7 @@ fn volunteer_grid_sample_paths_are_pinned() {
 /// completion-time digests above: it additionally pins the grid
 /// expansion, the row ordering of the sweep scheduler's reorder buffer,
 /// the derived statistics arithmetic and the exact rendering.
+#[allow(deprecated)]
 fn sweep_csv_digest(name: &str, extra: &[Axis], threads: usize) -> u64 {
     let scenario = registry::get(name).unwrap_or_else(|| panic!("preset {name} missing"));
     let result = run_sweep(
@@ -109,6 +119,57 @@ fn mmpp_bursty_sweep_csv_bytes_are_pinned() {
     );
 }
 
+/// Digest of the **full compare CSV bytes** of the flagship comparison:
+/// `paper-fig3 × {lbp1, lbp2, none}` through one scheduler pass with
+/// common random numbers. Pins the per-policy statistics, the CRN-paired
+/// delta columns (mean / sd / t-based CI) and the Eq. 4 theory columns of
+/// every row — the `compare` regression gate the CI perf-smoke step also
+/// asserts via `perfreport`'s compare-grid workload.
+fn compare_csv_digest(threads: usize) -> u64 {
+    let scenario = registry::get("paper-fig3").expect("preset");
+    let policies = ["lbp1", "lbp2", "none"]
+        .iter()
+        .map(|name| {
+            PolicyEntry::named(
+                (*name).to_string(),
+                PolicySpec::parse(name, &scenario.policy).expect("known policy"),
+            )
+        })
+        .collect();
+    let result = Experiment::new(ExperimentSpec::compare(
+        scenario,
+        Vec::new(),
+        policies,
+        RunOptions {
+            reps: Some(6),
+            threads,
+            ..RunOptions::default()
+        },
+    ))
+    .collect()
+    .expect("compare runs");
+    fnv1a_bytes(result.to_csv().as_bytes())
+}
+
+#[test]
+fn paper_fig3_compare_csv_bytes_are_pinned() {
+    assert_eq!(
+        compare_csv_digest(3),
+        PINNED_COMPARE_FIG3_DIGEST,
+        "paper-fig3 compare CSV bytes drifted"
+    );
+}
+
+/// The pinned digest of `compare_csv_digest`, shared with the test that
+/// proves thread invariance below.
+const PINNED_COMPARE_FIG3_DIGEST: u64 = 0xcceb_2a86_ba60_bcd8;
+
+/// The compare digest must not depend on scheduling either.
+#[test]
+fn compare_csv_digest_is_thread_invariant() {
+    assert_eq!(compare_csv_digest(1), compare_csv_digest(8));
+}
+
 /// The sweep-CSV digests must not depend on scheduling either.
 #[test]
 fn sweep_csv_digests_are_thread_invariant() {
@@ -121,6 +182,7 @@ fn sweep_csv_digests_are_thread_invariant() {
 /// The digests above must not depend on the worker-thread count — pin the
 /// invariance itself so the gate cannot be weakened by a scheduling leak.
 #[test]
+#[allow(deprecated)]
 fn pinned_digests_are_thread_invariant() {
     let scenario = registry::get("cascading-failures").expect("preset");
     let run = |threads: usize| {
