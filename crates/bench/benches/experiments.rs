@@ -81,7 +81,7 @@ fn fig4_traced_realisation(c: &mut Criterion) {
                 seed,
                 SimOptions {
                     record_trace: true,
-                    deadline: None,
+                    ..SimOptions::default()
                 },
             )
             .completion_time

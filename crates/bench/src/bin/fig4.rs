@@ -19,7 +19,7 @@ fn main() {
     let cfg = mc_config(m0);
     let opts = SimOptions {
         record_trace: true,
-        deadline: None,
+        ..SimOptions::default()
     };
 
     // Paper settings: LBP-1 with its optimal gain, LBP-2 with K = 1.

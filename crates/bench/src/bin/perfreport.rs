@@ -7,21 +7,24 @@
 //! cargo run -p churnbal_bench --release --bin perfreport -- --quick  # CI smoke
 //! ```
 //!
-//! Flags: `--quick` (CI replication counts), `--threads T` (0 = auto;
-//! default 1 for stable throughput numbers; the `sweep-grid` comparison
-//! always runs both modes at its own fixed thread count), `--repeat N`
-//! (measurement rounds per workload, fastest kept; default 3 — one-sided
-//! scheduling noise makes min-of-N the stable estimator), `--seed S`
-//! (non-default seeds skip digest assertions), `--out PATH` (default
-//! `BENCH_5.json`), `--no-write` (print only).
+//! Flags: `--quick` (CI replication counts; shrinks `large-fleet` to a
+//! 50×50 torus), `--threads T` (0 = auto; default 1 for stable throughput
+//! numbers; the `sweep-grid` comparison always runs both modes at its own
+//! fixed thread count), `--repeat N` (measurement rounds per workload,
+//! fastest kept; default 3 — one-sided scheduling noise makes min-of-N
+//! the stable estimator), `--seed S` (non-default seeds skip digest
+//! assertions), `--out PATH` (default `BENCH_6.json`), `--no-write`
+//! (print only).
 //!
 //! The digests make the harness a regression *gate*, not just a meter: a
 //! refactor that changes any sampled trajectory fails here before its perf
 //! numbers can be mistaken for a like-for-like comparison.
 
 use churnbal_bench::perf::{
-    expected_compare_grid_digest, expected_digest, expected_sweep_grid_digest,
-    measure_compare_grid, measure_repeated, measure_sweep_grid, to_json, workloads, PERF_SEED,
+    expected_compare_grid_digest, expected_digest, expected_large_fleet_baseline_digest,
+    expected_large_fleet_digest, expected_sweep_grid_digest, measure_compare_grid,
+    measure_large_fleet, measure_repeated, measure_sweep_grid, to_json, workloads, RunInfo,
+    PERF_SEED,
 };
 
 struct Options {
@@ -39,7 +42,7 @@ fn parse_args() -> Options {
         threads: 1,
         seed: PERF_SEED,
         repeat: 3,
-        out: "BENCH_5.json".to_string(),
+        out: "BENCH_6.json".to_string(),
         write: true,
     };
     let mut it = std::env::args().skip(1);
@@ -183,14 +186,57 @@ fn main() {
         compare.threads,
     );
 
+    // The massive-fleet workload: the same torus fleet through the
+    // topology path (neighbor-local scans + calendar queue) and through
+    // the global-scan/heap path; the reported speedup is the throughput
+    // ratio between the two per-event regimes.
+    let large = measure_large_fleet(opts.quick, opts.seed, opts.repeat);
+    let large_verdict = if opts.seed == PERF_SEED {
+        if large.digest == expected_large_fleet_digest(opts.quick)
+            && large.baseline_digest == expected_large_fleet_baseline_digest(opts.quick)
+        {
+            "ok"
+        } else {
+            drifted = true;
+            "DRIFT"
+        }
+    } else {
+        "unpinned"
+    };
+    println!(
+        "{:<16} {:>6} {:>12} {:>10.3} {:>14.0}  {:#018x} {} ({} nodes, {:.2}x vs global-scan/heap at {:.0} ev/s)",
+        "large-fleet",
+        large.reps,
+        large.events,
+        large.wall_seconds,
+        large.events_per_sec(),
+        large.digest,
+        large_verdict,
+        large.nodes,
+        large.speedup(),
+        large.baseline_events_per_sec(),
+    );
+    // The acceptance floor: the topology path (neighbor-local scans +
+    // calendar queue) must beat the global-scan/heap path by ≥ 5× on the
+    // sparse fleet. Holds with wide margin in both modes (≈16× quick,
+    // ≈47× full on the reference machine).
+    assert!(
+        large.speedup() >= 5.0,
+        "large-fleet speedup {:.2}x fell below the 5x floor",
+        large.speedup()
+    );
+
     let json = to_json(
         &measurements,
         Some(&sweep),
         Some(&compare),
-        opts.quick,
-        opts.threads,
-        opts.seed,
-        opts.repeat,
+        Some(&large),
+        RunInfo {
+            quick: opts.quick,
+            threads: opts.threads,
+            seed: opts.seed,
+            repeat: opts.repeat,
+        },
     );
     println!("\n{json}");
     // Refuse to touch the committed baseline file with a drifted report —

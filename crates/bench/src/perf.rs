@@ -39,8 +39,8 @@
 use std::time::Instant;
 
 use churnbal_cluster::exec::{run_grid_policies_streaming, run_grid_streaming, PointJob};
-use churnbal_cluster::{run_replications, ChurnModel, SimOptions};
-use churnbal_cluster::{NetworkConfig, NodeConfig, SystemConfig};
+use churnbal_cluster::{run_replications, ChurnModel, McEstimate, QueueBackend, SimOptions};
+use churnbal_cluster::{NetworkConfig, NodeConfig, SystemConfig, Topology};
 use churnbal_core::{Lbp2, PolicySpec};
 use churnbal_stochastic::digest_f64s;
 
@@ -479,6 +479,219 @@ pub fn expected_compare_grid_digest(quick: bool) -> u64 {
     }
 }
 
+/// Torus dimensions of the `large-fleet` workload: `100 × 100` (10⁴
+/// nodes) in full mode, `50 × 50` in `--quick`.
+#[must_use]
+pub fn large_fleet_dims(quick: bool) -> (usize, usize) {
+    if quick {
+        (50, 50)
+    } else {
+        (100, 100)
+    }
+}
+
+/// Simulated-time horizon of the `large-fleet` workload. The fleet
+/// carries ~40 initial tasks per node — more than it can drain before
+/// this deadline — so both execution modes measure a steady churn-plus-
+/// service regime instead of a drain tail.
+pub const LARGE_FLEET_DEADLINE: f64 = 25.0;
+
+fn large_fleet_nodes(n: usize) -> Vec<NodeConfig> {
+    let rates = [0.9, 1.0, 1.1, 1.2];
+    (0..n)
+        .map(|i| NodeConfig::new(rates[i % rates.len()], 0.002, 0.1, 40 + (i as u32 % 3)))
+        .collect()
+}
+
+fn large_fleet_churn(cols: usize) -> ChurnModel {
+    // One rack per torus row; shocks strike whole racks with per-rack
+    // probabilities cycled over four reliability classes.
+    ChurnModel::RackShocks {
+        shock_rate: 2.0,
+        group_size: cols as u32,
+        hit_probabilities: vec![0.10, 0.40, 0.20, 0.60],
+    }
+}
+
+/// The `large-fleet` system: a `rows × cols` torus (each rack is one
+/// torus row) under rack-correlated shock churn, balanced by LBP-2 with
+/// **neighbor-local** O(degree) policy scans and the **calendar-queue**
+/// event backend.
+#[must_use]
+pub fn large_fleet_config(quick: bool) -> SystemConfig {
+    let (rows, cols) = large_fleet_dims(quick);
+    SystemConfig::new(
+        large_fleet_nodes(rows * cols),
+        NetworkConfig::exponential(0.05),
+    )
+    .with_churn_model(large_fleet_churn(cols))
+    .with_topology(Topology::torus(rows, cols).expect("torus dims are valid"))
+}
+
+/// The identical fleet with **no topology installed**: every policy scan
+/// falls back to the global O(n) walk and the event queue is forced onto
+/// the binary heap — the pre-topology execution shape the `large-fleet`
+/// speedup is measured against.
+#[must_use]
+pub fn large_fleet_global_config(quick: bool) -> SystemConfig {
+    let (rows, cols) = large_fleet_dims(quick);
+    SystemConfig::new(
+        large_fleet_nodes(rows * cols),
+        NetworkConfig::exponential(0.05),
+    )
+    .with_churn_model(large_fleet_churn(cols))
+}
+
+/// Trajectory digest of a deadline-bounded replication run. The
+/// completion-time vector alone degenerates to the deadline constant, so
+/// the digest folds in the per-replication failure and shipment counts
+/// plus the total event count — any drifted trajectory moves at least
+/// one of them.
+#[must_use]
+pub fn deadline_run_digest(est: &McEstimate) -> u64 {
+    let mut values = est.completion_times.clone();
+    values.extend(est.failures_per_rep.iter().map(|&f| f as f64));
+    values.extend(est.tasks_shipped_per_rep.iter().map(|&s| s as f64));
+    values.push(est.total_events as f64);
+    digest_f64s(&values)
+}
+
+/// Result of measuring the `large-fleet` workload: the same ≥10⁴-node
+/// fleet once through the topology path (neighbor-local scans + calendar
+/// queue) and once through the global path (O(n) scans + binary heap).
+#[derive(Clone, Debug)]
+pub struct LargeFleetMeasurement {
+    /// Fleet size (torus rows × cols).
+    pub nodes: usize,
+    /// Replications per mode.
+    pub reps: u64,
+    /// Engine events through the topology path.
+    pub events: u64,
+    /// Wall-clock seconds through the topology path.
+    pub wall_seconds: f64,
+    /// Engine events through the global-scan/heap path.
+    pub baseline_events: u64,
+    /// Wall-clock seconds through the global-scan/heap path.
+    pub baseline_wall_seconds: f64,
+    /// [`deadline_run_digest`] of the topology-path run.
+    pub digest: u64,
+    /// [`deadline_run_digest`] of the global-path run.
+    pub baseline_digest: u64,
+}
+
+impl LargeFleetMeasurement {
+    /// Events per second through the topology path.
+    #[must_use]
+    pub fn events_per_sec(&self) -> f64 {
+        self.events as f64 / self.wall_seconds
+    }
+
+    /// Events per second through the global-scan/heap path.
+    #[must_use]
+    pub fn baseline_events_per_sec(&self) -> f64 {
+        self.baseline_events as f64 / self.baseline_wall_seconds
+    }
+
+    /// Topology-path throughput over global-path throughput. The two
+    /// modes sample different trajectories (the topology changes where
+    /// transfers may go), so this is a throughput ratio, not a same-work
+    /// wall-clock ratio.
+    #[must_use]
+    pub fn speedup(&self) -> f64 {
+        self.events_per_sec() / self.baseline_events_per_sec()
+    }
+}
+
+/// Measures the `large-fleet` workload: one deadline-bounded replication
+/// of the torus fleet per mode, fastest of `repeat` rounds per mode, with
+/// both trajectory digests asserted stable across rounds. Single-threaded
+/// on purpose — the contrast under measurement is per-event policy-scan
+/// and queue cost, not parallelism.
+///
+/// # Panics
+/// Panics if `repeat == 0` or any round samples a different trajectory.
+#[must_use]
+pub fn measure_large_fleet(quick: bool, seed: u64, repeat: u32) -> LargeFleetMeasurement {
+    assert!(repeat > 0, "need at least one measurement round");
+    let (rows, cols) = large_fleet_dims(quick);
+    let local_cfg = large_fleet_config(quick);
+    let global_cfg = large_fleet_global_config(quick);
+    let local_opts = SimOptions {
+        deadline: Some(LARGE_FLEET_DEADLINE),
+        backend: QueueBackend::Calendar,
+        ..SimOptions::default()
+    };
+    let global_opts = SimOptions {
+        deadline: Some(LARGE_FLEET_DEADLINE),
+        backend: QueueBackend::Heap,
+        ..SimOptions::default()
+    };
+    let reps = 1;
+    let mut m: Option<LargeFleetMeasurement> = None;
+    for _ in 0..repeat {
+        let start = Instant::now();
+        let local = run_replications(&local_cfg, &|_| Lbp2::new(1.0), reps, seed, 1, local_opts);
+        let wall_seconds = start.elapsed().as_secs_f64();
+        let start = Instant::now();
+        let global = run_replications(&global_cfg, &|_| Lbp2::new(1.0), reps, seed, 1, global_opts);
+        let baseline_wall_seconds = start.elapsed().as_secs_f64();
+        let round = LargeFleetMeasurement {
+            nodes: rows * cols,
+            reps,
+            events: local.total_events,
+            wall_seconds,
+            baseline_events: global.total_events,
+            baseline_wall_seconds,
+            digest: deadline_run_digest(&local),
+            baseline_digest: deadline_run_digest(&global),
+        };
+        m = match m {
+            None => Some(round),
+            Some(mut prev) => {
+                assert_eq!(prev.digest, round.digest, "large-fleet: rounds disagree");
+                assert_eq!(
+                    prev.baseline_digest, round.baseline_digest,
+                    "large-fleet: baseline rounds disagree"
+                );
+                prev.wall_seconds = prev.wall_seconds.min(round.wall_seconds);
+                prev.baseline_wall_seconds =
+                    prev.baseline_wall_seconds.min(round.baseline_wall_seconds);
+                Some(prev)
+            }
+        };
+    }
+    m.expect("repeat >= 1")
+}
+
+/// Pinned `(quick, full)` [`deadline_run_digest`]s of the `large-fleet`
+/// topology-path run for [`PERF_SEED`].
+pub const EXPECTED_LARGE_FLEET_DIGESTS: (u64, u64) = (0x09df_cb9f_e3b8_6f66, 0x655c_0ac6_d0f3_3bb2);
+
+/// Pinned `(quick, full)` [`deadline_run_digest`]s of the `large-fleet`
+/// global-scan/heap baseline run for [`PERF_SEED`].
+pub const EXPECTED_LARGE_FLEET_BASELINE_DIGESTS: (u64, u64) =
+    (0x1624_d456_4450_ab9c, 0x09f0_8430_eb04_6aa7);
+
+/// The pinned `large-fleet` topology-path digest for the given mode.
+#[must_use]
+pub fn expected_large_fleet_digest(quick: bool) -> u64 {
+    if quick {
+        EXPECTED_LARGE_FLEET_DIGESTS.0
+    } else {
+        EXPECTED_LARGE_FLEET_DIGESTS.1
+    }
+}
+
+/// The pinned `large-fleet` baseline digest for the given mode.
+#[must_use]
+pub fn expected_large_fleet_baseline_digest(quick: bool) -> u64 {
+    if quick {
+        EXPECTED_LARGE_FLEET_BASELINE_DIGESTS.0
+    } else {
+        EXPECTED_LARGE_FLEET_BASELINE_DIGESTS.1
+    }
+}
+
 /// Result of measuring one workload.
 #[derive(Clone, Debug)]
 pub struct Measurement {
@@ -615,6 +828,19 @@ pub fn measure_repeated(
     best.expect("repeat >= 1")
 }
 
+/// The run-level flags a report records alongside its measurements.
+#[derive(Clone, Copy, Debug)]
+pub struct RunInfo {
+    /// Quick (CI) replication counts vs full.
+    pub quick: bool,
+    /// Worker threads (0 = auto).
+    pub threads: usize,
+    /// Master seed of every workload.
+    pub seed: u64,
+    /// Measurement rounds per workload (fastest kept).
+    pub repeat: u32,
+}
+
 /// Renders the report as pretty-printed JSON (no external deps; every
 /// field is a number or a fixed-format string).
 #[must_use]
@@ -622,20 +848,18 @@ pub fn to_json(
     measurements: &[Measurement],
     sweep: Option<&SweepGridMeasurement>,
     compare: Option<&CompareGridMeasurement>,
-    quick: bool,
-    threads: usize,
-    seed: u64,
-    repeat: u32,
+    large: Option<&LargeFleetMeasurement>,
+    info: RunInfo,
 ) -> String {
     let mut out = String::from("{\n");
-    out.push_str("  \"schema\": \"churnbal-perfreport/3\",\n");
+    out.push_str("  \"schema\": \"churnbal-perfreport/4\",\n");
     out.push_str(&format!(
         "  \"mode\": \"{}\",\n",
-        if quick { "quick" } else { "full" }
+        if info.quick { "quick" } else { "full" }
     ));
-    out.push_str(&format!("  \"threads\": {threads},\n"));
-    out.push_str(&format!("  \"seed\": {seed},\n"));
-    out.push_str(&format!("  \"repeat\": {repeat},\n"));
+    out.push_str(&format!("  \"threads\": {},\n", info.threads));
+    out.push_str(&format!("  \"seed\": {},\n", info.seed));
+    out.push_str(&format!("  \"repeat\": {},\n", info.repeat));
     out.push_str("  \"workloads\": [\n");
     for (i, m) in measurements.iter().enumerate() {
         out.push_str(&format!(
@@ -682,6 +906,25 @@ pub fn to_json(
             c.sequential_wall_seconds,
             c.speedup(),
             c.digest,
+        ));
+    }
+    if let Some(l) = large {
+        out.push_str(&format!(
+            "  \"large_fleet\": {{\"nodes\": {}, \"reps\": {}, \"events\": {}, \
+             \"wall_seconds\": {:?}, \"events_per_sec\": {:.0}, \"baseline_events\": {}, \
+             \"baseline_wall_seconds\": {:?}, \"baseline_events_per_sec\": {:.0}, \
+             \"speedup\": {:.2}, \"digest\": \"{:#018x}\", \"baseline_digest\": \"{:#018x}\"}},\n",
+            l.nodes,
+            l.reps,
+            l.events,
+            l.wall_seconds,
+            l.events_per_sec(),
+            l.baseline_events,
+            l.baseline_wall_seconds,
+            l.baseline_events_per_sec(),
+            l.speedup(),
+            l.digest,
+            l.baseline_digest,
         ));
     }
     let events: u64 = measurements.iter().map(|m| m.events).sum();
@@ -736,13 +979,38 @@ mod tests {
             .collect();
         let sweep = measure_sweep_grid(true, PERF_SEED, 1);
         let compare = measure_compare_grid(true, PERF_SEED, 1);
-        let json = to_json(&ms, Some(&sweep), Some(&compare), true, 0, PERF_SEED, 1);
+        // A hand-built large-fleet cell: the JSON rendering is under test
+        // here, not the measurement (the digest test below runs that).
+        let large = LargeFleetMeasurement {
+            nodes: 2500,
+            reps: 1,
+            events: 200_000,
+            wall_seconds: 0.1,
+            baseline_events: 180_000,
+            baseline_wall_seconds: 0.9,
+            digest: 0xdead,
+            baseline_digest: 0xbeef,
+        };
+        let json = to_json(
+            &ms,
+            Some(&sweep),
+            Some(&compare),
+            Some(&large),
+            RunInfo {
+                quick: true,
+                threads: 0,
+                seed: PERF_SEED,
+                repeat: 1,
+            },
+        );
         for w in workloads() {
             assert!(json.contains(w.name), "{json}");
         }
-        assert!(json.contains("\"schema\": \"churnbal-perfreport/3\""));
+        assert!(json.contains("\"schema\": \"churnbal-perfreport/4\""));
         assert!(json.contains("\"sweep_grid\""));
         assert!(json.contains("\"compare_grid\""));
+        assert!(json.contains("\"large_fleet\""));
+        assert!(json.contains("\"speedup\": 10.00"), "{json}");
         assert!(json.contains("\"policies\": 3"));
         assert!(json.contains("\"repeat\": 1"));
         assert!(json.contains("\"speedup\""));
@@ -782,6 +1050,39 @@ mod tests {
         assert_eq!(m.points, 32);
         assert_eq!(m.reps, 108);
         assert!(m.events > 0);
+    }
+
+    #[test]
+    fn large_fleet_quick_digests_match_their_pins() {
+        // Quick mode only (the 50×50 torus); the full 100×100 digests are
+        // asserted by `perfreport` itself. Timing is not asserted here —
+        // debug builds invert every perf ratio — only the trajectories.
+        let m = measure_large_fleet(true, PERF_SEED, 1);
+        assert_eq!(m.nodes, 2500);
+        assert!(m.events > 0 && m.baseline_events > 0);
+        assert_eq!(
+            m.digest,
+            expected_large_fleet_digest(true),
+            "large-fleet sample paths drifted (digest {:#018x})",
+            m.digest
+        );
+        assert_eq!(
+            m.baseline_digest,
+            expected_large_fleet_baseline_digest(true),
+            "large-fleet baseline sample paths drifted (digest {:#018x})",
+            m.baseline_digest
+        );
+    }
+
+    #[test]
+    fn large_fleet_configs_share_everything_but_the_topology() {
+        let local = large_fleet_config(true);
+        let global = large_fleet_global_config(true);
+        assert!(local.topology().is_some());
+        assert!(global.topology().is_none());
+        assert_eq!(local.nodes, global.nodes);
+        let (rows, cols) = large_fleet_dims(false);
+        assert_eq!(rows * cols, 10_000, "full mode must reach 10^4 nodes");
     }
 
     #[test]

@@ -348,6 +348,25 @@ pub enum ChurnModel {
         /// Adversary strikes per second (positive).
         strike_rate: f64,
     },
+    /// Rack-correlated shocks: independent per-node churn *plus* a Poisson
+    /// stream of shocks that strike whole **groups** of nodes at once.
+    /// Nodes are grouped into consecutive index blocks of `group_size`
+    /// (the rack layout of [`crate::Topology::hierarchical`]); each shock
+    /// draws one uniform per group, in ascending group order, and a hit
+    /// group loses *every* up, failure-prone member simultaneously —
+    /// the power-feed / top-of-rack-switch failure mode. Per-group hit
+    /// probabilities come from `hit_probabilities`, cycled when there are
+    /// more groups than entries (one entry = the same probability for all
+    /// racks).
+    RackShocks {
+        /// Shock arrivals per second (positive).
+        shock_rate: f64,
+        /// Nodes per group (≥ 1); the last group may be smaller.
+        group_size: u32,
+        /// Per-group hit probability in [0, 1], cycled across groups;
+        /// at least one entry must be positive.
+        hit_probabilities: Vec<f64>,
+    },
 }
 
 impl ChurnModel {
@@ -391,6 +410,34 @@ impl ChurnModel {
                 }
                 Ok(())
             }
+            Self::RackShocks {
+                shock_rate,
+                group_size,
+                hit_probabilities,
+            } => {
+                if !shock_rate.is_finite() || *shock_rate <= 0.0 {
+                    return Err(format!(
+                        "churn model: shock_rate must be positive, got {shock_rate}"
+                    ));
+                }
+                if *group_size == 0 {
+                    return Err("churn model: group_size must be >= 1".into());
+                }
+                if hit_probabilities.is_empty() {
+                    return Err("churn model: hit_probabilities must not be empty".into());
+                }
+                for &p in hit_probabilities {
+                    if !p.is_finite() || !(0.0..=1.0).contains(&p) {
+                        return Err(format!(
+                            "churn model: hit probability must be in [0, 1], got {p}"
+                        ));
+                    }
+                }
+                if hit_probabilities.iter().all(|&p| p == 0.0) {
+                    return Err("churn model: at least one hit probability must be positive".into());
+                }
+                Ok(())
+            }
         }
     }
 }
@@ -426,6 +473,14 @@ pub struct SystemConfig {
     /// paper's §1 remark that inter-node delay statistics are
     /// *inhomogeneous* (e.g. one node parked behind a weak WLAN link).
     link_scales: Option<Vec<Vec<f64>>>,
+    /// Optional interconnect graph. `None` — the paper's implicit
+    /// complete graph over one homogeneous network, with the legacy
+    /// global policy scans. `Some` — transfers may only route along
+    /// edges (off-edge orders panic), edge delay scales multiply the
+    /// transfer-delay law, and policies see the graph through
+    /// [`crate::SystemView::topology`] for O(degree) neighbor-local
+    /// scans.
+    topology: Option<crate::topology::Topology>,
 }
 
 impl SystemConfig {
@@ -447,7 +502,31 @@ impl SystemConfig {
             arrival_process: None,
             churn: ChurnModel::Independent,
             link_scales: None,
+            topology: None,
         }
+    }
+
+    /// Installs an interconnect topology (see the `topology` field docs).
+    ///
+    /// # Panics
+    /// Panics if the topology's node count differs from the system's.
+    #[must_use]
+    pub fn with_topology(mut self, topology: crate::topology::Topology) -> Self {
+        assert_eq!(
+            topology.num_nodes(),
+            self.nodes.len(),
+            "topology has {} nodes but the system has {}",
+            topology.num_nodes(),
+            self.nodes.len()
+        );
+        self.topology = Some(topology);
+        self
+    }
+
+    /// The interconnect topology, if one is installed.
+    #[must_use]
+    pub fn topology(&self) -> Option<&crate::topology::Topology> {
+        self.topology.as_ref()
     }
 
     /// Installs a stochastic external-arrival process.
@@ -694,6 +773,38 @@ mod tests {
             amplification: -1.0,
         };
         assert!(bad.validate().unwrap_err().contains("amplification"));
+        let bad = ChurnModel::RackShocks {
+            shock_rate: 0.1,
+            group_size: 0,
+            hit_probabilities: vec![0.5],
+        };
+        assert!(bad.validate().unwrap_err().contains("group_size"));
+        let bad = ChurnModel::RackShocks {
+            shock_rate: 0.1,
+            group_size: 4,
+            hit_probabilities: vec![0.0, 0.0],
+        };
+        assert!(bad.validate().unwrap_err().contains("positive"));
+        let good = ChurnModel::RackShocks {
+            shock_rate: 0.1,
+            group_size: 4,
+            hit_probabilities: vec![0.8, 0.1],
+        };
+        assert!(good.validate().is_ok());
+    }
+
+    #[test]
+    fn topology_builder_checks_node_counts() {
+        let topo = crate::topology::Topology::ring(2).expect("valid");
+        let c = SystemConfig::paper([5, 5]).with_topology(topo);
+        assert_eq!(c.topology().expect("installed").num_nodes(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "topology has 3 nodes")]
+    fn mismatched_topology_rejected() {
+        let topo = crate::topology::Topology::ring(3).expect("valid");
+        let _ = SystemConfig::paper([5, 5]).with_topology(topo);
     }
 
     #[test]

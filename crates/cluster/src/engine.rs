@@ -14,7 +14,7 @@
 //!   comparing LBP-1 and LBP-2 on the *same* failure trace (paper Fig. 4)
 //!   is a matter of reusing the seed (common random numbers).
 
-use churnbal_desim::{EventId, EventQueue, SimTime};
+use churnbal_desim::{BackendQueue, EventId, QueueBackend, SimTime};
 use churnbal_stochastic::{BatchedRng, StreamFactory};
 
 use crate::config::{ArrivalKind, ChurnModel, DelayLaw, SystemConfig};
@@ -30,6 +30,12 @@ pub struct SimOptions {
     /// Hard stop; `None` runs to completion. A run that hits the deadline
     /// reports `completed = false`.
     pub deadline: Option<f64>,
+    /// Event-queue backend. `Auto` (the default) picks the indexed heap
+    /// for small fleets and the calendar queue at large node counts (see
+    /// [`churnbal_desim::CALENDAR_AUTO_THRESHOLD`]). Both backends pop in
+    /// identical `(time, seq)` order, so the trajectory — and every
+    /// digest — is backend-invariant; only the wall clock changes.
+    pub backend: QueueBackend,
 }
 
 /// Result of one simulation run.
@@ -142,7 +148,7 @@ impl NodeSoa {
 /// is reused across replications.
 pub struct Simulator<'a> {
     config: &'a SystemConfig,
-    queue: EventQueue<Ev>,
+    queue: BackendQueue<Ev>,
     /// All per-node state, as columns (see [`NodeSoa`]).
     nodes: NodeSoa,
     /// Reusable hook sink: cleared before each policy callback.
@@ -184,7 +190,7 @@ impl<'a> Simulator<'a> {
         });
         Self {
             config,
-            queue: EventQueue::new(),
+            queue: BackendQueue::for_fleet(options.backend, n),
             service_rng: (0..n)
                 .map(|i| BatchedRng::new(streams.stream(2 * i as u64)))
                 .collect(),
@@ -241,7 +247,15 @@ impl<'a> Simulator<'a> {
         let n = config.num_nodes();
         self.config = config;
         self.options = options;
-        self.queue.clear();
+        // Keep the queue's allocation when the resolved backend is stable
+        // across the rebind (the common case); rebuild it only when the
+        // node count crosses the auto-selection threshold or the caller
+        // switched backends explicitly.
+        if options.backend.resolve(n) == self.queue.backend() {
+            self.queue.clear();
+        } else {
+            self.queue = BackendQueue::for_fleet(options.backend, n);
+        }
         self.nodes.load(config);
         self.service_rng.truncate(n);
         self.churn_rng.truncate(n);
@@ -342,6 +356,10 @@ impl<'a> Simulator<'a> {
                 let dt = self.shock_rng.exp(strike_rate);
                 self.queue.schedule_in(dt, Ev::Shock);
             }
+            ChurnModel::RackShocks { shock_rate, .. } => {
+                let dt = self.shock_rng.exp(shock_rate);
+                self.queue.schedule_in(dt, Ev::Shock);
+            }
             ChurnModel::Independent | ChurnModel::Cascading { .. } => {}
         }
         for a in &self.config.external_arrivals {
@@ -438,11 +456,12 @@ impl<'a> Simulator<'a> {
                         p.on_external_arrival(node, tasks, v, s);
                     });
                 }
-                Ev::Shock => match self.config.churn {
+                Ev::Shock => match &self.config.churn {
                     ChurnModel::CorrelatedShocks {
                         shock_rate,
                         hit_probability,
                     } => {
+                        let (shock_rate, hit_probability) = (*shock_rate, *hit_probability);
                         for i in 0..self.config.num_nodes() {
                             if self.nodes.up[i]
                                 && self.nodes.failure_rate[i] > 0.0
@@ -454,7 +473,34 @@ impl<'a> Simulator<'a> {
                         let dt = self.shock_rng.exp(shock_rate);
                         self.queue.schedule_in(dt, Ev::Shock);
                     }
+                    ChurnModel::RackShocks {
+                        shock_rate,
+                        group_size,
+                        hit_probabilities,
+                    } => {
+                        // One uniform draw per group, in ascending group
+                        // order and regardless of the hit outcome, so the
+                        // RNG consumption depends only on the group count —
+                        // never on which racks happened to be struck.
+                        let shock_rate = *shock_rate;
+                        let group = *group_size as usize;
+                        let n = self.config.num_nodes();
+                        let probs = hit_probabilities.len();
+                        for g in 0..n.div_ceil(group) {
+                            let p = hit_probabilities[g % probs];
+                            if self.shock_rng.next_f64() < p {
+                                for i in g * group..((g + 1) * group).min(n) {
+                                    if self.nodes.up[i] && self.nodes.failure_rate[i] > 0.0 {
+                                        self.fail_node(i, now, policy);
+                                    }
+                                }
+                            }
+                        }
+                        let dt = self.shock_rng.exp(shock_rate);
+                        self.queue.schedule_in(dt, Ev::Shock);
+                    }
                     ChurnModel::Adversarial { strike_rate } => {
+                        let strike_rate = *strike_rate;
                         // The adversary downs the most-loaded up,
                         // failure-prone node (ties to the lowest index) —
                         // no randomness beyond the strike clock.
@@ -527,6 +573,7 @@ impl<'a> Simulator<'a> {
             }
             ChurnModel::Independent
             | ChurnModel::CorrelatedShocks { .. }
+            | ChurnModel::RackShocks { .. }
             | ChurnModel::Adversarial { .. } => base,
         }
     }
@@ -706,6 +753,7 @@ impl<'a> Simulator<'a> {
             recovery_rate: &self.nodes.recovery_rate,
             delay_per_task: self.config.network.per_task,
             in_transit: self.in_transit,
+            topology: self.config.topology(),
         }
     }
 
@@ -724,6 +772,12 @@ impl<'a> Simulator<'a> {
                 "transfer order references unknown node: {order:?}"
             );
             assert!(order.from != order.to, "transfer to self: {order:?}");
+            if let Some(topo) = self.config.topology() {
+                assert!(
+                    topo.contains_edge(order.from, order.to),
+                    "transfer order off the topology edge set: {order:?}"
+                );
+            }
             let available = self.nodes.queue[order.from];
             let granted = order.tasks.min(available);
             self.metrics.tasks_clamped += u64::from(order.tasks - granted);
@@ -756,7 +810,13 @@ impl<'a> Simulator<'a> {
 
     fn sample_delay(&mut self, from: usize, to: usize, tasks: u32) -> f64 {
         let net = &self.config.network;
-        let scale = self.config.link_scale(from, to);
+        let mut scale = self.config.link_scale(from, to);
+        if let Some(topo) = self.config.topology() {
+            // `apply_orders` already rejected off-edge transfers.
+            scale *= topo
+                .edge_delay_scale(from, to)
+                .expect("transfer routed off the topology");
+        }
         match net.law {
             DelayLaw::ExponentialBatch => {
                 self.transfer_rng.exp(1.0 / (scale * net.mean_delay(tasks)))
@@ -954,8 +1014,8 @@ mod tests {
             &mut NoBalancing,
             4,
             SimOptions {
-                record_trace: false,
                 deadline: Some(1.0),
+                ..SimOptions::default()
             },
         );
         assert!(!out.completed);
@@ -972,7 +1032,7 @@ mod tests {
             5,
             SimOptions {
                 record_trace: true,
-                deadline: None,
+                ..SimOptions::default()
             },
         );
         let tr = out.trace.expect("trace requested");
@@ -1046,7 +1106,7 @@ mod tests {
             .with_link_delay_scales(vec![vec![1.0, 4.0], vec![1.0, 1.0]]);
         let opts = SimOptions {
             record_trace: true,
-            deadline: None,
+            ..SimOptions::default()
         };
         let out = simulate(&slow, &mut ShipOnce(4), 11, opts);
         let tr = out.trace.expect("trace");
@@ -1075,7 +1135,7 @@ mod tests {
         let cfg = cfg.with_link_delay_scales(vec![vec![1.0, 10.0], vec![0.5, 1.0]]);
         let opts = SimOptions {
             record_trace: true,
-            deadline: None,
+            ..SimOptions::default()
         };
         let out = simulate(&cfg, &mut ShipBack, 12, opts);
         let tr = out.trace.expect("trace");
@@ -1099,7 +1159,7 @@ mod tests {
             11,
             SimOptions {
                 record_trace: true,
-                deadline: None,
+                ..SimOptions::default()
             },
         );
         let tr = out.trace.expect("trace");
@@ -1263,7 +1323,7 @@ mod tests {
             7,
             SimOptions {
                 record_trace: true,
-                deadline: None,
+                ..SimOptions::default()
             },
         );
         assert!(out.completed);
@@ -1302,7 +1362,7 @@ mod tests {
             11,
             SimOptions {
                 record_trace: true,
-                deadline: None,
+                ..SimOptions::default()
             },
         );
         assert!(out.completed);
@@ -1363,7 +1423,7 @@ mod tests {
             81,
             SimOptions {
                 record_trace: true,
-                deadline: None,
+                ..SimOptions::default()
             },
         );
         assert!(out.completed);
@@ -1496,7 +1556,7 @@ mod tests {
             13,
             SimOptions {
                 record_trace: true,
-                deadline: None,
+                ..SimOptions::default()
             },
         );
         let tr = out.trace.expect("trace");
@@ -1514,5 +1574,215 @@ mod tests {
             }
         }
         assert!(checked, "no complete down interval observed");
+    }
+
+    #[test]
+    fn rack_shocks_fail_whole_racks_and_spare_cold_ones() {
+        use crate::config::ChurnModel;
+        // Two racks of two; rack 0 is always hit, rack 1 never. Every
+        // shock must down nodes 0 and 1 at the same instant, and nodes 2
+        // and 3 must never fail (natural churn is negligible). Recovery is
+        // near-instant so both rack mates are back up before the next shock.
+        let cfg = SystemConfig::new(
+            vec![
+                NodeConfig::new(1.0, 1e-9, 500.0, 40),
+                NodeConfig::new(1.0, 1e-9, 500.0, 40),
+                NodeConfig::new(1.0, 1e-9, 500.0, 40),
+                NodeConfig::new(1.0, 1e-9, 500.0, 40),
+            ],
+            NetworkConfig::exponential(0.02),
+        )
+        .with_churn_model(ChurnModel::RackShocks {
+            shock_rate: 0.2,
+            group_size: 2,
+            hit_probabilities: vec![1.0, 0.0],
+        });
+        let out = simulate(
+            &cfg,
+            &mut NoBalancing,
+            17,
+            SimOptions {
+                record_trace: true,
+                ..SimOptions::default()
+            },
+        );
+        assert!(out.completed);
+        let tr = out.trace.expect("trace");
+        let downs = |i: usize| -> Vec<f64> {
+            tr.state_series(i)
+                .iter()
+                .filter(|(_, up)| !up)
+                .map(|(t, _)| *t)
+                .collect()
+        };
+        let d0 = downs(0);
+        assert!(!d0.is_empty(), "expected at least one rack shock");
+        assert_eq!(d0, downs(1), "rack mates fail at the same instants");
+        assert!(downs(2).is_empty(), "cold rack must never be hit");
+        assert!(downs(3).is_empty(), "cold rack must never be hit");
+    }
+
+    #[test]
+    fn rack_shock_runs_are_seed_deterministic() {
+        use crate::config::ChurnModel;
+        let cfg = SystemConfig::new(
+            vec![
+                NodeConfig::new(1.0, 0.01, 0.5, 30),
+                NodeConfig::new(1.0, 0.01, 0.5, 30),
+                NodeConfig::new(1.2, 0.01, 0.5, 30),
+                NodeConfig::new(1.2, 0.01, 0.5, 30),
+            ],
+            NetworkConfig::exponential(0.02),
+        )
+        .with_churn_model(ChurnModel::RackShocks {
+            shock_rate: 0.1,
+            group_size: 2,
+            hit_probabilities: vec![0.9, 0.3],
+        });
+        let a = simulate(&cfg, &mut NoBalancing, 23, SimOptions::default());
+        let b = simulate(&cfg, &mut NoBalancing, 23, SimOptions::default());
+        assert_eq!(a.completion_time, b.completion_time);
+        assert_eq!(a.metrics, b.metrics);
+        let c = simulate(&cfg, &mut NoBalancing, 24, SimOptions::default());
+        assert_ne!(a.completion_time, c.completion_time);
+    }
+
+    fn reliable_fleet(n: usize, tasks: u32) -> SystemConfig {
+        SystemConfig::new(
+            (0..n).map(|_| NodeConfig::reliable(1.0, tasks)).collect(),
+            NetworkConfig::exponential(0.02),
+        )
+    }
+
+    #[test]
+    fn on_edge_transfers_use_the_edge_delay_scale() {
+        use crate::topology::Topology;
+        // Ring of 4 with deterministic delays: a custom topology scales
+        // the 0 -> 1 edge by 3x, so the batch lands at exactly 3x the
+        // homogeneous time.
+        let topo = Topology::from_edges(4, &[(0, 1, 3.0), (1, 2, 1.0), (2, 3, 1.0), (3, 0, 1.0)])
+            .expect("valid");
+        let cfg = SystemConfig::new(
+            vec![
+                NodeConfig::reliable(1.0, 4),
+                NodeConfig::reliable(1.0, 0),
+                NodeConfig::reliable(1.0, 0),
+                NodeConfig::reliable(1.0, 0),
+            ],
+            NetworkConfig::new(0.5, 0.25, crate::config::DelayLaw::DeterministicBatch),
+        )
+        .with_topology(topo);
+        let out = simulate(
+            &cfg,
+            &mut ShipOnce(4),
+            31,
+            SimOptions {
+                record_trace: true,
+                ..SimOptions::default()
+            },
+        );
+        let tr = out.trace.expect("trace");
+        // Homogeneous batch delay = 0.5 + 4 * 0.25 = 1.5 s; edge scale 3.
+        assert_eq!(tr.queue_at(1, 4.49), 0);
+        assert_eq!(tr.queue_at(1, 4.51), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "off the topology edge set")]
+    fn off_edge_transfers_panic() {
+        use crate::topology::Topology;
+        struct ShipAcross;
+        impl Policy for ShipAcross {
+            fn name(&self) -> &str {
+                "ship-across"
+            }
+            fn on_start(&mut self, _: &SystemView<'_>, orders: &mut Vec<TransferOrder>) {
+                orders.push(TransferOrder {
+                    from: 0,
+                    to: 2,
+                    tasks: 1,
+                });
+            }
+        }
+        // 0 and 2 are not adjacent on a 4-ring.
+        let cfg = reliable_fleet(4, 5).with_topology(Topology::ring(4).expect("valid"));
+        let _ = simulate(&cfg, &mut ShipAcross, 32, SimOptions::default());
+    }
+
+    #[test]
+    fn policies_see_the_topology_in_their_view() {
+        use crate::topology::Topology;
+        struct SeesTopology(bool);
+        impl Policy for SeesTopology {
+            fn name(&self) -> &str {
+                "sees-topology"
+            }
+            fn on_start(&mut self, view: &SystemView<'_>, _: &mut Vec<TransferOrder>) {
+                let topo = view.topology.expect("topology must be visible");
+                assert_eq!(topo.neighbors(0), &[1, 3]);
+                self.0 = true;
+            }
+        }
+        let cfg = reliable_fleet(4, 2).with_topology(Topology::ring(4).expect("valid"));
+        let mut policy = SeesTopology(false);
+        let out = simulate(&cfg, &mut policy, 33, SimOptions::default());
+        assert!(out.completed);
+        assert!(policy.0, "on_start must have observed the topology");
+    }
+
+    #[test]
+    fn calendar_and_heap_backends_produce_identical_runs() {
+        use crate::config::ChurnModel;
+        // A churn-heavy run with transfers: every event class flows
+        // through the queue, and the trajectories must match exactly.
+        let cfg = SystemConfig::new(
+            vec![
+                NodeConfig::new(1.0, 0.05, 0.5, 40),
+                NodeConfig::new(1.4, 0.05, 0.5, 25),
+                NodeConfig::new(0.8, 0.05, 0.5, 30),
+            ],
+            NetworkConfig::exponential(0.02),
+        )
+        .with_churn_model(ChurnModel::CorrelatedShocks {
+            shock_rate: 0.1,
+            hit_probability: 0.5,
+        });
+        let run = |backend| {
+            simulate(
+                &cfg,
+                &mut NoBalancing,
+                41,
+                SimOptions {
+                    backend,
+                    ..SimOptions::default()
+                },
+            )
+        };
+        let heap = run(QueueBackend::Heap);
+        let calendar = run(QueueBackend::Calendar);
+        assert_eq!(heap.completion_time, calendar.completion_time);
+        assert_eq!(heap.metrics, calendar.metrics);
+    }
+
+    #[test]
+    fn rebind_switches_backend_when_options_change() {
+        let cfg = reliable_pair([5, 5]);
+        let factory = StreamFactory::new(3);
+        let heap_opts = SimOptions {
+            backend: QueueBackend::Heap,
+            ..SimOptions::default()
+        };
+        let cal_opts = SimOptions {
+            backend: QueueBackend::Calendar,
+            ..SimOptions::default()
+        };
+        let fresh = Simulator::new(&cfg, &factory.subfactory(1), cal_opts);
+        let fresh_out = fresh.run(&mut NoBalancing);
+        let mut sim = Simulator::new(&cfg, &factory.subfactory(0), heap_opts);
+        let _ = sim.run_summary(&mut NoBalancing);
+        sim.rebind(&cfg, &factory.subfactory(1), cal_opts);
+        let rebased = sim.run_summary(&mut NoBalancing);
+        assert_eq!(rebased.completion_time, fresh_out.completion_time);
+        assert_eq!(sim.metrics(), &fresh_out.metrics);
     }
 }

@@ -592,8 +592,8 @@ mod tests {
             reps: 4,
             seed: 7,
             options: SimOptions {
-                record_trace: false,
                 deadline: Some(0.25),
+                ..SimOptions::default()
             },
         }];
         let mut incomplete = 0;

@@ -37,8 +37,10 @@ pub mod mc;
 pub mod metrics;
 pub mod policy;
 pub mod testbed;
+pub mod topology;
 pub mod trace;
 
+pub use churnbal_desim::QueueBackend;
 pub use config::{
     ArrivalKind, ArrivalProcess, ChurnModel, DelayLaw, ExternalArrival, NetworkConfig, NodeConfig,
     SystemConfig,
@@ -46,5 +48,8 @@ pub use config::{
 pub use engine::{simulate, RunSummary, SimOptions, SimOutcome, Simulator};
 pub use exec::{run_grid_policies_streaming, run_grid_streaming, PointJob, PointStats};
 pub use mc::{run_replications, McEstimate};
-pub use policy::{NoBalancing, NodeView, Policy, SystemSnapshot, SystemView, TransferOrder};
+pub use policy::{
+    Neighbors, NoBalancing, NodeView, Policy, SystemSnapshot, SystemView, TransferOrder,
+};
+pub use topology::Topology;
 pub use trace::QueueTrace;

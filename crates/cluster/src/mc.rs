@@ -194,8 +194,8 @@ mod tests {
     fn incomplete_runs_are_counted() {
         let cfg = SystemConfig::paper([5000, 5000]);
         let opts = SimOptions {
-            record_trace: false,
             deadline: Some(0.5),
+            ..SimOptions::default()
         };
         let e = run_replications(&cfg, &|_| NoBalancing, 8, 5, 2, opts);
         assert_eq!(e.incomplete, 8);

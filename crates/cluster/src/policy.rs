@@ -22,6 +22,8 @@
 //! implemented in `churnbal-core`; this crate only fixes the interface so
 //! the substrate stays policy-agnostic.
 
+use crate::topology::Topology;
+
 /// Read-only snapshot of one node, as exchanged in the paper's state
 /// packets (queue size, computational power, churn statistics).
 ///
@@ -79,6 +81,12 @@ pub struct SystemView<'a> {
     pub delay_per_task: f64,
     /// Tasks currently in transit between nodes.
     pub in_transit: u32,
+    /// The interconnect graph, when the system is topology-constrained.
+    /// `None` means the paper's complete graph: any node may send to any
+    /// other, and policies scan globally. When present, transfer orders
+    /// must follow edges and policies should scan
+    /// [`Topology::neighbors`]-locally (O(degree) per event).
+    pub topology: Option<&'a Topology>,
 }
 
 impl SystemView<'_> {
@@ -135,6 +143,86 @@ impl SystemView<'_> {
     pub fn total_service_rate(&self) -> f64 {
         self.service_rate.iter().sum()
     }
+
+    /// Node `i`'s neighbors, in ascending index order: the CSR adjacency
+    /// row under a topology, every other node on the (implicit) complete
+    /// graph. This is the scan set a topology-aware policy iterates —
+    /// O(degree) per event instead of O(n) — and it indexes straight into
+    /// the SoA columns (`view.queue_len[j]`, `view.service_rate[j]`, …).
+    ///
+    /// The iterator allocates nothing and is `Clone`, so a policy can run
+    /// a totals pass and an emission pass over the same neighborhood.
+    ///
+    /// # Panics
+    /// Panics if `i` is out of range.
+    #[must_use]
+    pub fn neighbors(&self, i: usize) -> Neighbors<'_> {
+        match self.topology {
+            Some(topo) => Neighbors::Edges(topo.neighbors(i).iter()),
+            None => {
+                assert!(i < self.len(), "node {i} out of range");
+                Neighbors::Complete {
+                    next: 0,
+                    n: self.len(),
+                    skip: i,
+                }
+            }
+        }
+    }
+
+    /// Number of neighbors of node `i` (`n − 1` on the complete graph).
+    ///
+    /// # Panics
+    /// Panics if `i` is out of range.
+    #[must_use]
+    pub fn degree(&self, i: usize) -> usize {
+        match self.topology {
+            Some(topo) => topo.degree(i),
+            None => {
+                assert!(i < self.len(), "node {i} out of range");
+                self.len() - 1
+            }
+        }
+    }
+}
+
+/// Iterator over one node's neighbor indices under a [`SystemView`] —
+/// see [`SystemView::neighbors`]. Yields ascending `usize` node indices.
+#[derive(Clone, Debug)]
+pub enum Neighbors<'a> {
+    /// Explicit CSR adjacency row (already sorted ascending).
+    Edges(std::slice::Iter<'a, u32>),
+    /// Complete graph: every node in `0..n` except `skip`.
+    Complete {
+        /// Next candidate index.
+        next: usize,
+        /// Node count.
+        n: usize,
+        /// The node whose neighborhood this is (never yielded).
+        skip: usize,
+    },
+}
+
+impl Iterator for Neighbors<'_> {
+    type Item = usize;
+
+    fn next(&mut self) -> Option<usize> {
+        match self {
+            Neighbors::Edges(row) => row.next().map(|&u| u as usize),
+            Neighbors::Complete { next, n, skip } => {
+                if *next == *skip {
+                    *next += 1;
+                }
+                if *next >= *n {
+                    None
+                } else {
+                    let v = *next;
+                    *next += 1;
+                    Some(v)
+                }
+            }
+        }
+    }
 }
 
 /// Owned structure-of-arrays node state — the builder behind
@@ -153,6 +241,7 @@ pub struct SystemSnapshot {
     service_rate: Vec<f64>,
     failure_rate: Vec<f64>,
     recovery_rate: Vec<f64>,
+    topology: Option<Topology>,
 }
 
 impl SystemSnapshot {
@@ -169,6 +258,7 @@ impl SystemSnapshot {
             service_rate: nodes.iter().map(|n| n.service_rate).collect(),
             failure_rate: nodes.iter().map(|n| n.failure_rate).collect(),
             recovery_rate: nodes.iter().map(|n| n.recovery_rate).collect(),
+            topology: None,
         }
     }
 
@@ -178,6 +268,21 @@ impl SystemSnapshot {
         self.time = time;
         self.delay_per_task = delay_per_task;
         self.in_transit = in_transit;
+        self
+    }
+
+    /// Constrains the snapshot to a topology, in builder style.
+    ///
+    /// # Panics
+    /// Panics if the topology's node count differs from the snapshot's.
+    #[must_use]
+    pub fn with_topology(mut self, topology: Topology) -> Self {
+        assert_eq!(
+            topology.num_nodes(),
+            self.queue_len.len(),
+            "topology node count must match the snapshot"
+        );
+        self.topology = Some(topology);
         self
     }
 
@@ -193,6 +298,7 @@ impl SystemSnapshot {
             recovery_rate: &self.recovery_rate,
             delay_per_task: self.delay_per_task,
             in_transit: self.in_transit,
+            topology: self.topology.as_ref(),
         }
     }
 }
@@ -348,5 +454,58 @@ mod tests {
         p.on_external_arrival(1, 5, &v, &mut sink);
         assert!(sink.is_empty());
         assert_eq!(p.name(), "no-balancing");
+    }
+
+    fn uniform_nodes(n: usize) -> Vec<NodeView> {
+        (0..n)
+            .map(|id| NodeView {
+                id,
+                queue_len: 10,
+                up: true,
+                service_rate: 1.0,
+                failure_rate: 0.01,
+                recovery_rate: 0.1,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn complete_neighbors_skip_self_and_cover_everyone_else() {
+        let snap = SystemSnapshot::from_nodes(&uniform_nodes(5));
+        let v = snap.view();
+        for i in 0..5 {
+            let got: Vec<usize> = v.neighbors(i).collect();
+            let want: Vec<usize> = (0..5).filter(|&j| j != i).collect();
+            assert_eq!(got, want, "node {i}");
+            assert_eq!(v.degree(i), 4);
+        }
+    }
+
+    #[test]
+    fn topology_neighbors_follow_the_csr_rows() {
+        let topo = Topology::ring(5).expect("valid ring");
+        let snap = SystemSnapshot::from_nodes(&uniform_nodes(5)).with_topology(topo);
+        let v = snap.view();
+        let got: Vec<usize> = v.neighbors(0).collect();
+        assert_eq!(got, vec![1, 4]);
+        assert_eq!(v.degree(0), 2);
+        let got: Vec<usize> = v.neighbors(2).collect();
+        assert_eq!(got, vec![1, 3]);
+    }
+
+    #[test]
+    fn neighbors_iterator_is_cloneable_for_two_pass_scans() {
+        let snap = SystemSnapshot::from_nodes(&uniform_nodes(4));
+        let v = snap.view();
+        let first = v.neighbors(2);
+        let second = first.clone();
+        assert_eq!(first.collect::<Vec<_>>(), second.collect::<Vec<_>>());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn complete_neighbors_reject_out_of_range_nodes() {
+        let snap = SystemSnapshot::from_nodes(&uniform_nodes(3));
+        let _ = snap.view().neighbors(3);
     }
 }

@@ -1,0 +1,499 @@
+//! Interconnect topology: who may send load to whom, and how far it is.
+//!
+//! The paper's model is a complete graph — any node can ship tasks to any
+//! other over one mean-delay link. A production fleet is not: racks,
+//! rows and datacenters impose a sparse graph, and diffusive balancing on
+//! graphs (Cai–Sauerwald) makes O(degree)-local decisions the scalable
+//! regime. [`Topology`] makes the graph a first-class engine concept:
+//!
+//! * **CSR adjacency.** Neighbor lists live in one flat `targets` array
+//!   indexed by per-node `offsets` — [`Topology::neighbors`] is a slice
+//!   borrow, cache-dense and allocation-free, the shape policy hot loops
+//!   want. Rows are sorted ascending, so edge lookups are a binary
+//!   search and neighbor iteration visits nodes in index order (the
+//!   determinism contract for policy scans).
+//! * **Per-edge delay scales.** A parallel `delay_scale` array holds a
+//!   multiplier applied to the network's transfer-delay law for traffic
+//!   on that edge — rack-local hops are fast, cross-row hops slow.
+//! * **Undirected.** Every constructor inserts both directions of each
+//!   edge with the same scale; transfers route only along edges (the
+//!   engine rejects off-edge orders loudly).
+//!
+//! Constructors cover the standard shapes: complete, ring, 2-D torus,
+//! seeded random-regular, and a rack/row/datacenter hierarchy. All
+//! validate connectivity, so a built topology can always drain any
+//! backlog somewhere.
+
+use churnbal_stochastic::Xoshiro256pp;
+
+/// A sparse, undirected, connected interconnect graph in CSR form with a
+/// transfer-delay scale per edge.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Topology {
+    /// Node count.
+    n: usize,
+    /// CSR row pointers: node `i`'s neighbors are
+    /// `targets[offsets[i]..offsets[i + 1]]`.
+    offsets: Vec<u32>,
+    /// Flat neighbor array, sorted ascending within each row.
+    targets: Vec<u32>,
+    /// Delay multiplier per CSR entry (same scale on both directions).
+    delay_scale: Vec<f64>,
+}
+
+impl Topology {
+    /// Builds a topology from an undirected edge list: each `(u, v,
+    /// scale)` becomes entries in both rows. Rejects self-loops,
+    /// out-of-range endpoints, duplicate edges, non-positive or
+    /// non-finite scales, and disconnected graphs.
+    ///
+    /// # Errors
+    /// Returns a description of the first violated invariant.
+    pub fn from_edges(n: usize, edges: &[(usize, usize, f64)]) -> Result<Self, String> {
+        if n < 2 {
+            return Err(format!("topology needs at least 2 nodes, got {n}"));
+        }
+        if n > u32::MAX as usize {
+            return Err(format!("topology too large: {n} nodes"));
+        }
+        let mut degree = vec![0u32; n];
+        for &(u, v, scale) in edges {
+            if u >= n || v >= n {
+                return Err(format!("edge ({u}, {v}) out of range for {n} nodes"));
+            }
+            if u == v {
+                return Err(format!("self-loop on node {u}"));
+            }
+            if !(scale.is_finite() && scale > 0.0) {
+                return Err(format!(
+                    "edge ({u}, {v}): delay scale must be positive and finite, got {scale}"
+                ));
+            }
+            degree[u] += 1;
+            degree[v] += 1;
+        }
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut acc = 0u32;
+        offsets.push(0);
+        for &d in &degree {
+            acc = acc
+                .checked_add(d)
+                .ok_or_else(|| String::from("topology edge count overflows u32"))?;
+            offsets.push(acc);
+        }
+        let mut targets = vec![0u32; acc as usize];
+        let mut delay_scale = vec![0.0f64; acc as usize];
+        let mut cursor: Vec<u32> = offsets[..n].to_vec();
+        for &(u, v, scale) in edges {
+            for (a, b) in [(u, v), (v, u)] {
+                let at = cursor[a] as usize;
+                targets[at] = b as u32;
+                delay_scale[at] = scale;
+                cursor[a] += 1;
+            }
+        }
+        // Sort each row ascending (scales move with their targets).
+        for i in 0..n {
+            let (lo, hi) = (offsets[i] as usize, offsets[i + 1] as usize);
+            let mut row: Vec<(u32, f64)> = targets[lo..hi]
+                .iter()
+                .copied()
+                .zip(delay_scale[lo..hi].iter().copied())
+                .collect();
+            row.sort_by_key(|&(t, _)| t);
+            if row.windows(2).any(|w| w[0].0 == w[1].0) {
+                return Err(format!("duplicate edge at node {i}"));
+            }
+            for (k, (t, s)) in row.into_iter().enumerate() {
+                targets[lo + k] = t;
+                delay_scale[lo + k] = s;
+            }
+        }
+        let topo = Self {
+            n,
+            offsets,
+            targets,
+            delay_scale,
+        };
+        if !topo.is_connected() {
+            return Err(String::from("topology is disconnected"));
+        }
+        Ok(topo)
+    }
+
+    /// The complete graph on `n` nodes, unit delay scale — the paper's
+    /// implicit topology. A policy given this topology must reproduce
+    /// its global (topology-free) behavior bit-identically.
+    ///
+    /// # Errors
+    /// Rejects `n < 2`.
+    pub fn complete(n: usize) -> Result<Self, String> {
+        if n < 2 {
+            return Err(format!("topology needs at least 2 nodes, got {n}"));
+        }
+        let mut edges = Vec::with_capacity(n * (n - 1) / 2);
+        for u in 0..n {
+            for v in (u + 1)..n {
+                edges.push((u, v, 1.0));
+            }
+        }
+        Self::from_edges(n, &edges)
+    }
+
+    /// A ring: node `i` connects to `i ± 1 (mod n)`, unit delay scale.
+    ///
+    /// # Errors
+    /// Rejects `n < 2`.
+    pub fn ring(n: usize) -> Result<Self, String> {
+        if n < 2 {
+            return Err(format!("topology needs at least 2 nodes, got {n}"));
+        }
+        if n == 2 {
+            return Self::from_edges(2, &[(0, 1, 1.0)]);
+        }
+        let edges: Vec<_> = (0..n).map(|i| (i, (i + 1) % n, 1.0)).collect();
+        Self::from_edges(n, &edges)
+    }
+
+    /// A 2-D torus of `rows × cols` nodes (row-major indexing), each node
+    /// linked to its four wrap-around grid neighbors, unit delay scale.
+    /// Degenerate dimensions of length 1 or 2 collapse duplicate wrap
+    /// edges instead of multi-edging.
+    ///
+    /// # Errors
+    /// Rejects grids with fewer than 2 nodes.
+    pub fn torus(rows: usize, cols: usize) -> Result<Self, String> {
+        let n = rows * cols;
+        if rows == 0 || cols == 0 || n < 2 {
+            return Err(format!("torus needs at least 2 nodes, got {rows}x{cols}"));
+        }
+        let mut edges = Vec::with_capacity(2 * n);
+        let id = |r: usize, c: usize| r * cols + c;
+        for r in 0..rows {
+            for c in 0..cols {
+                if cols > 1 {
+                    let right = id(r, (c + 1) % cols);
+                    // cols == 2 wraps back onto the same neighbor.
+                    if cols > 2 || c == 0 {
+                        edges.push((id(r, c), right, 1.0));
+                    }
+                }
+                if rows > 1 {
+                    let down = id((r + 1) % rows, c);
+                    if rows > 2 || r == 0 {
+                        edges.push((id(r, c), down, 1.0));
+                    }
+                }
+            }
+        }
+        Self::from_edges(n, &edges)
+    }
+
+    /// A random `degree`-regular graph on `n` nodes via the seeded
+    /// configuration model: `degree` stubs per node are shuffled and
+    /// paired; attempts with self-loops, duplicate edges or a
+    /// disconnected result are redrawn. Deterministic in `seed`.
+    ///
+    /// # Errors
+    /// Rejects infeasible parameters (`degree < 1`, `degree >= n`, odd
+    /// `n × degree`) and gives up after 200 failed attempts.
+    pub fn random_regular(n: usize, degree: usize, seed: u64) -> Result<Self, String> {
+        if n < 2 || degree < 1 || degree >= n {
+            return Err(format!(
+                "random-regular needs 1 <= degree < n, got degree {degree} on {n} nodes"
+            ));
+        }
+        if !(n * degree).is_multiple_of(2) {
+            return Err(format!(
+                "random-regular needs an even stub count, got {n} nodes x degree {degree}"
+            ));
+        }
+        let mut rng = Xoshiro256pp::seed_from_u64(seed);
+        let mut stubs: Vec<u32> = Vec::with_capacity(n * degree);
+        'attempt: for _ in 0..200 {
+            stubs.clear();
+            for i in 0..n {
+                stubs.extend(std::iter::repeat_n(i as u32, degree));
+            }
+            // Fisher–Yates, then pair consecutive stubs.
+            for i in (1..stubs.len()).rev() {
+                let j = rng.next_below(i as u64 + 1) as usize;
+                stubs.swap(i, j);
+            }
+            let mut edges = Vec::with_capacity(stubs.len() / 2);
+            for pair in stubs.chunks_exact(2) {
+                let (u, v) = (pair[0] as usize, pair[1] as usize);
+                if u == v {
+                    continue 'attempt;
+                }
+                edges.push((u.min(v), u.max(v), 1.0));
+            }
+            edges.sort_unstable_by_key(|a| (a.0, a.1));
+            if edges
+                .windows(2)
+                .any(|w| (w[0].0, w[0].1) == (w[1].0, w[1].1))
+            {
+                continue 'attempt;
+            }
+            if let Ok(topo) = Self::from_edges(n, &edges) {
+                return Ok(topo);
+            }
+        }
+        Err(format!(
+            "random-regular: no simple connected graph found for n = {n}, degree = {degree} \
+             (seed {seed}) after 200 attempts"
+        ))
+    }
+
+    /// A rack/row/datacenter hierarchy of `rows × racks_per_row ×
+    /// rack_size` nodes (rack-major indexing). Nodes within a rack form
+    /// a unit-scale full mesh; each rack's first node uplinks to every
+    /// other rack leader of its row at `row_scale`; each row's first
+    /// rack leader uplinks to the other rows' at `dc_scale`.
+    ///
+    /// # Errors
+    /// Rejects empty dimensions, single-node fleets and non-positive
+    /// scales.
+    pub fn hierarchical(
+        rack_size: usize,
+        racks_per_row: usize,
+        rows: usize,
+        row_scale: f64,
+        dc_scale: f64,
+    ) -> Result<Self, String> {
+        let n = rack_size * racks_per_row * rows;
+        if rack_size == 0 || racks_per_row == 0 || rows == 0 || n < 2 {
+            return Err(format!(
+                "hierarchy needs at least 2 nodes, got {rows} rows x {racks_per_row} racks x \
+                 {rack_size} nodes"
+            ));
+        }
+        for (name, scale) in [("row_scale", row_scale), ("dc_scale", dc_scale)] {
+            if !(scale.is_finite() && scale > 0.0) {
+                return Err(format!("{name} must be positive and finite, got {scale}"));
+            }
+        }
+        let mut edges = Vec::new();
+        let rack_base = |row: usize, rack: usize| (row * racks_per_row + rack) * rack_size;
+        for row in 0..rows {
+            for rack in 0..racks_per_row {
+                let base = rack_base(row, rack);
+                for a in 0..rack_size {
+                    for b in (a + 1)..rack_size {
+                        edges.push((base + a, base + b, 1.0));
+                    }
+                }
+            }
+            for rack_a in 0..racks_per_row {
+                for rack_b in (rack_a + 1)..racks_per_row {
+                    edges.push((rack_base(row, rack_a), rack_base(row, rack_b), row_scale));
+                }
+            }
+        }
+        for row_a in 0..rows {
+            for row_b in (row_a + 1)..rows {
+                edges.push((rack_base(row_a, 0), rack_base(row_b, 0), dc_scale));
+            }
+        }
+        Self::from_edges(n, &edges)
+    }
+
+    /// Node count.
+    #[must_use]
+    pub fn num_nodes(&self) -> usize {
+        self.n
+    }
+
+    /// Total directed CSR entries (twice the undirected edge count).
+    #[must_use]
+    pub fn num_directed_edges(&self) -> usize {
+        self.targets.len()
+    }
+
+    /// Node `i`'s neighbors, ascending — a borrow of the CSR row, no
+    /// allocation. Policy scans iterate this instead of `0..n`.
+    #[must_use]
+    pub fn neighbors(&self, i: usize) -> &[u32] {
+        &self.targets[self.offsets[i] as usize..self.offsets[i + 1] as usize]
+    }
+
+    /// Node `i`'s degree.
+    #[must_use]
+    pub fn degree(&self, i: usize) -> usize {
+        (self.offsets[i + 1] - self.offsets[i]) as usize
+    }
+
+    /// True when `from → to` is an edge.
+    #[must_use]
+    pub fn contains_edge(&self, from: usize, to: usize) -> bool {
+        self.edge_index(from, to).is_some()
+    }
+
+    /// The delay multiplier of edge `from → to`, or `None` off-edge.
+    #[must_use]
+    pub fn edge_delay_scale(&self, from: usize, to: usize) -> Option<f64> {
+        self.edge_index(from, to).map(|k| self.delay_scale[k])
+    }
+
+    /// True when every node neighbors every other — the shape whose
+    /// neighbor-local scans must match the global ones bit for bit.
+    #[must_use]
+    pub fn is_complete(&self) -> bool {
+        (0..self.n).all(|i| self.degree(i) == self.n - 1)
+    }
+
+    /// CSR index of edge `from → to` via binary search of the sorted row.
+    fn edge_index(&self, from: usize, to: usize) -> Option<usize> {
+        if from >= self.n || to >= self.n {
+            return None;
+        }
+        let lo = self.offsets[from] as usize;
+        let row = self.neighbors(from);
+        row.binary_search(&(to as u32)).ok().map(|k| lo + k)
+    }
+
+    /// BFS reachability from node 0.
+    fn is_connected(&self) -> bool {
+        let mut seen = vec![false; self.n];
+        let mut frontier = vec![0usize];
+        seen[0] = true;
+        let mut reached = 1;
+        while let Some(u) = frontier.pop() {
+            for &v in self.neighbors(u) {
+                let v = v as usize;
+                if !seen[v] {
+                    seen[v] = true;
+                    reached += 1;
+                    frontier.push(v);
+                }
+            }
+        }
+        reached == self.n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn complete_graph_neighbors_everyone() {
+        let t = Topology::complete(5).expect("valid");
+        assert!(t.is_complete());
+        assert_eq!(t.neighbors(2), &[0, 1, 3, 4]);
+        assert_eq!(t.degree(2), 4);
+        assert_eq!(t.edge_delay_scale(0, 4), Some(1.0));
+        assert_eq!(t.edge_delay_scale(0, 0), None);
+    }
+
+    #[test]
+    fn ring_wraps_and_two_node_ring_collapses() {
+        let t = Topology::ring(6).expect("valid");
+        assert_eq!(t.neighbors(0), &[1, 5]);
+        assert_eq!(t.neighbors(3), &[2, 4]);
+        assert!(!t.is_complete());
+        let two = Topology::ring(2).expect("valid");
+        assert_eq!(two.neighbors(0), &[1]);
+        assert_eq!(two.neighbors(1), &[0]);
+        assert!(two.is_complete());
+    }
+
+    #[test]
+    fn torus_has_four_wrapped_neighbors() {
+        let t = Topology::torus(3, 4).expect("valid");
+        assert_eq!(t.num_nodes(), 12);
+        // Node (0,0): right (0,1)=1, left (0,3)=3, down (1,0)=4, up (2,0)=8.
+        assert_eq!(t.neighbors(0), &[1, 3, 4, 8]);
+        for i in 0..12 {
+            assert_eq!(t.degree(i), 4, "node {i}");
+        }
+    }
+
+    #[test]
+    fn degenerate_torus_dimensions_do_not_multi_edge() {
+        let line = Topology::torus(1, 5).expect("valid");
+        assert_eq!(line.neighbors(0), &[1, 4]);
+        let two_by_two = Topology::torus(2, 2).expect("valid");
+        for i in 0..4 {
+            assert_eq!(two_by_two.degree(i), 2, "node {i}");
+        }
+    }
+
+    #[test]
+    fn random_regular_is_regular_connected_and_seed_deterministic() {
+        let a = Topology::random_regular(24, 4, 7).expect("feasible");
+        let b = Topology::random_regular(24, 4, 7).expect("feasible");
+        assert_eq!(a, b, "same seed must rebuild the same graph");
+        for i in 0..24 {
+            assert_eq!(a.degree(i), 4, "node {i}");
+            assert!(!a.neighbors(i).contains(&(i as u32)), "self-loop at {i}");
+        }
+        let c = Topology::random_regular(24, 4, 8).expect("feasible");
+        assert_ne!(a, c, "different seeds should differ (overwhelmingly)");
+    }
+
+    #[test]
+    fn random_regular_rejects_infeasible_parameters() {
+        assert!(Topology::random_regular(5, 3, 1).is_err(), "odd stubs");
+        assert!(Topology::random_regular(4, 4, 1).is_err(), "degree >= n");
+        assert!(Topology::random_regular(4, 0, 1).is_err(), "degree 0");
+    }
+
+    #[test]
+    fn hierarchy_links_racks_rows_and_the_datacenter() {
+        // 2 rows x 2 racks x 3 nodes = 12 nodes.
+        let t = Topology::hierarchical(3, 2, 2, 4.0, 16.0).expect("valid");
+        assert_eq!(t.num_nodes(), 12);
+        // Rack-internal full mesh at unit scale.
+        assert_eq!(t.edge_delay_scale(1, 2), Some(1.0));
+        // Rack leaders 0 and 3 share a row link.
+        assert_eq!(t.edge_delay_scale(0, 3), Some(4.0));
+        // Row leaders 0 and 6 share a datacenter link.
+        assert_eq!(t.edge_delay_scale(0, 6), Some(16.0));
+        // Non-leaders of different racks are not directly linked.
+        assert!(!t.contains_edge(1, 4));
+        assert!(t.is_connected());
+    }
+
+    #[test]
+    fn from_edges_rejects_malformed_graphs() {
+        assert!(Topology::from_edges(1, &[]).is_err(), "too small");
+        assert!(
+            Topology::from_edges(3, &[(0, 0, 1.0)]).is_err(),
+            "self-loop"
+        );
+        assert!(
+            Topology::from_edges(3, &[(0, 3, 1.0)]).is_err(),
+            "out of range"
+        );
+        assert!(
+            Topology::from_edges(3, &[(0, 1, 1.0), (1, 0, 1.0), (1, 2, 1.0)]).is_err(),
+            "duplicate edge"
+        );
+        assert!(
+            Topology::from_edges(4, &[(0, 1, 1.0), (2, 3, 1.0)]).is_err(),
+            "disconnected"
+        );
+        assert!(
+            Topology::from_edges(2, &[(0, 1, 0.0)]).is_err(),
+            "zero scale"
+        );
+    }
+
+    #[test]
+    fn neighbors_are_sorted_ascending_everywhere() {
+        for t in [
+            Topology::complete(7).expect("valid"),
+            Topology::torus(4, 5).expect("valid"),
+            Topology::random_regular(16, 3, 3).expect("feasible"),
+            Topology::hierarchical(4, 3, 2, 3.0, 9.0).expect("valid"),
+        ] {
+            for i in 0..t.num_nodes() {
+                assert!(
+                    t.neighbors(i).windows(2).all(|w| w[0] < w[1]),
+                    "row {i} unsorted"
+                );
+            }
+        }
+    }
+}

@@ -167,7 +167,7 @@ proptest! {
             &config,
             &mut policy,
             seed,
-            SimOptions { record_trace: true, deadline: None },
+            SimOptions { record_trace: true, ..SimOptions::default() },
         );
         let tr = out.trace.expect("requested");
         for (i, n) in config.nodes.iter().enumerate() {

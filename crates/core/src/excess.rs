@@ -97,6 +97,98 @@ pub fn balancing_orders_into(
     }
 }
 
+/// Neighborhood-local form of [`balancing_orders_into`] for one sender
+/// `j`: the Eq. (6)–(7) arithmetic runs over `j`'s *closed neighborhood*
+/// (`j` plus `receivers`) instead of the whole system, so per-sender cost
+/// is O(degree). `receivers` must yield node indices in ascending order
+/// and must not contain `j` — exactly what a CSR adjacency row (or
+/// `SystemView::neighbors`) provides.
+///
+/// On the complete graph (`receivers` = all other nodes) the closed
+/// neighborhood is the whole system walked in the same `0..n` order as
+/// [`balancing_orders_into`], so every float accumulates identically and
+/// the emitted orders are bit-for-bit those of the global scan.
+///
+/// A node with no receivers keeps its load (nothing to ship along).
+///
+/// # Panics
+/// Panics if any weight in the closed neighborhood is non-positive.
+pub fn local_balancing_orders_into(
+    j: usize,
+    receivers: impl Iterator<Item = usize> + Clone,
+    queue: impl Fn(usize) -> u32,
+    weight: impl Fn(usize) -> f64,
+    gain: f64,
+    sink: &mut Vec<TransferOrder>,
+) {
+    // Totals pass over the closed neighborhood, ascending — merging `j`
+    // into the sorted receiver walk keeps the accumulation order of the
+    // global scan on complete graphs.
+    let mut total_rate = 0.0;
+    let mut total_load = 0.0;
+    let mut degree = 0usize;
+    let mut merged = false;
+    let mut absorb = |l: usize| {
+        let w = weight(l);
+        assert!(w > 0.0, "service rates must be positive");
+        total_rate += w;
+        total_load += f64::from(queue(l));
+    };
+    for l in receivers.clone() {
+        debug_assert_ne!(l, j, "receivers must not contain the sender");
+        if !merged && l > j {
+            absorb(j);
+            merged = true;
+        }
+        absorb(l);
+        degree += 1;
+    }
+    if !merged {
+        absorb(j);
+    }
+    if degree == 0 {
+        return;
+    }
+    let n_local = degree + 1;
+    let ex = (f64::from(queue(j)) - weight(j) / total_rate * total_load).max(0.0);
+    if ex <= 0.0 {
+        return;
+    }
+    if n_local == 2 {
+        // Single receiver: the partition is trivially p = 1.
+        let to = receivers.clone().next().expect("degree checked above");
+        let amount = (gain * 1.0 * ex).round() as u32;
+        if amount > 0 {
+            sink.push(TransferOrder {
+                from: j,
+                to,
+                tasks: amount,
+            });
+        }
+        return;
+    }
+    // Σ_{l≠j} m_l/λ_l over the receivers, ascending like the global scan.
+    let mut w_total = 0.0;
+    for l in receivers.clone() {
+        w_total += f64::from(queue(l)) / weight(l);
+    }
+    for i in receivers {
+        let frac = if w_total > 0.0 {
+            (1.0 - (f64::from(queue(i)) / weight(i)) / w_total) / (n_local as f64 - 2.0)
+        } else {
+            1.0 / (n_local as f64 - 1.0)
+        };
+        let amount = (gain * frac * ex).round() as u32;
+        if amount > 0 {
+            sink.push(TransferOrder {
+                from: j,
+                to: i,
+                tasks: amount,
+            });
+        }
+    }
+}
+
 /// Excess load of every node (Eq. 6's `L_excess_j`), as real numbers
 /// (rounding happens when orders are cut).
 ///
@@ -290,5 +382,85 @@ mod tests {
                 assert_eq!(streamed, reference, "queues {queues:?} gain {gain}");
             }
         }
+    }
+
+    /// On the complete graph the neighborhood-local scan must reproduce
+    /// the global scan bit-for-bit — the contract the engine's pinned
+    /// digests rest on.
+    #[test]
+    fn local_orders_on_the_complete_graph_match_the_global_scan() {
+        let cases: &[(&[u32], &[f64])] = &[
+            (&[100, 60], &[1.08, 1.86]),
+            (&[90, 0, 30], &[1.0, 1.0, 1.0]),
+            (&[90, 30, 30, 7], &[1.0, 1.0, 10.0, 0.3]),
+            (&[50, 0, 0], &[1.0, 2.0, 3.0]),
+            (&[0, 0, 0], &[1.0, 2.0, 3.0]),
+            (&[13, 5, 80, 2, 44], &[0.7, 1.1, 2.3, 0.4, 1.9]),
+        ];
+        for &(queues, rates) in cases {
+            let n = queues.len();
+            for gain in [0.0, 0.33, 0.5, 1.0] {
+                let mut global = Vec::new();
+                balancing_orders_into(n, |i| queues[i], |i| rates[i], gain, &mut global);
+                let mut local = Vec::new();
+                for j in 0..n {
+                    local_balancing_orders_into(
+                        j,
+                        (0..n).filter(|&l| l != j),
+                        |i| queues[i],
+                        |i| rates[i],
+                        gain,
+                        &mut local,
+                    );
+                }
+                assert_eq!(local, global, "queues {queues:?} gain {gain}");
+            }
+        }
+    }
+
+    /// On a sparse graph every order stays inside the sender's
+    /// neighborhood and single-neighbor senders ship their whole excess
+    /// along their only edge.
+    #[test]
+    fn local_orders_stay_within_the_neighborhood() {
+        // Line graph 0 - 1 - 2 - 3; all the load sits on node 0.
+        let adjacency: [&[usize]; 4] = [&[1], &[0, 2], &[1, 3], &[2]];
+        let queues = [80u32, 0, 0, 0];
+        let rates = [1.0f64; 4];
+        let mut orders = Vec::new();
+        for (j, neighbors) in adjacency.iter().enumerate() {
+            local_balancing_orders_into(
+                j,
+                neighbors.iter().copied(),
+                |i| queues[i],
+                |i| rates[i],
+                1.0,
+                &mut orders,
+            );
+        }
+        assert!(!orders.is_empty());
+        for o in &orders {
+            assert!(
+                adjacency[o.from].contains(&o.to),
+                "{o:?} leaves the neighborhood"
+            );
+        }
+        // Node 0 sees only {0, 1}: its fair share is half, so it ships
+        // the other half to its single neighbor.
+        assert_eq!(
+            orders[0],
+            TransferOrder {
+                from: 0,
+                to: 1,
+                tasks: 40
+            }
+        );
+    }
+
+    #[test]
+    fn isolated_sender_keeps_its_load() {
+        let mut orders = Vec::new();
+        local_balancing_orders_into(0, std::iter::empty(), |_| 100, |_| 1.0, 1.0, &mut orders);
+        assert!(orders.is_empty());
     }
 }

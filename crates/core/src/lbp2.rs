@@ -122,14 +122,33 @@ impl Lbp2 {
     /// The Eq. (7) orders for the current queue snapshot, appended to
     /// `orders` without allocating — the hot-path form used by the engine
     /// hooks at `t = 0` and by the episodic-rebalancing extension.
+    ///
+    /// Under a topology every sender computes its excess within its closed
+    /// neighborhood and partitions it over its neighbors only (O(degree)
+    /// per node); on the complete graph this reproduces the global scan
+    /// bit-for-bit, so the topology-free path keeps its single totals
+    /// pass.
     pub fn balancing_orders_into(&self, view: &SystemView<'_>, orders: &mut Vec<TransferOrder>) {
-        crate::excess::balancing_orders_into(
-            view.len(),
-            |i| view.queue_len[i],
-            |i| view.service_rate[i],
-            self.gain,
-            orders,
-        );
+        if view.topology.is_none() {
+            crate::excess::balancing_orders_into(
+                view.len(),
+                |i| view.queue_len[i],
+                |i| view.service_rate[i],
+                self.gain,
+                orders,
+            );
+        } else {
+            for j in 0..view.len() {
+                crate::excess::local_balancing_orders_into(
+                    j,
+                    view.neighbors(j),
+                    |i| view.queue_len[i],
+                    |i| view.service_rate[i],
+                    self.gain,
+                    orders,
+                );
+            }
+        }
     }
 
     /// The Eq. (7) orders as a fresh vector (convenience/diagnostic form of
@@ -143,23 +162,45 @@ impl Lbp2 {
 
     /// The Eq. (8) compensation orders for a failure of node `j`, appended
     /// to `orders` without allocating.
+    ///
+    /// Neighbor-local under a topology: the speed-share denominator `Σ λ_d`
+    /// runs over `j`'s closed neighborhood and only neighbors receive, so
+    /// the per-failure cost is O(degree). [`SystemView::neighbors`] walks
+    /// `0..n` minus `j` on the complete graph, making the topology-free
+    /// sums and orders bit-identical to the historical global scan.
     pub fn failure_orders_into(
         &self,
         j: usize,
         view: &SystemView<'_>,
         orders: &mut Vec<TransferOrder>,
     ) {
-        let n = view.len();
         if view.recovery_rate[j] <= 0.0 {
             return; // never recovers — config validation forbids this
         }
         // Expected backlog accumulated while j recovers: λ_dj / λ_rj.
         let backlog = view.service_rate[j] / view.recovery_rate[j];
-        let total_rate: f64 = view.service_rate.iter().sum();
-        for i in 0..n {
-            if i == j {
-                continue;
+        // Σ λ_d over the closed neighborhood, accumulated in ascending
+        // node order (0..n on the complete graph, like the old global
+        // `iter().sum()`).
+        let mut total_rate = 0.0;
+        let mut degree = 0usize;
+        let mut merged = false;
+        for i in view.neighbors(j) {
+            if !merged && i > j {
+                total_rate += view.service_rate[j];
+                merged = true;
             }
+            total_rate += view.service_rate[i];
+            degree += 1;
+        }
+        if !merged {
+            total_rate += view.service_rate[j];
+        }
+        if degree == 0 {
+            return; // isolated node: nowhere to ship the backlog
+        }
+        let n_local = degree + 1;
+        for i in view.neighbors(j) {
             let availability = if self.use_availability_weight {
                 view.availability(i)
             } else {
@@ -168,7 +209,7 @@ impl Lbp2 {
             let speed_share = if self.use_speed_weight {
                 view.service_rate[i] / total_rate
             } else {
-                1.0 / (n as f64 - 1.0)
+                1.0 / (n_local as f64 - 1.0)
             };
             let amount = (availability * speed_share * backlog).floor() as u32;
             if amount > 0 {
@@ -356,5 +397,69 @@ mod tests {
     #[should_panic(expected = "in [0,1]")]
     fn bad_gain_rejected() {
         let _ = Lbp2::new(-0.1);
+    }
+
+    fn four_nodes(queues: [u32; 4]) -> SystemSnapshot {
+        let rows: Vec<NodeView> = queues
+            .iter()
+            .enumerate()
+            .map(|(id, &q)| NodeView {
+                id,
+                queue_len: q,
+                up: true,
+                service_rate: 1.0 + 0.2 * id as f64,
+                failure_rate: 0.05,
+                recovery_rate: 0.1 + 0.05 * id as f64,
+            })
+            .collect();
+        SystemSnapshot::from_nodes(&rows).with_context(0.0, 0.02, 0)
+    }
+
+    /// An explicit complete topology and the implicit one (no topology)
+    /// must yield bit-identical orders — the complete graph *is* the
+    /// paper's model, just spelled out.
+    #[test]
+    fn complete_topology_reproduces_the_global_scan_bit_for_bit() {
+        use churnbal_cluster::Topology;
+        let queues = [90, 3, 41, 0];
+        let implicit = four_nodes(queues);
+        let explicit = four_nodes(queues).with_topology(Topology::complete(4).expect("valid"));
+        let p = Lbp2::new(0.7);
+        assert_eq!(
+            p.balancing_orders(&implicit.view()),
+            p.balancing_orders(&explicit.view())
+        );
+        for j in 0..4 {
+            assert_eq!(
+                p.failure_orders(j, &implicit.view()),
+                p.failure_orders(j, &explicit.view()),
+                "failure of node {j}"
+            );
+        }
+    }
+
+    /// On a ring every order follows an edge and the Eq. 8 denominator
+    /// shrinks to the closed neighborhood.
+    #[test]
+    fn ring_topology_keeps_orders_on_edges() {
+        use churnbal_cluster::Topology;
+        let snap = four_nodes([120, 0, 0, 0]).with_topology(Topology::ring(4).expect("valid"));
+        let topo = Topology::ring(4).expect("valid");
+        let p = Lbp2::new(1.0);
+        let v = snap.view();
+        let balancing = p.balancing_orders(&v);
+        assert!(!balancing.is_empty());
+        for j in 0..4 {
+            for o in p.failure_orders(j, &v) {
+                assert!(topo.contains_edge(o.from, o.to), "{o:?} off the ring");
+                assert_eq!(o.from, j);
+            }
+        }
+        for o in &balancing {
+            assert!(topo.contains_edge(o.from, o.to), "{o:?} off the ring");
+        }
+        // Node 0's neighbors on the 4-ring are 1 and 3; node 2 is two
+        // hops away and must receive nothing directly.
+        assert!(balancing.iter().all(|o| !(o.from == 0 && o.to == 2)));
     }
 }

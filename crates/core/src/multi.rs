@@ -67,15 +67,30 @@ impl Lbp1Multi {
     }
 
     /// The `t = 0` orders, appended to `orders` without allocating — the
-    /// hot-path form used by the `on_start` hook.
+    /// hot-path form used by the `on_start` hook. Neighbor-local under a
+    /// topology (each sender partitions its neighborhood excess over its
+    /// neighbors); identical to the global scan on the complete graph.
     pub fn initial_orders_into(&self, view: &SystemView<'_>, orders: &mut Vec<TransferOrder>) {
-        excess::balancing_orders_into(
-            view.len(),
-            |i| view.queue_len[i],
-            |i| self.weight(view, i),
-            self.gain,
-            orders,
-        );
+        if view.topology.is_none() {
+            excess::balancing_orders_into(
+                view.len(),
+                |i| view.queue_len[i],
+                |i| self.weight(view, i),
+                self.gain,
+                orders,
+            );
+        } else {
+            for j in 0..view.len() {
+                excess::local_balancing_orders_into(
+                    j,
+                    view.neighbors(j),
+                    |i| view.queue_len[i],
+                    |i| self.weight(view, i),
+                    self.gain,
+                    orders,
+                );
+            }
+        }
     }
 
     /// The `t = 0` orders as a fresh vector (convenience/diagnostic form
@@ -226,5 +241,30 @@ mod tests {
     #[should_panic(expected = "in [0,1]")]
     fn bad_gain_rejected() {
         let _ = Lbp1Multi::new(2.0);
+    }
+
+    #[test]
+    fn topology_constrained_initial_orders_follow_edges() {
+        use churnbal_cluster::{SystemSnapshot, Topology};
+        let nodes: Vec<churnbal_cluster::NodeView> = (0..6)
+            .map(|id| churnbal_cluster::NodeView {
+                id,
+                queue_len: if id == 0 { 120 } else { 0 },
+                up: true,
+                service_rate: 1.0,
+                failure_rate: 0.02,
+                recovery_rate: 0.2,
+            })
+            .collect();
+        let topo = Topology::ring(6).expect("valid ring");
+        let snap = SystemSnapshot::from_nodes(&nodes)
+            .with_context(0.0, 0.02, 0)
+            .with_topology(topo);
+        let topo = Topology::ring(6).expect("valid ring");
+        let orders = Lbp1Multi::new(1.0).initial_orders(&snap.view());
+        assert!(!orders.is_empty());
+        for o in &orders {
+            assert!(topo.contains_edge(o.from, o.to), "{o:?} off the ring");
+        }
     }
 }

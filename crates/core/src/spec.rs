@@ -281,6 +281,14 @@ impl PolicySpec {
                 if sender == receiver {
                     return Err("policy lbp1: sender and receiver must differ".into());
                 }
+                if let Some(topo) = config.topology() {
+                    if !topo.contains_edge(*sender, *receiver) {
+                        return Err(format!(
+                            "policy lbp1: ({sender} -> {receiver}) is not an edge of the \
+                             topology, so the transfer cannot be routed"
+                        ));
+                    }
+                }
                 Ok(())
             }
             Self::Lbp1Optimal | Self::Lbp2Optimal | Self::DynamicLbp1 => {
@@ -487,6 +495,34 @@ mod tests {
         assert!(err.contains("[0, 1]"), "{err}");
         let err = PolicySpec::parse("lbp2@x", &t).unwrap_err();
         assert!(err.contains("not a number"), "{err}");
+    }
+
+    #[test]
+    fn lbp1_must_ride_a_topology_edge() {
+        use churnbal_cluster::Topology;
+        let cfg = SystemConfig::new(
+            vec![
+                NodeConfig::reliable(1.0, 40),
+                NodeConfig::reliable(1.0, 0),
+                NodeConfig::reliable(1.0, 0),
+                NodeConfig::reliable(1.0, 0),
+            ],
+            NetworkConfig::exponential(0.02),
+        )
+        .with_topology(Topology::ring(4).expect("valid ring"));
+        let on_edge = PolicySpec::Lbp1 {
+            sender: 0,
+            receiver: 1,
+            gain: 0.5,
+        };
+        assert!(on_edge.validate_for(&cfg).is_ok());
+        let off_edge = PolicySpec::Lbp1 {
+            sender: 0,
+            receiver: 2,
+            gain: 0.5,
+        };
+        let err = off_edge.validate_for(&cfg).unwrap_err();
+        assert!(err.contains("not an edge"), "{err}");
     }
 
     #[test]

@@ -1,0 +1,317 @@
+//! Pluggable event-queue backends behind one interface.
+//!
+//! Two implementations share the determinism contract (strict
+//! `(time, seq)` pop order, truthful O(log n)-or-better cancellation,
+//! allocation-reusing `clear`):
+//!
+//! * [`EventQueue`] — the indexed binary heap: O(log n) operations,
+//!   tightly allocation-free in steady state, unbeatable at small N;
+//! * [`CalendarQueue`] — the calendar queue: amortised O(1) operations,
+//!   the right shape once the pending-event population reaches the
+//!   tens of thousands (one service + one churn timer per node).
+//!
+//! [`QueueBackend`] names a backend on configuration surfaces (simulation
+//! options, CLI flags); its `Auto` variant defers the choice to the fleet
+//! size via [`QueueBackend::resolve`]. [`BackendQueue`] is the enum
+//! dispatcher the simulation engine embeds — a two-variant match per
+//! operation, no virtual calls, payloads never boxed.
+
+use crate::calendar::CalendarQueue;
+use crate::engine::{EventId, EventQueue, ScheduledEvent};
+use crate::time::SimTime;
+
+/// Fleet size at which [`QueueBackend::Auto`] switches from the indexed
+/// heap to the calendar queue. Below it the heap's cache-tight sifts win;
+/// above it the calendar's O(1) amortised operations do. The crossover is
+/// flat over a wide range, so a round power of two keeps the resolution
+/// predictable.
+pub const CALENDAR_AUTO_THRESHOLD: usize = 4096;
+
+/// The common interface both event-queue backends implement. Generic
+/// code (differential tests, harnesses) can be written against this
+/// trait; the engine itself uses the monomorphic [`BackendQueue`].
+pub trait EventQueueBackend<E> {
+    /// Current simulation time (time of the most recent pop).
+    fn now(&self) -> SimTime;
+    /// Number of live events still pending.
+    fn len(&self) -> usize;
+    /// True when no live events remain.
+    fn is_empty(&self) -> bool;
+    /// Empties the queue, resetting clock and sequence counter while
+    /// keeping allocations; outstanding ids go stale.
+    fn clear(&mut self);
+    /// Schedules `payload` at absolute time `at`; panics if in the past.
+    fn schedule_at(&mut self, at: SimTime, payload: E) -> EventId;
+    /// Schedules `payload` after a finite non-negative delay from `now`.
+    fn schedule_in(&mut self, delay: f64, payload: E) -> EventId;
+    /// Cancels a pending event; `true` iff it was still pending.
+    fn cancel(&mut self, id: EventId) -> bool;
+    /// Pops the next event in strict `(time, seq)` order.
+    fn pop(&mut self) -> Option<ScheduledEvent<E>>;
+    /// Firing time of the next live event, if any.
+    fn peek_time(&self) -> Option<SimTime>;
+}
+
+macro_rules! forward_backend {
+    ($ty:ident) => {
+        impl<E> EventQueueBackend<E> for $ty<E> {
+            fn now(&self) -> SimTime {
+                $ty::now(self)
+            }
+            fn len(&self) -> usize {
+                $ty::len(self)
+            }
+            fn is_empty(&self) -> bool {
+                $ty::is_empty(self)
+            }
+            fn clear(&mut self) {
+                $ty::clear(self);
+            }
+            fn schedule_at(&mut self, at: SimTime, payload: E) -> EventId {
+                $ty::schedule_at(self, at, payload)
+            }
+            fn schedule_in(&mut self, delay: f64, payload: E) -> EventId {
+                $ty::schedule_in(self, delay, payload)
+            }
+            fn cancel(&mut self, id: EventId) -> bool {
+                $ty::cancel(self, id)
+            }
+            fn pop(&mut self) -> Option<ScheduledEvent<E>> {
+                $ty::pop(self)
+            }
+            fn peek_time(&self) -> Option<SimTime> {
+                $ty::peek_time(self)
+            }
+        }
+    };
+}
+
+forward_backend!(EventQueue);
+forward_backend!(CalendarQueue);
+
+/// Which event-queue backend a simulation should run on.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum QueueBackend {
+    /// Pick by fleet size: heap below [`CALENDAR_AUTO_THRESHOLD`] nodes,
+    /// calendar at or above it.
+    #[default]
+    Auto,
+    /// Force the indexed binary heap.
+    Heap,
+    /// Force the calendar queue.
+    Calendar,
+}
+
+impl QueueBackend {
+    /// Resolves `Auto` against a fleet size, returning the concrete
+    /// backend (`Heap` or `Calendar`, never `Auto`).
+    #[must_use]
+    pub fn resolve(self, fleet: usize) -> Self {
+        match self {
+            Self::Auto => {
+                if fleet >= CALENDAR_AUTO_THRESHOLD {
+                    Self::Calendar
+                } else {
+                    Self::Heap
+                }
+            }
+            concrete => concrete,
+        }
+    }
+
+    /// Parses a backend name as written on CLI/TOML surfaces.
+    ///
+    /// # Errors
+    /// Returns the offending token when it names no backend.
+    pub fn parse(token: &str) -> Result<Self, String> {
+        match token {
+            "auto" => Ok(Self::Auto),
+            "heap" => Ok(Self::Heap),
+            "calendar" => Ok(Self::Calendar),
+            other => Err(format!(
+                "unknown event-queue backend \"{other}\" (expected auto | heap | calendar)"
+            )),
+        }
+    }
+
+    /// The canonical token [`QueueBackend::parse`] accepts for `self`.
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Self::Auto => "auto",
+            Self::Heap => "heap",
+            Self::Calendar => "calendar",
+        }
+    }
+}
+
+/// The engine-embedded dispatcher: one of the two concrete backends,
+/// behind inherent methods that forward with a two-variant match.
+pub enum BackendQueue<E> {
+    /// Indexed binary heap (small fleets).
+    Heap(EventQueue<E>),
+    /// Calendar queue (large fleets).
+    Calendar(CalendarQueue<E>),
+}
+
+impl<E> BackendQueue<E> {
+    /// Builds the backend `choice` resolves to for a fleet of `fleet`
+    /// nodes.
+    #[must_use]
+    pub fn for_fleet(choice: QueueBackend, fleet: usize) -> Self {
+        match choice.resolve(fleet) {
+            QueueBackend::Calendar => Self::Calendar(CalendarQueue::new()),
+            _ => Self::Heap(EventQueue::new()),
+        }
+    }
+
+    /// The concrete backend this queue runs on (never `Auto`).
+    #[must_use]
+    pub fn backend(&self) -> QueueBackend {
+        match self {
+            Self::Heap(_) => QueueBackend::Heap,
+            Self::Calendar(_) => QueueBackend::Calendar,
+        }
+    }
+
+    /// Current simulation time.
+    #[must_use]
+    pub fn now(&self) -> SimTime {
+        match self {
+            Self::Heap(q) => q.now(),
+            Self::Calendar(q) => q.now(),
+        }
+    }
+
+    /// Number of live events still pending.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        match self {
+            Self::Heap(q) => q.len(),
+            Self::Calendar(q) => q.len(),
+        }
+    }
+
+    /// True when no live events remain.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        match self {
+            Self::Heap(q) => q.is_empty(),
+            Self::Calendar(q) => q.is_empty(),
+        }
+    }
+
+    /// Resets to the fresh state, keeping allocations; old ids go stale.
+    pub fn clear(&mut self) {
+        match self {
+            Self::Heap(q) => q.clear(),
+            Self::Calendar(q) => q.clear(),
+        }
+    }
+
+    /// Schedules `payload` at absolute time `at`; panics if in the past.
+    pub fn schedule_at(&mut self, at: SimTime, payload: E) -> EventId {
+        match self {
+            Self::Heap(q) => q.schedule_at(at, payload),
+            Self::Calendar(q) => q.schedule_at(at, payload),
+        }
+    }
+
+    /// Schedules `payload` after a finite non-negative delay from `now`.
+    pub fn schedule_in(&mut self, delay: f64, payload: E) -> EventId {
+        match self {
+            Self::Heap(q) => q.schedule_in(delay, payload),
+            Self::Calendar(q) => q.schedule_in(delay, payload),
+        }
+    }
+
+    /// Cancels a pending event; `true` iff it was still pending.
+    pub fn cancel(&mut self, id: EventId) -> bool {
+        match self {
+            Self::Heap(q) => q.cancel(id),
+            Self::Calendar(q) => q.cancel(id),
+        }
+    }
+
+    /// Pops the next event in strict `(time, seq)` order.
+    pub fn pop(&mut self) -> Option<ScheduledEvent<E>> {
+        match self {
+            Self::Heap(q) => q.pop(),
+            Self::Calendar(q) => q.pop(),
+        }
+    }
+
+    /// Firing time of the next live event, if any.
+    #[must_use]
+    pub fn peek_time(&self) -> Option<SimTime> {
+        match self {
+            Self::Heap(q) => q.peek_time(),
+            Self::Calendar(q) => q.peek_time(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn auto_resolves_by_fleet_size() {
+        assert_eq!(
+            QueueBackend::Auto.resolve(CALENDAR_AUTO_THRESHOLD - 1),
+            QueueBackend::Heap
+        );
+        assert_eq!(
+            QueueBackend::Auto.resolve(CALENDAR_AUTO_THRESHOLD),
+            QueueBackend::Calendar
+        );
+        assert_eq!(QueueBackend::Heap.resolve(1_000_000), QueueBackend::Heap);
+        assert_eq!(QueueBackend::Calendar.resolve(2), QueueBackend::Calendar);
+    }
+
+    #[test]
+    fn parse_round_trips_the_canonical_tokens() {
+        for backend in [
+            QueueBackend::Auto,
+            QueueBackend::Heap,
+            QueueBackend::Calendar,
+        ] {
+            assert_eq!(QueueBackend::parse(backend.as_str()), Ok(backend));
+        }
+        assert!(QueueBackend::parse("wheel").is_err());
+    }
+
+    #[test]
+    fn dispatcher_builds_the_resolved_variant() {
+        let small: BackendQueue<u8> = BackendQueue::for_fleet(QueueBackend::Auto, 2);
+        assert_eq!(small.backend(), QueueBackend::Heap);
+        let large: BackendQueue<u8> = BackendQueue::for_fleet(QueueBackend::Auto, 10_000);
+        assert_eq!(large.backend(), QueueBackend::Calendar);
+    }
+
+    #[test]
+    fn both_variants_run_the_same_program_identically() {
+        let mut queues = [
+            BackendQueue::for_fleet(QueueBackend::Heap, 0),
+            BackendQueue::for_fleet(QueueBackend::Calendar, 0),
+        ];
+        let traces: Vec<Vec<(SimTime, u32)>> = queues
+            .iter_mut()
+            .map(|q| {
+                let mut ids = Vec::new();
+                for i in 0..100u32 {
+                    ids.push(q.schedule_in(f64::from(i % 9) * 0.5, i));
+                }
+                q.cancel(ids[7]);
+                q.cancel(ids[42]);
+                let mut out = Vec::new();
+                while let Some(e) = q.pop() {
+                    out.push((e.time, e.payload));
+                }
+                out
+            })
+            .collect();
+        assert_eq!(traces[0], traces[1]);
+        assert_eq!(traces[0].len(), 98);
+    }
+}

@@ -1,0 +1,619 @@
+//! The calendar-queue backend: O(1) amortised scheduling for huge fleets.
+//!
+//! A calendar queue (Brown, CACM 1988) hashes each event into a bucket by
+//! `floor(time / width) mod nbuckets` — a "day" of a repeating "year" —
+//! and pops by sweeping the calendar from the current day forward. With
+//! the bucket count resized to track the live-event population and the
+//! bucket width tracking the average event spacing, each bucket holds O(1)
+//! events and every operation is O(1) amortised, versus the indexed
+//! heap's O(log n). At 10⁴–10⁶ pending events (one service + one churn
+//! timer per node) the difference is the hot path.
+//!
+//! Determinism contract: **identical pop order to [`EventQueue`]** —
+//! strict `(time, seq)` order with the same monotone `seq` counter, so a
+//! simulation driven by either backend follows the same trajectory bit
+//! for bit. (Event *ids* may differ across backends; they are opaque.)
+//! The cross-backend differential proptest and the pinned run digests in
+//! the workspace test suite hold the two implementations to that
+//! contract.
+//!
+//! Membership of the sweep's current day is decided by an integer compare
+//! against the absolute day number stamped on each entry at insertion —
+//! never by a float comparison against a recomputed bucket boundary — so
+//! rounding can never make the sweep and the hash disagree. If a whole
+//! year passes without a hit (all events far in the future, or day
+//! numbers saturated by extreme times), the pop falls back to a direct
+//! min-scan of every bucket, which is exact by construction.
+//!
+//! [`EventQueue`]: crate::EventQueue
+
+use crate::engine::{EventId, ScheduledEvent};
+use crate::time::SimTime;
+
+/// Calendar entry: firing time, FIFO tie-break, slot-map backlink, the
+/// absolute day number it hashes to under the current width, and the
+/// payload itself.
+struct Entry<E> {
+    time: SimTime,
+    seq: u64,
+    slot: u32,
+    /// `floor(time / width)` under the width current at (re)insertion —
+    /// the integer the sweep compares against, recomputed on resize.
+    day: u64,
+    payload: E,
+}
+
+impl<E> Entry<E> {
+    /// Strict total order: earlier time first, FIFO (`seq`) among ties —
+    /// the same order the indexed heap pops in.
+    fn sorts_before(&self, other: &Self) -> bool {
+        match self.time.cmp(&other.time) {
+            std::cmp::Ordering::Less => true,
+            std::cmp::Ordering::Greater => false,
+            std::cmp::Ordering::Equal => self.seq < other.seq,
+        }
+    }
+}
+
+/// One slot-map cell: the current tenant's generation and, while an event
+/// is pending in this slot, the bucket index it lives in.
+#[derive(Clone, Copy, Debug)]
+struct Slot {
+    generation: u32,
+    bucket: u32,
+}
+
+/// Sentinel bucket index for a slot with no pending event.
+const VACANT: u32 = u32::MAX;
+
+/// Smallest bucket count the calendar shrinks to.
+const MIN_BUCKETS: usize = 4;
+
+/// Floor for the adaptive bucket width, guarding degenerate spacings.
+const MIN_WIDTH: f64 = 1e-12;
+
+/// Pops between width-refit checks. Each check is O(1); an actual refit
+/// is an O(live) rebuild, so the amortised refit cost per pop is
+/// O(live / `REFIT_INTERVAL`) — negligible at the fleet sizes that select
+/// this backend.
+const REFIT_INTERVAL: u32 = 1024;
+
+/// Days of simulated time one popped gap is worth in the width estimate:
+/// `width = GAP_DAYS × avg_gap` targets a handful of events per day.
+const GAP_DAYS: f64 = 4.0;
+
+/// EMA smoothing for the inter-pop gap estimate (`1/64` per pop).
+const GAP_ALPHA: f64 = 1.0 / 64.0;
+
+/// Deterministic future-event list organised as a calendar queue:
+/// amortised O(1) schedule/cancel/pop with the exact `(time, seq)` pop
+/// order of the indexed-heap [`EventQueue`].
+///
+/// ```
+/// use churnbal_desim::CalendarQueue;
+/// let mut q = CalendarQueue::new();
+/// q.schedule_in(2.0, "later");
+/// let first = q.schedule_in(1.0, "sooner");
+/// q.cancel(first);
+/// let ev = q.pop().unwrap();
+/// assert_eq!(ev.payload, "later");
+/// assert_eq!(q.now().seconds(), 2.0);
+/// ```
+///
+/// The queue owns the simulation clock exactly like the heap backend:
+/// [`CalendarQueue::now`] is the time of the most recently popped event
+/// (initially `0`), and scheduling earlier than `now` panics.
+///
+/// [`EventQueue`]: crate::EventQueue
+pub struct CalendarQueue<E> {
+    /// The calendar: `buckets[floor(t / width) % buckets.len()]`.
+    buckets: Vec<Vec<Entry<E>>>,
+    /// Current bucket width (one "day" of simulated time).
+    width: f64,
+    /// Live entries across all buckets.
+    live: usize,
+    /// Slot map: `EventId::slot` → generation + bucket index.
+    slots: Vec<Slot>,
+    /// Recycled slot indices.
+    free: Vec<u32>,
+    /// Monotone schedule counter — the FIFO tie-break, never recycled.
+    next_seq: u64,
+    now: SimTime,
+    /// EMA of the gap between consecutive pop times, in seconds —
+    /// the head-of-queue event density the width is fitted to. Negative
+    /// while unseeded (no pop yet).
+    avg_gap: f64,
+    /// Pops since the last width-refit check.
+    pops_since_refit: u32,
+}
+
+impl<E> Default for CalendarQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> CalendarQueue<E> {
+    /// Creates an empty queue with the clock at zero.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            buckets: (0..MIN_BUCKETS).map(|_| Vec::new()).collect(),
+            width: 1.0,
+            live: 0,
+            slots: Vec::new(),
+            free: Vec::new(),
+            next_seq: 0,
+            now: SimTime::ZERO,
+            avg_gap: -1.0,
+            pops_since_refit: 0,
+        }
+    }
+
+    /// Current simulation time.
+    #[must_use]
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of live events still pending.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.live
+    }
+
+    /// True when no live events remain.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.live == 0
+    }
+
+    /// Empties the queue and resets the clock and schedule counter to the
+    /// freshly-constructed state, keeping every allocation (bucket
+    /// capacity, slot map, free list). Outstanding [`EventId`]s are
+    /// invalidated ([`CalendarQueue::cancel`] returns `false` for them).
+    pub fn clear(&mut self) {
+        for bucket in &mut self.buckets {
+            bucket.clear();
+        }
+        self.live = 0;
+        self.free.clear();
+        for (i, slot) in self.slots.iter_mut().enumerate() {
+            slot.generation = slot.generation.wrapping_add(1);
+            slot.bucket = VACANT;
+            self.free.push(i as u32);
+        }
+        self.next_seq = 0;
+        self.now = SimTime::ZERO;
+        self.avg_gap = -1.0;
+        self.pops_since_refit = 0;
+    }
+
+    /// The absolute day number of `time` under the current width. The
+    /// cast saturates for astronomically large quotients; saturated days
+    /// are unreachable by the sweep and served by the direct-search
+    /// fallback instead, so order stays exact.
+    fn day_of(&self, time: SimTime) -> u64 {
+        (time.seconds() / self.width).floor() as u64
+    }
+
+    /// Schedules `payload` at absolute time `at`.
+    ///
+    /// # Panics
+    /// Panics if `at` is before the current time.
+    pub fn schedule_at(&mut self, at: SimTime, payload: E) -> EventId {
+        assert!(
+            at >= self.now,
+            "cannot schedule in the past ({at} < {})",
+            self.now
+        );
+        let slot = match self.free.pop() {
+            Some(s) => s,
+            None => {
+                let s = u32::try_from(self.slots.len()).expect("more than 2^32 pending events");
+                self.slots.push(Slot {
+                    generation: 0,
+                    bucket: VACANT,
+                });
+                s
+            }
+        };
+        let day = self.day_of(at);
+        let bucket = (day % self.buckets.len() as u64) as usize;
+        self.slots[slot as usize].bucket = bucket as u32;
+        let id = EventId::new(slot, self.slots[slot as usize].generation);
+        self.buckets[bucket].push(Entry {
+            time: at,
+            seq: self.next_seq,
+            slot,
+            day,
+            payload,
+        });
+        self.next_seq += 1;
+        self.live += 1;
+        if self.live > 2 * self.buckets.len() {
+            self.resize(2 * self.buckets.len());
+        }
+        id
+    }
+
+    /// Schedules `payload` after a non-negative delay from `now`.
+    ///
+    /// # Panics
+    /// Panics if `delay` is negative or non-finite.
+    pub fn schedule_in(&mut self, delay: f64, payload: E) -> EventId {
+        assert!(
+            delay.is_finite() && delay >= 0.0,
+            "delay must be finite and >= 0, got {delay}"
+        );
+        self.schedule_at(self.now + delay, payload)
+    }
+
+    /// Cancels a pending event. Returns `true` if the event was still
+    /// pending (and is now guaranteed never to fire), `false` if it
+    /// already fired, was already cancelled, or was never issued. O(1)
+    /// amortised: the slot map names the bucket and buckets hold O(1)
+    /// entries on average.
+    pub fn cancel(&mut self, id: EventId) -> bool {
+        let Some(slot) = self.slots.get(id.slot()) else {
+            return false; // never issued
+        };
+        if slot.generation != id.generation() || slot.bucket == VACANT {
+            return false; // fired, cancelled, or a stale pre-clear handle
+        }
+        let bucket = slot.bucket as usize;
+        let target = id.slot() as u32;
+        let pos = self.buckets[bucket]
+            .iter()
+            .position(|e| e.slot == target)
+            .expect("slot map points at a bucket that lacks the entry");
+        self.buckets[bucket].swap_remove(pos);
+        self.release_slot(id.slot());
+        self.live -= 1;
+        self.maybe_shrink();
+        true
+    }
+
+    /// Pops the next live event in strict `(time, seq)` order, advancing
+    /// the clock to its firing time. Returns `None` when the queue is
+    /// exhausted.
+    ///
+    /// Sweeps day by day from `now`: every live entry fires at or after
+    /// `now` (the schedule-in-the-past panic guarantees it), so the
+    /// earliest entry of the first non-empty day *is* the global minimum —
+    /// entries of the same day share a bucket, and `seq` breaks exact
+    /// ties. A fruitless full year falls back to a direct min-scan.
+    pub fn pop(&mut self) -> Option<ScheduledEvent<E>> {
+        if self.live == 0 {
+            return None;
+        }
+        let nbuckets = self.buckets.len() as u64;
+        let mut day = self.day_of(self.now);
+        for _ in 0..nbuckets {
+            let bucket = (day % nbuckets) as usize;
+            let mut best: Option<usize> = None;
+            for (i, entry) in self.buckets[bucket].iter().enumerate() {
+                if entry.day == day
+                    && best.is_none_or(|b| entry.sorts_before(&self.buckets[bucket][b]))
+                {
+                    best = Some(i);
+                }
+            }
+            if let Some(pos) = best {
+                return Some(self.take(bucket, pos));
+            }
+            day = match day.checked_add(1) {
+                Some(d) => d,
+                None => break, // saturated days: direct search below
+            };
+        }
+        // Nothing within a year of `now`: find the true minimum directly.
+        let (bucket, pos) = self
+            .buckets
+            .iter()
+            .enumerate()
+            .flat_map(|(b, entries)| entries.iter().enumerate().map(move |(i, e)| (b, i, e)))
+            .reduce(|min, cur| if cur.2.sorts_before(min.2) { cur } else { min })
+            .map(|(b, i, _)| (b, i))
+            .expect("live > 0 but no entry found");
+        Some(self.take(bucket, pos))
+    }
+
+    /// Peeks at the firing time of the next live event without popping
+    /// it. O(live) — the engine's hot path never peeks, so the calendar
+    /// trades this for O(1) pops.
+    #[must_use]
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.buckets
+            .iter()
+            .flatten()
+            .reduce(|min, cur| if cur.sorts_before(min) { cur } else { min })
+            .map(|e| e.time)
+    }
+
+    /// Removes the entry at `buckets[bucket][pos]`, releasing its slot,
+    /// advancing the clock and re-balancing the calendar.
+    fn take(&mut self, bucket: usize, pos: usize) -> ScheduledEvent<E> {
+        let entry = self.buckets[bucket].swap_remove(pos);
+        let id = EventId::new(entry.slot, self.slots[entry.slot as usize].generation);
+        self.release_slot(entry.slot as usize);
+        self.live -= 1;
+        debug_assert!(entry.time >= self.now, "event queue went back in time");
+        let gap = entry.time.seconds() - self.now.seconds();
+        self.avg_gap = if self.avg_gap < 0.0 {
+            gap
+        } else {
+            (1.0 - GAP_ALPHA) * self.avg_gap + GAP_ALPHA * gap
+        };
+        self.now = entry.time;
+        self.maybe_shrink();
+        self.maybe_refit();
+        ScheduledEvent {
+            time: entry.time,
+            id,
+            payload: entry.payload,
+        }
+    }
+
+    /// The bucket width the head-of-queue event density asks for: a few
+    /// average inter-pop gaps per day. Falls back to the mean spacing of
+    /// the whole pending span before any pop has seeded the gap estimate.
+    fn target_width(&self, span: f64, entries: usize) -> f64 {
+        if self.avg_gap >= 0.0 {
+            (GAP_DAYS * self.avg_gap).max(MIN_WIDTH)
+        } else if entries > 1 && span > 0.0 {
+            (span / entries as f64).max(MIN_WIDTH)
+        } else {
+            1.0
+        }
+    }
+
+    /// Every [`REFIT_INTERVAL`] pops, rebuilds the calendar if the width
+    /// has drifted far from what the observed event density asks for —
+    /// the span-fitted width goes stale when a sparse far-future tail
+    /// (idle churn timers) coexists with a dense near-term head (service
+    /// completions), the skew large fleets always have.
+    fn maybe_refit(&mut self) {
+        self.pops_since_refit += 1;
+        if self.pops_since_refit < REFIT_INTERVAL {
+            return;
+        }
+        self.pops_since_refit = 0;
+        if self.avg_gap < 0.0 || self.live == 0 {
+            return;
+        }
+        let target = (GAP_DAYS * self.avg_gap).max(MIN_WIDTH);
+        if self.width > 4.0 * target || self.width < target / 4.0 {
+            self.resize(self.buckets.len());
+        }
+    }
+
+    /// Marks a slot's event as gone: bumps the generation (staling the old
+    /// id) and returns the slot to the free list.
+    fn release_slot(&mut self, slot: usize) {
+        self.slots[slot].generation = self.slots[slot].generation.wrapping_add(1);
+        self.slots[slot].bucket = VACANT;
+        self.free.push(slot as u32);
+    }
+
+    fn maybe_shrink(&mut self) {
+        if self.buckets.len() > MIN_BUCKETS && self.live < self.buckets.len() / 2 {
+            let target = (self.buckets.len() / 2).max(MIN_BUCKETS);
+            self.resize(target);
+        }
+    }
+
+    /// Rebuilds the calendar with `nbuckets` buckets and a width fitted
+    /// to the observed head-of-queue event density (see
+    /// [`CalendarQueue::target_width`]), so each day holds O(1) of the
+    /// events the sweep actually visits.
+    fn resize(&mut self, nbuckets: usize) {
+        let mut entries: Vec<Entry<E>> = Vec::with_capacity(self.live);
+        for bucket in &mut self.buckets {
+            entries.append(bucket);
+        }
+        let (mut lo, mut hi) = (f64::INFINITY, f64::NEG_INFINITY);
+        for e in &entries {
+            lo = lo.min(e.time.seconds());
+            hi = hi.max(e.time.seconds());
+        }
+        self.width = self.target_width(hi - lo, entries.len());
+        if self.buckets.len() < nbuckets {
+            self.buckets.resize_with(nbuckets, Vec::new);
+        } else {
+            self.buckets.truncate(nbuckets);
+        }
+        for mut entry in entries {
+            let day = self.day_of(entry.time);
+            let bucket = (day % nbuckets as u64) as usize;
+            entry.day = day;
+            self.slots[entry.slot as usize].bucket = bucket as u32;
+            self.buckets[bucket].push(entry);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = CalendarQueue::new();
+        q.schedule_at(SimTime::new(3.0), "c");
+        q.schedule_at(SimTime::new(1.0), "a");
+        q.schedule_at(SimTime::new(2.0), "b");
+        let order: Vec<&str> = std::iter::from_fn(|| q.pop().map(|e| e.payload)).collect();
+        assert_eq!(order, vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn ties_break_fifo() {
+        let mut q = CalendarQueue::new();
+        for i in 0..10 {
+            q.schedule_at(SimTime::new(1.0), i);
+        }
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|e| e.payload)).collect();
+        assert_eq!(order, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn clock_advances_with_pops() {
+        let mut q = CalendarQueue::new();
+        q.schedule_in(5.0, ());
+        q.schedule_in(1.0, ());
+        assert_eq!(q.now(), SimTime::ZERO);
+        q.pop();
+        assert_eq!(q.now(), SimTime::new(1.0));
+        q.pop();
+        assert_eq!(q.now(), SimTime::new(5.0));
+    }
+
+    #[test]
+    fn cancel_prevents_firing_and_is_truthful() {
+        let mut q = CalendarQueue::new();
+        let keep = q.schedule_in(1.0, "keep");
+        let drop = q.schedule_in(2.0, "drop");
+        assert_eq!(q.len(), 2);
+        assert!(q.cancel(drop));
+        assert!(!q.cancel(drop));
+        assert_eq!(q.len(), 1);
+        let fired: Vec<&str> = std::iter::from_fn(|| q.pop().map(|e| e.payload)).collect();
+        assert_eq!(fired, vec!["keep"]);
+        assert!(!q.cancel(keep), "fired event cancelled");
+    }
+
+    #[test]
+    fn stale_ids_stay_dead_across_slot_reuse() {
+        let mut q = CalendarQueue::new();
+        let old = q.schedule_in(1.0, "old");
+        q.pop();
+        let new = q.schedule_in(2.0, "new");
+        assert!(!q.cancel(old), "stale id cancelled the new tenant");
+        assert_eq!(q.len(), 1);
+        assert!(q.cancel(new));
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn far_future_events_pop_via_the_direct_search() {
+        // Events many years beyond the calendar's horizon: the sweep finds
+        // nothing within a year and the fallback must pick the true min.
+        let mut q = CalendarQueue::new();
+        q.schedule_at(SimTime::new(1.0e9), "far");
+        q.schedule_at(SimTime::new(2.0e9), "farther");
+        q.schedule_at(SimTime::new(0.5e9), "nearer");
+        assert_eq!(q.pop().map(|e| e.payload), Some("nearer"));
+        assert_eq!(q.pop().map(|e| e.payload), Some("far"));
+        assert_eq!(q.pop().map(|e| e.payload), Some("farther"));
+    }
+
+    #[test]
+    fn growth_and_shrink_keep_order_exact() {
+        // Push far past the initial bucket count (forces grows), drain
+        // half (forces shrinks), and check strict (time, seq) order.
+        let mut q = CalendarQueue::new();
+        let ids: Vec<EventId> = (0..500u32)
+            .map(|i| q.schedule_at(SimTime::new(f64::from((i * 97) % 251) * 0.1), i))
+            .collect();
+        for id in ids.iter().step_by(3) {
+            assert!(q.cancel(*id));
+        }
+        let mut last: Option<(SimTime, u32)> = None;
+        let mut seen = 0;
+        while let Some(e) = q.pop() {
+            if let Some((t, s)) = last {
+                assert!(
+                    e.time > t || (e.time == t && e.payload > s),
+                    "order violated at {:?} after ({t:?}, {s})",
+                    (e.time, e.payload)
+                );
+            }
+            last = Some((e.time, e.payload));
+            seen += 1;
+        }
+        assert_eq!(seen, 500 - ids.iter().step_by(3).count());
+    }
+
+    #[test]
+    fn clear_resets_to_the_fresh_state_and_stales_old_ids() {
+        let mut q = CalendarQueue::new();
+        let a = q.schedule_in(1.0, 1);
+        q.schedule_in(2.0, 2);
+        q.pop();
+        q.clear();
+        assert!(q.is_empty());
+        assert_eq!(q.now(), SimTime::ZERO);
+        assert!(!q.cancel(a), "pre-clear id survived the clear");
+        q.schedule_in(3.0, 30);
+        q.schedule_in(1.0, 10);
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|e| e.payload)).collect();
+        assert_eq!(order, vec![10, 30]);
+        assert_eq!(q.now(), SimTime::new(3.0));
+    }
+
+    #[test]
+    fn peek_matches_pop() {
+        let mut q = CalendarQueue::new();
+        let first = q.schedule_in(1.0, "x");
+        q.schedule_in(2.0, "y");
+        q.cancel(first);
+        assert_eq!(q.peek_time(), Some(SimTime::new(2.0)));
+        assert_eq!(q.pop().map(|e| e.payload), Some("y"));
+        assert!(q.peek_time().is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "in the past")]
+    fn scheduling_in_the_past_panics() {
+        let mut q = CalendarQueue::new();
+        q.schedule_in(5.0, ());
+        q.pop();
+        q.schedule_at(SimTime::new(1.0), ());
+    }
+
+    #[test]
+    #[should_panic(expected = "delay must be finite")]
+    fn negative_delay_panics() {
+        let mut q = CalendarQueue::new();
+        q.schedule_in(-1.0, ());
+    }
+
+    #[test]
+    fn matches_the_heap_on_an_interleaved_trace() {
+        // A miniature inline differential check (the full randomized one
+        // lives in the proptest suite): identical schedule/cancel/pop
+        // programs must produce identical pop sequences.
+        use crate::EventQueue;
+        let mut heap = EventQueue::new();
+        let mut cal = CalendarQueue::new();
+        let mut heap_ids = Vec::new();
+        let mut cal_ids = Vec::new();
+        for i in 0..400u32 {
+            let delay = f64::from((i * 31) % 17) * 0.25;
+            heap_ids.push(heap.schedule_in(delay, i));
+            cal_ids.push(cal.schedule_in(delay, i));
+            if i % 5 == 3 {
+                let k = (i as usize * 7) % heap_ids.len();
+                assert_eq!(heap.cancel(heap_ids[k]), cal.cancel(cal_ids[k]));
+            }
+            if i % 3 == 0 {
+                let h = heap.pop();
+                let c = cal.pop();
+                assert_eq!(h.as_ref().map(|e| (e.time, e.payload)), {
+                    c.as_ref().map(|e| (e.time, e.payload))
+                });
+            }
+        }
+        loop {
+            let h = heap.pop();
+            let c = cal.pop();
+            assert_eq!(h.as_ref().map(|e| (e.time, e.payload)), {
+                c.as_ref().map(|e| (e.time, e.payload))
+            });
+            if h.is_none() {
+                break;
+            }
+        }
+    }
+}

@@ -36,15 +36,15 @@ use crate::time::SimTime;
 pub struct EventId(u64);
 
 impl EventId {
-    fn new(slot: u32, generation: u32) -> Self {
+    pub(crate) fn new(slot: u32, generation: u32) -> Self {
         Self((u64::from(generation) << 32) | u64::from(slot))
     }
 
-    fn slot(self) -> usize {
+    pub(crate) fn slot(self) -> usize {
         (self.0 & 0xFFFF_FFFF) as usize
     }
 
-    fn generation(self) -> u32 {
+    pub(crate) fn generation(self) -> u32 {
         (self.0 >> 32) as u32
     }
 }

@@ -24,11 +24,23 @@
 //!   [`EventQueue::clear`] resets for reuse without releasing capacity.
 //! * **Monotone clock.** [`SimTime`] is a validated, totally ordered wrapper
 //!   over `f64`; the engine panics loudly if asked to schedule in the past.
+//! * **Pluggable backends.** The future-event list comes in two shapes
+//!   behind one contract: the indexed binary heap ([`EventQueue`],
+//!   O(log n), small fleets) and the calendar queue ([`CalendarQueue`],
+//!   amortised O(1), huge fleets). [`QueueBackend`] selects one —
+//!   `Auto` switches on fleet size at [`CALENDAR_AUTO_THRESHOLD`] — and
+//!   [`BackendQueue`] dispatches without virtual calls. Both backends pop
+//!   in identical `(time, seq)` order, so the choice never changes a
+//!   trajectory, only the wall clock.
 //!
 //! The kernel is payload-generic: it knows nothing about nodes or tasks.
 
+mod backend;
+mod calendar;
 mod engine;
 mod time;
 
+pub use backend::{BackendQueue, EventQueueBackend, QueueBackend, CALENDAR_AUTO_THRESHOLD};
+pub use calendar::CalendarQueue;
 pub use engine::{EventId, EventQueue, ScheduledEvent};
 pub use time::SimTime;

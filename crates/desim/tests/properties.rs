@@ -1,7 +1,7 @@
 //! Property-based tests of the event kernel: arbitrary interleavings of
 //! scheduling and cancellation must preserve ordering and bookkeeping.
 
-use churnbal_desim::{EventQueue, SimTime};
+use churnbal_desim::{CalendarQueue, EventQueue, SimTime};
 use proptest::prelude::*;
 
 #[derive(Debug, Clone)]
@@ -14,6 +14,18 @@ enum Op {
 fn op_strategy() -> impl Strategy<Value = Op> {
     prop_oneof![
         (0.0f64..100.0).prop_map(Op::Schedule),
+        (0usize..64).prop_map(Op::CancelNth),
+        Just(Op::Pop),
+    ]
+}
+
+/// Like [`op_strategy`] but with delays drawn from a coarse quarter-unit
+/// grid, so schedules frequently collide on the exact same timestamp —
+/// the regime where FIFO tie-breaking is load-bearing.
+fn tie_heavy_op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0u8..16).prop_map(|q| Op::Schedule(f64::from(q) * 0.25)),
+        (0u8..16).prop_map(|q| Op::Schedule(f64::from(q) * 0.25)),
         (0usize..64).prop_map(Op::CancelNth),
         Just(Op::Pop),
     ]
@@ -183,6 +195,97 @@ proptest! {
             prop_assert_eq!(ev.map(|e| e.time), Some(t));
         }
         prop_assert!(q.pop().is_none());
+    }
+
+    /// Three-way differential test across the event-queue backends: the
+    /// calendar queue, the indexed heap and a brute-force oracle must
+    /// agree on every observable — pop order (time *and* identity),
+    /// cancel verdicts and live counts — through arbitrary
+    /// schedule/cancel/pop interleavings. The tie-heavy strategy makes
+    /// same-timestamp runs the common case, so the FIFO `seq` tie-break
+    /// of both backends is exercised hard, and the continuous strategy
+    /// covers the calendar's bucket-sweep across sparse horizons.
+    #[test]
+    fn calendar_heap_and_oracle_pop_identically(
+        tie_ops in prop::collection::vec(tie_heavy_op_strategy(), 1..300),
+        sparse_ops in prop::collection::vec(op_strategy(), 1..200),
+    ) {
+        /// Flat-list oracle: earliest `(time, insertion index)` among
+        /// pending wins — trivially correct, O(n) everything.
+        #[derive(Clone, Copy, PartialEq)]
+        enum St { Pending, Fired, Cancelled }
+        struct Oracle(Vec<(SimTime, St)>);
+        impl Oracle {
+            fn cancel(&mut self, i: usize) -> bool {
+                let live = self.0[i].1 == St::Pending;
+                if live {
+                    self.0[i].1 = St::Cancelled;
+                }
+                live
+            }
+            fn pop(&mut self) -> Option<(SimTime, usize)> {
+                let best = self.0.iter().enumerate()
+                    .filter(|(_, (_, s))| *s == St::Pending)
+                    .min_by(|(i, (ta, _)), (j, (tb, _))| ta.cmp(tb).then(i.cmp(j)))
+                    .map(|(i, _)| i)?;
+                self.0[best].1 = St::Fired;
+                Some((self.0[best].0, best))
+            }
+            fn live(&self) -> usize {
+                self.0.iter().filter(|(_, s)| *s == St::Pending).count()
+            }
+        }
+
+        for ops in [tie_ops, sparse_ops] {
+            let mut heap = EventQueue::new();
+            let mut cal = CalendarQueue::new();
+            let mut oracle = Oracle(Vec::new());
+            // Payloads carry the schedule index, so identity agreement is
+            // checked without comparing opaque (backend-specific) ids.
+            let mut heap_ids = Vec::new();
+            let mut cal_ids = Vec::new();
+            for op in ops {
+                match op {
+                    Op::Schedule(dt) => {
+                        let n = oracle.0.len();
+                        oracle.0.push((heap.now() + dt, St::Pending));
+                        heap_ids.push(heap.schedule_in(dt, n));
+                        cal_ids.push(cal.schedule_in(dt, n));
+                    }
+                    Op::CancelNth(i) => {
+                        if !heap_ids.is_empty() {
+                            let k = i % heap_ids.len();
+                            let want = oracle.cancel(k);
+                            prop_assert_eq!(heap.cancel(heap_ids[k]), want,
+                                "heap cancel verdict diverged from oracle");
+                            prop_assert_eq!(cal.cancel(cal_ids[k]), want,
+                                "calendar cancel verdict diverged from oracle");
+                        }
+                    }
+                    Op::Pop => {
+                        let want = oracle.pop();
+                        let h = heap.pop().map(|e| (e.time, e.payload));
+                        let c = cal.pop().map(|e| (e.time, e.payload));
+                        prop_assert_eq!(h, want, "heap pop diverged from oracle");
+                        prop_assert_eq!(c, want, "calendar pop diverged from oracle");
+                    }
+                }
+                prop_assert_eq!(heap.len(), oracle.live());
+                prop_assert_eq!(cal.len(), oracle.live());
+                prop_assert_eq!(heap.now(), cal.now(), "clocks diverged");
+            }
+            // Drain all three to exhaustion in lock-step.
+            loop {
+                let want = oracle.pop();
+                let h = heap.pop().map(|e| (e.time, e.payload));
+                let c = cal.pop().map(|e| (e.time, e.payload));
+                prop_assert_eq!(h, want, "heap drain diverged from oracle");
+                prop_assert_eq!(c, want, "calendar drain diverged from oracle");
+                if want.is_none() {
+                    break;
+                }
+            }
+        }
     }
 
     /// peek_time always reports the time of the next successful pop.

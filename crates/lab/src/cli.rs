@@ -8,7 +8,7 @@
 //! churnbal-lab sweep   <scenario|file.toml> [--axis param=v1,v2,... | param=lo:hi:step]...
 //!                      [--theory] [--quick] [--reps N] [--seed S] [--threads T] [--chunk C]
 //!                      [--format csv|jsonl|table] [--out PATH]
-//! churnbal-lab compare <scenario|file.toml> --policies a,b,...
+//! churnbal-lab compare <scenario|file.toml> --policies a,b,... [--baseline NAME]
 //!                      [--axis ...] [--quick] [--reps N] [--seed S] [--threads T] [--chunk C]
 //!                      [--format table|csv|jsonl] [--out PATH]
 //! ```
@@ -19,9 +19,10 @@
 //! `--theory` joins the Eq. 4 model mean wherever a grid point is a
 //! two-node closed system. `compare` evaluates several policies on every
 //! grid point **in one scheduler pass with common random numbers**: the
-//! first policy is the baseline, and every row reports the CRN-paired
-//! per-replication delta against it with a t-based 95% confidence
-//! interval, plus the theory columns.
+//! first policy is the baseline (`--baseline NAME` picks a different
+//! one), and every row reports the CRN-paired per-replication delta
+//! against it with a t-based 95% confidence interval, plus the theory
+//! columns.
 //!
 //! Policy names are `PolicySpec` kinds (plus `none`), optionally with an
 //! `@gain` suffix: `lbp1`, `lbp2@0.5`, `none`, `upon-failure-only`, ...
@@ -58,6 +59,11 @@ options (run/sweep/compare):\n\
   --policies a,b,...         policy set (compare only; first = baseline);\n\
                              names are policy kinds or `none`, with an\n\
                              optional gain suffix like lbp2@0.5\n\
+  --baseline NAME            delta baseline (compare only); one of the\n\
+                             --policies names, default the first\n\
+  --backend B                event-queue backend: auto (default; heap for\n\
+                             small fleets, calendar for large) | heap |\n\
+                             calendar — output bytes do not depend on it\n\
   --theory                   join Eq. 4 theory columns (sweep; compare\n\
                              always joins them)\n\
   --quick                    a tenth of the replications (at least 10)\n\
@@ -116,6 +122,7 @@ struct CliOptions {
     format: Option<String>,
     out: Option<String>,
     policies: Vec<String>,
+    baseline: Option<String>,
     theory: bool,
 }
 
@@ -148,6 +155,16 @@ fn parse_common<'a>(
                     .collect();
             }
             "--policies" => return Err("--policies is only valid for `compare`".into()),
+            "--baseline" if grammar == Grammar::Compare => {
+                let v = it.next().ok_or("--baseline needs a policy name")?;
+                opts.baseline = Some(v.clone());
+            }
+            "--baseline" => return Err("--baseline is only valid for `compare`".into()),
+            "--backend" => {
+                let v = it.next().ok_or("--backend needs auto | heap | calendar")?;
+                opts.run.backend = churnbal_cluster::QueueBackend::parse(v)
+                    .map_err(|e| format!("--backend: {e}"))?;
+            }
             "--theory" if grammar == Grammar::Sweep => opts.theory = true,
             "--theory" => {
                 return Err(
@@ -362,7 +379,7 @@ fn render_table(result: &ExperimentResult) -> String {
         }
         if schema.paired {
             let d = r.delta.expect("paired rows carry deltas");
-            if r.policy_index == 0 {
+            if r.policy_index == schema.baseline {
                 row.extend([String::from("baseline"), String::new()]);
             } else {
                 row.extend([
@@ -500,7 +517,25 @@ fn cmd_sweep(scenario: &Scenario, opts: &CliOptions) -> Result<String, String> {
 
 fn cmd_compare(scenario: &Scenario, opts: &CliOptions) -> Result<String, String> {
     let policies = parse_policies(&opts.policies, scenario)?;
-    let spec = ExperimentSpec::compare(scenario.clone(), opts.axes.clone(), policies, opts.run);
+    let baseline = match &opts.baseline {
+        None => 0,
+        Some(name) => policies
+            .iter()
+            .position(|e| e.label == *name)
+            .ok_or_else(|| {
+                format!(
+                    "--baseline: `{name}` is not one of the compared policies \
+                     (choose from: {})",
+                    policies
+                        .iter()
+                        .map(|e| e.label.as_str())
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                )
+            })?,
+    };
+    let mut spec = ExperimentSpec::compare(scenario.clone(), opts.axes.clone(), policies, opts.run);
+    spec.baseline = baseline;
     let format = opts.format.as_deref().unwrap_or("table");
     if format != "table" {
         return run_machine_format(spec, opts, format == "jsonl");
@@ -514,7 +549,7 @@ fn cmd_compare(scenario: &Scenario, opts: &CliOptions) -> Result<String, String>
         scenario.description,
         result.schema.points,
         result.schema.policies.len(),
-        result.schema.policies[0],
+        result.schema.policies[result.schema.baseline],
         reps,
         opts.run.seed.unwrap_or(scenario.seed),
     );
@@ -755,6 +790,82 @@ mod tests {
             a.windows(2).all(|w| strip_gain(w[0]) == strip_gain(w[1])),
             "a pinned policy must ride the gain axis unchanged:\n{csv}"
         );
+    }
+
+    #[test]
+    fn compare_baseline_picks_a_non_first_policy() {
+        let out = call(&[
+            "compare",
+            "paper-fig3",
+            "--policies",
+            "lbp1,lbp2,none",
+            "--baseline",
+            "none",
+            "--reps",
+            "4",
+            "--threads",
+            "2",
+        ])
+        .expect("compare with baseline works");
+        assert!(out.contains("3 policies (baseline none)"), "{out}");
+        // The baseline marker sits on the `none` rows now.
+        for line in out.lines().filter(|l| l.contains(" none ")) {
+            assert!(line.contains("baseline"), "{line}");
+        }
+        // Per-policy statistics are baseline-invariant: only the delta
+        // columns move. Compare the mean column against the default run.
+        let default = call(&[
+            "compare",
+            "paper-fig3",
+            "--policies",
+            "lbp1,lbp2,none",
+            "--reps",
+            "4",
+            "--threads",
+            "2",
+        ])
+        .expect("default compare works");
+        let means = |text: &str| -> Vec<String> {
+            text.lines()
+                .filter(|l| l.contains("lbp2"))
+                .map(|l| l.split_whitespace().take(4).collect::<Vec<_>>().join(" "))
+                .collect()
+        };
+        assert_eq!(means(&out), means(&default));
+    }
+
+    #[test]
+    fn compare_baseline_rejects_unknown_names() {
+        let err = call(&[
+            "compare",
+            "paper-fig3",
+            "--policies",
+            "lbp1,lbp2",
+            "--baseline",
+            "warp9",
+        ])
+        .unwrap_err();
+        assert!(
+            err.contains("`warp9` is not one of the compared policies"),
+            "{err}"
+        );
+        assert!(err.contains("lbp1, lbp2"), "lists the choices: {err}");
+        let err = call(&["sweep", "paper-fig3", "--baseline", "lbp1"]).unwrap_err();
+        assert!(err.contains("only valid for `compare`"), "{err}");
+    }
+
+    #[test]
+    fn backend_flag_parses_and_leaves_output_bytes_unchanged() {
+        let base = ["sweep", "paper-delay-crossover", "--reps", "3"];
+        let auto = call(&base).expect("auto backend runs");
+        for backend in ["heap", "calendar"] {
+            let mut args = base.to_vec();
+            args.extend(["--backend", backend]);
+            let out = call(&args).expect("explicit backend runs");
+            assert_eq!(out, auto, "--backend {backend} changed the output bytes");
+        }
+        let err = call(&["run", "paper-fig5", "--backend", "warp"]).unwrap_err();
+        assert!(err.contains("unknown event-queue backend"), "{err}");
     }
 
     #[test]

@@ -84,9 +84,14 @@ pub struct ExperimentSpec {
     pub axes: Vec<Axis>,
     /// The policy set evaluated at every grid point. Empty = the
     /// scenario's own policy (a plain run/sweep); two or more entries
-    /// make this a comparison: entry 0 is the baseline and every row
-    /// carries CRN-paired deltas against it.
+    /// make this a comparison: every row carries CRN-paired deltas
+    /// against the [`ExperimentSpec::baseline`] entry.
     pub policies: Vec<PolicyEntry>,
+    /// Index into [`ExperimentSpec::policies`] of the delta baseline.
+    /// Defaults to 0 (the first policy); with a non-zero baseline each
+    /// grid point's cells are buffered until the baseline cell arrives,
+    /// so rows still stream in `(point, policy)` order.
+    pub baseline: usize,
     /// Replications, seed, threads, chunking.
     pub options: RunOptions,
     /// Join the Eq. 4 theory mean (and `mc − theory`) where the model
@@ -103,12 +108,15 @@ impl ExperimentSpec {
             scenario,
             axes,
             policies: Vec::new(),
+            baseline: 0,
             options,
             theory: false,
         }
     }
 
-    /// A multi-policy comparison (baseline first), theory columns on.
+    /// A multi-policy comparison (first entry as baseline), theory
+    /// columns on. Reassign [`ExperimentSpec::baseline`] to delta against
+    /// a different entry.
     #[must_use]
     pub fn compare(
         scenario: Scenario,
@@ -120,6 +128,7 @@ impl ExperimentSpec {
             scenario,
             axes,
             policies,
+            baseline: 0,
             options,
             theory: true,
         }
@@ -136,8 +145,10 @@ pub struct ExperimentSchema {
     pub axes: Vec<AxisParam>,
     /// Grid points (each yields one row per policy).
     pub points: usize,
-    /// Policy labels, in evaluation order (index 0 is the baseline).
+    /// Policy labels, in evaluation order.
     pub policies: Vec<String>,
+    /// Index into [`ExperimentSchema::policies`] of the delta baseline.
+    pub baseline: usize,
     /// Whether rows carry `theory_mean` / `mc_minus_theory` columns.
     pub theory: bool,
     /// Whether rows carry paired-delta columns (≥ 2 policies).
@@ -545,8 +556,9 @@ impl Experiment {
             reps: spec.options.effective_reps(scenario).max(1),
             seed: spec.options.seed.unwrap_or(scenario.seed),
             options: SimOptions {
-                record_trace: false,
                 deadline: scenario.deadline,
+                backend: spec.options.backend,
+                ..SimOptions::default()
             },
         };
         let mut stats = None;
@@ -653,25 +665,60 @@ impl Experiment {
                 reps: spec.options.effective_reps(&point.scenario).max(1),
                 seed: spec.options.seed.unwrap_or(point.scenario.seed),
                 options: SimOptions {
-                    record_trace: false,
                     deadline: point.scenario.deadline,
+                    backend: spec.options.backend,
+                    ..SimOptions::default()
                 },
             })
             .collect();
 
         let paired = labels.len() > 1;
+        if spec.baseline >= labels.len() {
+            return Err(format!(
+                "baseline index {} out of range for {} policies",
+                spec.baseline,
+                labels.len()
+            ));
+        }
         let schema = ExperimentSchema {
             scenario: spec.scenario.name.clone(),
             axes,
             points: points.len(),
             policies: labels,
+            baseline: spec.baseline,
             theory: spec.theory,
             paired,
         };
         sink.begin(&schema)?;
 
         let k = schema.policies.len();
+        let b = spec.baseline;
+        let build_row = |p: usize, v: usize, est: &McEstimate, delta: Option<PairedDelta>| {
+            let theory_mean = theory[p][v];
+            ExperimentRow {
+                index: points[p].index,
+                coords: points[p].coords.clone(),
+                policy_index: v,
+                policy: schema.policies[v].clone(),
+                reps: jobs[p].reps,
+                seed: jobs[p].seed,
+                mean_completion: est.mean(),
+                ci95: est.ci95(),
+                sd_completion: sample_sd(est.completion_times.iter().copied()),
+                mean_failures: est.mean_failures,
+                sd_failures: sample_sd(est.failures_per_rep.iter().map(|&x| x as f64)),
+                mean_tasks_shipped: est.mean_tasks_shipped,
+                sd_tasks_shipped: sample_sd(est.tasks_shipped_per_rep.iter().map(|&x| x as f64)),
+                incomplete: est.incomplete,
+                theory_mean,
+                mc_minus_theory: theory_mean.map(|t| est.mean() - t),
+                delta,
+            }
+        };
         let mut baseline_times: Vec<f64> = Vec::new();
+        // Cells of the current point awaiting the baseline cell (only
+        // used with a non-first baseline).
+        let mut held: Vec<(usize, McEstimate)> = Vec::new();
         run_grid_policies_streaming(
             &jobs,
             k,
@@ -684,39 +731,40 @@ impl Experiment {
             spec.options.chunk,
             |p, v, stats| {
                 let est = McEstimate::from_point_stats(stats);
-                let delta = if !paired {
-                    None
-                } else if v == 0 {
-                    baseline_times.clear();
-                    baseline_times.extend_from_slice(&est.completion_times);
-                    // The baseline paired with itself: identically zero.
-                    Some(paired_comparison(&baseline_times, &baseline_times))
-                } else {
-                    Some(paired_comparison(&est.completion_times, &baseline_times))
-                };
-                let theory_mean = theory[p][v];
-                let row = ExperimentRow {
-                    index: points[p].index,
-                    coords: points[p].coords.clone(),
-                    policy_index: v,
-                    policy: schema.policies[v].clone(),
-                    reps: jobs[p].reps,
-                    seed: jobs[p].seed,
-                    mean_completion: est.mean(),
-                    ci95: est.ci95(),
-                    sd_completion: sample_sd(est.completion_times.iter().copied()),
-                    mean_failures: est.mean_failures,
-                    sd_failures: sample_sd(est.failures_per_rep.iter().map(|&x| x as f64)),
-                    mean_tasks_shipped: est.mean_tasks_shipped,
-                    sd_tasks_shipped: sample_sd(
-                        est.tasks_shipped_per_rep.iter().map(|&x| x as f64),
-                    ),
-                    incomplete: est.incomplete,
-                    theory_mean,
-                    mc_minus_theory: theory_mean.map(|t| est.mean() - t),
-                    delta,
-                };
-                sink.row(&row)
+                if !paired {
+                    return sink.row(&build_row(p, v, &est, None));
+                }
+                if b == 0 {
+                    // The baseline is the first cell of each point, so
+                    // rows stream exactly as they complete.
+                    let delta = if v == 0 {
+                        baseline_times.clear();
+                        baseline_times.extend_from_slice(&est.completion_times);
+                        // The baseline paired with itself: identically zero.
+                        Some(paired_comparison(&baseline_times, &baseline_times))
+                    } else {
+                        Some(paired_comparison(&est.completion_times, &baseline_times))
+                    };
+                    return sink.row(&build_row(p, v, &est, delta));
+                }
+                // Non-first baseline: cells arrive in policy order, so
+                // hold this point's cells until the last one, then emit
+                // them together with deltas against the baseline cell.
+                held.push((v, est));
+                if v + 1 < k {
+                    return Ok(());
+                }
+                let base = held
+                    .iter()
+                    .find(|(hv, _)| *hv == b)
+                    .expect("the baseline cell is part of the point");
+                baseline_times.clear();
+                baseline_times.extend_from_slice(&base.1.completion_times);
+                for (hv, hest) in held.drain(..) {
+                    let delta = Some(paired_comparison(&hest.completion_times, &baseline_times));
+                    sink.row(&build_row(p, hv, &hest, delta))?;
+                }
+                Ok(())
             },
         )?;
         sink.finish()?;

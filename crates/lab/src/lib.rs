@@ -65,7 +65,7 @@ pub use experiment::{
     CollectSink, CsvSink, Experiment, ExperimentResult, ExperimentRow, ExperimentSchema,
     ExperimentSpec, JsonlSink, PairedDelta, PolicyEntry, RowSink,
 };
-pub use scenario::{ArrivalsSpec, NetworkSpec, NodeSpec, Scenario};
+pub use scenario::{ArrivalsSpec, NetworkSpec, NodeSpec, Scenario, TopologySpec};
 pub use sweep::{
     apply_axis, csv_header, csv_row, expand_grid, jsonl_row, Axis, AxisParam, RunOptions,
     SweepResult, SweepRow, SweepSchema,

@@ -18,7 +18,7 @@ use churnbal_cluster::{
 use churnbal_core::PolicySpec;
 use churnbal_stochastic::Xoshiro256pp;
 
-use crate::scenario::{ArrivalsSpec, NetworkSpec, NodeSpec, Scenario};
+use crate::scenario::{ArrivalsSpec, NetworkSpec, NodeSpec, Scenario, TopologySpec};
 use crate::sweep::{Axis, AxisParam};
 
 /// The paper's master seed convention (2006-04-25, the IPDPS date).
@@ -47,7 +47,7 @@ pub fn all() -> Vec<Scenario> {
 
 type Preset = (&'static str, fn() -> Scenario);
 
-const PRESETS: [Preset; 15] = [
+const PRESETS: [Preset; 19] = [
     ("paper-fig3", paper_fig3),
     ("paper-fig5", paper_fig5),
     ("paper-delay-crossover", paper_delay_crossover),
@@ -63,6 +63,10 @@ const PRESETS: [Preset; 15] = [
     ("volunteer-grid", volunteer_grid),
     ("dynamic-arrivals", dynamic_arrivals),
     ("open-system", open_system),
+    ("ring", ring),
+    ("torus", torus),
+    ("rack-hierarchy", rack_hierarchy),
+    ("rack-shocks", rack_shocks),
 ];
 
 /// The paper's §4 node pair: `λ_d = (1.08, 1.86)`, mean failure time
@@ -93,6 +97,7 @@ fn base(name: &str, description: &str, m0: [u32; 2], policy: PolicySpec) -> Scen
         network: paper_network(),
         arrivals: ArrivalsSpec::None,
         churn: ChurnModel::Independent,
+        topology: None,
         policy,
         axes: Vec::new(),
     }
@@ -167,6 +172,7 @@ fn hetero_speeds() -> Scenario {
         network: paper_network(),
         arrivals: ArrivalsSpec::None,
         churn: ChurnModel::Independent,
+        topology: None,
         policy: PolicySpec::Lbp2 { gain: 1.0 },
         axes: Vec::new(),
     }
@@ -191,6 +197,7 @@ fn hot_spare() -> Scenario {
         network: paper_network(),
         arrivals: ArrivalsSpec::None,
         churn: ChurnModel::Independent,
+        topology: None,
         policy: PolicySpec::Lbp2 { gain: 1.0 },
         axes: Vec::new(),
     }
@@ -214,6 +221,7 @@ fn correlated_failures() -> Scenario {
             shock_rate: 0.05,
             hit_probability: 0.75,
         },
+        topology: None,
         policy: PolicySpec::Lbp2 { gain: 1.0 },
         axes: Vec::new(),
     }
@@ -233,6 +241,7 @@ fn cascading_failures() -> Scenario {
         network: paper_network(),
         arrivals: ArrivalsSpec::None,
         churn: ChurnModel::Cascading { amplification: 2.0 },
+        topology: None,
         policy: PolicySpec::Lbp2 { gain: 1.0 },
         axes: Vec::new(),
     }
@@ -260,6 +269,7 @@ fn adversarial_churn() -> Scenario {
         churn: ChurnModel::Adversarial {
             strike_rate: 1.0 / 15.0,
         },
+        topology: None,
         policy: PolicySpec::Lbp2 { gain: 1.0 },
         axes: Vec::new(),
     }
@@ -305,6 +315,7 @@ fn mmpp_bursty() -> Scenario {
             horizon: 60.0,
         }),
         churn: ChurnModel::Independent,
+        topology: None,
         policy: PolicySpec::EpisodicLbp2 { gain: 1.0 },
         axes: Vec::new(),
     }
@@ -333,6 +344,7 @@ fn diurnal() -> Scenario {
             horizon: 120.0,
         }),
         churn: ChurnModel::Independent,
+        topology: None,
         policy: PolicySpec::EpisodicLbp2 { gain: 1.0 },
         axes: Vec::new(),
     }
@@ -362,6 +374,7 @@ fn flash_crowd() -> Scenario {
             horizon: 60.0,
         }),
         churn: ChurnModel::Independent,
+        topology: None,
         policy: PolicySpec::EpisodicLbp2 { gain: 1.0 },
         axes: Vec::new(),
     }
@@ -391,6 +404,7 @@ fn volunteer_grid() -> Scenario {
         },
         arrivals: ArrivalsSpec::None,
         churn: ChurnModel::Independent,
+        topology: None,
         policy: PolicySpec::Lbp2 { gain: 1.0 },
         axes: Vec::new(),
     }
@@ -429,6 +443,7 @@ fn dynamic_arrivals() -> Scenario {
         network: paper_network(),
         arrivals: ArrivalsSpec::Fixed(dynamic_arrival_bursts()),
         churn: ChurnModel::Independent,
+        topology: None,
         policy: PolicySpec::EpisodicLbp2 { gain: 1.0 },
         axes: Vec::new(),
     }
@@ -448,7 +463,117 @@ fn open_system() -> Scenario {
         network: paper_network(),
         arrivals: ArrivalsSpec::Process(ArrivalProcess::poisson(0.8, 90.0).with_batch(1, 4)),
         churn: ChurnModel::Independent,
+        topology: None,
         policy: PolicySpec::EpisodicLbp2 { gain: 1.0 },
+        axes: Vec::new(),
+    }
+}
+
+// ---- topology-constrained fleets --------------------------------------
+
+/// Uniform churny nodes for the topology presets.
+fn fleet_nodes(hot_tasks: u32, cold: u32) -> Vec<NodeSpec> {
+    vec![
+        NodeSpec::new(1.2, 1.0 / 40.0, 1.0 / 10.0, hot_tasks),
+        NodeSpec::new(1.2, 1.0 / 40.0, 1.0 / 10.0, 0).times(cold),
+    ]
+}
+
+/// Diffusive balancing on a 16-node ring.
+fn ring() -> Scenario {
+    Scenario {
+        name: "ring".into(),
+        description: "Ring interconnect: 16 uniform churny nodes, all 96 tasks born on node \
+                      0; LBP-2 works neighbor-locally, so load diffuses around the cycle"
+            .into(),
+        reps: 300,
+        seed: 51,
+        deadline: None,
+        nodes: fleet_nodes(96, 15),
+        network: paper_network(),
+        arrivals: ArrivalsSpec::None,
+        churn: ChurnModel::Independent,
+        topology: Some(TopologySpec::Ring),
+        policy: PolicySpec::Lbp2 { gain: 1.0 },
+        axes: Vec::new(),
+    }
+}
+
+/// A hot corner on a 4x6 torus.
+fn torus() -> Scenario {
+    Scenario {
+        name: "torus".into(),
+        description: "Torus interconnect: a 4x6 wrap-around grid with a 120-task hot corner; \
+                      each node balances with its four grid neighbors only"
+            .into(),
+        reps: 300,
+        seed: 52,
+        deadline: None,
+        nodes: fleet_nodes(120, 23),
+        network: paper_network(),
+        arrivals: ArrivalsSpec::None,
+        churn: ChurnModel::Independent,
+        topology: Some(TopologySpec::Torus { rows: 4, cols: 6 }),
+        policy: PolicySpec::Lbp2 { gain: 1.0 },
+        axes: Vec::new(),
+    }
+}
+
+/// A rack/row/datacenter hierarchy with slow uplinks.
+fn rack_hierarchy() -> Scenario {
+    Scenario {
+        name: "rack-hierarchy".into(),
+        description: "Rack hierarchy: 2 rows x 2 racks x 4 nodes; rack meshes are fast, \
+                      row uplinks 4x and datacenter uplinks 10x slower; the loaded rack \
+                      must drain through its leader"
+            .into(),
+        reps: 300,
+        seed: 53,
+        deadline: None,
+        nodes: fleet_nodes(128, 15),
+        network: paper_network(),
+        arrivals: ArrivalsSpec::None,
+        churn: ChurnModel::Independent,
+        topology: Some(TopologySpec::Hierarchical {
+            rack_size: 4,
+            racks_per_row: 2,
+            rows: 2,
+            row_scale: 4.0,
+            dc_scale: 10.0,
+        }),
+        policy: PolicySpec::Lbp2 { gain: 1.0 },
+        axes: Vec::new(),
+    }
+}
+
+/// Rack-correlated shocks on the hierarchy: whole racks fail together.
+fn rack_shocks() -> Scenario {
+    Scenario {
+        name: "rack-shocks".into(),
+        description: "Rack-correlated shocks: the 16-node hierarchy under a shock stream \
+                      (mean every 25 s) that downs whole racks with per-rack hit \
+                      probabilities (0.6, 0.2, 0.2, 0.05) — the loaded rack is the \
+                      most exposed"
+            .into(),
+        reps: 300,
+        seed: 54,
+        deadline: None,
+        nodes: fleet_nodes(128, 15),
+        network: paper_network(),
+        arrivals: ArrivalsSpec::None,
+        churn: ChurnModel::RackShocks {
+            shock_rate: 0.04,
+            group_size: 4,
+            hit_probabilities: vec![0.6, 0.2, 0.2, 0.05],
+        },
+        topology: Some(TopologySpec::Hierarchical {
+            rack_size: 4,
+            racks_per_row: 2,
+            rows: 2,
+            row_scale: 4.0,
+            dc_scale: 10.0,
+        }),
+        policy: PolicySpec::Lbp2 { gain: 1.0 },
         axes: Vec::new(),
     }
 }
@@ -466,6 +591,7 @@ fn paper_system(name: &str, m0: [u32; 2], network: NetworkSpec) -> SystemConfig 
         network,
         arrivals: ArrivalsSpec::None,
         churn: ChurnModel::Independent,
+        topology: None,
         policy: PolicySpec::NoBalancing,
         axes: Vec::new(),
     }

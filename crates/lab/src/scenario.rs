@@ -9,7 +9,7 @@
 
 use churnbal_cluster::{
     ArrivalKind, ArrivalProcess, ChurnModel, DelayLaw, ExternalArrival, NetworkConfig, NodeConfig,
-    SystemConfig,
+    SystemConfig, Topology,
 };
 use churnbal_core::PolicySpec;
 
@@ -68,6 +68,106 @@ pub struct NetworkSpec {
     pub law: DelayLaw,
 }
 
+/// Declarative interconnect shape, materialized against the expanded
+/// node count by [`Scenario::system_config`]. Absent means the paper's
+/// implicit unconstrained complete graph (global policy scans, any-to-any
+/// transfers with no per-edge delay scaling).
+#[derive(Clone, Debug, PartialEq)]
+pub enum TopologySpec {
+    /// An explicit complete graph: same dynamics as no topology, but
+    /// policies see the graph and the engine enforces (trivially
+    /// satisfied) edge routing.
+    Complete,
+    /// A cycle: node `i` talks to `i ± 1 (mod n)`.
+    Ring,
+    /// A 2-D wrap-around grid; `rows × cols` must equal the node count.
+    Torus {
+        /// Grid rows.
+        rows: u32,
+        /// Grid columns.
+        cols: u32,
+    },
+    /// A seeded random `degree`-regular graph.
+    RandomRegular {
+        /// Uniform node degree.
+        degree: u32,
+        /// Construction seed (independent of the scenario seed).
+        seed: u64,
+    },
+    /// A rack/row/datacenter hierarchy; the dimension product must equal
+    /// the node count.
+    Hierarchical {
+        /// Nodes per rack (unit-scale full mesh).
+        rack_size: u32,
+        /// Racks per row (leaders meshed at `row_scale`).
+        racks_per_row: u32,
+        /// Rows (row leaders meshed at `dc_scale`).
+        rows: u32,
+        /// Delay multiplier on rack-to-rack links.
+        row_scale: f64,
+        /// Delay multiplier on row-to-row links.
+        dc_scale: f64,
+    },
+}
+
+impl TopologySpec {
+    /// Builds the concrete [`Topology`] for an `n`-node system.
+    ///
+    /// # Errors
+    /// Propagates construction errors and dimension/node-count mismatches.
+    pub fn build(&self, n: usize) -> Result<Topology, String> {
+        match *self {
+            Self::Complete => Topology::complete(n),
+            Self::Ring => Topology::ring(n),
+            Self::Torus { rows, cols } => {
+                let (rows, cols) = (rows as usize, cols as usize);
+                if rows * cols != n {
+                    return Err(format!(
+                        "torus is {rows}x{cols} = {} nodes but the system has {n}",
+                        rows * cols
+                    ));
+                }
+                Topology::torus(rows, cols)
+            }
+            Self::RandomRegular { degree, seed } => {
+                Topology::random_regular(n, degree as usize, seed)
+            }
+            Self::Hierarchical {
+                rack_size,
+                racks_per_row,
+                rows,
+                row_scale,
+                dc_scale,
+            } => {
+                let dims = rack_size as usize * racks_per_row as usize * rows as usize;
+                if dims != n {
+                    return Err(format!(
+                        "hierarchy is {rows} rows x {racks_per_row} racks x {rack_size} nodes \
+                         = {dims} but the system has {n}"
+                    ));
+                }
+                Topology::hierarchical(
+                    rack_size as usize,
+                    racks_per_row as usize,
+                    rows as usize,
+                    row_scale,
+                    dc_scale,
+                )
+            }
+        }
+    }
+
+    fn kind(&self) -> &'static str {
+        match self {
+            Self::Complete => "complete",
+            Self::Ring => "ring",
+            Self::Torus { .. } => "torus",
+            Self::RandomRegular { .. } => "random-regular",
+            Self::Hierarchical { .. } => "hierarchical",
+        }
+    }
+}
+
 /// External workload description.
 #[derive(Clone, Debug, PartialEq)]
 pub enum ArrivalsSpec {
@@ -100,6 +200,8 @@ pub struct Scenario {
     pub arrivals: ArrivalsSpec,
     /// Failure-coupling model.
     pub churn: ChurnModel,
+    /// Interconnect topology; `None` is the unconstrained complete graph.
+    pub topology: Option<TopologySpec>,
     /// The policy under test.
     pub policy: PolicySpec,
     /// Sweep axes baked into the scenario (may be empty).
@@ -190,6 +292,12 @@ impl Scenario {
             NetworkConfig::new(self.network.fixed, self.network.per_task, self.network.law),
         )
         .with_churn_model(self.churn.clone());
+        if let Some(spec) = &self.topology {
+            let topo = spec
+                .build(config.num_nodes())
+                .map_err(|e| format!("scenario {}: topology: {e}", self.name))?;
+            config = config.with_topology(topo);
+        }
         match &self.arrivals {
             ArrivalsSpec::None => {}
             ArrivalsSpec::Fixed(list) => {
@@ -319,8 +427,51 @@ impl Scenario {
                 churn.set("kind", Value::Str("adversarial".into()));
                 churn.set("strike_rate", Value::Float(*strike_rate));
             }
+            ChurnModel::RackShocks {
+                shock_rate,
+                group_size,
+                hit_probabilities,
+            } => {
+                churn.set("kind", Value::Str("rack-shocks".into()));
+                churn.set("shock_rate", Value::Float(*shock_rate));
+                churn.set("group_size", Value::Int(i64::from(*group_size)));
+                churn.set(
+                    "hit_probabilities",
+                    Value::Array(hit_probabilities.iter().map(|&p| Value::Float(p)).collect()),
+                );
+            }
         }
         doc.set_table("churn", churn);
+
+        if let Some(spec) = &self.topology {
+            let mut topo = Table::new();
+            topo.set("kind", Value::Str(spec.kind().into()));
+            match *spec {
+                TopologySpec::Complete | TopologySpec::Ring => {}
+                TopologySpec::Torus { rows, cols } => {
+                    topo.set("rows", Value::Int(i64::from(rows)));
+                    topo.set("cols", Value::Int(i64::from(cols)));
+                }
+                TopologySpec::RandomRegular { degree, seed } => {
+                    topo.set("degree", Value::Int(i64::from(degree)));
+                    topo.set("seed", Value::Int(seed as i64));
+                }
+                TopologySpec::Hierarchical {
+                    rack_size,
+                    racks_per_row,
+                    rows,
+                    row_scale,
+                    dc_scale,
+                } => {
+                    topo.set("rack_size", Value::Int(i64::from(rack_size)));
+                    topo.set("racks_per_row", Value::Int(i64::from(racks_per_row)));
+                    topo.set("rows", Value::Int(i64::from(rows)));
+                    topo.set("row_scale", Value::Float(row_scale));
+                    topo.set("dc_scale", Value::Float(dc_scale));
+                }
+            }
+            doc.set_table("topology", topo);
+        }
 
         let mut arr = Table::new();
         match &self.arrivals {
@@ -461,13 +612,47 @@ impl Scenario {
                 "adversarial" => ChurnModel::Adversarial {
                     strike_rate: req_f64(t, "[churn]", "strike_rate")?,
                 },
+                "rack-shocks" => ChurnModel::RackShocks {
+                    shock_rate: req_f64(t, "[churn]", "shock_rate")?,
+                    group_size: req_u32(t, "[churn]", "group_size")?,
+                    hit_probabilities: req_f64_array(t, "[churn]", "hit_probabilities")?,
+                },
                 other => {
                     return Err(format!(
                         "[churn].kind: unknown churn model \"{other}\" (expected independent \
-                         | correlated-shocks | cascading | adversarial)"
+                         | correlated-shocks | cascading | adversarial | rack-shocks)"
                     ))
                 }
             },
+        };
+
+        let topology = match doc.table("topology") {
+            None => None,
+            Some(t) => Some(match req_str(t, "[topology]", "kind")?.as_str() {
+                "complete" => TopologySpec::Complete,
+                "ring" => TopologySpec::Ring,
+                "torus" => TopologySpec::Torus {
+                    rows: req_u32(t, "[topology]", "rows")?,
+                    cols: req_u32(t, "[topology]", "cols")?,
+                },
+                "random-regular" => TopologySpec::RandomRegular {
+                    degree: req_u32(t, "[topology]", "degree")?,
+                    seed: req_i64(t, "[topology]", "seed")? as u64,
+                },
+                "hierarchical" => TopologySpec::Hierarchical {
+                    rack_size: req_u32(t, "[topology]", "rack_size")?,
+                    racks_per_row: req_u32(t, "[topology]", "racks_per_row")?,
+                    rows: req_u32(t, "[topology]", "rows")?,
+                    row_scale: req_f64(t, "[topology]", "row_scale")?,
+                    dc_scale: req_f64(t, "[topology]", "dc_scale")?,
+                },
+                other => {
+                    return Err(format!(
+                        "[topology].kind: unknown topology \"{other}\" (expected complete \
+                         | ring | torus | random-regular | hierarchical)"
+                    ))
+                }
+            }),
         };
 
         let arrivals = match doc.table("arrivals") {
@@ -508,6 +693,7 @@ impl Scenario {
             network,
             arrivals,
             churn,
+            topology,
             policy,
             axes,
         })

@@ -256,6 +256,9 @@ pub struct RunOptions {
     /// Scheduler chunk size: `(point, replication)` tasks claimed per
     /// atomic grab (0 = auto). Output bytes do not depend on it.
     pub chunk: usize,
+    /// Event-queue backend (`auto` resolves per node count). Output bytes
+    /// do not depend on it — both backends pop in identical order.
+    pub backend: churnbal_cluster::QueueBackend,
 }
 
 impl RunOptions {

@@ -3,7 +3,7 @@
 
 use churnbal_cluster::{ArrivalKind, ArrivalProcess, ChurnModel, DelayLaw, ExternalArrival};
 use churnbal_core::PolicySpec;
-use churnbal_lab::scenario::{ArrivalsSpec, NetworkSpec, NodeSpec, Scenario};
+use churnbal_lab::scenario::{ArrivalsSpec, NetworkSpec, NodeSpec, Scenario, TopologySpec};
 use churnbal_lab::sweep::{Axis, AxisParam};
 use churnbal_lab::toml::{Doc, Table, Value};
 use proptest::prelude::*;
@@ -209,6 +209,46 @@ fn churn_model() -> BoxedStrategy<ChurnModel> {
             hit_probability: p,
         }),
         (0.0..5.0f64).prop_map(|a| ChurnModel::Cascading { amplification: a }),
+        (
+            0.01..0.5f64,
+            1u32..8,
+            prop::collection::vec(0.0..1.0f64, 1..5),
+        )
+            .prop_map(|(rate, group, probs)| ChurnModel::RackShocks {
+                shock_rate: rate,
+                group_size: group,
+                hit_probabilities: probs,
+            }),
+    ]
+    .boxed()
+}
+
+fn topology_spec() -> BoxedStrategy<Option<TopologySpec>> {
+    prop_oneof![
+        Just(None),
+        Just(Some(TopologySpec::Complete)),
+        Just(Some(TopologySpec::Ring)),
+        (1u32..6, 1u32..6).prop_map(|(rows, cols)| Some(TopologySpec::Torus { rows, cols })),
+        (
+            2u32..6,
+            prop_oneof![
+                0u64..1_000_000_000,
+                Just(u64::MAX),
+                Just(i64::MAX as u64 + 1)
+            ],
+        )
+            .prop_map(|(degree, seed)| Some(TopologySpec::RandomRegular { degree, seed })),
+        (1u32..5, 1u32..4, 1u32..4, 1.0..10.0f64, 1.0..20.0f64).prop_map(
+            |(rack_size, racks_per_row, rows, row_scale, dc_scale)| {
+                Some(TopologySpec::Hierarchical {
+                    rack_size,
+                    racks_per_row,
+                    rows,
+                    row_scale,
+                    dc_scale,
+                })
+            }
+        ),
     ]
     .boxed()
 }
@@ -258,6 +298,7 @@ fn scenario() -> BoxedStrategy<Scenario> {
         ],
         arrivals_spec(),
         churn_model(),
+        topology_spec(),
         policy_spec(),
         prop::collection::vec(axis(), 0..3),
     );
@@ -265,7 +306,7 @@ fn scenario() -> BoxedStrategy<Scenario> {
         .prop_map(
             |(
                 (name, description, reps, seed, deadline),
-                (nodes, (fixed, per_task), law, arrivals, churn, policy, axes),
+                (nodes, (fixed, per_task), law, arrivals, churn, topology, policy, axes),
             )| Scenario {
                 name,
                 description,
@@ -280,6 +321,7 @@ fn scenario() -> BoxedStrategy<Scenario> {
                 },
                 arrivals,
                 churn,
+                topology,
                 policy,
                 axes,
             },

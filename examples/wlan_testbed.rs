@@ -73,7 +73,7 @@ fn main() {
         99,
         SimOptions {
             record_trace: true,
-            deadline: None,
+            ..SimOptions::default()
         },
     );
     let tr = out.trace.expect("trace");

@@ -58,8 +58,8 @@ pub use churnbal_stochastic as stochastic;
 pub mod prelude {
     pub use churnbal_cluster::{
         run_replications, simulate, ArrivalKind, ArrivalProcess, ChurnModel, DelayLaw,
-        ExternalArrival, NetworkConfig, NoBalancing, NodeConfig, Policy, SimOptions, SystemConfig,
-        TransferOrder,
+        ExternalArrival, NetworkConfig, NoBalancing, NodeConfig, Policy, QueueBackend, SimOptions,
+        SystemConfig, Topology, TransferOrder,
     };
     pub use churnbal_core::{
         model_params, AnyPolicy, DynamicLbp1, EpisodicLbp2, InitialBalanceOnly, Lbp1, Lbp1Multi,

@@ -47,7 +47,7 @@ fn tracing_does_not_change_the_run() {
         3,
         SimOptions {
             record_trace: true,
-            deadline: None,
+            ..SimOptions::default()
         },
     );
     assert_eq!(a.completion_time, b.completion_time);
@@ -61,7 +61,7 @@ fn churn_path_is_policy_independent() {
     let config = SystemConfig::paper([80, 50]);
     let opts = SimOptions {
         record_trace: true,
-        deadline: None,
+        ..SimOptions::default()
     };
     let a = simulate(&config, &mut NoBalancing, 11, opts);
     let b = simulate(&config, &mut Lbp2::new(1.0), 11, opts);

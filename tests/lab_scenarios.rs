@@ -4,6 +4,7 @@
 
 use churnbal::lab::{apply_axis, expand_grid, registry, AxisParam, ExperimentSpec, RunOptions};
 use churnbal::prelude::*;
+use churnbal::stochastic::digest_f64s;
 
 /// The `fig3` binary's Monte-Carlo formula (its MC column now executes
 /// through the lab's `paper-fig3` preset; this test pins the two paths to
@@ -66,6 +67,53 @@ fn quick_reps_convention_matches_the_bench_harness() {
     let scenario = registry::get("paper-fig3").expect("registered");
     assert_eq!(scenario.quick_reps(), 50);
 }
+
+#[test]
+fn rack_shocks_round_trips_through_toml() {
+    // The rack-correlated-shock preset carries both new scenario tables —
+    // `[churn] model = "rack-shocks"` and the hierarchical `[topology]` —
+    // through the TOML codec: parse ∘ serialize must be the identity and
+    // the serialization canonical.
+    let scenario = registry::get("rack-shocks").expect("registered");
+    let text = scenario.to_toml();
+    let parsed = Scenario::from_toml(&text).expect("canonical TOML parses");
+    assert_eq!(parsed, scenario, "TOML round trip must be the identity");
+    assert_eq!(parsed.to_toml(), text, "serialization must be canonical");
+}
+
+#[test]
+fn rack_shocks_sample_paths_are_pinned_and_backend_invariant() {
+    // Shock draws are one-per-group regardless of hit outcome, so the
+    // trajectories are a pure function of (scenario, reps, seed) — pinned
+    // here, and identical through either event-queue backend.
+    let scenario = registry::get("rack-shocks").expect("registered");
+    let run = |backend: QueueBackend| {
+        Experiment::new(ExperimentSpec::sweep(
+            scenario.clone(),
+            Vec::new(),
+            RunOptions {
+                reps: Some(16),
+                threads: 3,
+                backend,
+                ..RunOptions::default()
+            },
+        ))
+        .estimate()
+        .expect("preset runs")
+        .completion_times
+    };
+    let heap = run(QueueBackend::Heap);
+    assert_eq!(heap, run(QueueBackend::Calendar), "backends diverged");
+    assert_eq!(
+        digest_f64s(&heap),
+        PINNED_RACK_SHOCKS_DIGEST,
+        "rack-shocks trajectories drifted (digest {:#018x})",
+        digest_f64s(&heap)
+    );
+}
+
+/// The pinned digest of `rack_shocks_sample_paths_are_pinned_and_backend_invariant`.
+const PINNED_RACK_SHOCKS_DIGEST: u64 = 0x802b_f8a5_e79f_c3b8;
 
 #[test]
 fn sweeps_are_thread_count_invariant_end_to_end() {

@@ -135,7 +135,7 @@ fn failure_compensation_is_visible_in_traces() {
     let config = SystemConfig::paper([100, 60]);
     let opts = SimOptions {
         record_trace: true,
-        deadline: None,
+        ..SimOptions::default()
     };
     // Pick a seed whose churn path has at least one failure per node.
     let mut seed = 0u64;

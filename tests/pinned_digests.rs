@@ -13,6 +13,7 @@
 // The deprecated `run_scenario`/`run_sweep` wrappers are exercised here on
 // purpose: their bytes must stay identical to the pre-Experiment output
 // (the API-redesign acceptance gate), so the digests pin them directly.
+use churnbal::cluster::QueueBackend;
 use churnbal::lab::{
     registry, Axis, AxisParam, Experiment, ExperimentSpec, PolicyEntry, RunOptions,
 };
@@ -178,6 +179,45 @@ fn sweep_csv_digests_are_thread_invariant() {
         sweep_csv_digest("paper-fig3", &[], 8)
     );
 }
+
+/// The event-queue backends must be bit-interchangeable: the calendar
+/// queue and the indexed heap pop in identical `(time, seq)` order, so a
+/// topology preset driven through either backend — or through `Auto` —
+/// samples the same trajectories. Pinned, so neither backend can drift
+/// away from the other (or from history) unnoticed.
+#[test]
+fn torus_digests_are_backend_invariant_and_pinned() {
+    let scenario = registry::get("torus").expect("preset torus missing");
+    let run = |backend: QueueBackend| {
+        Experiment::new(ExperimentSpec::sweep(
+            scenario.clone(),
+            Vec::new(),
+            RunOptions {
+                reps: Some(12),
+                threads: 3,
+                backend,
+                ..RunOptions::default()
+            },
+        ))
+        .estimate()
+        .expect("torus runs")
+        .completion_times
+    };
+    let heap = run(QueueBackend::Heap);
+    let calendar = run(QueueBackend::Calendar);
+    let auto = run(QueueBackend::Auto);
+    assert_eq!(heap, calendar, "heap and calendar backends diverged");
+    assert_eq!(heap, auto, "auto backend diverged from its resolution");
+    assert_eq!(
+        digest_f64s(&heap),
+        PINNED_TORUS_BACKEND_DIGEST,
+        "torus trajectories drifted (digest {:#018x})",
+        digest_f64s(&heap)
+    );
+}
+
+/// The pinned digest of `torus_digests_are_backend_invariant_and_pinned`.
+const PINNED_TORUS_BACKEND_DIGEST: u64 = 0xdae3_e3d1_7201_8320;
 
 /// The digests above must not depend on the worker-thread count — pin the
 /// invariance itself so the gate cannot be weakened by a scheduling leak.
