@@ -13,7 +13,7 @@
 //! fixed thread count), `--repeat N` (measurement rounds per workload,
 //! fastest kept; default 3 — one-sided scheduling noise makes min-of-N
 //! the stable estimator), `--seed S` (non-default seeds skip digest
-//! assertions), `--out PATH` (default `BENCH_6.json`), `--no-write`
+//! assertions), `--out PATH` (default `BENCH_7.json`), `--no-write`
 //! (print only).
 //!
 //! The digests make the harness a regression *gate*, not just a meter: a
@@ -23,8 +23,8 @@
 use churnbal_bench::perf::{
     expected_compare_grid_digest, expected_digest, expected_large_fleet_baseline_digest,
     expected_large_fleet_digest, expected_sweep_grid_digest, measure_compare_grid,
-    measure_large_fleet, measure_repeated, measure_sweep_grid, to_json, workloads, RunInfo,
-    PERF_SEED,
+    measure_large_fleet, measure_probe_overhead, measure_repeated, measure_sweep_grid, to_json,
+    workloads, RunInfo, PERF_SEED, PROBE_OVERHEAD_DT,
 };
 
 struct Options {
@@ -42,7 +42,7 @@ fn parse_args() -> Options {
         threads: 1,
         seed: PERF_SEED,
         repeat: 3,
-        out: "BENCH_6.json".to_string(),
+        out: "BENCH_7.json".to_string(),
         write: true,
     };
     let mut it = std::env::args().skip(1);
@@ -226,11 +226,51 @@ fn main() {
         large.speedup()
     );
 
+    // The observability workload: the longest engine workload with probes
+    // off vs a coarse probe cadence armed, interleaved. The digest
+    // cross-check inside the measurement is the probe's no-RNG contract;
+    // the overhead gate below is the zero-cost-when-disabled contract —
+    // at a coarse cadence the armed run is off-path work plus the
+    // per-event probe branch, and the disabled branch does strictly less.
+    let probe = measure_probe_overhead(opts.quick, opts.threads, opts.seed, opts.repeat);
+    let probe_verdict = if opts.seed == PERF_SEED {
+        if Some(probe.digest) == expected_digest("cascading-churn", opts.quick) {
+            "ok"
+        } else {
+            drifted = true;
+            "DRIFT"
+        }
+    } else {
+        "unpinned"
+    };
+    println!(
+        "{:<16} {:>6} {:>12} {:>10.3} {:>14.0}  {:#018x} {} ({} ticks at dt {}, {:+.2}% armed overhead)",
+        "probe-overhead",
+        probe.reps,
+        probe.events,
+        probe.off_wall_seconds,
+        probe.events_per_sec(),
+        probe.digest,
+        probe_verdict,
+        probe.probe_ticks,
+        PROBE_OVERHEAD_DT,
+        probe.overhead() * 100.0,
+    );
+    // The acceptance ceiling: the coarse-cadence armed run must cost
+    // < 2% wall clock over probes-off — and the disabled probe branch,
+    // which only tests an Option, strictly less than that.
+    assert!(
+        probe.overhead() < 0.02,
+        "probe overhead {:+.2}% exceeded the 2% ceiling",
+        probe.overhead() * 100.0
+    );
+
     let json = to_json(
         &measurements,
         Some(&sweep),
         Some(&compare),
         Some(&large),
+        Some(&probe),
         RunInfo {
             quick: opts.quick,
             threads: opts.threads,

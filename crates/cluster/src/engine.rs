@@ -20,6 +20,7 @@ use churnbal_stochastic::{BatchedRng, StreamFactory};
 use crate::config::{ArrivalKind, ChurnModel, DelayLaw, SystemConfig};
 use crate::metrics::Metrics;
 use crate::policy::{Policy, SystemView, TransferOrder};
+use crate::probe::{ProbeReport, ProbeState};
 use crate::trace::QueueTrace;
 
 /// Run options.
@@ -36,6 +37,12 @@ pub struct SimOptions {
     /// identical `(time, seq)` order, so the trajectory — and every
     /// digest — is backend-invariant; only the wall clock changes.
     pub backend: QueueBackend,
+    /// Simulation-time probe cadence: `Some(dt)` samples fleet aggregates
+    /// at `t = dt, 2·dt, …` into a [`ProbeReport`] (see [`crate::probe`]).
+    /// `None` (the default) disables probing entirely; probing draws no
+    /// randomness and schedules no events, so the trajectory is identical
+    /// either way and the only probes-off cost is one branch per event.
+    pub probe_dt: Option<f64>,
 }
 
 /// Result of one simulation run.
@@ -49,6 +56,8 @@ pub struct SimOutcome {
     pub metrics: Metrics,
     /// Traces, when requested.
     pub trace: Option<QueueTrace>,
+    /// Probe telemetry, when [`SimOptions::probe_dt`] was set.
+    pub probe: Option<ProbeReport>,
 }
 
 /// Compact, allocation-free result of one replication — what the
@@ -62,8 +71,18 @@ pub struct RunSummary {
     pub completed: bool,
     /// Node failures observed.
     pub failures: u64,
+    /// Node recoveries observed.
+    pub recoveries: u64,
+    /// Transfer batches initiated.
+    pub transfers: u64,
     /// Total tasks shipped between nodes.
     pub tasks_shipped: u64,
+    /// Tasks ordered but clamped for lack of supply (see
+    /// [`Metrics::tasks_clamped`]).
+    pub tasks_clamped: u64,
+    /// In-transit task·seconds integral (see
+    /// [`Metrics::transit_task_seconds`]).
+    pub transit_task_seconds: f64,
     /// Engine events dispatched.
     pub events: u64,
 }
@@ -168,6 +187,7 @@ pub struct Simulator<'a> {
     last_transit_change: f64,
     metrics: Metrics,
     trace: Option<QueueTrace>,
+    probe: Option<ProbeState>,
     options: SimOptions,
 }
 
@@ -215,6 +235,7 @@ impl<'a> Simulator<'a> {
             last_transit_change: 0.0,
             metrics: Metrics::new(n),
             trace,
+            probe: options.probe_dt.map(ProbeState::new),
             options,
         }
     }
@@ -291,6 +312,13 @@ impl<'a> Simulator<'a> {
                     .collect::<Vec<_>>(),
             )
         });
+        // Re-arm the probe in place (keeping its allocations) when it
+        // stays enabled; build or drop it on an on/off transition.
+        match (&mut self.probe, options.probe_dt) {
+            (Some(ps), Some(dt)) => ps.rearm(dt),
+            (slot @ None, Some(dt)) => *slot = Some(ProbeState::new(dt)),
+            (slot, None) => *slot = None,
+        }
     }
 
     /// Executes the run to completion (or deadline) under `policy`.
@@ -306,6 +334,7 @@ impl<'a> Simulator<'a> {
             completed,
             metrics: self.metrics,
             trace: self.trace,
+            probe: self.probe.map(|ps| ps.report),
         }
     }
 
@@ -321,7 +350,11 @@ impl<'a> Simulator<'a> {
             completion_time: time,
             completed,
             failures: self.metrics.failures,
+            recoveries: self.metrics.recoveries,
+            transfers: self.metrics.transfers,
             tasks_shipped: self.metrics.tasks_shipped,
+            tasks_clamped: self.metrics.tasks_clamped,
+            transit_task_seconds: self.metrics.transit_task_seconds,
             events: self.metrics.events,
         }
     }
@@ -331,6 +364,20 @@ impl<'a> Simulator<'a> {
     #[must_use]
     pub fn metrics(&self) -> &Metrics {
         &self.metrics
+    }
+
+    /// The probe telemetry of the last completed run, when probing was
+    /// enabled via [`SimOptions::probe_dt`].
+    #[must_use]
+    pub fn probe_report(&self) -> Option<&ProbeReport> {
+        self.probe.as_ref().map(|ps| &ps.report)
+    }
+
+    /// Moves the last run's probe telemetry out of the simulator, leaving
+    /// an empty report — the replication runner's hand-off path: the
+    /// simulator stays bound and ready for [`Simulator::reset`].
+    pub fn take_probe_report(&mut self) -> Option<ProbeReport> {
+        self.probe.as_mut().map(|ps| std::mem::take(&mut ps.report))
     }
 
     /// Seeds the initial events and drives the event loop; returns the
@@ -385,6 +432,20 @@ impl<'a> Simulator<'a> {
 
         while let Some(ev) = self.queue.pop() {
             let now = ev.time.seconds();
+            // Probe ticks the event clock has passed sample the current
+            // (pre-event, piecewise-constant) state — the one branch the
+            // probes-off hot path pays. The armed-but-no-tick-due path
+            // pays one extra compare; the flush call stays off the hot
+            // path entirely.
+            if let Some(ps) = &self.probe {
+                if ps.next_time() <= now {
+                    let horizon = match self.options.deadline {
+                        Some(d) => now.min(d),
+                        None => now,
+                    };
+                    self.flush_probe_ticks(horizon);
+                }
+            }
             if let Some(deadline) = self.options.deadline {
                 if now > deadline {
                     // Not counted in `metrics.events`: the event is popped
@@ -420,6 +481,9 @@ impl<'a> Simulator<'a> {
                     self.down_count -= 1;
                     self.metrics.recoveries += 1;
                     self.metrics.downtime_per_node[i] += now - self.nodes.down_since[i];
+                    if let Some(ps) = &mut self.probe {
+                        ps.record_downtime(now - self.nodes.down_since[i]);
+                    }
                     self.schedule_failure(i);
                     self.maybe_schedule_service(i);
                     if let Some(t) = &mut self.trace {
@@ -538,6 +602,34 @@ impl<'a> Simulator<'a> {
     /// Every spawned task processed and no more arrivals can come.
     fn is_complete(&self) -> bool {
         self.processed >= self.spawned && !self.arrivals_open
+    }
+
+    /// Emits every pending probe tick with `tick · dt ≤ horizon` against
+    /// the current fleet state. Called before an event executes, so each
+    /// tick observes exactly the state the system held at that instant
+    /// (state is piecewise-constant between events). Ticks strictly after
+    /// the completion (or deadline) instant are never emitted.
+    fn flush_probe_ticks(&mut self, horizon: f64) {
+        // Borrows split per field: `ps` aliases only `self.probe`, the
+        // state reads below only `self.nodes`/counters — no move of the
+        // probe (its histograms are ~2 KB; this runs once per event).
+        let Some(ps) = &mut self.probe else {
+            return;
+        };
+        loop {
+            let time = ps.next_time();
+            if time > horizon {
+                break;
+            }
+            ps.sample(
+                time,
+                &self.nodes.up,
+                &self.nodes.queue,
+                self.in_transit,
+                self.metrics.failures,
+                self.metrics.transfers,
+            );
+        }
     }
 
     /// The common failure transition, used by both natural [`Ev::Fail`]
@@ -798,6 +890,9 @@ impl<'a> Simulator<'a> {
             self.metrics.transfers += 1;
             self.metrics.tasks_shipped += u64::from(granted);
             let delay = self.sample_delay(order.from, order.to, granted);
+            if let Some(ps) = &mut self.probe {
+                ps.record_transfer_delay(delay);
+            }
             self.queue.schedule_in(
                 delay,
                 Ev::TransferArrive {
@@ -853,7 +948,11 @@ impl<'a> Simulator<'a> {
         // Close out down-time accounting for nodes still down.
         for i in 0..self.config.num_nodes() {
             if !self.nodes.up[i] {
-                self.metrics.downtime_per_node[i] += time - self.nodes.down_since[i];
+                let spell = time - self.nodes.down_since[i];
+                self.metrics.downtime_per_node[i] += spell;
+                if let Some(ps) = &mut self.probe {
+                    ps.record_downtime(spell);
+                }
             }
         }
     }
@@ -1040,6 +1139,101 @@ mod tests {
         assert_eq!(tr.queue_at(0, out.completion_time + 1.0), 0);
         // 5 decrements -> 6 breakpoints
         assert_eq!(tr.queue_series(0).len(), 6);
+    }
+
+    #[test]
+    fn probing_does_not_change_the_trajectory() {
+        let cfg = SystemConfig::paper([60, 40]);
+        let off = simulate(&cfg, &mut NoBalancing, 3, SimOptions::default());
+        let on = simulate(
+            &cfg,
+            &mut NoBalancing,
+            3,
+            SimOptions {
+                probe_dt: Some(0.5),
+                ..SimOptions::default()
+            },
+        );
+        assert_eq!(on.completion_time, off.completion_time);
+        assert_eq!(on.metrics, off.metrics);
+        assert!(off.probe.is_none(), "no report without probe_dt");
+        let report = on.probe.expect("probe requested");
+        assert!(!report.samples.is_empty());
+        for (k, s) in report.samples.iter().enumerate() {
+            assert_eq!(s.time, (k as f64 + 1.0) * 0.5, "exact tick grid");
+            assert!(s.time <= off.completion_time);
+        }
+        let last = report.samples.last().expect("non-empty");
+        assert!(last.failures <= off.metrics.failures, "cumulative counters");
+        assert!(report.downtime_us.total() >= off.metrics.recoveries);
+    }
+
+    #[test]
+    fn probe_samples_observe_fleet_aggregates() {
+        // Deterministic single transfer: 4 tasks leave node 0 at t = 0 and
+        // are in transit until exactly t = 1.5 (0.5 fixed + 4 × 0.25).
+        let mut cfg = reliable_pair([4, 0]);
+        cfg.network = NetworkConfig::new(0.5, 0.25, crate::config::DelayLaw::DeterministicBatch);
+        let out = simulate(
+            &cfg,
+            &mut ShipOnce(4),
+            11,
+            SimOptions {
+                probe_dt: Some(1.0),
+                ..SimOptions::default()
+            },
+        );
+        let report = out.probe.expect("probe requested");
+        let s = report.samples[0];
+        assert_eq!(s.time, 1.0);
+        assert_eq!(s.up_nodes, 2);
+        assert_eq!(s.queue_total, 0, "everything is in flight at t = 1");
+        assert_eq!(s.in_transit, 4);
+        assert_eq!(s.transfers, 1);
+        assert_eq!(report.transfer_delay_us.total(), 1);
+        assert_eq!(report.transfer_delay_us.max(), 1_500_000, "1.5 s in µs");
+    }
+
+    #[test]
+    fn probe_report_replays_bit_exactly_across_reset() {
+        let cfg = SystemConfig::paper([60, 35]);
+        let opts = SimOptions {
+            probe_dt: Some(0.25),
+            ..SimOptions::default()
+        };
+        let factory = StreamFactory::new(99);
+        let fresh = Simulator::new(&cfg, &factory.subfactory(1), opts)
+            .run(&mut NoBalancing)
+            .probe
+            .expect("probe requested");
+        let mut sim = Simulator::new(&cfg, &factory.subfactory(0), opts);
+        let _ = sim.run_summary(&mut NoBalancing); // a different replication first
+        sim.reset(&factory.subfactory(1));
+        let _ = sim.run_summary(&mut NoBalancing);
+        assert_eq!(sim.probe_report(), Some(&fresh));
+        // Taking the report leaves an empty one behind.
+        let taken = sim.take_probe_report().expect("probe enabled");
+        assert_eq!(taken, fresh);
+        assert_eq!(sim.probe_report(), Some(&ProbeReport::default()));
+    }
+
+    #[test]
+    fn probe_ticks_stop_at_the_deadline() {
+        let cfg = reliable_pair([10_000, 10_000]);
+        let out = simulate(
+            &cfg,
+            &mut NoBalancing,
+            4,
+            SimOptions {
+                deadline: Some(1.0),
+                probe_dt: Some(0.3),
+                ..SimOptions::default()
+            },
+        );
+        assert!(!out.completed);
+        let report = out.probe.expect("probe requested");
+        let times: Vec<f64> = report.samples.iter().map(|s| s.time).collect();
+        assert_eq!(times, vec![0.3, 0.6, 0.8999999999999999]);
     }
 
     #[test]

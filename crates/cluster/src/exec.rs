@@ -38,12 +38,14 @@
 
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Condvar, Mutex};
+use std::time::Instant;
 
 use churnbal_stochastic::StreamFactory;
 
 use crate::config::SystemConfig;
 use crate::engine::{SimOptions, Simulator};
 use crate::policy::Policy;
+use crate::probe::ProbeReport;
 
 /// One grid point to execute: a system, how many replications, and the
 /// master seed its streams derive from.
@@ -75,6 +77,20 @@ pub struct PointStats {
     pub incomplete: u64,
     /// Engine events dispatched across all replications.
     pub total_events: u64,
+    /// Node recoveries summed across replications.
+    pub total_recoveries: u64,
+    /// Transfer batches summed across replications.
+    pub total_transfers: u64,
+    /// Tasks ordered by policies but clamped for lack of supply, summed
+    /// across replications.
+    pub total_tasks_clamped: u64,
+    /// In-transit task·seconds summed across replications — the sum runs
+    /// in replication order on the drain thread, so the float total is
+    /// schedule-invariant.
+    pub transit_task_seconds: f64,
+    /// Per-replication probe telemetry, in replication order; empty when
+    /// probing is off (see [`SimOptions::probe_dt`]).
+    pub probes: Vec<ProbeReport>,
 }
 
 /// Per-point result cells: replication-indexed atomics the workers
@@ -86,7 +102,17 @@ struct PointCell {
     shipped: Vec<AtomicU64>,
     /// Bit `completed` per replication (1 = ran to completion).
     completed: Vec<AtomicBool>,
+    /// Per-replication transit integrals as `f64::to_bits` — summed
+    /// sequentially in replication order by [`PointCell::stats`], so the
+    /// float total matches the inline schedule bit-exactly.
+    transit: Vec<AtomicU64>,
     events: AtomicU64,
+    recoveries: AtomicU64,
+    transfers: AtomicU64,
+    clamped: AtomicU64,
+    /// Per-replication probe reports, slot-stable like the atomics above
+    /// (all `None` and never touched when probing is off).
+    probes: Mutex<Vec<Option<ProbeReport>>>,
     /// Replications still outstanding; the worker that decrements it to
     /// zero publishes the point.
     remaining: AtomicU64,
@@ -102,7 +128,12 @@ impl PointCell {
             failures: (0..n).map(|_| AtomicU64::new(0)).collect(),
             shipped: (0..n).map(|_| AtomicU64::new(0)).collect(),
             completed: (0..n).map(|_| AtomicBool::new(false)).collect(),
+            transit: (0..n).map(|_| AtomicU64::new(0)).collect(),
             events: AtomicU64::new(0),
+            recoveries: AtomicU64::new(0),
+            transfers: AtomicU64::new(0),
+            clamped: AtomicU64::new(0),
+            probes: Mutex::new((0..n).map(|_| None).collect()),
             remaining: AtomicU64::new(reps),
             done: AtomicBool::new(false),
         }
@@ -131,12 +162,26 @@ impl PointCell {
             .iter()
             .filter(|c| !c.load(Ordering::Acquire))
             .count() as u64;
+        let transit_task_seconds = self
+            .transit
+            .iter()
+            .map(|t| f64::from_bits(t.load(Ordering::Acquire)))
+            .sum();
+        let probes = {
+            let mut slots = self.probes.lock().expect("probe slots poisoned");
+            slots.iter_mut().filter_map(Option::take).collect()
+        };
         PointStats {
             completion_times,
             failures_per_rep,
             tasks_shipped_per_rep,
             incomplete,
             total_events: self.events.load(Ordering::Acquire),
+            total_recoveries: self.recoveries.load(Ordering::Acquire),
+            total_transfers: self.transfers.load(Ordering::Acquire),
+            total_tasks_clamped: self.clamped.load(Ordering::Acquire),
+            transit_task_seconds,
+            probes,
         }
     }
 }
@@ -163,6 +208,78 @@ fn resolve_chunk(chunk: usize, total_tasks: u64, threads: usize) -> u64 {
     }
     // Aim for ~16 claims per worker, capped so tiny tails still spread.
     (total_tasks / (threads as u64 * 16)).clamp(1, 64)
+}
+
+/// Runtime instrumentation of one scheduler worker — wall-clock facts
+/// about *how* the work was executed, deliberately separate from the
+/// simulation results: counts depend on scheduling for `threads > 1` and
+/// the timings always do, so nothing here is ever digested.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct WorkerReport {
+    /// `(point, policy, replication)` tasks this worker executed.
+    pub tasks: u64,
+    /// Chunks claimed from the shared cursor (0 on the inline path, which
+    /// claims nothing).
+    pub chunks: u64,
+    /// Claim attempts that found the task space exhausted.
+    pub idle_claims: u64,
+    /// Simulator rebinds — grid-point transitions, including the first
+    /// binding of the worker's long-lived simulator.
+    pub rebinds: u64,
+    /// Engine events this worker dispatched.
+    pub events: u64,
+    /// Wall-clock seconds spent inside replications (excludes claim and
+    /// rendezvous overhead).
+    pub busy_seconds: f64,
+}
+
+impl WorkerReport {
+    /// Events per busy second (0 when nothing ran).
+    #[must_use]
+    pub fn events_per_sec(&self) -> f64 {
+        if self.busy_seconds > 0.0 {
+            self.events as f64 / self.busy_seconds
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Aggregated runtime instrumentation of one scheduler pass.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct ExecReport {
+    /// One entry per worker, in spawn order (a single entry on the inline
+    /// path).
+    pub workers: Vec<WorkerReport>,
+    /// Wall-clock seconds of the whole pass (spawn to drain).
+    pub wall_seconds: f64,
+}
+
+impl ExecReport {
+    /// Sums the per-worker rows.
+    #[must_use]
+    pub fn totals(&self) -> WorkerReport {
+        let mut t = WorkerReport::default();
+        for w in &self.workers {
+            t.tasks += w.tasks;
+            t.chunks += w.chunks;
+            t.idle_claims += w.idle_claims;
+            t.rebinds += w.rebinds;
+            t.events += w.events;
+            t.busy_seconds += w.busy_seconds;
+        }
+        t
+    }
+
+    /// Aggregate throughput: total engine events over the pass wall time.
+    #[must_use]
+    pub fn events_per_sec(&self) -> f64 {
+        if self.wall_seconds > 0.0 {
+            self.totals().events as f64 / self.wall_seconds
+        } else {
+            0.0
+        }
+    }
 }
 
 /// Executes every `(point, replication)` task of `jobs` on a shared
@@ -241,8 +358,38 @@ pub fn run_grid_policies_streaming<P, F, G>(
     make_policy: &F,
     threads: usize,
     chunk: usize,
-    mut on_cell: G,
+    on_cell: G,
 ) -> Result<(), String>
+where
+    P: Policy,
+    F: Fn(usize, usize, u64) -> P + Sync,
+    G: FnMut(usize, usize, PointStats) -> Result<(), String>,
+{
+    run_grid_policies_streaming_with_report(jobs, policies, make_policy, threads, chunk, on_cell)
+        .map(|_| ())
+}
+
+/// [`run_grid_policies_streaming`] that additionally returns the pass's
+/// runtime instrumentation — per-worker tasks/chunks/rebinds/events and
+/// busy time plus the overall wall clock (see [`ExecReport`]). The
+/// simulation results delivered to `on_cell` are identical to the plain
+/// variant; the report is observational only and never digested.
+///
+/// # Errors
+/// Propagates the first error `on_cell` returns; remaining work is
+/// abandoned (workers stop at their next chunk claim).
+///
+/// # Panics
+/// Panics if `policies == 0`, if any job has `reps == 0`, or if a worker
+/// thread panics (engine invariant violations propagate).
+pub fn run_grid_policies_streaming_with_report<P, F, G>(
+    jobs: &[PointJob<'_>],
+    policies: usize,
+    make_policy: &F,
+    threads: usize,
+    chunk: usize,
+    mut on_cell: G,
+) -> Result<ExecReport, String>
 where
     P: Policy,
     F: Fn(usize, usize, u64) -> P + Sync,
@@ -254,8 +401,9 @@ where
         "every grid point needs at least one replication"
     );
     if jobs.is_empty() {
-        return Ok(());
+        return Ok(ExecReport::default());
     }
+    let wall_start = Instant::now();
     // Flattened task space: point p owns flat indices [starts[p],
     // starts[p+1]) — `reps` consecutive tasks per policy variant, variants
     // in order, so a chunk tends to stay within one (point, policy) run of
@@ -286,27 +434,37 @@ where
     // Rendezvous for the drain loop: workers notify under the lock after
     // publishing a cell (or on panic, via the guard below).
     let rendezvous = (Mutex::new(()), Condvar::new());
+    // One instrumentation slot per worker, in spawn order; each worker
+    // accumulates locally and publishes once at exit.
+    let worker_reports: Vec<Mutex<WorkerReport>> = (0..threads)
+        .map(|_| Mutex::new(WorkerReport::default()))
+        .collect();
 
     let mut result = Ok(());
     std::thread::scope(|scope| {
-        for _ in 0..threads {
-            scope.spawn(|| {
+        for report_slot in &worker_reports {
+            let cells = &cells;
+            let cursor = &cursor;
+            let abort = &abort;
+            let rendezvous = &rendezvous;
+            let starts = &starts;
+            scope.spawn(move || {
                 // Wake the drain loop even if this worker unwinds, so a
                 // panicking worker cannot leave the main thread waiting
                 // forever — the scope join then propagates the panic.
-                let _guard = NotifyOnDrop {
-                    rendezvous: &rendezvous,
-                    abort: &abort,
-                };
+                let _guard = NotifyOnDrop { rendezvous, abort };
                 let mut sim: Option<(usize, Simulator<'_>)> = None;
+                let mut local = WorkerReport::default();
                 loop {
                     if abort.load(Ordering::Relaxed) {
                         break;
                     }
                     let begin = cursor.fetch_add(chunk, Ordering::Relaxed);
                     if begin >= total {
+                        local.idle_claims += 1;
                         break;
                     }
+                    local.chunks += 1;
                     let end = (begin + chunk).min(total);
                     for flat in begin..end {
                         // Binary-search the owning point (starts is sorted,
@@ -319,7 +477,7 @@ where
                         let v = (off / jobs[p].reps) as usize;
                         let r = off % jobs[p].reps;
                         let cell = &cells[p * policies + v];
-                        run_task(jobs, p, v, r, &mut sim, make_policy, cell);
+                        run_task(jobs, p, v, r, &mut sim, make_policy, cell, &mut local);
                         if cell.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
                             let _lock = rendezvous.0.lock().expect("rendezvous poisoned");
                             cell.done.store(true, Ordering::Release);
@@ -327,6 +485,7 @@ where
                         }
                     }
                 }
+                *report_slot.lock().expect("worker report poisoned") = local;
             });
         }
 
@@ -354,7 +513,14 @@ where
             abort.store(true, Ordering::Relaxed);
         }
     });
-    result
+    let report = ExecReport {
+        workers: worker_reports
+            .into_iter()
+            .map(|m| m.into_inner().expect("worker report poisoned"))
+            .collect(),
+        wall_seconds: wall_start.elapsed().as_secs_f64(),
+    };
+    result.map(|()| report)
 }
 
 /// The single-threaded schedule: flattened task order on the calling
@@ -367,19 +533,26 @@ fn run_grid_inline<P, F, G>(
     policies: usize,
     make_policy: &F,
     on_cell: &mut G,
-) -> Result<(), String>
+) -> Result<ExecReport, String>
 where
     P: Policy,
     F: Fn(usize, usize, u64) -> P + Sync,
     G: FnMut(usize, usize, PointStats) -> Result<(), String>,
 {
+    let wall_start = Instant::now();
     let mut sim: Option<(usize, Simulator<'_>)> = None;
+    let mut local = WorkerReport::default();
     let mut stats = PointStats {
         completion_times: Vec::new(),
         failures_per_rep: Vec::new(),
         tasks_shipped_per_rep: Vec::new(),
         incomplete: 0,
         total_events: 0,
+        total_recoveries: 0,
+        total_transfers: 0,
+        total_tasks_clamped: 0,
+        transit_task_seconds: 0.0,
+        probes: Vec::new(),
     };
     for (p, job) in jobs.iter().enumerate() {
         for v in 0..policies {
@@ -388,23 +561,48 @@ where
             stats.tasks_shipped_per_rep.clear();
             stats.incomplete = 0;
             stats.total_events = 0;
+            stats.total_recoveries = 0;
+            stats.total_transfers = 0;
+            stats.total_tasks_clamped = 0;
+            stats.transit_task_seconds = 0.0;
+            stats.probes.clear();
             stats.completion_times.reserve(job.reps as usize);
             stats.failures_per_rep.reserve(job.reps as usize);
             stats.tasks_shipped_per_rep.reserve(job.reps as usize);
             for r in 0..job.reps {
-                let sim = bind_simulator(&mut sim, p, job, r);
+                let task_start = Instant::now();
+                let sim = bind_simulator(&mut sim, p, job, r, &mut local.rebinds);
                 let mut policy = make_policy(p, v, r);
                 let out = sim.run_summary(&mut policy);
+                let probe = sim.take_probe_report();
+                local.busy_seconds += task_start.elapsed().as_secs_f64();
+                local.tasks += 1;
+                local.events += out.events;
                 stats.completion_times.push(out.completion_time);
                 stats.failures_per_rep.push(out.failures);
                 stats.tasks_shipped_per_rep.push(out.tasks_shipped);
                 stats.incomplete += u64::from(!out.completed);
                 stats.total_events += out.events;
+                stats.total_recoveries += out.recoveries;
+                stats.total_transfers += out.transfers;
+                stats.total_tasks_clamped += out.tasks_clamped;
+                stats.transit_task_seconds += out.transit_task_seconds;
+                if let Some(report) = probe {
+                    stats.probes.push(report);
+                }
             }
-            on_cell(p, v, stats.clone())?;
+            // Move the probe reports out instead of cloning them (the
+            // counter/time vectors still reuse their warm capacity).
+            let probes = std::mem::take(&mut stats.probes);
+            let mut cell = stats.clone();
+            cell.probes = probes;
+            on_cell(p, v, cell)?;
         }
     }
-    Ok(())
+    Ok(ExecReport {
+        workers: vec![local],
+        wall_seconds: wall_start.elapsed().as_secs_f64(),
+    })
 }
 
 /// Returns the worker's long-lived simulator bound to point `p` and
@@ -417,6 +615,7 @@ fn bind_simulator<'s, 'a>(
     p: usize,
     job: &PointJob<'a>,
     r: u64,
+    rebinds: &mut u64,
 ) -> &'s mut Simulator<'a> {
     let streams = StreamFactory::new(job.seed).subfactory(r);
     match slot {
@@ -426,19 +625,23 @@ fn bind_simulator<'s, 'a>(
             } else {
                 sim.rebind(job.config, &streams, job.options);
                 *bound = p;
+                *rebinds += 1;
             }
             sim
         }
         none => {
             *none = Some((p, Simulator::new(job.config, &streams, job.options)));
+            *rebinds += 1;
             &mut none.as_mut().expect("just set").1
         }
     }
 }
 
 /// Runs one `(point, policy, replication)` task on the worker's
-/// long-lived simulator (creating or rebinding it as needed) and scatters
-/// the summary into the cell's slot `r`.
+/// long-lived simulator (creating or rebinding it as needed), scatters
+/// the summary into the cell's slot `r`, and accumulates the worker's
+/// instrumentation.
+#[allow(clippy::too_many_arguments)] // the factored-out task body; callers pass the same list
 fn run_task<'a, P, F>(
     jobs: &[PointJob<'a>],
     p: usize,
@@ -447,20 +650,33 @@ fn run_task<'a, P, F>(
     sim: &mut Option<(usize, Simulator<'a>)>,
     make_policy: &F,
     cell: &PointCell,
+    local: &mut WorkerReport,
 ) where
     P: Policy,
     F: Fn(usize, usize, u64) -> P + Sync,
 {
     let job = &jobs[p];
-    let sim = bind_simulator(sim, p, job, r);
+    let task_start = Instant::now();
+    let sim = bind_simulator(sim, p, job, r, &mut local.rebinds);
     let mut policy = make_policy(p, v, r);
     let out = sim.run_summary(&mut policy);
+    let probe = sim.take_probe_report();
+    local.busy_seconds += task_start.elapsed().as_secs_f64();
+    local.tasks += 1;
+    local.events += out.events;
     let slot = usize::try_from(r).expect("replication index fits usize");
     cell.times[slot].store(out.completion_time.to_bits(), Ordering::Release);
     cell.failures[slot].store(out.failures, Ordering::Release);
     cell.shipped[slot].store(out.tasks_shipped, Ordering::Release);
     cell.completed[slot].store(out.completed, Ordering::Release);
+    cell.transit[slot].store(out.transit_task_seconds.to_bits(), Ordering::Release);
     cell.events.fetch_add(out.events, Ordering::AcqRel);
+    cell.recoveries.fetch_add(out.recoveries, Ordering::AcqRel);
+    cell.transfers.fetch_add(out.transfers, Ordering::AcqRel);
+    cell.clamped.fetch_add(out.tasks_clamped, Ordering::AcqRel);
+    if let Some(report) = probe {
+        cell.probes.lock().expect("probe slots poisoned")[slot] = Some(report);
+    }
 }
 
 /// Drop guard that wakes the drain loop; on a panicking unwind it also
@@ -816,5 +1032,120 @@ mod tests {
                 Err("must not be called".into())
             });
         assert_eq!(called, Ok(()));
+    }
+
+    #[test]
+    fn telemetry_counters_are_schedule_invariant() {
+        // The new PointStats counters (recoveries/transfers/clamped and
+        // the float transit sum) must match the inline reference for any
+        // thread/chunk placement, like the per-rep vectors.
+        let configs = grid();
+        let reps = [5u64, 3, 9, 2];
+        let reference = collect(&configs, &reps, 1, 0);
+        assert!(
+            reference.iter().any(|(_, s)| s.total_recoveries > 0),
+            "churny grid must recover somewhere"
+        );
+        for threads in [2, 4] {
+            for chunk in [0, 1, 3] {
+                let got = collect(&configs, &reps, threads, chunk);
+                for ((_, a), (_, b)) in reference.iter().zip(&got) {
+                    assert_eq!(a.total_recoveries, b.total_recoveries);
+                    assert_eq!(a.total_transfers, b.total_transfers);
+                    assert_eq!(a.total_tasks_clamped, b.total_tasks_clamped);
+                    assert_eq!(
+                        a.transit_task_seconds.to_bits(),
+                        b.transit_task_seconds.to_bits(),
+                        "threads={threads} chunk={chunk}: float sum must be bit-stable"
+                    );
+                    assert!(a.probes.is_empty() && b.probes.is_empty());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn probe_reports_flow_slot_stable_through_the_scheduler() {
+        let configs = grid();
+        let options = SimOptions {
+            probe_dt: Some(0.5),
+            ..SimOptions::default()
+        };
+        let jobs: Vec<PointJob<'_>> = configs
+            .iter()
+            .map(|config| PointJob {
+                config,
+                reps: 4,
+                seed: 42,
+                options,
+            })
+            .collect();
+        let gather = |threads: usize| {
+            let mut out = Vec::new();
+            run_grid_streaming(&jobs, &|_, _| NoBalancing, threads, 1, |p, stats| {
+                out.push((p, stats));
+                Ok(())
+            })
+            .expect("grid runs");
+            out
+        };
+        let reference = gather(1);
+        for (p, stats) in &reference {
+            assert_eq!(stats.probes.len(), 4, "point {p}: one report per rep");
+            assert!(stats.probes.iter().any(|r| !r.samples.is_empty()));
+        }
+        let parallel = gather(4);
+        for ((_, a), (_, b)) in reference.iter().zip(&parallel) {
+            assert_eq!(
+                a.probes, b.probes,
+                "probe telemetry must be thread-invariant"
+            );
+        }
+    }
+
+    #[test]
+    fn exec_report_accounts_for_every_task() {
+        let configs = grid();
+        let jobs: Vec<PointJob<'_>> = configs
+            .iter()
+            .map(|config| PointJob {
+                config,
+                reps: 3,
+                seed: 9,
+                options: SimOptions::default(),
+            })
+            .collect();
+        for threads in [1, 4] {
+            let mut events = 0u64;
+            let report = run_grid_policies_streaming_with_report(
+                &jobs,
+                2,
+                &|_, _, _| NoBalancing,
+                threads,
+                1,
+                |_, _, stats| {
+                    events += stats.total_events;
+                    Ok(())
+                },
+            )
+            .expect("grid runs");
+            let totals = report.totals();
+            assert_eq!(totals.tasks, 2 * 3 * jobs.len() as u64, "threads={threads}");
+            assert_eq!(totals.events, events, "threads={threads}");
+            assert!(
+                totals.rebinds >= jobs.len() as u64 - 1,
+                "every point transition rebinds"
+            );
+            assert!(report.wall_seconds > 0.0);
+            assert!(totals.busy_seconds > 0.0);
+            if threads == 1 {
+                assert_eq!(report.workers.len(), 1);
+                assert_eq!(totals.chunks, 0, "inline claims nothing");
+            } else {
+                assert_eq!(report.workers.len(), threads);
+                assert!(totals.chunks > 0);
+                assert!(totals.idle_claims >= 1);
+            }
+        }
     }
 }

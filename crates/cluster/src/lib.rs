@@ -24,6 +24,10 @@
 //!   matrix-multiplication application model used for Figs. 1–2.
 //! * [`trace`] / [`metrics`] — queue step-functions (Fig. 4) and summary
 //!   statistics.
+//! * [`probe`] — the deterministic observability layer: simulation-time
+//!   fleet probes ([`SimOptions::probe_dt`]) producing per-tick aggregate
+//!   samples and log-bucketed distribution histograms, zero-cost when off
+//!   and bit-identical across thread counts when on.
 //!
 //! The engine exploits the memorylessness of the exponential laws: a
 //! service in progress when a node fails is simply rescheduled on recovery,
@@ -36,6 +40,7 @@ pub mod exec;
 pub mod mc;
 pub mod metrics;
 pub mod policy;
+pub mod probe;
 pub mod testbed;
 pub mod topology;
 pub mod trace;
@@ -46,10 +51,14 @@ pub use config::{
     SystemConfig,
 };
 pub use engine::{simulate, RunSummary, SimOptions, SimOutcome, Simulator};
-pub use exec::{run_grid_policies_streaming, run_grid_streaming, PointJob, PointStats};
+pub use exec::{
+    run_grid_policies_streaming, run_grid_policies_streaming_with_report, run_grid_streaming,
+    ExecReport, PointJob, PointStats, WorkerReport,
+};
 pub use mc::{run_replications, McEstimate};
 pub use policy::{
     Neighbors, NoBalancing, NodeView, Policy, SystemSnapshot, SystemView, TransferOrder,
 };
+pub use probe::{micros, ProbeReport, ProbeSample};
 pub use topology::Topology;
 pub use trace::QueueTrace;

@@ -13,6 +13,7 @@ use crate::config::SystemConfig;
 use crate::engine::SimOptions;
 use crate::exec::{run_grid_streaming, PointJob, PointStats};
 use crate::policy::Policy;
+use crate::probe::ProbeReport;
 
 /// Aggregated replication results.
 #[derive(Clone, Debug)]
@@ -34,8 +35,20 @@ pub struct McEstimate {
     pub mean_failures: f64,
     /// Mean tasks shipped per replication.
     pub mean_tasks_shipped: f64,
+    /// Mean node recoveries per replication.
+    pub mean_recoveries: f64,
+    /// Mean transfer batches per replication.
+    pub mean_transfers: f64,
+    /// Mean tasks clamped per replication (policy orders the source queue
+    /// could not supply).
+    pub mean_tasks_clamped: f64,
+    /// Mean in-transit task·seconds per replication.
+    pub mean_transit_task_seconds: f64,
     /// Replications that hit the deadline without completing.
     pub incomplete: u64,
+    /// Per-replication probe telemetry, in replication order; empty when
+    /// probing is off (see [`SimOptions::probe_dt`]).
+    pub probes: Vec<ProbeReport>,
 }
 
 impl McEstimate {
@@ -67,10 +80,15 @@ impl McEstimate {
             total_events: stats.total_events,
             mean_failures: stats.failures_per_rep.iter().sum::<u64>() as f64 / reps,
             mean_tasks_shipped: stats.tasks_shipped_per_rep.iter().sum::<u64>() as f64 / reps,
+            mean_recoveries: stats.total_recoveries as f64 / reps,
+            mean_transfers: stats.total_transfers as f64 / reps,
+            mean_tasks_clamped: stats.total_tasks_clamped as f64 / reps,
+            mean_transit_task_seconds: stats.transit_task_seconds / reps,
             completion_times: stats.completion_times,
             failures_per_rep: stats.failures_per_rep,
             tasks_shipped_per_rep: stats.tasks_shipped_per_rep,
             incomplete: stats.incomplete,
+            probes: stats.probes,
         }
     }
 }

@@ -32,9 +32,17 @@ impl QueueTrace {
         series.push((time, queue));
     }
 
-    /// Records an up/down change.
+    /// Records an up/down change. Consecutive identical states are
+    /// deduplicated, like [`QueueTrace::record_queue`] — a shock model
+    /// re-reporting a node's current state must not grow the series.
     pub fn record_state(&mut self, time: f64, node: usize, up: bool) {
-        self.state[node].push((time, up));
+        let series = &mut self.state[node];
+        if let Some(&(_, last)) = series.last() {
+            if last == up {
+                return;
+            }
+        }
+        series.push((time, up));
     }
 
     /// Number of traced nodes.
@@ -69,12 +77,18 @@ impl QueueTrace {
 
     /// Samples the queue of `node` on a uniform grid — convenient for
     /// plotting Fig.-4-style curves.
+    ///
+    /// Degenerate grids clamp instead of panicking: `points == 0` yields
+    /// an empty series and `points == 1` samples `t = 0` only.
     #[must_use]
     pub fn sample_queue(&self, node: usize, t_max: f64, points: usize) -> Vec<(f64, u32)> {
-        assert!(points >= 2, "need at least two sample points");
         (0..points)
             .map(|i| {
-                let t = t_max * i as f64 / (points - 1) as f64;
+                let t = if i == 0 {
+                    0.0
+                } else {
+                    t_max * i as f64 / (points - 1) as f64
+                };
                 (t, self.queue_at(node, t))
             })
             .collect()
@@ -117,6 +131,29 @@ mod tests {
             tr.state_series(1),
             &[(0.0, true), (4.0, false), (9.0, true)]
         );
+    }
+
+    #[test]
+    fn state_series_deduplicates_repeated_states() {
+        let mut tr = QueueTrace::new(&[1]);
+        // Nodes start up; a redundant "up" report must not grow the series.
+        tr.record_state(2.0, 0, true);
+        assert_eq!(tr.state_series(0), &[(0.0, true)]);
+        tr.record_state(4.0, 0, false);
+        tr.record_state(5.0, 0, false);
+        tr.record_state(9.0, 0, true);
+        assert_eq!(
+            tr.state_series(0),
+            &[(0.0, true), (4.0, false), (9.0, true)]
+        );
+    }
+
+    #[test]
+    fn sampling_degenerate_grids_is_safe() {
+        let mut tr = QueueTrace::new(&[4]);
+        tr.record_queue(5.0, 0, 2);
+        assert_eq!(tr.sample_queue(0, 10.0, 0), vec![]);
+        assert_eq!(tr.sample_queue(0, 10.0, 1), vec![(0.0, 4)]);
     }
 
     #[test]

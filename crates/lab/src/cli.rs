@@ -34,10 +34,12 @@
 
 use std::io::Write;
 
+use churnbal_cluster::ProbeReport;
 use churnbal_core::PolicySpec;
 
 use crate::experiment::{
-    CsvSink, Experiment, ExperimentResult, ExperimentSchema, ExperimentSpec, JsonlSink, PolicyEntry,
+    probe_jsonl_row, CollectSink, CsvSink, Experiment, ExperimentResult, ExperimentRow,
+    ExperimentSchema, ExperimentSpec, JsonlSink, PolicyEntry, RowSink,
 };
 use crate::registry;
 use crate::scenario::Scenario;
@@ -52,8 +54,11 @@ commands:\n\
   sweep <scenario|file.toml>    grid-expand and run; add axes with --axis\n\
   compare <scenario|file.toml>  run several policies on one grid with common\n\
                                 random numbers (paired deltas vs the first)\n\
+  stats <scenario|file.toml>    probe one scenario's base point and report\n\
+                                counters, telemetry quantiles and the\n\
+                                scheduler's runtime instrumentation\n\
 \n\
-options (run/sweep/compare):\n\
+options (run/sweep/compare/stats):\n\
   --axis param=v1,v2,...     sweep axis, explicit values (sweep/compare)\n\
   --axis param=lo:hi:step    sweep axis, inclusive range (sweep/compare)\n\
   --policies a,b,...         policy set (compare only; first = baseline);\n\
@@ -66,6 +71,16 @@ options (run/sweep/compare):\n\
                              calendar — output bytes do not depend on it\n\
   --theory                   join Eq. 4 theory columns (sweep; compare\n\
                              always joins them)\n\
+  --probe-dt D               sample fleet telemetry every D sim-seconds\n\
+                             (overrides the scenario's [probe] table;\n\
+                             stats defaults to 1.0)\n\
+  --probe-out PATH           write one JSON line per probe tick to PATH\n\
+                             (needs a probe cadence; bit-identical for\n\
+                             any --threads)\n\
+  --metrics M                basic (default) | full: append recoveries,\n\
+                             transfers, clamped orders, transit task-\n\
+                             seconds — and, when probing, histogram\n\
+                             quantile columns — to csv/jsonl rows\n\
   --quick                    a tenth of the replications (at least 10)\n\
   --reps N                   replication override\n\
   --seed S                   master-seed override\n\
@@ -103,6 +118,10 @@ pub fn run(args: &[String]) -> Result<String, String> {
             let (scenario, opts) = parse_common(&mut it, Grammar::Compare)?;
             cmd_compare(&scenario, &opts)
         }
+        Some("stats") => {
+            let (scenario, opts) = parse_common(&mut it, Grammar::Stats)?;
+            cmd_stats(&scenario, &opts)
+        }
         Some(other) => Err(format!("unknown command `{other}`\n\n{USAGE}")),
     }
 }
@@ -113,6 +132,7 @@ enum Grammar {
     Run,
     Sweep,
     Compare,
+    Stats,
 }
 
 #[derive(Clone, Debug, Default)]
@@ -121,6 +141,7 @@ struct CliOptions {
     run: RunOptions,
     format: Option<String>,
     out: Option<String>,
+    probe_out: Option<String>,
     policies: Vec<String>,
     baseline: Option<String>,
     theory: bool,
@@ -135,7 +156,7 @@ fn parse_common<'a>(
         .ok_or("missing scenario name or file\n\ntry: churnbal-lab list")?;
     let scenario = load_scenario(name)?;
     let mut opts = CliOptions::default();
-    let allow_axes = grammar != Grammar::Run;
+    let allow_axes = matches!(grammar, Grammar::Sweep | Grammar::Compare);
     while let Some(flag) = it.next() {
         match flag.as_str() {
             "--axis" if allow_axes => {
@@ -170,6 +191,30 @@ fn parse_common<'a>(
                 return Err(
                     "--theory is only valid for `sweep` (compare always joins theory)".into(),
                 )
+            }
+            "--probe-dt" => {
+                let v = it.next().ok_or("--probe-dt needs a value in seconds")?;
+                let dt: f64 = v
+                    .parse()
+                    .map_err(|_| format!("--probe-dt: expected a number, got `{v}`"))?;
+                if !(dt.is_finite() && dt > 0.0) {
+                    return Err(format!("--probe-dt: must be positive, got {dt}"));
+                }
+                opts.run.probe_dt = Some(dt);
+            }
+            "--probe-out" => {
+                let v = it.next().ok_or("--probe-out needs a path")?;
+                opts.probe_out = Some(v.clone());
+            }
+            "--metrics" => {
+                let v = it.next().ok_or("--metrics needs basic | full")?;
+                match v.as_str() {
+                    "basic" => opts.run.metrics_full = false,
+                    "full" => opts.run.metrics_full = true,
+                    other => {
+                        return Err(format!("--metrics: expected basic | full, got `{other}`"))
+                    }
+                }
             }
             "--quick" => opts.run.quick = true,
             "--reps" => {
@@ -218,6 +263,18 @@ fn parse_common<'a>(
              e.g. --policies lbp1,lbp2,none",
             opts.policies.len()
         ));
+    }
+    // `stats` arms a default cadence itself; everywhere else a probe file
+    // without a cadence would silently come out empty.
+    if grammar != Grammar::Stats
+        && opts.probe_out.is_some()
+        && opts.run.effective_probe_dt(&scenario).is_none()
+    {
+        return Err(
+            "--probe-out needs a probe cadence: pass --probe-dt or add a [probe] \
+             table to the scenario"
+                .into(),
+        );
     }
     Ok((scenario, opts))
 }
@@ -440,6 +497,89 @@ fn deliver(text: String, opts: &CliOptions, preamble: String) -> Result<String, 
     }
 }
 
+/// Tees probe telemetry to a `--probe-out` JSONL writer while delegating
+/// everything else to the wrapped sink. One line per probe tick, in
+/// `(grid point, policy, replication, tick)` order — the scheduler hands
+/// rows over in `(point, policy)` order and replication slots are stable,
+/// so the file is bit-identical for any `--threads` / `--chunk` value.
+struct ProbeTee<'a, W: Write> {
+    inner: &'a mut dyn RowSink,
+    out: W,
+    scenario: String,
+}
+
+impl<'a, W: Write> ProbeTee<'a, W> {
+    fn new(inner: &'a mut dyn RowSink, out: W) -> Self {
+        Self {
+            inner,
+            out,
+            scenario: String::new(),
+        }
+    }
+}
+
+impl<W: Write> RowSink for ProbeTee<'_, W> {
+    fn begin(&mut self, schema: &ExperimentSchema) -> Result<(), String> {
+        self.scenario.clone_from(&schema.scenario);
+        self.inner.begin(schema)
+    }
+
+    fn row(&mut self, row: &ExperimentRow) -> Result<(), String> {
+        self.inner.row(row)
+    }
+
+    fn probes(&mut self, row: &ExperimentRow, reports: &[ProbeReport]) -> Result<(), String> {
+        for (rep, report) in reports.iter().enumerate() {
+            for sample in &report.samples {
+                let line = probe_jsonl_row(&self.scenario, row.index, &row.policy, rep, sample);
+                self.out
+                    .write_all(line.as_bytes())
+                    .map_err(|e| format!("cannot write probe line: {e}"))?;
+            }
+        }
+        self.inner.probes(row, reports)
+    }
+
+    fn finish(&mut self) -> Result<(), String> {
+        self.out
+            .flush()
+            .map_err(|e| format!("cannot flush probe output: {e}"))?;
+        self.inner.finish()
+    }
+}
+
+/// Runs `experiment` into `sink`, teeing probe ticks to `--probe-out`
+/// when requested. Returns the schema and the scheduler's runtime report.
+fn run_with_probe_tee(
+    experiment: &Experiment,
+    sink: &mut dyn RowSink,
+    opts: &CliOptions,
+) -> Result<(ExperimentSchema, churnbal_cluster::ExecReport), String> {
+    match &opts.probe_out {
+        None => experiment.run_with_report(sink),
+        Some(path) => {
+            let file =
+                std::fs::File::create(path).map_err(|e| format!("cannot write `{path}`: {e}"))?;
+            let mut tee = ProbeTee::new(sink, std::io::BufWriter::new(file));
+            experiment.run_with_report(&mut tee)
+        }
+    }
+}
+
+/// Collects an experiment in memory (the table path), honouring
+/// `--probe-out`.
+fn collect_with_probe_tee(
+    experiment: &Experiment,
+    opts: &CliOptions,
+) -> Result<ExperimentResult, String> {
+    let mut sink = CollectSink::new();
+    let (schema, _) = run_with_probe_tee(experiment, &mut sink, opts)?;
+    Ok(ExperimentResult {
+        schema,
+        rows: sink.rows,
+    })
+}
+
 /// Runs an experiment in machine format. With `--out`, rows stream to the
 /// file as their `(grid point, policy)` cells finish — a long grid's
 /// partial results are on disk while later points still run — and the
@@ -456,15 +596,16 @@ fn run_machine_format(
     fn run_into<W: Write>(
         experiment: &Experiment,
         out: W,
+        opts: &CliOptions,
         jsonl: bool,
     ) -> Result<(ExperimentSchema, W), String> {
         if jsonl {
             let mut sink = JsonlSink::new(out);
-            let schema = experiment.run(&mut sink)?;
+            let (schema, _) = run_with_probe_tee(experiment, &mut sink, opts)?;
             Ok((schema, sink.into_inner()))
         } else {
             let mut sink = CsvSink::new(out);
-            let schema = experiment.run(&mut sink)?;
+            let (schema, _) = run_with_probe_tee(experiment, &mut sink, opts)?;
             Ok((schema, sink.into_inner()))
         }
     }
@@ -473,13 +614,13 @@ fn run_machine_format(
         Some(path) => {
             let file =
                 std::fs::File::create(path).map_err(|e| format!("cannot write `{path}`: {e}"))?;
-            let (schema, out) = run_into(&experiment, std::io::BufWriter::new(file), jsonl)?;
+            let (schema, out) = run_into(&experiment, std::io::BufWriter::new(file), opts, jsonl)?;
             drop(out); // flushes the BufWriter
             let lines = schema.rows() + usize::from(!jsonl);
             Ok(format!("wrote {lines} lines to {path}\n"))
         }
         None => {
-            let (_, buf) = run_into(&experiment, Vec::new(), jsonl)?;
+            let (_, buf) = run_into(&experiment, Vec::new(), opts, jsonl)?;
             String::from_utf8(buf).map_err(|e| format!("output is not UTF-8: {e}"))
         }
     }
@@ -491,7 +632,7 @@ fn cmd_run(scenario: &Scenario, opts: &CliOptions) -> Result<String, String> {
     if format != "table" {
         return run_machine_format(spec, opts, format == "jsonl");
     }
-    let result = Experiment::new(spec).collect()?;
+    let result = collect_with_probe_tee(&Experiment::new(spec), opts)?;
     let reps = opts.run.effective_reps(scenario);
     let preamble = format!(
         "{}: {}\n{} point(s), {} replications each, seed {}\n\n",
@@ -511,7 +652,7 @@ fn cmd_sweep(scenario: &Scenario, opts: &CliOptions) -> Result<String, String> {
     if format != "table" {
         return run_machine_format(spec, opts, format == "jsonl");
     }
-    let result = Experiment::new(spec).collect()?;
+    let result = collect_with_probe_tee(&Experiment::new(spec), opts)?;
     deliver(render_table(&result), opts, String::new())
 }
 
@@ -540,7 +681,7 @@ fn cmd_compare(scenario: &Scenario, opts: &CliOptions) -> Result<String, String>
     if format != "table" {
         return run_machine_format(spec, opts, format == "jsonl");
     }
-    let result = Experiment::new(spec).collect()?;
+    let result = collect_with_probe_tee(&Experiment::new(spec), opts)?;
     let reps = opts.run.effective_reps(scenario);
     let preamble = format!(
         "{}: {}\n{} point(s) x {} policies (baseline {}), {} replications each, seed {}\n\
@@ -554,6 +695,139 @@ fn cmd_compare(scenario: &Scenario, opts: &CliOptions) -> Result<String, String>
         opts.run.seed.unwrap_or(scenario.seed),
     );
     deliver(render_table(&result), opts, preamble)
+}
+
+/// `stats <scenario>`: one deep look at the scenario's base point.
+/// Baked-in axes are dropped (one grid point), probing is armed at the
+/// scenario's `[probe]` cadence / `--probe-dt` / 1.0 s in that order, and
+/// the output reports counters, telemetry quantiles, and the scheduler's
+/// runtime instrumentation.
+fn cmd_stats(scenario: &Scenario, opts: &CliOptions) -> Result<String, String> {
+    let mut base = scenario.clone();
+    base.axes.clear();
+    let mut run = opts.run;
+    if run.effective_probe_dt(&base).is_none() {
+        run.probe_dt = Some(1.0);
+    }
+    let dt = run.effective_probe_dt(&base).expect("armed above");
+    let reps = run.effective_reps(&base);
+    let seed = run.seed.unwrap_or(base.seed);
+    let experiment = Experiment::new(ExperimentSpec::sweep(base.clone(), Vec::new(), run));
+    let mut sink = CollectSink::new();
+    let (_, report) = run_with_probe_tee(&experiment, &mut sink, opts)?;
+    let row = sink
+        .rows
+        .first()
+        .ok_or("stats: the experiment produced no rows")?;
+
+    let mut out = format!(
+        "{}: {}\n{} replications, seed {}, probe dt {} s\n",
+        base.name,
+        base.description,
+        reps,
+        seed,
+        pretty(dt),
+    );
+
+    out.push_str("\ncounters (mean per replication)\n");
+    let counter = |out: &mut String, label: &str, value: String| {
+        out.push_str(&format!("  {label:<22}{value}\n"));
+    };
+    counter(
+        &mut out,
+        "completion time",
+        format!(
+            "{:.2} s ± {:.2} (95% CI), sd {:.2}",
+            row.mean_completion, row.ci95, row.sd_completion
+        ),
+    );
+    counter(
+        &mut out,
+        "failures",
+        format!("{:.2} ± {:.2} sd", row.mean_failures, row.sd_failures),
+    );
+    counter(
+        &mut out,
+        "recoveries",
+        format!("{:.2}", row.mean_recoveries),
+    );
+    counter(
+        &mut out,
+        "transfer batches",
+        format!("{:.2}", row.mean_transfers),
+    );
+    counter(
+        &mut out,
+        "tasks shipped",
+        format!(
+            "{:.1} ± {:.1} sd",
+            row.mean_tasks_shipped, row.sd_tasks_shipped
+        ),
+    );
+    counter(
+        &mut out,
+        "clamped orders",
+        format!("{:.2}", row.mean_tasks_clamped),
+    );
+    counter(
+        &mut out,
+        "transit task-seconds",
+        format!("{:.2}", row.mean_transit_task_seconds),
+    );
+    counter(
+        &mut out,
+        "incomplete",
+        format!("{} / {}", row.incomplete, row.reps),
+    );
+
+    out.push_str("\ntelemetry (histograms merged across replications)\n");
+    let t = &row.telemetry;
+    let dist =
+        |out: &mut String, label: &str, h: &churnbal_stochastic::LogHistogram, unit: &str| {
+            if h.is_empty() {
+                out.push_str(&format!("  {label:<16}(no observations)\n"));
+            } else {
+                out.push_str(&format!(
+                    "  {label:<16}p50 {}{unit}, p99 {}{unit}, max {}{unit}  ({} obs)\n",
+                    h.quantile(0.50),
+                    h.quantile(0.99),
+                    h.max(),
+                    h.total(),
+                ));
+            }
+        };
+    dist(&mut out, "queue length", &t.queue_hist, "");
+    dist(&mut out, "transfer delay", &t.transfer_delay_us, " µs");
+    dist(&mut out, "downtime", &t.downtime_us, " µs");
+
+    // Wall-clock figures vary run to run; everything above is
+    // bit-deterministic, this section is diagnostics only.
+    let totals = report.totals();
+    out.push_str("\nruntime (observational, not deterministic)\n");
+    out.push_str(&format!(
+        "  {} worker(s): {} task(s), {} chunk claim(s), {} idle poll(s), {} rebind(s)\n",
+        report.workers.len(),
+        totals.tasks,
+        totals.chunks,
+        totals.idle_claims,
+        totals.rebinds,
+    ));
+    out.push_str(&format!(
+        "  {} events in {:.3} s wall ({:.2e} events/s)\n",
+        totals.events,
+        report.wall_seconds,
+        report.events_per_sec(),
+    ));
+    for (i, w) in report.workers.iter().enumerate() {
+        out.push_str(&format!(
+            "    worker {i}: {} task(s), {} events, {:.3} s busy ({:.2e} events/s)\n",
+            w.tasks,
+            w.events,
+            w.busy_seconds,
+            w.events_per_sec(),
+        ));
+    }
+    deliver(out, opts, String::new())
 }
 
 #[cfg(test)]
@@ -952,6 +1226,109 @@ mod tests {
         std::fs::write(&path, "name = \"broken\"\n").expect("write");
         let err = call(&["run", path.to_str().expect("utf8")]).unwrap_err();
         assert!(err.contains("missing key `reps`"), "{err}");
+    }
+
+    #[test]
+    fn stats_reports_counters_telemetry_and_runtime() {
+        let out =
+            call(&["stats", "paper-fig5", "--reps", "3", "--threads", "2"]).expect("stats works");
+        assert!(out.contains("paper-fig5"), "{out}");
+        assert!(out.contains("probe dt 1 s"), "{out}");
+        assert!(out.contains("counters (mean per replication)"), "{out}");
+        assert!(out.contains("completion time"), "{out}");
+        assert!(out.contains("transit task-seconds"), "{out}");
+        assert!(
+            out.contains("telemetry (histograms merged across replications)"),
+            "{out}"
+        );
+        assert!(out.contains("queue length"), "{out}");
+        assert!(out.contains("transfer delay"), "{out}");
+        assert!(out.contains("runtime (observational"), "{out}");
+        assert!(out.contains("events/s"), "{out}");
+        // The cadence is overridable; the header reflects it.
+        let out = call(&["stats", "paper-fig5", "--reps", "2", "--probe-dt", "2.5"])
+            .expect("stats with cadence works");
+        assert!(out.contains("probe dt 2.5 s"), "{out}");
+    }
+
+    #[test]
+    fn metrics_full_appends_counter_and_quantile_columns() {
+        let base = ["sweep", "paper-fig3", "--reps", "2", "--metrics", "full"];
+        let csv = call(&base).expect("metrics full sweep works");
+        let header = csv.lines().next().expect("header");
+        assert!(
+            header.ends_with(
+                "incomplete,mean_recoveries,mean_transfers,\
+                 mean_tasks_clamped,mean_transit_task_seconds"
+            ),
+            "{header}"
+        );
+        // Arming probes adds the histogram quantile block.
+        let mut args = base.to_vec();
+        args.extend(["--probe-dt", "20"]);
+        let csv = call(&args).expect("probed metrics full sweep works");
+        let header = csv.lines().next().expect("header");
+        assert!(
+            header.ends_with(
+                "mean_transit_task_seconds,queue_p50,queue_p99,\
+                 transfer_us_p50,transfer_us_p99,downtime_us_p50,downtime_us_p99"
+            ),
+            "{header}"
+        );
+        // `--metrics basic` (the default) keeps the legacy bytes.
+        let plain = call(&["sweep", "paper-fig3", "--reps", "2"]).expect("plain sweep");
+        let basic = call(&["sweep", "paper-fig3", "--reps", "2", "--metrics", "basic"])
+            .expect("basic sweep");
+        assert_eq!(plain, basic);
+        let err = call(&["sweep", "paper-fig3", "--metrics", "warp"]).unwrap_err();
+        assert!(err.contains("expected basic | full"), "{err}");
+    }
+
+    #[test]
+    fn probe_out_writes_thread_invariant_jsonl() {
+        let dir = std::env::temp_dir().join("churnbal_lab_cli_probe_test");
+        std::fs::create_dir_all(&dir).expect("tmp dir");
+        let mut files = Vec::new();
+        for threads in ["1", "4"] {
+            let path = dir.join(format!("probes_t{threads}.jsonl"));
+            let path_str = path.to_str().expect("utf8");
+            call(&[
+                "run",
+                "paper-fig5",
+                "--reps",
+                "3",
+                "--probe-dt",
+                "50",
+                "--probe-out",
+                path_str,
+                "--threads",
+                threads,
+            ])
+            .expect("probed run works");
+            files.push(std::fs::read_to_string(&path).expect("probe file written"));
+        }
+        assert_eq!(files[0], files[1], "probe JSONL depends on --threads");
+        let first = files[0].lines().next().expect("at least one probe tick");
+        assert!(first.starts_with("{\"scenario\":\"paper-fig5\""), "{first}");
+        assert!(first.contains("\"queue_p99\":"), "{first}");
+        // Every line is for rep 0..3 and carries a time that is a
+        // multiple of the cadence.
+        for line in files[0].lines() {
+            assert!(line.contains("\"time\":"), "{line}");
+        }
+
+        // A probe file without any cadence is an arming error (stats
+        // excepted: it defaults its own cadence).
+        let err = call(&[
+            "run",
+            "paper-fig5",
+            "--probe-out",
+            dir.join("never.jsonl").to_str().expect("utf8"),
+        ])
+        .unwrap_err();
+        assert!(err.contains("--probe-out needs a probe cadence"), "{err}");
+        let err = call(&["run", "paper-fig5", "--probe-dt", "-1"]).unwrap_err();
+        assert!(err.contains("must be positive"), "{err}");
     }
 
     #[test]

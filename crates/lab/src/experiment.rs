@@ -26,9 +26,11 @@
 
 use std::io::Write;
 
-use churnbal_cluster::exec::{run_grid_policies_streaming, PointJob};
+use churnbal_cluster::exec::{
+    run_grid_policies_streaming, run_grid_policies_streaming_with_report, ExecReport, PointJob,
+};
 use churnbal_cluster::mc::McEstimate;
-use churnbal_cluster::{SimOptions, SystemConfig};
+use churnbal_cluster::{ProbeReport, SimOptions, SystemConfig};
 use churnbal_core::PolicySpec;
 use churnbal_stochastic::{paired_comparison, PairedComparison};
 
@@ -153,6 +155,14 @@ pub struct ExperimentSchema {
     pub theory: bool,
     /// Whether rows carry paired-delta columns (≥ 2 policies).
     pub paired: bool,
+    /// Whether rows carry the extended telemetry columns
+    /// (`--metrics full`).
+    pub metrics_full: bool,
+    /// Whether simulation-time probing is armed for this experiment —
+    /// rows then carry per-replication [`ProbeReport`]s through
+    /// [`RowSink::probes`], and `--metrics full` additionally renders the
+    /// merged histogram quantile columns.
+    pub probe: bool,
 }
 
 impl ExperimentSchema {
@@ -217,6 +227,20 @@ pub struct ExperimentRow {
     /// Paired delta vs the point's baseline policy (`None` on plain
     /// sweeps).
     pub delta: Option<PairedDelta>,
+    /// Mean node recoveries per replication.
+    pub mean_recoveries: f64,
+    /// Mean transfer batches per replication.
+    pub mean_transfers: f64,
+    /// Mean clamped transfer orders per replication (tasks a policy
+    /// ordered that the source queue could not supply) — satellite of the
+    /// observability PR.
+    pub mean_tasks_clamped: f64,
+    /// Mean in-transit task·seconds per replication.
+    pub mean_transit_task_seconds: f64,
+    /// Probe telemetry merged across this cell's replications (empty
+    /// histograms when probing is off). Quantiles come from
+    /// [`churnbal_stochastic::LogHistogram::quantile`].
+    pub telemetry: ProbeReport,
 }
 
 impl ExperimentRow {
@@ -261,6 +285,18 @@ pub trait RowSink {
     /// An error aborts the remaining grid (workers stop claiming tasks).
     fn row(&mut self, row: &ExperimentRow) -> Result<(), String>;
 
+    /// Receives the per-replication probe reports of a row (replication
+    /// order, immediately after [`RowSink::row`] for the same row). Only
+    /// called when probing is armed; the default implementation ignores
+    /// them, so probe-oblivious sinks keep their exact bytes.
+    ///
+    /// # Errors
+    /// An error aborts the remaining grid, like a `row` error.
+    fn probes(&mut self, row: &ExperimentRow, reports: &[ProbeReport]) -> Result<(), String> {
+        let _ = (row, reports);
+        Ok(())
+    }
+
     /// Flushes after the last row.
     ///
     /// # Errors
@@ -299,6 +335,17 @@ pub fn experiment_csv_header(schema: &ExperimentSchema) -> String {
     if schema.paired {
         out.push_str(",delta_mean,delta_sd,delta_ci95");
     }
+    if schema.metrics_full {
+        out.push_str(
+            ",mean_recoveries,mean_transfers,mean_tasks_clamped,mean_transit_task_seconds",
+        );
+        if schema.probe {
+            out.push_str(
+                ",queue_p50,queue_p99,transfer_us_p50,transfer_us_p99,\
+                 downtime_us_p50,downtime_us_p99",
+            );
+        }
+    }
     out.push('\n');
     out
 }
@@ -321,6 +368,27 @@ pub fn experiment_csv_row(schema: &ExperimentSchema, row: &ExperimentRow) -> Str
             ",{:?},{:?},{:?}",
             d.mean_delta, d.sd_delta, d.ci95_half_width
         ));
+    }
+    if schema.metrics_full {
+        out.push_str(&format!(
+            ",{:?},{:?},{:?},{:?}",
+            row.mean_recoveries,
+            row.mean_transfers,
+            row.mean_tasks_clamped,
+            row.mean_transit_task_seconds
+        ));
+        if schema.probe {
+            let t = &row.telemetry;
+            out.push_str(&format!(
+                ",{},{},{},{},{},{}",
+                t.queue_hist.quantile(0.5),
+                t.queue_hist.quantile(0.99),
+                t.transfer_delay_us.quantile(0.5),
+                t.transfer_delay_us.quantile(0.99),
+                t.downtime_us.quantile(0.5),
+                t.downtime_us.quantile(0.99)
+            ));
+        }
     }
     out.push('\n');
     out
@@ -346,8 +414,63 @@ pub fn experiment_jsonl_row(schema: &ExperimentSchema, row: &ExperimentRow) -> S
             d.mean_delta, d.sd_delta, d.ci95_half_width
         ));
     }
+    if schema.metrics_full {
+        out.push_str(&format!(
+            ",\"mean_recoveries\":{:?},\"mean_transfers\":{:?},\
+             \"mean_tasks_clamped\":{:?},\"mean_transit_task_seconds\":{:?}",
+            row.mean_recoveries,
+            row.mean_transfers,
+            row.mean_tasks_clamped,
+            row.mean_transit_task_seconds
+        ));
+        if schema.probe {
+            let t = &row.telemetry;
+            out.push_str(&format!(
+                ",\"queue_p50\":{},\"queue_p99\":{},\"transfer_us_p50\":{},\
+                 \"transfer_us_p99\":{},\"downtime_us_p50\":{},\"downtime_us_p99\":{}",
+                t.queue_hist.quantile(0.5),
+                t.queue_hist.quantile(0.99),
+                t.transfer_delay_us.quantile(0.5),
+                t.transfer_delay_us.quantile(0.99),
+                t.downtime_us.quantile(0.5),
+                t.downtime_us.quantile(0.99)
+            ));
+        }
+    }
     out.push_str("}\n");
     out
+}
+
+/// One probe-tick JSON line (with trailing newline) for `--probe-out`:
+/// the fleet aggregates of one tick of one replication, keyed by
+/// `(scenario, point, policy, rep, time)`. Emitted in
+/// `(grid point, policy, replication, tick)` order, so the file is a pure
+/// function of the experiment spec — bit-identical for any thread count.
+#[must_use]
+pub fn probe_jsonl_row(
+    scenario: &str,
+    point: usize,
+    policy: &str,
+    rep: usize,
+    s: &churnbal_cluster::ProbeSample,
+) -> String {
+    format!(
+        "{{\"scenario\":{},\"point\":{point},\"policy\":{},\"rep\":{rep},\
+         \"time\":{:?},\"up\":{},\"queue_total\":{},\"queue_max\":{},\
+         \"queue_p50\":{},\"queue_p99\":{},\"in_transit\":{},\
+         \"failures\":{},\"transfers\":{}}}\n",
+        crate::sweep::json_string(scenario),
+        crate::sweep::json_string(policy),
+        s.time,
+        s.up_nodes,
+        s.queue_total,
+        s.queue_max,
+        s.queue_p50,
+        s.queue_p99,
+        s.in_transit,
+        s.failures,
+        s.transfers
+    )
 }
 
 // ---- sinks -------------------------------------------------------------
@@ -558,6 +681,7 @@ impl Experiment {
             options: SimOptions {
                 deadline: scenario.deadline,
                 backend: spec.options.backend,
+                probe_dt: spec.options.effective_probe_dt(scenario),
                 ..SimOptions::default()
             },
         };
@@ -587,6 +711,20 @@ impl Experiment {
     /// Propagates grid-expansion and validation failures, and anything
     /// the sink returns.
     pub fn run(&self, sink: &mut dyn RowSink) -> Result<ExperimentSchema, String> {
+        self.run_with_report(sink).map(|(schema, _)| schema)
+    }
+
+    /// [`Experiment::run`] plus the scheduler's runtime instrumentation:
+    /// per-worker task/chunk/event counts and wall-clock throughput
+    /// ([`ExecReport`]). The report is observational — wall times depend
+    /// on the machine — while the rows stay bit-deterministic.
+    ///
+    /// # Errors
+    /// Same conditions as [`Experiment::run`].
+    pub fn run_with_report(
+        &self,
+        sink: &mut dyn RowSink,
+    ) -> Result<(ExperimentSchema, ExecReport), String> {
         let spec = &self.spec;
         let points = expand_grid(&spec.scenario, &spec.axes)?;
         let axes: Vec<AxisParam> = points
@@ -667,10 +805,12 @@ impl Experiment {
                 options: SimOptions {
                     deadline: point.scenario.deadline,
                     backend: spec.options.backend,
+                    probe_dt: spec.options.effective_probe_dt(&point.scenario),
                     ..SimOptions::default()
                 },
             })
             .collect();
+        let probe = jobs.iter().any(|j| j.options.probe_dt.is_some());
 
         let paired = labels.len() > 1;
         if spec.baseline >= labels.len() {
@@ -688,6 +828,8 @@ impl Experiment {
             baseline: spec.baseline,
             theory: spec.theory,
             paired,
+            metrics_full: spec.options.metrics_full,
+            probe,
         };
         sink.begin(&schema)?;
 
@@ -695,6 +837,12 @@ impl Experiment {
         let b = spec.baseline;
         let build_row = |p: usize, v: usize, est: &McEstimate, delta: Option<PairedDelta>| {
             let theory_mean = theory[p][v];
+            // Cross-replication histogram aggregation: exact integer
+            // bucket adds, so the merge order cannot matter.
+            let mut telemetry = ProbeReport::default();
+            for report in &est.probes {
+                telemetry.merge_telemetry(report);
+            }
             ExperimentRow {
                 index: points[p].index,
                 coords: points[p].coords.clone(),
@@ -713,13 +861,18 @@ impl Experiment {
                 theory_mean,
                 mc_minus_theory: theory_mean.map(|t| est.mean() - t),
                 delta,
+                mean_recoveries: est.mean_recoveries,
+                mean_transfers: est.mean_transfers,
+                mean_tasks_clamped: est.mean_tasks_clamped,
+                mean_transit_task_seconds: est.mean_transit_task_seconds,
+                telemetry,
             }
         };
         let mut baseline_times: Vec<f64> = Vec::new();
         // Cells of the current point awaiting the baseline cell (only
         // used with a non-first baseline).
         let mut held: Vec<(usize, McEstimate)> = Vec::new();
-        run_grid_policies_streaming(
+        let report = run_grid_policies_streaming_with_report(
             &jobs,
             k,
             &|p, v, _r| {
@@ -731,8 +884,20 @@ impl Experiment {
             spec.options.chunk,
             |p, v, stats| {
                 let est = McEstimate::from_point_stats(stats);
+                let emit = |sink: &mut dyn RowSink,
+                            v: usize,
+                            est: &McEstimate,
+                            delta: Option<PairedDelta>|
+                 -> Result<(), String> {
+                    let row = build_row(p, v, est, delta);
+                    sink.row(&row)?;
+                    if probe {
+                        sink.probes(&row, &est.probes)?;
+                    }
+                    Ok(())
+                };
                 if !paired {
-                    return sink.row(&build_row(p, v, &est, None));
+                    return emit(sink, v, &est, None);
                 }
                 if b == 0 {
                     // The baseline is the first cell of each point, so
@@ -745,7 +910,7 @@ impl Experiment {
                     } else {
                         Some(paired_comparison(&est.completion_times, &baseline_times))
                     };
-                    return sink.row(&build_row(p, v, &est, delta));
+                    return emit(sink, v, &est, delta);
                 }
                 // Non-first baseline: cells arrive in policy order, so
                 // hold this point's cells until the last one, then emit
@@ -762,13 +927,13 @@ impl Experiment {
                 baseline_times.extend_from_slice(&base.1.completion_times);
                 for (hv, hest) in held.drain(..) {
                     let delta = Some(paired_comparison(&hest.completion_times, &baseline_times));
-                    sink.row(&build_row(p, hv, &hest, delta))?;
+                    emit(sink, hv, &hest, delta)?;
                 }
                 Ok(())
             },
         )?;
         sink.finish()?;
-        Ok(schema)
+        Ok((schema, report))
     }
 }
 

@@ -29,7 +29,8 @@
 //!   CRN-paired deltas with t-based 95% CIs; two-node closed points join
 //!   the Eq. 4 theory mean ([`theory`]).
 //! * [`cli`] — the `churnbal-lab` binary:
-//!   `list | show | run | sweep | compare`.
+//!   `list | show | run | sweep | compare | stats` (the last a one-point
+//!   observability deep dive: counters, telemetry quantiles, runtime).
 //!
 //! ```
 //! use churnbal_core::PolicySpec;
@@ -62,8 +63,8 @@ pub mod theory;
 pub mod toml;
 
 pub use experiment::{
-    CollectSink, CsvSink, Experiment, ExperimentResult, ExperimentRow, ExperimentSchema,
-    ExperimentSpec, JsonlSink, PairedDelta, PolicyEntry, RowSink,
+    probe_jsonl_row, CollectSink, CsvSink, Experiment, ExperimentResult, ExperimentRow,
+    ExperimentSchema, ExperimentSpec, JsonlSink, PairedDelta, PolicyEntry, RowSink,
 };
 pub use scenario::{ArrivalsSpec, NetworkSpec, NodeSpec, Scenario, TopologySpec};
 pub use sweep::{

@@ -93,6 +93,7 @@ fn base(name: &str, description: &str, m0: [u32; 2], policy: PolicySpec) -> Scen
         reps: 500,
         seed: PAPER_SEED,
         deadline: None,
+        probe_dt: None,
         nodes: paper_nodes(m0),
         network: paper_network(),
         arrivals: ArrivalsSpec::None,
@@ -163,6 +164,7 @@ fn hetero_speeds() -> Scenario {
         reps: 400,
         seed: 7,
         deadline: None,
+        probe_dt: None,
         nodes: vec![
             NodeSpec::new(0.5, 1.0 / 30.0, 1.0 / 10.0, 240),
             NodeSpec::new(1.0, 1.0 / 30.0, 1.0 / 10.0, 0),
@@ -189,6 +191,7 @@ fn hot_spare() -> Scenario {
         reps: 400,
         seed: 8,
         deadline: None,
+        probe_dt: None,
         nodes: vec![
             NodeSpec::new(1.5, 1.0 / 12.0, 1.0 / 8.0, 200),
             NodeSpec::new(1.5, 1.0 / 12.0, 1.0 / 8.0, 200),
@@ -214,6 +217,7 @@ fn correlated_failures() -> Scenario {
         reps: 400,
         seed: 9,
         deadline: None,
+        probe_dt: None,
         nodes: vec![NodeSpec::new(1.2, 1.0 / 60.0, 1.0 / 8.0, 80).times(4)],
         network: paper_network(),
         arrivals: ArrivalsSpec::None,
@@ -237,6 +241,7 @@ fn cascading_failures() -> Scenario {
         reps: 400,
         seed: 10,
         deadline: None,
+        probe_dt: None,
         nodes: vec![NodeSpec::new(1.2, 1.0 / 40.0, 1.0 / 10.0, 80).times(4)],
         network: paper_network(),
         arrivals: ArrivalsSpec::None,
@@ -263,6 +268,7 @@ fn adversarial_churn() -> Scenario {
         reps: 400,
         seed: 12,
         deadline: None,
+        probe_dt: None,
         nodes: vec![NodeSpec::new(1.2, 1.0 / 60.0, 1.0 / 8.0, 80).times(4)],
         network: paper_network(),
         arrivals: ArrivalsSpec::None,
@@ -303,6 +309,7 @@ fn mmpp_bursty() -> Scenario {
         reps: 300,
         seed: 42,
         deadline: None,
+        probe_dt: None,
         nodes: paper_nodes([20, 20]),
         network: paper_network(),
         arrivals: ArrivalsSpec::Process(ArrivalProcess {
@@ -331,6 +338,7 @@ fn diurnal() -> Scenario {
         reps: 300,
         seed: 43,
         deadline: None,
+        probe_dt: None,
         nodes: paper_nodes([10, 10]),
         network: paper_network(),
         arrivals: ArrivalsSpec::Process(ArrivalProcess {
@@ -360,6 +368,7 @@ fn flash_crowd() -> Scenario {
         reps: 300,
         seed: 44,
         deadline: None,
+        probe_dt: None,
         nodes: paper_nodes([10, 10]),
         network: paper_network(),
         arrivals: ArrivalsSpec::Process(ArrivalProcess {
@@ -391,6 +400,7 @@ fn volunteer_grid() -> Scenario {
         reps: 300,
         seed: 11,
         deadline: None,
+        probe_dt: None,
         nodes: vec![
             NodeSpec::new(2.0, 0.0, 0.0, 300),
             NodeSpec::new(1.5, 0.0, 0.0, 250),
@@ -439,6 +449,7 @@ fn dynamic_arrivals() -> Scenario {
         reps: 300,
         seed: 17,
         deadline: None,
+        probe_dt: None,
         nodes: paper_nodes([30, 30]),
         network: paper_network(),
         arrivals: ArrivalsSpec::Fixed(dynamic_arrival_bursts()),
@@ -459,6 +470,7 @@ fn open_system() -> Scenario {
         reps: 300,
         seed: 45,
         deadline: None,
+        probe_dt: None,
         nodes: paper_nodes([0, 0]),
         network: paper_network(),
         arrivals: ArrivalsSpec::Process(ArrivalProcess::poisson(0.8, 90.0).with_batch(1, 4)),
@@ -489,6 +501,7 @@ fn ring() -> Scenario {
         reps: 300,
         seed: 51,
         deadline: None,
+        probe_dt: None,
         nodes: fleet_nodes(96, 15),
         network: paper_network(),
         arrivals: ArrivalsSpec::None,
@@ -509,6 +522,7 @@ fn torus() -> Scenario {
         reps: 300,
         seed: 52,
         deadline: None,
+        probe_dt: None,
         nodes: fleet_nodes(120, 23),
         network: paper_network(),
         arrivals: ArrivalsSpec::None,
@@ -530,6 +544,7 @@ fn rack_hierarchy() -> Scenario {
         reps: 300,
         seed: 53,
         deadline: None,
+        probe_dt: None,
         nodes: fleet_nodes(128, 15),
         network: paper_network(),
         arrivals: ArrivalsSpec::None,
@@ -558,6 +573,7 @@ fn rack_shocks() -> Scenario {
         reps: 300,
         seed: 54,
         deadline: None,
+        probe_dt: None,
         nodes: fleet_nodes(128, 15),
         network: paper_network(),
         arrivals: ArrivalsSpec::None,
@@ -587,6 +603,7 @@ fn paper_system(name: &str, m0: [u32; 2], network: NetworkSpec) -> SystemConfig 
         reps: 1,
         seed: PAPER_SEED,
         deadline: None,
+        probe_dt: None,
         nodes: paper_nodes(m0),
         network,
         arrivals: ArrivalsSpec::None,

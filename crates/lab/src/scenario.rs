@@ -192,6 +192,10 @@ pub struct Scenario {
     pub seed: u64,
     /// Optional hard stop per replication (seconds).
     pub deadline: Option<f64>,
+    /// Optional simulation-time probe cadence (seconds between fleet
+    /// telemetry samples; `[probe] dt = ...` in TOML). Probing is
+    /// observational only — it never changes the trajectory.
+    pub probe_dt: Option<f64>,
     /// Node templates (expanding to ≥ 2 nodes).
     pub nodes: Vec<NodeSpec>,
     /// Network parameters.
@@ -280,6 +284,14 @@ impl Scenario {
             if !(d.is_finite() && d > 0.0) {
                 return Err(format!(
                     "scenario {}: deadline must be positive, got {d}",
+                    self.name
+                ));
+            }
+        }
+        if let Some(dt) = self.probe_dt {
+            if !(dt.is_finite() && dt > 0.0) {
+                return Err(format!(
+                    "scenario {}: probe dt must be positive, got {dt}",
                     self.name
                 ));
             }
@@ -377,6 +389,13 @@ impl Scenario {
         doc.root.set("seed", Value::Int(self.seed as i64));
         if let Some(d) = self.deadline {
             doc.root.set("deadline", Value::Float(d));
+        }
+        // The [probe] table is emitted only when probing is configured,
+        // so probe-free presets keep their exact pre-probe TOML bytes.
+        if let Some(dt) = self.probe_dt {
+            let mut probe = Table::new();
+            probe.set("dt", Value::Float(dt));
+            doc.set_table("probe", probe);
         }
 
         let mut net = Table::new();
@@ -565,6 +584,10 @@ impl Scenario {
         // negative literals map back to seeds above `i64::MAX`.
         let seed = req_i64(&doc.root, "", "seed")? as u64;
         let deadline = opt_f64(&doc.root, "", "deadline")?;
+        let probe_dt = match doc.table("probe") {
+            None => None,
+            Some(t) => Some(req_f64(t, "[probe]", "dt")?),
+        };
 
         let net = doc
             .table("network")
@@ -689,6 +712,7 @@ impl Scenario {
             reps,
             seed,
             deadline,
+            probe_dt,
             nodes,
             network,
             arrivals,

@@ -259,6 +259,17 @@ pub struct RunOptions {
     /// Event-queue backend (`auto` resolves per node count). Output bytes
     /// do not depend on it — both backends pop in identical order.
     pub backend: churnbal_cluster::QueueBackend,
+    /// Simulation-time probe cadence override (seconds between fleet
+    /// samples). `None` defers to the scenario's own `[probe]` table;
+    /// probing stays off when both are absent. Probing never changes a
+    /// trajectory, so the base output columns are byte-identical either
+    /// way.
+    pub probe_dt: Option<f64>,
+    /// `--metrics full`: append the extended telemetry columns
+    /// (recoveries, transfers, clamped orders, transit task·seconds, and
+    /// — when probing is on — merged histogram quantiles) to CSV/JSONL
+    /// rows.
+    pub metrics_full: bool,
 }
 
 impl RunOptions {
@@ -268,6 +279,12 @@ impl RunOptions {
             None if self.quick => scenario.quick_reps(),
             None => scenario.reps,
         }
+    }
+
+    /// The probe cadence actually in force: the CLI override wins, then
+    /// the scenario's `[probe]` table, then off.
+    pub(crate) fn effective_probe_dt(self, scenario: &Scenario) -> Option<f64> {
+        self.probe_dt.or(scenario.probe_dt)
     }
 }
 
@@ -444,7 +461,7 @@ fn csv_field(s: &str) -> String {
 }
 
 /// JSON string escaping for user data (quotes, backslashes, controls).
-fn json_string(s: &str) -> String {
+pub(crate) fn json_string(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     out.push('"');
     for c in s.chars() {

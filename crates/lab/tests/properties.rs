@@ -287,6 +287,7 @@ fn scenario() -> BoxedStrategy<Scenario> {
             Just(i64::MAX as u64 + 1),
         ],
         prop_oneof![Just(None), (1.0..500.0f64).prop_map(Some)],
+        prop_oneof![Just(None), (0.05..10.0f64).prop_map(Some)],
     );
     let body = (
         prop::collection::vec(node_spec(), 1..4),
@@ -305,7 +306,7 @@ fn scenario() -> BoxedStrategy<Scenario> {
     (head, body)
         .prop_map(
             |(
-                (name, description, reps, seed, deadline),
+                (name, description, reps, seed, deadline, probe_dt),
                 (nodes, (fixed, per_task), law, arrivals, churn, topology, policy, axes),
             )| Scenario {
                 name,
@@ -313,6 +314,7 @@ fn scenario() -> BoxedStrategy<Scenario> {
                 reps,
                 seed,
                 deadline,
+                probe_dt,
                 nodes,
                 network: NetworkSpec {
                     fixed,

@@ -121,6 +121,173 @@ impl Histogram {
     }
 }
 
+/// Log-bucketed (HDR-style) histogram over `u64` values with power-of-two
+/// buckets — the telemetry container of the observability layer.
+///
+/// Bucket 0 counts the value 0; bucket `b ≥ 1` counts values in
+/// `[2^(b-1), 2^b)`. Every operation is integer arithmetic
+/// (`leading_zeros`, counter adds), so recording, merging and quantile
+/// extraction are exact: merging per-replication histograms
+/// bucket-for-bucket equals the single-pass histogram over the
+/// concatenated observations, in any merge order — the property that makes
+/// cross-replication aggregation bit-deterministic with no float binning
+/// drift.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LogHistogram {
+    counts: [u64; LogHistogram::BUCKETS],
+    total: u64,
+    max: u64,
+}
+
+impl Default for LogHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LogHistogram {
+    /// Bucket count: one zero bucket plus one per `u64` bit position.
+    pub const BUCKETS: usize = 65;
+
+    /// An empty histogram.
+    #[must_use]
+    pub const fn new() -> Self {
+        Self {
+            counts: [0; Self::BUCKETS],
+            total: 0,
+            max: 0,
+        }
+    }
+
+    /// The bucket index of `value`: 0 for 0, else `⌊log2(value)⌋ + 1`.
+    #[must_use]
+    #[inline]
+    pub fn bucket_of(value: u64) -> usize {
+        (64 - value.leading_zeros()) as usize
+    }
+
+    /// The smallest value bucket `bucket` covers.
+    ///
+    /// # Panics
+    /// Panics if `bucket >= Self::BUCKETS`.
+    #[must_use]
+    pub fn bucket_lo(bucket: usize) -> u64 {
+        assert!(bucket < Self::BUCKETS, "bucket out of range");
+        if bucket == 0 {
+            0
+        } else {
+            1u64 << (bucket - 1)
+        }
+    }
+
+    /// Records one observation.
+    #[inline]
+    pub fn record(&mut self, value: u64) {
+        self.counts[Self::bucket_of(value)] += 1;
+        self.total += 1;
+        self.max = self.max.max(value);
+    }
+
+    /// Records `n` identical observations.
+    #[inline]
+    pub fn record_n(&mut self, value: u64, n: u64) {
+        if n == 0 {
+            return;
+        }
+        self.counts[Self::bucket_of(value)] += n;
+        self.total += n;
+        self.max = self.max.max(value);
+    }
+
+    /// Folds `other` into `self` (elementwise counter adds — exact and
+    /// order-invariant).
+    pub fn merge(&mut self, other: &Self) {
+        for (c, o) in self.counts.iter_mut().zip(&other.counts) {
+            *c += o;
+        }
+        self.total += other.total;
+        self.max = self.max.max(other.max);
+    }
+
+    /// Empties the histogram in place.
+    pub fn clear(&mut self) {
+        self.counts = [0; Self::BUCKETS];
+        self.total = 0;
+        self.max = 0;
+    }
+
+    /// Total observations recorded.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Largest observation recorded (0 when empty).
+    #[must_use]
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Whether nothing has been recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.total == 0
+    }
+
+    /// Raw count of `bucket`.
+    #[must_use]
+    pub fn count(&self, bucket: usize) -> u64 {
+        self.counts[bucket]
+    }
+
+    /// The `q`-quantile (`0 ≤ q ≤ 1`) as a bucket lower bound: the result
+    /// is the lower edge of the bucket holding the rank-`⌈q·total⌉`
+    /// observation, except that the last populated bucket reports the
+    /// exact maximum. Monotone in `q` by construction; returns 0 on an
+    /// empty histogram.
+    #[must_use]
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.total == 0 {
+            return 0;
+        }
+        debug_assert!((0.0..=1.0).contains(&q), "quantile out of range: {q}");
+        #[allow(clippy::cast_sign_loss, clippy::cast_possible_truncation)]
+        let rank = ((q * self.total as f64).ceil() as u64).clamp(1, self.total);
+        let mut cumulative = 0u64;
+        let mut last_populated = 0usize;
+        for (bucket, &count) in self.counts.iter().enumerate() {
+            if count == 0 {
+                continue;
+            }
+            last_populated = bucket;
+            cumulative += count;
+            if cumulative >= rank {
+                // Values ≥ this bucket's lower bound are all ≤ max; for
+                // the top populated bucket the max itself is the tighter
+                // (and still monotone) answer.
+                let upper = self.counts[bucket + 1..].iter().all(|&c| c == 0);
+                return if upper {
+                    self.max
+                } else {
+                    Self::bucket_lo(bucket)
+                };
+            }
+        }
+        // cumulative == total ≥ rank always triggers the return above.
+        Self::bucket_lo(last_populated)
+    }
+
+    /// Iterates the populated buckets as `(bucket, lower_bound, count)` —
+    /// the compact serialization form.
+    pub fn nonzero_buckets(&self) -> impl Iterator<Item = (usize, u64, u64)> + '_ {
+        self.counts
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(b, &c)| (b, Self::bucket_lo(b), c))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -182,5 +349,98 @@ mod tests {
     #[should_panic(expected = "lo < hi")]
     fn rejects_inverted_range() {
         let _ = Histogram::new(2.0, 1.0, 4);
+    }
+
+    #[test]
+    fn log_buckets_are_powers_of_two() {
+        assert_eq!(LogHistogram::bucket_of(0), 0);
+        assert_eq!(LogHistogram::bucket_of(1), 1);
+        assert_eq!(LogHistogram::bucket_of(2), 2);
+        assert_eq!(LogHistogram::bucket_of(3), 2);
+        assert_eq!(LogHistogram::bucket_of(4), 3);
+        assert_eq!(LogHistogram::bucket_of(1023), 10);
+        assert_eq!(LogHistogram::bucket_of(1024), 11);
+        assert_eq!(LogHistogram::bucket_of(u64::MAX), 64);
+        for b in 0..LogHistogram::BUCKETS {
+            let lo = LogHistogram::bucket_lo(b);
+            assert_eq!(LogHistogram::bucket_of(lo), b, "lower edge of bucket {b}");
+        }
+    }
+
+    #[test]
+    fn log_histogram_records_and_counts() {
+        let mut h = LogHistogram::new();
+        h.record(0);
+        h.record(1);
+        h.record(3);
+        h.record_n(3, 2);
+        h.record(100);
+        assert_eq!(h.total(), 6);
+        assert_eq!(h.max(), 100);
+        assert_eq!(h.count(0), 1);
+        assert_eq!(h.count(1), 1);
+        assert_eq!(h.count(2), 3);
+        assert_eq!(h.count(7), 1, "100 lands in [64, 128)");
+        let populated: Vec<_> = h.nonzero_buckets().collect();
+        assert_eq!(populated, vec![(0, 0, 1), (1, 1, 1), (2, 2, 3), (7, 64, 1)]);
+    }
+
+    #[test]
+    fn log_histogram_merge_equals_single_pass() {
+        let values = [0u64, 1, 1, 5, 9, 17, 250, 251, 4096, 70_000];
+        let mut single = LogHistogram::new();
+        for &v in &values {
+            single.record(v);
+        }
+        let (left, right) = values.split_at(4);
+        let mut merged = LogHistogram::new();
+        let mut part = LogHistogram::new();
+        for &v in left {
+            merged.record(v);
+        }
+        for &v in right {
+            part.record(v);
+        }
+        merged.merge(&part);
+        assert_eq!(merged, single);
+    }
+
+    #[test]
+    fn log_histogram_quantiles_are_monotone_and_bounded() {
+        let mut h = LogHistogram::new();
+        for v in 0..100u64 {
+            h.record(v);
+        }
+        let mut prev = 0;
+        for i in 0..=20 {
+            let q = f64::from(i) / 20.0;
+            let x = h.quantile(q);
+            assert!(x >= prev, "quantile must be monotone at q={q}");
+            assert!(x <= h.max());
+            prev = x;
+        }
+        assert_eq!(h.quantile(1.0), h.max());
+        assert_eq!(LogHistogram::new().quantile(0.5), 0);
+    }
+
+    #[test]
+    fn log_histogram_top_bucket_reports_the_exact_max() {
+        let mut h = LogHistogram::new();
+        h.record(5);
+        assert_eq!(h.quantile(0.5), 5);
+        assert_eq!(h.quantile(0.99), 5);
+        h.record(1000);
+        // p50 now sits below the top populated bucket: lower bound of [4,8).
+        assert_eq!(h.quantile(0.5), 4);
+        assert_eq!(h.quantile(0.99), 1000);
+    }
+
+    #[test]
+    fn log_histogram_clear_resets() {
+        let mut h = LogHistogram::new();
+        h.record(42);
+        h.clear();
+        assert!(h.is_empty());
+        assert_eq!(h, LogHistogram::new());
     }
 }

@@ -13,7 +13,9 @@
 //! * [`stats`] — Welford online moments, confidence intervals and mergeable
 //!   summaries for parallel reduction.
 //! * [`histogram`] / [`ecdf`] — empirical density and distribution estimates
-//!   (Figs. 1–2 of the paper), with a Kolmogorov–Smirnov distance.
+//!   (Figs. 1–2 of the paper), with a Kolmogorov–Smirnov distance, plus the
+//!   log-bucketed [`LogHistogram`] the observability layer merges across
+//!   replications with exact integer bucket math.
 //! * [`regression`] — ordinary least-squares line fit (Fig. 2, mean transfer
 //!   delay vs. batch size).
 //! * [`fit`] — moment/MLE fitting of exponential laws to samples.
@@ -39,6 +41,6 @@ pub use dist::{
     Uniform,
 };
 pub use ecdf::Ecdf;
-pub use histogram::Histogram;
+pub use histogram::{Histogram, LogHistogram};
 pub use rng::{BatchedRng, SplitMix64, StreamFactory, Xoshiro256pp, RNG_BATCH};
 pub use stats::{paired_comparison, t_critical_95, OnlineStats, PairedComparison};

@@ -2,7 +2,7 @@
 
 use churnbal_stochastic::{
     dist::Sample, stats::quantile, Deterministic, Ecdf, Erlang, Exponential, Histogram,
-    OnlineStats, StreamFactory, Uniform, Xoshiro256pp,
+    LogHistogram, OnlineStats, StreamFactory, Uniform, Xoshiro256pp,
 };
 use proptest::prelude::*;
 
@@ -137,5 +137,56 @@ proptest! {
         for _ in 0..50 {
             prop_assert!(rng.next_below(n) < n);
         }
+    }
+
+    /// Log-histogram merge over an arbitrary split equals the single-pass
+    /// accumulation exactly — bucket counts are integers, so this is
+    /// bitwise equality, the property the cross-replication telemetry
+    /// merge relies on.
+    #[test]
+    fn log_histogram_merge_equals_single_pass(
+        xs in prop::collection::vec(any::<u64>(), 0..200),
+        split in 0usize..200,
+    ) {
+        let split = split.min(xs.len());
+        let mut left = LogHistogram::default();
+        for &x in &xs[..split] {
+            left.record(x);
+        }
+        let mut right = LogHistogram::default();
+        for &x in &xs[split..] {
+            right.record(x);
+        }
+        left.merge(&right);
+        let mut whole = LogHistogram::default();
+        for &x in &xs {
+            whole.record(x);
+        }
+        prop_assert_eq!(left, whole);
+    }
+
+    /// Log-histogram quantiles are monotone in q, bounded by the exact
+    /// maximum, and never below the smallest recorded value's bucket floor.
+    #[test]
+    fn log_histogram_quantile_monotone(
+        xs in prop::collection::vec(0u64..1_000_000_000, 1..200),
+    ) {
+        let mut h = LogHistogram::default();
+        for &x in &xs {
+            h.record(x);
+        }
+        let max = xs.iter().copied().max().unwrap_or(0);
+        prop_assert_eq!(h.max(), max);
+        let mut prev = 0;
+        for i in 0..=20 {
+            let q = f64::from(i) / 20.0;
+            let v = h.quantile(q);
+            prop_assert!(v >= prev, "quantile({q}) = {v} < quantile at lower q = {prev}");
+            prop_assert!(v <= max, "quantile({q}) = {v} exceeds the exact max {max}");
+            prev = v;
+        }
+        // The top quantile walks off the last populated bucket and
+        // reports the exact maximum, not a power-of-two bucket edge.
+        prop_assert_eq!(h.quantile(1.0), max);
     }
 }

@@ -219,6 +219,81 @@ fn torus_digests_are_backend_invariant_and_pinned() {
 /// The pinned digest of `torus_digests_are_backend_invariant_and_pinned`.
 const PINNED_TORUS_BACKEND_DIGEST: u64 = 0xdae3_e3d1_7201_8320;
 
+/// Digest of the **probe JSONL bytes** of a probed run: every telemetry
+/// tick of every `(grid point, policy, replication)` of the
+/// cascading-failures preset at a 20 s cadence, rendered through the same
+/// [`probe_jsonl_row`] the CLI's `--probe-out` uses. Pins the probe
+/// subsystem end to end — tick placement, fleet aggregates, histogram
+/// quantiles, rendering — and, run at two thread counts below, proves the
+/// telemetry stream itself is scheduling-invariant.
+fn probe_jsonl_digest(threads: usize) -> u64 {
+    use churnbal::cluster::ProbeReport;
+    use churnbal::lab::{probe_jsonl_row, ExperimentRow, ExperimentSchema, RowSink};
+
+    #[derive(Default)]
+    struct ProbeLines {
+        scenario: String,
+        buf: String,
+    }
+    impl RowSink for ProbeLines {
+        fn begin(&mut self, schema: &ExperimentSchema) -> Result<(), String> {
+            self.scenario.clone_from(&schema.scenario);
+            Ok(())
+        }
+        fn row(&mut self, _row: &ExperimentRow) -> Result<(), String> {
+            Ok(())
+        }
+        fn probes(&mut self, row: &ExperimentRow, reports: &[ProbeReport]) -> Result<(), String> {
+            for (rep, report) in reports.iter().enumerate() {
+                for sample in &report.samples {
+                    self.buf.push_str(&probe_jsonl_row(
+                        &self.scenario,
+                        row.index,
+                        &row.policy,
+                        rep,
+                        sample,
+                    ));
+                }
+            }
+            Ok(())
+        }
+    }
+
+    let scenario = registry::get("cascading-failures").expect("preset");
+    let mut sink = ProbeLines::default();
+    Experiment::new(ExperimentSpec::sweep(
+        scenario,
+        Vec::new(),
+        RunOptions {
+            reps: Some(8),
+            threads,
+            probe_dt: Some(20.0),
+            ..RunOptions::default()
+        },
+    ))
+    .run(&mut sink)
+    .expect("probed run works");
+    assert!(!sink.buf.is_empty(), "probing armed but no ticks emitted");
+    fnv1a_bytes(sink.buf.as_bytes())
+}
+
+#[test]
+fn probe_jsonl_bytes_are_pinned_and_thread_invariant() {
+    let single = probe_jsonl_digest(1);
+    assert_eq!(
+        single, PINNED_PROBE_JSONL_DIGEST,
+        "probe telemetry bytes drifted (digest {single:#018x})"
+    );
+    assert_eq!(
+        probe_jsonl_digest(4),
+        single,
+        "probe telemetry depends on the thread count"
+    );
+}
+
+/// The pinned digest of `probe_jsonl_digest`.
+const PINNED_PROBE_JSONL_DIGEST: u64 = 0x4c4e_4e48_2a11_549a;
+
 /// The digests above must not depend on the worker-thread count — pin the
 /// invariance itself so the gate cannot be weakened by a scheduling leak.
 #[test]
