@@ -14,7 +14,7 @@
 //!   comparing LBP-1 and LBP-2 on the *same* failure trace (paper Fig. 4)
 //!   is a matter of reusing the seed (common random numbers).
 
-use churnbal_desim::{BackendQueue, EventId, QueueBackend, SimTime};
+use churnbal_desim::{BackendQueue, EventId, QueueBackend, SimTime, WallClockBudget};
 use churnbal_stochastic::{BatchedRng, StreamFactory};
 
 use crate::config::{ArrivalKind, ChurnModel, DelayLaw, SystemConfig};
@@ -43,6 +43,14 @@ pub struct SimOptions {
     /// randomness and schedules no events, so the trajectory is identical
     /// either way and the only probes-off cost is one branch per event.
     pub probe_dt: Option<f64>,
+    /// Runaway-task watchdog: `Some(secs)` arms a cooperative *wall-clock*
+    /// budget (see [`churnbal_desim::WallClockBudget`]) checked once per
+    /// event; a run that exhausts it stops early with
+    /// [`RunSummary::aborted`] set. Wall time is nondeterministic, so an
+    /// aborted run's numbers must be discarded, never averaged — the
+    /// replication runner quarantines them. `None` (the default) never
+    /// aborts.
+    pub task_timeout: Option<f64>,
 }
 
 /// Result of one simulation run.
@@ -85,6 +93,10 @@ pub struct RunSummary {
     pub transit_task_seconds: f64,
     /// Engine events dispatched.
     pub events: u64,
+    /// The run was cut short by the [`SimOptions::task_timeout`]
+    /// watchdog. Every other field then reflects a wall-clock-dependent
+    /// prefix of the run and must not enter any estimate.
+    pub aborted: bool,
 }
 
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -189,6 +201,8 @@ pub struct Simulator<'a> {
     trace: Option<QueueTrace>,
     probe: Option<ProbeState>,
     options: SimOptions,
+    /// Set by [`Simulator::drive`] when the task-timeout watchdog fires.
+    aborted: bool,
 }
 
 impl<'a> Simulator<'a> {
@@ -237,6 +251,7 @@ impl<'a> Simulator<'a> {
             trace,
             probe: options.probe_dt.map(ProbeState::new),
             options,
+            aborted: false,
         }
     }
 
@@ -303,6 +318,7 @@ impl<'a> Simulator<'a> {
         self.last_transit_change = 0.0;
         self.metrics.reset_for(n);
         self.order_sink.clear();
+        self.aborted = false;
         self.trace = options.record_trace.then(|| {
             QueueTrace::new(
                 &config
@@ -356,6 +372,7 @@ impl<'a> Simulator<'a> {
             tasks_clamped: self.metrics.tasks_clamped,
             transit_task_seconds: self.metrics.transit_task_seconds,
             events: self.metrics.events,
+            aborted: self.aborted,
         }
     }
 
@@ -430,7 +447,18 @@ impl<'a> Simulator<'a> {
             return (0.0, true);
         }
 
+        // The runaway-task watchdog: armed per run, polled per event.
+        let mut watchdog = self.options.task_timeout.map(WallClockBudget::new);
         while let Some(ev) = self.queue.pop() {
+            if let Some(w) = &mut watchdog {
+                if w.exceeded() {
+                    // Wall-clock abort: the caller must treat everything
+                    // this run accumulated as lost (see
+                    // [`RunSummary::aborted`]).
+                    self.aborted = true;
+                    return (ev.time.seconds(), false);
+                }
+            }
             let now = ev.time.seconds();
             // Probe ticks the event clock has passed sample the current
             // (pre-event, piecewise-constant) state — the one branch the

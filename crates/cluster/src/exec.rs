@@ -43,7 +43,7 @@ use std::time::Instant;
 use churnbal_stochastic::StreamFactory;
 
 use crate::config::SystemConfig;
-use crate::engine::{SimOptions, Simulator};
+use crate::engine::{RunSummary, SimOptions, Simulator};
 use crate::policy::Policy;
 use crate::probe::ProbeReport;
 
@@ -91,6 +91,28 @@ pub struct PointStats {
     /// Per-replication probe telemetry, in replication order; empty when
     /// probing is off (see [`SimOptions::probe_dt`]).
     pub probes: Vec<ProbeReport>,
+    /// Replication indices that were quarantined (panicked, or aborted by
+    /// the [`SimOptions::task_timeout`] watchdog), in ascending order.
+    /// Their slots in the per-replication vectors hold placeholder zeros
+    /// and must be skipped by every estimator — see
+    /// [`crate::mc::McEstimate::from_point_stats`].
+    pub quarantined_reps: Vec<u64>,
+}
+
+/// One quarantined `(point, policy, replication)` task: the sweep kept
+/// going without it, and the failure is reported here instead of tearing
+/// the whole run down.
+#[derive(Clone, Debug, PartialEq)]
+pub struct QuarantineReport {
+    /// Grid-point index.
+    pub point: usize,
+    /// Policy-variant index.
+    pub policy: usize,
+    /// Replication index within the point.
+    pub rep: u64,
+    /// The panic payload (for panicking tasks) or the watchdog verdict
+    /// (for timed-out tasks).
+    pub message: String,
 }
 
 /// Per-point result cells: replication-indexed atomics the workers
@@ -113,6 +135,9 @@ struct PointCell {
     /// Per-replication probe reports, slot-stable like the atomics above
     /// (all `None` and never touched when probing is off).
     probes: Mutex<Vec<Option<ProbeReport>>>,
+    /// Bit per replication: quarantined (panicked or timed out); its data
+    /// slots hold placeholder zeros.
+    quarantined: Vec<AtomicBool>,
     /// Replications still outstanding; the worker that decrements it to
     /// zero publishes the point.
     remaining: AtomicU64,
@@ -134,6 +159,7 @@ impl PointCell {
             transfers: AtomicU64::new(0),
             clamped: AtomicU64::new(0),
             probes: Mutex::new((0..n).map(|_| None).collect()),
+            quarantined: (0..n).map(|_| AtomicBool::new(false)).collect(),
             remaining: AtomicU64::new(reps),
             done: AtomicBool::new(false),
         }
@@ -157,10 +183,20 @@ impl PointCell {
             .iter()
             .map(|s| s.load(Ordering::Acquire))
             .collect();
+        let quarantined_reps: Vec<u64> = self
+            .quarantined
+            .iter()
+            .enumerate()
+            .filter(|(_, q)| q.load(Ordering::Acquire))
+            .map(|(r, _)| r as u64)
+            .collect();
+        // Quarantined slots never completed, but they are lost, not
+        // deadline-incomplete — count them in neither bucket.
         let incomplete = self
             .completed
             .iter()
-            .filter(|c| !c.load(Ordering::Acquire))
+            .zip(&self.quarantined)
+            .filter(|(c, q)| !c.load(Ordering::Acquire) && !q.load(Ordering::Acquire))
             .count() as u64;
         let transit_task_seconds = self
             .transit
@@ -182,6 +218,7 @@ impl PointCell {
             total_tasks_clamped: self.clamped.load(Ordering::Acquire),
             transit_task_seconds,
             probes,
+            quarantined_reps,
         }
     }
 }
@@ -253,6 +290,11 @@ pub struct ExecReport {
     pub workers: Vec<WorkerReport>,
     /// Wall-clock seconds of the whole pass (spawn to drain).
     pub wall_seconds: f64,
+    /// Tasks that panicked or timed out, sorted by
+    /// `(point, policy, rep)`; empty on a clean pass. The sweep completed
+    /// *around* these — their cells are degraded, never silently
+    /// averaged.
+    pub quarantines: Vec<QuarantineReport>,
 }
 
 impl ExecReport {
@@ -302,8 +344,9 @@ impl ExecReport {
 /// abandoned (workers stop at their next chunk claim).
 ///
 /// # Panics
-/// Panics if any job has `reps == 0`, or if a worker thread panics
-/// (engine invariant violations propagate).
+/// Panics if any job has `reps == 0`. A panic *inside a task* does not
+/// propagate: the replication is quarantined (see [`QuarantineReport`])
+/// and the sweep completes degraded.
 pub fn run_grid_streaming<P, F, G>(
     jobs: &[PointJob<'_>],
     make_policy: &F,
@@ -350,8 +393,9 @@ where
 /// abandoned (workers stop at their next chunk claim).
 ///
 /// # Panics
-/// Panics if `policies == 0`, if any job has `reps == 0`, or if a worker
-/// thread panics (engine invariant violations propagate).
+/// Panics if `policies == 0` or if any job has `reps == 0`. A panic
+/// *inside a task* does not propagate: the replication is quarantined
+/// (see [`QuarantineReport`]) and the sweep completes degraded.
 pub fn run_grid_policies_streaming<P, F, G>(
     jobs: &[PointJob<'_>],
     policies: usize,
@@ -380,14 +424,61 @@ where
 /// abandoned (workers stop at their next chunk claim).
 ///
 /// # Panics
-/// Panics if `policies == 0`, if any job has `reps == 0`, or if a worker
-/// thread panics (engine invariant violations propagate).
+/// Panics if `policies == 0` or if any job has `reps == 0`. A panic
+/// *inside a task* does not propagate: the replication is quarantined
+/// (see [`QuarantineReport`]) and the sweep completes degraded.
 pub fn run_grid_policies_streaming_with_report<P, F, G>(
     jobs: &[PointJob<'_>],
     policies: usize,
     make_policy: &F,
     threads: usize,
     chunk: usize,
+    on_cell: G,
+) -> Result<ExecReport, String>
+where
+    P: Policy,
+    F: Fn(usize, usize, u64) -> P + Sync,
+    G: FnMut(usize, usize, PointStats) -> Result<(), String>,
+{
+    let preloaded = vec![None; jobs.len() * policies.max(1)];
+    run_grid_policies_resumable(
+        jobs,
+        policies,
+        make_policy,
+        threads,
+        chunk,
+        preloaded,
+        on_cell,
+    )
+}
+
+/// The resumable form of [`run_grid_policies_streaming_with_report`]:
+/// `preloaded` carries one slot per `(point, policy)` cell, point-major.
+/// A `Some(stats)` slot is a cell already completed by an earlier
+/// (interrupted) pass — it is emitted to `on_cell` at its in-order turn
+/// without running a single replication; only `None` cells are scheduled.
+/// Because replication `r` of point `p` always runs on the streams
+/// derived from `(jobs[p].seed, r)`, the emitted byte stream is identical
+/// to an uninterrupted run no matter how the work was split between the
+/// passes — this is what makes a write-ahead journal resume bit-exact.
+///
+/// # Errors
+/// Propagates the first error `on_cell` returns; remaining work is
+/// abandoned (workers stop at their next chunk claim).
+///
+/// # Panics
+/// Panics if `policies == 0`, if any job has `reps == 0`, or if
+/// `preloaded` does not hold exactly `jobs.len() * policies` slots.
+/// Worker panics *inside a task* do not propagate: the task is
+/// quarantined (see [`QuarantineReport`]) and the pass completes
+/// degraded.
+pub fn run_grid_policies_resumable<P, F, G>(
+    jobs: &[PointJob<'_>],
+    policies: usize,
+    make_policy: &F,
+    threads: usize,
+    chunk: usize,
+    mut preloaded: Vec<Option<PointStats>>,
     mut on_cell: G,
 ) -> Result<ExecReport, String>
 where
@@ -400,34 +491,43 @@ where
         jobs.iter().all(|j| j.reps > 0),
         "every grid point needs at least one replication"
     );
+    assert_eq!(
+        preloaded.len(),
+        jobs.len() * policies,
+        "one preloaded slot per (point, policy) cell"
+    );
     if jobs.is_empty() {
         return Ok(ExecReport::default());
     }
     let wall_start = Instant::now();
-    // Flattened task space: point p owns flat indices [starts[p],
-    // starts[p+1]) — `reps` consecutive tasks per policy variant, variants
-    // in order, so a chunk tends to stay within one (point, policy) run of
-    // simulator resets.
-    let variants = policies as u64;
-    let mut starts = Vec::with_capacity(jobs.len() + 1);
+    // Pending cells (no preloaded result) form the flattened task space:
+    // pending cell s owns flat indices [seg_starts[s], seg_starts[s+1]) —
+    // its `reps` replications. With nothing preloaded this is exactly the
+    // pre-resume task order: cells point-major, `reps` consecutive tasks
+    // per policy variant, so a chunk tends to stay within one
+    // (point, policy) run of simulator resets.
+    let pending: Vec<usize> = (0..preloaded.len())
+        .filter(|&idx| preloaded[idx].is_none())
+        .collect();
+    let mut seg_starts = Vec::with_capacity(pending.len() + 1);
     let mut acc = 0u64;
-    for job in jobs {
-        starts.push(acc);
-        acc += job.reps * variants;
+    for &idx in &pending {
+        seg_starts.push(acc);
+        acc += jobs[idx / policies].reps;
     }
-    starts.push(acc);
+    seg_starts.push(acc);
     let total = acc;
     let threads = resolve_threads(threads, total);
 
     if threads == 1 {
-        return run_grid_inline(jobs, policies, make_policy, &mut on_cell);
+        return run_grid_inline(jobs, policies, make_policy, preloaded, &mut on_cell);
     }
 
     let chunk = resolve_chunk(chunk, total, threads);
-    // One result cell per (point, policy), point-major.
-    let cells: Vec<PointCell> = jobs
+    // One result cell per *pending* (point, policy), in pending order.
+    let cells: Vec<PointCell> = pending
         .iter()
-        .flat_map(|j| (0..policies).map(|_| PointCell::new(j.reps)))
+        .map(|&idx| PointCell::new(jobs[idx / policies].reps))
         .collect();
     let cursor = AtomicU64::new(0);
     let abort = AtomicBool::new(false);
@@ -439,6 +539,7 @@ where
     let worker_reports: Vec<Mutex<WorkerReport>> = (0..threads)
         .map(|_| Mutex::new(WorkerReport::default()))
         .collect();
+    let quarantines: Mutex<Vec<QuarantineReport>> = Mutex::new(Vec::new());
 
     let mut result = Ok(());
     std::thread::scope(|scope| {
@@ -447,11 +548,15 @@ where
             let cursor = &cursor;
             let abort = &abort;
             let rendezvous = &rendezvous;
-            let starts = &starts;
+            let seg_starts = &seg_starts;
+            let pending = &pending;
+            let quarantines = &quarantines;
             scope.spawn(move || {
                 // Wake the drain loop even if this worker unwinds, so a
                 // panicking worker cannot leave the main thread waiting
                 // forever — the scope join then propagates the panic.
+                // (Task panics are caught and quarantined inside
+                // `run_one`; this guard covers scheduler bugs.)
                 let _guard = NotifyOnDrop { rendezvous, abort };
                 let mut sim: Option<(usize, Simulator<'_>)> = None;
                 let mut local = WorkerReport::default();
@@ -467,17 +572,32 @@ where
                     local.chunks += 1;
                     let end = (begin + chunk).min(total);
                     for flat in begin..end {
-                        // Binary-search the owning point (starts is sorted,
-                        // one entry past the end).
-                        let p = match starts.binary_search(&flat) {
+                        // Binary-search the owning pending cell
+                        // (seg_starts is sorted, one entry past the end).
+                        let seg = match seg_starts.binary_search(&flat) {
                             Ok(exact) => exact,
                             Err(insert) => insert - 1,
                         };
-                        let off = flat - starts[p];
-                        let v = (off / jobs[p].reps) as usize;
-                        let r = off % jobs[p].reps;
-                        let cell = &cells[p * policies + v];
-                        run_task(jobs, p, v, r, &mut sim, make_policy, cell, &mut local);
+                        let idx = pending[seg];
+                        let (p, v) = (idx / policies, idx % policies);
+                        let r = flat - seg_starts[seg];
+                        let cell = &cells[seg];
+                        match run_one(jobs, p, v, r, &mut sim, make_policy, &mut local) {
+                            Ok((out, probe)) => scatter(cell, r, &out, probe),
+                            Err(message) => {
+                                let slot =
+                                    usize::try_from(r).expect("replication index fits usize");
+                                cell.quarantined[slot].store(true, Ordering::Release);
+                                quarantines.lock().expect("quarantine log poisoned").push(
+                                    QuarantineReport {
+                                        point: p,
+                                        policy: v,
+                                        rep: r,
+                                        message,
+                                    },
+                                );
+                            }
+                        }
                         if cell.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
                             let _lock = rendezvous.0.lock().expect("rendezvous poisoned");
                             cell.done.store(true, Ordering::Release);
@@ -489,19 +609,27 @@ where
             });
         }
 
-        // Drain loop: emit cells strictly in (point, policy) order. Cells
-        // that complete early sit published (the reorder buffer) until
-        // their turn.
-        for (idx, cell) in cells.iter().enumerate() {
-            let mut lock = rendezvous.0.lock().expect("rendezvous poisoned");
-            while !cell.done.load(Ordering::Acquire) && !abort.load(Ordering::Relaxed) {
-                lock = rendezvous.1.wait(lock).expect("rendezvous poisoned");
-            }
-            if !cell.done.load(Ordering::Acquire) {
-                break; // a worker died before finishing this cell
-            }
-            drop(lock);
-            let stats = cell.stats();
+        // Drain loop: emit cells strictly in (point, policy) order —
+        // preloaded cells immediately at their turn, pending cells as
+        // they publish (cells that complete early sit published, the
+        // reorder buffer, until their turn).
+        let mut next_seg = 0usize;
+        for (idx, slot) in preloaded.iter_mut().enumerate() {
+            let stats = if let Some(ready) = slot.take() {
+                ready
+            } else {
+                let cell = &cells[next_seg];
+                next_seg += 1;
+                let mut lock = rendezvous.0.lock().expect("rendezvous poisoned");
+                while !cell.done.load(Ordering::Acquire) && !abort.load(Ordering::Relaxed) {
+                    lock = rendezvous.1.wait(lock).expect("rendezvous poisoned");
+                }
+                if !cell.done.load(Ordering::Acquire) {
+                    break; // a worker died before finishing this cell
+                }
+                drop(lock);
+                cell.stats()
+            };
             if let Err(e) = on_cell(idx / policies, idx % policies, stats) {
                 abort.store(true, Ordering::Relaxed);
                 result = Err(e);
@@ -513,12 +641,16 @@ where
             abort.store(true, Ordering::Relaxed);
         }
     });
+    let mut quarantines = quarantines.into_inner().expect("quarantine log poisoned");
+    // Workers append in claim order; present deterministically.
+    quarantines.sort_by_key(|q| (q.point, q.policy, q.rep));
     let report = ExecReport {
         workers: worker_reports
             .into_iter()
             .map(|m| m.into_inner().expect("worker report poisoned"))
             .collect(),
         wall_seconds: wall_start.elapsed().as_secs_f64(),
+        quarantines,
     };
     result.map(|()| report)
 }
@@ -532,6 +664,7 @@ fn run_grid_inline<P, F, G>(
     jobs: &[PointJob<'_>],
     policies: usize,
     make_policy: &F,
+    mut preloaded: Vec<Option<PointStats>>,
     on_cell: &mut G,
 ) -> Result<ExecReport, String>
 where
@@ -542,6 +675,7 @@ where
     let wall_start = Instant::now();
     let mut sim: Option<(usize, Simulator<'_>)> = None;
     let mut local = WorkerReport::default();
+    let mut quarantines: Vec<QuarantineReport> = Vec::new();
     let mut stats = PointStats {
         completion_times: Vec::new(),
         failures_per_rep: Vec::new(),
@@ -553,9 +687,14 @@ where
         total_tasks_clamped: 0,
         transit_task_seconds: 0.0,
         probes: Vec::new(),
+        quarantined_reps: Vec::new(),
     };
     for (p, job) in jobs.iter().enumerate() {
         for v in 0..policies {
+            if let Some(ready) = preloaded[p * policies + v].take() {
+                on_cell(p, v, ready)?;
+                continue;
+            }
             stats.completion_times.clear();
             stats.failures_per_rep.clear();
             stats.tasks_shipped_per_rep.clear();
@@ -566,29 +705,40 @@ where
             stats.total_tasks_clamped = 0;
             stats.transit_task_seconds = 0.0;
             stats.probes.clear();
+            stats.quarantined_reps.clear();
             stats.completion_times.reserve(job.reps as usize);
             stats.failures_per_rep.reserve(job.reps as usize);
             stats.tasks_shipped_per_rep.reserve(job.reps as usize);
             for r in 0..job.reps {
-                let task_start = Instant::now();
-                let sim = bind_simulator(&mut sim, p, job, r, &mut local.rebinds);
-                let mut policy = make_policy(p, v, r);
-                let out = sim.run_summary(&mut policy);
-                let probe = sim.take_probe_report();
-                local.busy_seconds += task_start.elapsed().as_secs_f64();
-                local.tasks += 1;
-                local.events += out.events;
-                stats.completion_times.push(out.completion_time);
-                stats.failures_per_rep.push(out.failures);
-                stats.tasks_shipped_per_rep.push(out.tasks_shipped);
-                stats.incomplete += u64::from(!out.completed);
-                stats.total_events += out.events;
-                stats.total_recoveries += out.recoveries;
-                stats.total_transfers += out.transfers;
-                stats.total_tasks_clamped += out.tasks_clamped;
-                stats.transit_task_seconds += out.transit_task_seconds;
-                if let Some(report) = probe {
-                    stats.probes.push(report);
+                match run_one(jobs, p, v, r, &mut sim, make_policy, &mut local) {
+                    Ok((out, probe)) => {
+                        stats.completion_times.push(out.completion_time);
+                        stats.failures_per_rep.push(out.failures);
+                        stats.tasks_shipped_per_rep.push(out.tasks_shipped);
+                        stats.incomplete += u64::from(!out.completed);
+                        stats.total_events += out.events;
+                        stats.total_recoveries += out.recoveries;
+                        stats.total_transfers += out.transfers;
+                        stats.total_tasks_clamped += out.tasks_clamped;
+                        stats.transit_task_seconds += out.transit_task_seconds;
+                        if let Some(report) = probe {
+                            stats.probes.push(report);
+                        }
+                    }
+                    Err(message) => {
+                        // Placeholder zeros, bit-identical to the
+                        // parallel path's untouched atomic slots.
+                        stats.completion_times.push(0.0);
+                        stats.failures_per_rep.push(0);
+                        stats.tasks_shipped_per_rep.push(0);
+                        stats.quarantined_reps.push(r);
+                        quarantines.push(QuarantineReport {
+                            point: p,
+                            policy: v,
+                            rep: r,
+                            message,
+                        });
+                    }
                 }
             }
             // Move the probe reports out instead of cloning them (the
@@ -602,6 +752,7 @@ where
     Ok(ExecReport {
         workers: vec![local],
         wall_seconds: wall_start.elapsed().as_secs_f64(),
+        quarantines,
     })
 }
 
@@ -638,32 +789,65 @@ fn bind_simulator<'s, 'a>(
 }
 
 /// Runs one `(point, policy, replication)` task on the worker's
-/// long-lived simulator (creating or rebinding it as needed), scatters
-/// the summary into the cell's slot `r`, and accumulates the worker's
-/// instrumentation.
-#[allow(clippy::too_many_arguments)] // the factored-out task body; callers pass the same list
-fn run_task<'a, P, F>(
+/// long-lived simulator (creating or rebinding it as needed) inside a
+/// panic boundary, and accumulates the worker's instrumentation.
+///
+/// Returns the run's summary and probe report, or `Err(message)` when
+/// the task must be quarantined: it panicked, or the
+/// [`SimOptions::task_timeout`] watchdog aborted it. After a panic the
+/// simulator slot is dropped — the unwound run may have left it
+/// mid-update, and the next bind builds a fresh one ([`Simulator::rebind`]
+/// fully reinitializes, so no poisoned state leaks). A watchdog abort
+/// leaves the slot alone: the engine returned normally and the next
+/// reset/rebind re-arms it.
+fn run_one<'a, P, F>(
     jobs: &[PointJob<'a>],
     p: usize,
     v: usize,
     r: u64,
     sim: &mut Option<(usize, Simulator<'a>)>,
     make_policy: &F,
-    cell: &PointCell,
     local: &mut WorkerReport,
-) where
+) -> Result<(RunSummary, Option<ProbeReport>), String>
+where
     P: Policy,
     F: Fn(usize, usize, u64) -> P + Sync,
 {
     let job = &jobs[p];
     let task_start = Instant::now();
-    let sim = bind_simulator(sim, p, job, r, &mut local.rebinds);
-    let mut policy = make_policy(p, v, r);
-    let out = sim.run_summary(&mut policy);
-    let probe = sim.take_probe_report();
+    // AssertUnwindSafe: on Err every touched structure is either dropped
+    // (the simulator slot, reset to None below) or append-only
+    // instrumentation re-written unconditionally (local counters).
+    let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        let sim = bind_simulator(sim, p, job, r, &mut local.rebinds);
+        let mut policy = make_policy(p, v, r);
+        let out = sim.run_summary(&mut policy);
+        let probe = sim.take_probe_report();
+        (out, probe)
+    }));
     local.busy_seconds += task_start.elapsed().as_secs_f64();
     local.tasks += 1;
-    local.events += out.events;
+    match outcome {
+        Ok((out, probe)) => {
+            local.events += out.events;
+            if out.aborted {
+                let limit = job.options.task_timeout.unwrap_or(f64::INFINITY);
+                return Err(format!(
+                    "exceeded the task timeout of {limit}s \
+                     (point {p}, policy {v}, rep {r})"
+                ));
+            }
+            Ok((out, probe))
+        }
+        Err(payload) => {
+            *sim = None;
+            Err(format!("panicked: {}", panic_message(payload.as_ref())))
+        }
+    }
+}
+
+/// Scatters one successful replication summary into the cell's slot `r`.
+fn scatter(cell: &PointCell, r: u64, out: &RunSummary, probe: Option<ProbeReport>) {
     let slot = usize::try_from(r).expect("replication index fits usize");
     cell.times[slot].store(out.completion_time.to_bits(), Ordering::Release);
     cell.failures[slot].store(out.failures, Ordering::Release);
@@ -676,6 +860,18 @@ fn run_task<'a, P, F>(
     cell.clamped.fetch_add(out.tasks_clamped, Ordering::AcqRel);
     if let Some(report) = probe {
         cell.probes.lock().expect("probe slots poisoned")[slot] = Some(report);
+    }
+}
+
+/// Best-effort rendering of a caught panic payload (panics carry `&str`
+/// or `String` in practice; anything else gets a placeholder).
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
     }
 }
 
@@ -1147,5 +1343,211 @@ mod tests {
                 assert!(totals.idle_claims >= 1);
             }
         }
+    }
+
+    /// Panics at `t = 0` of the armed replication, otherwise does
+    /// nothing — the panic-injection fixture.
+    struct PanicOn {
+        armed: bool,
+    }
+
+    impl Policy for PanicOn {
+        fn name(&self) -> &str {
+            "panic-on"
+        }
+        fn on_start(
+            &mut self,
+            _view: &crate::policy::SystemView<'_>,
+            _orders: &mut Vec<crate::policy::TransferOrder>,
+        ) {
+            assert!(!self.armed, "injected panic");
+        }
+    }
+
+    #[test]
+    fn panicking_reps_are_quarantined_and_every_other_cell_emits() {
+        let configs = grid();
+        let jobs: Vec<PointJob<'_>> = configs
+            .iter()
+            .map(|config| PointJob {
+                config,
+                reps: 3,
+                seed: 42,
+                options: SimOptions::default(),
+            })
+            .collect();
+        let reference = collect(&configs, &[3, 3, 3, 3], 1, 0);
+        for threads in [1, 4] {
+            let mut cells: Vec<(usize, PointStats)> = Vec::new();
+            let report = run_grid_policies_streaming_with_report(
+                &jobs,
+                1,
+                &|p, _v, r| PanicOn {
+                    armed: p == 1 && r == 1,
+                },
+                threads,
+                1,
+                |p, _v, stats| {
+                    cells.push((p, stats));
+                    Ok(())
+                },
+            )
+            .expect("degraded sweep still completes");
+            assert_eq!(
+                cells.len(),
+                jobs.len(),
+                "threads={threads}: every cell emits"
+            );
+            assert_eq!(report.quarantines.len(), 1, "threads={threads}");
+            let q = &report.quarantines[0];
+            assert_eq!((q.point, q.policy, q.rep), (1, 0, 1));
+            assert!(q.message.contains("injected panic"), "{}", q.message);
+            for (i, (p, stats)) in cells.iter().enumerate() {
+                assert_eq!(*p, i);
+                if i == 1 {
+                    assert_eq!(stats.quarantined_reps, vec![1]);
+                    assert_eq!(stats.completion_times[1], 0.0, "placeholder slot");
+                    assert_eq!(stats.incomplete, 0, "lost, not deadline-incomplete");
+                    // Surviving slots match the clean reference.
+                    assert_eq!(
+                        stats.completion_times[0],
+                        reference[1].1.completion_times[0]
+                    );
+                    assert_eq!(
+                        stats.completion_times[2],
+                        reference[1].1.completion_times[2]
+                    );
+                } else {
+                    assert_eq!(stats.completion_times, reference[i].1.completion_times);
+                    assert!(stats.quarantined_reps.is_empty());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn preloaded_cells_are_emitted_in_order_without_rerunning() {
+        let configs = grid();
+        let jobs: Vec<PointJob<'_>> = configs
+            .iter()
+            .map(|config| PointJob {
+                config,
+                reps: 4,
+                seed: 42,
+                options: SimOptions::default(),
+            })
+            .collect();
+        let reference = collect(&configs, &[4, 4, 4, 4], 1, 0);
+        for threads in [1, 4] {
+            // Cells 0 and 2 come preloaded; 1 and 3 must run live.
+            let preloaded: Vec<Option<PointStats>> = (0..jobs.len())
+                .map(|i| (i % 2 == 0).then(|| reference[i].1.clone()))
+                .collect();
+            let mut cells: Vec<(usize, PointStats)> = Vec::new();
+            let report = run_grid_policies_resumable(
+                &jobs,
+                1,
+                &|_, _, _| NoBalancing,
+                threads,
+                1,
+                preloaded,
+                |p, _v, stats| {
+                    cells.push((p, stats));
+                    Ok(())
+                },
+            )
+            .expect("resumed pass runs");
+            assert_eq!(
+                report.totals().tasks,
+                2 * 4,
+                "threads={threads}: only pending cells run"
+            );
+            assert_eq!(cells.len(), jobs.len());
+            for (i, (p, stats)) in cells.iter().enumerate() {
+                assert_eq!(*p, i, "threads={threads}: strict cell order");
+                assert_eq!(
+                    stats.completion_times, reference[i].1.completion_times,
+                    "threads={threads}: resumed bytes match the clean run"
+                );
+            }
+        }
+        // Everything preloaded: a pure replay, zero tasks executed.
+        let preloaded: Vec<Option<PointStats>> =
+            reference.iter().map(|(_, s)| Some(s.clone())).collect();
+        let mut seen = 0;
+        let report = run_grid_policies_resumable(
+            &jobs,
+            1,
+            &|_, _, _| NoBalancing,
+            4,
+            0,
+            preloaded,
+            |_, _, _| {
+                seen += 1;
+                Ok(())
+            },
+        )
+        .expect("pure replay runs");
+        assert_eq!(seen, jobs.len());
+        assert_eq!(report.totals().tasks, 0);
+    }
+
+    #[test]
+    fn zero_task_timeout_quarantines_every_replication() {
+        let config = small([40, 25]);
+        let jobs = [PointJob {
+            config: &config,
+            reps: 2,
+            seed: 7,
+            options: SimOptions {
+                task_timeout: Some(0.0),
+                ..SimOptions::default()
+            },
+        }];
+        let mut got: Vec<PointStats> = Vec::new();
+        let report = run_grid_policies_streaming_with_report(
+            &jobs,
+            1,
+            &|_, _, _| NoBalancing,
+            1,
+            1,
+            |_, _, stats| {
+                got.push(stats);
+                Ok(())
+            },
+        )
+        .expect("degraded sweep still completes");
+        assert_eq!(report.quarantines.len(), 2);
+        assert!(report.quarantines[0].message.contains("task timeout"));
+        assert_eq!(got[0].quarantined_reps, vec![0, 1]);
+        assert_eq!(got[0].incomplete, 0);
+    }
+
+    #[test]
+    fn generous_task_timeout_leaves_results_bit_identical() {
+        let config = small([40, 25]);
+        let run = |timeout: Option<f64>| {
+            let jobs = [PointJob {
+                config: &config,
+                reps: 6,
+                seed: 11,
+                options: SimOptions {
+                    task_timeout: timeout,
+                    ..SimOptions::default()
+                },
+            }];
+            let mut out = Vec::new();
+            run_grid_streaming(&jobs, &|_, _| NoBalancing, 2, 1, |_, stats| {
+                out.push(stats);
+                Ok(())
+            })
+            .expect("runs");
+            out
+        };
+        let plain = run(None);
+        let watched = run(Some(3600.0));
+        assert_eq!(plain[0].completion_times, watched[0].completion_times);
+        assert_eq!(plain[0].total_events, watched[0].total_events);
+        assert!(watched[0].quarantined_reps.is_empty());
     }
 }

@@ -46,6 +46,11 @@ pub struct McEstimate {
     pub mean_transit_task_seconds: f64,
     /// Replications that hit the deadline without completing.
     pub incomplete: u64,
+    /// Replications quarantined (panicked or timed out) and therefore
+    /// *excluded* from every vector and mean above. A nonzero count marks
+    /// the estimate as degraded — fewer samples than requested, never a
+    /// silent average over garbage.
+    pub quarantined: u64,
     /// Per-replication probe telemetry, in replication order; empty when
     /// probing is off (see [`SimOptions::probe_dt`]).
     pub probes: Vec<ProbeReport>,
@@ -68,26 +73,57 @@ impl McEstimate {
     /// reduction of [`run_replications`] and the sweep runner. Sequential
     /// and in replication order, so the aggregate is a pure function of
     /// the slot-stable per-replication vectors.
+    ///
+    /// Quarantined replications (see [`PointStats::quarantined_reps`])
+    /// are dropped from the per-replication vectors before any mean is
+    /// formed — their slots hold placeholder zeros, and averaging them in
+    /// would silently corrupt the estimate. On a clean point the filter
+    /// is a no-op and the aggregate is byte-identical to the
+    /// pre-quarantine reduction.
     #[must_use]
     pub fn from_point_stats(stats: PointStats) -> Self {
-        let reps = stats.completion_times.len() as f64;
+        let PointStats {
+            mut completion_times,
+            mut failures_per_rep,
+            mut tasks_shipped_per_rep,
+            quarantined_reps,
+            ..
+        } = stats;
+        if !quarantined_reps.is_empty() {
+            // Drop the placeholder slots, preserving replication order
+            // (quarantined_reps is small — a linear scan per slot is
+            // cheaper than building a mask).
+            let keep = |r: &mut usize| {
+                let k = !quarantined_reps.contains(&(*r as u64));
+                *r += 1;
+                k
+            };
+            let mut i = 0;
+            completion_times.retain(|_| keep(&mut i));
+            let mut i = 0;
+            failures_per_rep.retain(|_| keep(&mut i));
+            let mut i = 0;
+            tasks_shipped_per_rep.retain(|_| keep(&mut i));
+        }
+        let reps = completion_times.len() as f64;
         let mut completion = OnlineStats::new();
-        for &t in &stats.completion_times {
+        for &t in &completion_times {
             completion.push(t);
         }
         Self {
             completion,
             total_events: stats.total_events,
-            mean_failures: stats.failures_per_rep.iter().sum::<u64>() as f64 / reps,
-            mean_tasks_shipped: stats.tasks_shipped_per_rep.iter().sum::<u64>() as f64 / reps,
+            mean_failures: failures_per_rep.iter().sum::<u64>() as f64 / reps,
+            mean_tasks_shipped: tasks_shipped_per_rep.iter().sum::<u64>() as f64 / reps,
             mean_recoveries: stats.total_recoveries as f64 / reps,
             mean_transfers: stats.total_transfers as f64 / reps,
             mean_tasks_clamped: stats.total_tasks_clamped as f64 / reps,
             mean_transit_task_seconds: stats.transit_task_seconds / reps,
-            completion_times: stats.completion_times,
-            failures_per_rep: stats.failures_per_rep,
-            tasks_shipped_per_rep: stats.tasks_shipped_per_rep,
+            completion_times,
+            failures_per_rep,
+            tasks_shipped_per_rep,
             incomplete: stats.incomplete,
+            quarantined: quarantined_reps.len() as u64,
             probes: stats.probes,
         }
     }

@@ -113,6 +113,14 @@ pub enum PolicySpec {
     },
     /// Eq. 8 failure compensation only, no initial balancing.
     UponFailureOnly,
+    /// Fault-injection fixture: behaves as [`PolicySpec::NoBalancing`]
+    /// except that replication `rep` panics at its first policy callback.
+    /// Exists to exercise the executor's panic quarantine end-to-end
+    /// (crash-safety tests, CI smoke); never a real balancing policy.
+    ChaosPanic {
+        /// Replication index whose worker panics.
+        rep: u64,
+    },
 }
 
 impl PolicySpec {
@@ -129,6 +137,7 @@ impl PolicySpec {
             Self::DynamicLbp1 => "dynamic-lbp1",
             Self::InitialBalanceOnly { .. } => "initial-only",
             Self::UponFailureOnly => "upon-failure-only",
+            Self::ChaosPanic { .. } => "chaos-panic",
         }
     }
 
@@ -176,7 +185,7 @@ impl PolicySpec {
     }
 
     /// All stable kind identifiers, for help text and error messages.
-    pub const KINDS: [&'static str; 9] = [
+    pub const KINDS: [&'static str; 10] = [
         "no-balancing",
         "lbp1",
         "lbp1-optimal",
@@ -186,6 +195,7 @@ impl PolicySpec {
         "dynamic-lbp1",
         "initial-only",
         "upon-failure-only",
+        "chaos-panic",
     ];
 
     /// Parses a compact policy name — a [`PolicySpec::kind`] identifier
@@ -205,6 +215,25 @@ impl PolicySpec {
     /// gainless policy or an out-of-range value.
     pub fn parse(name: &str, template: &Self) -> Result<Self, String> {
         let name = name.trim();
+        // chaos-panic's `@` suffix is a replication *index*, not a gain —
+        // intercept it before the generic `kind@gain` split would force
+        // the value through the [0, 1] gain check.
+        if name == "chaos-panic" {
+            return Ok(match template {
+                Self::ChaosPanic { .. } => template.clone(),
+                _ => Self::ChaosPanic { rep: 0 },
+            });
+        }
+        if let Some(r) = name.strip_prefix("chaos-panic@") {
+            let rep: u64 = r.trim().parse().map_err(|_| {
+                format!(
+                    "policy `{name}`: `{}` is not a replication index (expected \
+                     `chaos-panic@rep`)",
+                    r.trim()
+                )
+            })?;
+            return Ok(Self::ChaosPanic { rep });
+        }
         let (kind, gain) = match name.split_once('@') {
             None => (name, None),
             Some((kind, g)) => {
@@ -330,7 +359,48 @@ impl PolicySpec {
             Self::DynamicLbp1 => AnyPolicy::new(DynamicLbp1::new(config)),
             Self::InitialBalanceOnly { gain } => AnyPolicy::new(InitialBalanceOnly::new(*gain)),
             Self::UponFailureOnly => AnyPolicy::new(UponFailureOnly::new()),
+            // `build` has no replication index, so the fixture comes out
+            // unarmed; [`PolicySpec::build_for_rep`] arms it.
+            Self::ChaosPanic { .. } => AnyPolicy::new(ChaosPanicPolicy { armed: false }),
         })
+    }
+
+    /// Builds a runnable policy for `config` and replication `rep`.
+    ///
+    /// Identical to [`PolicySpec::build`] for every real policy — the
+    /// replication index only matters to the [`PolicySpec::ChaosPanic`]
+    /// fault-injection fixture, which arms its panic when `rep` matches
+    /// the spec's target. Executors that know the replication index
+    /// should prefer this entry point so chaos specs work end-to-end.
+    ///
+    /// # Errors
+    /// Same conditions as [`PolicySpec::validate_for`].
+    pub fn build_for_rep(&self, config: &SystemConfig, rep: u64) -> Result<AnyPolicy, String> {
+        match self {
+            Self::ChaosPanic { rep: target } => {
+                self.validate_for(config)?;
+                Ok(AnyPolicy::new(ChaosPanicPolicy {
+                    armed: rep == *target,
+                }))
+            }
+            _ => self.build(config),
+        }
+    }
+}
+
+/// Runtime form of [`PolicySpec::ChaosPanic`]: a do-nothing policy whose
+/// armed replication panics at `on_start`, before any order is issued.
+struct ChaosPanicPolicy {
+    armed: bool,
+}
+
+impl Policy for ChaosPanicPolicy {
+    fn name(&self) -> &str {
+        "chaos-panic"
+    }
+
+    fn on_start(&mut self, _view: &SystemView<'_>, _orders: &mut Vec<TransferOrder>) {
+        assert!(!self.armed, "chaos-panic: injected worker panic");
     }
 }
 
@@ -523,6 +593,52 @@ mod tests {
         };
         let err = off_edge.validate_for(&cfg).unwrap_err();
         assert!(err.contains("not an edge"), "{err}");
+    }
+
+    #[test]
+    fn chaos_panic_parses_reps_and_arms_only_its_target() {
+        let t = PolicySpec::NoBalancing;
+        assert_eq!(
+            PolicySpec::parse("chaos-panic", &t).expect("ok"),
+            PolicySpec::ChaosPanic { rep: 0 }
+        );
+        assert_eq!(
+            PolicySpec::parse("chaos-panic@7", &t).expect("ok"),
+            PolicySpec::ChaosPanic { rep: 7 }
+        );
+        let err = PolicySpec::parse("chaos-panic@x", &t).unwrap_err();
+        assert!(err.contains("not a replication index"), "{err}");
+        // A matching template is inherited, like every other kind.
+        let armed = PolicySpec::ChaosPanic { rep: 3 };
+        assert_eq!(PolicySpec::parse("chaos-panic", &armed).expect("ok"), armed);
+
+        let cfg = SystemConfig::paper([20, 12]);
+        // Unarmed replications run to completion like no-balancing.
+        let mut p = armed.build_for_rep(&cfg, 2).expect("valid");
+        let out = simulate(&cfg, &mut p, 11, SimOptions::default());
+        assert!(out.completed);
+        // The armed replication panics at its first callback.
+        let panicked = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let mut p = armed.build_for_rep(&cfg, 3).expect("valid");
+            let _ = simulate(&cfg, &mut p, 11, SimOptions::default());
+        }));
+        assert!(panicked.is_err());
+        // `build` (no replication index) never arms.
+        let mut p = armed.build(&cfg).expect("valid");
+        let out = simulate(&cfg, &mut p, 11, SimOptions::default());
+        assert!(out.completed);
+    }
+
+    #[test]
+    fn build_for_rep_matches_build_for_real_policies() {
+        let cfg = SystemConfig::paper([50, 30]);
+        let spec = PolicySpec::Lbp2 { gain: 0.8 };
+        let mut a = spec.build(&cfg).expect("valid");
+        let mut b = spec.build_for_rep(&cfg, 5).expect("valid");
+        let oa = simulate(&cfg, &mut a, 3, SimOptions::default());
+        let ob = simulate(&cfg, &mut b, 3, SimOptions::default());
+        assert_eq!(oa.completion_time, ob.completion_time);
+        assert_eq!(oa.metrics, ob.metrics);
     }
 
     #[test]

@@ -41,6 +41,7 @@ use crate::experiment::{
     probe_jsonl_row, CollectSink, CsvSink, Experiment, ExperimentResult, ExperimentRow,
     ExperimentSchema, ExperimentSpec, JsonlSink, PolicyEntry, RowSink,
 };
+use crate::journal::JournalConfig;
 use crate::registry;
 use crate::scenario::Scenario;
 use crate::sweep::{Axis, AxisParam, RunOptions};
@@ -81,6 +82,18 @@ options (run/sweep/compare/stats):\n\
                              transfers, clamped orders, transit task-\n\
                              seconds — and, when probing, histogram\n\
                              quantile columns — to csv/jsonl rows\n\
+  --journal DIR              append each completed (point, policy) cell to a\n\
+                             content-addressed write-ahead journal in DIR;\n\
+                             crash-safe, keyed by a digest of the resolved\n\
+                             spec (not with probing)\n\
+  --resume                   replay completed cells from the --journal file\n\
+                             and run only the remainder; output bytes equal\n\
+                             an uninterrupted run\n\
+  --task-timeout SECS        abort any single replication running longer\n\
+                             than SECS wall-clock seconds and quarantine it\n\
+                             instead of hanging the campaign\n\
+  --fail-on-quarantine       exit nonzero when any replication was\n\
+                             quarantined (panicked or timed out)\n\
   --quick                    a tenth of the replications (at least 10)\n\
   --reps N                   replication override\n\
   --seed S                   master-seed override\n\
@@ -145,6 +158,9 @@ struct CliOptions {
     policies: Vec<String>,
     baseline: Option<String>,
     theory: bool,
+    journal: Option<String>,
+    resume: bool,
+    fail_on_quarantine: bool,
 }
 
 fn parse_common<'a>(
@@ -216,6 +232,22 @@ fn parse_common<'a>(
                     }
                 }
             }
+            "--journal" => {
+                let v = it.next().ok_or("--journal needs a directory path")?;
+                opts.journal = Some(v.clone());
+            }
+            "--resume" => opts.resume = true,
+            "--task-timeout" => {
+                let v = it.next().ok_or("--task-timeout needs a value in seconds")?;
+                let secs: f64 = v
+                    .parse()
+                    .map_err(|_| format!("--task-timeout: expected a number, got `{v}`"))?;
+                if !(secs.is_finite() && secs > 0.0) {
+                    return Err(format!("--task-timeout: must be positive, got {secs}"));
+                }
+                opts.run.task_timeout = Some(secs);
+            }
+            "--fail-on-quarantine" => opts.fail_on_quarantine = true,
             "--quick" => opts.run.quick = true,
             "--reps" => {
                 let v = it.next().ok_or("--reps needs a value")?;
@@ -257,6 +289,9 @@ fn parse_common<'a>(
             other => return Err(format!("unknown flag `{other}`\n\n{USAGE}")),
         }
     }
+    if opts.resume && opts.journal.is_none() {
+        return Err("--resume needs --journal DIR to know where the journal lives".into());
+    }
     if grammar == Grammar::Compare && opts.policies.len() < 2 {
         return Err(format!(
             "compare needs at least two --policies (got {}); \
@@ -282,6 +317,7 @@ fn parse_common<'a>(
 /// Resolves a scenario by registry name first, then as a TOML file path.
 fn load_scenario(name: &str) -> Result<Scenario, String> {
     if let Some(sc) = registry::get(name) {
+        sc.validate().map_err(|e| e.to_string())?;
         return Ok(sc);
     }
     if std::path::Path::new(name).exists() {
@@ -435,14 +471,18 @@ fn render_table(result: &ExperimentResult) -> String {
             );
         }
         if schema.paired {
-            let d = r.delta.expect("paired rows carry deltas");
             if r.policy_index == schema.baseline {
                 row.extend([String::from("baseline"), String::new()]);
             } else {
-                row.extend([
-                    format!("{:+.2}", d.mean_delta),
-                    format!("{:.2}", d.ci95_half_width),
-                ]);
+                // A quarantine-degraded pair can have no surviving
+                // replications to difference: render `-`, don't panic.
+                match r.delta {
+                    Some(d) => row.extend([
+                        format!("{:+.2}", d.mean_delta),
+                        format!("{:.2}", d.ci95_half_width),
+                    ]),
+                    None => row.extend([String::from("-"), String::from("-")]),
+                }
             }
         }
         row.extend([
@@ -482,6 +522,61 @@ fn render_table(result: &ExperimentResult) -> String {
         out.push_str(&fmt_row(row));
     }
     out
+}
+
+/// Copies `--journal` / `--resume` onto the spec. The experiment layer
+/// owns the digest, the replay and the probe conflict check.
+fn apply_journal(spec: &mut ExperimentSpec, opts: &CliOptions) {
+    if let Some(dir) = &opts.journal {
+        spec.journal = Some(JournalConfig {
+            dir: dir.clone(),
+            resume: opts.resume,
+        });
+    }
+}
+
+/// One line per quarantined replication, naming the cell and the cause.
+fn quarantine_summary(report: &churnbal_cluster::ExecReport, policies: &[String]) -> String {
+    let mut out = format!(
+        "warning: {} replication(s) were quarantined; affected rows aggregate \
+         the surviving replications only\n",
+        report.quarantines.len()
+    );
+    for q in &report.quarantines {
+        let policy = policies.get(q.policy).map_or("?", String::as_str);
+        out.push_str(&format!(
+            "  point {}, policy {}, rep {}: {}\n",
+            q.point, policy, q.rep, q.message
+        ));
+    }
+    out
+}
+
+/// Attaches the quarantine summary once the primary output is delivered:
+/// appended to human-readable output, `eprint!`ed when machine rows go to
+/// stdout (so CSV/JSONL bytes stay clean), and turned into a hard error
+/// under `--fail-on-quarantine` — by then any `--out` file has already
+/// been written, so the partial results survive the nonzero exit.
+fn append_quarantines(
+    text: String,
+    report: &churnbal_cluster::ExecReport,
+    policies: &[String],
+    opts: &CliOptions,
+    machine_stdout: bool,
+) -> Result<String, String> {
+    if report.quarantines.is_empty() {
+        return Ok(text);
+    }
+    let summary = quarantine_summary(report, policies);
+    if opts.fail_on_quarantine {
+        return Err(format!("{summary}--fail-on-quarantine: exiting nonzero"));
+    }
+    if machine_stdout {
+        eprint!("{summary}");
+        Ok(text)
+    } else {
+        Ok(text + &summary)
+    }
 }
 
 fn deliver(text: String, opts: &CliOptions, preamble: String) -> Result<String, String> {
@@ -571,13 +666,16 @@ fn run_with_probe_tee(
 fn collect_with_probe_tee(
     experiment: &Experiment,
     opts: &CliOptions,
-) -> Result<ExperimentResult, String> {
+) -> Result<(ExperimentResult, churnbal_cluster::ExecReport), String> {
     let mut sink = CollectSink::new();
-    let (schema, _) = run_with_probe_tee(experiment, &mut sink, opts)?;
-    Ok(ExperimentResult {
-        schema,
-        rows: sink.rows,
-    })
+    let (schema, report) = run_with_probe_tee(experiment, &mut sink, opts)?;
+    Ok((
+        ExperimentResult {
+            schema,
+            rows: sink.rows,
+        },
+        report,
+    ))
 }
 
 /// Runs an experiment in machine format. With `--out`, rows stream to the
@@ -598,15 +696,15 @@ fn run_machine_format(
         out: W,
         opts: &CliOptions,
         jsonl: bool,
-    ) -> Result<(ExperimentSchema, W), String> {
+    ) -> Result<(ExperimentSchema, churnbal_cluster::ExecReport, W), String> {
         if jsonl {
             let mut sink = JsonlSink::new(out);
-            let (schema, _) = run_with_probe_tee(experiment, &mut sink, opts)?;
-            Ok((schema, sink.into_inner()))
+            let (schema, report) = run_with_probe_tee(experiment, &mut sink, opts)?;
+            Ok((schema, report, sink.into_inner()))
         } else {
             let mut sink = CsvSink::new(out);
-            let (schema, _) = run_with_probe_tee(experiment, &mut sink, opts)?;
-            Ok((schema, sink.into_inner()))
+            let (schema, report) = run_with_probe_tee(experiment, &mut sink, opts)?;
+            Ok((schema, report, sink.into_inner()))
         }
     }
     let experiment = Experiment::new(spec);
@@ -614,25 +712,29 @@ fn run_machine_format(
         Some(path) => {
             let file =
                 std::fs::File::create(path).map_err(|e| format!("cannot write `{path}`: {e}"))?;
-            let (schema, out) = run_into(&experiment, std::io::BufWriter::new(file), opts, jsonl)?;
+            let (schema, report, out) =
+                run_into(&experiment, std::io::BufWriter::new(file), opts, jsonl)?;
             drop(out); // flushes the BufWriter
             let lines = schema.rows() + usize::from(!jsonl);
-            Ok(format!("wrote {lines} lines to {path}\n"))
+            let msg = format!("wrote {lines} lines to {path}\n");
+            append_quarantines(msg, &report, &schema.policies, opts, false)
         }
         None => {
-            let (_, buf) = run_into(&experiment, Vec::new(), opts, jsonl)?;
-            String::from_utf8(buf).map_err(|e| format!("output is not UTF-8: {e}"))
+            let (schema, report, buf) = run_into(&experiment, Vec::new(), opts, jsonl)?;
+            let text = String::from_utf8(buf).map_err(|e| format!("output is not UTF-8: {e}"))?;
+            append_quarantines(text, &report, &schema.policies, opts, true)
         }
     }
 }
 
 fn cmd_run(scenario: &Scenario, opts: &CliOptions) -> Result<String, String> {
-    let spec = ExperimentSpec::sweep(scenario.clone(), opts.axes.clone(), opts.run);
+    let mut spec = ExperimentSpec::sweep(scenario.clone(), opts.axes.clone(), opts.run);
+    apply_journal(&mut spec, opts);
     let format = opts.format.as_deref().unwrap_or("table");
     if format != "table" {
         return run_machine_format(spec, opts, format == "jsonl");
     }
-    let result = collect_with_probe_tee(&Experiment::new(spec), opts)?;
+    let (result, report) = collect_with_probe_tee(&Experiment::new(spec), opts)?;
     let reps = opts.run.effective_reps(scenario);
     let preamble = format!(
         "{}: {}\n{} point(s), {} replications each, seed {}\n\n",
@@ -642,18 +744,21 @@ fn cmd_run(scenario: &Scenario, opts: &CliOptions) -> Result<String, String> {
         reps,
         opts.run.seed.unwrap_or(scenario.seed),
     );
-    deliver(render_table(&result), opts, preamble)
+    let out = deliver(render_table(&result), opts, preamble)?;
+    append_quarantines(out, &report, &result.schema.policies, opts, false)
 }
 
 fn cmd_sweep(scenario: &Scenario, opts: &CliOptions) -> Result<String, String> {
     let mut spec = ExperimentSpec::sweep(scenario.clone(), opts.axes.clone(), opts.run);
     spec.theory = opts.theory;
+    apply_journal(&mut spec, opts);
     let format = opts.format.as_deref().unwrap_or("csv");
     if format != "table" {
         return run_machine_format(spec, opts, format == "jsonl");
     }
-    let result = collect_with_probe_tee(&Experiment::new(spec), opts)?;
-    deliver(render_table(&result), opts, String::new())
+    let (result, report) = collect_with_probe_tee(&Experiment::new(spec), opts)?;
+    let out = deliver(render_table(&result), opts, String::new())?;
+    append_quarantines(out, &report, &result.schema.policies, opts, false)
 }
 
 fn cmd_compare(scenario: &Scenario, opts: &CliOptions) -> Result<String, String> {
@@ -677,11 +782,12 @@ fn cmd_compare(scenario: &Scenario, opts: &CliOptions) -> Result<String, String>
     };
     let mut spec = ExperimentSpec::compare(scenario.clone(), opts.axes.clone(), policies, opts.run);
     spec.baseline = baseline;
+    apply_journal(&mut spec, opts);
     let format = opts.format.as_deref().unwrap_or("table");
     if format != "table" {
         return run_machine_format(spec, opts, format == "jsonl");
     }
-    let result = collect_with_probe_tee(&Experiment::new(spec), opts)?;
+    let (result, report) = collect_with_probe_tee(&Experiment::new(spec), opts)?;
     let reps = opts.run.effective_reps(scenario);
     let preamble = format!(
         "{}: {}\n{} point(s) x {} policies (baseline {}), {} replications each, seed {}\n\
@@ -694,7 +800,8 @@ fn cmd_compare(scenario: &Scenario, opts: &CliOptions) -> Result<String, String>
         reps,
         opts.run.seed.unwrap_or(scenario.seed),
     );
-    deliver(render_table(&result), opts, preamble)
+    let out = deliver(render_table(&result), opts, preamble)?;
+    append_quarantines(out, &report, &result.schema.policies, opts, false)
 }
 
 /// `stats <scenario>`: one deep look at the scenario's base point.
@@ -712,9 +819,11 @@ fn cmd_stats(scenario: &Scenario, opts: &CliOptions) -> Result<String, String> {
     let dt = run.effective_probe_dt(&base).expect("armed above");
     let reps = run.effective_reps(&base);
     let seed = run.seed.unwrap_or(base.seed);
-    let experiment = Experiment::new(ExperimentSpec::sweep(base.clone(), Vec::new(), run));
+    let mut spec = ExperimentSpec::sweep(base.clone(), Vec::new(), run);
+    apply_journal(&mut spec, opts);
+    let experiment = Experiment::new(spec);
     let mut sink = CollectSink::new();
-    let (_, report) = run_with_probe_tee(&experiment, &mut sink, opts)?;
+    let (schema, report) = run_with_probe_tee(&experiment, &mut sink, opts)?;
     let row = sink
         .rows
         .first()
@@ -827,7 +936,8 @@ fn cmd_stats(scenario: &Scenario, opts: &CliOptions) -> Result<String, String> {
             w.events_per_sec(),
         ));
     }
-    deliver(out, opts, String::new())
+    let out = deliver(out, opts, String::new())?;
+    append_quarantines(out, &report, &schema.policies, opts, false)
 }
 
 #[cfg(test)]
@@ -1329,6 +1439,94 @@ mod tests {
         assert!(err.contains("--probe-out needs a probe cadence"), "{err}");
         let err = call(&["run", "paper-fig5", "--probe-dt", "-1"]).unwrap_err();
         assert!(err.contains("must be positive"), "{err}");
+    }
+
+    #[test]
+    fn crash_safety_flags_parse_and_validate() {
+        let err = call(&["run", "paper-fig5", "--resume"]).unwrap_err();
+        assert!(err.contains("--resume needs --journal"), "{err}");
+        let err = call(&["run", "paper-fig5", "--task-timeout", "-1"]).unwrap_err();
+        assert!(err.contains("must be positive"), "{err}");
+        let err = call(&["run", "paper-fig5", "--task-timeout", "soon"]).unwrap_err();
+        assert!(err.contains("expected a number"), "{err}");
+        let err = call(&["run", "paper-fig5", "--journal"]).unwrap_err();
+        assert!(err.contains("--journal needs a directory path"), "{err}");
+        // The journal records result rows only; probe ticks would be lost,
+        // so the combination is an arming error, not silent data loss.
+        let dir = std::env::temp_dir().join("churnbal_lab_cli_journal_probe");
+        std::fs::create_dir_all(&dir).expect("tmp dir");
+        let err = call(&[
+            "run",
+            "paper-fig5",
+            "--reps",
+            "2",
+            "--probe-dt",
+            "50",
+            "--journal",
+            dir.to_str().expect("utf8"),
+        ])
+        .unwrap_err();
+        assert!(err.contains("does not capture probe telemetry"), "{err}");
+    }
+
+    #[test]
+    fn journaled_runs_resume_to_identical_bytes() {
+        let dir = std::env::temp_dir().join("churnbal_lab_cli_journal_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("tmp dir");
+        let dir_str = dir.to_str().expect("utf8");
+        let base = [
+            "sweep",
+            "paper-delay-crossover",
+            "--reps",
+            "2",
+            "--format",
+            "csv",
+        ];
+        let clean = call(&base).expect("clean sweep runs");
+        let mut with_journal = base.to_vec();
+        with_journal.extend(["--journal", dir_str]);
+        let journaled = call(&with_journal).expect("journaled sweep runs");
+        assert_eq!(journaled, clean, "journaling changed the output bytes");
+        // A second run with --resume replays every cell from the journal
+        // and must reproduce the same bytes without recomputing anything.
+        let mut resumed_args = with_journal.clone();
+        resumed_args.push("--resume");
+        let resumed = call(&resumed_args).expect("resumed sweep runs");
+        assert_eq!(resumed, clean, "resume changed the output bytes");
+    }
+
+    #[test]
+    fn chaos_panic_rows_are_quarantined_not_fatal() {
+        let out = call(&[
+            "compare",
+            "paper-fig5",
+            "--policies",
+            "lbp1-optimal,chaos-panic@1",
+            "--reps",
+            "3",
+            "--threads",
+            "2",
+        ])
+        .expect("a panicking replication must not kill the run");
+        assert!(
+            out.contains("warning: 1 replication(s) were quarantined"),
+            "{out}"
+        );
+        assert!(out.contains("policy chaos-panic@1, rep 1:"), "{out}");
+        // The survivors still produce a full table row for every policy.
+        assert!(out.contains("lbp1-optimal"), "{out}");
+        let err = call(&[
+            "compare",
+            "paper-fig5",
+            "--policies",
+            "lbp1-optimal,chaos-panic@1",
+            "--reps",
+            "3",
+            "--fail-on-quarantine",
+        ])
+        .unwrap_err();
+        assert!(err.contains("--fail-on-quarantine"), "{err}");
     }
 
     #[test]

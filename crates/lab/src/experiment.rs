@@ -25,15 +25,17 @@
 //! their output bytes are unchanged (the pinned sweep digests prove it).
 
 use std::io::Write;
+use std::path::Path;
 
 use churnbal_cluster::exec::{
-    run_grid_policies_streaming, run_grid_policies_streaming_with_report, ExecReport, PointJob,
+    run_grid_policies_resumable, run_grid_policies_streaming, ExecReport, PointJob, PointStats,
 };
 use churnbal_cluster::mc::McEstimate;
 use churnbal_cluster::{ProbeReport, SimOptions, SystemConfig};
 use churnbal_core::PolicySpec;
-use churnbal_stochastic::{paired_comparison, PairedComparison};
+use churnbal_stochastic::{paired_comparison, Fnv1a, PairedComparison};
 
+use crate::journal::{JournalConfig, RunJournal};
 use crate::scenario::Scenario;
 use crate::sweep::{expand_grid, sample_sd, Axis, AxisParam, RunOptions, SweepRow, SweepSchema};
 use crate::theory::TheoryCache;
@@ -100,6 +102,12 @@ pub struct ExperimentSpec {
     /// covers the point and policy; out-of-domain rows render empty
     /// cells.
     pub theory: bool,
+    /// Write-ahead result journal (`--journal` / `--resume`): completed
+    /// cells are appended to a content-addressed file under
+    /// [`JournalConfig::dir`] and replayed on resume — see
+    /// [`crate::journal`]. `None` falls back to the scenario's own
+    /// `[journal]` table (without resume), or no journal at all.
+    pub journal: Option<JournalConfig>,
 }
 
 impl ExperimentSpec {
@@ -113,6 +121,7 @@ impl ExperimentSpec {
             baseline: 0,
             options,
             theory: false,
+            journal: None,
         }
     }
 
@@ -133,7 +142,43 @@ impl ExperimentSpec {
             baseline: 0,
             options,
             theory: true,
+            journal: None,
         }
+    }
+
+    /// Content digest of the fully-resolved experiment: FNV-1a over the
+    /// scenario's canonical TOML, the extra axes, the policy set (labels,
+    /// full specs, pins), the baseline index and the *effective*
+    /// replication count and seed. Two specs that could produce different
+    /// output bytes digest differently; presentation-only options
+    /// (threads, chunk, backend, metrics columns) are deliberately
+    /// excluded — they never change result values. This digest names the
+    /// write-ahead journal file, so a resume can never mix results from a
+    /// different spec.
+    #[must_use]
+    pub fn digest(&self) -> u64 {
+        let mut h = Fnv1a::new();
+        h.update(self.scenario.to_toml().as_bytes());
+        h.update_u64(self.axes.len() as u64);
+        for axis in &self.axes {
+            h.update(axis.param.key().as_bytes());
+            h.update_u64(axis.values.len() as u64);
+            for &v in &axis.values {
+                h.update_u64(v.to_bits());
+            }
+        }
+        h.update_u64(self.policies.len() as u64);
+        for entry in &self.policies {
+            h.update(entry.label.as_bytes());
+            // The Debug form covers every parameter of every variant
+            // (gains, sender/receiver, chaos-panic rep, ...).
+            h.update(format!("{:?}", entry.spec).as_bytes());
+            h.update_u64(u64::from(entry.pinned_gain));
+        }
+        h.update_u64(self.baseline as u64);
+        h.update_u64(self.options.effective_reps(&self.scenario));
+        h.update_u64(self.options.seed.unwrap_or(self.scenario.seed));
+        h.finish()
     }
 }
 
@@ -220,6 +265,10 @@ pub struct ExperimentRow {
     pub sd_tasks_shipped: f64,
     /// Replications that hit the deadline without completing.
     pub incomplete: u64,
+    /// Replications quarantined (panicked or timed out) and excluded
+    /// from every statistic of this row; [`ExperimentRow::reps`] already
+    /// counts only the survivors. Nonzero marks the row as degraded.
+    pub quarantined: u64,
     /// Eq. 4 theory mean, when the model covers this point and policy.
     pub theory_mean: Option<f64>,
     /// `mean_completion − theory_mean`, when theory is available.
@@ -363,11 +412,16 @@ pub fn experiment_csv_row(schema: &ExperimentSchema, row: &ExperimentRow) -> Str
         out.push_str(&csv_opt(row.mc_minus_theory));
     }
     if schema.paired {
-        let d = row.delta.expect("paired schema rows carry deltas");
-        out.push_str(&format!(
-            ",{:?},{:?},{:?}",
-            d.mean_delta, d.sd_delta, d.ci95_half_width
-        ));
+        // A row can lack a delta even under a paired schema: quarantine
+        // can leave no replication surviving on both sides of the pair.
+        // Render empty cells instead of panicking.
+        match row.delta {
+            Some(d) => out.push_str(&format!(
+                ",{:?},{:?},{:?}",
+                d.mean_delta, d.sd_delta, d.ci95_half_width
+            )),
+            None => out.push_str(",,,"),
+        }
     }
     if schema.metrics_full {
         out.push_str(&format!(
@@ -408,11 +462,13 @@ pub fn experiment_jsonl_row(schema: &ExperimentSchema, row: &ExperimentRow) -> S
         ));
     }
     if schema.paired {
-        let d = row.delta.expect("paired schema rows carry deltas");
-        out.push_str(&format!(
-            ",\"delta_mean\":{:?},\"delta_sd\":{:?},\"delta_ci95\":{:?}",
-            d.mean_delta, d.sd_delta, d.ci95_half_width
-        ));
+        match row.delta {
+            Some(d) => out.push_str(&format!(
+                ",\"delta_mean\":{:?},\"delta_sd\":{:?},\"delta_ci95\":{:?}",
+                d.mean_delta, d.sd_delta, d.ci95_half_width
+            )),
+            None => out.push_str(",\"delta_mean\":null,\"delta_sd\":null,\"delta_ci95\":null"),
+        }
     }
     if schema.metrics_full {
         out.push_str(&format!(
@@ -436,6 +492,11 @@ pub fn experiment_jsonl_row(schema: &ExperimentSchema, row: &ExperimentRow) -> S
                 t.downtime_us.quantile(0.99)
             ));
         }
+    }
+    // Degraded rows carry an explicit marker; clean rows keep their
+    // pre-quarantine bytes exactly.
+    if row.quarantined > 0 {
+        out.push_str(&format!(",\"quarantined\":{}", row.quarantined));
     }
     out.push_str("}\n");
     out
@@ -617,6 +678,34 @@ impl ExperimentResult {
     }
 }
 
+/// CRN pairing of two cells' slot-stable completion-time vectors, honest
+/// under quarantine: replication `r` contributes only when it survived on
+/// **both** sides (a quarantined slot holds a placeholder zero, and
+/// pairing it would corrupt the delta). Returns `None` when no
+/// replication survived on both sides — renderers show empty cells /
+/// `null`s / `-` for such rows. With no quarantine anywhere (the normal
+/// case) this is exactly the full-vector pairing, byte for byte.
+fn paired_delta(
+    times: &[f64],
+    quarantined: &[u64],
+    base_times: &[f64],
+    base_quarantined: &[u64],
+) -> Option<PairedDelta> {
+    if quarantined.is_empty() && base_quarantined.is_empty() {
+        return Some(paired_comparison(times, base_times));
+    }
+    let mut xs = Vec::new();
+    let mut ys = Vec::new();
+    for r in 0..times.len().min(base_times.len()) {
+        let r64 = r as u64;
+        if !quarantined.contains(&r64) && !base_quarantined.contains(&r64) {
+            xs.push(times[r]);
+            ys.push(base_times[r]);
+        }
+    }
+    (!xs.is_empty()).then(|| paired_comparison(&xs, &ys))
+}
+
 // ---- execution ---------------------------------------------------------
 
 /// A validated, runnable experiment.
@@ -682,6 +771,7 @@ impl Experiment {
                 deadline: scenario.deadline,
                 backend: spec.options.backend,
                 probe_dt: spec.options.effective_probe_dt(scenario),
+                task_timeout: spec.options.task_timeout,
                 ..SimOptions::default()
             },
         };
@@ -689,7 +779,7 @@ impl Experiment {
         run_grid_policies_streaming(
             std::slice::from_ref(&job),
             1,
-            &|_, _, _| policy.build(&config).expect("validated above"),
+            &|_, _, r| policy.build_for_rep(&config, r).expect("validated above"),
             spec.options.threads,
             spec.options.chunk,
             |_, _, s| {
@@ -806,6 +896,7 @@ impl Experiment {
                     deadline: point.scenario.deadline,
                     backend: spec.options.backend,
                     probe_dt: spec.options.effective_probe_dt(&point.scenario),
+                    task_timeout: spec.options.task_timeout,
                     ..SimOptions::default()
                 },
             })
@@ -835,6 +926,56 @@ impl Experiment {
 
         let k = schema.policies.len();
         let b = spec.baseline;
+
+        // ---- write-ahead journal / resume -----------------------------
+        // The CLI flag wins; a scenario's own [journal] table journals
+        // without resuming (resume is an explicit, per-invocation act).
+        let journal_cfg = spec.journal.clone().or_else(|| {
+            spec.scenario
+                .journal_dir
+                .clone()
+                .map(|dir| JournalConfig { dir, resume: false })
+        });
+        let mut preloaded: Vec<Option<PointStats>> = vec![None; points.len() * k];
+        let mut journal: Option<RunJournal> = None;
+        if let Some(cfg) = &journal_cfg {
+            if probe {
+                return Err("the result journal does not capture probe telemetry; \
+                     drop --journal or disable probing"
+                    .into());
+            }
+            let (j, records) = RunJournal::open(Path::new(&cfg.dir), spec.digest(), cfg.resume)?;
+            for rec in records {
+                if rec.point >= points.len() || rec.policy >= k {
+                    return Err(format!(
+                        "journal {}: cell (point {}, policy {}) is outside the {}x{} grid",
+                        j.path().display(),
+                        rec.point,
+                        rec.policy,
+                        points.len(),
+                        k
+                    ));
+                }
+                let want = jobs[rec.point].reps as usize;
+                if rec.stats.completion_times.len() != want {
+                    return Err(format!(
+                        "journal {}: cell (point {}, policy {}) holds {} replications, \
+                         expected {}",
+                        j.path().display(),
+                        rec.point,
+                        rec.policy,
+                        rec.stats.completion_times.len(),
+                        want
+                    ));
+                }
+                preloaded[rec.point * k + rec.policy] = Some(rec.stats);
+            }
+            journal = Some(j);
+        }
+        // Which cells came from the journal — those must not be
+        // re-appended when the drain emits them.
+        let replayed: Vec<bool> = preloaded.iter().map(Option::is_some).collect();
+
         let build_row = |p: usize, v: usize, est: &McEstimate, delta: Option<PairedDelta>| {
             let theory_mean = theory[p][v];
             // Cross-replication histogram aggregation: exact integer
@@ -848,7 +989,10 @@ impl Experiment {
                 coords: points[p].coords.clone(),
                 policy_index: v,
                 policy: schema.policies[v].clone(),
-                reps: jobs[p].reps,
+                // Quarantined replications are excluded from every
+                // statistic, so the row honestly reports the surviving
+                // sample size (and flags the loss in `quarantined`).
+                reps: jobs[p].reps - est.quarantined,
                 seed: jobs[p].seed,
                 mean_completion: est.mean(),
                 ci95: est.ci95(),
@@ -858,6 +1002,7 @@ impl Experiment {
                 mean_tasks_shipped: est.mean_tasks_shipped,
                 sd_tasks_shipped: sample_sd(est.tasks_shipped_per_rep.iter().map(|&x| x as f64)),
                 incomplete: est.incomplete,
+                quarantined: est.quarantined,
                 theory_mean,
                 mc_minus_theory: theory_mean.map(|t| est.mean() - t),
                 delta,
@@ -868,21 +1013,39 @@ impl Experiment {
                 telemetry,
             }
         };
+        // A cell's pairing inputs: the *slot-stable* per-replication
+        // times (placeholder zeros included) plus the quarantined slots,
+        // captured before `McEstimate::from_point_stats` drops them. CRN
+        // pairing must align replication r with replication r, so slots
+        // — not the compacted vectors — are what gets paired.
         let mut baseline_times: Vec<f64> = Vec::new();
+        let mut baseline_quarantined: Vec<u64> = Vec::new();
         // Cells of the current point awaiting the baseline cell (only
         // used with a non-first baseline).
-        let mut held: Vec<(usize, McEstimate)> = Vec::new();
-        let report = run_grid_policies_streaming_with_report(
+        let mut held: Vec<(usize, McEstimate, Vec<f64>, Vec<u64>)> = Vec::new();
+        let report = run_grid_policies_resumable(
             &jobs,
             k,
-            &|p, v, _r| {
+            &|p, v, r| {
                 point_policies[p][v]
-                    .build(&configs[p])
+                    .build_for_rep(&configs[p], r)
                     .expect("validated above")
             },
             spec.options.threads,
             spec.options.chunk,
+            preloaded,
             |p, v, stats| {
+                if let Some(j) = journal.as_mut() {
+                    // Write-ahead: the cell hits disk before any sink
+                    // sees it. Replayed cells are already on disk, and
+                    // quarantined cells are withheld so a resume retries
+                    // them instead of trusting placeholder slots.
+                    if !replayed[p * k + v] && stats.quarantined_reps.is_empty() {
+                        j.record(p, v, &stats)?;
+                    }
+                }
+                let slot_times = stats.completion_times.clone();
+                let quarantined = stats.quarantined_reps.clone();
                 let est = McEstimate::from_point_stats(stats);
                 let emit = |sink: &mut dyn RowSink,
                             v: usize,
@@ -902,36 +1065,45 @@ impl Experiment {
                 if b == 0 {
                     // The baseline is the first cell of each point, so
                     // rows stream exactly as they complete.
-                    let delta = if v == 0 {
+                    if v == 0 {
                         baseline_times.clear();
-                        baseline_times.extend_from_slice(&est.completion_times);
-                        // The baseline paired with itself: identically zero.
-                        Some(paired_comparison(&baseline_times, &baseline_times))
-                    } else {
-                        Some(paired_comparison(&est.completion_times, &baseline_times))
-                    };
+                        baseline_times.extend_from_slice(&slot_times);
+                        baseline_quarantined.clear();
+                        baseline_quarantined.extend_from_slice(&quarantined);
+                    }
+                    let delta = paired_delta(
+                        &slot_times,
+                        &quarantined,
+                        &baseline_times,
+                        &baseline_quarantined,
+                    );
                     return emit(sink, v, &est, delta);
                 }
                 // Non-first baseline: cells arrive in policy order, so
                 // hold this point's cells until the last one, then emit
                 // them together with deltas against the baseline cell.
-                held.push((v, est));
+                held.push((v, est, slot_times, quarantined));
                 if v + 1 < k {
                     return Ok(());
                 }
                 let base = held
                     .iter()
-                    .find(|(hv, _)| *hv == b)
+                    .find(|(hv, ..)| *hv == b)
                     .expect("the baseline cell is part of the point");
                 baseline_times.clear();
-                baseline_times.extend_from_slice(&base.1.completion_times);
-                for (hv, hest) in held.drain(..) {
-                    let delta = Some(paired_comparison(&hest.completion_times, &baseline_times));
+                baseline_times.extend_from_slice(&base.2);
+                baseline_quarantined.clear();
+                baseline_quarantined.extend_from_slice(&base.3);
+                for (hv, hest, htimes, hq) in held.drain(..) {
+                    let delta = paired_delta(&htimes, &hq, &baseline_times, &baseline_quarantined);
                     emit(sink, hv, &hest, delta)?;
                 }
                 Ok(())
             },
         )?;
+        if let Some(j) = journal.as_mut() {
+            j.finish()?;
+        }
         sink.finish()?;
         Ok((schema, report))
     }

@@ -28,6 +28,9 @@
 //!   point on **identical random-number streams**, so rows carry
 //!   CRN-paired deltas with t-based 95% CIs; two-node closed points join
 //!   the Eq. 4 theory mean ([`theory`]).
+//! * [`journal`] — crash safety: a write-ahead result journal keyed by a
+//!   content digest of the resolved spec, so interrupted campaigns resume
+//!   with byte-identical output (`--journal` / `--resume`).
 //! * [`cli`] — the `churnbal-lab` binary:
 //!   `list | show | run | sweep | compare | stats` (the last a one-point
 //!   observability deep dive: counters, telemetry quantiles, runtime).
@@ -56,6 +59,7 @@
 
 pub mod cli;
 pub mod experiment;
+pub mod journal;
 pub mod registry;
 pub mod scenario;
 pub mod sweep;
@@ -66,7 +70,10 @@ pub use experiment::{
     probe_jsonl_row, CollectSink, CsvSink, Experiment, ExperimentResult, ExperimentRow,
     ExperimentSchema, ExperimentSpec, JsonlSink, PairedDelta, PolicyEntry, RowSink,
 };
-pub use scenario::{ArrivalsSpec, NetworkSpec, NodeSpec, Scenario, TopologySpec};
+pub use journal::{JournalConfig, JournalRecord, RunJournal};
+pub use scenario::{
+    ArrivalsSpec, NetworkSpec, NodeSpec, Scenario, ScenarioError, ScenarioErrorKind, TopologySpec,
+};
 pub use sweep::{
     apply_axis, csv_header, csv_row, expand_grid, jsonl_row, Axis, AxisParam, RunOptions,
     SweepResult, SweepRow, SweepSchema,

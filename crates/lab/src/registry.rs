@@ -94,6 +94,7 @@ fn base(name: &str, description: &str, m0: [u32; 2], policy: PolicySpec) -> Scen
         seed: PAPER_SEED,
         deadline: None,
         probe_dt: None,
+        journal_dir: None,
         nodes: paper_nodes(m0),
         network: paper_network(),
         arrivals: ArrivalsSpec::None,
@@ -165,6 +166,7 @@ fn hetero_speeds() -> Scenario {
         seed: 7,
         deadline: None,
         probe_dt: None,
+        journal_dir: None,
         nodes: vec![
             NodeSpec::new(0.5, 1.0 / 30.0, 1.0 / 10.0, 240),
             NodeSpec::new(1.0, 1.0 / 30.0, 1.0 / 10.0, 0),
@@ -192,6 +194,7 @@ fn hot_spare() -> Scenario {
         seed: 8,
         deadline: None,
         probe_dt: None,
+        journal_dir: None,
         nodes: vec![
             NodeSpec::new(1.5, 1.0 / 12.0, 1.0 / 8.0, 200),
             NodeSpec::new(1.5, 1.0 / 12.0, 1.0 / 8.0, 200),
@@ -218,6 +221,7 @@ fn correlated_failures() -> Scenario {
         seed: 9,
         deadline: None,
         probe_dt: None,
+        journal_dir: None,
         nodes: vec![NodeSpec::new(1.2, 1.0 / 60.0, 1.0 / 8.0, 80).times(4)],
         network: paper_network(),
         arrivals: ArrivalsSpec::None,
@@ -242,6 +246,7 @@ fn cascading_failures() -> Scenario {
         seed: 10,
         deadline: None,
         probe_dt: None,
+        journal_dir: None,
         nodes: vec![NodeSpec::new(1.2, 1.0 / 40.0, 1.0 / 10.0, 80).times(4)],
         network: paper_network(),
         arrivals: ArrivalsSpec::None,
@@ -269,6 +274,7 @@ fn adversarial_churn() -> Scenario {
         seed: 12,
         deadline: None,
         probe_dt: None,
+        journal_dir: None,
         nodes: vec![NodeSpec::new(1.2, 1.0 / 60.0, 1.0 / 8.0, 80).times(4)],
         network: paper_network(),
         arrivals: ArrivalsSpec::None,
@@ -310,6 +316,7 @@ fn mmpp_bursty() -> Scenario {
         seed: 42,
         deadline: None,
         probe_dt: None,
+        journal_dir: None,
         nodes: paper_nodes([20, 20]),
         network: paper_network(),
         arrivals: ArrivalsSpec::Process(ArrivalProcess {
@@ -339,6 +346,7 @@ fn diurnal() -> Scenario {
         seed: 43,
         deadline: None,
         probe_dt: None,
+        journal_dir: None,
         nodes: paper_nodes([10, 10]),
         network: paper_network(),
         arrivals: ArrivalsSpec::Process(ArrivalProcess {
@@ -369,6 +377,7 @@ fn flash_crowd() -> Scenario {
         seed: 44,
         deadline: None,
         probe_dt: None,
+        journal_dir: None,
         nodes: paper_nodes([10, 10]),
         network: paper_network(),
         arrivals: ArrivalsSpec::Process(ArrivalProcess {
@@ -401,6 +410,7 @@ fn volunteer_grid() -> Scenario {
         seed: 11,
         deadline: None,
         probe_dt: None,
+        journal_dir: None,
         nodes: vec![
             NodeSpec::new(2.0, 0.0, 0.0, 300),
             NodeSpec::new(1.5, 0.0, 0.0, 250),
@@ -450,6 +460,7 @@ fn dynamic_arrivals() -> Scenario {
         seed: 17,
         deadline: None,
         probe_dt: None,
+        journal_dir: None,
         nodes: paper_nodes([30, 30]),
         network: paper_network(),
         arrivals: ArrivalsSpec::Fixed(dynamic_arrival_bursts()),
@@ -471,6 +482,7 @@ fn open_system() -> Scenario {
         seed: 45,
         deadline: None,
         probe_dt: None,
+        journal_dir: None,
         nodes: paper_nodes([0, 0]),
         network: paper_network(),
         arrivals: ArrivalsSpec::Process(ArrivalProcess::poisson(0.8, 90.0).with_batch(1, 4)),
@@ -502,6 +514,7 @@ fn ring() -> Scenario {
         seed: 51,
         deadline: None,
         probe_dt: None,
+        journal_dir: None,
         nodes: fleet_nodes(96, 15),
         network: paper_network(),
         arrivals: ArrivalsSpec::None,
@@ -523,6 +536,7 @@ fn torus() -> Scenario {
         seed: 52,
         deadline: None,
         probe_dt: None,
+        journal_dir: None,
         nodes: fleet_nodes(120, 23),
         network: paper_network(),
         arrivals: ArrivalsSpec::None,
@@ -545,6 +559,7 @@ fn rack_hierarchy() -> Scenario {
         seed: 53,
         deadline: None,
         probe_dt: None,
+        journal_dir: None,
         nodes: fleet_nodes(128, 15),
         network: paper_network(),
         arrivals: ArrivalsSpec::None,
@@ -574,6 +589,7 @@ fn rack_shocks() -> Scenario {
         seed: 54,
         deadline: None,
         probe_dt: None,
+        journal_dir: None,
         nodes: fleet_nodes(128, 15),
         network: paper_network(),
         arrivals: ArrivalsSpec::None,
@@ -604,6 +620,7 @@ fn paper_system(name: &str, m0: [u32; 2], network: NetworkSpec) -> SystemConfig 
         seed: PAPER_SEED,
         deadline: None,
         probe_dt: None,
+        journal_dir: None,
         nodes: paper_nodes(m0),
         network,
         arrivals: ArrivalsSpec::None,

@@ -196,6 +196,10 @@ pub struct Scenario {
     /// telemetry samples; `[probe] dt = ...` in TOML). Probing is
     /// observational only — it never changes the trajectory.
     pub probe_dt: Option<f64>,
+    /// Optional write-ahead journal directory (`[journal] dir = ...` in
+    /// TOML): completed cells are recorded there for crash-safe resume —
+    /// see [`crate::journal`]. The CLI's `--journal` flag overrides it.
+    pub journal_dir: Option<String>,
     /// Node templates (expanding to ≥ 2 nodes).
     pub nodes: Vec<NodeSpec>,
     /// Network parameters.
@@ -212,45 +216,229 @@ pub struct Scenario {
     pub axes: Vec<Axis>,
 }
 
+/// A validation failure, carrying the offending scenario's name and a
+/// machine-readable [`ScenarioErrorKind`]. `Display` renders the exact
+/// human message the lab has always produced
+/// (`scenario <name>: <detail>`), so callers that only want a string can
+/// keep formatting with `{}` — while programmatic callers match on
+/// [`ScenarioError::kind`] instead of grepping message text.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ScenarioError {
+    /// Name of the scenario that failed validation.
+    pub scenario: String,
+    /// What, precisely, is wrong.
+    pub kind: ScenarioErrorKind,
+}
+
+/// The typed taxonomy of scenario validation failures.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ScenarioErrorKind {
+    /// `reps == 0`.
+    ZeroReps,
+    /// A node template expands to zero instances.
+    ZeroTemplateCount {
+        /// Template index within [`Scenario::nodes`].
+        template: usize,
+    },
+    /// A service rate `λ_d` that is not finite and positive.
+    NonPositiveServiceRate {
+        /// Template index.
+        template: usize,
+        /// Offending value.
+        value: f64,
+    },
+    /// A failure rate `λ_f` that is negative or non-finite.
+    NegativeFailureRate {
+        /// Template index.
+        template: usize,
+        /// Offending value.
+        value: f64,
+    },
+    /// A recovery rate `λ_r` that is negative or non-finite.
+    NegativeRecoveryRate {
+        /// Template index.
+        template: usize,
+        /// Offending value.
+        value: f64,
+    },
+    /// A failing node with no recovery path (`λ_f > 0`, `λ_r == 0`).
+    NoRecovery {
+        /// Template index.
+        template: usize,
+        /// The template's failure rate.
+        failure_rate: f64,
+    },
+    /// Templates expand to fewer than two nodes.
+    TooFewNodes {
+        /// Expanded node count.
+        expanded: usize,
+    },
+    /// Network delay components are negative, non-finite, or both zero.
+    InvalidNetworkDelay {
+        /// Load-independent component.
+        fixed: f64,
+        /// Per-task component.
+        per_task: f64,
+    },
+    /// A deadline that is not finite and positive.
+    NonPositiveDeadline {
+        /// Offending value.
+        value: f64,
+    },
+    /// A probe cadence that is not finite and positive.
+    NonPositiveProbeDt {
+        /// Offending value.
+        value: f64,
+    },
+    /// A `[journal]` table with an empty `dir`.
+    EmptyJournalDir,
+    /// Churn-model parameter failure (message from
+    /// [`ChurnModel::validate`]).
+    Churn(String),
+    /// Topology construction failure (dimension/node-count mismatch etc.).
+    Topology(String),
+    /// A fixed arrival addressed to a node index outside the system.
+    ArrivalUnknownNode {
+        /// The out-of-range node index.
+        node: usize,
+    },
+    /// A fixed arrival scheduled at a negative or non-finite time.
+    NegativeArrivalTime {
+        /// Offending value.
+        value: f64,
+    },
+    /// Arrival-process parameter failure.
+    Arrivals(String),
+    /// Policy failure — unknown kind for the system, or a gain outside
+    /// `[0, 1]` (message from `PolicySpec::validate_for`).
+    Policy(String),
+    /// Sweep-axis failure (empty values, non-finite entries, ...).
+    Axis(String),
+}
+
+impl std::fmt::Display for ScenarioErrorKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::ZeroReps => write!(f, "reps must be >= 1"),
+            Self::ZeroTemplateCount { template } => {
+                write!(f, "node template {template}: count must be >= 1")
+            }
+            Self::NonPositiveServiceRate { template, value } => write!(
+                f,
+                "node template {template}: service_rate must be positive, got {value}"
+            ),
+            Self::NegativeFailureRate { template, value } => write!(
+                f,
+                "node template {template}: failure_rate must be >= 0, got {value}"
+            ),
+            Self::NegativeRecoveryRate { template, value } => write!(
+                f,
+                "node template {template}: recovery_rate must be >= 0, got {value}"
+            ),
+            Self::NoRecovery {
+                template,
+                failure_rate,
+            } => write!(
+                f,
+                "node template {template}: a node that fails (failure_rate {failure_rate}) \
+                 must recover (recovery_rate is 0)"
+            ),
+            Self::TooFewNodes { expanded } => write!(
+                f,
+                "needs at least two nodes, templates expand to {expanded}"
+            ),
+            Self::InvalidNetworkDelay { fixed, per_task } => write!(
+                f,
+                "network delay must be finite, non-negative and not \
+                 identically zero (fixed {fixed}, per_task {per_task})"
+            ),
+            Self::NonPositiveDeadline { value } => {
+                write!(f, "deadline must be positive, got {value}")
+            }
+            Self::NonPositiveProbeDt { value } => {
+                write!(f, "probe dt must be positive, got {value}")
+            }
+            Self::EmptyJournalDir => write!(f, "journal dir must be non-empty"),
+            Self::Churn(e) | Self::Arrivals(e) | Self::Policy(e) | Self::Axis(e) => {
+                write!(f, "{e}")
+            }
+            Self::Topology(e) => write!(f, "topology: {e}"),
+            Self::ArrivalUnknownNode { node } => {
+                write!(f, "fixed arrival targets unknown node {node}")
+            }
+            Self::NegativeArrivalTime { value } => {
+                write!(f, "fixed arrival time must be >= 0, got {value}")
+            }
+        }
+    }
+}
+
+impl std::fmt::Display for ScenarioError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "scenario {}: {}", self.scenario, self.kind)
+    }
+}
+
+impl std::error::Error for ScenarioError {}
+
+impl From<ScenarioError> for String {
+    fn from(e: ScenarioError) -> Self {
+        e.to_string()
+    }
+}
+
 impl Scenario {
     /// Validates the spec and materializes the simulator configuration.
     ///
     /// # Errors
-    /// Fails with a precise message naming the offending field.
+    /// Fails with a precise message naming the offending field. This is
+    /// the stringly-typed convenience wrapper around
+    /// [`Scenario::system_config_checked`].
     pub fn system_config(&self) -> Result<SystemConfig, String> {
+        self.system_config_checked().map_err(|e| e.to_string())
+    }
+
+    /// Validates the spec and materializes the simulator configuration,
+    /// reporting failures through the typed [`ScenarioError`] taxonomy.
+    ///
+    /// # Errors
+    /// One [`ScenarioError`] naming the scenario and the precise defect.
+    pub fn system_config_checked(&self) -> Result<SystemConfig, ScenarioError> {
+        let fail = |kind: ScenarioErrorKind| ScenarioError {
+            scenario: self.name.clone(),
+            kind,
+        };
         if self.reps == 0 {
-            return Err(format!("scenario {}: reps must be >= 1", self.name));
+            return Err(fail(ScenarioErrorKind::ZeroReps));
         }
         let mut nodes = Vec::new();
         for (i, spec) in self.nodes.iter().enumerate() {
-            let ctx = format!("scenario {}: node template {i}", self.name);
             if spec.count == 0 {
-                return Err(format!("{ctx}: count must be >= 1"));
+                return Err(fail(ScenarioErrorKind::ZeroTemplateCount { template: i }));
             }
             if !(spec.service_rate.is_finite() && spec.service_rate > 0.0) {
-                return Err(format!(
-                    "{ctx}: service_rate must be positive, got {}",
-                    spec.service_rate
-                ));
+                return Err(fail(ScenarioErrorKind::NonPositiveServiceRate {
+                    template: i,
+                    value: spec.service_rate,
+                }));
             }
             if !(spec.failure_rate.is_finite() && spec.failure_rate >= 0.0) {
-                return Err(format!(
-                    "{ctx}: failure_rate must be >= 0, got {}",
-                    spec.failure_rate
-                ));
+                return Err(fail(ScenarioErrorKind::NegativeFailureRate {
+                    template: i,
+                    value: spec.failure_rate,
+                }));
             }
             if !(spec.recovery_rate.is_finite() && spec.recovery_rate >= 0.0) {
-                return Err(format!(
-                    "{ctx}: recovery_rate must be >= 0, got {}",
-                    spec.recovery_rate
-                ));
+                return Err(fail(ScenarioErrorKind::NegativeRecoveryRate {
+                    template: i,
+                    value: spec.recovery_rate,
+                }));
             }
             if spec.failure_rate > 0.0 && spec.recovery_rate == 0.0 {
-                return Err(format!(
-                    "{ctx}: a node that fails (failure_rate {}) must recover \
-                     (recovery_rate is 0)",
-                    spec.failure_rate
-                ));
+                return Err(fail(ScenarioErrorKind::NoRecovery {
+                    template: i,
+                    failure_rate: spec.failure_rate,
+                }));
             }
             for _ in 0..spec.count {
                 nodes.push(NodeConfig::new(
@@ -262,11 +450,9 @@ impl Scenario {
             }
         }
         if nodes.len() < 2 {
-            return Err(format!(
-                "scenario {}: needs at least two nodes, templates expand to {}",
-                self.name,
-                nodes.len()
-            ));
+            return Err(fail(ScenarioErrorKind::TooFewNodes {
+                expanded: nodes.len(),
+            }));
         }
         let net_ok = self.network.fixed.is_finite()
             && self.network.fixed >= 0.0
@@ -274,31 +460,29 @@ impl Scenario {
             && self.network.per_task >= 0.0
             && self.network.fixed + self.network.per_task > 0.0;
         if !net_ok {
-            return Err(format!(
-                "scenario {}: network delay must be finite, non-negative and not \
-                 identically zero (fixed {}, per_task {})",
-                self.name, self.network.fixed, self.network.per_task
-            ));
+            return Err(fail(ScenarioErrorKind::InvalidNetworkDelay {
+                fixed: self.network.fixed,
+                per_task: self.network.per_task,
+            }));
         }
         if let Some(d) = self.deadline {
             if !(d.is_finite() && d > 0.0) {
-                return Err(format!(
-                    "scenario {}: deadline must be positive, got {d}",
-                    self.name
-                ));
+                return Err(fail(ScenarioErrorKind::NonPositiveDeadline { value: d }));
             }
         }
         if let Some(dt) = self.probe_dt {
             if !(dt.is_finite() && dt > 0.0) {
-                return Err(format!(
-                    "scenario {}: probe dt must be positive, got {dt}",
-                    self.name
-                ));
+                return Err(fail(ScenarioErrorKind::NonPositiveProbeDt { value: dt }));
+            }
+        }
+        if let Some(dir) = &self.journal_dir {
+            if dir.is_empty() {
+                return Err(fail(ScenarioErrorKind::EmptyJournalDir));
             }
         }
         self.churn
             .validate()
-            .map_err(|e| format!("scenario {}: {e}", self.name))?;
+            .map_err(|e| fail(ScenarioErrorKind::Churn(e)))?;
         let mut config = SystemConfig::new(
             nodes,
             NetworkConfig::new(self.network.fixed, self.network.per_task, self.network.law),
@@ -307,7 +491,7 @@ impl Scenario {
         if let Some(spec) = &self.topology {
             let topo = spec
                 .build(config.num_nodes())
-                .map_err(|e| format!("scenario {}: topology: {e}", self.name))?;
+                .map_err(|e| fail(ScenarioErrorKind::Topology(e)))?;
             config = config.with_topology(topo);
         }
         match &self.arrivals {
@@ -315,32 +499,28 @@ impl Scenario {
             ArrivalsSpec::Fixed(list) => {
                 for a in list {
                     if a.node >= config.num_nodes() {
-                        return Err(format!(
-                            "scenario {}: fixed arrival targets unknown node {}",
-                            self.name, a.node
-                        ));
+                        return Err(fail(ScenarioErrorKind::ArrivalUnknownNode { node: a.node }));
                     }
                     if !(a.time.is_finite() && a.time >= 0.0) {
-                        return Err(format!(
-                            "scenario {}: fixed arrival time must be >= 0, got {}",
-                            self.name, a.time
-                        ));
+                        return Err(fail(ScenarioErrorKind::NegativeArrivalTime {
+                            value: a.time,
+                        }));
                     }
                 }
                 config = config.with_external_arrivals(list.clone());
             }
             ArrivalsSpec::Process(p) => {
                 p.validate()
-                    .map_err(|e| format!("scenario {}: {e}", self.name))?;
+                    .map_err(|e| fail(ScenarioErrorKind::Arrivals(e)))?;
                 config = config.with_arrival_process(p.clone());
             }
         }
         self.policy
             .validate_for(&config)
-            .map_err(|e| format!("scenario {}: {e}", self.name))?;
+            .map_err(|e| fail(ScenarioErrorKind::Policy(e)))?;
         for axis in &self.axes {
             axis.validate()
-                .map_err(|e| format!("scenario {}: {e}", self.name))?;
+                .map_err(|e| fail(ScenarioErrorKind::Axis(e)))?;
         }
         Ok(config)
     }
@@ -348,9 +528,11 @@ impl Scenario {
     /// Full validation without materializing (config + policy + axes).
     ///
     /// # Errors
-    /// Same conditions as [`Scenario::system_config`].
-    pub fn validate(&self) -> Result<(), String> {
-        self.system_config().map(|_| ())
+    /// Same conditions as [`Scenario::system_config_checked`], as a typed
+    /// [`ScenarioError`] (which converts into the legacy string form via
+    /// `Display` / `From<ScenarioError> for String`).
+    pub fn validate(&self) -> Result<(), ScenarioError> {
+        self.system_config_checked().map(|_| ())
     }
 
     /// Replication count under the common `--quick` convention
@@ -397,6 +579,13 @@ impl Scenario {
             probe.set("dt", Value::Float(dt));
             doc.set_table("probe", probe);
         }
+        // Likewise [journal]: only present when a journal directory is
+        // configured, so journal-free scenarios keep their exact bytes.
+        if let Some(dir) = &self.journal_dir {
+            let mut journal = Table::new();
+            journal.set("dir", Value::Str(dir.clone()));
+            doc.set_table("journal", journal);
+        }
 
         let mut net = Table::new();
         net.set("fixed", Value::Float(self.network.fixed));
@@ -420,6 +609,9 @@ impl Scenario {
             | PolicySpec::EpisodicLbp2 { gain }
             | PolicySpec::InitialBalanceOnly { gain } => {
                 pol.set("gain", Value::Float(*gain));
+            }
+            PolicySpec::ChaosPanic { rep } => {
+                pol.set("rep", Value::Int(*rep as i64));
             }
             _ => {}
         }
@@ -588,6 +780,10 @@ impl Scenario {
             None => None,
             Some(t) => Some(req_f64(t, "[probe]", "dt")?),
         };
+        let journal_dir = match doc.table("journal") {
+            None => None,
+            Some(t) => Some(req_str(t, "[journal]", "dir")?),
+        };
 
         let net = doc
             .table("network")
@@ -713,6 +909,7 @@ impl Scenario {
             seed,
             deadline,
             probe_dt,
+            journal_dir,
             nodes,
             network,
             arrivals,
@@ -766,10 +963,13 @@ fn parse_policy(t: &Table) -> Result<PolicySpec, String> {
             gain: req_f64(t, "[policy]", "gain")?,
         }),
         "upon-failure-only" => Ok(PolicySpec::UponFailureOnly),
+        "chaos-panic" => Ok(PolicySpec::ChaosPanic {
+            rep: req_u64(t, "[policy]", "rep")?,
+        }),
         other => Err(format!(
             "[policy].kind: unknown policy \"{other}\" (expected no-balancing | lbp1 \
              | lbp1-optimal | lbp2 | lbp2-optimal | episodic-lbp2 | dynamic-lbp1 \
-             | initial-only | upon-failure-only)"
+             | initial-only | upon-failure-only | chaos-panic)"
         )),
     }
 }
@@ -965,24 +1165,100 @@ mod tests {
     fn config_validation_reports_precise_messages() {
         let mut sc = registry::get("paper-fig3").expect("preset");
         sc.nodes[0].service_rate = -1.0;
-        let err = sc.validate().unwrap_err();
+        let err = sc.validate().unwrap_err().to_string();
         assert!(err.contains("service_rate must be positive"), "{err}");
 
         let mut sc = registry::get("paper-fig3").expect("preset");
         sc.nodes[0].recovery_rate = 0.0;
-        let err = sc.validate().unwrap_err();
+        let err = sc.validate().unwrap_err().to_string();
         assert!(err.contains("must recover"), "{err}");
 
         let mut sc = registry::get("paper-fig3").expect("preset");
         sc.nodes.truncate(1);
         sc.nodes[0].count = 1;
-        let err = sc.validate().unwrap_err();
+        let err = sc.validate().unwrap_err().to_string();
         assert!(err.contains("at least two nodes"), "{err}");
 
         let mut sc = registry::get("paper-fig3").expect("preset");
         sc.reps = 0;
-        let err = sc.validate().unwrap_err();
+        let err = sc.validate().unwrap_err().to_string();
         assert!(err.contains("reps must be >= 1"), "{err}");
+    }
+
+    #[test]
+    fn validation_errors_carry_a_typed_taxonomy() {
+        let mut sc = registry::get("paper-fig3").expect("preset");
+        sc.nodes[0].service_rate = -1.0;
+        let err = sc.validate().unwrap_err();
+        assert_eq!(err.scenario, sc.name);
+        assert_eq!(
+            err.kind,
+            ScenarioErrorKind::NonPositiveServiceRate {
+                template: 0,
+                value: -1.0
+            }
+        );
+
+        let mut sc = registry::get("paper-fig3").expect("preset");
+        sc.nodes[0].failure_rate = -0.5;
+        assert_eq!(
+            sc.validate().unwrap_err().kind,
+            ScenarioErrorKind::NegativeFailureRate {
+                template: 0,
+                value: -0.5
+            }
+        );
+
+        let mut sc = registry::get("paper-fig3").expect("preset");
+        sc.reps = 0;
+        assert_eq!(sc.validate().unwrap_err().kind, ScenarioErrorKind::ZeroReps);
+
+        let mut sc = registry::get("paper-fig3").expect("preset");
+        sc.probe_dt = Some(0.0);
+        assert_eq!(
+            sc.validate().unwrap_err().kind,
+            ScenarioErrorKind::NonPositiveProbeDt { value: 0.0 }
+        );
+
+        let mut sc = registry::get("paper-fig3").expect("preset");
+        sc.nodes.truncate(1);
+        sc.nodes[0].count = 1;
+        assert_eq!(
+            sc.validate().unwrap_err().kind,
+            ScenarioErrorKind::TooFewNodes { expanded: 1 }
+        );
+
+        let mut sc = registry::get("paper-fig3").expect("preset");
+        sc.journal_dir = Some(String::new());
+        assert_eq!(
+            sc.validate().unwrap_err().kind,
+            ScenarioErrorKind::EmptyJournalDir
+        );
+
+        // A gain outside [0, 1] lands in the Policy bucket.
+        let mut sc = registry::get("paper-fig3").expect("preset");
+        sc.policy = PolicySpec::Lbp2 { gain: 1.5 };
+        sc.axes.clear();
+        let err = sc.validate().unwrap_err();
+        assert!(
+            matches!(&err.kind, ScenarioErrorKind::Policy(m) if m.contains("gain")),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn journal_dir_round_trips_and_chaos_panic_parses() {
+        let mut sc = registry::get("paper-fig5").expect("preset");
+        sc.journal_dir = Some("out/journal".into());
+        sc.policy = PolicySpec::ChaosPanic { rep: 3 };
+        sc.axes.clear();
+        let text = sc.to_toml();
+        assert!(text.contains("[journal]"), "{text}");
+        assert!(text.contains("dir = \"out/journal\""), "{text}");
+        assert!(text.contains("kind = \"chaos-panic\""), "{text}");
+        assert!(text.contains("rep = 3"), "{text}");
+        let back = Scenario::from_toml(&text).expect("parses");
+        assert_eq!(back, sc);
     }
 
     #[test]
@@ -1015,7 +1291,7 @@ mod tests {
 
         let mut bad = sc.clone();
         bad.churn = ChurnModel::Adversarial { strike_rate: 0.0 };
-        let err = bad.validate().unwrap_err();
+        let err = bad.validate().unwrap_err().to_string();
         assert!(err.contains("strike_rate must be positive"), "{err}");
 
         let unknown = text.replace("kind = \"adversarial\"", "kind = \"byzantine\"");

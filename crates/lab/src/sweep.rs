@@ -270,6 +270,12 @@ pub struct RunOptions {
     /// — when probing is on — merged histogram quantiles) to CSV/JSONL
     /// rows.
     pub metrics_full: bool,
+    /// Runaway-task watchdog: abort any single replication whose
+    /// wall-clock time exceeds this many seconds and quarantine it
+    /// (`--task-timeout`). `None` disables the watchdog. The check is
+    /// cooperative (polled in the engine's event loop) and never fires on
+    /// a healthy run, so it cannot change result bytes.
+    pub task_timeout: Option<f64>,
 }
 
 impl RunOptions {

@@ -288,6 +288,11 @@ fn scenario() -> BoxedStrategy<Scenario> {
         ],
         prop_oneof![Just(None), (1.0..500.0f64).prop_map(Some)],
         prop_oneof![Just(None), (0.05..10.0f64).prop_map(Some)],
+        prop_oneof![
+            Just(None),
+            Just(Some("journals".to_string())),
+            Just(Some("out/run λ".to_string())),
+        ],
     );
     let body = (
         prop::collection::vec(node_spec(), 1..4),
@@ -306,7 +311,7 @@ fn scenario() -> BoxedStrategy<Scenario> {
     (head, body)
         .prop_map(
             |(
-                (name, description, reps, seed, deadline, probe_dt),
+                (name, description, reps, seed, deadline, probe_dt, journal_dir),
                 (nodes, (fixed, per_task), law, arrivals, churn, topology, policy, axes),
             )| Scenario {
                 name,
@@ -315,6 +320,7 @@ fn scenario() -> BoxedStrategy<Scenario> {
                 seed,
                 deadline,
                 probe_dt,
+                journal_dir,
                 nodes,
                 network: NetworkSpec {
                     fixed,

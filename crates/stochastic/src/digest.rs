@@ -39,6 +39,54 @@ pub fn digest_f64s(xs: &[f64]) -> u64 {
     h
 }
 
+/// Streaming FNV-1a hasher for composite fingerprints.
+///
+/// Where [`fnv1a_bytes`] digests one contiguous slice, `Fnv1a` folds many
+/// heterogeneous fields into one digest without materialising an
+/// intermediate buffer: feed byte slices and integers in a fixed order and
+/// call [`Fnv1a::finish`]. Feeding the concatenation of the same bytes
+/// through [`fnv1a_bytes`] yields the identical value — the streaming form
+/// is a pure refactoring of the one-shot loop.
+#[derive(Clone, Debug)]
+pub struct Fnv1a {
+    state: u64,
+}
+
+impl Fnv1a {
+    /// Fresh hasher at the FNV-1a offset basis.
+    #[must_use]
+    pub fn new() -> Self {
+        Self { state: FNV_OFFSET }
+    }
+
+    /// Folds a byte slice into the digest.
+    pub fn update(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.state ^= u64::from(b);
+            self.state = self.state.wrapping_mul(FNV_PRIME);
+        }
+    }
+
+    /// Folds a `u64` into the digest as its little-endian bytes — the
+    /// convention [`digest_f64s`] uses for float bit patterns, so
+    /// `update_u64(x.to_bits())` matches it exactly.
+    pub fn update_u64(&mut self, value: u64) {
+        self.update(&value.to_le_bytes());
+    }
+
+    /// Current digest value.
+    #[must_use]
+    pub fn finish(&self) -> u64 {
+        self.state
+    }
+}
+
+impl Default for Fnv1a {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -47,6 +95,25 @@ mod tests {
     fn empty_input_is_the_offset_basis() {
         assert_eq!(digest_f64s(&[]), FNV_OFFSET);
         assert_eq!(fnv1a_bytes(&[]), FNV_OFFSET);
+        assert_eq!(Fnv1a::new().finish(), FNV_OFFSET);
+    }
+
+    #[test]
+    fn streaming_matches_one_shot() {
+        let mut h = Fnv1a::new();
+        h.update(b"hello, ");
+        h.update(b"world");
+        assert_eq!(h.finish(), fnv1a_bytes(b"hello, world"));
+    }
+
+    #[test]
+    fn streaming_u64_matches_float_digest() {
+        let xs = [3.25f64, -17.5, 0.1];
+        let mut h = Fnv1a::new();
+        for x in xs {
+            h.update_u64(x.to_bits());
+        }
+        assert_eq!(h.finish(), digest_f64s(&xs));
     }
 
     #[test]

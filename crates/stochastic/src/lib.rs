@@ -35,7 +35,7 @@ pub mod regression;
 pub mod rng;
 pub mod stats;
 
-pub use digest::{digest_f64s, fnv1a_bytes};
+pub use digest::{digest_f64s, fnv1a_bytes, Fnv1a};
 pub use dist::{
     Deterministic, Empirical, Erlang, Exponential, HyperExponential, Sample, ShiftedExponential,
     Uniform,

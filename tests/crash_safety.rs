@@ -1,0 +1,171 @@
+//! Integration: crash safety end to end. A campaign interrupted mid-grid
+//! resumes from its write-ahead journal to byte-identical output — across
+//! thread counts — and a panicking replication is quarantined without
+//! taking down, or perturbing, any other cell.
+
+use std::fs;
+use std::path::PathBuf;
+
+use churnbal::lab::cli;
+
+fn call(args: &[&str]) -> Result<String, String> {
+    cli::run(&args.iter().map(|s| (*s).to_string()).collect::<Vec<_>>())
+}
+
+fn fresh_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(name);
+    let _ = fs::remove_dir_all(&dir);
+    fs::create_dir_all(&dir).expect("tmp dir");
+    dir
+}
+
+/// The single journal file a run left in `dir`.
+fn journal_file(dir: &PathBuf) -> PathBuf {
+    let mut files: Vec<PathBuf> = fs::read_dir(dir)
+        .expect("journal dir readable")
+        .map(|e| e.expect("entry").path())
+        .filter(|p| p.to_string_lossy().ends_with(".journal.jsonl"))
+        .collect();
+    assert_eq!(files.len(), 1, "expected exactly one journal in {dir:?}");
+    files.pop().expect("one file")
+}
+
+/// A 5-point x 2-policy compare grid: big enough that a truncated journal
+/// leaves genuinely unfinished cells, small enough to run in seconds.
+fn grid_args<'a>(journal: Option<&'a str>, resume: bool, threads: &'a str) -> Vec<&'a str> {
+    let mut args = vec![
+        "compare",
+        "paper-delay-crossover",
+        "--policies",
+        "lbp1,none",
+        "--reps",
+        "3",
+        "--format",
+        "csv",
+        "--threads",
+        threads,
+    ];
+    if let Some(dir) = journal {
+        args.extend(["--journal", dir]);
+        if resume {
+            args.push("--resume");
+        }
+    }
+    args
+}
+
+#[test]
+fn kill_and_resume_reproduces_identical_bytes_across_threads() {
+    let dir = fresh_dir("churnbal_crash_safety_resume");
+    let dir_str = dir.to_str().expect("utf8");
+
+    // The ground truth: the same grid with no journal involved at all.
+    let reference = call(&grid_args(None, false, "1")).expect("clean run");
+
+    // Journaling must not change the output bytes.
+    let journaled = call(&grid_args(Some(dir_str), false, "1")).expect("journaled run");
+    assert_eq!(journaled, reference, "journaling changed the output bytes");
+
+    // Simulate a crash mid-grid: keep the header and the first 4 of the
+    // 10 cell records, plus a torn half-record the crash left behind.
+    let path = journal_file(&dir);
+    let full = fs::read_to_string(&path).expect("journal readable");
+    assert_eq!(full.lines().count(), 11, "header + 10 cells:\n{full}");
+    let keep: Vec<&str> = full.lines().take(5).collect();
+    let truncated = format!("{}\n{{\"point\":2,\"pol", keep.join("\n"));
+    fs::write(&path, truncated).expect("truncate journal");
+
+    // Resume on a different thread count than the original run: replayed
+    // cells come from the journal, the rest recompute, and CRN plus
+    // stable replication slots make the bytes identical anyway.
+    for threads in ["4", "1"] {
+        let resumed = call(&grid_args(Some(dir_str), true, threads)).expect("resumed run");
+        assert_eq!(
+            resumed, reference,
+            "resume with --threads {threads} changed the output bytes"
+        );
+    }
+
+    // The second resume above replayed a journal the first resume had
+    // healed and completed: it must again hold all 10 cells.
+    let healed = fs::read_to_string(&path).expect("journal readable");
+    assert_eq!(healed.lines().count(), 11, "self-healed journal:\n{healed}");
+}
+
+#[test]
+fn journal_from_a_different_spec_is_rejected() {
+    let dir = fresh_dir("churnbal_crash_safety_mismatch");
+    let dir_str = dir.to_str().expect("utf8");
+    call(&grid_args(Some(dir_str), false, "1")).expect("journaled run");
+
+    // Corrupt the header's spec digest, as if the file were copied over
+    // from another campaign. Resume must refuse rather than mix results.
+    let path = journal_file(&dir);
+    let full = fs::read_to_string(&path).expect("journal readable");
+    let (header, rest) = full.split_once('\n').expect("header line");
+    let forged = format!(
+        "{}\n{rest}",
+        header.replace(
+            header.split("\"spec\":\"").nth(1).expect("spec field")[..16]
+                .to_string()
+                .as_str(),
+            "0123456789abcdef",
+        )
+    );
+    assert_ne!(forged, full, "forgery must actually change the digest");
+    fs::write(&path, forged).expect("forge journal");
+
+    let err = call(&grid_args(Some(dir_str), true, "1")).unwrap_err();
+    assert!(err.contains("spec changed"), "{err}");
+}
+
+#[test]
+fn panic_injection_quarantines_one_cell_and_leaves_the_rest_bit_exact() {
+    // A clean two-policy run, then the same grid with a chaos policy
+    // wedged in between that panics on replication 1 of every point.
+    let clean = call(&[
+        "compare",
+        "paper-delay-crossover",
+        "--policies",
+        "lbp1,none",
+        "--reps",
+        "3",
+        "--format",
+        "csv",
+        "--threads",
+        "2",
+    ])
+    .expect("clean compare");
+    let chaotic = call(&[
+        "compare",
+        "paper-delay-crossover",
+        "--policies",
+        "lbp1,chaos-panic@1,none",
+        "--reps",
+        "3",
+        "--format",
+        "csv",
+        "--threads",
+        "2",
+    ])
+    .expect("a panicking policy must not kill the campaign");
+
+    // Every non-chaos row survives byte-for-byte: same CRN streams, same
+    // baseline, same deltas. Only the policy roster differs.
+    let rows = |text: &str, label: &str| -> Vec<String> {
+        text.lines()
+            .filter(|l| l.contains(&format!(",{label},")))
+            .map(str::to_string)
+            .collect()
+    };
+    for label in ["lbp1", "none"] {
+        assert_eq!(
+            rows(&clean, label),
+            rows(&chaotic, label),
+            "quarantine perturbed the {label} rows"
+        );
+    }
+    // The chaos policy still emits a row per grid point, aggregated over
+    // its two surviving replications.
+    assert_eq!(rows(&chaotic, "chaos-panic@1").len(), 5, "{chaotic}");
+}
