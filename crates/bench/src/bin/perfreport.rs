@@ -13,7 +13,7 @@
 //! fixed thread count), `--repeat N` (measurement rounds per workload,
 //! fastest kept; default 3 — one-sided scheduling noise makes min-of-N
 //! the stable estimator), `--seed S` (non-default seeds skip digest
-//! assertions), `--out PATH` (default `BENCH_7.json`), `--no-write`
+//! assertions), `--out PATH` (default `BENCH_9.json`), `--no-write`
 //! (print only).
 //!
 //! The digests make the harness a regression *gate*, not just a meter: a
@@ -22,9 +22,9 @@
 
 use churnbal_bench::perf::{
     expected_compare_grid_digest, expected_digest, expected_large_fleet_baseline_digest,
-    expected_large_fleet_digest, expected_sweep_grid_digest, measure_compare_grid,
-    measure_large_fleet, measure_probe_overhead, measure_repeated, measure_sweep_grid, to_json,
-    workloads, RunInfo, PERF_SEED, PROBE_OVERHEAD_DT,
+    expected_large_fleet_digest, expected_sweep_grid_digest, measure_channel_overhead,
+    measure_compare_grid, measure_large_fleet, measure_probe_overhead, measure_repeated,
+    measure_sweep_grid, to_json, workloads, RunInfo, PERF_SEED, PROBE_OVERHEAD_DT,
 };
 
 struct Options {
@@ -42,7 +42,7 @@ fn parse_args() -> Options {
         threads: 1,
         seed: PERF_SEED,
         repeat: 3,
-        out: "BENCH_7.json".to_string(),
+        out: "BENCH_9.json".to_string(),
         write: true,
     };
     let mut it = std::env::args().skip(1);
@@ -265,12 +265,50 @@ fn main() {
         probe.overhead() * 100.0
     );
 
+    // The channel workload: the same engine workload under the default
+    // reliable channel vs an armed-but-zero-loss lossy channel. The
+    // digest cross-check inside the measurement is the dedicated-stream
+    // contract (arming the model perturbs no legacy trajectory); the
+    // gate below bounds what a Reliable run pays for the channel
+    // machinery existing at all.
+    let channel = measure_channel_overhead(opts.quick, opts.threads, opts.seed, opts.repeat);
+    let channel_verdict = if opts.seed == PERF_SEED {
+        if Some(channel.digest) == expected_digest("cascading-churn", opts.quick) {
+            "ok"
+        } else {
+            drifted = true;
+            "DRIFT"
+        }
+    } else {
+        "unpinned"
+    };
+    println!(
+        "{:<16} {:>6} {:>12} {:>10.3} {:>14.0}  {:#018x} {} ({:+.2}% zero-loss overhead)",
+        "channel-overhead",
+        channel.reps,
+        channel.events,
+        channel.reliable_wall_seconds,
+        channel.events_per_sec(),
+        channel.digest,
+        channel_verdict,
+        channel.overhead() * 100.0,
+    );
+    // The acceptance ceiling: the zero-loss lossy run must cost < 2%
+    // wall clock over the reliable channel — and the reliable path,
+    // which only matches one enum variant per arrival, strictly less.
+    assert!(
+        channel.overhead() < 0.02,
+        "channel overhead {:+.2}% exceeded the 2% ceiling",
+        channel.overhead() * 100.0
+    );
+
     let json = to_json(
         &measurements,
         Some(&sweep),
         Some(&compare),
         Some(&large),
         Some(&probe),
+        Some(&channel),
         RunInfo {
             quick: opts.quick,
             threads: opts.threads,

@@ -40,7 +40,9 @@ use std::time::Instant;
 
 use churnbal_cluster::exec::{run_grid_policies_streaming, run_grid_streaming, PointJob};
 use churnbal_cluster::{run_replications, ChurnModel, McEstimate, QueueBackend, SimOptions};
-use churnbal_cluster::{NetworkConfig, NodeConfig, SystemConfig, Topology};
+use churnbal_cluster::{
+    ChannelModel, DownPolicy, NetworkConfig, NodeConfig, SystemConfig, Topology,
+};
 use churnbal_core::{Lbp2, PolicySpec};
 use churnbal_stochastic::digest_f64s;
 
@@ -976,6 +978,154 @@ pub fn measure_probe_overhead(
     m
 }
 
+/// Result of measuring the channel-model cost on the `cascading-churn`
+/// engine workload: the identical run under [`ChannelModel::Reliable`]
+/// and under an armed-but-zero-loss [`ChannelModel::Lossy`].
+///
+/// Zero loss is the right probe: the lossy branch draws one uniform per
+/// transfer arrival and takes the verdict match, but never retries or
+/// dead-letters — so the paired ratio isolates the **per-arrival channel
+/// branch**, the only cost a reliable run could ever pay.
+#[derive(Clone, Debug)]
+pub struct ChannelOverheadMeasurement {
+    /// Replications per mode.
+    pub reps: u64,
+    /// Engine events (identical in both modes — zero loss redelivers
+    /// nothing).
+    pub events: u64,
+    /// Wall-clock seconds under the reliable channel (fastest round).
+    pub reliable_wall_seconds: f64,
+    /// Wall-clock seconds under the zero-loss lossy channel (fastest
+    /// round).
+    pub lossy_wall_seconds: f64,
+    /// Median over rounds of the paired per-round `lossy / reliable`
+    /// wall ratio (mirrored mode order, like
+    /// [`ProbeOverheadMeasurement::median_armed_ratio`]).
+    pub median_lossy_ratio: f64,
+    /// Completion-time digest — asserted identical between the two modes
+    /// (the channel stream is drawn lazily, so a zero-loss channel still
+    /// consumes coins but never alters any legacy stream).
+    pub digest: u64,
+}
+
+impl ChannelOverheadMeasurement {
+    /// Median paired lossy-over-reliable wall ratio, minus one — the
+    /// per-arrival cost of arming the channel fault machinery at all.
+    #[must_use]
+    pub fn overhead(&self) -> f64 {
+        self.median_lossy_ratio - 1.0
+    }
+
+    /// Events per second under the reliable channel.
+    #[must_use]
+    pub fn events_per_sec(&self) -> f64 {
+        self.events as f64 / self.reliable_wall_seconds
+    }
+}
+
+/// Measures the channel overhead: the `cascading-churn` workload under
+/// the default reliable channel and under a zero-loss lossy channel,
+/// interleaved within each round with the mode order mirrored every
+/// other round (see [`measure_probe_overhead`] for why). The two modes'
+/// completion-time digests are asserted identical — the dedicated-
+/// channel-stream contract, measured: arming the model must not perturb
+/// one legacy trajectory.
+///
+/// # Panics
+/// Panics if `repeat == 0` or the two modes sample different
+/// trajectories.
+#[must_use]
+pub fn measure_channel_overhead(
+    quick: bool,
+    threads: usize,
+    seed: u64,
+    repeat: u32,
+) -> ChannelOverheadMeasurement {
+    assert!(repeat > 0, "need at least one measurement round");
+    let w = workloads()
+        .into_iter()
+        .find(|w| w.name == "cascading-churn")
+        .expect("cascading-churn is in the suite");
+    let reps = if quick { w.quick_reps } else { w.reps };
+    let lossy_config = w.config.clone().with_channel_model(ChannelModel::Lossy {
+        loss_probability: 0.0,
+        on_down: DownPolicy::Enqueue,
+        max_retries: 0,
+        retry_backoff: 0.1,
+    });
+    let opts = SimOptions::default();
+    let mut m: Option<ChannelOverheadMeasurement> = None;
+    let mut ratios: Vec<f64> = Vec::new();
+    for round in 0..repeat * 2 {
+        let timed = |config: &SystemConfig| {
+            let start = Instant::now();
+            let est = run_replications(
+                config,
+                &|_| w.policy.build(config).expect("validated"),
+                reps,
+                seed,
+                threads,
+                opts,
+            );
+            (est, start.elapsed().as_secs_f64())
+        };
+        let (reliable, reliable_wall, lossy, lossy_wall) = if round % 2 == 0 {
+            let (reliable, rw) = timed(&w.config);
+            let (lossy, lw) = timed(&lossy_config);
+            (reliable, rw, lossy, lw)
+        } else {
+            let (lossy, lw) = timed(&lossy_config);
+            let (reliable, rw) = timed(&w.config);
+            (reliable, rw, lossy, lw)
+        };
+        assert_eq!(
+            reliable.completion_times, lossy.completion_times,
+            "channel-overhead: arming a zero-loss channel changed the \
+             sampled trajectories"
+        );
+        assert_eq!(
+            reliable.total_events, lossy.total_events,
+            "channel-overhead: arming a zero-loss channel changed the \
+             event count"
+        );
+        assert!(
+            lossy.mean_tasks_lost == 0.0 && lossy.mean_retries == 0.0,
+            "zero-loss lossy mode must lose and retry nothing"
+        );
+        ratios.push(lossy_wall / reliable_wall);
+        let round = ChannelOverheadMeasurement {
+            reps,
+            events: reliable.total_events,
+            reliable_wall_seconds: reliable_wall,
+            lossy_wall_seconds: lossy_wall,
+            median_lossy_ratio: 0.0, // filled in below, once every round is in
+            digest: digest_f64s(&reliable.completion_times),
+        };
+        m = match m {
+            None => Some(round),
+            Some(mut prev) => {
+                assert_eq!(
+                    prev.digest, round.digest,
+                    "channel-overhead: rounds disagree"
+                );
+                prev.reliable_wall_seconds =
+                    prev.reliable_wall_seconds.min(round.reliable_wall_seconds);
+                prev.lossy_wall_seconds = prev.lossy_wall_seconds.min(round.lossy_wall_seconds);
+                Some(prev)
+            }
+        };
+    }
+    let mut m = m.expect("repeat >= 1");
+    ratios.sort_by(|a, b| a.partial_cmp(b).expect("finite wall ratios"));
+    let mid = ratios.len() / 2;
+    m.median_lossy_ratio = if ratios.len().is_multiple_of(2) {
+        (ratios[mid - 1] + ratios[mid]) / 2.0
+    } else {
+        ratios[mid]
+    };
+    m
+}
+
 /// The run-level flags a report records alongside its measurements.
 #[derive(Clone, Copy, Debug)]
 pub struct RunInfo {
@@ -998,10 +1148,11 @@ pub fn to_json(
     compare: Option<&CompareGridMeasurement>,
     large: Option<&LargeFleetMeasurement>,
     probe: Option<&ProbeOverheadMeasurement>,
+    channel: Option<&ChannelOverheadMeasurement>,
     info: RunInfo,
 ) -> String {
     let mut out = String::from("{\n");
-    out.push_str("  \"schema\": \"churnbal-perfreport/5\",\n");
+    out.push_str("  \"schema\": \"churnbal-perfreport/6\",\n");
     out.push_str(&format!(
         "  \"mode\": \"{}\",\n",
         if info.quick { "quick" } else { "full" }
@@ -1090,6 +1241,19 @@ pub fn to_json(
             p.digest,
         ));
     }
+    if let Some(c) = channel {
+        out.push_str(&format!(
+            "  \"channel_overhead\": {{\"reps\": {}, \"events\": {}, \
+             \"reliable_wall_seconds\": {:?}, \"lossy_wall_seconds\": {:?}, \
+             \"lossy_overhead\": {:.4}, \"digest\": \"{:#018x}\"}},\n",
+            c.reps,
+            c.events,
+            c.reliable_wall_seconds,
+            c.lossy_wall_seconds,
+            c.overhead(),
+            c.digest,
+        ));
+    }
     let events: u64 = measurements.iter().map(|m| m.events).sum();
     let wall: f64 = measurements.iter().map(|m| m.wall_seconds).sum();
     out.push_str(&format!(
@@ -1165,12 +1329,22 @@ mod tests {
             median_armed_ratio: 1.01,
             digest: 0xcafe,
         };
+        // Hand-built as well: the JSON rendering is the subject.
+        let channel = ChannelOverheadMeasurement {
+            reps: 50,
+            events: 1_000_000,
+            reliable_wall_seconds: 0.5,
+            lossy_wall_seconds: 0.503,
+            median_lossy_ratio: 1.006,
+            digest: 0xf00d,
+        };
         let json = to_json(
             &ms,
             Some(&sweep),
             Some(&compare),
             Some(&large),
             Some(&probe),
+            Some(&channel),
             RunInfo {
                 quick: true,
                 threads: 0,
@@ -1181,11 +1355,13 @@ mod tests {
         for w in workloads() {
             assert!(json.contains(w.name), "{json}");
         }
-        assert!(json.contains("\"schema\": \"churnbal-perfreport/5\""));
+        assert!(json.contains("\"schema\": \"churnbal-perfreport/6\""));
         assert!(json.contains("\"sweep_grid\""));
         assert!(json.contains("\"compare_grid\""));
         assert!(json.contains("\"large_fleet\""));
         assert!(json.contains("\"probe_overhead\""));
+        assert!(json.contains("\"channel_overhead\""));
+        assert!(json.contains("\"lossy_overhead\": 0.0060"), "{json}");
         assert!(json.contains("\"armed_overhead\": 0.0100"), "{json}");
         assert!(json.contains("\"speedup\": 10.00"), "{json}");
         assert!(json.contains("\"policies\": 3"));
@@ -1268,6 +1444,26 @@ mod tests {
         assert!(m.events > 0);
         assert!(
             m.median_armed_ratio > 0.0,
+            "paired-ratio estimator left unfilled"
+        );
+    }
+
+    #[test]
+    fn channel_overhead_modes_sample_identical_pinned_paths() {
+        // Timing is not asserted here — debug builds distort every ratio —
+        // only the dedicated-stream contract: a zero-loss lossy channel
+        // samples the workload's exact pinned reliable trajectories.
+        let m = measure_channel_overhead(true, 0, PERF_SEED, 1);
+        assert_eq!(
+            Some(m.digest),
+            expected_digest("cascading-churn", true),
+            "arming a zero-loss channel drifted the cascading-churn sample \
+             paths (digest {:#018x})",
+            m.digest
+        );
+        assert!(m.events > 0);
+        assert!(
+            m.median_lossy_ratio > 0.0,
             "paired-ratio estimator left unfilled"
         );
     }

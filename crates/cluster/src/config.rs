@@ -442,6 +442,100 @@ impl ChurnModel {
     }
 }
 
+/// What happens to a transfer batch that arrives at a **down** node.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum DownPolicy {
+    /// Enqueue onto the down node's queue anyway — the paper's implicit
+    /// semantic (the tasks wait out the downtime). The default.
+    #[default]
+    Enqueue,
+    /// The batch is discarded on the spot and dead-lettered immediately
+    /// (no retries): the receiving host lost its buffer with the crash.
+    Drop,
+    /// The batch bounces back to the sender and re-enters the retry
+    /// protocol with exponential backoff, like a lost batch.
+    Bounce,
+}
+
+impl DownPolicy {
+    /// Stable lowercase name, used by the lab's TOML codec.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Self::Enqueue => "enqueue",
+            Self::Drop => "drop",
+            Self::Bounce => "bounce",
+        }
+    }
+}
+
+/// Reliability model of the transfer channel.
+///
+/// The paper's model (and the default here) is a perfectly reliable
+/// channel: every shipped batch arrives after its delay, even onto a
+/// down destination. [`ChannelModel::Lossy`] makes in-flight faults a
+/// first-class scenario axis: each arrival is lost with a per-transfer
+/// probability (scaled per edge over the CSR [`crate::Topology`] — a
+/// slow link is a lossy link), a batch landing on a down node follows
+/// the configured [`DownPolicy`], and lost or bounced batches are
+/// redelivered after an exponential backoff up to `max_retries`, after
+/// which they are dead-lettered and counted as permanently lost.
+///
+/// All channel randomness draws from dedicated RNG streams, so arming a
+/// lossy model never perturbs the service/churn/transfer/arrival
+/// trajectories of a reliable run.
+#[derive(Clone, Debug, PartialEq, Default)]
+pub enum ChannelModel {
+    /// Every transfer arrives exactly once (the paper's §2). Default.
+    #[default]
+    Reliable,
+    /// Transfers are lost in flight with `loss_probability`, re-sent with
+    /// exponential backoff, and dead-lettered after `max_retries`.
+    Lossy {
+        /// Per-transfer loss probability in `[0, 1)`; scaled per edge by
+        /// [`crate::Topology::edge_loss_scale`] when a topology is
+        /// installed (clamped to 1).
+        loss_probability: f64,
+        /// What a batch does when it arrives at a down node.
+        on_down: DownPolicy,
+        /// Redelivery attempts before a batch is dead-lettered.
+        max_retries: u32,
+        /// Mean of the first retry's exponential backoff (seconds,
+        /// positive); attempt `k` backs off with mean
+        /// `retry_backoff · 2^k`.
+        retry_backoff: f64,
+    },
+}
+
+impl ChannelModel {
+    /// Validates all parameters, returning a precise message on failure.
+    ///
+    /// # Errors
+    /// Returns a description of the first violated constraint.
+    pub fn validate(&self) -> Result<(), String> {
+        match self {
+            Self::Reliable => Ok(()),
+            Self::Lossy {
+                loss_probability,
+                retry_backoff,
+                ..
+            } => {
+                if !loss_probability.is_finite() || !(0.0..1.0).contains(loss_probability) {
+                    return Err(format!(
+                        "channel model: loss_probability must be in [0, 1), got {loss_probability}"
+                    ));
+                }
+                if !retry_backoff.is_finite() || *retry_backoff <= 0.0 {
+                    return Err(format!(
+                        "channel model: retry_backoff must be positive, got {retry_backoff}"
+                    ));
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
 /// A batch of tasks arriving from outside the system at a given time —
 /// the dynamic-workload extension sketched in the paper's conclusion.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -467,6 +561,8 @@ pub struct SystemConfig {
     pub arrival_process: Option<ArrivalProcess>,
     /// Failure-coupling model (independent per-node churn by default).
     pub churn: ChurnModel,
+    /// Transfer-channel reliability model (perfectly reliable by default).
+    pub channel: ChannelModel,
     /// Optional per-link delay multipliers (row-major `n × n`): the mean
     /// delay of a transfer `i → j` is scaled by `link_scales[i][j]`.
     /// `None` = homogeneous network (scale 1 everywhere). Models the
@@ -501,6 +597,7 @@ impl SystemConfig {
             external_arrivals: Vec::new(),
             arrival_process: None,
             churn: ChurnModel::Independent,
+            channel: ChannelModel::Reliable,
             link_scales: None,
             topology: None,
         }
@@ -554,6 +651,20 @@ impl SystemConfig {
             panic!("{e}");
         }
         self.churn = churn;
+        self
+    }
+
+    /// Installs a transfer-channel reliability model.
+    ///
+    /// # Panics
+    /// Panics if the model parameters are invalid (see
+    /// [`ChannelModel::validate`]).
+    #[must_use]
+    pub fn with_channel_model(mut self, channel: ChannelModel) -> Self {
+        if let Err(e) = channel.validate() {
+            panic!("{e}");
+        }
+        self.channel = channel;
         self
     }
 
@@ -812,6 +923,57 @@ mod tests {
     fn invalid_arrival_process_rejected_by_builder() {
         let _ = SystemConfig::paper([5, 5])
             .with_arrival_process(ArrivalProcess::poisson(1.0, 10.0).with_batch(0, 3));
+    }
+
+    #[test]
+    fn channel_model_validation_messages_are_precise() {
+        assert!(ChannelModel::Reliable.validate().is_ok());
+        let bad = ChannelModel::Lossy {
+            loss_probability: 1.0,
+            on_down: DownPolicy::Enqueue,
+            max_retries: 3,
+            retry_backoff: 0.5,
+        };
+        assert!(bad.validate().unwrap_err().contains("loss_probability"));
+        let bad = ChannelModel::Lossy {
+            loss_probability: 0.1,
+            on_down: DownPolicy::Bounce,
+            max_retries: 3,
+            retry_backoff: 0.0,
+        };
+        assert!(bad.validate().unwrap_err().contains("retry_backoff"));
+        let good = ChannelModel::Lossy {
+            loss_probability: 0.0,
+            on_down: DownPolicy::Drop,
+            max_retries: 0,
+            retry_backoff: 1.0,
+        };
+        assert!(good.validate().is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "loss_probability")]
+    fn invalid_channel_model_rejected_by_builder() {
+        let _ = SystemConfig::paper([5, 5]).with_channel_model(ChannelModel::Lossy {
+            loss_probability: -0.5,
+            on_down: DownPolicy::Enqueue,
+            max_retries: 1,
+            retry_backoff: 1.0,
+        });
+    }
+
+    #[test]
+    fn channel_model_defaults_to_reliable() {
+        let c = SystemConfig::paper([5, 5]);
+        assert_eq!(c.channel, ChannelModel::Reliable);
+        let c = c.with_channel_model(ChannelModel::Lossy {
+            loss_probability: 0.25,
+            on_down: DownPolicy::Bounce,
+            max_retries: 4,
+            retry_backoff: 0.2,
+        });
+        assert!(matches!(c.channel, ChannelModel::Lossy { .. }));
+        assert_eq!(DownPolicy::Bounce.name(), "bounce");
     }
 
     #[test]

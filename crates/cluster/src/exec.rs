@@ -84,6 +84,13 @@ pub struct PointStats {
     /// Tasks ordered by policies but clamped for lack of supply, summed
     /// across replications.
     pub total_tasks_clamped: u64,
+    /// Tasks permanently lost by the transfer channel, summed across
+    /// replications (always 0 under [`crate::ChannelModel::Reliable`]).
+    pub total_tasks_lost: u64,
+    /// Channel redelivery attempts summed across replications.
+    pub total_retries: u64,
+    /// Batches bounced off down destinations, summed across replications.
+    pub total_bounces: u64,
     /// In-transit task·seconds summed across replications — the sum runs
     /// in replication order on the drain thread, so the float total is
     /// schedule-invariant.
@@ -132,6 +139,9 @@ struct PointCell {
     recoveries: AtomicU64,
     transfers: AtomicU64,
     clamped: AtomicU64,
+    lost: AtomicU64,
+    retries: AtomicU64,
+    bounces: AtomicU64,
     /// Per-replication probe reports, slot-stable like the atomics above
     /// (all `None` and never touched when probing is off).
     probes: Mutex<Vec<Option<ProbeReport>>>,
@@ -158,6 +168,9 @@ impl PointCell {
             recoveries: AtomicU64::new(0),
             transfers: AtomicU64::new(0),
             clamped: AtomicU64::new(0),
+            lost: AtomicU64::new(0),
+            retries: AtomicU64::new(0),
+            bounces: AtomicU64::new(0),
             probes: Mutex::new((0..n).map(|_| None).collect()),
             quarantined: (0..n).map(|_| AtomicBool::new(false)).collect(),
             remaining: AtomicU64::new(reps),
@@ -216,6 +229,9 @@ impl PointCell {
             total_recoveries: self.recoveries.load(Ordering::Acquire),
             total_transfers: self.transfers.load(Ordering::Acquire),
             total_tasks_clamped: self.clamped.load(Ordering::Acquire),
+            total_tasks_lost: self.lost.load(Ordering::Acquire),
+            total_retries: self.retries.load(Ordering::Acquire),
+            total_bounces: self.bounces.load(Ordering::Acquire),
             transit_task_seconds,
             probes,
             quarantined_reps,
@@ -685,6 +701,9 @@ where
         total_recoveries: 0,
         total_transfers: 0,
         total_tasks_clamped: 0,
+        total_tasks_lost: 0,
+        total_retries: 0,
+        total_bounces: 0,
         transit_task_seconds: 0.0,
         probes: Vec::new(),
         quarantined_reps: Vec::new(),
@@ -703,6 +722,9 @@ where
             stats.total_recoveries = 0;
             stats.total_transfers = 0;
             stats.total_tasks_clamped = 0;
+            stats.total_tasks_lost = 0;
+            stats.total_retries = 0;
+            stats.total_bounces = 0;
             stats.transit_task_seconds = 0.0;
             stats.probes.clear();
             stats.quarantined_reps.clear();
@@ -720,6 +742,9 @@ where
                         stats.total_recoveries += out.recoveries;
                         stats.total_transfers += out.transfers;
                         stats.total_tasks_clamped += out.tasks_clamped;
+                        stats.total_tasks_lost += out.tasks_lost;
+                        stats.total_retries += out.retries;
+                        stats.total_bounces += out.bounces;
                         stats.transit_task_seconds += out.transit_task_seconds;
                         if let Some(report) = probe {
                             stats.probes.push(report);
@@ -858,6 +883,9 @@ fn scatter(cell: &PointCell, r: u64, out: &RunSummary, probe: Option<ProbeReport
     cell.recoveries.fetch_add(out.recoveries, Ordering::AcqRel);
     cell.transfers.fetch_add(out.transfers, Ordering::AcqRel);
     cell.clamped.fetch_add(out.tasks_clamped, Ordering::AcqRel);
+    cell.lost.fetch_add(out.tasks_lost, Ordering::AcqRel);
+    cell.retries.fetch_add(out.retries, Ordering::AcqRel);
+    cell.bounces.fetch_add(out.bounces, Ordering::AcqRel);
     if let Some(report) = probe {
         cell.probes.lock().expect("probe slots poisoned")[slot] = Some(report);
     }

@@ -47,8 +47,8 @@ pub mod trace;
 
 pub use churnbal_desim::QueueBackend;
 pub use config::{
-    ArrivalKind, ArrivalProcess, ChurnModel, DelayLaw, ExternalArrival, NetworkConfig, NodeConfig,
-    SystemConfig,
+    ArrivalKind, ArrivalProcess, ChannelModel, ChurnModel, DelayLaw, DownPolicy, ExternalArrival,
+    NetworkConfig, NodeConfig, SystemConfig,
 };
 pub use engine::{simulate, RunSummary, SimOptions, SimOutcome, Simulator};
 pub use exec::{

@@ -42,6 +42,13 @@ pub struct McEstimate {
     /// Mean tasks clamped per replication (policy orders the source queue
     /// could not supply).
     pub mean_tasks_clamped: f64,
+    /// Mean tasks permanently lost by the transfer channel per
+    /// replication (0 under [`crate::ChannelModel::Reliable`]).
+    pub mean_tasks_lost: f64,
+    /// Mean channel redelivery attempts per replication.
+    pub mean_retries: f64,
+    /// Mean bounced batches per replication.
+    pub mean_bounces: f64,
     /// Mean in-transit task·seconds per replication.
     pub mean_transit_task_seconds: f64,
     /// Replications that hit the deadline without completing.
@@ -118,6 +125,9 @@ impl McEstimate {
             mean_recoveries: stats.total_recoveries as f64 / reps,
             mean_transfers: stats.total_transfers as f64 / reps,
             mean_tasks_clamped: stats.total_tasks_clamped as f64 / reps,
+            mean_tasks_lost: stats.total_tasks_lost as f64 / reps,
+            mean_retries: stats.total_retries as f64 / reps,
+            mean_bounces: stats.total_bounces as f64 / reps,
             mean_transit_task_seconds: stats.transit_task_seconds / reps,
             completion_times,
             failures_per_rep,

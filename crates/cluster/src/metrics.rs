@@ -17,6 +17,15 @@ pub struct Metrics {
     /// Tasks a policy ordered but the source queue could not supply
     /// (requests are clamped; a large value flags a mis-tuned policy).
     pub tasks_clamped: u64,
+    /// Tasks permanently lost by the transfer channel (dead-lettered
+    /// after exhausting redelivery). Always 0 under
+    /// [`crate::ChannelModel::Reliable`].
+    pub tasks_lost: u64,
+    /// Channel redelivery attempts (each backoff reschedule counts once).
+    pub retries: u64,
+    /// Batches bounced off a down destination back into the retry
+    /// protocol ([`crate::config::DownPolicy::Bounce`]).
+    pub bounces: u64,
     /// Tasks processed by each node.
     pub processed_per_node: Vec<u64>,
     /// Total down-time accumulated by each node (seconds).
@@ -38,6 +47,9 @@ impl Metrics {
             transfers: 0,
             tasks_shipped: 0,
             tasks_clamped: 0,
+            tasks_lost: 0,
+            retries: 0,
+            bounces: 0,
             processed_per_node: vec![0; n],
             downtime_per_node: vec![0.0; n],
             transit_task_seconds: 0.0,
@@ -67,6 +79,9 @@ impl Metrics {
         self.transfers = 0;
         self.tasks_shipped = 0;
         self.tasks_clamped = 0;
+        self.tasks_lost = 0;
+        self.retries = 0;
+        self.bounces = 0;
         self.processed_per_node.clear();
         self.processed_per_node.resize(n, 0);
         self.downtime_per_node.clear();
@@ -116,6 +131,9 @@ mod tests {
         m.transfers = 1;
         m.tasks_shipped = 7;
         m.tasks_clamped = 4;
+        m.tasks_lost = 2;
+        m.retries = 6;
+        m.bounces = 1;
         m.processed_per_node[1] = 5;
         m.downtime_per_node[0] = 1.5;
         m.transit_task_seconds = 0.25;

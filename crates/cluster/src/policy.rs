@@ -81,6 +81,10 @@ pub struct SystemView<'a> {
     pub delay_per_task: f64,
     /// Tasks currently in transit between nodes.
     pub in_transit: u32,
+    /// Cumulative tasks dead-lettered by the transfer channel so far
+    /// (always 0 under [`crate::ChannelModel::Reliable`]) — a policy can
+    /// read how much shipped work the fabric has eaten.
+    pub tasks_lost: u64,
     /// The interconnect graph, when the system is topology-constrained.
     /// `None` means the paper's complete graph: any node may send to any
     /// other, and policies scan globally. When present, transfer orders
@@ -236,6 +240,8 @@ pub struct SystemSnapshot {
     pub delay_per_task: f64,
     /// Tasks in transit.
     pub in_transit: u32,
+    /// Cumulative tasks dead-lettered by the transfer channel.
+    pub tasks_lost: u64,
     queue_len: Vec<u32>,
     up: Vec<bool>,
     service_rate: Vec<f64>,
@@ -253,6 +259,7 @@ impl SystemSnapshot {
             time: 0.0,
             delay_per_task: 0.0,
             in_transit: 0,
+            tasks_lost: 0,
             queue_len: nodes.iter().map(|n| n.queue_len).collect(),
             up: nodes.iter().map(|n| n.up).collect(),
             service_rate: nodes.iter().map(|n| n.service_rate).collect(),
@@ -298,6 +305,7 @@ impl SystemSnapshot {
             recovery_rate: &self.recovery_rate,
             delay_per_task: self.delay_per_task,
             in_transit: self.in_transit,
+            tasks_lost: self.tasks_lost,
             topology: self.topology.as_ref(),
         }
     }

@@ -52,6 +52,9 @@ pub struct ProbeSample {
     pub failures: u64,
     /// Cumulative transfer batches initiated up to the tick.
     pub transfers: u64,
+    /// Cumulative tasks dead-lettered by the transfer channel up to the
+    /// tick (always 0 under [`crate::ChannelModel::Reliable`]).
+    pub tasks_lost: u64,
 }
 
 /// Telemetry of one replication: the per-tick time series plus
@@ -68,6 +71,9 @@ pub struct ProbeReport {
     /// Completed down-time spells (plus the residual spell of any node
     /// still down at the end of the run), in integer microseconds.
     pub downtime_us: LogHistogram,
+    /// Channel-redelivery backoff delays, in integer microseconds (empty
+    /// under [`crate::ChannelModel::Reliable`]).
+    pub retry_delay_us: LogHistogram,
 }
 
 impl ProbeReport {
@@ -79,6 +85,7 @@ impl ProbeReport {
         self.queue_hist.merge(&other.queue_hist);
         self.transfer_delay_us.merge(&other.transfer_delay_us);
         self.downtime_us.merge(&other.downtime_us);
+        self.retry_delay_us.merge(&other.retry_delay_us);
     }
 
     /// Empties the report in place, keeping the sample buffer's
@@ -88,6 +95,7 @@ impl ProbeReport {
         self.queue_hist.clear();
         self.transfer_delay_us.clear();
         self.downtime_us.clear();
+        self.retry_delay_us.clear();
     }
 }
 
@@ -146,6 +154,7 @@ impl ProbeState {
 
     /// Emits one tick at `time` against the given fleet state and
     /// advances the cursor.
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn sample(
         &mut self,
         time: f64,
@@ -154,6 +163,7 @@ impl ProbeState {
         in_transit: u32,
         failures: u64,
         transfers: u64,
+        tasks_lost: u64,
     ) {
         self.scratch.clear();
         let mut queue_total = 0u64;
@@ -175,6 +185,7 @@ impl ProbeState {
             in_transit,
             failures,
             transfers,
+            tasks_lost,
         });
         self.report.queue_hist.merge(&self.scratch);
         self.next_tick += 1;
@@ -186,6 +197,10 @@ impl ProbeState {
 
     pub(crate) fn record_downtime(&mut self, seconds: f64) {
         self.report.downtime_us.record(micros(seconds));
+    }
+
+    pub(crate) fn record_retry_delay(&mut self, seconds: f64) {
+        self.report.retry_delay_us.record(micros(seconds));
     }
 }
 
@@ -206,7 +221,7 @@ mod tests {
     fn ticks_advance_on_an_exact_grid() {
         let mut ps = ProbeState::new(0.25);
         assert_eq!(ps.next_time(), 0.25);
-        ps.sample(0.25, &[true, false], &[3, 0], 1, 2, 3);
+        ps.sample(0.25, &[true, false], &[3, 0], 1, 2, 3, 4);
         assert_eq!(ps.next_time(), 0.5);
         let s = ps.report.samples[0];
         assert_eq!(s.up_nodes, 1);
@@ -215,21 +230,24 @@ mod tests {
         assert_eq!(s.in_transit, 1);
         assert_eq!(s.failures, 2);
         assert_eq!(s.transfers, 3);
+        assert_eq!(s.tasks_lost, 4);
         assert_eq!(ps.report.queue_hist.total(), 2, "one entry per node");
     }
 
     #[test]
     fn rearm_clears_everything_but_keeps_the_cadence_contract() {
         let mut ps = ProbeState::new(1.0);
-        ps.sample(1.0, &[true], &[5], 0, 0, 0);
+        ps.sample(1.0, &[true], &[5], 0, 0, 0, 0);
         ps.record_transfer_delay(0.5);
         ps.record_downtime(2.0);
+        ps.record_retry_delay(0.125);
         ps.rearm(2.0);
         assert_eq!(ps.next_time(), 2.0);
         assert!(ps.report.samples.is_empty());
         assert!(ps.report.queue_hist.is_empty());
         assert!(ps.report.transfer_delay_us.is_empty());
         assert!(ps.report.downtime_us.is_empty());
+        assert!(ps.report.retry_delay_us.is_empty());
     }
 
     #[test]
@@ -244,6 +262,7 @@ mod tests {
         let mut b = ProbeReport::default();
         a.queue_hist.record(4);
         b.queue_hist.record(9);
+        b.retry_delay_us.record(150);
         b.samples.push(ProbeSample {
             time: 1.0,
             up_nodes: 1,
@@ -254,9 +273,11 @@ mod tests {
             in_transit: 0,
             failures: 0,
             transfers: 0,
+            tasks_lost: 0,
         });
         a.merge_telemetry(&b);
         assert_eq!(a.queue_hist.total(), 2);
+        assert_eq!(a.retry_delay_us.total(), 1);
         assert!(a.samples.is_empty(), "series are per-replication");
     }
 }

@@ -335,6 +335,17 @@ impl Topology {
         self.edge_index(from, to).map(|k| self.delay_scale[k])
     }
 
+    /// The loss multiplier of edge `from → to`, or `None` off-edge.
+    ///
+    /// The channel model reuses the per-edge delay scales: a slow edge
+    /// (WAN hop, weak WLAN link) is also the lossy one, so a lossy
+    /// [`crate::ChannelModel`] multiplies its base loss probability by
+    /// this scale (clamped to 1) whenever a topology is installed.
+    #[must_use]
+    pub fn edge_loss_scale(&self, from: usize, to: usize) -> Option<f64> {
+        self.edge_index(from, to).map(|k| self.delay_scale[k])
+    }
+
     /// True when every node neighbors every other — the shape whose
     /// neighbor-local scans must match the global ones bit for bit.
     #[must_use]

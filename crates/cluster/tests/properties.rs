@@ -2,8 +2,8 @@
 //! determinism must hold for arbitrary configurations and policies.
 
 use churnbal_cluster::{
-    simulate, DelayLaw, NetworkConfig, NodeConfig, Policy, SimOptions, SystemConfig, SystemView,
-    TransferOrder,
+    simulate, ChannelModel, DelayLaw, DownPolicy, NetworkConfig, NodeConfig, Policy, SimOptions,
+    SystemConfig, SystemView, TransferOrder,
 };
 use proptest::prelude::*;
 
@@ -157,6 +157,61 @@ proptest! {
         } else {
             prop_assert!(out.completion_time > 0.0);
         }
+    }
+
+    /// Arming the channel subsystem in its zero-effect shapes — an explicit
+    /// [`ChannelModel::Reliable`], or a lossy model with zero loss
+    /// probability — is bit-identical to the default engine for arbitrary
+    /// configurations and policy chaos: channel randomness lives on a
+    /// dedicated stream, so a model that never fires perturbs nothing.
+    #[test]
+    fn reliable_channel_is_bit_identical_to_default(config in arb_config(), seed in any::<u64>()) {
+        let base = simulate(&config, &mut ChaosPolicy { seed, calls: 0 }, seed, SimOptions::default());
+        let explicit = config.clone().with_channel_model(ChannelModel::Reliable);
+        let a = simulate(&explicit, &mut ChaosPolicy { seed, calls: 0 }, seed, SimOptions::default());
+        prop_assert_eq!(a.completion_time, base.completion_time);
+        prop_assert_eq!(&a.metrics, &base.metrics);
+        let zero_loss = config.clone().with_channel_model(ChannelModel::Lossy {
+            loss_probability: 0.0,
+            on_down: DownPolicy::Enqueue,
+            max_retries: 0,
+            retry_backoff: 0.1,
+        });
+        let b = simulate(&zero_loss, &mut ChaosPolicy { seed, calls: 0 }, seed, SimOptions::default());
+        prop_assert_eq!(b.completion_time, base.completion_time);
+        prop_assert_eq!(&b.metrics, &base.metrics);
+    }
+
+    /// Under an actually lossy channel the ledger still closes: every task
+    /// is processed or on the dead-letter books, with the conservation
+    /// auditor armed at every event and for every down-node policy.
+    #[test]
+    fn lossy_channel_conserves_tasks(
+        config in arb_config(),
+        seed in any::<u64>(),
+        loss in 0.0f64..0.9,
+        down_idx in 0usize..3,
+        max_retries in 0u32..4,
+    ) {
+        let on_down = [DownPolicy::Enqueue, DownPolicy::Drop, DownPolicy::Bounce][down_idx];
+        let lossy = config.clone().with_channel_model(ChannelModel::Lossy {
+            loss_probability: loss,
+            on_down,
+            max_retries,
+            retry_backoff: 0.05,
+        });
+        let mut policy = ChaosPolicy { seed, calls: 0 };
+        let out = simulate(
+            &lossy,
+            &mut policy,
+            seed,
+            SimOptions { audit: true, ..SimOptions::default() },
+        );
+        prop_assert!(out.completed);
+        prop_assert_eq!(
+            out.metrics.total_processed() + out.metrics.tasks_lost,
+            config.total_tasks()
+        );
     }
 
     /// Queue traces start at the configured workloads and end at zero.

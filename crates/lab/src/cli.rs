@@ -94,6 +94,9 @@ options (run/sweep/compare/stats):\n\
                              instead of hanging the campaign\n\
   --fail-on-quarantine       exit nonzero when any replication was\n\
                              quarantined (panicked or timed out)\n\
+  --audit                    run the engine's task-conservation auditor in\n\
+                             release builds (always on in debug); a violation\n\
+                             is a panic naming the leaked tasks\n\
   --quick                    a tenth of the replications (at least 10)\n\
   --reps N                   replication override\n\
   --seed S                   master-seed override\n\
@@ -248,6 +251,7 @@ fn parse_common<'a>(
                 opts.run.task_timeout = Some(secs);
             }
             "--fail-on-quarantine" => opts.fail_on_quarantine = true,
+            "--audit" => opts.run.audit = true,
             "--quick" => opts.run.quick = true,
             "--reps" => {
                 let v = it.next().ok_or("--reps needs a value")?;
@@ -885,6 +889,21 @@ fn cmd_stats(scenario: &Scenario, opts: &CliOptions) -> Result<String, String> {
     );
     counter(
         &mut out,
+        "tasks lost",
+        format!("{:.2}", row.mean_tasks_lost),
+    );
+    counter(
+        &mut out,
+        "channel retries",
+        format!("{:.2}", row.mean_retries),
+    );
+    counter(
+        &mut out,
+        "channel bounces",
+        format!("{:.2}", row.mean_bounces),
+    );
+    counter(
+        &mut out,
         "incomplete",
         format!("{} / {}", row.incomplete, row.reps),
     );
@@ -908,6 +927,7 @@ fn cmd_stats(scenario: &Scenario, opts: &CliOptions) -> Result<String, String> {
     dist(&mut out, "queue length", &t.queue_hist, "");
     dist(&mut out, "transfer delay", &t.transfer_delay_us, " µs");
     dist(&mut out, "downtime", &t.downtime_us, " µs");
+    dist(&mut out, "retry backoff", &t.retry_delay_us, " µs");
 
     // Wall-clock figures vary run to run; everything above is
     // bit-deterministic, this section is diagnostics only.
@@ -926,6 +946,10 @@ fn cmd_stats(scenario: &Scenario, opts: &CliOptions) -> Result<String, String> {
         totals.events,
         report.wall_seconds,
         report.events_per_sec(),
+    ));
+    out.push_str(&format!(
+        "  {} replication(s) quarantined\n",
+        report.quarantines.len(),
     ));
     for (i, w) in report.workers.iter().enumerate() {
         out.push_str(&format!(
@@ -1353,12 +1377,58 @@ mod tests {
         );
         assert!(out.contains("queue length"), "{out}");
         assert!(out.contains("transfer delay"), "{out}");
+        assert!(out.contains("tasks lost"), "{out}");
+        assert!(out.contains("channel retries"), "{out}");
+        assert!(out.contains("retry backoff"), "{out}");
         assert!(out.contains("runtime (observational"), "{out}");
         assert!(out.contains("events/s"), "{out}");
+        assert!(out.contains("replication(s) quarantined"), "{out}");
         // The cadence is overridable; the header reflects it.
         let out = call(&["stats", "paper-fig5", "--reps", "2", "--probe-dt", "2.5"])
             .expect("stats with cadence works");
         assert!(out.contains("probe dt 2.5 s"), "{out}");
+    }
+
+    #[test]
+    fn audit_flag_parses_and_lossy_presets_run_thread_invariant() {
+        let out = call(&[
+            "run",
+            "lossy-fabric",
+            "--reps",
+            "2",
+            "--audit",
+            "--threads",
+            "2",
+        ])
+        .expect("audited lossy run works");
+        assert!(out.contains("lossy-fabric"), "{out}");
+        let a = call(&[
+            "run",
+            "churn-storm-lossy",
+            "--reps",
+            "3",
+            "--threads",
+            "1",
+            "--format",
+            "csv",
+            "--metrics",
+            "full",
+        ])
+        .expect("single-threaded lossy run");
+        let b = call(&[
+            "run",
+            "churn-storm-lossy",
+            "--reps",
+            "3",
+            "--threads",
+            "4",
+            "--format",
+            "csv",
+            "--metrics",
+            "full",
+        ])
+        .expect("multi-threaded lossy run");
+        assert_eq!(a, b, "lossy output must not depend on --threads");
     }
 
     #[test]
@@ -1369,7 +1439,8 @@ mod tests {
         assert!(
             header.ends_with(
                 "incomplete,mean_recoveries,mean_transfers,\
-                 mean_tasks_clamped,mean_transit_task_seconds"
+                 mean_tasks_clamped,mean_transit_task_seconds,\
+                 mean_tasks_lost,mean_retries,mean_bounces"
             ),
             "{header}"
         );
@@ -1380,8 +1451,9 @@ mod tests {
         let header = csv.lines().next().expect("header");
         assert!(
             header.ends_with(
-                "mean_transit_task_seconds,queue_p50,queue_p99,\
-                 transfer_us_p50,transfer_us_p99,downtime_us_p50,downtime_us_p99"
+                "queue_p50,queue_p99,\
+                 transfer_us_p50,transfer_us_p99,downtime_us_p50,downtime_us_p99,\
+                 retry_us_p50,retry_us_p99"
             ),
             "{header}"
         );

@@ -286,6 +286,13 @@ pub struct ExperimentRow {
     pub mean_tasks_clamped: f64,
     /// Mean in-transit task·seconds per replication.
     pub mean_transit_task_seconds: f64,
+    /// Mean tasks permanently lost by the transfer channel per
+    /// replication (0 under a reliable channel).
+    pub mean_tasks_lost: f64,
+    /// Mean channel redelivery attempts per replication.
+    pub mean_retries: f64,
+    /// Mean bounced batches per replication.
+    pub mean_bounces: f64,
     /// Probe telemetry merged across this cell's replications (empty
     /// histograms when probing is off). Quantiles come from
     /// [`churnbal_stochastic::LogHistogram::quantile`].
@@ -386,12 +393,13 @@ pub fn experiment_csv_header(schema: &ExperimentSchema) -> String {
     }
     if schema.metrics_full {
         out.push_str(
-            ",mean_recoveries,mean_transfers,mean_tasks_clamped,mean_transit_task_seconds",
+            ",mean_recoveries,mean_transfers,mean_tasks_clamped,mean_transit_task_seconds,\
+             mean_tasks_lost,mean_retries,mean_bounces",
         );
         if schema.probe {
             out.push_str(
                 ",queue_p50,queue_p99,transfer_us_p50,transfer_us_p99,\
-                 downtime_us_p50,downtime_us_p99",
+                 downtime_us_p50,downtime_us_p99,retry_us_p50,retry_us_p99",
             );
         }
     }
@@ -425,22 +433,27 @@ pub fn experiment_csv_row(schema: &ExperimentSchema, row: &ExperimentRow) -> Str
     }
     if schema.metrics_full {
         out.push_str(&format!(
-            ",{:?},{:?},{:?},{:?}",
+            ",{:?},{:?},{:?},{:?},{:?},{:?},{:?}",
             row.mean_recoveries,
             row.mean_transfers,
             row.mean_tasks_clamped,
-            row.mean_transit_task_seconds
+            row.mean_transit_task_seconds,
+            row.mean_tasks_lost,
+            row.mean_retries,
+            row.mean_bounces
         ));
         if schema.probe {
             let t = &row.telemetry;
             out.push_str(&format!(
-                ",{},{},{},{},{},{}",
+                ",{},{},{},{},{},{},{},{}",
                 t.queue_hist.quantile(0.5),
                 t.queue_hist.quantile(0.99),
                 t.transfer_delay_us.quantile(0.5),
                 t.transfer_delay_us.quantile(0.99),
                 t.downtime_us.quantile(0.5),
-                t.downtime_us.quantile(0.99)
+                t.downtime_us.quantile(0.99),
+                t.retry_delay_us.quantile(0.5),
+                t.retry_delay_us.quantile(0.99)
             ));
         }
     }
@@ -473,23 +486,30 @@ pub fn experiment_jsonl_row(schema: &ExperimentSchema, row: &ExperimentRow) -> S
     if schema.metrics_full {
         out.push_str(&format!(
             ",\"mean_recoveries\":{:?},\"mean_transfers\":{:?},\
-             \"mean_tasks_clamped\":{:?},\"mean_transit_task_seconds\":{:?}",
+             \"mean_tasks_clamped\":{:?},\"mean_transit_task_seconds\":{:?},\
+             \"mean_tasks_lost\":{:?},\"mean_retries\":{:?},\"mean_bounces\":{:?}",
             row.mean_recoveries,
             row.mean_transfers,
             row.mean_tasks_clamped,
-            row.mean_transit_task_seconds
+            row.mean_transit_task_seconds,
+            row.mean_tasks_lost,
+            row.mean_retries,
+            row.mean_bounces
         ));
         if schema.probe {
             let t = &row.telemetry;
             out.push_str(&format!(
                 ",\"queue_p50\":{},\"queue_p99\":{},\"transfer_us_p50\":{},\
-                 \"transfer_us_p99\":{},\"downtime_us_p50\":{},\"downtime_us_p99\":{}",
+                 \"transfer_us_p99\":{},\"downtime_us_p50\":{},\"downtime_us_p99\":{},\
+                 \"retry_us_p50\":{},\"retry_us_p99\":{}",
                 t.queue_hist.quantile(0.5),
                 t.queue_hist.quantile(0.99),
                 t.transfer_delay_us.quantile(0.5),
                 t.transfer_delay_us.quantile(0.99),
                 t.downtime_us.quantile(0.5),
-                t.downtime_us.quantile(0.99)
+                t.downtime_us.quantile(0.99),
+                t.retry_delay_us.quantile(0.5),
+                t.retry_delay_us.quantile(0.99)
             ));
         }
     }
@@ -515,11 +535,11 @@ pub fn probe_jsonl_row(
     rep: usize,
     s: &churnbal_cluster::ProbeSample,
 ) -> String {
-    format!(
+    let mut out = format!(
         "{{\"scenario\":{},\"point\":{point},\"policy\":{},\"rep\":{rep},\
          \"time\":{:?},\"up\":{},\"queue_total\":{},\"queue_max\":{},\
          \"queue_p50\":{},\"queue_p99\":{},\"in_transit\":{},\
-         \"failures\":{},\"transfers\":{}}}\n",
+         \"failures\":{},\"transfers\":{}",
         crate::sweep::json_string(scenario),
         crate::sweep::json_string(policy),
         s.time,
@@ -530,8 +550,15 @@ pub fn probe_jsonl_row(
         s.queue_p99,
         s.in_transit,
         s.failures,
-        s.transfers
-    )
+        s.transfers,
+    );
+    // Only lossy channels can dead-letter; a reliable run's telemetry
+    // stream keeps its pre-channel bytes exactly (absent means 0).
+    if s.tasks_lost > 0 {
+        out.push_str(&format!(",\"tasks_lost\":{}", s.tasks_lost));
+    }
+    out.push_str("}\n");
+    out
 }
 
 // ---- sinks -------------------------------------------------------------
@@ -772,6 +799,7 @@ impl Experiment {
                 backend: spec.options.backend,
                 probe_dt: spec.options.effective_probe_dt(scenario),
                 task_timeout: spec.options.task_timeout,
+                audit: spec.options.audit,
                 ..SimOptions::default()
             },
         };
@@ -897,6 +925,7 @@ impl Experiment {
                     backend: spec.options.backend,
                     probe_dt: spec.options.effective_probe_dt(&point.scenario),
                     task_timeout: spec.options.task_timeout,
+                    audit: spec.options.audit,
                     ..SimOptions::default()
                 },
             })
@@ -1010,6 +1039,9 @@ impl Experiment {
                 mean_transfers: est.mean_transfers,
                 mean_tasks_clamped: est.mean_tasks_clamped,
                 mean_transit_task_seconds: est.mean_transit_task_seconds,
+                mean_tasks_lost: est.mean_tasks_lost,
+                mean_retries: est.mean_retries,
+                mean_bounces: est.mean_bounces,
                 telemetry,
             }
         };

@@ -65,7 +65,8 @@ pub struct JournalRecord {
 pub const SYNC_EVERY: u64 = 32;
 
 /// Journal format version; bumped on any incompatible layout change.
-const VERSION: u64 = 1;
+/// Version 2 added the channel counters (`lost`, `retries`, `bounces`).
+const VERSION: u64 = 2;
 
 /// An open write-ahead journal, positioned for appending.
 #[derive(Debug)]
@@ -193,12 +194,15 @@ impl RunJournal {
         );
         let mut line = String::with_capacity(96 + stats.completion_times.len() * 24);
         line.push_str(&format!(
-            "{{\"point\":{point},\"policy\":{policy},\"incomplete\":{},\"events\":{},\"recoveries\":{},\"transfers\":{},\"clamped\":{},\"transit\":{}",
+            "{{\"point\":{point},\"policy\":{policy},\"incomplete\":{},\"events\":{},\"recoveries\":{},\"transfers\":{},\"clamped\":{},\"lost\":{},\"retries\":{},\"bounces\":{},\"transit\":{}",
             stats.incomplete,
             stats.total_events,
             stats.total_recoveries,
             stats.total_transfers,
             stats.total_tasks_clamped,
+            stats.total_tasks_lost,
+            stats.total_retries,
+            stats.total_bounces,
             stats.transit_task_seconds.to_bits(),
         ));
         push_u64_array(
@@ -313,6 +317,9 @@ fn parse_record(line: &str) -> Result<JournalRecord, String> {
             total_recoveries: num("recoveries")?,
             total_transfers: num("transfers")?,
             total_tasks_clamped: num("clamped")?,
+            total_tasks_lost: num("lost")?,
+            total_retries: num("retries")?,
+            total_bounces: num("bounces")?,
             transit_task_seconds: f64::from_bits(num("transit")?),
             probes: Vec::new(),
             quarantined_reps: Vec::new(),
@@ -477,6 +484,9 @@ mod tests {
             total_recoveries: 7,
             total_transfers: 9,
             total_tasks_clamped: 2,
+            total_tasks_lost: 4 + salt,
+            total_retries: 5,
+            total_bounces: 1,
             transit_task_seconds: 3.5 + salt as f64 * 0.125,
             probes: Vec::new(),
             quarantined_reps: Vec::new(),
@@ -507,6 +517,9 @@ mod tests {
         );
         assert_eq!(replayed[0].stats.incomplete, 1);
         assert_eq!(replayed[1].stats.total_events, 1003);
+        assert_eq!(replayed[1].stats.total_tasks_lost, 7);
+        assert_eq!(replayed[1].stats.total_retries, 5);
+        assert_eq!(replayed[1].stats.total_bounces, 1);
         let _ = fs::remove_dir_all(&dir);
     }
 

@@ -13,7 +13,8 @@
 //! code path for the configurations they compare.
 
 use churnbal_cluster::{
-    ArrivalKind, ArrivalProcess, ChurnModel, DelayLaw, ExternalArrival, SystemConfig,
+    ArrivalKind, ArrivalProcess, ChannelModel, ChurnModel, DelayLaw, DownPolicy, ExternalArrival,
+    SystemConfig,
 };
 use churnbal_core::PolicySpec;
 use churnbal_stochastic::Xoshiro256pp;
@@ -47,7 +48,7 @@ pub fn all() -> Vec<Scenario> {
 
 type Preset = (&'static str, fn() -> Scenario);
 
-const PRESETS: [Preset; 19] = [
+const PRESETS: [Preset; 21] = [
     ("paper-fig3", paper_fig3),
     ("paper-fig5", paper_fig5),
     ("paper-delay-crossover", paper_delay_crossover),
@@ -67,6 +68,8 @@ const PRESETS: [Preset; 19] = [
     ("torus", torus),
     ("rack-hierarchy", rack_hierarchy),
     ("rack-shocks", rack_shocks),
+    ("lossy-fabric", lossy_fabric),
+    ("churn-storm-lossy", churn_storm_lossy),
 ];
 
 /// The paper's §4 node pair: `λ_d = (1.08, 1.86)`, mean failure time
@@ -99,6 +102,7 @@ fn base(name: &str, description: &str, m0: [u32; 2], policy: PolicySpec) -> Scen
         network: paper_network(),
         arrivals: ArrivalsSpec::None,
         churn: ChurnModel::Independent,
+        channel: ChannelModel::Reliable,
         topology: None,
         policy,
         axes: Vec::new(),
@@ -176,6 +180,7 @@ fn hetero_speeds() -> Scenario {
         network: paper_network(),
         arrivals: ArrivalsSpec::None,
         churn: ChurnModel::Independent,
+        channel: ChannelModel::Reliable,
         topology: None,
         policy: PolicySpec::Lbp2 { gain: 1.0 },
         axes: Vec::new(),
@@ -203,6 +208,7 @@ fn hot_spare() -> Scenario {
         network: paper_network(),
         arrivals: ArrivalsSpec::None,
         churn: ChurnModel::Independent,
+        channel: ChannelModel::Reliable,
         topology: None,
         policy: PolicySpec::Lbp2 { gain: 1.0 },
         axes: Vec::new(),
@@ -229,6 +235,7 @@ fn correlated_failures() -> Scenario {
             shock_rate: 0.05,
             hit_probability: 0.75,
         },
+        channel: ChannelModel::Reliable,
         topology: None,
         policy: PolicySpec::Lbp2 { gain: 1.0 },
         axes: Vec::new(),
@@ -251,6 +258,7 @@ fn cascading_failures() -> Scenario {
         network: paper_network(),
         arrivals: ArrivalsSpec::None,
         churn: ChurnModel::Cascading { amplification: 2.0 },
+        channel: ChannelModel::Reliable,
         topology: None,
         policy: PolicySpec::Lbp2 { gain: 1.0 },
         axes: Vec::new(),
@@ -281,6 +289,7 @@ fn adversarial_churn() -> Scenario {
         churn: ChurnModel::Adversarial {
             strike_rate: 1.0 / 15.0,
         },
+        channel: ChannelModel::Reliable,
         topology: None,
         policy: PolicySpec::Lbp2 { gain: 1.0 },
         axes: Vec::new(),
@@ -329,6 +338,7 @@ fn mmpp_bursty() -> Scenario {
             horizon: 60.0,
         }),
         churn: ChurnModel::Independent,
+        channel: ChannelModel::Reliable,
         topology: None,
         policy: PolicySpec::EpisodicLbp2 { gain: 1.0 },
         axes: Vec::new(),
@@ -360,6 +370,7 @@ fn diurnal() -> Scenario {
             horizon: 120.0,
         }),
         churn: ChurnModel::Independent,
+        channel: ChannelModel::Reliable,
         topology: None,
         policy: PolicySpec::EpisodicLbp2 { gain: 1.0 },
         axes: Vec::new(),
@@ -392,6 +403,7 @@ fn flash_crowd() -> Scenario {
             horizon: 60.0,
         }),
         churn: ChurnModel::Independent,
+        channel: ChannelModel::Reliable,
         topology: None,
         policy: PolicySpec::EpisodicLbp2 { gain: 1.0 },
         axes: Vec::new(),
@@ -424,6 +436,7 @@ fn volunteer_grid() -> Scenario {
         },
         arrivals: ArrivalsSpec::None,
         churn: ChurnModel::Independent,
+        channel: ChannelModel::Reliable,
         topology: None,
         policy: PolicySpec::Lbp2 { gain: 1.0 },
         axes: Vec::new(),
@@ -465,6 +478,7 @@ fn dynamic_arrivals() -> Scenario {
         network: paper_network(),
         arrivals: ArrivalsSpec::Fixed(dynamic_arrival_bursts()),
         churn: ChurnModel::Independent,
+        channel: ChannelModel::Reliable,
         topology: None,
         policy: PolicySpec::EpisodicLbp2 { gain: 1.0 },
         axes: Vec::new(),
@@ -487,6 +501,7 @@ fn open_system() -> Scenario {
         network: paper_network(),
         arrivals: ArrivalsSpec::Process(ArrivalProcess::poisson(0.8, 90.0).with_batch(1, 4)),
         churn: ChurnModel::Independent,
+        channel: ChannelModel::Reliable,
         topology: None,
         policy: PolicySpec::EpisodicLbp2 { gain: 1.0 },
         axes: Vec::new(),
@@ -519,6 +534,7 @@ fn ring() -> Scenario {
         network: paper_network(),
         arrivals: ArrivalsSpec::None,
         churn: ChurnModel::Independent,
+        channel: ChannelModel::Reliable,
         topology: Some(TopologySpec::Ring),
         policy: PolicySpec::Lbp2 { gain: 1.0 },
         axes: Vec::new(),
@@ -541,6 +557,7 @@ fn torus() -> Scenario {
         network: paper_network(),
         arrivals: ArrivalsSpec::None,
         churn: ChurnModel::Independent,
+        channel: ChannelModel::Reliable,
         topology: Some(TopologySpec::Torus { rows: 4, cols: 6 }),
         policy: PolicySpec::Lbp2 { gain: 1.0 },
         axes: Vec::new(),
@@ -564,6 +581,7 @@ fn rack_hierarchy() -> Scenario {
         network: paper_network(),
         arrivals: ArrivalsSpec::None,
         churn: ChurnModel::Independent,
+        channel: ChannelModel::Reliable,
         topology: Some(TopologySpec::Hierarchical {
             rack_size: 4,
             racks_per_row: 2,
@@ -598,6 +616,7 @@ fn rack_shocks() -> Scenario {
             group_size: 4,
             hit_probabilities: vec![0.6, 0.2, 0.2, 0.05],
         },
+        channel: ChannelModel::Reliable,
         topology: Some(TopologySpec::Hierarchical {
             rack_size: 4,
             racks_per_row: 2,
@@ -605,6 +624,73 @@ fn rack_shocks() -> Scenario {
             row_scale: 4.0,
             dc_scale: 10.0,
         }),
+        policy: PolicySpec::Lbp2 { gain: 1.0 },
+        axes: Vec::new(),
+    }
+}
+
+// ---- unreliable transfer channels -------------------------------------
+
+/// The torus fleet over a lossy fabric: transfers are dropped in flight
+/// with a base probability scaled per edge by the topology's delay
+/// weights ("the slow link is the lossy link"), re-sent with exponential
+/// backoff, and dead-lettered after three retries.
+fn lossy_fabric() -> Scenario {
+    Scenario {
+        name: "lossy-fabric".into(),
+        description: "Lossy fabric: the 4x6 torus hot corner with 2% in-flight batch loss \
+                      (scaled per edge over the topology), exponential-backoff redelivery \
+                      and dead-lettering after 3 retries"
+            .into(),
+        reps: 300,
+        seed: 61,
+        deadline: None,
+        probe_dt: None,
+        journal_dir: None,
+        nodes: fleet_nodes(120, 23),
+        network: paper_network(),
+        arrivals: ArrivalsSpec::None,
+        churn: ChurnModel::Independent,
+        channel: ChannelModel::Lossy {
+            loss_probability: 0.02,
+            on_down: DownPolicy::Enqueue,
+            max_retries: 3,
+            retry_backoff: 0.05,
+        },
+        topology: Some(TopologySpec::Torus { rows: 4, cols: 6 }),
+        policy: PolicySpec::Lbp2 { gain: 1.0 },
+        axes: Vec::new(),
+    }
+}
+
+/// Adversarial churn compounded by a bouncing lossy channel: strikes
+/// chase the most-loaded node while its inbound batches bounce off the
+/// crashed destination and re-enter the retry protocol.
+fn churn_storm_lossy() -> Scenario {
+    Scenario {
+        name: "churn-storm-lossy".into(),
+        description: "Churn storm over a lossy channel: adversarial strikes (~15 s) down the \
+                      most-loaded node while 5% of batches are lost in flight and batches \
+                      landing on a down node bounce back into retry (4 attempts max)"
+            .into(),
+        reps: 300,
+        seed: 62,
+        deadline: None,
+        probe_dt: None,
+        journal_dir: None,
+        nodes: vec![NodeSpec::new(1.2, 1.0 / 60.0, 1.0 / 8.0, 80).times(4)],
+        network: paper_network(),
+        arrivals: ArrivalsSpec::None,
+        churn: ChurnModel::Adversarial {
+            strike_rate: 1.0 / 15.0,
+        },
+        channel: ChannelModel::Lossy {
+            loss_probability: 0.05,
+            on_down: DownPolicy::Bounce,
+            max_retries: 4,
+            retry_backoff: 0.1,
+        },
+        topology: None,
         policy: PolicySpec::Lbp2 { gain: 1.0 },
         axes: Vec::new(),
     }
@@ -625,6 +711,7 @@ fn paper_system(name: &str, m0: [u32; 2], network: NetworkSpec) -> SystemConfig 
         network,
         arrivals: ArrivalsSpec::None,
         churn: ChurnModel::Independent,
+        channel: ChannelModel::Reliable,
         topology: None,
         policy: PolicySpec::NoBalancing,
         axes: Vec::new(),
@@ -742,6 +829,36 @@ mod tests {
         // Both must appear in `churnbal-lab list` via the names table.
         assert!(names().contains(&"adversarial-churn"));
         assert!(names().contains(&"brownout"));
+    }
+
+    #[test]
+    fn lossy_presets_are_listed_and_shaped_right() {
+        let fabric = get("lossy-fabric").expect("registered");
+        assert!(matches!(
+            fabric.channel,
+            ChannelModel::Lossy {
+                loss_probability,
+                on_down: DownPolicy::Enqueue,
+                max_retries: 3,
+                ..
+            } if (loss_probability - 0.02).abs() < 1e-12
+        ));
+        assert!(matches!(
+            fabric.topology,
+            Some(TopologySpec::Torus { rows: 4, cols: 6 })
+        ));
+        let storm = get("churn-storm-lossy").expect("registered");
+        assert!(matches!(
+            storm.channel,
+            ChannelModel::Lossy {
+                on_down: DownPolicy::Bounce,
+                max_retries: 4,
+                ..
+            }
+        ));
+        assert!(matches!(storm.churn, ChurnModel::Adversarial { .. }));
+        assert!(names().contains(&"lossy-fabric"));
+        assert!(names().contains(&"churn-storm-lossy"));
     }
 
     #[test]

@@ -8,8 +8,8 @@
 //! builds the simulator-facing [`SystemConfig`] on demand.
 
 use churnbal_cluster::{
-    ArrivalKind, ArrivalProcess, ChurnModel, DelayLaw, ExternalArrival, NetworkConfig, NodeConfig,
-    SystemConfig, Topology,
+    ArrivalKind, ArrivalProcess, ChannelModel, ChurnModel, DelayLaw, DownPolicy, ExternalArrival,
+    NetworkConfig, NodeConfig, SystemConfig, Topology,
 };
 use churnbal_core::PolicySpec;
 
@@ -208,6 +208,10 @@ pub struct Scenario {
     pub arrivals: ArrivalsSpec,
     /// Failure-coupling model.
     pub churn: ChurnModel,
+    /// Transfer-channel fault model (`[channel]` in TOML). The default,
+    /// [`ChannelModel::Reliable`], is omitted from the serialized form so
+    /// every pre-channel preset keeps its exact TOML bytes.
+    pub channel: ChannelModel,
     /// Interconnect topology; `None` is the unconstrained complete graph.
     pub topology: Option<TopologySpec>,
     /// The policy under test.
@@ -295,6 +299,9 @@ pub enum ScenarioErrorKind {
     /// Churn-model parameter failure (message from
     /// [`ChurnModel::validate`]).
     Churn(String),
+    /// Channel-model parameter failure (message from
+    /// [`ChannelModel::validate`]).
+    Channel(String),
     /// Topology construction failure (dimension/node-count mismatch etc.).
     Topology(String),
     /// A fixed arrival addressed to a node index outside the system.
@@ -359,7 +366,11 @@ impl std::fmt::Display for ScenarioErrorKind {
                 write!(f, "probe dt must be positive, got {value}")
             }
             Self::EmptyJournalDir => write!(f, "journal dir must be non-empty"),
-            Self::Churn(e) | Self::Arrivals(e) | Self::Policy(e) | Self::Axis(e) => {
+            Self::Churn(e)
+            | Self::Channel(e)
+            | Self::Arrivals(e)
+            | Self::Policy(e)
+            | Self::Axis(e) => {
                 write!(f, "{e}")
             }
             Self::Topology(e) => write!(f, "topology: {e}"),
@@ -483,11 +494,15 @@ impl Scenario {
         self.churn
             .validate()
             .map_err(|e| fail(ScenarioErrorKind::Churn(e)))?;
+        self.channel
+            .validate()
+            .map_err(|e| fail(ScenarioErrorKind::Channel(e)))?;
         let mut config = SystemConfig::new(
             nodes,
             NetworkConfig::new(self.network.fixed, self.network.per_task, self.network.law),
         )
-        .with_churn_model(self.churn.clone());
+        .with_churn_model(self.churn.clone())
+        .with_channel_model(self.channel.clone());
         if let Some(spec) = &self.topology {
             let topo = spec
                 .build(config.num_nodes())
@@ -653,6 +668,24 @@ impl Scenario {
             }
         }
         doc.set_table("churn", churn);
+
+        // The [channel] table is emitted only for lossy models, so every
+        // pre-channel preset keeps its exact TOML bytes.
+        if let ChannelModel::Lossy {
+            loss_probability,
+            on_down,
+            max_retries,
+            retry_backoff,
+        } = &self.channel
+        {
+            let mut ch = Table::new();
+            ch.set("kind", Value::Str("lossy".into()));
+            ch.set("loss_probability", Value::Float(*loss_probability));
+            ch.set("on_down", Value::Str(on_down.name().into()));
+            ch.set("max_retries", Value::Int(i64::from(*max_retries)));
+            ch.set("retry_backoff", Value::Float(*retry_backoff));
+            doc.set_table("channel", ch);
+        }
 
         if let Some(spec) = &self.topology {
             let mut topo = Table::new();
@@ -845,6 +878,35 @@ impl Scenario {
             },
         };
 
+        let channel = match doc.table("channel") {
+            None => ChannelModel::Reliable,
+            Some(t) => match req_str(t, "[channel]", "kind")?.as_str() {
+                "reliable" => ChannelModel::Reliable,
+                "lossy" => ChannelModel::Lossy {
+                    loss_probability: req_f64(t, "[channel]", "loss_probability")?,
+                    on_down: match req_str(t, "[channel]", "on_down")?.as_str() {
+                        "enqueue" => DownPolicy::Enqueue,
+                        "drop" => DownPolicy::Drop,
+                        "bounce" => DownPolicy::Bounce,
+                        other => {
+                            return Err(format!(
+                                "[channel].on_down: unknown down policy \"{other}\" \
+                                 (expected enqueue | drop | bounce)"
+                            ))
+                        }
+                    },
+                    max_retries: req_u32(t, "[channel]", "max_retries")?,
+                    retry_backoff: req_f64(t, "[channel]", "retry_backoff")?,
+                },
+                other => {
+                    return Err(format!(
+                        "[channel].kind: unknown channel model \"{other}\" \
+                         (expected reliable | lossy)"
+                    ))
+                }
+            },
+        };
+
         let topology = match doc.table("topology") {
             None => None,
             Some(t) => Some(match req_str(t, "[topology]", "kind")?.as_str() {
@@ -914,6 +976,7 @@ impl Scenario {
             network,
             arrivals,
             churn,
+            channel,
             topology,
             policy,
             axes,
@@ -1309,6 +1372,48 @@ mod tests {
                 Scenario::from_toml(&sc.to_toml()).unwrap_or_else(|e| panic!("seed {seed}: {e}"));
             assert_eq!(back.seed, seed);
         }
+    }
+
+    #[test]
+    fn lossy_channel_round_trips_and_rejects_bad_parameters() {
+        let sc = registry::get("lossy-fabric").expect("preset");
+        assert!(matches!(sc.channel, ChannelModel::Lossy { .. }));
+        let text = sc.to_toml();
+        assert!(text.contains("[channel]"), "{text}");
+        assert!(text.contains("kind = \"lossy\""), "{text}");
+        assert!(text.contains("on_down"), "{text}");
+        let back = Scenario::from_toml(&text).expect("parses");
+        assert_eq!(back, sc);
+
+        // A reliable scenario never emits a [channel] table...
+        let plain = registry::get("paper-fig3").expect("preset");
+        assert_eq!(plain.channel, ChannelModel::Reliable);
+        assert!(!plain.to_toml().contains("[channel]"));
+        // ...but an explicit `kind = "reliable"` table parses back to it.
+        let explicit = format!("{}\n[channel]\nkind = \"reliable\"\n", plain.to_toml());
+        let back = Scenario::from_toml(&explicit).expect("parses");
+        assert_eq!(back.channel, ChannelModel::Reliable);
+
+        let mut bad = sc.clone();
+        bad.channel = ChannelModel::Lossy {
+            loss_probability: 1.5,
+            on_down: DownPolicy::Enqueue,
+            max_retries: 1,
+            retry_backoff: 0.1,
+        };
+        let err = bad.validate().unwrap_err();
+        assert!(
+            matches!(&err.kind, ScenarioErrorKind::Channel(m) if m.contains("loss_probability")),
+            "{err}"
+        );
+
+        let unknown = text.replace("kind = \"lossy\"", "kind = \"quantum\"");
+        let err = Scenario::from_toml(&unknown).unwrap_err();
+        assert!(err.contains("unknown channel model \"quantum\""), "{err}");
+
+        let bad_down = text.replace("on_down = \"", "on_down = \"teleport");
+        let err = Scenario::from_toml(&bad_down).unwrap_err();
+        assert!(err.contains("unknown down policy"), "{err}");
     }
 
     #[test]

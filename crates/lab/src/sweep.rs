@@ -276,6 +276,11 @@ pub struct RunOptions {
     /// cooperative (polled in the engine's event loop) and never fires on
     /// a healthy run, so it cannot change result bytes.
     pub task_timeout: Option<f64>,
+    /// `--audit`: run the engine's task-conservation auditor in release
+    /// builds (debug builds always audit). Auditing reads state and draws
+    /// nothing, so it cannot change result bytes — a violation panics the
+    /// replication instead.
+    pub audit: bool,
 }
 
 impl RunOptions {

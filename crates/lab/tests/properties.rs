@@ -1,7 +1,9 @@
 //! Property tests for the TOML subset and the scenario mapping:
 //! `parse ∘ serialize = id` at both the document and the scenario level.
 
-use churnbal_cluster::{ArrivalKind, ArrivalProcess, ChurnModel, DelayLaw, ExternalArrival};
+use churnbal_cluster::{
+    ArrivalKind, ArrivalProcess, ChannelModel, ChurnModel, DelayLaw, DownPolicy, ExternalArrival,
+};
 use churnbal_core::PolicySpec;
 use churnbal_lab::scenario::{ArrivalsSpec, NetworkSpec, NodeSpec, Scenario, TopologySpec};
 use churnbal_lab::sweep::{Axis, AxisParam};
@@ -269,6 +271,31 @@ fn axis() -> BoxedStrategy<Axis> {
         .boxed()
 }
 
+fn channel_model() -> BoxedStrategy<ChannelModel> {
+    prop_oneof![
+        Just(ChannelModel::Reliable),
+        (
+            0.0..0.99f64,
+            prop_oneof![
+                Just(DownPolicy::Enqueue),
+                Just(DownPolicy::Drop),
+                Just(DownPolicy::Bounce),
+            ],
+            0u32..6,
+            0.01..2.0f64,
+        )
+            .prop_map(|(loss_probability, on_down, max_retries, retry_backoff)| {
+                ChannelModel::Lossy {
+                    loss_probability,
+                    on_down,
+                    max_retries,
+                    retry_backoff,
+                }
+            },),
+    ]
+    .boxed()
+}
+
 fn scenario() -> BoxedStrategy<Scenario> {
     let head = (
         prop_oneof![
@@ -303,7 +330,7 @@ fn scenario() -> BoxedStrategy<Scenario> {
             Just(DelayLaw::DeterministicBatch),
         ],
         arrivals_spec(),
-        churn_model(),
+        (churn_model(), channel_model()),
         topology_spec(),
         policy_spec(),
         prop::collection::vec(axis(), 0..3),
@@ -312,7 +339,7 @@ fn scenario() -> BoxedStrategy<Scenario> {
         .prop_map(
             |(
                 (name, description, reps, seed, deadline, probe_dt, journal_dir),
-                (nodes, (fixed, per_task), law, arrivals, churn, topology, policy, axes),
+                (nodes, (fixed, per_task), law, arrivals, (churn, channel), topology, policy, axes),
             )| Scenario {
                 name,
                 description,
@@ -329,6 +356,7 @@ fn scenario() -> BoxedStrategy<Scenario> {
                 },
                 arrivals,
                 churn,
+                channel,
                 topology,
                 policy,
                 axes,

@@ -294,6 +294,44 @@ fn probe_jsonl_bytes_are_pinned_and_thread_invariant() {
 /// The pinned digest of `probe_jsonl_digest`.
 const PINNED_PROBE_JSONL_DIGEST: u64 = 0x4c4e_4e48_2a11_549a;
 
+/// The lossy-channel regression gate: the `lossy-fabric` preset (per-edge
+/// loss scaling over a torus, enqueue-on-down, retry/backoff redelivery)
+/// pinned the same way the reliable presets are. Channel randomness rides
+/// replication-scoped streams like every other noise source, so the lossy
+/// trajectory is a pure function of `(scenario, reps, seed)` too — and the
+/// thread-invariance assertion below pins that the retry machinery leaks
+/// no scheduling dependence into the sampled paths.
+#[test]
+#[allow(deprecated)]
+fn lossy_fabric_sample_paths_are_pinned_and_thread_invariant() {
+    let digest = scenario_digest("lossy-fabric");
+    assert_eq!(
+        digest, PINNED_LOSSY_FABRIC_DIGEST,
+        "lossy-fabric trajectories drifted (digest {digest:#018x})"
+    );
+    let scenario = registry::get("lossy-fabric").expect("preset");
+    let run = |threads: usize| {
+        run_scenario(
+            &scenario,
+            RunOptions {
+                reps: Some(REPS),
+                threads,
+                ..RunOptions::default()
+            },
+        )
+        .expect("runs")
+        .completion_times
+    };
+    assert_eq!(
+        digest_f64s(&run(1)),
+        digest_f64s(&run(7)),
+        "lossy-fabric trajectories depend on the thread count"
+    );
+}
+
+/// The pinned digest of `lossy_fabric_sample_paths_are_pinned_and_thread_invariant`.
+const PINNED_LOSSY_FABRIC_DIGEST: u64 = 0x1f95_93b6_f075_8478;
+
 /// The digests above must not depend on the worker-thread count — pin the
 /// invariance itself so the gate cannot be weakened by a scheduling leak.
 #[test]
