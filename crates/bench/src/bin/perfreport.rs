@@ -13,7 +13,7 @@
 //! fixed thread count), `--repeat N` (measurement rounds per workload,
 //! fastest kept; default 3 — one-sided scheduling noise makes min-of-N
 //! the stable estimator), `--seed S` (non-default seeds skip digest
-//! assertions), `--out PATH` (default `BENCH_9.json`), `--no-write`
+//! assertions), `--out PATH` (default `BENCH_10.json`), `--no-write`
 //! (print only).
 //!
 //! The digests make the harness a regression *gate*, not just a meter: a
@@ -21,10 +21,11 @@
 //! numbers can be mistaken for a like-for-like comparison.
 
 use churnbal_bench::perf::{
-    expected_compare_grid_digest, expected_digest, expected_large_fleet_baseline_digest,
-    expected_large_fleet_digest, expected_sweep_grid_digest, measure_channel_overhead,
-    measure_compare_grid, measure_large_fleet, measure_probe_overhead, measure_repeated,
-    measure_sweep_grid, to_json, workloads, RunInfo, PERF_SEED, PROBE_OVERHEAD_DT,
+    expected_campaign_cache_digest, expected_compare_grid_digest, expected_digest,
+    expected_large_fleet_baseline_digest, expected_large_fleet_digest, expected_sweep_grid_digest,
+    measure_campaign_cache, measure_channel_overhead, measure_compare_grid, measure_large_fleet,
+    measure_probe_overhead, measure_repeated, measure_sweep_grid, to_json, workloads,
+    ExtraSections, RunInfo, PERF_SEED, PROBE_OVERHEAD_DT,
 };
 
 struct Options {
@@ -42,7 +43,7 @@ fn parse_args() -> Options {
         threads: 1,
         seed: PERF_SEED,
         repeat: 3,
-        out: "BENCH_9.json".to_string(),
+        out: "BENCH_10.json".to_string(),
         write: true,
     };
     let mut it = std::env::args().skip(1);
@@ -302,13 +303,54 @@ fn main() {
         channel.overhead() * 100.0
     );
 
+    // The campaign workload: a campaign directory run cold (fresh cache)
+    // and warm (unchanged inputs). The inner assertion is the cache
+    // contract — a warm run simulates zero replications; the digest is
+    // the byte-identity contract — the warm CSV equals the cold one; the
+    // gate below is the economics — a warm re-run must be ≥ 10× faster.
+    let campaign = measure_campaign_cache(opts.quick, opts.seed, opts.repeat);
+    let campaign_verdict = if opts.seed == PERF_SEED {
+        if campaign.digest == expected_campaign_cache_digest(opts.quick) {
+            "ok"
+        } else {
+            drifted = true;
+            "DRIFT"
+        }
+    } else {
+        "unpinned"
+    };
+    println!(
+        "{:<16} {:>6} {:>12} {:>10.3} {:>14}  {:#018x} {} ({} cells, warm {:.4}s, {:.0}x cold/warm at {} threads)",
+        "campaign-cache",
+        campaign.reps,
+        "",
+        campaign.cold_wall_seconds,
+        "",
+        campaign.digest,
+        campaign_verdict,
+        campaign.cells,
+        campaign.warm_wall_seconds,
+        campaign.speedup(),
+        campaign.threads,
+    );
+    // The acceptance floor: serving every cell from the content-addressed
+    // cache must beat re-simulating by ≥ 10×.
+    assert!(
+        campaign.speedup() >= 10.0,
+        "campaign-cache warm speedup {:.2}x fell below the 10x floor",
+        campaign.speedup()
+    );
+
     let json = to_json(
         &measurements,
-        Some(&sweep),
-        Some(&compare),
-        Some(&large),
-        Some(&probe),
-        Some(&channel),
+        &ExtraSections {
+            sweep: Some(&sweep),
+            compare: Some(&compare),
+            large: Some(&large),
+            probe: Some(&probe),
+            channel: Some(&channel),
+            campaign: Some(&campaign),
+        },
         RunInfo {
             quick: opts.quick,
             threads: opts.threads,

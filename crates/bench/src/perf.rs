@@ -218,6 +218,8 @@ pub fn measure_sweep_grid(quick: bool, seed: u64, repeat: u32) -> SweepGridMeasu
             config,
             reps,
             seed,
+            rep_base: 0,
+            antithetic: false,
             options: SimOptions::default(),
         })
         .collect();
@@ -376,6 +378,8 @@ pub fn measure_compare_grid(quick: bool, seed: u64, repeat: u32) -> CompareGridM
             config,
             reps,
             seed,
+            rep_base: 0,
+            antithetic: false,
             options: SimOptions::default(),
         })
         .collect();
@@ -1139,20 +1143,167 @@ pub struct RunInfo {
     pub repeat: u32,
 }
 
+/// Fixed thread count of the campaign-cache workload: the invariant
+/// under test is *what* runs (zero cells warm), not scheduling, so a
+/// small fixed pool keeps the wall numbers comparable across machines.
+pub const CAMPAIGN_CACHE_THREADS: usize = 4;
+
+/// The campaign-cache workload's cold vs warm comparison: a campaign
+/// directory built from scratch and run to completion (cold), then
+/// re-run unchanged (warm — the content-addressed cache must satisfy
+/// every cell, simulating **zero** replications).
+#[derive(Clone, Debug)]
+pub struct CampaignCacheMeasurement {
+    /// Cells in the campaign grid.
+    pub cells: usize,
+    /// Replications the cold run simulated.
+    pub reps: u64,
+    /// Replications the warm run simulated (the cache contract: 0).
+    pub warm_reps: u64,
+    /// Worker threads ([`CAMPAIGN_CACHE_THREADS`]).
+    pub threads: usize,
+    /// Cold wall clock (best of `repeat` fresh-directory runs).
+    pub cold_wall_seconds: f64,
+    /// Warm wall clock (best of `repeat` re-runs on the finished dir).
+    pub warm_wall_seconds: f64,
+    /// FNV-1a digest of the final CSV bytes (byte-identical cold/warm).
+    pub digest: u64,
+}
+
+impl CampaignCacheMeasurement {
+    /// Cold-over-warm wall-clock ratio — the value the ≥ 10× acceptance
+    /// floor gates.
+    #[must_use]
+    pub fn speedup(&self) -> f64 {
+        if self.warm_wall_seconds > 0.0 {
+            self.cold_wall_seconds / self.warm_wall_seconds
+        } else {
+            f64::INFINITY
+        }
+    }
+}
+
+/// Pinned campaign-cache CSV digests, `(quick, full)`.
+pub const EXPECTED_CAMPAIGN_CACHE_DIGESTS: (u64, u64) =
+    (0xbc4d_9e85_1830_3116, 0x892a_76a4_41c1_cde4);
+
+/// The pinned campaign-cache digest for the mode.
+#[must_use]
+pub fn expected_campaign_cache_digest(quick: bool) -> u64 {
+    if quick {
+        EXPECTED_CAMPAIGN_CACHE_DIGESTS.0
+    } else {
+        EXPECTED_CAMPAIGN_CACHE_DIGESTS.1
+    }
+}
+
+/// The campaign spec of the campaign-cache workload: paper-fig5 swept
+/// over a failure-rate axis with a 2-policy set under tight sequential
+/// stopping, so the cold run caps out and the cell count is stable.
+fn campaign_cache_spec(quick: bool, seed: u64) -> String {
+    let (r0, max_reps) = if quick { (8, 64) } else { (16, 256) };
+    format!(
+        "scenarios = [\"paper-fig5\"]\n\
+         policies = [\"lbp1-optimal\", \"none\"]\n\
+         axis = [\"failure-scale=1,1.25,1.5,1.75,2\"]\n\
+         seed = {seed}\n\
+         \n\
+         [stopping]\n\
+         tolerance = 0.05\n\
+         r0 = {r0}\n\
+         max_reps = {max_reps}\n\
+         \n\
+         [fields]\n\
+         workload = \"campaign-cache\"\n"
+    )
+}
+
+/// Measures the campaign cache: best-of-`repeat` cold runs (fresh
+/// directory each time) against best-of-`repeat` warm re-runs of the
+/// finished directory, with the final CSV digested for the drift gate.
+///
+/// # Panics
+/// On campaign failures, or if a warm run simulates any replication.
+#[must_use]
+pub fn measure_campaign_cache(quick: bool, seed: u64, repeat: u32) -> CampaignCacheMeasurement {
+    use churnbal_lab::campaign::{Campaign, CampaignRunOptions};
+
+    let dir = std::env::temp_dir().join(format!(
+        "churnbal-campaign-cache-{}-{}",
+        if quick { "quick" } else { "full" },
+        std::process::id()
+    ));
+    let opts = CampaignRunOptions {
+        threads: CAMPAIGN_CACHE_THREADS,
+        chunk: 0,
+        max_cells: None,
+    };
+    let spec = campaign_cache_spec(quick, seed);
+
+    let mut cells = 0;
+    let mut reps = 0;
+    let mut cold_wall_seconds = f64::INFINITY;
+    for _ in 0..repeat.max(1) {
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("create campaign dir");
+        std::fs::write(dir.join("campaign-cache.toml"), &spec).expect("write spec");
+        let start = Instant::now();
+        let mut campaign = Campaign::load(&dir).expect("campaign loads");
+        let report = campaign.run(&opts).expect("cold campaign run");
+        cold_wall_seconds = cold_wall_seconds.min(start.elapsed().as_secs_f64());
+        assert_eq!(report.cells_done, report.cells_total, "cold run finishes");
+        cells = report.cells_total;
+        reps = report.reps_run;
+    }
+
+    let mut warm_reps = 0;
+    let mut warm_wall_seconds = f64::INFINITY;
+    for _ in 0..repeat.max(1) {
+        let start = Instant::now();
+        let mut campaign = Campaign::load(&dir).expect("campaign reloads");
+        let report = campaign.run(&opts).expect("warm campaign run");
+        warm_wall_seconds = warm_wall_seconds.min(start.elapsed().as_secs_f64());
+        assert_eq!(
+            report.reps_run, 0,
+            "warm re-run must simulate zero replications"
+        );
+        warm_reps = report.reps_run;
+    }
+
+    let csv = std::fs::read(dir.join("out").join("campaign-cache.csv")).expect("campaign csv");
+    let mut h = churnbal_stochastic::Fnv1a::new();
+    h.update(&csv);
+    let digest = h.finish();
+    let _ = std::fs::remove_dir_all(&dir);
+    CampaignCacheMeasurement {
+        cells,
+        reps,
+        warm_reps,
+        threads: CAMPAIGN_CACHE_THREADS,
+        cold_wall_seconds,
+        warm_wall_seconds,
+        digest,
+    }
+}
+
+/// The optional per-workload sections of the JSON report, one slot per
+/// specialized workload; a slot is `Some` when its workload ran.
+#[derive(Default)]
+pub struct ExtraSections<'a> {
+    pub sweep: Option<&'a SweepGridMeasurement>,
+    pub compare: Option<&'a CompareGridMeasurement>,
+    pub large: Option<&'a LargeFleetMeasurement>,
+    pub probe: Option<&'a ProbeOverheadMeasurement>,
+    pub channel: Option<&'a ChannelOverheadMeasurement>,
+    pub campaign: Option<&'a CampaignCacheMeasurement>,
+}
+
 /// Renders the report as pretty-printed JSON (no external deps; every
 /// field is a number or a fixed-format string).
 #[must_use]
-pub fn to_json(
-    measurements: &[Measurement],
-    sweep: Option<&SweepGridMeasurement>,
-    compare: Option<&CompareGridMeasurement>,
-    large: Option<&LargeFleetMeasurement>,
-    probe: Option<&ProbeOverheadMeasurement>,
-    channel: Option<&ChannelOverheadMeasurement>,
-    info: RunInfo,
-) -> String {
+pub fn to_json(measurements: &[Measurement], extras: &ExtraSections<'_>, info: RunInfo) -> String {
     let mut out = String::from("{\n");
-    out.push_str("  \"schema\": \"churnbal-perfreport/6\",\n");
+    out.push_str("  \"schema\": \"churnbal-perfreport/7\",\n");
     out.push_str(&format!(
         "  \"mode\": \"{}\",\n",
         if info.quick { "quick" } else { "full" }
@@ -1176,7 +1327,7 @@ pub fn to_json(
         ));
     }
     out.push_str("  ],\n");
-    if let Some(s) = sweep {
+    if let Some(s) = extras.sweep {
         out.push_str(&format!(
             "  \"sweep_grid\": {{\"points\": {}, \"reps\": {}, \"events\": {}, \
              \"threads\": {}, \"wall_seconds\": {:?}, \"sequential_wall_seconds\": {:?}, \
@@ -1191,7 +1342,7 @@ pub fn to_json(
             s.digest,
         ));
     }
-    if let Some(c) = compare {
+    if let Some(c) = extras.compare {
         out.push_str(&format!(
             "  \"compare_grid\": {{\"points\": {}, \"policies\": {}, \"reps\": {}, \
              \"events\": {}, \"threads\": {}, \"wall_seconds\": {:?}, \
@@ -1208,7 +1359,7 @@ pub fn to_json(
             c.digest,
         ));
     }
-    if let Some(l) = large {
+    if let Some(l) = extras.large {
         out.push_str(&format!(
             "  \"large_fleet\": {{\"nodes\": {}, \"reps\": {}, \"events\": {}, \
              \"wall_seconds\": {:?}, \"events_per_sec\": {:.0}, \"baseline_events\": {}, \
@@ -1227,7 +1378,7 @@ pub fn to_json(
             l.baseline_digest,
         ));
     }
-    if let Some(p) = probe {
+    if let Some(p) = extras.probe {
         out.push_str(&format!(
             "  \"probe_overhead\": {{\"reps\": {}, \"events\": {}, \"probe_ticks\": {}, \
              \"off_wall_seconds\": {:?}, \"armed_wall_seconds\": {:?}, \
@@ -1241,7 +1392,7 @@ pub fn to_json(
             p.digest,
         ));
     }
-    if let Some(c) = channel {
+    if let Some(c) = extras.channel {
         out.push_str(&format!(
             "  \"channel_overhead\": {{\"reps\": {}, \"events\": {}, \
              \"reliable_wall_seconds\": {:?}, \"lossy_wall_seconds\": {:?}, \
@@ -1251,6 +1402,21 @@ pub fn to_json(
             c.reliable_wall_seconds,
             c.lossy_wall_seconds,
             c.overhead(),
+            c.digest,
+        ));
+    }
+    if let Some(c) = extras.campaign {
+        out.push_str(&format!(
+            "  \"campaign_cache\": {{\"cells\": {}, \"reps\": {}, \"warm_reps\": {}, \
+             \"threads\": {}, \"cold_wall_seconds\": {:?}, \"warm_wall_seconds\": {:?}, \
+             \"speedup\": {:.2}, \"digest\": \"{:#018x}\"}},\n",
+            c.cells,
+            c.reps,
+            c.warm_reps,
+            c.threads,
+            c.cold_wall_seconds,
+            c.warm_wall_seconds,
+            c.speedup(),
             c.digest,
         ));
     }
@@ -1338,13 +1504,26 @@ mod tests {
             median_lossy_ratio: 1.006,
             digest: 0xf00d,
         };
+        // Hand-built as well: the JSON rendering is the subject.
+        let campaign = CampaignCacheMeasurement {
+            cells: 10,
+            reps: 640,
+            warm_reps: 0,
+            threads: CAMPAIGN_CACHE_THREADS,
+            cold_wall_seconds: 0.4,
+            warm_wall_seconds: 0.002,
+            digest: 0xfeed,
+        };
         let json = to_json(
             &ms,
-            Some(&sweep),
-            Some(&compare),
-            Some(&large),
-            Some(&probe),
-            Some(&channel),
+            &ExtraSections {
+                sweep: Some(&sweep),
+                compare: Some(&compare),
+                large: Some(&large),
+                probe: Some(&probe),
+                channel: Some(&channel),
+                campaign: Some(&campaign),
+            },
             RunInfo {
                 quick: true,
                 threads: 0,
@@ -1355,12 +1534,15 @@ mod tests {
         for w in workloads() {
             assert!(json.contains(w.name), "{json}");
         }
-        assert!(json.contains("\"schema\": \"churnbal-perfreport/6\""));
+        assert!(json.contains("\"schema\": \"churnbal-perfreport/7\""));
         assert!(json.contains("\"sweep_grid\""));
         assert!(json.contains("\"compare_grid\""));
         assert!(json.contains("\"large_fleet\""));
         assert!(json.contains("\"probe_overhead\""));
         assert!(json.contains("\"channel_overhead\""));
+        assert!(json.contains("\"campaign_cache\""));
+        assert!(json.contains("\"warm_reps\": 0"), "{json}");
+        assert!(json.contains("\"speedup\": 200.00"), "{json}");
         assert!(json.contains("\"lossy_overhead\": 0.0060"), "{json}");
         assert!(json.contains("\"armed_overhead\": 0.0100"), "{json}");
         assert!(json.contains("\"speedup\": 10.00"), "{json}");
@@ -1368,6 +1550,23 @@ mod tests {
         assert!(json.contains("\"repeat\": 1"));
         assert!(json.contains("\"speedup\""));
         assert!(json.contains("\"total\""));
+    }
+
+    #[test]
+    fn campaign_cache_digest_matches_its_pin() {
+        // `measure_campaign_cache` itself asserts the warm run simulates
+        // zero replications; this additionally pins the CSV bytes the
+        // cache reproduces.
+        let m = measure_campaign_cache(true, PERF_SEED, 1);
+        assert_eq!(
+            m.digest,
+            expected_campaign_cache_digest(true),
+            "campaign-cache CSV drifted (digest {:#018x})",
+            m.digest
+        );
+        assert_eq!(m.cells, 10);
+        assert_eq!(m.warm_reps, 0);
+        assert!(m.reps > 0);
     }
 
     #[test]

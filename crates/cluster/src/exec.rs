@@ -55,12 +55,45 @@ pub struct PointJob<'a> {
     pub config: &'a SystemConfig,
     /// Replications to run (must be ≥ 1).
     pub reps: u64,
-    /// Master seed: replication `r` uses
-    /// `StreamFactory::new(seed).subfactory(r)`.
+    /// Master seed: local replication `r` uses the streams of **global**
+    /// replication `g = rep_base + r` (see [`PointJob::rep_base`]).
     pub seed: u64,
+    /// Global index of this job's first replication on the `(seed, r)`
+    /// stream map: local replication `r` runs as global replication
+    /// `rep_base + r`. Round-based schedulers (the campaign engine) set
+    /// this to the replications already accumulated, so every round
+    /// continues the *same* deterministic stream sequence an unrounded
+    /// `reps = rep_base + reps` job would have used. Plain sweeps leave
+    /// it 0.
+    pub rep_base: u64,
+    /// Antithetic replication pairing: when set, global replication `2k`
+    /// uses `subfactory(k)` and `2k+1` uses `subfactory(k).antithetic()`
+    /// (all uniforms mirrored `≈ 1 − u`), negatively correlating each
+    /// pair — a variance-reduction mode for campaign runs. When unset,
+    /// global replication `g` uses `subfactory(g)` (the historical map).
+    pub antithetic: bool,
     /// Engine options (deadline; traces are not collected by the
     /// scheduler).
     pub options: SimOptions,
+}
+
+impl PointJob<'_> {
+    /// The `(seed, r)` stream map: the [`StreamFactory`] of this job's
+    /// local replication `r`, honouring `rep_base` and `antithetic`.
+    #[must_use]
+    pub fn streams_for_rep(&self, r: u64) -> StreamFactory {
+        let g = self.rep_base + r;
+        if self.antithetic {
+            let f = StreamFactory::new(self.seed).subfactory(g / 2);
+            if g % 2 == 1 {
+                f.antithetic()
+            } else {
+                f
+            }
+        } else {
+            StreamFactory::new(self.seed).subfactory(g)
+        }
+    }
 }
 
 /// Slot-stable per-replication results of one completed grid point, in
@@ -793,7 +826,7 @@ fn bind_simulator<'s, 'a>(
     r: u64,
     rebinds: &mut u64,
 ) -> &'s mut Simulator<'a> {
-    let streams = StreamFactory::new(job.seed).subfactory(r);
+    let streams = job.streams_for_rep(r);
     match slot {
         Some((bound, sim)) => {
             if *bound == p {
@@ -955,6 +988,8 @@ mod tests {
                 config,
                 reps,
                 seed: 42,
+                rep_base: 0,
+                antithetic: false,
                 options: SimOptions::default(),
             })
             .collect();
@@ -1031,6 +1066,8 @@ mod tests {
             config: &config,
             reps: 4,
             seed: 7,
+            rep_base: 0,
+            antithetic: false,
             options: SimOptions {
                 deadline: Some(0.25),
                 ..SimOptions::default()
@@ -1054,6 +1091,8 @@ mod tests {
                 config,
                 reps: 2,
                 seed: 1,
+                rep_base: 0,
+                antithetic: false,
                 options: SimOptions::default(),
             })
             .collect();
@@ -1081,6 +1120,8 @@ mod tests {
             config: &config,
             reps: 0,
             seed: 1,
+            rep_base: 0,
+            antithetic: false,
             options: SimOptions::default(),
         }];
         let _ = run_grid_streaming(&jobs, &|_, _| NoBalancing, 1, 1, |_, _| Ok(()));
@@ -1098,6 +1139,8 @@ mod tests {
                 config,
                 reps: 5,
                 seed: 42,
+                rep_base: 0,
+                antithetic: false,
                 options: SimOptions::default(),
             })
             .collect();
@@ -1142,6 +1185,8 @@ mod tests {
                 config,
                 reps: 3 + (k as u64 % 3),
                 seed: 7,
+                rep_base: 0,
+                antithetic: false,
                 options: SimOptions::default(),
             })
             .collect();
@@ -1218,6 +1263,8 @@ mod tests {
                 config,
                 reps: 2,
                 seed: 3,
+                rep_base: 0,
+                antithetic: false,
                 options: SimOptions::default(),
             })
             .collect();
@@ -1243,6 +1290,8 @@ mod tests {
             config: &config,
             reps: 1,
             seed: 1,
+            rep_base: 0,
+            antithetic: false,
             options: SimOptions::default(),
         }];
         let _ =
@@ -1301,6 +1350,8 @@ mod tests {
                 config,
                 reps: 4,
                 seed: 42,
+                rep_base: 0,
+                antithetic: false,
                 options,
             })
             .collect();
@@ -1336,6 +1387,8 @@ mod tests {
                 config,
                 reps: 3,
                 seed: 9,
+                rep_base: 0,
+                antithetic: false,
                 options: SimOptions::default(),
             })
             .collect();
@@ -1401,6 +1454,8 @@ mod tests {
                 config,
                 reps: 3,
                 seed: 42,
+                rep_base: 0,
+                antithetic: false,
                 options: SimOptions::default(),
             })
             .collect();
@@ -1462,6 +1517,8 @@ mod tests {
                 config,
                 reps: 4,
                 seed: 42,
+                rep_base: 0,
+                antithetic: false,
                 options: SimOptions::default(),
             })
             .collect();
@@ -1527,6 +1584,8 @@ mod tests {
             config: &config,
             reps: 2,
             seed: 7,
+            rep_base: 0,
+            antithetic: false,
             options: SimOptions {
                 task_timeout: Some(0.0),
                 ..SimOptions::default()
@@ -1559,6 +1618,8 @@ mod tests {
                 config: &config,
                 reps: 6,
                 seed: 11,
+                rep_base: 0,
+                antithetic: false,
                 options: SimOptions {
                     task_timeout: timeout,
                     ..SimOptions::default()

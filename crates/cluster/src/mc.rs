@@ -170,6 +170,8 @@ where
         config,
         reps,
         seed: master_seed,
+        rep_base: 0,
+        antithetic: false,
         options,
     };
     let mut stats = None;

@@ -37,13 +37,14 @@ use std::io::Write;
 use churnbal_cluster::ProbeReport;
 use churnbal_core::PolicySpec;
 
+use crate::campaign::{Campaign, CampaignRunOptions};
 use crate::experiment::{
     probe_jsonl_row, CollectSink, CsvSink, Experiment, ExperimentResult, ExperimentRow,
     ExperimentSchema, ExperimentSpec, JsonlSink, PolicyEntry, RowSink,
 };
 use crate::journal::JournalConfig;
 use crate::registry;
-use crate::scenario::Scenario;
+use crate::scenario::{Scenario, ScenarioError, ScenarioErrorKind};
 use crate::sweep::{Axis, AxisParam, RunOptions};
 
 const USAGE: &str = "usage: churnbal-lab <command>\n\
@@ -58,6 +59,18 @@ commands:\n\
   stats <scenario|file.toml>    probe one scenario's base point and report\n\
                                 counters, telemetry quantiles and the\n\
                                 scheduler's runtime instrumentation\n\
+  campaign run <dir>            execute every campaign spec (*.toml) in DIR\n\
+                                with adaptive sequential stopping and a\n\
+                                content-addressed per-cell cache; writes\n\
+                                DIR/out/<spec>.csv as specs finish\n\
+  campaign status <dir>         per-spec progress of a campaign directory\n\
+  report <dir>                  render a finished campaign as markdown\n\
+\n\
+options (campaign run):\n\
+  --threads T                worker threads per round (0 = auto)\n\
+  --chunk C                  tasks claimed per scheduler grab (0 = auto)\n\
+  --max-cells N              stop this invocation once N cells finish in it\n\
+                             (deterministic interruption point for CI)\n\
 \n\
 options (run/sweep/compare/stats):\n\
   --axis param=v1,v2,...     sweep axis, explicit values (sweep/compare)\n\
@@ -137,6 +150,13 @@ pub fn run(args: &[String]) -> Result<String, String> {
         Some("stats") => {
             let (scenario, opts) = parse_common(&mut it, Grammar::Stats)?;
             cmd_stats(&scenario, &opts)
+        }
+        Some("campaign") => cmd_campaign(&mut it),
+        Some("report") => {
+            let dir = it
+                .next()
+                .ok_or("report: missing campaign directory\n\ntry: churnbal-lab report <dir>")?;
+            Campaign::load(std::path::Path::new(dir))?.report()
         }
         Some(other) => Err(format!("unknown command `{other}`\n\n{USAGE}")),
     }
@@ -294,7 +314,14 @@ fn parse_common<'a>(
         }
     }
     if opts.resume && opts.journal.is_none() {
-        return Err("--resume needs --journal DIR to know where the journal lives".into());
+        // Typed up-front rejection: the experiment layer would otherwise
+        // only notice once it tries to open a journal that was never
+        // configured.
+        return Err(ScenarioError {
+            scenario: scenario.name.clone(),
+            kind: ScenarioErrorKind::ResumeWithoutJournal,
+        }
+        .into());
     }
     if grammar == Grammar::Compare && opts.policies.len() < 2 {
         return Err(format!(
@@ -319,7 +346,7 @@ fn parse_common<'a>(
 }
 
 /// Resolves a scenario by registry name first, then as a TOML file path.
-fn load_scenario(name: &str) -> Result<Scenario, String> {
+pub(crate) fn load_scenario(name: &str) -> Result<Scenario, String> {
     if let Some(sc) = registry::get(name) {
         sc.validate().map_err(|e| e.to_string())?;
         return Ok(sc);
@@ -338,7 +365,7 @@ fn load_scenario(name: &str) -> Result<Scenario, String> {
 }
 
 /// Parses `param=v1,v2,...` or `param=lo:hi:step` (inclusive range).
-fn parse_axis(spec: &str) -> Result<Axis, String> {
+pub(crate) fn parse_axis(spec: &str) -> Result<Axis, String> {
     let Some((key, values)) = spec.split_once('=') else {
         return Err(format!("--axis: expected `param=values`, got `{spec}`"));
     };
@@ -388,7 +415,10 @@ fn parse_axis(spec: &str) -> Result<Axis, String> {
 /// Resolves the `--policies` tokens against the scenario's own policy.
 /// An explicit `@gain` suffix pins the gain: a `gain` axis sweeps the
 /// other gain-bearing policies but leaves pinned ones at their value.
-fn parse_policies(tokens: &[String], scenario: &Scenario) -> Result<Vec<PolicyEntry>, String> {
+pub(crate) fn parse_policies(
+    tokens: &[String],
+    scenario: &Scenario,
+) -> Result<Vec<PolicyEntry>, String> {
     tokens
         .iter()
         .map(|token| {
@@ -401,6 +431,81 @@ fn parse_policies(tokens: &[String], scenario: &Scenario) -> Result<Vec<PolicyEn
             Ok(entry)
         })
         .collect()
+}
+
+/// `campaign run <dir> [--threads T] [--chunk C] [--max-cells N]` and
+/// `campaign status <dir>`.
+fn cmd_campaign<'a>(it: &mut impl Iterator<Item = &'a String>) -> Result<String, String> {
+    let sub = it
+        .next()
+        .ok_or("campaign: expected `run` or `status`\n\ntry: churnbal-lab campaign run <dir>")?;
+    let dir = it
+        .next()
+        .ok_or_else(|| format!("campaign {sub}: missing campaign directory"))?;
+    let dir = std::path::Path::new(dir);
+    match sub.as_str() {
+        "status" => {
+            if let Some(extra) = it.next() {
+                return Err(format!("campaign status: unexpected argument `{extra}`"));
+            }
+            Ok(Campaign::load(dir)?.status())
+        }
+        "run" => {
+            let mut opts = CampaignRunOptions::default();
+            while let Some(flag) = it.next() {
+                let value = |it: &mut dyn Iterator<Item = &'a String>| {
+                    it.next().ok_or(format!("{flag} needs a value"))
+                };
+                match flag.as_str() {
+                    "--threads" => {
+                        opts.threads = value(it)?
+                            .parse()
+                            .map_err(|_| "--threads: not a number".to_string())?;
+                    }
+                    "--chunk" => {
+                        opts.chunk = value(it)?
+                            .parse()
+                            .map_err(|_| "--chunk: not a number".to_string())?;
+                    }
+                    "--max-cells" => {
+                        let n: u64 = value(it)?
+                            .parse()
+                            .map_err(|_| "--max-cells: not a number".to_string())?;
+                        if n == 0 {
+                            return Err("--max-cells must be >= 1".to_string());
+                        }
+                        opts.max_cells = Some(n);
+                    }
+                    other => {
+                        return Err(format!("campaign run: unknown flag `{other}`"));
+                    }
+                }
+            }
+            let mut campaign = Campaign::load(dir)?;
+            let report = campaign.run(&opts)?;
+            let mut out = format!(
+                "campaign {}: {} cell(s), {} done ({} finished this run)\n\
+                 this run: {} round(s), {} replication(s) simulated\n",
+                dir.display(),
+                report.cells_total,
+                report.cells_done,
+                report.cells_finished_now,
+                report.rounds,
+                report.reps_run,
+            );
+            if report.csv_paths.is_empty() {
+                out.push_str("csv: none complete yet\n");
+            } else {
+                for path in &report.csv_paths {
+                    out.push_str(&format!("csv: {}\n", path.display()));
+                }
+            }
+            Ok(out)
+        }
+        other => Err(format!(
+            "campaign: unknown subcommand `{other}` (expected `run` or `status`)"
+        )),
+    }
 }
 
 fn cmd_list() -> Result<String, String> {
@@ -535,6 +640,10 @@ fn apply_journal(spec: &mut ExperimentSpec, opts: &CliOptions) {
         spec.journal = Some(JournalConfig {
             dir: dir.clone(),
             resume: opts.resume,
+            fsync_every: spec
+                .scenario
+                .journal_fsync_every
+                .unwrap_or(crate::journal::SYNC_EVERY),
         });
     }
 }

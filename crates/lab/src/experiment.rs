@@ -794,6 +794,8 @@ impl Experiment {
             config: &config,
             reps: spec.options.effective_reps(scenario).max(1),
             seed: spec.options.seed.unwrap_or(scenario.seed),
+            rep_base: 0,
+            antithetic: false,
             options: SimOptions {
                 deadline: scenario.deadline,
                 backend: spec.options.backend,
@@ -920,6 +922,8 @@ impl Experiment {
                 config,
                 reps: spec.options.effective_reps(&point.scenario).max(1),
                 seed: spec.options.seed.unwrap_or(point.scenario.seed),
+                rep_base: 0,
+                antithetic: false,
                 options: SimOptions {
                     deadline: point.scenario.deadline,
                     backend: spec.options.backend,
@@ -960,10 +964,14 @@ impl Experiment {
         // The CLI flag wins; a scenario's own [journal] table journals
         // without resuming (resume is an explicit, per-invocation act).
         let journal_cfg = spec.journal.clone().or_else(|| {
-            spec.scenario
-                .journal_dir
-                .clone()
-                .map(|dir| JournalConfig { dir, resume: false })
+            spec.scenario.journal_dir.clone().map(|dir| JournalConfig {
+                dir,
+                resume: false,
+                fsync_every: spec
+                    .scenario
+                    .journal_fsync_every
+                    .unwrap_or(crate::journal::SYNC_EVERY),
+            })
         });
         let mut preloaded: Vec<Option<PointStats>> = vec![None; points.len() * k];
         let mut journal: Option<RunJournal> = None;
@@ -973,7 +981,12 @@ impl Experiment {
                      drop --journal or disable probing"
                     .into());
             }
-            let (j, records) = RunJournal::open(Path::new(&cfg.dir), spec.digest(), cfg.resume)?;
+            let (j, records) = RunJournal::open_with(
+                Path::new(&cfg.dir),
+                spec.digest(),
+                cfg.resume,
+                cfg.fsync_every,
+            )?;
             for rec in records {
                 if rec.point >= points.len() || rec.policy >= k {
                     return Err(format!(

@@ -46,6 +46,10 @@ pub struct JournalConfig {
     /// Replay completed cells from an existing journal instead of
     /// truncating it (`--resume`).
     pub resume: bool,
+    /// `fsync` cadence in appended records (`[journal] fsync_every`,
+    /// default [`SYNC_EVERY`]); the journal additionally always flushes
+    /// on [`RunJournal::finish`] and on drop.
+    pub fsync_every: u64,
 }
 
 /// One journalled `(point, policy)` cell.
@@ -59,9 +63,11 @@ pub struct JournalRecord {
     pub stats: PointStats,
 }
 
-/// Records are `fsync`ed in batches of this size (and once more on
-/// [`RunJournal::finish`]); a crash loses at most the tail batch, never
-/// corrupts earlier lines.
+/// Default `fsync` batch size: records are synced every this-many
+/// appends (and once more on [`RunJournal::finish`] and on drop); a
+/// crash loses at most the tail batch, never corrupts earlier lines.
+/// Override per run with `[journal] fsync_every` /
+/// [`JournalConfig::fsync_every`].
 pub const SYNC_EVERY: u64 = 32;
 
 /// Journal format version; bumped on any incompatible layout change.
@@ -74,6 +80,7 @@ pub struct RunJournal {
     file: File,
     path: PathBuf,
     appended: u64,
+    sync_every: u64,
 }
 
 impl RunJournal {
@@ -99,11 +106,27 @@ impl RunJournal {
         digest: u64,
         resume: bool,
     ) -> Result<(Self, Vec<JournalRecord>), String> {
+        Self::open_with(dir, digest, resume, SYNC_EVERY)
+    }
+
+    /// [`RunJournal::open`] with an explicit `fsync` cadence
+    /// (`fsync_every` appended records; must be ≥ 1 — the scenario layer
+    /// validates `[journal] fsync_every` before it gets here).
+    ///
+    /// # Errors
+    /// Same failure modes as [`RunJournal::open`].
+    pub fn open_with(
+        dir: &Path,
+        digest: u64,
+        resume: bool,
+        fsync_every: u64,
+    ) -> Result<(Self, Vec<JournalRecord>), String> {
+        let sync_every = fsync_every.max(1);
         fs::create_dir_all(dir)
             .map_err(|e| format!("journal: cannot create {}: {e}", dir.display()))?;
         let path = Self::path_for(dir, digest);
         if resume && path.exists() {
-            return Self::open_existing(path, digest);
+            return Self::open_existing(path, digest, sync_every);
         }
         let mut file = File::create(&path)
             .map_err(|e| format!("journal: cannot create {}: {e}", path.display()))?;
@@ -119,12 +142,17 @@ impl RunJournal {
                 file,
                 path,
                 appended: 0,
+                sync_every,
             },
             Vec::new(),
         ))
     }
 
-    fn open_existing(path: PathBuf, digest: u64) -> Result<(Self, Vec<JournalRecord>), String> {
+    fn open_existing(
+        path: PathBuf,
+        digest: u64,
+        sync_every: u64,
+    ) -> Result<(Self, Vec<JournalRecord>), String> {
         let bytes =
             fs::read(&path).map_err(|e| format!("journal: cannot read {}: {e}", path.display()))?;
         // Journal lines are pure ASCII; a torn tail is still a valid
@@ -166,6 +194,7 @@ impl RunJournal {
                 file,
                 path,
                 appended: 0,
+                sync_every,
             },
             records,
         ))
@@ -225,7 +254,7 @@ impl RunJournal {
             .write_all(line.as_bytes())
             .map_err(|e| format!("journal: cannot write {}: {e}", self.path.display()))?;
         self.appended += 1;
-        if self.appended.is_multiple_of(SYNC_EVERY) {
+        if self.appended.is_multiple_of(self.sync_every) {
             self.sync()?;
         }
         Ok(())
@@ -246,7 +275,16 @@ impl RunJournal {
     }
 }
 
-fn push_u64_array(out: &mut String, key: &str, values: impl Iterator<Item = u64>) {
+impl Drop for RunJournal {
+    /// Best-effort flush: a journal abandoned without
+    /// [`RunJournal::finish`] (early return, `?`-propagation, clean exit
+    /// of a short campaign) still lands its tail batch on disk.
+    fn drop(&mut self) {
+        let _ = self.file.sync_data();
+    }
+}
+
+pub(crate) fn push_u64_array(out: &mut String, key: &str, values: impl Iterator<Item = u64>) {
     out.push_str(",\"");
     out.push_str(key);
     out.push_str("\":[");
@@ -330,20 +368,20 @@ fn parse_record(line: &str) -> Result<JournalRecord, String> {
 /// Minimal value space of the journal's JSON subset: unsigned integers,
 /// arrays of unsigned integers, and escape-free strings.
 #[derive(Debug)]
-enum JsonVal {
+pub(crate) enum JsonVal {
     Num(u64),
     Arr(Vec<u64>),
     Str(String),
 }
 
-fn lookup<'a>(fields: &'a [(String, JsonVal)], key: &str) -> Option<&'a JsonVal> {
+pub(crate) fn lookup<'a>(fields: &'a [(String, JsonVal)], key: &str) -> Option<&'a JsonVal> {
     fields.iter().find(|(k, _)| k == key).map(|(_, v)| v)
 }
 
 /// Parses one flat JSON object in the journal's subset. Anything outside
 /// the subset (escapes, nesting, floats, negative numbers) is an error —
 /// the journal never writes it.
-fn parse_object(line: &str) -> Result<Vec<(String, JsonVal)>, String> {
+pub(crate) fn parse_object(line: &str) -> Result<Vec<(String, JsonVal)>, String> {
     let mut c = Cursor {
         s: line.as_bytes(),
         i: 0,
@@ -594,6 +632,20 @@ mod tests {
         fs::write(&path, &bytes).unwrap();
         let (_j, replayed) = RunJournal::open(&dir, digest, true).unwrap();
         assert_eq!(replayed.len(), 1);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn custom_fsync_cadence_and_drop_flush_round_trip() {
+        let dir = temp_dir("cadence");
+        let digest = 17;
+        let (mut j, _) = RunJournal::open_with(&dir, digest, false, 1).unwrap();
+        j.record(0, 0, &sample_stats(2, 0)).unwrap();
+        j.record(1, 0, &sample_stats(2, 1)).unwrap();
+        // No finish(): the drop flush must still land the tail records.
+        drop(j);
+        let (_j, replayed) = RunJournal::open_with(&dir, digest, true, 7).unwrap();
+        assert_eq!(replayed.len(), 2);
         let _ = fs::remove_dir_all(&dir);
     }
 

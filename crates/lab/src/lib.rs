@@ -57,6 +57,7 @@
 //! assert!(result.rows[1].delta.is_some());
 //! ```
 
+pub mod campaign;
 pub mod cli;
 pub mod experiment;
 pub mod journal;
@@ -66,6 +67,9 @@ pub mod sweep;
 pub mod theory;
 pub mod toml;
 
+pub use campaign::{
+    Campaign, CampaignRunOptions, CampaignRunReport, CampaignSpec, CellVerdict, StoppingRule,
+};
 pub use experiment::{
     probe_jsonl_row, CollectSink, CsvSink, Experiment, ExperimentResult, ExperimentRow,
     ExperimentSchema, ExperimentSpec, JsonlSink, PairedDelta, PolicyEntry, RowSink,

@@ -98,6 +98,7 @@ fn base(name: &str, description: &str, m0: [u32; 2], policy: PolicySpec) -> Scen
         deadline: None,
         probe_dt: None,
         journal_dir: None,
+        journal_fsync_every: None,
         nodes: paper_nodes(m0),
         network: paper_network(),
         arrivals: ArrivalsSpec::None,
@@ -171,6 +172,7 @@ fn hetero_speeds() -> Scenario {
         deadline: None,
         probe_dt: None,
         journal_dir: None,
+        journal_fsync_every: None,
         nodes: vec![
             NodeSpec::new(0.5, 1.0 / 30.0, 1.0 / 10.0, 240),
             NodeSpec::new(1.0, 1.0 / 30.0, 1.0 / 10.0, 0),
@@ -200,6 +202,7 @@ fn hot_spare() -> Scenario {
         deadline: None,
         probe_dt: None,
         journal_dir: None,
+        journal_fsync_every: None,
         nodes: vec![
             NodeSpec::new(1.5, 1.0 / 12.0, 1.0 / 8.0, 200),
             NodeSpec::new(1.5, 1.0 / 12.0, 1.0 / 8.0, 200),
@@ -228,6 +231,7 @@ fn correlated_failures() -> Scenario {
         deadline: None,
         probe_dt: None,
         journal_dir: None,
+        journal_fsync_every: None,
         nodes: vec![NodeSpec::new(1.2, 1.0 / 60.0, 1.0 / 8.0, 80).times(4)],
         network: paper_network(),
         arrivals: ArrivalsSpec::None,
@@ -254,6 +258,7 @@ fn cascading_failures() -> Scenario {
         deadline: None,
         probe_dt: None,
         journal_dir: None,
+        journal_fsync_every: None,
         nodes: vec![NodeSpec::new(1.2, 1.0 / 40.0, 1.0 / 10.0, 80).times(4)],
         network: paper_network(),
         arrivals: ArrivalsSpec::None,
@@ -283,6 +288,7 @@ fn adversarial_churn() -> Scenario {
         deadline: None,
         probe_dt: None,
         journal_dir: None,
+        journal_fsync_every: None,
         nodes: vec![NodeSpec::new(1.2, 1.0 / 60.0, 1.0 / 8.0, 80).times(4)],
         network: paper_network(),
         arrivals: ArrivalsSpec::None,
@@ -326,6 +332,7 @@ fn mmpp_bursty() -> Scenario {
         deadline: None,
         probe_dt: None,
         journal_dir: None,
+        journal_fsync_every: None,
         nodes: paper_nodes([20, 20]),
         network: paper_network(),
         arrivals: ArrivalsSpec::Process(ArrivalProcess {
@@ -357,6 +364,7 @@ fn diurnal() -> Scenario {
         deadline: None,
         probe_dt: None,
         journal_dir: None,
+        journal_fsync_every: None,
         nodes: paper_nodes([10, 10]),
         network: paper_network(),
         arrivals: ArrivalsSpec::Process(ArrivalProcess {
@@ -389,6 +397,7 @@ fn flash_crowd() -> Scenario {
         deadline: None,
         probe_dt: None,
         journal_dir: None,
+        journal_fsync_every: None,
         nodes: paper_nodes([10, 10]),
         network: paper_network(),
         arrivals: ArrivalsSpec::Process(ArrivalProcess {
@@ -423,6 +432,7 @@ fn volunteer_grid() -> Scenario {
         deadline: None,
         probe_dt: None,
         journal_dir: None,
+        journal_fsync_every: None,
         nodes: vec![
             NodeSpec::new(2.0, 0.0, 0.0, 300),
             NodeSpec::new(1.5, 0.0, 0.0, 250),
@@ -474,6 +484,7 @@ fn dynamic_arrivals() -> Scenario {
         deadline: None,
         probe_dt: None,
         journal_dir: None,
+        journal_fsync_every: None,
         nodes: paper_nodes([30, 30]),
         network: paper_network(),
         arrivals: ArrivalsSpec::Fixed(dynamic_arrival_bursts()),
@@ -497,6 +508,7 @@ fn open_system() -> Scenario {
         deadline: None,
         probe_dt: None,
         journal_dir: None,
+        journal_fsync_every: None,
         nodes: paper_nodes([0, 0]),
         network: paper_network(),
         arrivals: ArrivalsSpec::Process(ArrivalProcess::poisson(0.8, 90.0).with_batch(1, 4)),
@@ -530,6 +542,7 @@ fn ring() -> Scenario {
         deadline: None,
         probe_dt: None,
         journal_dir: None,
+        journal_fsync_every: None,
         nodes: fleet_nodes(96, 15),
         network: paper_network(),
         arrivals: ArrivalsSpec::None,
@@ -553,6 +566,7 @@ fn torus() -> Scenario {
         deadline: None,
         probe_dt: None,
         journal_dir: None,
+        journal_fsync_every: None,
         nodes: fleet_nodes(120, 23),
         network: paper_network(),
         arrivals: ArrivalsSpec::None,
@@ -577,6 +591,7 @@ fn rack_hierarchy() -> Scenario {
         deadline: None,
         probe_dt: None,
         journal_dir: None,
+        journal_fsync_every: None,
         nodes: fleet_nodes(128, 15),
         network: paper_network(),
         arrivals: ArrivalsSpec::None,
@@ -608,6 +623,7 @@ fn rack_shocks() -> Scenario {
         deadline: None,
         probe_dt: None,
         journal_dir: None,
+        journal_fsync_every: None,
         nodes: fleet_nodes(128, 15),
         network: paper_network(),
         arrivals: ArrivalsSpec::None,
@@ -647,6 +663,7 @@ fn lossy_fabric() -> Scenario {
         deadline: None,
         probe_dt: None,
         journal_dir: None,
+        journal_fsync_every: None,
         nodes: fleet_nodes(120, 23),
         network: paper_network(),
         arrivals: ArrivalsSpec::None,
@@ -678,6 +695,7 @@ fn churn_storm_lossy() -> Scenario {
         deadline: None,
         probe_dt: None,
         journal_dir: None,
+        journal_fsync_every: None,
         nodes: vec![NodeSpec::new(1.2, 1.0 / 60.0, 1.0 / 8.0, 80).times(4)],
         network: paper_network(),
         arrivals: ArrivalsSpec::None,
@@ -707,6 +725,7 @@ fn paper_system(name: &str, m0: [u32; 2], network: NetworkSpec) -> SystemConfig 
         deadline: None,
         probe_dt: None,
         journal_dir: None,
+        journal_fsync_every: None,
         nodes: paper_nodes(m0),
         network,
         arrivals: ArrivalsSpec::None,

@@ -200,6 +200,12 @@ pub struct Scenario {
     /// TOML): completed cells are recorded there for crash-safe resume —
     /// see [`crate::journal`]. The CLI's `--journal` flag overrides it.
     pub journal_dir: Option<String>,
+    /// Optional journal fsync cadence (`[journal] fsync_every = ...` in
+    /// TOML): the journal `fsync`s every this-many appended records
+    /// (default [`crate::journal::SYNC_EVERY`] = 32) and always flushes
+    /// on drop, so short campaigns don't lose tail records on clean exit.
+    /// Only meaningful alongside [`Scenario::journal_dir`].
+    pub journal_fsync_every: Option<u64>,
     /// Node templates (expanding to ≥ 2 nodes).
     pub nodes: Vec<NodeSpec>,
     /// Network parameters.
@@ -296,6 +302,16 @@ pub enum ScenarioErrorKind {
     },
     /// A `[journal]` table with an empty `dir`.
     EmptyJournalDir,
+    /// A `[journal]` table with `fsync_every = 0` (the cadence counts
+    /// appended records; it must be at least 1).
+    ZeroJournalFsync,
+    /// `[journal] fsync_every` configured without a journal `dir` to
+    /// apply it to.
+    JournalFsyncWithoutDir,
+    /// `--resume` passed without `--journal`: resume replays the
+    /// content-addressed journal, so it must know which directory holds
+    /// it.
+    ResumeWithoutJournal,
     /// Churn-model parameter failure (message from
     /// [`ChurnModel::validate`]).
     Churn(String),
@@ -366,6 +382,18 @@ impl std::fmt::Display for ScenarioErrorKind {
                 write!(f, "probe dt must be positive, got {value}")
             }
             Self::EmptyJournalDir => write!(f, "journal dir must be non-empty"),
+            Self::ZeroJournalFsync => {
+                write!(f, "journal fsync_every must be >= 1 (it counts records)")
+            }
+            Self::JournalFsyncWithoutDir => {
+                write!(f, "journal fsync_every needs a journal dir to apply to")
+            }
+            Self::ResumeWithoutJournal => {
+                write!(
+                    f,
+                    "--resume needs --journal DIR to know where the journal lives"
+                )
+            }
             Self::Churn(e)
             | Self::Channel(e)
             | Self::Arrivals(e)
@@ -491,6 +519,14 @@ impl Scenario {
                 return Err(fail(ScenarioErrorKind::EmptyJournalDir));
             }
         }
+        if let Some(every) = self.journal_fsync_every {
+            if self.journal_dir.is_none() {
+                return Err(fail(ScenarioErrorKind::JournalFsyncWithoutDir));
+            }
+            if every == 0 {
+                return Err(fail(ScenarioErrorKind::ZeroJournalFsync));
+            }
+        }
         self.churn
             .validate()
             .map_err(|e| fail(ScenarioErrorKind::Churn(e)))?;
@@ -599,6 +635,14 @@ impl Scenario {
         if let Some(dir) = &self.journal_dir {
             let mut journal = Table::new();
             journal.set("dir", Value::Str(dir.clone()));
+            // fsync_every only when configured, so pre-existing journal
+            // scenarios keep their exact bytes.
+            if let Some(every) = self.journal_fsync_every {
+                journal.set(
+                    "fsync_every",
+                    Value::Int(i64::try_from(every).unwrap_or(i64::MAX)),
+                );
+            }
             doc.set_table("journal", journal);
         }
 
@@ -813,9 +857,12 @@ impl Scenario {
             None => None,
             Some(t) => Some(req_f64(t, "[probe]", "dt")?),
         };
-        let journal_dir = match doc.table("journal") {
-            None => None,
-            Some(t) => Some(req_str(t, "[journal]", "dir")?),
+        let (journal_dir, journal_fsync_every) = match doc.table("journal") {
+            None => (None, None),
+            Some(t) => (
+                Some(req_str(t, "[journal]", "dir")?),
+                opt_u64(t, "[journal]", "fsync_every")?,
+            ),
         };
 
         let net = doc
@@ -972,6 +1019,7 @@ impl Scenario {
             deadline,
             probe_dt,
             journal_dir,
+            journal_fsync_every,
             nodes,
             network,
             arrivals,
@@ -1117,6 +1165,20 @@ fn req_f64(t: &Table, ctx: &str, key: &str) -> Result<f64, String> {
     ))?;
     v.as_f64()
         .ok_or(format!("{}: expected a number", ctx_key(ctx, key)))
+}
+
+fn opt_u64(t: &Table, ctx: &str, key: &str) -> Result<Option<u64>, String> {
+    match t.get(key) {
+        None => Ok(None),
+        Some(v) => {
+            let i = v
+                .as_int()
+                .ok_or(format!("{}: expected an integer", ctx_key(ctx, key)))?;
+            u64::try_from(i)
+                .map(Some)
+                .map_err(|_| format!("{}: must be >= 0, got {i}", ctx_key(ctx, key)))
+        }
+    }
 }
 
 fn opt_f64(t: &Table, ctx: &str, key: &str) -> Result<Option<f64>, String> {

@@ -457,13 +457,13 @@ pub fn run_sweep(
 
 /// Formats a float for machine-readable output: Rust's shortest
 /// round-trip representation, so equal numbers always yield equal bytes.
-fn fnum(x: f64) -> String {
+pub(crate) fn fnum(x: f64) -> String {
     format!("{x:?}")
 }
 
 /// RFC 4180 field quoting: wraps fields containing separators, quotes or
 /// line breaks, doubling embedded quotes. Scenario names are user data.
-fn csv_field(s: &str) -> String {
+pub(crate) fn csv_field(s: &str) -> String {
     if s.contains(['"', ',', '\n', '\r']) {
         format!("\"{}\"", s.replace('"', "\"\""))
     } else {

@@ -316,9 +316,10 @@ fn scenario() -> BoxedStrategy<Scenario> {
         prop_oneof![Just(None), (1.0..500.0f64).prop_map(Some)],
         prop_oneof![Just(None), (0.05..10.0f64).prop_map(Some)],
         prop_oneof![
-            Just(None),
-            Just(Some("journals".to_string())),
-            Just(Some("out/run λ".to_string())),
+            Just((None, None)),
+            Just((Some("journals".to_string()), None)),
+            Just((Some("journals".to_string()), Some(1u64))),
+            Just((Some("out/run λ".to_string()), Some(128u64))),
         ],
     );
     let body = (
@@ -338,7 +339,7 @@ fn scenario() -> BoxedStrategy<Scenario> {
     (head, body)
         .prop_map(
             |(
-                (name, description, reps, seed, deadline, probe_dt, journal_dir),
+                (name, description, reps, seed, deadline, probe_dt, (journal_dir, journal_fsync)),
                 (nodes, (fixed, per_task), law, arrivals, (churn, channel), topology, policy, axes),
             )| Scenario {
                 name,
@@ -348,6 +349,7 @@ fn scenario() -> BoxedStrategy<Scenario> {
                 deadline,
                 probe_dt,
                 journal_dir,
+                journal_fsync_every: journal_fsync,
                 nodes,
                 network: NetworkSpec {
                     fixed,

@@ -43,4 +43,6 @@ pub use dist::{
 pub use ecdf::Ecdf;
 pub use histogram::{Histogram, LogHistogram};
 pub use rng::{BatchedRng, SplitMix64, StreamFactory, Xoshiro256pp, RNG_BATCH};
-pub use stats::{paired_comparison, t_critical_95, OnlineStats, PairedComparison};
+pub use stats::{
+    paired_comparison, t_ci95_half_width, t_critical_95, OnlineStats, PairedComparison,
+};

@@ -50,6 +50,12 @@ fn rotl(x: u64, k: u32) -> u64 {
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Xoshiro256pp {
     s: [u64; 4],
+    /// Antithetic mode: output words are bitwise-complemented. Because
+    /// [`Xoshiro256pp::next_f64`] maps the top 53 bits linearly onto
+    /// `[0, 1)`, the flipped stream yields `u' = 1 − 2⁻⁵³ − u` — the
+    /// antithetic counterpart of every uniform draw — while the state walk
+    /// (and therefore `jump`/`long_jump`) is untouched.
+    flip: bool,
 }
 
 /// Polynomial for [`Xoshiro256pp::jump`]: advances the stream by `2^128`
@@ -85,7 +91,7 @@ impl Xoshiro256pp {
         if s == [0, 0, 0, 0] {
             s[0] = 0x9E37_79B9_7F4A_7C15;
         }
-        Self { s }
+        Self { s, flip: false }
     }
 
     /// Builds a generator directly from four state words.
@@ -95,7 +101,24 @@ impl Xoshiro256pp {
     #[must_use]
     pub fn from_state(s: [u64; 4]) -> Self {
         assert!(s != [0, 0, 0, 0], "xoshiro256++ state must be non-zero");
-        Self { s }
+        Self { s, flip: false }
+    }
+
+    /// Returns this generator in antithetic mode: same state walk, every
+    /// output word bitwise-complemented (`u64::MAX ^ w`), so uniform
+    /// variates come out mirrored as `≈ 1 − u`. Variance reduction for
+    /// monotone responses: pairing replication `2k` with the flipped
+    /// stream of replication `2k` negatively correlates the pair.
+    #[must_use]
+    pub fn antithetic(mut self) -> Self {
+        self.flip = true;
+        self
+    }
+
+    /// Whether this generator is in antithetic (output-complement) mode.
+    #[must_use]
+    pub fn is_antithetic(&self) -> bool {
+        self.flip
     }
 
     /// Returns the next 64-bit output.
@@ -109,7 +132,11 @@ impl Xoshiro256pp {
         self.s[0] ^= self.s[3];
         self.s[2] ^= t;
         self.s[3] = rotl(self.s[3], 45);
-        result
+        if self.flip {
+            !result
+        } else {
+            result
+        }
     }
 
     /// Returns a uniform `f64` in `[0, 1)` using the top 53 bits.
@@ -185,6 +212,11 @@ impl Xoshiro256pp {
             s[3] = rotl(s[3], 45);
         }
         self.s = s;
+        if self.flip {
+            for w in out.iter_mut() {
+                *w = !*w;
+            }
+        }
     }
 
     /// Advances the generator by `2^128` steps. 16 jumps partition the period
@@ -353,19 +385,45 @@ impl BatchedRng {
 #[derive(Clone, Debug)]
 pub struct StreamFactory {
     master: u64,
+    /// Antithetic mode: every stream (and sub-factory) this factory hands
+    /// out is in output-complement mode — see [`Xoshiro256pp::antithetic`].
+    flip: bool,
 }
 
 impl StreamFactory {
     /// Creates a factory for the given master seed.
     #[must_use]
     pub fn new(master: u64) -> Self {
-        Self { master }
+        Self {
+            master,
+            flip: false,
+        }
     }
 
     /// Returns the master seed the factory was created with.
     #[must_use]
     pub fn master(&self) -> u64 {
         self.master
+    }
+
+    /// Returns this factory in antithetic mode: identical stream
+    /// derivation, but every generator it hands out complements its output
+    /// words, so all uniform variates of the whole replication come out
+    /// mirrored (`≈ 1 − u`). This is the `(seed, r)` stream-map hook for
+    /// antithetic replication pairs: run replication `2k` on
+    /// `subfactory(k)` and replication `2k+1` on
+    /// `subfactory(k).antithetic()`.
+    #[must_use]
+    pub fn antithetic(mut self) -> Self {
+        self.flip = true;
+        self
+    }
+
+    /// Whether this factory hands out antithetic (output-complement)
+    /// streams.
+    #[must_use]
+    pub fn is_antithetic(&self) -> bool {
+        self.flip
     }
 
     /// Returns the generator for stream `id`.
@@ -379,7 +437,12 @@ impl StreamFactory {
         // burn one output so that id=0 does not coincide with the raw master
         // sequence
         sm.next_u64();
-        Xoshiro256pp::seed_from_u64(sm.next_u64())
+        let rng = Xoshiro256pp::seed_from_u64(sm.next_u64());
+        if self.flip {
+            rng.antithetic()
+        } else {
+            rng
+        }
     }
 
     /// Returns a sub-factory for a namespaced group of streams (e.g. one per
@@ -388,7 +451,10 @@ impl StreamFactory {
     pub fn subfactory(&self, id: u64) -> StreamFactory {
         let mut sm = SplitMix64::new(self.master ^ id.wrapping_mul(0x9E6C_63D0_876A_3F6B));
         sm.next_u64();
-        StreamFactory::new(sm.next_u64())
+        StreamFactory {
+            master: sm.next_u64(),
+            flip: self.flip,
+        }
     }
 }
 
@@ -642,5 +708,69 @@ mod tests {
     #[should_panic(expected = "rate must be positive")]
     fn batched_exp_rejects_nonpositive_rate() {
         BatchedRng::new(Xoshiro256pp::seed_from_u64(1)).exp(-1.0);
+    }
+
+    #[test]
+    fn antithetic_complements_every_word() {
+        let mut plain = Xoshiro256pp::seed_from_u64(611);
+        let mut anti = Xoshiro256pp::seed_from_u64(611).antithetic();
+        for _ in 0..500 {
+            assert_eq!(anti.next_u64(), !plain.next_u64());
+        }
+    }
+
+    #[test]
+    fn antithetic_uniforms_mirror_around_half() {
+        // 2^-53 scaling: flipping the word maps u to (2^53-1-⌊u·2^53⌋)·2^-53,
+        // i.e. exactly 1 - 2^-53 - u.
+        let mut plain = Xoshiro256pp::seed_from_u64(613);
+        let mut anti = Xoshiro256pp::seed_from_u64(613).antithetic();
+        const ULP53: f64 = 1.0 / (1u64 << 53) as f64;
+        for _ in 0..500 {
+            let u = plain.next_f64();
+            let v = anti.next_f64();
+            assert_eq!((u + v).to_bits(), (1.0 - ULP53).to_bits());
+        }
+    }
+
+    #[test]
+    fn antithetic_fill_matches_scalar_antithetic_calls() {
+        let mut scalar = Xoshiro256pp::seed_from_u64(617).antithetic();
+        let mut batched = scalar.clone();
+        let mut buf = [0u64; 100];
+        batched.fill_u64s(&mut buf);
+        for (i, &w) in buf.iter().enumerate() {
+            assert_eq!(w, scalar.next_u64(), "word {i}");
+        }
+        assert_eq!(batched, scalar);
+    }
+
+    #[test]
+    fn antithetic_state_walk_is_unchanged() {
+        // Only outputs flip; the state sequence (and thus jump) is shared.
+        let mut plain = Xoshiro256pp::seed_from_u64(619);
+        let mut anti = plain.clone().antithetic();
+        plain.jump();
+        anti.jump();
+        assert_eq!(anti.next_u64(), !plain.next_u64());
+    }
+
+    #[test]
+    fn antithetic_factory_propagates_to_streams_and_subfactories() {
+        let f = StreamFactory::new(99);
+        let a = f.clone().antithetic();
+        assert!(!f.is_antithetic());
+        assert!(a.is_antithetic());
+        let mut plain = f.stream(3);
+        let mut flipped = a.stream(3);
+        for _ in 0..200 {
+            assert_eq!(flipped.next_u64(), !plain.next_u64());
+        }
+        let mut sub_plain = f.subfactory(7).stream(1);
+        let mut sub_flipped = a.subfactory(7).stream(1);
+        assert!(a.subfactory(7).is_antithetic());
+        for _ in 0..200 {
+            assert_eq!(sub_flipped.next_u64(), !sub_plain.next_u64());
+        }
     }
 }

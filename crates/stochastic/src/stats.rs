@@ -263,6 +263,23 @@ pub fn paired_comparison(xs: &[f64], ys: &[f64]) -> PairedComparison {
     }
 }
 
+/// The t-based 95% confidence half-width of the sample mean of `xs`:
+/// `t₀.₉₅(n−1) · s / √n` with `s` the sample standard deviation. Returns
+/// 0 for fewer than two samples (no variance estimate exists yet). This
+/// is the sequential-stopping criterion of campaign runs: replications
+/// stop once the half-width of the target metric drops to tolerance.
+///
+/// # Panics
+/// Panics on a non-finite sample.
+#[must_use]
+pub fn t_ci95_half_width(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let stats = OnlineStats::from_slice(xs);
+    t_critical_95(stats.count() - 1) * stats.std_dev() / (stats.count() as f64).sqrt()
+}
+
 /// Returns the `q`-quantile (0 ≤ q ≤ 1) of the data using linear
 /// interpolation between order statistics (type-7, the R/NumPy default).
 ///

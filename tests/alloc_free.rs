@@ -146,6 +146,8 @@ fn assert_warm_sweep_point_is_allocation_free(reps: u64) {
         config,
         reps,
         seed: 23,
+        rep_base: 0,
+        antithetic: false,
         options: SimOptions::default(),
     };
     let count_run = |jobs: &[PointJob<'_>]| -> u64 {

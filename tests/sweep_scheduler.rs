@@ -36,6 +36,8 @@ fn run_grid(
             config,
             reps,
             seed: 7,
+            rep_base: 0,
+            antithetic: false,
             options: SimOptions::default(),
         })
         .collect();
